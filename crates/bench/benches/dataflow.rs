@@ -1,0 +1,138 @@
+//! Profile-limited data flow query costs: the demand-driven propagation
+//! with compacted timestamp vectors vs a naive full-trace replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use twpp_dataflow::dyncfg::DynCfg;
+use twpp_dataflow::redundancy::{load_redundancy, loads_in};
+use twpp_dataflow::{solve_backward, solve_by_replay, AvailableLoad};
+use twpp_ir::Operand;
+use twpp_lang::{compile_with_options, LowerOptions};
+use twpp_tracer::{run_traced, ExecLimits};
+
+/// The Figure 9 scenario scaled to many iterations.
+fn figure9_scaled(iters: u32) -> String {
+    format!(
+        "fn main() {{
+             let i = 0;
+             while (i < {iters}) {{
+                 let t = load(100);
+                 if (i % 5 < 3) {{
+                     let u = load(100);
+                     print(u);
+                 }} else {{
+                     store(100, i);
+                 }}
+                 i = i + 1;
+             }}
+         }}"
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let src = figure9_scaled(20_000);
+    let program = compile_with_options(
+        &src,
+        LowerOptions {
+            stmt_per_block: true,
+        },
+    )
+    .expect("program compiles");
+    let (_, wpp) = run_traced(&program, &[], ExecLimits::default()).expect("program runs");
+    let main_id = program.main();
+    let func = program.func(main_id);
+    let trace = wpp.scan_function(main_id).remove(0);
+    let dcfg = DynCfg::from_block_sequence(&trace);
+    let loads = loads_in(&dcfg, func);
+    let (hot, _) = loads
+        .iter()
+        .copied()
+        .max_by_key(|(n, _)| dcfg.node(*n).ts.len())
+        .expect("program has loads");
+    let fact = AvailableLoad {
+        addr: Operand::Const(100),
+    };
+    let ts = dcfg.node(hot).ts.clone();
+
+    let mut group = c.benchmark_group("dataflow");
+    group.sample_size(20);
+
+    group.bench_function("demand_driven_query", |b| {
+        b.iter(|| {
+            solve_backward(
+                std::hint::black_box(&dcfg),
+                func,
+                &fact,
+                hot,
+                std::hint::black_box(&ts),
+            )
+            .frequency()
+        })
+    });
+    group.bench_function("naive_replay_oracle", |b| {
+        b.iter(|| {
+            solve_by_replay(
+                std::hint::black_box(&dcfg),
+                func,
+                &fact,
+                hot,
+                std::hint::black_box(&ts),
+            )
+            .frequency()
+        })
+    });
+    group.bench_function("load_redundancy_end_to_end", |b| {
+        b.iter(|| {
+            load_redundancy(std::hint::black_box(&dcfg), func, hot)
+                .unwrap()
+                .degree_percent()
+        })
+    });
+    group.bench_function("build_dyncfg", |b| {
+        b.iter(|| DynCfg::from_block_sequence(std::hint::black_box(&trace)).node_count())
+    });
+
+    // Interprocedural slicing over a call-heavy program.
+    let inter_src = "
+        fn leaf(x) { return x * 2; }
+        fn mid(x) { return leaf(x) + 1; }
+        fn main() {
+            let acc = 0;
+            let i = 0;
+            while (i < 200) {
+                acc = acc + mid(i);
+                i = i + 1;
+            }
+            print(acc);
+        }";
+    let inter_program = compile_with_options(
+        inter_src,
+        LowerOptions {
+            stmt_per_block: true,
+        },
+    )
+    .expect("program compiles");
+    let (_, inter_wpp) =
+        run_traced(&inter_program, &[], ExecLimits::default()).expect("program runs");
+    let compacted = twpp::compact(&inter_wpp).expect("compacts");
+    group.bench_function("interprocedural_slice", |b| {
+        use twpp_dataflow::interslice::{InterCriterion, InterSlicer};
+        use twpp_ir::Var;
+        let root = compacted.dcg.root();
+        let main_fb = compacted.function(inter_program.main()).expect("main ran");
+        let len = main_fb.expanded_traces()[0].len() as u32;
+        b.iter(|| {
+            let mut slicer = InterSlicer::new(&inter_program, &compacted);
+            slicer
+                .slice(InterCriterion {
+                    activation: root,
+                    timestamp: len,
+                    var: Var::from_index(0),
+                })
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

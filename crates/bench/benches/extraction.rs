@@ -1,0 +1,74 @@
+//! Per-function trace extraction: the Table 4 comparison (uncompacted scan
+//! vs compacted archive access) plus a hot-vs-cold layout ablation (the
+//! archive stores most-frequently-called functions first).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use twpp::{compact, TwppArchive};
+use twpp_workloads::{generate, Profile};
+
+fn bench(c: &mut Criterion) {
+    let workload = generate(&Profile::Gcc.spec().scaled(0.05));
+    let wpp = &workload.wpp;
+    let compacted = compact(wpp).unwrap();
+    let archive = TwppArchive::from_compacted(&compacted);
+    let hot = compacted.functions.first().expect("non-empty").func;
+    let cold = compacted.functions.last().expect("non-empty").func;
+
+    let mut group = c.benchmark_group("extraction");
+    group.sample_size(30);
+
+    group.bench_function("uncompacted_scan_hot", |b| {
+        b.iter(|| std::hint::black_box(wpp).scan_function(hot).len())
+    });
+    group.bench_function("archive_read_hot", |b| {
+        b.iter(|| {
+            std::hint::black_box(&archive)
+                .read_function(hot)
+                .unwrap()
+                .traces
+                .len()
+        })
+    });
+    group.bench_function("archive_read_cold", |b| {
+        b.iter(|| {
+            std::hint::black_box(&archive)
+                .read_function(cold)
+                .unwrap()
+                .traces
+                .len()
+        })
+    });
+
+    // File-backed variant: the exact Table 4 experiment.
+    let dir = std::env::temp_dir().join(format!("twpp-bench-extraction-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let raw_path = dir.join("bench.wpp");
+    let arc_path = dir.join("bench.twpa");
+    {
+        let f = std::fs::File::create(&raw_path).unwrap();
+        let mut w = std::io::BufWriter::new(f);
+        wpp.write_to(&mut w).unwrap();
+    }
+    archive.save(&arc_path).unwrap();
+
+    group.bench_function("file_uncompacted_scan", |b| {
+        b.iter(|| {
+            let f = std::fs::File::open(&raw_path).unwrap();
+            let wpp = twpp_tracer::RawWpp::read_from(std::io::BufReader::new(f)).unwrap();
+            wpp.scan_function(hot).len()
+        })
+    });
+    group.bench_function("file_archive_seek_read", |b| {
+        b.iter(|| {
+            TwppArchive::read_function_from_file(&arc_path, hot)
+                .unwrap()
+                .traces
+                .len()
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

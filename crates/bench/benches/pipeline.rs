@@ -1,0 +1,82 @@
+//! Per-stage costs of the compaction pipeline (the transformations of
+//! Tables 2 and 3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use twpp::{
+    compact, compact_trace, eliminate_redundancy, lzw, partition, TimestampedTrace, TwppArchive,
+};
+use twpp_workloads::{generate, Profile};
+
+fn bench(c: &mut Criterion) {
+    let workload = generate(&Profile::Li.spec().scaled(0.05));
+    let wpp = &workload.wpp;
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+
+    group.bench_function("partition", |b| {
+        b.iter(|| partition(std::hint::black_box(wpp)).unwrap())
+    });
+
+    let part = partition(wpp).unwrap();
+    group.bench_function("eliminate_redundancy", |b| {
+        b.iter_batched(
+            || part.clone(),
+            |mut p| eliminate_redundancy(&mut p),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut deduped = part.clone();
+    eliminate_redundancy(&mut deduped);
+    let traces: Vec<_> = deduped.traces.values().flatten().cloned().collect();
+    group.bench_function("dbb_dictionaries", |b| {
+        b.iter(|| {
+            traces
+                .iter()
+                .map(|t| compact_trace(std::hint::black_box(t)).trace.len())
+                .sum::<usize>()
+        })
+    });
+
+    let compacted_traces: Vec<_> = traces.iter().map(|t| compact_trace(t).trace).collect();
+    group.bench_function("twpp_transform", |b| {
+        b.iter(|| {
+            compacted_traces
+                .iter()
+                .map(|t| TimestampedTrace::from_path_trace(std::hint::black_box(t)).byte_size())
+                .sum::<usize>()
+        })
+    });
+
+    group.bench_function("full_compact", |b| {
+        b.iter(|| compact(std::hint::black_box(wpp)).unwrap())
+    });
+
+    let compacted = compact(wpp).unwrap();
+    group.bench_function("archive_encode", |b| {
+        b.iter(|| TwppArchive::from_compacted(std::hint::black_box(&compacted)).byte_len())
+    });
+
+    group.bench_function("reconstruct_wpp", |b| {
+        b.iter(|| std::hint::black_box(&compacted).reconstruct().event_count())
+    });
+
+    // The DCG compression stage in isolation.
+    let dcg_bytes: Vec<u8> = compacted
+        .dcg
+        .to_words()
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect();
+    group.bench_function("lzw_compress_dcg", |b| {
+        b.iter(|| lzw::compress(std::hint::black_box(&dcg_bytes)).len())
+    });
+    let dcg_comp = lzw::compress(&dcg_bytes);
+    group.bench_function("lzw_decompress_dcg", |b| {
+        b.iter(|| lzw::decompress(std::hint::black_box(&dcg_comp)).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

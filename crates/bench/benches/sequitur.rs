@@ -1,0 +1,50 @@
+//! Sequitur baseline costs: compression, and the Table 5 access-time
+//! asymmetry (whole-grammar processing vs archive seek-and-decode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use twpp::{compact, TwppArchive};
+use twpp_sequitur::{compress_wpp, decode, encode, extract_function};
+use twpp_workloads::{generate, Profile};
+
+fn bench(c: &mut Criterion) {
+    let workload = generate(&Profile::Perl.spec().scaled(0.05));
+    let wpp = &workload.wpp;
+    let mut group = c.benchmark_group("sequitur");
+    group.sample_size(10);
+
+    group.bench_function("grammar_build", |b| {
+        b.iter(|| compress_wpp(std::hint::black_box(wpp)).symbol_count())
+    });
+
+    let grammar = compress_wpp(wpp);
+    let rules = grammar.to_rules();
+    let bytes = encode(&rules);
+    group.bench_function("grammar_decode", |b| {
+        b.iter(|| decode(std::hint::black_box(&bytes)).unwrap().len())
+    });
+
+    let compacted = compact(wpp).unwrap();
+    let archive = TwppArchive::from_compacted(&compacted);
+    let hot = compacted.functions.first().expect("non-empty").func;
+
+    group.bench_function("extract_function_from_grammar", |b| {
+        b.iter(|| extract_function(std::hint::black_box(&rules), hot).len())
+    });
+    group.bench_function("extract_function_from_archive", |b| {
+        b.iter(|| {
+            std::hint::black_box(&archive)
+                .read_function(hot)
+                .unwrap()
+                .traces
+                .len()
+        })
+    });
+
+    group.bench_function("grammar_expand", |b| {
+        b.iter(|| std::hint::black_box(&grammar).expand_input().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

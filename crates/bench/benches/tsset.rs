@@ -1,0 +1,87 @@
+//! Ablation: arithmetic-series timestamp sets vs naive timestamp vectors.
+//!
+//! The paper's efficiency argument for compacted timestamps is that one
+//! entry operation covers a whole series (e.g. shifting `(2:20:2)` to
+//! `(1:19:2)` traverses 10 subpaths at once). These benchmarks quantify
+//! that against plain `Vec<u32>` processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use twpp::TsSet;
+
+fn bench(c: &mut Criterion) {
+    // A loop-like series: 50k timestamps in one entry.
+    let series: Vec<u32> = (1..=50_000u32).map(|k| 2 * k).collect();
+    let set = TsSet::from_sorted(&series);
+    // A fragmented set: every third timestamp removed.
+    let ragged: Vec<u32> = series
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| i % 3 != 0)
+        .map(|(_, t)| t)
+        .collect();
+    let ragged_set = TsSet::from_sorted(&ragged);
+
+    let mut group = c.benchmark_group("tsset");
+
+    group.bench_function("shift_series", |b| {
+        b.iter(|| std::hint::black_box(&set).shift(-1).len())
+    });
+    group.bench_function("shift_naive_vec", |b| {
+        b.iter(|| {
+            std::hint::black_box(&series)
+                .iter()
+                .filter_map(|&t| t.checked_sub(1).filter(|&v| v >= 1))
+                .count()
+        })
+    });
+
+    group.bench_function("intersect_series", |b| {
+        b.iter(|| std::hint::black_box(&set).intersect(&ragged_set).len())
+    });
+    group.bench_function("intersect_naive_vec", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < series.len() && j < ragged.len() {
+                match series[i].cmp(&ragged[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+
+    group.bench_function("membership_series", |b| {
+        b.iter(|| {
+            (1..1000u32)
+                .filter(|&t| std::hint::black_box(&set).contains(t * 97))
+                .count()
+        })
+    });
+    group.bench_function("max_lt_series", |b| {
+        b.iter(|| std::hint::black_box(&set).max_lt(77_777))
+    });
+
+    group.bench_function("encode_wire", |b| {
+        b.iter(|| std::hint::black_box(&ragged_set).to_wire().len())
+    });
+    let wire = ragged_set.to_wire();
+    group.bench_function("decode_wire", |b| {
+        b.iter(|| TsSet::from_wire(std::hint::black_box(&wire)).unwrap().len())
+    });
+
+    group.bench_function("from_sorted_greedy_runs", |b| {
+        b.iter(|| TsSet::from_sorted(std::hint::black_box(&ragged)).entry_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

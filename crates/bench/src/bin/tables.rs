@@ -1,0 +1,89 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! tables [--scale <f>] [table1|table2|table3|table4|table5|table6|
+//!         figure8|figure9|figure10|figure12|all]
+//! ```
+//!
+//! `--scale` multiplies the workload sizes (default 1.0; use 0.1 for a
+//! quick run). Figures 9/10/12 run the paper's example programs and take
+//! no scale.
+
+use twpp_bench::experiments::{figure10, figure12, figure9, Suite};
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+                scale = v;
+            }
+            "--help" | "-h" => usage(""),
+            other => targets.push(other.to_owned()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_owned());
+    }
+    let all = targets.iter().any(|t| t == "all");
+
+    let wants = |name: &str| all || targets.iter().any(|t| t == name);
+    let needs_suite = ["table1", "table2", "table3", "table4", "table5", "table6", "figure8"]
+        .iter()
+        .any(|t| wants(t));
+
+    let suite = if needs_suite {
+        eprintln!("generating workloads at scale {scale}...");
+        Some(Suite::build(scale))
+    } else {
+        None
+    };
+    if let Some(suite) = &suite {
+        if wants("table1") {
+            println!("{}", suite.table1());
+        }
+        if wants("table2") {
+            println!("{}", suite.table2());
+        }
+        if wants("table3") {
+            println!("{}", suite.table3());
+        }
+        if wants("table4") {
+            println!("{}", suite.table4());
+        }
+        if wants("table5") {
+            println!("{}", suite.table5());
+        }
+        if wants("table6") {
+            println!("{}", suite.table6());
+        }
+        if wants("figure8") {
+            println!("{}", suite.figure8());
+        }
+    }
+    if wants("figure9") {
+        println!("{}", figure9());
+    }
+    if wants("figure10") {
+        println!("{}", figure10());
+    }
+    if wants("figure12") {
+        println!("{}", figure12());
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: tables [--scale <f>] [table1..table6|figure8|figure9|figure10|figure12|all]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,14 @@
+//! **twpp-bench** — the experiment harness regenerating every table and
+//! figure of the paper's evaluation.
+//!
+//! The `tables` binary prints measured values side by side with the
+//! paper's published numbers; the Criterion benches under `benches/`
+//! measure the same operations with statistical rigor. See EXPERIMENTS.md
+//! at the repository root for the recorded results.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod fmt;
+
+pub use experiments::{BenchCase, Suite};

@@ -1,0 +1,458 @@
+//! The `twpp` subcommands.
+//!
+//! ```text
+//! twpp run <prog.twl> [--input 1,2,3]
+//! twpp trace <prog.twl> -o <out.wpp> [--input 1,2,3]
+//! twpp compact <in.wpp> -o <out.twpa> [--program <prog.twl>]
+//! twpp info <file.wpp|file.twpa>
+//! twpp query <file.twpa> <func-id-or-name>
+//! twpp sequitur <in.wpp>
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use twpp::{compact_with_stats, TwppArchive};
+use twpp_ir::FuncId;
+use twpp_tracer::{run_traced, ExecLimits, RawWpp};
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Wrong usage; the message holds the usage text.
+    Usage(String),
+    /// Any underlying failure (I/O, compilation, malformed files, …).
+    Failed(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+fn fail(e: impl fmt::Display) -> CliError {
+    CliError::Failed(e.to_string())
+}
+
+const USAGE: &str = "\
+usage:
+  twpp run <prog.twl> [--input 1,2,3]       compile and execute a program
+  twpp trace <prog.twl> -o <out.wpp>        collect its whole program path
+  twpp compact <in.wpp> -o <out.twpa> [--program <prog.twl>]
+                                            compact a WPP into a TWPP archive
+                                            (--program embeds function names)
+  twpp info <file.wpp|file.twpa>            summarize a trace or archive
+  twpp query <file.twpa> <func-id-or-name>  extract one function's traces
+  twpp sequitur <in.wpp>                    compress with the Sequitur baseline";
+
+/// Parses `args` and executes the selected command, writing human-readable
+/// output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed invocations and
+/// [`CliError::Failed`] for runtime failures.
+pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut output: Option<&str> = None;
+    let mut program_path: Option<&str> = None;
+    let mut input: Vec<i64> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                i += 1;
+                output = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::Usage("-o needs a path".into()))?,
+                );
+            }
+            "--program" => {
+                i += 1;
+                program_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::Usage("--program needs a path".into()))?,
+                );
+            }
+            "--input" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--input needs values".into()))?;
+                input = raw
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse::<i64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| CliError::Usage(format!("bad --input: {e}")))?;
+            }
+            "--help" | "-h" => {
+                writeln!(out, "{USAGE}").map_err(fail)?;
+                return Ok(());
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    let usage = || CliError::Usage(USAGE.to_owned());
+    match positional.as_slice() {
+        ["run", path] => cmd_run(Path::new(path), &input, out),
+        ["trace", path] => {
+            let output = output.ok_or_else(usage)?;
+            cmd_trace(Path::new(path), &input, Path::new(output), out)
+        }
+        ["compact", path] => {
+            let output = output.ok_or_else(usage)?;
+            cmd_compact(
+                Path::new(path),
+                Path::new(output),
+                program_path.map(Path::new),
+                out,
+            )
+        }
+        ["info", path] => cmd_info(Path::new(path), out),
+        ["query", path, func] => cmd_query(Path::new(path), func, out),
+        ["sequitur", path] => cmd_sequitur(Path::new(path), out),
+        _ => Err(usage()),
+    }
+}
+
+fn compile(path: &Path) -> Result<twpp_ir::Program, CliError> {
+    let src = fs::read_to_string(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
+    twpp_lang::compile(&src).map_err(|e| fail(format!("{}: {e}", path.display())))
+}
+
+fn cmd_run(path: &Path, input: &[i64], out: &mut dyn Write) -> Result<(), CliError> {
+    let program = compile(path)?;
+    let (execution, wpp) = run_traced(&program, input, ExecLimits::default()).map_err(fail)?;
+    for v in &execution.output {
+        writeln!(out, "{v}").map_err(fail)?;
+    }
+    writeln!(
+        out,
+        "-- {} block steps, {} trace events",
+        execution.steps,
+        wpp.event_count()
+    )
+    .map_err(fail)?;
+    Ok(())
+}
+
+fn cmd_trace(
+    path: &Path,
+    input: &[i64],
+    output: &Path,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let program = compile(path)?;
+    let (_, wpp) = run_traced(&program, input, ExecLimits::default()).map_err(fail)?;
+    let file = fs::File::create(output).map_err(fail)?;
+    let mut writer = std::io::BufWriter::new(file);
+    wpp.write_to(&mut writer).map_err(fail)?;
+    writeln!(
+        out,
+        "wrote {} ({} events, {} bytes)",
+        output.display(),
+        wpp.event_count(),
+        wpp.byte_len()
+    )
+    .map_err(fail)?;
+    writeln!(out, "function ids:").map_err(fail)?;
+    for (id, func) in program.funcs() {
+        writeln!(out, "  {:>4}  {}", id.as_u32(), func.name()).map_err(fail)?;
+    }
+    Ok(())
+}
+
+fn read_wpp(path: &Path) -> Result<RawWpp, CliError> {
+    let file = fs::File::open(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
+    RawWpp::read_from(std::io::BufReader::new(file)).map_err(fail)
+}
+
+fn cmd_compact(
+    path: &Path,
+    output: &Path,
+    program_path: Option<&Path>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let wpp = read_wpp(path)?;
+    let (compacted, stats) = compact_with_stats(&wpp).map_err(fail)?;
+    let archive = match program_path {
+        Some(src) => {
+            let program = compile(src)?;
+            let names = program
+                .funcs()
+                .map(|(id, f)| (id, f.name().to_owned()))
+                .collect();
+            TwppArchive::from_compacted_named(&compacted, &names)
+        }
+        None => TwppArchive::from_compacted(&compacted),
+    };
+    archive.save(output).map_err(fail)?;
+    writeln!(out, "wrote {} ({} bytes)", output.display(), archive.byte_len()).map_err(fail)?;
+    writeln!(out, "original WPP          : {:>10} bytes", stats.raw.total()).map_err(fail)?;
+    writeln!(
+        out,
+        "after dedup           : {:>10} bytes (x{:.2})",
+        stats.after_dedup_bytes,
+        stats.dedup_factor()
+    )
+    .map_err(fail)?;
+    writeln!(
+        out,
+        "after DBB dictionaries: {:>10} bytes (x{:.2})",
+        stats.after_dict_bytes,
+        stats.dict_factor()
+    )
+    .map_err(fail)?;
+    writeln!(
+        out,
+        "compacted TWPP traces : {:>10} bytes (x{:.2})",
+        stats.ctwpp_trace_bytes,
+        stats.twpp_factor()
+    )
+    .map_err(fail)?;
+    writeln!(
+        out,
+        "total (DCG+traces+dic): {:>10} bytes -> overall x{:.1}",
+        stats.total_compacted_bytes(),
+        stats.overall_factor()
+    )
+    .map_err(fail)?;
+    Ok(())
+}
+
+fn cmd_info(path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
+    let bytes = fs::read(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
+    if bytes.starts_with(b"TWPA") {
+        let archive = TwppArchive::from_bytes(bytes).map_err(fail)?;
+        writeln!(out, "TWPP archive, {} bytes", archive.byte_len()).map_err(fail)?;
+        writeln!(out, "{} functions (most-called first):", archive.function_ids().len())
+            .map_err(fail)?;
+        writeln!(out, "{:>12} {:>10} {:>13}", "func", "calls", "unique paths").map_err(fail)?;
+        for func in archive.function_ids() {
+            let record = archive.read_function(func).map_err(fail)?;
+            let label = archive
+                .function_name(func)
+                .map(str::to_owned)
+                .unwrap_or_else(|| func.as_u32().to_string());
+            writeln!(
+                out,
+                "{:>12} {:>10} {:>13}",
+                label,
+                record.call_count,
+                record.traces.len()
+            )
+            .map_err(fail)?;
+        }
+    } else {
+        let wpp = RawWpp::read_from(&bytes[..]).map_err(fail)?;
+        let sizes = wpp.size_breakdown();
+        writeln!(out, "raw WPP, {} events ({} bytes)", wpp.event_count(), wpp.byte_len())
+            .map_err(fail)?;
+        writeln!(out, "  call structure: {} bytes", sizes.dcg_bytes).map_err(fail)?;
+        writeln!(out, "  block traces  : {} bytes", sizes.trace_bytes).map_err(fail)?;
+        let mut counts: Vec<_> = wpp.call_counts().into_iter().collect();
+        counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        writeln!(out, "top functions by calls:").map_err(fail)?;
+        for (func, count) in counts.into_iter().take(10) {
+            writeln!(out, "  {:>6}  {count}", func.as_u32()).map_err(fail)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query(path: &Path, func: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    // Numeric ids use the seek-read fast path; names need the header's
+    // name table, so load the archive header first.
+    let func = match func.parse::<u32>() {
+        Ok(id) => FuncId::from_u32(id),
+        Err(_) => {
+            let bytes =
+                fs::read(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
+            let archive = TwppArchive::from_bytes(bytes).map_err(fail)?;
+            archive
+                .function_by_name(func)
+                .ok_or_else(|| fail(format!("no function named `{func}` in archive")))?
+        }
+    };
+    let record = TwppArchive::read_function_from_file(path, func).map_err(fail)?;
+    writeln!(
+        out,
+        "function {}: {} calls, {} unique path traces, {} dictionaries",
+        func.as_u32(),
+        record.call_count,
+        record.traces.len(),
+        record.dicts.len()
+    )
+    .map_err(fail)?;
+    for (i, trace) in record.expanded_traces().iter().enumerate() {
+        writeln!(out, "  path {i}: {trace}").map_err(fail)?;
+    }
+    Ok(())
+}
+
+fn cmd_sequitur(path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
+    let wpp = read_wpp(path)?;
+    let grammar = twpp_sequitur::compress_wpp(&wpp);
+    let rules = grammar.to_rules();
+    let encoded = twpp_sequitur::encode(&rules);
+    writeln!(out, "input : {:>10} bytes ({} events)", wpp.byte_len(), wpp.event_count())
+        .map_err(fail)?;
+    writeln!(
+        out,
+        "output: {:>10} bytes ({} rules, {} symbols) -> x{:.2}",
+        encoded.len(),
+        rules.len(),
+        grammar.symbol_count(),
+        wpp.byte_len() as f64 / encoded.len() as f64
+    )
+    .map_err(fail)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        let mut out = Vec::new();
+        run_command(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf-8 output"))
+    }
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "twpp-cli-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_and_usage() {
+        assert!(run(&["--help"]).unwrap().contains("usage:"));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["bogus"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["trace", "x.twl"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn full_workflow_run_trace_compact_info_query() {
+        let dir = temp_dir();
+        let src_path = dir.join("prog.twl");
+        fs::write(
+            &src_path,
+            "fn f(x) { if (x % 2 == 0) { print(x); } else { print(0 - x); } }
+             fn main() { let i = 0; while (i < 6) { f(i); i = i + 1; } }",
+        )
+        .unwrap();
+        let src = src_path.to_str().unwrap();
+
+        // run
+        let output = run(&["run", src]).unwrap();
+        assert!(output.starts_with("0\n-1\n2\n-3\n4\n-5\n"), "{output}");
+
+        // trace
+        let wpp_path = dir.join("prog.wpp");
+        let output = run(&["trace", src, "-o", wpp_path.to_str().unwrap()]).unwrap();
+        assert!(output.contains("wrote"));
+        assert!(output.contains("main"));
+
+        // info on the raw trace
+        let output = run(&["info", wpp_path.to_str().unwrap()]).unwrap();
+        assert!(output.contains("raw WPP"));
+
+        // compact
+        let arc_path = dir.join("prog.twpa");
+        let output = run(&[
+            "compact",
+            wpp_path.to_str().unwrap(),
+            "-o",
+            arc_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(output.contains("overall"));
+
+        // info on the archive
+        let output = run(&["info", arc_path.to_str().unwrap()]).unwrap();
+        assert!(output.contains("TWPP archive"));
+
+        // query function 0 (f): 6 calls, 2 unique paths.
+        let output = run(&["query", arc_path.to_str().unwrap(), "0"]).unwrap();
+        assert!(output.contains("6 calls"), "{output}");
+        assert!(output.contains("2 unique"), "{output}");
+
+        // compact with embedded names, then query by name.
+        let named_path = dir.join("named.twpa");
+        run(&[
+            "compact",
+            wpp_path.to_str().unwrap(),
+            "-o",
+            named_path.to_str().unwrap(),
+            "--program",
+            src,
+        ])
+        .unwrap();
+        let output = run(&["query", named_path.to_str().unwrap(), "f"]).unwrap();
+        assert!(output.contains("6 calls"), "{output}");
+        let output = run(&["info", named_path.to_str().unwrap()]).unwrap();
+        assert!(output.contains("main"), "{output}");
+        assert!(matches!(
+            run(&["query", named_path.to_str().unwrap(), "ghost"]),
+            Err(CliError::Failed(_))
+        ));
+
+        // sequitur baseline
+        let output = run(&["sequitur", wpp_path.to_str().unwrap()]).unwrap();
+        assert!(output.contains("rules"));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_input_values() {
+        let dir = temp_dir();
+        let src_path = dir.join("echo.twl");
+        fs::write(&src_path, "fn main() { print(input() + input()); }").unwrap();
+        let output = run(&["run", src_path.to_str().unwrap(), "--input", "20,22"]).unwrap();
+        assert!(output.starts_with("42\n"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(matches!(
+            run(&["run", "/nonexistent/file.twl"]),
+            Err(CliError::Failed(_))
+        ));
+        let dir = temp_dir();
+        let bad = dir.join("bad.twl");
+        fs::write(&bad, "fn main() { let = ; }").unwrap();
+        assert!(matches!(
+            run(&["run", bad.to_str().unwrap()]),
+            Err(CliError::Failed(_))
+        ));
+        assert!(matches!(
+            run(&["query", bad.to_str().unwrap(), "zero"]),
+            Err(CliError::Failed(_))
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,11 @@
+//! Implementation of the `twpp` command-line tool.
+//!
+//! The binary wires [`run_command`] to `std::env::args`; keeping the logic
+//! in a library makes every command unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+
+pub use commands::{run_command, CliError};

@@ -1,0 +1,13 @@
+//! `twpp` — trace programs, compact whole program paths, query archives.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match twpp_cli::run_command(&args, &mut stdout) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

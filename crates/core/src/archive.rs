@@ -1,0 +1,750 @@
+//! The TWPP archive: the on-disk container whose layout makes per-function
+//! queries fast (the paper's access-time study, Tables 4 and 5).
+//!
+//! Layout:
+//!
+//! ```text
+//! "TWPA" magic | version | n_funcs | dcg_comp_len | names_len
+//! function table (most-called first):
+//!     func_id | call_count | n_dicts | n_traces | offset | byte_len
+//! LZW-compressed DCG (padded to 4 bytes)
+//! optional name table: per function, a length-prefixed UTF-8 name
+//! per-function regions at the recorded offsets:
+//!     dictionaries, then timestamped traces
+//! ```
+//!
+//! Reading the traces of one function touches the header and exactly one
+//! region: `O(header + that function's data)`, versus scanning the entire
+//! stream for the uncompacted WPP and processing the whole grammar for
+//! Sequitur-compressed WPPs.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use twpp_ir::{BlockId, FuncId};
+
+use crate::dbb::DbbDictionary;
+use crate::dcg::Dcg;
+use crate::lzw;
+use crate::pipeline::{CompactedTwpp, FunctionBlock};
+use crate::timestamped::{TimestampedTrace, TimestampedTraceError};
+
+const MAGIC: [u8; 4] = *b"TWPA";
+const VERSION: u32 = 2;
+const FIXED_HEADER_LEN: usize = 20;
+
+/// Errors produced while encoding or decoding an archive.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArchiveError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input does not start with the `TWPA` magic.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u32),
+    /// The archive is shorter than its header claims.
+    Truncated,
+    /// The requested function is not present.
+    UnknownFunction(FuncId),
+    /// A region failed to decode.
+    Corrupt(String),
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Io(e) => write!(f, "archive I/O error: {e}"),
+            ArchiveError::BadMagic => f.write_str("missing TWPA magic"),
+            ArchiveError::BadVersion(v) => write!(f, "unsupported archive version {v}"),
+            ArchiveError::Truncated => f.write_str("truncated archive"),
+            ArchiveError::UnknownFunction(id) => write!(f, "function {id} not in archive"),
+            ArchiveError::Corrupt(what) => write!(f, "corrupt archive: {what}"),
+        }
+    }
+}
+
+impl Error for ArchiveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArchiveError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArchiveError {
+    fn from(e: std::io::Error) -> ArchiveError {
+        ArchiveError::Io(e)
+    }
+}
+
+impl From<TimestampedTraceError> for ArchiveError {
+    fn from(e: TimestampedTraceError) -> ArchiveError {
+        ArchiveError::Corrupt(e.to_string())
+    }
+}
+
+/// One entry of the archive's function table.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+struct TableEntry {
+    func: FuncId,
+    call_count: u32,
+    n_dicts: u32,
+    n_traces: u32,
+    /// Offset of the function's region from the start of the data section.
+    offset: u32,
+    byte_len: u32,
+}
+
+const TABLE_ENTRY_WORDS: usize = 6;
+
+/// The decoded per-function payload: what a query for one function returns.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FunctionRecord {
+    /// The function.
+    pub func: FuncId,
+    /// Number of calls recorded in the WPP.
+    pub call_count: u64,
+    /// The function's DBB dictionaries.
+    pub dicts: Vec<DbbDictionary>,
+    /// Unique timestamped traces with their dictionary indices.
+    pub traces: Vec<(u32, TimestampedTrace)>,
+}
+
+impl FunctionRecord {
+    /// Expands every unique trace back to its full block sequence.
+    pub fn expanded_traces(&self) -> Vec<crate::trace::PathTrace> {
+        self.traces
+            .iter()
+            .map(|(dict_idx, tt)| self.dicts[*dict_idx as usize].expand(&tt.to_path_trace()))
+            .collect()
+    }
+}
+
+/// An encoded TWPP archive with a parsed function index.
+///
+/// # Examples
+///
+/// ```
+/// use twpp::{compact, TwppArchive};
+/// use twpp_tracer::{run_traced, ExecLimits};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = twpp_lang::compile(
+///     "fn main() { let i = 0; while (i < 4) { print(i); i = i + 1; } }",
+/// )?;
+/// let (_, wpp) = run_traced(&program, &[], ExecLimits::default())?;
+/// let archive = TwppArchive::from_compacted(&compact(&wpp)?);
+/// let record = archive.read_function(program.main())?;
+/// assert_eq!(record.call_count, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TwppArchive {
+    bytes: Vec<u8>,
+    table: Vec<TableEntry>,
+    index: HashMap<FuncId, usize>,
+    names: Vec<Option<String>>,
+    data_start: usize,
+    dcg_comp_len: usize,
+}
+
+impl TwppArchive {
+    /// Encodes a compacted TWPP into archive form (without function
+    /// names; see [`TwppArchive::from_compacted_named`]).
+    pub fn from_compacted(c: &CompactedTwpp) -> TwppArchive {
+        TwppArchive::from_compacted_named(c, &HashMap::new())
+    }
+
+    /// Encodes a compacted TWPP, embedding the given function names so
+    /// tools can query by name.
+    pub fn from_compacted_named(
+        c: &CompactedTwpp,
+        names: &HashMap<FuncId, String>,
+    ) -> TwppArchive {
+        // Compress the DCG.
+        let dcg_words = c.dcg.to_words();
+        let dcg_bytes: Vec<u8> = dcg_words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let dcg_comp = lzw::compress(&dcg_bytes);
+        let dcg_padded = dcg_comp.len().div_ceil(4) * 4;
+
+        // Encode function regions.
+        let mut regions: Vec<Vec<u32>> = Vec::with_capacity(c.functions.len());
+        let mut table: Vec<TableEntry> = Vec::with_capacity(c.functions.len());
+        let mut offset = 0u32;
+        for fb in &c.functions {
+            let words = encode_region(fb);
+            let byte_len = (words.len() * 4) as u32;
+            table.push(TableEntry {
+                func: fb.func,
+                call_count: u32::try_from(fb.call_count).unwrap_or(u32::MAX),
+                n_dicts: fb.dicts.len() as u32,
+                n_traces: fb.traces.len() as u32,
+                offset,
+                byte_len,
+            });
+            offset += byte_len;
+            regions.push(words);
+        }
+
+        // Name table: per function (table order), a length-prefixed
+        // UTF-8 name; zero length means unnamed.
+        let mut name_blob: Vec<u8> = Vec::new();
+        let mut stored_names: Vec<Option<String>> = Vec::with_capacity(table.len());
+        if names.is_empty() {
+            stored_names.resize(table.len(), None);
+        } else {
+            for e in &table {
+                let name = names.get(&e.func).cloned();
+                let bytes = name.as_deref().unwrap_or("").as_bytes();
+                name_blob.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                name_blob.extend_from_slice(bytes);
+                stored_names.push(name.filter(|n| !n.is_empty()));
+            }
+            while !name_blob.len().is_multiple_of(4) {
+                name_blob.push(0);
+            }
+        }
+
+        // Assemble.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        push_u32(&mut bytes, VERSION);
+        push_u32(&mut bytes, c.functions.len() as u32);
+        push_u32(&mut bytes, dcg_comp.len() as u32);
+        push_u32(&mut bytes, name_blob.len() as u32);
+        for e in &table {
+            push_u32(&mut bytes, e.func.as_u32());
+            push_u32(&mut bytes, e.call_count);
+            push_u32(&mut bytes, e.n_dicts);
+            push_u32(&mut bytes, e.n_traces);
+            push_u32(&mut bytes, e.offset);
+            push_u32(&mut bytes, e.byte_len);
+        }
+        bytes.extend_from_slice(&dcg_comp);
+        bytes.resize(bytes.len() + (dcg_padded - dcg_comp.len()), 0);
+        bytes.extend_from_slice(&name_blob);
+        let data_start = bytes.len();
+        for words in &regions {
+            for w in words {
+                push_u32(&mut bytes, *w);
+            }
+        }
+        let index = table
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.func, i))
+            .collect();
+        TwppArchive {
+            bytes,
+            table,
+            index,
+            names: stored_names,
+            data_start,
+            dcg_comp_len: dcg_comp.len(),
+        }
+    }
+
+    /// Parses an archive, reading only the header and function table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArchiveError`] for malformed input.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<TwppArchive, ArchiveError> {
+        let (table, names, dcg_comp_len, data_start) = parse_header(&bytes)?;
+        // Validate regions lie within the buffer.
+        for e in &table {
+            let end = data_start + e.offset as usize + e.byte_len as usize;
+            if end > bytes.len() {
+                return Err(ArchiveError::Truncated);
+            }
+        }
+        let index = table
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.func, i))
+            .collect();
+        Ok(TwppArchive {
+            bytes,
+            table,
+            index,
+            names,
+            data_start,
+            dcg_comp_len,
+        })
+    }
+
+    /// The encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total archive size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Function ids present, most-frequently-called first.
+    pub fn function_ids(&self) -> Vec<FuncId> {
+        self.table.iter().map(|e| e.func).collect()
+    }
+
+    /// The embedded name of `func`, if the archive stores names.
+    pub fn function_name(&self, func: FuncId) -> Option<&str> {
+        let &i = self.index.get(&func)?;
+        self.names[i].as_deref()
+    }
+
+    /// Looks up a function id by its embedded name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.table
+            .iter()
+            .enumerate()
+            .find(|(i, _)| self.names[*i].as_deref() == Some(name))
+            .map(|(_, e)| e.func)
+    }
+
+    /// The recorded call count of `func`, if present.
+    pub fn call_count(&self, func: FuncId) -> Option<u64> {
+        self.index
+            .get(&func)
+            .map(|&i| u64::from(self.table[i].call_count))
+    }
+
+    /// Decodes the traces and dictionaries of one function, touching only
+    /// that function's region — the fast path of Table 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchiveError::UnknownFunction`] for absent functions or a
+    /// decoding error for corrupt regions.
+    pub fn read_function(&self, func: FuncId) -> Result<FunctionRecord, ArchiveError> {
+        let &i = self
+            .index
+            .get(&func)
+            .ok_or(ArchiveError::UnknownFunction(func))?;
+        let e = self.table[i];
+        let start = self.data_start + e.offset as usize;
+        let region = &self.bytes[start..start + e.byte_len as usize];
+        decode_region(e, region)
+    }
+
+    /// Decompresses and decodes the dynamic call graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decoding error for corrupt archives.
+    pub fn read_dcg(&self) -> Result<Dcg, ArchiveError> {
+        let header_len = FIXED_HEADER_LEN + self.table.len() * TABLE_ENTRY_WORDS * 4;
+        let comp = &self.bytes[header_len..header_len + self.dcg_comp_len];
+        let raw = lzw::decompress(comp).map_err(|e| ArchiveError::Corrupt(e.to_string()))?;
+        if raw.len() % 4 != 0 {
+            return Err(ArchiveError::Corrupt("DCG byte length".into()));
+        }
+        let words: Vec<u32> = raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Dcg::from_words(&words).ok_or_else(|| ArchiveError::Corrupt("DCG structure".into()))
+    }
+
+    /// Fully decodes the archive back into a [`CompactedTwpp`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decoding error for corrupt archives.
+    pub fn to_compacted(&self) -> Result<CompactedTwpp, ArchiveError> {
+        let dcg = self.read_dcg()?;
+        let mut functions = Vec::with_capacity(self.table.len());
+        for e in &self.table {
+            let r = self.read_function(e.func)?;
+            functions.push(FunctionBlock {
+                func: r.func,
+                call_count: r.call_count,
+                dicts: r.dicts,
+                traces: r.traces,
+            });
+        }
+        Ok(CompactedTwpp { dcg, functions })
+    }
+
+    /// Writes the archive to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &Path) -> Result<(), ArchiveError> {
+        let mut f = File::create(path)?;
+        f.write_all(&self.bytes)?;
+        Ok(())
+    }
+
+    /// Loads a whole archive file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and format errors.
+    pub fn load(path: &Path) -> Result<TwppArchive, ArchiveError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        TwppArchive::from_bytes(bytes)
+    }
+
+    /// Reads the traces of a single function **directly from a file**:
+    /// reads the header, seeks to the function's region and decodes only
+    /// those bytes. This is the exact experiment of Table 4's column C.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and format errors.
+    pub fn read_function_from_file(
+        path: &Path,
+        func: FuncId,
+    ) -> Result<FunctionRecord, ArchiveError> {
+        let mut f = File::open(path)?;
+        // Fixed header.
+        let mut fixed = [0u8; FIXED_HEADER_LEN];
+        f.read_exact(&mut fixed)?;
+        if fixed[0..4] != MAGIC {
+            return Err(ArchiveError::BadMagic);
+        }
+        let version = read_u32(&fixed[4..8]);
+        if version != VERSION {
+            return Err(ArchiveError::BadVersion(version));
+        }
+        let n_funcs = read_u32(&fixed[8..12]) as usize;
+        let dcg_comp_len = read_u32(&fixed[12..16]) as usize;
+        let names_len = read_u32(&fixed[16..20]) as usize;
+        let mut table_bytes = vec![0u8; n_funcs * TABLE_ENTRY_WORDS * 4];
+        f.read_exact(&mut table_bytes)?;
+        let data_start = FIXED_HEADER_LEN
+            + table_bytes.len()
+            + dcg_comp_len.div_ceil(4) * 4
+            + names_len;
+        for chunk in table_bytes.chunks_exact(TABLE_ENTRY_WORDS * 4) {
+            let e = TableEntry {
+                func: FuncId::from_u32(read_u32(&chunk[0..4])),
+                call_count: read_u32(&chunk[4..8]),
+                n_dicts: read_u32(&chunk[8..12]),
+                n_traces: read_u32(&chunk[12..16]),
+                offset: read_u32(&chunk[16..20]),
+                byte_len: read_u32(&chunk[20..24]),
+            };
+            if e.func == func {
+                f.seek(SeekFrom::Start((data_start + e.offset as usize) as u64))?;
+                let mut region = vec![0u8; e.byte_len as usize];
+                f.read_exact(&mut region)?;
+                return decode_region(e, &region);
+            }
+        }
+        Err(ArchiveError::UnknownFunction(func))
+    }
+}
+
+fn push_u32(bytes: &mut Vec<u8>, w: u32) {
+    bytes.extend_from_slice(&w.to_le_bytes());
+}
+
+fn read_u32(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
+
+type ParsedHeader = (Vec<TableEntry>, Vec<Option<String>>, usize, usize);
+
+fn parse_header(bytes: &[u8]) -> Result<ParsedHeader, ArchiveError> {
+    if bytes.len() < FIXED_HEADER_LEN {
+        return Err(ArchiveError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(ArchiveError::BadMagic);
+    }
+    let version = read_u32(&bytes[4..8]);
+    if version != VERSION {
+        return Err(ArchiveError::BadVersion(version));
+    }
+    let n_funcs = read_u32(&bytes[8..12]) as usize;
+    let dcg_comp_len = read_u32(&bytes[12..16]) as usize;
+    let names_len = read_u32(&bytes[16..20]) as usize;
+    let table_len = n_funcs
+        .checked_mul(TABLE_ENTRY_WORDS * 4)
+        .ok_or(ArchiveError::Truncated)?;
+    let names_start = FIXED_HEADER_LEN
+        .checked_add(table_len)
+        .and_then(|x| x.checked_add(dcg_comp_len.div_ceil(4) * 4))
+        .ok_or(ArchiveError::Truncated)?;
+    let data_start = names_start
+        .checked_add(names_len)
+        .ok_or(ArchiveError::Truncated)?;
+    if data_start > bytes.len() {
+        return Err(ArchiveError::Truncated);
+    }
+    let mut table = Vec::with_capacity(n_funcs);
+    for chunk in
+        bytes[FIXED_HEADER_LEN..FIXED_HEADER_LEN + table_len].chunks_exact(TABLE_ENTRY_WORDS * 4)
+    {
+        table.push(TableEntry {
+            func: FuncId::from_u32(read_u32(&chunk[0..4])),
+            call_count: read_u32(&chunk[4..8]),
+            n_dicts: read_u32(&chunk[8..12]),
+            n_traces: read_u32(&chunk[12..16]),
+            offset: read_u32(&chunk[16..20]),
+            byte_len: read_u32(&chunk[20..24]),
+        });
+    }
+    let names = parse_names(&bytes[names_start..names_start + names_len], n_funcs)?;
+    Ok((table, names, dcg_comp_len, data_start))
+}
+
+/// Parses the length-prefixed name table; an empty blob means unnamed.
+fn parse_names(blob: &[u8], n_funcs: usize) -> Result<Vec<Option<String>>, ArchiveError> {
+    if blob.is_empty() {
+        return Ok(vec![None; n_funcs]);
+    }
+    let mut names = Vec::with_capacity(n_funcs);
+    let mut pos = 0usize;
+    for _ in 0..n_funcs {
+        if pos + 4 > blob.len() {
+            return Err(ArchiveError::Corrupt("name table".into()));
+        }
+        let len = read_u32(&blob[pos..pos + 4]) as usize;
+        pos += 4;
+        if pos + len > blob.len() {
+            return Err(ArchiveError::Corrupt("name table".into()));
+        }
+        let name = std::str::from_utf8(&blob[pos..pos + len])
+            .map_err(|_| ArchiveError::Corrupt("name table utf-8".into()))?;
+        pos += len;
+        names.push(if name.is_empty() {
+            None
+        } else {
+            Some(name.to_owned())
+        });
+    }
+    Ok(names)
+}
+
+/// Encodes one function's region:
+/// dictionaries (`n_chains, (head, len, blocks…)*` each) followed by traces
+/// (`dict_idx` + timestamped words each).
+fn encode_region(fb: &FunctionBlock) -> Vec<u32> {
+    let mut words = Vec::new();
+    for dict in &fb.dicts {
+        words.push(dict.len() as u32);
+        for (head, chain) in dict.iter() {
+            words.push(head.as_u32());
+            words.push(chain.len() as u32);
+            words.extend(chain.iter().map(|b| b.as_u32()));
+        }
+    }
+    for (dict_idx, tt) in &fb.traces {
+        words.push(*dict_idx);
+        words.extend(tt.to_words());
+    }
+    words
+}
+
+fn decode_region(e: TableEntry, region: &[u8]) -> Result<FunctionRecord, ArchiveError> {
+    if !region.len().is_multiple_of(4) {
+        return Err(ArchiveError::Corrupt("region length".into()));
+    }
+    let words: Vec<u32> = region
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let mut pos = 0usize;
+    let take = |pos: &mut usize| -> Result<u32, ArchiveError> {
+        let w = *words.get(*pos).ok_or(ArchiveError::Truncated)?;
+        *pos += 1;
+        Ok(w)
+    };
+    // Counts come from the (possibly corrupted) header: clamp every
+    // pre-allocation to what the region could actually hold.
+    let cap = |n: usize| n.min(words.len() + 1);
+    let mut dicts = Vec::with_capacity(cap(e.n_dicts as usize));
+    for _ in 0..e.n_dicts {
+        let n_chains = take(&mut pos)?;
+        let mut chains = Vec::with_capacity(cap(n_chains as usize));
+        for _ in 0..n_chains {
+            let head = take(&mut pos)?;
+            let len = take(&mut pos)? as usize;
+            if len < 2 {
+                return Err(ArchiveError::Corrupt("chain too short".into()));
+            }
+            let mut chain = Vec::with_capacity(cap(len));
+            for _ in 0..len {
+                let b = take(&mut pos)?;
+                if b == 0 {
+                    return Err(ArchiveError::Corrupt("zero block id".into()));
+                }
+                chain.push(BlockId::new(b));
+            }
+            if head == 0 || chain[0].as_u32() != head {
+                return Err(ArchiveError::Corrupt("chain head mismatch".into()));
+            }
+            chains.push(chain);
+        }
+        dicts.push(DbbDictionary::from_chains(chains));
+    }
+    let mut traces = Vec::with_capacity(cap(e.n_traces as usize));
+    for _ in 0..e.n_traces {
+        let dict_idx = take(&mut pos)?;
+        if dict_idx as usize >= dicts.len() {
+            return Err(ArchiveError::Corrupt("dictionary index".into()));
+        }
+        let tt = TimestampedTrace::from_words(&words, &mut pos)?;
+        traces.push((dict_idx, tt));
+    }
+    if pos != words.len() {
+        return Err(ArchiveError::Corrupt("trailing region bytes".into()));
+    }
+    Ok(FunctionRecord {
+        func: e.func,
+        call_count: u64::from(e.call_count),
+        dicts,
+        traces,
+    })
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compact;
+    use twpp_tracer::{RawWpp, WppEvent};
+
+    fn f(i: usize) -> FuncId {
+        FuncId::from_index(i)
+    }
+
+    fn sample_wpp() -> RawWpp {
+        let t1: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 10];
+        let t2: Vec<u32> = vec![1, 2, 7, 8, 9, 6, 10];
+        let calls = [&t1, &t2, &t1, &t1];
+        let mut events = vec![WppEvent::Enter(f(0)), WppEvent::Block(BlockId::new(1))];
+        for t in calls {
+            events.push(WppEvent::Enter(f(1)));
+            for &x in t.iter() {
+                events.push(WppEvent::Block(BlockId::new(x)));
+            }
+            events.push(WppEvent::Exit);
+        }
+        events.push(WppEvent::Block(BlockId::new(2)));
+        events.push(WppEvent::Exit);
+        RawWpp::from_events(&events)
+    }
+
+    #[test]
+    fn archive_round_trip() {
+        let c = compact(&sample_wpp()).unwrap();
+        let a = TwppArchive::from_compacted(&c);
+        let b = TwppArchive::from_bytes(a.as_bytes().to_vec()).unwrap();
+        assert_eq!(b.to_compacted().unwrap(), c);
+        assert_eq!(b.read_dcg().unwrap(), c.dcg);
+    }
+
+    #[test]
+    fn per_function_read_matches_raw_scan() {
+        let wpp = sample_wpp();
+        let c = compact(&wpp).unwrap();
+        let a = TwppArchive::from_compacted(&c);
+        let record = a.read_function(f(1)).unwrap();
+        assert_eq!(record.call_count, 4);
+        // The unique traces recoverable from the archive must equal the
+        // unique traces a full scan finds.
+        let mut scanned: Vec<Vec<BlockId>> = wpp.scan_function(f(1));
+        scanned.dedup();
+        scanned.sort();
+        let mut expanded: Vec<Vec<BlockId>> = record
+            .expanded_traces()
+            .into_iter()
+            .map(Vec::from)
+            .collect();
+        expanded.sort();
+        scanned.dedup();
+        assert_eq!(expanded, scanned);
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let c = compact(&sample_wpp()).unwrap();
+        let a = TwppArchive::from_compacted(&c);
+        assert!(matches!(
+            a.read_function(f(7)),
+            Err(ArchiveError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn layout_orders_most_called_first() {
+        let c = compact(&sample_wpp()).unwrap();
+        let a = TwppArchive::from_compacted(&c);
+        assert_eq!(a.function_ids(), vec![f(1), f(0)]);
+        assert_eq!(a.call_count(f(1)), Some(4));
+        assert_eq!(a.call_count(f(9)), None);
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected_not_panicking() {
+        let c = compact(&sample_wpp()).unwrap();
+        let a = TwppArchive::from_compacted(&c);
+        let bytes = a.as_bytes();
+        assert!(matches!(
+            TwppArchive::from_bytes(b"XXXX123".to_vec()),
+            Err(ArchiveError::BadMagic) | Err(ArchiveError::Truncated)
+        ));
+        // Truncations anywhere must error, not panic.
+        for cut in [4usize, 12, 20, bytes.len() / 2, bytes.len() - 1] {
+            let _ = TwppArchive::from_bytes(bytes[..cut.min(bytes.len())].to_vec());
+        }
+    }
+
+    #[test]
+    fn named_archives_store_and_look_up_names() {
+        let c = compact(&sample_wpp()).unwrap();
+        let mut names = HashMap::new();
+        names.insert(f(0), "main".to_owned());
+        names.insert(f(1), "helper".to_owned());
+        let a = TwppArchive::from_compacted_named(&c, &names);
+        assert_eq!(a.function_name(f(0)), Some("main"));
+        assert_eq!(a.function_name(f(1)), Some("helper"));
+        assert_eq!(a.function_by_name("helper"), Some(f(1)));
+        assert_eq!(a.function_by_name("nope"), None);
+        // Names survive the byte round trip.
+        let b = TwppArchive::from_bytes(a.as_bytes().to_vec()).unwrap();
+        assert_eq!(b.function_name(f(1)), Some("helper"));
+        assert_eq!(b.to_compacted().unwrap(), c);
+        // Unnamed archives answer None.
+        let plain = TwppArchive::from_compacted(&c);
+        assert_eq!(plain.function_name(f(0)), None);
+        // Partial name maps leave the rest unnamed.
+        let mut partial = HashMap::new();
+        partial.insert(f(1), "only".to_owned());
+        let a = TwppArchive::from_compacted_named(&c, &partial);
+        assert_eq!(a.function_name(f(0)), None);
+        assert_eq!(a.function_name(f(1)), Some("only"));
+    }
+
+    #[test]
+    fn file_round_trip_and_seek_read() {
+        let dir = std::env::temp_dir().join("twpp-archive-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.twpa");
+        let c = compact(&sample_wpp()).unwrap();
+        let a = TwppArchive::from_compacted(&c);
+        a.save(&path).unwrap();
+
+        let loaded = TwppArchive::load(&path).unwrap();
+        assert_eq!(loaded.to_compacted().unwrap(), c);
+
+        let record = TwppArchive::read_function_from_file(&path, f(1)).unwrap();
+        assert_eq!(record, a.read_function(f(1)).unwrap());
+        assert!(TwppArchive::read_function_from_file(&path, f(9)).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

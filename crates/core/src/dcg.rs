@@ -1,0 +1,265 @@
+//! The dynamic call graph (DCG): the activation tree that links per-call
+//! path traces back into a complete WPP.
+
+use std::fmt;
+
+use twpp_ir::FuncId;
+
+/// Index of a node in a [`Dcg`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DcgNodeId(u32);
+
+impl DcgNodeId {
+    /// Creates a node id from a dense index.
+    pub fn from_index(index: usize) -> DcgNodeId {
+        DcgNodeId(u32::try_from(index).expect("DCG node index exceeds u32"))
+    }
+
+    /// Returns the dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DcgNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One activation in the dynamic call graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DcgNode {
+    /// The activated function.
+    pub func: FuncId,
+    /// Index of this activation's path trace within the per-function trace
+    /// list (after redundancy elimination, several nodes share an index).
+    pub trace_idx: u32,
+    /// Position of the call within the parent's *uncompacted* path trace:
+    /// the number of parent block events emitted before this call. This is
+    /// what lets the original interleaved WPP be reconstructed exactly.
+    pub offset_in_parent: u32,
+    /// Child activations, in call order.
+    pub children: Vec<DcgNodeId>,
+}
+
+/// The dynamic call graph: a tree of activations rooted at the `main`
+/// activation. Together with the per-function path traces it losslessly
+/// represents the whole program path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dcg {
+    nodes: Vec<DcgNode>,
+}
+
+impl Dcg {
+    pub(crate) fn from_nodes(nodes: Vec<DcgNode>) -> Dcg {
+        Dcg { nodes }
+    }
+
+    /// The root activation (the run of `main`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DCG is empty; partitioning a non-empty WPP always
+    /// produces a root.
+    pub fn root(&self) -> DcgNodeId {
+        assert!(!self.nodes.is_empty(), "empty DCG has no root");
+        DcgNodeId(0)
+    }
+
+    /// Number of activations.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: DcgNodeId) -> &DcgNode {
+        &self.nodes[id.index()]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: DcgNodeId) -> &mut DcgNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates over `(id, node)` pairs in creation (pre-order) order.
+    pub fn iter(&self) -> impl Iterator<Item = (DcgNodeId, &DcgNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (DcgNodeId::from_index(i), n))
+    }
+
+    /// Number of activations of each function, as `(func, count)` pairs in
+    /// first-activation order.
+    pub fn call_counts(&self) -> Vec<(FuncId, u64)> {
+        let mut order: Vec<FuncId> = Vec::new();
+        let mut counts: std::collections::HashMap<FuncId, u64> = std::collections::HashMap::new();
+        for n in &self.nodes {
+            let e = counts.entry(n.func).or_insert(0);
+            if *e == 0 {
+                order.push(n.func);
+            }
+            *e += 1;
+        }
+        order.into_iter().map(|f| (f, counts[&f])).collect()
+    }
+
+    /// Serializes the tree as a flat `u32` stream in pre-order:
+    /// `[func, trace_idx, offset_in_parent, child_count]` per node. This is
+    /// the raw DCG form whose size Table 3 compresses with LZW.
+    pub fn to_words(&self) -> Vec<u32> {
+        let mut words = Vec::with_capacity(self.nodes.len() * 4);
+        if self.nodes.is_empty() {
+            return words;
+        }
+        self.serialize_node(DcgNodeId(0), &mut words);
+        words
+    }
+
+    fn serialize_node(&self, id: DcgNodeId, words: &mut Vec<u32>) {
+        // Iterative pre-order to survive deep recursion chains.
+        let mut stack = vec![id];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            words.push(n.func.as_u32());
+            words.push(n.trace_idx);
+            words.push(n.offset_in_parent);
+            words.push(u32::try_from(n.children.len()).expect("child count exceeds u32"));
+            for &c in n.children.iter().rev() {
+                stack.push(c);
+            }
+        }
+    }
+
+    /// Reconstructs a DCG from its [`Dcg::to_words`] stream.
+    ///
+    /// Returns `None` if the stream is malformed (truncated or with extra
+    /// trailing words).
+    pub fn from_words(words: &[u32]) -> Option<Dcg> {
+        if words.is_empty() {
+            return Some(Dcg { nodes: Vec::new() });
+        }
+        let mut nodes: Vec<DcgNode> = Vec::new();
+        let mut pos = 0usize;
+        // Stack of (node index, children still expected).
+        let mut stack: Vec<(usize, u32)> = Vec::new();
+        loop {
+            if pos + 4 > words.len() {
+                return None;
+            }
+            let func = FuncId::from_u32(words[pos]);
+            let trace_idx = words[pos + 1];
+            let offset_in_parent = words[pos + 2];
+            let child_count = words[pos + 3];
+            pos += 4;
+            let idx = nodes.len();
+            nodes.push(DcgNode {
+                func,
+                trace_idx,
+                offset_in_parent,
+                // child_count is untrusted: clamp the pre-allocation.
+                children: Vec::with_capacity((child_count as usize).min(words.len())),
+            });
+            if let Some(&mut (parent, ref mut remaining)) = stack.last_mut() {
+                nodes[parent].children.push(DcgNodeId::from_index(idx));
+                *remaining -= 1;
+            } else if idx != 0 {
+                return None; // multiple roots
+            }
+            if child_count > 0 {
+                stack.push((idx, child_count));
+            }
+            while matches!(stack.last(), Some(&(_, 0))) {
+                stack.pop();
+            }
+            if stack.is_empty() {
+                break;
+            }
+        }
+        if pos != words.len() {
+            return None;
+        }
+        Some(Dcg { nodes })
+    }
+
+    /// Size in bytes of the raw serialized DCG.
+    pub fn byte_size(&self) -> usize {
+        self.nodes.len() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dcg {
+        // main calls f twice; the second f calls g.
+        let f0 = FuncId::from_index(0);
+        let f1 = FuncId::from_index(1);
+        let f2 = FuncId::from_index(2);
+        Dcg::from_nodes(vec![
+            DcgNode {
+                func: f0,
+                trace_idx: 0,
+                offset_in_parent: 0,
+                children: vec![DcgNodeId(1), DcgNodeId(2)],
+            },
+            DcgNode {
+                func: f1,
+                trace_idx: 0,
+                offset_in_parent: 2,
+                children: vec![],
+            },
+            DcgNode {
+                func: f1,
+                trace_idx: 1,
+                offset_in_parent: 4,
+                children: vec![DcgNodeId(3)],
+            },
+            DcgNode {
+                func: f2,
+                trace_idx: 0,
+                offset_in_parent: 1,
+                children: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let dcg = sample();
+        let words = dcg.to_words();
+        assert_eq!(words.len(), 16);
+        assert_eq!(Dcg::from_words(&words), Some(dcg));
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        let dcg = sample();
+        let mut words = dcg.to_words();
+        words.pop();
+        assert_eq!(Dcg::from_words(&words), None);
+        let mut extra = dcg.to_words();
+        extra.extend_from_slice(&[0, 0, 0, 0]);
+        assert_eq!(Dcg::from_words(&extra), None);
+    }
+
+    #[test]
+    fn call_counts_in_first_seen_order() {
+        let dcg = sample();
+        let counts = dcg.call_counts();
+        assert_eq!(counts[0], (FuncId::from_index(0), 1));
+        assert_eq!(counts[1], (FuncId::from_index(1), 2));
+        assert_eq!(counts[2], (FuncId::from_index(2), 1));
+    }
+
+    #[test]
+    fn empty_dcg_round_trips() {
+        assert_eq!(Dcg::from_words(&[]), Some(Dcg::from_nodes(Vec::new())));
+    }
+
+    #[test]
+    fn byte_size_counts_four_words_per_node() {
+        assert_eq!(sample().byte_size(), 64);
+    }
+}

@@ -1,0 +1,161 @@
+//! Redundant path trace elimination — the second transformation of the
+//! paper (Figure 2 → Figure 3).
+//!
+//! Different calls to the same function usually follow one of a small set
+//! of paths: in the paper's `gcc` run, `_rtx_equal_p` was called 355,189
+//! times but produced only 35 unique path traces. Collapsing duplicates
+//! shrank the WPP traces by factors of 5.66–9.5 in the paper's experiments.
+
+use std::collections::{BTreeMap, HashMap};
+
+use twpp_ir::FuncId;
+
+use crate::partition::PartitionedWpp;
+use crate::trace::PathTrace;
+
+/// Per-function statistics produced by redundancy elimination; the raw data
+/// behind Figure 8 of the paper.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RedundancyStats {
+    /// For each function: (number of calls, number of unique path traces).
+    pub per_func: BTreeMap<FuncId, (u64, u64)>,
+}
+
+impl RedundancyStats {
+    /// Total number of calls across all functions.
+    pub fn total_calls(&self) -> u64 {
+        self.per_func.values().map(|&(calls, _)| calls).sum()
+    }
+
+    /// Percentage of all calls attributable to functions with at most
+    /// `max_unique` unique path traces — one point of Figure 8's curves.
+    pub fn percent_calls_with_at_most(&self, max_unique: u64) -> f64 {
+        let total = self.total_calls();
+        if total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self
+            .per_func
+            .values()
+            .filter(|&&(_, unique)| unique <= max_unique)
+            .map(|&(calls, _)| calls)
+            .sum();
+        covered as f64 * 100.0 / total as f64
+    }
+
+    /// The full cumulative curve of Figure 8: `(N, % of calls)` points for
+    /// `N = 1..=max_n`.
+    pub fn redundancy_cdf(&self, max_n: u64) -> Vec<(u64, f64)> {
+        (1..=max_n)
+            .map(|n| (n, self.percent_calls_with_at_most(n)))
+            .collect()
+    }
+}
+
+/// Eliminates duplicate path traces in place, remapping the DCG's trace
+/// indices onto the surviving unique traces (first-seen order is kept).
+///
+/// Returns per-function call/unique-trace counts.
+pub fn eliminate_redundancy(part: &mut PartitionedWpp) -> RedundancyStats {
+    // Unique traces per function, in first-seen order.
+    let mut unique: BTreeMap<FuncId, Vec<PathTrace>> = BTreeMap::new();
+    // Old trace index -> new trace index, per function.
+    let mut remap: HashMap<FuncId, Vec<u32>> = HashMap::new();
+    let mut per_func: BTreeMap<FuncId, (u64, u64)> = BTreeMap::new();
+
+    for (&func, traces) in &part.traces {
+        let mut seen: HashMap<&PathTrace, u32> = HashMap::new();
+        let mut keep: Vec<PathTrace> = Vec::new();
+        let mut map = Vec::with_capacity(traces.len());
+        for trace in traces {
+            let next = u32::try_from(keep.len()).expect("trace count exceeds u32");
+            let idx = *seen.entry(trace).or_insert(next);
+            if idx == next {
+                keep.push(trace.clone());
+            }
+            map.push(idx);
+        }
+        per_func.insert(func, (traces.len() as u64, keep.len() as u64));
+        unique.insert(func, keep);
+        remap.insert(func, map);
+    }
+
+    for i in 0..part.dcg.node_count() {
+        let id = crate::dcg::DcgNodeId::from_index(i);
+        let node = part.dcg.node(id);
+        let new_idx = remap[&node.func][node.trace_idx as usize];
+        part.dcg.node_mut(id).trace_idx = new_idx;
+    }
+    part.traces = unique;
+    RedundancyStats { per_func }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+    use twpp_ir::BlockId;
+    use twpp_tracer::{RawWpp, WppEvent};
+
+    fn f(i: usize) -> FuncId {
+        FuncId::from_index(i)
+    }
+
+    fn wpp_with_repeated_calls() -> RawWpp {
+        // main calls f four times with traces A, B, A, A.
+        let a: &[u32] = &[1, 2, 4];
+        let b: &[u32] = &[1, 3, 4];
+        let mut events = vec![WppEvent::Enter(f(0)), WppEvent::Block(BlockId::new(1))];
+        for t in [a, b, a, a] {
+            events.push(WppEvent::Enter(f(1)));
+            for &x in t {
+                events.push(WppEvent::Block(BlockId::new(x)));
+            }
+            events.push(WppEvent::Exit);
+        }
+        events.push(WppEvent::Exit);
+        RawWpp::from_events(&events)
+    }
+
+    #[test]
+    fn duplicates_collapse_and_dcg_remaps() {
+        let mut part = partition(&wpp_with_repeated_calls()).unwrap();
+        let before = part.trace_bytes();
+        let stats = eliminate_redundancy(&mut part);
+        assert_eq!(part.traces[&f(1)].len(), 2);
+        assert_eq!(stats.per_func[&f(1)], (4, 2));
+        assert!(part.trace_bytes() < before);
+        // Nodes for calls 1, 3, 4 share trace index 0; call 2 has index 1.
+        let root = part.dcg.root();
+        let children: Vec<u32> = part
+            .dcg
+            .node(root)
+            .children
+            .iter()
+            .map(|&c| part.dcg.node(c).trace_idx)
+            .collect();
+        assert_eq!(children, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn reconstruction_still_lossless_after_dedup() {
+        let wpp = wpp_with_repeated_calls();
+        let mut part = partition(&wpp).unwrap();
+        eliminate_redundancy(&mut part);
+        assert_eq!(part.reconstruct(), wpp);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_100() {
+        let mut part = partition(&wpp_with_repeated_calls()).unwrap();
+        let stats = eliminate_redundancy(&mut part);
+        let cdf = stats.redundancy_cdf(5);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 100.0).abs() < 1e-9);
+        // f(0) has 1 call with 1 unique trace; f(1) has 4 calls, 2 uniques.
+        assert!((stats.percent_calls_with_at_most(1) - 20.0).abs() < 1e-9);
+        assert!((stats.percent_calls_with_at_most(2) - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,318 @@
+//! LZW compression (Welch's variation of the Ziv–Lempel adaptive dictionary
+//! scheme), used by the paper to compress the dynamic call graph.
+//!
+//! Variable-width codes from 9 up to [`MAX_CODE_BITS`] bits; when the
+//! dictionary fills, a clear code resets it, so arbitrarily long inputs
+//! stay adaptive. The format is self-contained: the decoder rebuilds the
+//! dictionary from the code stream alone.
+
+use std::error::Error;
+use std::fmt;
+
+/// Maximum code width in bits.
+pub const MAX_CODE_BITS: u32 = 16;
+
+const CLEAR_CODE: u32 = 256;
+const FIRST_CODE: u32 = 257;
+
+/// Errors produced while decompressing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum LzwError {
+    /// A code referenced a dictionary entry that does not exist yet.
+    BadCode(u32),
+    /// The bit stream ended inside a code.
+    Truncated,
+}
+
+impl fmt::Display for LzwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LzwError::BadCode(c) => write!(f, "invalid LZW code {c}"),
+            LzwError::Truncated => f.write_str("truncated LZW stream"),
+        }
+    }
+}
+
+impl Error for LzwError {}
+
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit_pos: u32,
+}
+
+impl BitWriter {
+    fn new() -> BitWriter {
+        BitWriter {
+            bytes: Vec::new(),
+            bit_pos: 0,
+        }
+    }
+
+    fn write(&mut self, value: u32, bits: u32) {
+        for i in 0..bits {
+            let bit = (value >> i) & 1;
+            if self.bit_pos.is_multiple_of(8) {
+                self.bytes.push(0);
+            }
+            if bit != 0 {
+                *self.bytes.last_mut().expect("pushed above") |= 1 << (self.bit_pos % 8);
+            }
+            self.bit_pos += 1;
+        }
+    }
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, bit_pos: 0 }
+    }
+
+    fn read(&mut self, bits: u32) -> Option<u32> {
+        if self.bit_pos + bits as usize > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut value = 0u32;
+        for i in 0..bits {
+            let byte = self.bytes[self.bit_pos / 8];
+            let bit = (byte >> (self.bit_pos % 8)) & 1;
+            value |= u32::from(bit) << i;
+            self.bit_pos += 1;
+        }
+        Some(value)
+    }
+
+    /// Remaining bits, all of which must be padding zeroes at end of stream.
+    fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.bit_pos
+    }
+}
+
+/// Compresses `input` with LZW.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    if input.is_empty() {
+        return writer.bytes;
+    }
+    // Dictionary: maps (prefix code, next byte) -> code. A hash map keyed
+    // on the pair keeps insertion O(1).
+    let mut dict: std::collections::HashMap<(u32, u8), u32> = std::collections::HashMap::new();
+    let mut next_code = FIRST_CODE;
+    let mut code_bits = 9u32;
+    let mut current = u32::from(input[0]);
+    for &byte in &input[1..] {
+        match dict.get(&(current, byte)) {
+            Some(&code) => current = code,
+            None => {
+                writer.write(current, code_bits);
+                dict.insert((current, byte), next_code);
+                next_code += 1;
+                if next_code > (1 << code_bits) && code_bits < MAX_CODE_BITS {
+                    code_bits += 1;
+                }
+                if next_code == (1 << MAX_CODE_BITS) {
+                    writer.write(CLEAR_CODE, code_bits);
+                    dict.clear();
+                    next_code = FIRST_CODE;
+                    code_bits = 9;
+                }
+                current = u32::from(byte);
+            }
+        }
+    }
+    writer.write(current, code_bits);
+    writer.bytes
+}
+
+/// Decompresses an LZW stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns an [`LzwError`] if the stream is truncated or references
+/// impossible codes.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzwError> {
+    let mut reader = BitReader::new(input);
+    let mut output = Vec::new();
+    if input.is_empty() {
+        return Ok(output);
+    }
+    // Dictionary: code -> (prefix code or NONE, final byte). Entries 0..256
+    // are implicit single bytes.
+    const NONE: u32 = u32::MAX;
+    let mut dict: Vec<(u32, u8)> = Vec::new();
+    let mut code_bits = 9u32;
+    let mut prev: Option<u32> = None;
+
+    let first_byte_of = |dict: &[(u32, u8)], mut code: u32| -> Result<u8, LzwError> {
+        loop {
+            if code < 256 {
+                return Ok(code as u8);
+            }
+            let idx = (code - FIRST_CODE) as usize;
+            let &(prefix, _) = dict.get(idx).ok_or(LzwError::BadCode(code))?;
+            if prefix == NONE {
+                return Err(LzwError::BadCode(code));
+            }
+            code = prefix;
+        }
+    };
+    let expand = |dict: &[(u32, u8)], mut code: u32, out: &mut Vec<u8>| -> Result<(), LzwError> {
+        let start = out.len();
+        loop {
+            if code < 256 {
+                out.push(code as u8);
+                break;
+            }
+            let idx = (code - FIRST_CODE) as usize;
+            let &(prefix, byte) = dict.get(idx).ok_or(LzwError::BadCode(code))?;
+            out.push(byte);
+            if prefix == NONE {
+                return Err(LzwError::BadCode(code));
+            }
+            code = prefix;
+        }
+        out[start..].reverse();
+        Ok(())
+    };
+
+    loop {
+        if reader.remaining_bits() < code_bits as usize {
+            // Any leftover bits must be zero padding.
+            return Ok(output);
+        }
+        let code = reader.read(code_bits).ok_or(LzwError::Truncated)?;
+        if code == CLEAR_CODE {
+            dict.clear();
+            code_bits = 9;
+            prev = None;
+            continue;
+        }
+        let next_code = FIRST_CODE + dict.len() as u32;
+        match prev {
+            None => {
+                if code >= 256 {
+                    return Err(LzwError::BadCode(code));
+                }
+                output.push(code as u8);
+            }
+            Some(p) => {
+                if code < next_code {
+                    // Known code: emit it, then record p + first(code).
+                    let first = first_byte_of(&dict, code)?;
+                    expand(&dict, code, &mut output)?;
+                    dict.push((p, first));
+                } else if code == next_code {
+                    // The classic KwKwK case.
+                    let first = first_byte_of(&dict, p)?;
+                    dict.push((p, first));
+                    expand(&dict, code, &mut output)?;
+                } else {
+                    return Err(LzwError::BadCode(code));
+                }
+                let defined = FIRST_CODE + dict.len() as u32;
+                if defined + 1 > (1 << code_bits) && code_bits < MAX_CODE_BITS {
+                    code_bits += 1;
+                }
+                if defined == (1 << MAX_CODE_BITS) {
+                    // Encoder emitted a clear code right after this point.
+                    // It is read on the next iteration.
+                }
+            }
+        }
+        prev = Some(code);
+    }
+}
+
+/// Convenience: compressed size of `input` in bytes.
+pub fn compressed_size(input: &[u8]) -> usize {
+    compress(input).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data, "round trip failed for {} bytes", data.len());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"aaa");
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let data: Vec<u8> = b"abcabcabcabc".iter().copied().cycle().take(10_000).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "{} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn kwkwk_case() {
+        // "abababab..." exercises the code == next_code path.
+        let data: Vec<u8> = std::iter::repeat_n([b'a', b'b'], 500)
+            .flatten()
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(5_000).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_input_with_dictionary_reset() {
+        // Enough distinct digrams to overflow the 16-bit dictionary.
+        let mut data = Vec::new();
+        let mut x: u32 = 12345;
+        for _ in 0..600_000 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            data.push((x >> 16) as u8);
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected_or_prefix() {
+        let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog"
+            .iter()
+            .copied()
+            .cycle()
+            .take(2_000)
+            .collect();
+        let c = compress(&data);
+        // Cutting the stream must never panic; it either errors or yields a
+        // prefix of the original.
+        for cut in 0..c.len() {
+            if let Ok(d) = decompress(&c[..cut]) { assert!(data.starts_with(&d)) }
+        }
+    }
+
+    #[test]
+    fn structured_words_compress_like_a_dcg() {
+        // A DCG serialization is a u32 stream with heavy repetition; check
+        // LZW gets a real factor on that shape.
+        let mut words: Vec<u32> = Vec::new();
+        for i in 0..20_000u32 {
+            words.extend_from_slice(&[i % 7, i % 3, 2, 0]);
+        }
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let c = compress(&bytes);
+        assert!(c.len() * 5 < bytes.len());
+        assert_eq!(decompress(&c).unwrap(), bytes);
+    }
+}

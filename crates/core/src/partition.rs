@@ -1,0 +1,321 @@
+//! Partitioning a WPP into per-call path traces linked by the dynamic call
+//! graph — the first transformation of the paper (Figure 1 → Figure 2) —
+//! and the inverse reconstruction.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use twpp_ir::FuncId;
+use twpp_tracer::{RawWpp, WppEvent};
+
+use crate::dcg::{Dcg, DcgNode, DcgNodeId};
+use crate::trace::PathTrace;
+
+/// Errors produced while partitioning a malformed event stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// A block or exit event occurred outside any activation.
+    EventOutsideActivation,
+    /// The stream contains more than one top-level activation.
+    MultipleRoots,
+    /// The stream is empty.
+    Empty,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::EventOutsideActivation => {
+                f.write_str("block or exit event outside any activation")
+            }
+            PartitionError::MultipleRoots => f.write_str("WPP has multiple top-level activations"),
+            PartitionError::Empty => f.write_str("WPP stream is empty"),
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+/// A WPP partitioned into per-function path traces plus the linking DCG
+/// (the paper's Figure 2 form). Before redundancy elimination every
+/// activation owns its own trace; [`crate::dedup::eliminate_redundancy`]
+/// collapses duplicates in place.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PartitionedWpp {
+    /// The dynamic call graph.
+    pub dcg: Dcg,
+    /// Path traces per function; `Dcg` nodes carry indices into these lists.
+    pub traces: BTreeMap<FuncId, Vec<PathTrace>>,
+}
+
+impl PartitionedWpp {
+    /// Total byte size of all stored path traces (4 bytes per block id).
+    pub fn trace_bytes(&self) -> usize {
+        self.traces
+            .values()
+            .flat_map(|ts| ts.iter())
+            .map(PathTrace::byte_size)
+            .sum()
+    }
+
+    /// The path trace of a given activation.
+    pub fn trace_of(&self, node: DcgNodeId) -> &PathTrace {
+        let n = self.dcg.node(node);
+        &self.traces[&n.func][n.trace_idx as usize]
+    }
+
+    /// Reconstructs the original interleaved WPP event stream — the inverse
+    /// of [`partition`], used to prove the representation is lossless.
+    pub fn reconstruct(&self) -> RawWpp {
+        let mut events = Vec::new();
+        if self.dcg.node_count() > 0 {
+            self.emit(self.dcg.root(), &mut events);
+        }
+        RawWpp::from_events(&events)
+    }
+
+    fn emit(&self, node_id: DcgNodeId, events: &mut Vec<WppEvent>) {
+        // An explicit stack avoids overflowing on deep activation chains.
+        // Each frame tracks how many blocks and children have been emitted.
+        struct Frame {
+            node: DcgNodeId,
+            block_pos: usize,
+            child_pos: usize,
+        }
+        let mut stack = vec![Frame {
+            node: node_id,
+            block_pos: 0,
+            child_pos: 0,
+        }];
+        events.push(WppEvent::Enter(self.dcg.node(node_id).func));
+        while let Some(frame) = stack.last_mut() {
+            let node = self.dcg.node(frame.node);
+            let trace = self.trace_of(frame.node);
+            // Emit any child whose call position has been reached.
+            if frame.child_pos < node.children.len() {
+                let child = node.children[frame.child_pos];
+                if self.dcg.node(child).offset_in_parent as usize <= frame.block_pos {
+                    frame.child_pos += 1;
+                    events.push(WppEvent::Enter(self.dcg.node(child).func));
+                    stack.push(Frame {
+                        node: child,
+                        block_pos: 0,
+                        child_pos: 0,
+                    });
+                    continue;
+                }
+            }
+            if frame.block_pos < trace.len() {
+                events.push(WppEvent::Block(trace.blocks()[frame.block_pos]));
+                frame.block_pos += 1;
+            } else {
+                events.push(WppEvent::Exit);
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// Splits a WPP event stream into per-call path traces and the dynamic call
+/// graph (Figure 2 of the paper).
+///
+/// # Errors
+///
+/// Returns a [`PartitionError`] for empty or structurally malformed streams.
+/// Streams that end mid-activation (a truncated execution) are accepted; the
+/// open activations are closed implicitly.
+pub fn partition(wpp: &RawWpp) -> Result<PartitionedWpp, PartitionError> {
+    if wpp.is_empty() {
+        return Err(PartitionError::Empty);
+    }
+    let mut nodes: Vec<DcgNode> = Vec::new();
+    let mut open_traces: Vec<PathTrace> = Vec::new(); // parallel to `stack`
+    let mut stack: Vec<usize> = Vec::new(); // node indices
+    let mut traces: BTreeMap<FuncId, Vec<PathTrace>> = BTreeMap::new();
+    let mut root_seen = false;
+
+    let close_top = |nodes: &mut Vec<DcgNode>,
+                         stack: &mut Vec<usize>,
+                         open_traces: &mut Vec<PathTrace>,
+                         traces: &mut BTreeMap<FuncId, Vec<PathTrace>>| {
+        let idx = stack.pop().expect("close_top requires an open activation");
+        let trace = open_traces.pop().expect("trace stack parallels node stack");
+        let func = nodes[idx].func;
+        let list = traces.entry(func).or_default();
+        nodes[idx].trace_idx = u32::try_from(list.len()).expect("trace count exceeds u32");
+        list.push(trace);
+    };
+
+    for event in wpp.iter() {
+        match event {
+            WppEvent::Enter(func) => {
+                if stack.is_empty() && root_seen {
+                    return Err(PartitionError::MultipleRoots);
+                }
+                root_seen = true;
+                let idx = nodes.len();
+                let offset = match stack.last() {
+                    Some(&parent) => {
+                        let off = u32::try_from(open_traces[stack.len() - 1].len())
+                            .expect("trace length exceeds u32");
+                        nodes[parent].children.push(DcgNodeId::from_index(idx));
+                        off
+                    }
+                    None => 0,
+                };
+                nodes.push(DcgNode {
+                    func,
+                    trace_idx: 0,
+                    offset_in_parent: offset,
+                    children: Vec::new(),
+                });
+                stack.push(idx);
+                open_traces.push(PathTrace::new());
+            }
+            WppEvent::Block(b) => {
+                let top = open_traces
+                    .last_mut()
+                    .ok_or(PartitionError::EventOutsideActivation)?;
+                top.push(b);
+            }
+            WppEvent::Exit => {
+                if stack.is_empty() {
+                    return Err(PartitionError::EventOutsideActivation);
+                }
+                close_top(&mut nodes, &mut stack, &mut open_traces, &mut traces);
+            }
+        }
+    }
+    // Close activations left open by a truncated stream.
+    while !stack.is_empty() {
+        close_top(&mut nodes, &mut stack, &mut open_traces, &mut traces);
+    }
+    Ok(PartitionedWpp {
+        dcg: Dcg::from_nodes(nodes),
+        traces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twpp_ir::BlockId;
+
+    fn f(i: usize) -> FuncId {
+        FuncId::from_index(i)
+    }
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(i)
+    }
+
+    /// The paper's Figure 1 stream: main's loop calls f five times.
+    fn figure1() -> RawWpp {
+        let t1: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 10];
+        let t2: Vec<u32> = vec![1, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 10];
+        let calls = [&t2, &t2, &t1, &t2, &t1];
+        let mut events = vec![WppEvent::Enter(f(0)), WppEvent::Block(b(1))];
+        for t in calls {
+            events.push(WppEvent::Block(b(2)));
+            events.push(WppEvent::Block(b(3)));
+            events.push(WppEvent::Enter(f(1)));
+            for &x in t.iter() {
+                events.push(WppEvent::Block(b(x)));
+            }
+            events.push(WppEvent::Exit);
+            events.push(WppEvent::Block(b(4)));
+        }
+        events.push(WppEvent::Block(b(6)));
+        events.push(WppEvent::Exit);
+        RawWpp::from_events(&events)
+    }
+
+    #[test]
+    fn partitions_figure1_into_six_activations() {
+        let wpp = figure1();
+        let part = partition(&wpp).unwrap();
+        assert_eq!(part.dcg.node_count(), 6);
+        assert_eq!(part.traces[&f(0)].len(), 1);
+        assert_eq!(part.traces[&f(1)].len(), 5);
+        // main's own trace excludes f's blocks.
+        assert_eq!(
+            part.traces[&f(0)][0].to_string(),
+            "1.2.3.4.2.3.4.2.3.4.2.3.4.2.3.4.6"
+        );
+    }
+
+    #[test]
+    fn reconstruction_is_lossless() {
+        let wpp = figure1();
+        let part = partition(&wpp).unwrap();
+        assert_eq!(part.reconstruct(), wpp);
+    }
+
+    #[test]
+    fn empty_stream_is_rejected() {
+        assert_eq!(partition(&RawWpp::new()), Err(PartitionError::Empty));
+    }
+
+    #[test]
+    fn stray_events_are_rejected() {
+        let wpp = RawWpp::from_events(&[WppEvent::Block(b(1))]);
+        assert_eq!(
+            partition(&wpp),
+            Err(PartitionError::EventOutsideActivation)
+        );
+        let wpp = RawWpp::from_events(&[WppEvent::Exit]);
+        assert_eq!(
+            partition(&wpp),
+            Err(PartitionError::EventOutsideActivation)
+        );
+    }
+
+    #[test]
+    fn multiple_roots_are_rejected() {
+        let wpp = RawWpp::from_events(&[
+            WppEvent::Enter(f(0)),
+            WppEvent::Exit,
+            WppEvent::Enter(f(0)),
+            WppEvent::Exit,
+        ]);
+        assert_eq!(partition(&wpp), Err(PartitionError::MultipleRoots));
+    }
+
+    #[test]
+    fn truncated_stream_closes_open_activations() {
+        let wpp = RawWpp::from_events(&[
+            WppEvent::Enter(f(0)),
+            WppEvent::Block(b(1)),
+            WppEvent::Enter(f(1)),
+            WppEvent::Block(b(2)),
+        ]);
+        let part = partition(&wpp).unwrap();
+        assert_eq!(part.dcg.node_count(), 2);
+        assert_eq!(part.traces[&f(1)][0].to_string(), "2");
+        // Reconstruction closes the activations explicitly, so it appends
+        // the two missing exits.
+        let rec = part.reconstruct();
+        assert_eq!(rec.event_count(), wpp.event_count() + 2);
+    }
+
+    #[test]
+    fn call_offsets_record_interleaving() {
+        // main: block 1, call f, block 2.
+        let wpp = RawWpp::from_events(&[
+            WppEvent::Enter(f(0)),
+            WppEvent::Block(b(1)),
+            WppEvent::Enter(f(1)),
+            WppEvent::Block(b(1)),
+            WppEvent::Exit,
+            WppEvent::Block(b(2)),
+            WppEvent::Exit,
+        ]);
+        let part = partition(&wpp).unwrap();
+        let root = part.dcg.root();
+        let child = part.dcg.node(root).children[0];
+        assert_eq!(part.dcg.node(child).offset_in_parent, 1);
+        assert_eq!(part.reconstruct(), wpp);
+    }
+}

@@ -1,0 +1,411 @@
+//! The full compaction pipeline: raw WPP → compacted TWPP, with per-stage
+//! size accounting (the data behind Tables 2 and 3 of the paper).
+
+use std::collections::{BTreeMap, HashMap};
+
+use twpp_ir::FuncId;
+use twpp_tracer::raw::RawSizes;
+use twpp_tracer::RawWpp;
+
+use crate::dbb::{compact_trace, DbbDictionary};
+use crate::dcg::Dcg;
+use crate::dedup::{eliminate_redundancy, RedundancyStats};
+use crate::lzw;
+use crate::partition::{partition, PartitionError, PartitionedWpp};
+use crate::timestamped::TimestampedTrace;
+use crate::trace::PathTrace;
+
+/// The per-function block of a compacted TWPP: every unique path trace of
+/// the function in timestamped form, plus the DBB dictionaries they
+/// reference. All the information about one function sits together, which
+/// is what makes per-function queries fast.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FunctionBlock {
+    /// The function.
+    pub func: FuncId,
+    /// How many times it was called (used to order the archive layout).
+    pub call_count: u64,
+    /// Deduplicated DBB dictionaries.
+    pub dicts: Vec<DbbDictionary>,
+    /// Unique traces in timestamped form, each with the index of its
+    /// dictionary in `dicts`. Order matches the DCG's `trace_idx`.
+    pub traces: Vec<(u32, TimestampedTrace)>,
+}
+
+impl FunctionBlock {
+    /// Serialized size in bytes of the timestamped traces (including each
+    /// trace's dictionary-index word).
+    pub fn trace_bytes(&self) -> usize {
+        self.traces
+            .iter()
+            .map(|(_, tt)| 4 + tt.byte_size())
+            .sum()
+    }
+
+    /// Serialized size in bytes of the dictionaries.
+    pub fn dict_bytes(&self) -> usize {
+        self.dicts.iter().map(|d| 4 + d.byte_size()).sum()
+    }
+
+    /// Expands every trace back to its original (pre-DBB) block sequence.
+    pub fn expanded_traces(&self) -> Vec<PathTrace> {
+        self.traces
+            .iter()
+            .map(|(dict_idx, tt)| {
+                let compacted = tt.to_path_trace();
+                self.dicts[*dict_idx as usize].expand(&compacted)
+            })
+            .collect()
+    }
+}
+
+/// A fully compacted TWPP: the dynamic call graph plus one
+/// [`FunctionBlock`] per function, ordered most-frequently-called first
+/// (the archive layout order of the paper's access-time study).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompactedTwpp {
+    /// The dynamic call graph (trace indices refer into the function
+    /// blocks' trace lists).
+    pub dcg: Dcg,
+    /// Per-function blocks, most-called first.
+    pub functions: Vec<FunctionBlock>,
+}
+
+impl CompactedTwpp {
+    /// The block of `func`, if the function was ever called.
+    pub fn function(&self, func: FuncId) -> Option<&FunctionBlock> {
+        self.functions.iter().find(|fb| fb.func == func)
+    }
+
+    /// How often each unique trace of `func` was executed: the *hot path*
+    /// frequencies of the paper's profile-guided-optimization use case.
+    /// Index `i` counts the activations whose `trace_idx` is `i`; the DCG
+    /// provides the counts.
+    pub fn trace_frequencies(&self, func: FuncId) -> Vec<u64> {
+        let n = self
+            .function(func)
+            .map(|fb| fb.traces.len())
+            .unwrap_or(0);
+        let mut freqs = vec![0u64; n];
+        for (_, node) in self.dcg.iter() {
+            if node.func == func {
+                freqs[node.trace_idx as usize] += 1;
+            }
+        }
+        freqs
+    }
+
+    /// The hottest unique traces of `func`: `(trace index, frequency)`
+    /// pairs sorted most-frequent first.
+    pub fn hot_paths(&self, func: FuncId) -> Vec<(u32, u64)> {
+        let mut pairs: Vec<(u32, u64)> = self
+            .trace_frequencies(func)
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (i as u32, c))
+            .collect();
+        pairs.sort_by_key(|&(i, c)| (std::cmp::Reverse(c), i));
+        pairs
+    }
+
+    /// Reconstructs the original raw WPP event stream — the proof that the
+    /// whole pipeline is lossless.
+    pub fn reconstruct(&self) -> RawWpp {
+        let traces: BTreeMap<FuncId, Vec<PathTrace>> = self
+            .functions
+            .iter()
+            .map(|fb| (fb.func, fb.expanded_traces()))
+            .collect();
+        let part = PartitionedWpp {
+            dcg: self.dcg.clone(),
+            traces,
+        };
+        part.reconstruct()
+    }
+
+    /// Total serialized trace bytes across all functions.
+    pub fn trace_bytes(&self) -> usize {
+        self.functions.iter().map(FunctionBlock::trace_bytes).sum()
+    }
+
+    /// Total serialized dictionary bytes across all functions.
+    pub fn dict_bytes(&self) -> usize {
+        self.functions.iter().map(FunctionBlock::dict_bytes).sum()
+    }
+}
+
+/// Per-stage size accounting for one WPP, in bytes. Produces the rows of
+/// Tables 1–3.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PipelineStats {
+    /// Raw WPP sizes (Table 1): DCG = enter/exit events, traces = block
+    /// events.
+    pub raw: RawSizes,
+    /// Uncompacted per-call path trace bytes (equals `raw.trace_bytes`).
+    pub owpp_trace_bytes: usize,
+    /// Trace bytes after redundant path trace elimination (Table 2 col 1).
+    pub after_dedup_bytes: usize,
+    /// Trace bytes after DBB dictionary creation (Table 2 col 2),
+    /// excluding the dictionaries themselves.
+    pub after_dict_bytes: usize,
+    /// Serialized compacted TWPP trace bytes (Table 2 col 3).
+    pub ctwpp_trace_bytes: usize,
+    /// Serialized DBB dictionary bytes (Table 3).
+    pub dict_bytes: usize,
+    /// Raw serialized DCG bytes.
+    pub dcg_raw_bytes: usize,
+    /// LZW-compressed DCG bytes (Table 3).
+    pub dcg_compressed_bytes: usize,
+    /// Per-function call/unique-trace counts (Figure 8).
+    pub redundancy: RedundancyStats,
+}
+
+impl PipelineStats {
+    /// Compaction factor of redundant path trace elimination.
+    pub fn dedup_factor(&self) -> f64 {
+        ratio(self.owpp_trace_bytes, self.after_dedup_bytes)
+    }
+
+    /// Compaction factor of DBB dictionary creation.
+    pub fn dict_factor(&self) -> f64 {
+        ratio(self.after_dedup_bytes, self.after_dict_bytes)
+    }
+
+    /// Compaction factor of the TWPP transformation (can be below 1, as for
+    /// `099.go` in the paper).
+    pub fn twpp_factor(&self) -> f64 {
+        ratio(self.after_dict_bytes, self.ctwpp_trace_bytes)
+    }
+
+    /// OWPP/CTWPP trace-only compression factor (Table 2's last column).
+    pub fn trace_factor(&self) -> f64 {
+        ratio(self.owpp_trace_bytes, self.ctwpp_trace_bytes)
+    }
+
+    /// Total compacted size: DCG + traces + dictionaries (Table 3).
+    pub fn total_compacted_bytes(&self) -> usize {
+        self.dcg_compressed_bytes + self.ctwpp_trace_bytes + self.dict_bytes
+    }
+
+    /// Overall compaction factor (Table 3's last column; 7–64 in the
+    /// paper).
+    pub fn overall_factor(&self) -> f64 {
+        ratio(self.raw.total(), self.total_compacted_bytes())
+    }
+}
+
+fn ratio(a: usize, b: usize) -> f64 {
+    if b == 0 {
+        f64::INFINITY
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Runs the full compaction pipeline.
+///
+/// # Errors
+///
+/// Returns a [`PartitionError`] if the event stream is malformed.
+pub fn compact(wpp: &RawWpp) -> Result<CompactedTwpp, PartitionError> {
+    compact_with_stats(wpp).map(|(c, _)| c)
+}
+
+/// Runs the full compaction pipeline, also returning per-stage statistics.
+///
+/// # Errors
+///
+/// Returns a [`PartitionError`] if the event stream is malformed.
+pub fn compact_with_stats(wpp: &RawWpp) -> Result<(CompactedTwpp, PipelineStats), PartitionError> {
+    let raw = wpp.size_breakdown();
+
+    // Stage 1: partition into path traces + DCG.
+    let mut part = partition(wpp)?;
+    let owpp_trace_bytes = part.trace_bytes();
+
+    // Stage 2: redundant path trace elimination.
+    let redundancy = eliminate_redundancy(&mut part);
+    let after_dedup_bytes = part.trace_bytes();
+
+    // Stage 3 + 4: DBB dictionaries, then the TWPP inversion, per function.
+    let call_counts: HashMap<FuncId, u64> = part.dcg.call_counts().into_iter().collect();
+    let mut after_dict_bytes = 0usize;
+    let mut functions: Vec<FunctionBlock> = Vec::with_capacity(part.traces.len());
+    for (&func, traces) in &part.traces {
+        let mut dicts: Vec<DbbDictionary> = Vec::new();
+        let mut dict_index: HashMap<Vec<u8>, u32> = HashMap::new();
+        let mut tts: Vec<(u32, TimestampedTrace)> = Vec::with_capacity(traces.len());
+        for trace in traces {
+            let compacted = compact_trace(trace);
+            after_dict_bytes += compacted.trace.byte_size();
+            // Deduplicate identical dictionaries via their debug-stable key.
+            let key = dict_key(&compacted.dictionary);
+            let next = u32::try_from(dicts.len()).expect("dict count exceeds u32");
+            let idx = *dict_index.entry(key).or_insert(next);
+            if idx == next {
+                dicts.push(compacted.dictionary);
+            }
+            tts.push((idx, TimestampedTrace::from_path_trace(&compacted.trace)));
+        }
+        functions.push(FunctionBlock {
+            func,
+            call_count: call_counts.get(&func).copied().unwrap_or(0),
+            dicts,
+            traces: tts,
+        });
+    }
+    // Most frequently called functions first (ties broken by id for
+    // determinism).
+    functions.sort_by(|a, b| {
+        b.call_count
+            .cmp(&a.call_count)
+            .then(a.func.cmp(&b.func))
+    });
+
+    // Stage 5: DCG compression.
+    let dcg_words = part.dcg.to_words();
+    let dcg_bytes: Vec<u8> = dcg_words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let dcg_compressed_bytes = lzw::compressed_size(&dcg_bytes);
+
+    let compacted = CompactedTwpp {
+        dcg: part.dcg,
+        functions,
+    };
+    let stats = PipelineStats {
+        raw,
+        owpp_trace_bytes,
+        after_dedup_bytes,
+        after_dict_bytes,
+        ctwpp_trace_bytes: compacted.trace_bytes(),
+        dict_bytes: compacted.dict_bytes(),
+        dcg_raw_bytes: dcg_bytes.len(),
+        dcg_compressed_bytes,
+        redundancy,
+    };
+    Ok((compacted, stats))
+}
+
+/// A canonical byte key for dictionary deduplication.
+fn dict_key(dict: &DbbDictionary) -> Vec<u8> {
+    let mut key = Vec::new();
+    for (head, chain) in dict.iter() {
+        key.extend_from_slice(&head.as_u32().to_le_bytes());
+        key.extend_from_slice(&(chain.len() as u32).to_le_bytes());
+        for b in chain {
+            key.extend_from_slice(&b.as_u32().to_le_bytes());
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twpp_ir::BlockId;
+    use twpp_tracer::WppEvent;
+
+    fn f(i: usize) -> FuncId {
+        FuncId::from_index(i)
+    }
+
+    /// The paper's running example (Figures 1-7): main's loop calls f five
+    /// times; f loops three times per call over one of two paths.
+    fn figure1() -> RawWpp {
+        let t1: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 2, 3, 4, 5, 6, 10];
+        let t2: Vec<u32> = vec![1, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 10];
+        let calls = [&t2, &t2, &t1, &t2, &t1];
+        let mut events = vec![WppEvent::Enter(f(0)), WppEvent::Block(BlockId::new(1))];
+        for t in calls {
+            events.push(WppEvent::Block(BlockId::new(2)));
+            events.push(WppEvent::Block(BlockId::new(3)));
+            events.push(WppEvent::Enter(f(1)));
+            for &x in t.iter() {
+                events.push(WppEvent::Block(BlockId::new(x)));
+            }
+            events.push(WppEvent::Exit);
+            events.push(WppEvent::Block(BlockId::new(4)));
+        }
+        events.push(WppEvent::Block(BlockId::new(6)));
+        events.push(WppEvent::Exit);
+        RawWpp::from_events(&events)
+    }
+
+    #[test]
+    fn figures_1_through_7_pipeline() {
+        let wpp = figure1();
+        let (c, stats) = compact_with_stats(&wpp).unwrap();
+
+        // Figure 3: redundancy removal leaves 2 unique traces for f.
+        assert_eq!(stats.redundancy.per_func[&f(1)], (5, 2));
+        assert!(stats.dedup_factor() > 1.0);
+
+        // Figure 5: each of f's traces compacts against a DBB dictionary.
+        let fb = c.function(f(1)).unwrap();
+        assert_eq!(fb.traces.len(), 2);
+        // Each unique trace 1.(2..6)^3.10 becomes 1.2.2.2.10 -> 5 positions.
+        for (_, tt) in &fb.traces {
+            assert_eq!(tt.len(), 5);
+        }
+
+        // Figure 7: timestamps of the repeated DBB form one series.
+        let (_, tt) = &fb.traces[0];
+        let ts = tt.ts_of(BlockId::new(2)).unwrap();
+        assert_eq!(ts.to_string(), "{2:4}");
+        assert_eq!(ts.to_wire(), vec![2, -4]);
+
+        // The pipeline is lossless end to end.
+        assert_eq!(c.reconstruct(), wpp);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let (c, stats) = compact_with_stats(&figure1()).unwrap();
+        assert_eq!(stats.owpp_trace_bytes, stats.raw.trace_bytes);
+        assert!(stats.after_dedup_bytes <= stats.owpp_trace_bytes);
+        assert!(stats.after_dict_bytes <= stats.after_dedup_bytes);
+        assert_eq!(stats.ctwpp_trace_bytes, c.trace_bytes());
+        assert_eq!(stats.dict_bytes, c.dict_bytes());
+        assert!(stats.total_compacted_bytes() > 0);
+        assert!(stats.overall_factor() > 0.0);
+    }
+
+    #[test]
+    fn hot_paths_rank_unique_traces_by_frequency() {
+        let (c, _) = compact_with_stats(&figure1()).unwrap();
+        // f's calls follow trace pattern B,B,A,B,A: the B-trace (stored
+        // first) is hotter.
+        let freqs = c.trace_frequencies(f(1));
+        assert_eq!(freqs.iter().sum::<u64>(), 5);
+        let hot = c.hot_paths(f(1));
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].1, 3);
+        assert_eq!(hot[1].1, 2);
+        assert!(hot[0].1 >= hot[1].1);
+        // Unknown functions have no paths.
+        assert!(c.hot_paths(FuncId::from_index(9)).is_empty());
+    }
+
+    #[test]
+    fn functions_ordered_by_call_count() {
+        let (c, _) = compact_with_stats(&figure1()).unwrap();
+        assert_eq!(c.functions[0].func, f(1)); // 5 calls
+        assert_eq!(c.functions[1].func, f(0)); // 1 call
+        assert!(c.functions[0].call_count >= c.functions[1].call_count);
+    }
+
+    #[test]
+    fn identical_dictionaries_are_shared() {
+        let (c, _) = compact_with_stats(&figure1()).unwrap();
+        let fb = c.function(f(1)).unwrap();
+        // Two traces, two distinct loop bodies -> two dictionaries; but
+        // main has one trace and at most one dictionary.
+        assert!(fb.dicts.len() <= 2);
+        let mb = c.function(f(0)).unwrap();
+        assert!(mb.dicts.len() <= 1);
+    }
+
+    #[test]
+    fn empty_stream_errors() {
+        assert!(compact(&RawWpp::new()).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Path traces: the per-activation block sequences the WPP is partitioned
+//! into.
+
+use std::fmt;
+
+use twpp_ir::BlockId;
+
+/// The block sequence executed by one function activation, at that
+/// activation's own nesting level (callee blocks belong to the callees'
+/// traces; the dynamic call graph links them together).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PathTrace {
+    blocks: Vec<BlockId>,
+}
+
+impl PathTrace {
+    /// Creates an empty path trace.
+    pub fn new() -> PathTrace {
+        PathTrace::default()
+    }
+
+    /// The blocks of the trace, in execution order.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Number of blocks in the trace.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if no blocks were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Appends a block.
+    pub fn push(&mut self, block: BlockId) {
+        self.blocks.push(block);
+    }
+
+    /// Size in bytes of the uncompacted trace (4 bytes per block id).
+    pub fn byte_size(&self) -> usize {
+        self.blocks.len() * 4
+    }
+
+    /// Iterates over the blocks.
+    pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks.iter().copied()
+    }
+}
+
+impl From<Vec<BlockId>> for PathTrace {
+    fn from(blocks: Vec<BlockId>) -> PathTrace {
+        PathTrace { blocks }
+    }
+}
+
+impl From<PathTrace> for Vec<BlockId> {
+    fn from(trace: PathTrace) -> Vec<BlockId> {
+        trace.blocks
+    }
+}
+
+impl FromIterator<BlockId> for PathTrace {
+    fn from_iter<I: IntoIterator<Item = BlockId>>(iter: I) -> PathTrace {
+        PathTrace {
+            blocks: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for PathTrace {
+    /// Formats the trace in the paper's dotted style, e.g. `1.2.3.4`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{}", b.as_u32())?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a path trace from 1-based raw ids; test/readability helper used
+/// throughout the workspace.
+pub fn trace_of(ids: &[u32]) -> PathTrace {
+    ids.iter().map(|&i| BlockId::new(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_dotted_notation() {
+        assert_eq!(trace_of(&[1, 2, 7, 8]).to_string(), "1.2.7.8");
+        assert_eq!(PathTrace::new().to_string(), "");
+    }
+
+    #[test]
+    fn byte_size_is_four_per_block() {
+        assert_eq!(trace_of(&[1, 2, 3]).byte_size(), 12);
+        assert!(PathTrace::new().is_empty());
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = trace_of(&[5, 6]);
+        let v: Vec<BlockId> = t.clone().into();
+        assert_eq!(PathTrace::from(v), t);
+    }
+}

@@ -1,0 +1,831 @@
+//! Compacted timestamp sets: ordered sets of timestamps stored as
+//! arithmetic series, the representation at the heart of the TWPP.
+//!
+//! A timestamp sequence like `2.3.4.5.6` — block 2 executing on successive
+//! loop iterations — is stored as the single entry `2:6`; `2.4.6` becomes
+//! `2:6:2`. On the wire an entry uses one, two or three signed words and
+//! the entry boundary is encoded **in the sign of its last word** (the
+//! paper's trick for avoiding any framing overhead): `-l` is the singleton
+//! `l`, `l,-h` the series `l..=h` step 1, and `l,h,-s` the series `l..=h`
+//! step `s`.
+//!
+//! [`TsSet`] also implements the set algebra the demand-driven data flow
+//! queries of §4.2 need: shifting by ±1 (one backward/forward step of all
+//! traversal points at once), intersection, difference, and order queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// One arithmetic-series entry: `first`, `first + step`, …, `last`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SeriesEntry {
+    first: u32,
+    last: u32,
+    step: u32,
+}
+
+impl SeriesEntry {
+    /// Creates an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= first <= last`, `step >= 1` and
+    /// `(last - first) % step == 0`. Singletons normalise `step` to 1.
+    pub fn new(first: u32, last: u32, step: u32) -> SeriesEntry {
+        assert!(first >= 1, "timestamps are 1-based");
+        assert!(first <= last, "series must be non-decreasing");
+        assert!(step >= 1, "step must be positive");
+        assert!((last - first).is_multiple_of(step), "last must lie on the series");
+        let step = if first == last { 1 } else { step };
+        SeriesEntry { first, last, step }
+    }
+
+    /// Creates a singleton entry.
+    pub fn singleton(value: u32) -> SeriesEntry {
+        SeriesEntry::new(value, value, 1)
+    }
+
+    /// First (smallest) timestamp.
+    pub fn first(&self) -> u32 {
+        self.first
+    }
+
+    /// Last (largest) timestamp.
+    pub fn last(&self) -> u32 {
+        self.last
+    }
+
+    /// Step between consecutive timestamps.
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Number of timestamps in the entry.
+    pub fn len(&self) -> u64 {
+        u64::from((self.last - self.first) / self.step) + 1
+    }
+
+    /// Entries are never empty; provided for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: u32) -> bool {
+        t >= self.first && t <= self.last && (t - self.first).is_multiple_of(self.step)
+    }
+
+    /// Number of wire words the entry occupies (1, 2 or 3).
+    pub fn wire_words(&self) -> usize {
+        if self.first == self.last {
+            1
+        } else if self.step == 1 {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Iterates over the timestamps.
+    pub fn iter(&self) -> impl Iterator<Item = u32> {
+        let (first, last, step) = (self.first, self.last, self.step);
+        (0..self.len()).map(move |k| {
+            debug_assert!(first as u64 + k * step as u64 <= last as u64);
+            first + (k as u32) * step
+        })
+    }
+
+    /// Intersects two arithmetic series exactly; the intersection of two
+    /// arithmetic series is again an arithmetic series. Singleton,
+    /// equal-step and step-1 pairs take O(1) fast paths; the general case
+    /// solves the congruence pair with the Chinese remainder theorem.
+    pub fn intersect(&self, other: &SeriesEntry) -> Option<SeriesEntry> {
+        let lo = self.first.max(other.first);
+        let hi = self.last.min(other.last);
+        if lo > hi {
+            return None;
+        }
+        // Singletons: a membership test.
+        if self.first == self.last {
+            return other.contains(self.first).then_some(*self);
+        }
+        if other.first == other.last {
+            return self.contains(other.first).then_some(*other);
+        }
+        // Equal steps: aligned residues overlap directly.
+        if self.step == other.step {
+            let s = self.step;
+            if self.first % s != other.first % s {
+                return None;
+            }
+            return clip(self.first.max(other.first), hi, s);
+        }
+        // A step-1 range is just a window over the other series.
+        if self.step == 1 {
+            return clip_series(other, lo, hi);
+        }
+        if other.step == 1 {
+            return clip_series(self, lo, hi);
+        }
+        let (lo, hi) = (lo as i128, hi as i128);
+        let (a, s1) = (self.first as i128, self.step as i128);
+        let (b, s2) = (other.first as i128, other.step as i128);
+        let g = gcd(s1, s2);
+        if (b - a).rem_euclid(g) != 0 {
+            return None;
+        }
+        let lcm = s1 / g * s2;
+        // Solve x ≡ a (mod s1), x ≡ b (mod s2).
+        let (_, m1, _) = ext_gcd(s1, s2);
+        // x0 = a + s1 * ((b - a) / g * m1 mod (s2 / g))
+        let t = ((b - a) / g % (s2 / g) * m1).rem_euclid(s2 / g);
+        let x0 = a + s1 * t;
+        // Smallest solution >= lo: div_euclid rounds toward -inf, so the
+        // candidate is <= lo and at most one lcm below the answer.
+        let x = x0 + (lo - x0).div_euclid(lcm) * lcm;
+        let x = if x < lo { x + lcm } else { x };
+        if x > hi {
+            return None;
+        }
+        let last = x + (hi - x).div_euclid(lcm) * lcm;
+        Some(SeriesEntry::new(x as u32, last as u32, lcm.min(u32::MAX as i128) as u32))
+    }
+}
+
+impl fmt::Display for SeriesEntry {
+    /// Formats the entry in the paper's `l`, `l:h`, `l:h:s` notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.first == self.last {
+            write!(f, "{}", self.first)
+        } else if self.step == 1 {
+            write!(f, "{}:{}", self.first, self.last)
+        } else {
+            write!(f, "{}:{}:{}", self.first, self.last, self.step)
+        }
+    }
+}
+
+/// The sub-series of `(first..=hi, step)` starting at the first element
+/// `>= lo`, or `None` if empty.
+fn clip(first: u32, hi: u32, step: u32) -> Option<SeriesEntry> {
+    if first > hi {
+        return None;
+    }
+    let last = first + (hi - first) / step * step;
+    Some(SeriesEntry::new(first, last, step))
+}
+
+/// Clips a series to the window `[lo, hi]`.
+fn clip_series(e: &SeriesEntry, lo: u32, hi: u32) -> Option<SeriesEntry> {
+    let first = if e.first >= lo {
+        e.first
+    } else {
+        e.first + (lo - e.first).div_ceil(e.step) * e.step
+    };
+    clip(first, hi.min(e.last), e.step)
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Extended gcd: returns `(g, x, y)` with `a*x + b*y = g`.
+fn ext_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = ext_gcd(b, a % b);
+        (g, y, x - a / b * y)
+    }
+}
+
+/// Errors produced while decoding a wire-format timestamp set.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum TsSetError {
+    /// An entry was truncated (positive word at end of stream).
+    Truncated,
+    /// A word violated the format (zero, wrong sign pattern, bad series).
+    BadEntry(usize),
+    /// Entries are not strictly increasing and disjoint.
+    Unordered(usize),
+}
+
+impl fmt::Display for TsSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsSetError::Truncated => f.write_str("truncated timestamp entry"),
+            TsSetError::BadEntry(i) => write!(f, "malformed timestamp entry at word {i}"),
+            TsSetError::Unordered(i) => write!(f, "out-of-order timestamp entry at word {i}"),
+        }
+    }
+}
+
+impl Error for TsSetError {}
+
+/// An ordered set of 1-based timestamps, compacted into arithmetic-series
+/// entries. Entries are strictly increasing and disjoint.
+///
+/// # Examples
+///
+/// A loop executing a block on every second position compacts to a single
+/// series entry, and traversal moves the whole series at once:
+///
+/// ```
+/// use twpp::TsSet;
+///
+/// let ts = TsSet::from_sorted(&(1..=10).map(|k| 2 * k).collect::<Vec<_>>());
+/// assert_eq!(ts.to_string(), "{2:20:2}");
+/// assert_eq!(ts.entry_count(), 1);
+/// assert_eq!(ts.len(), 10);
+/// // One backward traversal step for all ten subpaths simultaneously:
+/// assert_eq!(ts.shift(-1).to_string(), "{1:19:2}");
+/// // The sign-delimited wire form of the paper:
+/// assert_eq!(ts.to_wire(), vec![2, 20, -2]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct TsSet {
+    entries: Vec<SeriesEntry>,
+}
+
+impl TsSet {
+    /// The empty set.
+    pub fn new() -> TsSet {
+        TsSet::default()
+    }
+
+    /// Builds a set from a strictly increasing slice of 1-based timestamps,
+    /// greedily detecting arithmetic runs (runs of length ≥ 3, or length-2
+    /// runs with step 1, become series entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not strictly increasing or contains 0.
+    pub fn from_sorted(values: &[u32]) -> TsSet {
+        if let Some(&first) = values.first() {
+            assert!(first >= 1, "timestamps are 1-based");
+        }
+        for w in values.windows(2) {
+            assert!(w[0] < w[1], "timestamps must be strictly increasing");
+        }
+        let mut entries = Vec::new();
+        let n = values.len();
+        let mut i = 0;
+        while i < n {
+            let v = values[i];
+            if i + 1 < n {
+                let d = values[i + 1] - values[i];
+                let mut j = i + 1;
+                while j + 1 < n && values[j + 1] - values[j] == d {
+                    j += 1;
+                }
+                let run = j - i + 1;
+                if run >= 3 || (run == 2 && d == 1) {
+                    entries.push(SeriesEntry::new(v, values[j], d));
+                    i = j + 1;
+                    continue;
+                }
+            }
+            entries.push(SeriesEntry::singleton(v));
+            i += 1;
+        }
+        TsSet { entries }
+    }
+
+    /// Builds a set holding the single contiguous range `first..=last`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= first <= last`.
+    pub fn range(first: u32, last: u32) -> TsSet {
+        TsSet {
+            entries: vec![SeriesEntry::new(first, last, 1)],
+        }
+    }
+
+    /// Builds a set directly from entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entries are not strictly increasing and disjoint.
+    pub fn from_entries(entries: Vec<SeriesEntry>) -> TsSet {
+        for w in entries.windows(2) {
+            assert!(
+                w[0].last < w[1].first,
+                "entries must be strictly increasing and disjoint"
+            );
+        }
+        TsSet { entries }
+    }
+
+    /// The series entries, in increasing order.
+    pub fn entries(&self) -> &[SeriesEntry] {
+        &self.entries
+    }
+
+    /// Number of entries (the compacted vector length of Table 6).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of timestamps (the uncompacted vector length of Table 6).
+    pub fn len(&self) -> u64 {
+        self.entries.iter().map(SeriesEntry::len).sum()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Smallest timestamp, if any.
+    pub fn first(&self) -> Option<u32> {
+        self.entries.first().map(|e| e.first)
+    }
+
+    /// Largest timestamp, if any.
+    pub fn last(&self) -> Option<u32> {
+        self.entries.last().map(|e| e.last)
+    }
+
+    /// Membership test (binary search over entries).
+    pub fn contains(&self, t: u32) -> bool {
+        self.entry_candidate(t)
+            .map(|e| e.contains(t))
+            .unwrap_or(false)
+    }
+
+    /// The entry that could contain `t`: the last entry with `first <= t`.
+    fn entry_candidate(&self, t: u32) -> Option<&SeriesEntry> {
+        match self.entries.partition_point(|e| e.first <= t) {
+            0 => None,
+            i => Some(&self.entries[i - 1]),
+        }
+    }
+
+    /// Iterates over all timestamps in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().flat_map(SeriesEntry::iter)
+    }
+
+    /// Collects the timestamps into a vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Shifts every timestamp by `delta`, dropping results below 1. This is
+    /// the paper's *simultaneous traversal* step: decrementing a whole
+    /// vector of traversal points costs one operation per entry, not per
+    /// timestamp.
+    pub fn shift(&self, delta: i64) -> TsSet {
+        let mut entries = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let nf = i64::from(e.first) + delta;
+            let nl = i64::from(e.last) + delta;
+            if nl < 1 {
+                continue;
+            }
+            let step = i64::from(e.step);
+            let nf = if nf < 1 {
+                // Advance to the first series element >= 1.
+                nf + (1 - nf).div_euclid(step) * step
+                    + if (1 - nf) % step != 0 { step } else { 0 }
+            } else {
+                nf
+            };
+            if nf > nl {
+                continue;
+            }
+            debug_assert!(nl <= u32::MAX as i64, "timestamp overflow after shift");
+            entries.push(SeriesEntry::new(nf as u32, nl as u32, e.step));
+        }
+        TsSet { entries }
+    }
+
+    /// Set intersection. Entry pairs are intersected exactly (the
+    /// intersection of two arithmetic series is a series), walked with two
+    /// pointers over the disjoint, ordered entry lists.
+    pub fn intersect(&self, other: &TsSet) -> TsSet {
+        let mut out: Vec<SeriesEntry> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, b) = (&self.entries[i], &other.entries[j]);
+            if let Some(e) = a.intersect(b) {
+                out.push(e);
+            }
+            if a.last <= b.last {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        TsSet {
+            entries: merge_adjacent(out),
+        }
+    }
+
+    /// Set difference `self - other`.
+    pub fn subtract(&self, other: &TsSet) -> TsSet {
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut values = Vec::new();
+        for e in &self.entries {
+            // Fast path: no entry of `other` overlaps this one.
+            let overlaps = other
+                .entries
+                .iter()
+                .any(|o| o.first <= e.last && o.last >= e.first);
+            if !overlaps {
+                values.extend(e.iter());
+            } else {
+                values.extend(e.iter().filter(|&t| !other.contains(t)));
+            }
+        }
+        TsSet::from_sorted(&values)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &TsSet) -> TsSet {
+        let mut values: Vec<u32> = Vec::with_capacity((self.len() + other.len()) as usize);
+        let mut a = self.iter().peekable();
+        let mut b = other.iter().peekable();
+        loop {
+            match (a.peek().copied(), b.peek().copied()) {
+                (Some(x), Some(y)) if x < y => {
+                    values.push(x);
+                    a.next();
+                }
+                (Some(x), Some(y)) if y < x => {
+                    values.push(y);
+                    b.next();
+                }
+                (Some(x), Some(_)) => {
+                    values.push(x);
+                    a.next();
+                    b.next();
+                }
+                (Some(x), None) => {
+                    values.push(x);
+                    a.next();
+                }
+                (None, Some(y)) => {
+                    values.push(y);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        TsSet::from_sorted(&values)
+    }
+
+    /// Largest timestamp strictly below `t`, if any — the "find the latest
+    /// earlier instance" primitive of dynamic slicing.
+    pub fn max_lt(&self, t: u32) -> Option<u32> {
+        for e in self.entries.iter().rev() {
+            if e.first >= t {
+                continue;
+            }
+            if e.last < t {
+                return Some(e.last);
+            }
+            // Largest element of the series < t.
+            let k = (t - 1 - e.first) / e.step;
+            return Some(e.first + k * e.step);
+        }
+        None
+    }
+
+    /// Smallest timestamp `>= t`, if any.
+    pub fn min_ge(&self, t: u32) -> Option<u32> {
+        for e in &self.entries {
+            if e.last < t {
+                continue;
+            }
+            if e.first >= t {
+                return Some(e.first);
+            }
+            let k = (t - e.first).div_ceil(e.step);
+            let v = e.first + k * e.step;
+            if v <= e.last {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Encodes the set in the sign-delimited wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a timestamp exceeds `i32::MAX` — the price of the sign
+    /// encoding the paper acknowledges ("we can no longer use unsigned
+    /// integers").
+    pub fn to_wire(&self) -> Vec<i32> {
+        let mut words = Vec::with_capacity(self.wire_word_count());
+        for e in &self.entries {
+            let f = i32::try_from(e.first).expect("timestamp exceeds i32::MAX");
+            let l = i32::try_from(e.last).expect("timestamp exceeds i32::MAX");
+            let s = i32::try_from(e.step).expect("step exceeds i32::MAX");
+            if e.first == e.last {
+                words.push(-f);
+            } else if e.step == 1 {
+                words.push(f);
+                words.push(-l);
+            } else {
+                words.push(f);
+                words.push(l);
+                words.push(-s);
+            }
+        }
+        words
+    }
+
+    /// Total number of wire words.
+    pub fn wire_word_count(&self) -> usize {
+        self.entries.iter().map(SeriesEntry::wire_words).sum()
+    }
+
+    /// Decodes a wire-format set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TsSetError`] for truncated, malformed or out-of-order
+    /// input.
+    pub fn from_wire(words: &[i32]) -> Result<TsSet, TsSetError> {
+        let mut entries = Vec::new();
+        let mut i = 0;
+        while i < words.len() {
+            let start = i;
+            let w0 = words[i];
+            let entry = if w0 < 0 {
+                i += 1;
+                let v = u32::try_from(-i64::from(w0)).map_err(|_| TsSetError::BadEntry(start))?;
+                if v == 0 {
+                    return Err(TsSetError::BadEntry(start));
+                }
+                SeriesEntry::singleton(v)
+            } else {
+                if w0 == 0 {
+                    return Err(TsSetError::BadEntry(start));
+                }
+                let w1 = *words.get(i + 1).ok_or(TsSetError::Truncated)?;
+                if w1 < 0 {
+                    i += 2;
+                    let (f, l) = (w0 as u32, (-i64::from(w1)) as u32);
+                    if l <= f {
+                        return Err(TsSetError::BadEntry(start));
+                    }
+                    SeriesEntry::new(f, l, 1)
+                } else {
+                    if w1 == 0 {
+                        return Err(TsSetError::BadEntry(start));
+                    }
+                    let w2 = *words.get(i + 2).ok_or(TsSetError::Truncated)?;
+                    if w2 >= 0 {
+                        return Err(TsSetError::BadEntry(start));
+                    }
+                    i += 3;
+                    let (f, l, s) = (w0 as u32, w1 as u32, (-i64::from(w2)) as u32);
+                    if l <= f || s == 0 || (l - f) % s != 0 {
+                        return Err(TsSetError::BadEntry(start));
+                    }
+                    SeriesEntry::new(f, l, s)
+                }
+            };
+            if let Some(prev) = entries.last() {
+                let prev: &SeriesEntry = prev;
+                if prev.last >= entry.first {
+                    return Err(TsSetError::Unordered(start));
+                }
+            }
+            entries.push(entry);
+        }
+        Ok(TsSet { entries })
+    }
+}
+
+/// Merges consecutive entries that form one longer series (used after
+/// intersection, which can fragment runs).
+fn merge_adjacent(entries: Vec<SeriesEntry>) -> Vec<SeriesEntry> {
+    let mut out: Vec<SeriesEntry> = Vec::with_capacity(entries.len());
+    for e in entries {
+        if let Some(prev) = out.last_mut() {
+            let gap = e.first - prev.last;
+            let mergeable = if prev.first == prev.last && e.first == e.last {
+                true // two singletons form a 2-run with step == gap
+            } else if prev.first == prev.last {
+                e.step == gap
+            } else if e.first == e.last {
+                prev.step == gap
+            } else {
+                prev.step == e.step && e.step == gap
+            };
+            if mergeable {
+                let step = if prev.first == prev.last && e.first == e.last {
+                    gap
+                } else if prev.first == prev.last {
+                    e.step
+                } else {
+                    prev.step
+                };
+                // Only merge 2-singleton pairs when a later merge could
+                // extend them: conservatively merge only step-1 pairs.
+                if !(prev.first == prev.last && e.first == e.last && gap != 1) {
+                    *prev = SeriesEntry::new(prev.first, e.last, step);
+                    continue;
+                }
+            }
+        }
+        out.push(e);
+    }
+    out
+}
+
+impl FromIterator<u32> for TsSet {
+    /// Collects timestamps (in any order, duplicates allowed) into a set.
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> TsSet {
+        let mut values: Vec<u32> = iter.into_iter().collect();
+        values.sort_unstable();
+        values.dedup();
+        TsSet::from_sorted(&values)
+    }
+}
+
+impl fmt::Display for TsSet {
+    /// Formats like the paper: `{2:6, 9, 12:20:2}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_encoding_detects_runs() {
+        let s = TsSet::from_sorted(&[2, 3, 4, 5, 6]);
+        assert_eq!(s.entry_count(), 1);
+        assert_eq!(s.to_string(), "{2:6}");
+        let s = TsSet::from_sorted(&[2, 4, 6, 9]);
+        assert_eq!(s.to_string(), "{2:6:2, 9}");
+        let s = TsSet::from_sorted(&[7]);
+        assert_eq!(s.to_string(), "{7}");
+        // Length-2 step-2 run stays as singletons (3 words would lose).
+        let s = TsSet::from_sorted(&[5, 7]);
+        assert_eq!(s.entry_count(), 2);
+        // Length-2 step-1 run becomes a range (2 words either way).
+        let s = TsSet::from_sorted(&[5, 6]);
+        assert_eq!(s.to_string(), "{5:6}");
+    }
+
+    #[test]
+    fn paper_example_wire_encoding() {
+        // {1 -> {1}, 2 -> {2..6}, 6 -> {7}} compacts to {-1}, {2:-6}, {-7}.
+        assert_eq!(TsSet::from_sorted(&[1]).to_wire(), vec![-1]);
+        assert_eq!(TsSet::from_sorted(&[2, 3, 4, 5, 6]).to_wire(), vec![2, -6]);
+        assert_eq!(TsSet::from_sorted(&[7]).to_wire(), vec![-7]);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for vals in [
+            vec![1u32],
+            vec![1, 2, 3],
+            vec![2, 4, 6, 8, 11, 12, 13, 40],
+            vec![5, 9, 100, 200, 300, 400],
+        ] {
+            let s = TsSet::from_sorted(&vals);
+            let back = TsSet::from_wire(&s.to_wire()).unwrap();
+            assert_eq!(back, s);
+            assert_eq!(back.to_vec(), vals);
+        }
+        assert_eq!(TsSet::from_wire(&[]).unwrap(), TsSet::new());
+    }
+
+    #[test]
+    fn wire_rejects_malformed() {
+        assert_eq!(TsSet::from_wire(&[5]), Err(TsSetError::Truncated));
+        assert_eq!(TsSet::from_wire(&[5, 6]), Err(TsSetError::Truncated));
+        assert_eq!(TsSet::from_wire(&[0]), Err(TsSetError::BadEntry(0)));
+        // h <= l
+        assert!(TsSet::from_wire(&[6, -5]).is_err());
+        // Non-divisible series.
+        assert!(TsSet::from_wire(&[2, 7, -2]).is_err());
+        // Out of order entries.
+        assert_eq!(
+            TsSet::from_wire(&[-9, -3]),
+            Err(TsSetError::Unordered(1))
+        );
+    }
+
+    #[test]
+    fn contains_and_order_queries() {
+        let s = TsSet::from_sorted(&[2, 4, 6, 11, 12, 13, 40]);
+        for t in [2, 4, 6, 11, 12, 13, 40] {
+            assert!(s.contains(t), "{t}");
+        }
+        for t in [1, 3, 5, 7, 10, 14, 39, 41] {
+            assert!(!s.contains(t), "{t}");
+        }
+        assert_eq!(s.max_lt(2), None);
+        assert_eq!(s.max_lt(3), Some(2));
+        assert_eq!(s.max_lt(6), Some(4));
+        assert_eq!(s.max_lt(100), Some(40));
+        assert_eq!(s.max_lt(12), Some(11));
+        assert_eq!(s.min_ge(1), Some(2));
+        assert_eq!(s.min_ge(5), Some(6));
+        assert_eq!(s.min_ge(41), None);
+        assert_eq!(s.min_ge(13), Some(13));
+    }
+
+    #[test]
+    fn shift_is_the_simultaneous_traversal_step() {
+        // Paper: (2:20:2) shifted to (3:21:2) / (1:19:2).
+        let s = TsSet::from_sorted(&(1..=10).map(|k| 2 * k).collect::<Vec<_>>());
+        assert_eq!(s.to_string(), "{2:20:2}");
+        assert_eq!(s.shift(1).to_string(), "{3:21:2}");
+        assert_eq!(s.shift(-1).to_string(), "{1:19:2}");
+        // Shifting below 1 drops elements.
+        assert_eq!(s.shift(-2).to_string(), "{2:18:2}");
+        assert_eq!(s.shift(-3).to_string(), "{1:17:2}");
+        let small = TsSet::from_sorted(&[1, 2]);
+        assert_eq!(small.shift(-1).to_vec(), vec![1]);
+        assert_eq!(small.shift(-2).to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn intersection_of_series() {
+        let a = TsSet::range(1, 100);
+        let b = TsSet::from_sorted(&(1..=33).map(|k| 3 * k).collect::<Vec<_>>());
+        assert_eq!(a.intersect(&b), b);
+        // Step 2 from 2 ∩ step 3 from 3 = step 6 from 6.
+        let e2 = TsSet::from_sorted(&(1..=50).map(|k| 2 * k).collect::<Vec<_>>());
+        let e3 = TsSet::from_sorted(&(1..=33).map(|k| 3 * k).collect::<Vec<_>>());
+        assert_eq!(e2.intersect(&e3).to_string(), "{6:96:6}");
+        // Disjoint residues never meet.
+        let odd = TsSet::from_sorted(&[1, 3, 5, 7]);
+        let even = TsSet::from_sorted(&[2, 4, 6, 8]);
+        assert!(odd.intersect(&even).is_empty());
+    }
+
+    #[test]
+    fn intersection_matches_naive_model() {
+        let a = TsSet::from_sorted(&[1, 2, 3, 7, 9, 11, 20, 25, 30, 35]);
+        let b = TsSet::from_sorted(&[2, 3, 4, 9, 20, 30, 31, 35]);
+        let naive: Vec<u32> = a.to_vec().into_iter().filter(|t| b.contains(*t)).collect();
+        assert_eq!(a.intersect(&b).to_vec(), naive);
+    }
+
+    #[test]
+    fn subtract_and_union() {
+        let a = TsSet::range(1, 10);
+        let b = TsSet::from_sorted(&[2, 4, 6, 8, 10]);
+        assert_eq!(a.subtract(&b).to_vec(), vec![1, 3, 5, 7, 9]);
+        assert_eq!(b.subtract(&a), TsSet::new());
+        assert_eq!(a.union(&b), a);
+        let c = TsSet::from_sorted(&[12, 14]);
+        assert_eq!(a.union(&c).len(), 12);
+    }
+
+    #[test]
+    fn len_counts_series_elements() {
+        let s = TsSet::from_sorted(&[2, 4, 6, 9]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(TsSet::new().len(), 0);
+        assert!(TsSet::new().is_empty());
+        assert_eq!(TsSet::range(1, 1000).len(), 1000);
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let s: TsSet = vec![5u32, 1, 3, 3, 2, 4].into_iter().collect();
+        assert_eq!(s.to_string(), "{1:5}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_rejects_unsorted() {
+        let _ = TsSet::from_sorted(&[3, 2]);
+    }
+
+    #[test]
+    fn compaction_factor_visible() {
+        // 1000 loop iterations: 1000 timestamps -> 1 entry, 2 wire words.
+        let s = TsSet::range(1, 1000);
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.wire_word_count(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Dynamic currency determination for debugging optimized code — the
+//! application of §4.3.2 / Figure 12.
+//!
+//! After an optimization moves an assignment (e.g. partial dead code
+//! elimination sinks `x = …` from a dominator block into one branch), the
+//! value of `x` observed at a breakpoint may or may not correspond to what
+//! the unoptimized program would have shown — and which of the two it is
+//! depends on the *path taken*, which the WPP records. The variable is
+//! **current** at the breakpoint exactly when the source assignment that
+//! provided its value in the optimized execution is the same source
+//! assignment that would have provided it in the unoptimized execution of
+//! the same path.
+
+use std::collections::HashMap;
+
+use twpp_ir::{BlockId, Function, Var};
+
+use crate::dyncfg::DynCfg;
+
+/// Identity of a source-level assignment, stable across program versions.
+pub type AssignTag = u32;
+
+/// Maps every assignment of the inspected variable to its source-level
+/// identity, for one program version: `(block, statement index) -> tag`.
+pub type AssignTags = HashMap<(BlockId, usize), AssignTag>;
+
+/// The verdict of a currency query.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Currency {
+    /// The displayed value equals what the unoptimized program would show.
+    Current,
+    /// The displayed value differs: the debugger must warn the user.
+    NonCurrent {
+        /// The assignment whose value is actually in the variable.
+        actual: Option<AssignTag>,
+        /// The assignment whose value the user expects to see.
+        expected: Option<AssignTag>,
+    },
+}
+
+/// Determines whether `var` is current at the breakpoint.
+///
+/// Both program versions must share the same CFG shape (code motion moves
+/// statements between blocks but keeps the graph), so one executed block
+/// sequence `trace` describes both. `breakpoint` is the 1-based timestamp
+/// of the breakpoint instance in that trace.
+///
+/// # Panics
+///
+/// Panics if an executed assignment to `var` has no tag in the maps, or if
+/// the breakpoint timestamp is out of range.
+pub fn currency_of(
+    unopt: &Function,
+    opt: &Function,
+    unopt_tags: &AssignTags,
+    opt_tags: &AssignTags,
+    trace: &[BlockId],
+    breakpoint: u32,
+    var: Var,
+) -> Currency {
+    assert!(
+        breakpoint >= 1 && (breakpoint as usize) <= trace.len(),
+        "breakpoint timestamp out of range"
+    );
+    let dcfg = DynCfg::from_block_sequence(trace);
+    let actual = reaching_tag(opt, opt_tags, &dcfg, breakpoint, var);
+    let expected = reaching_tag(unopt, unopt_tags, &dcfg, breakpoint, var);
+    if actual == expected {
+        Currency::Current
+    } else {
+        Currency::NonCurrent { actual, expected }
+    }
+}
+
+/// The tag of the assignment to `var` whose value is live at `t` (searching
+/// positions `< t` plus the statements of position `t`'s own block before
+/// the breakpoint is taken to be at the *top* of its block, i.e. only
+/// strictly earlier positions count).
+fn reaching_tag(
+    func: &Function,
+    tags: &AssignTags,
+    dcfg: &DynCfg,
+    t: u32,
+    var: Var,
+) -> Option<AssignTag> {
+    // Find the latest position < t whose block (in this version) assigns
+    // `var`, using the timestamp annotations.
+    let mut best: Option<(u32, BlockId)> = None;
+    for node in dcfg.nodes() {
+        let head = node.head;
+        let assigns = func
+            .block(head)
+            .stmts()
+            .iter()
+            .any(|s| s.defined_var() == Some(var));
+        if !assigns {
+            continue;
+        }
+        if let Some(ts) = node.ts.max_lt(t) {
+            if best.map(|(bt, _)| ts > bt).unwrap_or(true) {
+                best = Some((ts, head));
+            }
+        }
+    }
+    let (_, block) = best?;
+    // The last assignment to `var` within that block provides the value.
+    let idx = func
+        .block(block)
+        .stmts()
+        .iter()
+        .rposition(|s| s.defined_var() == Some(var))
+        .expect("block found by scanning for assignments");
+    Some(*tags.get(&(block, idx)).unwrap_or_else(|| {
+        panic!("assignment to {var} at {block}[{idx}] has no source tag")
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twpp_ir::{single_function_program, Operand, Program, Rvalue, Stmt, Terminator};
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(i)
+    }
+
+    /// Figure 12: CFG 1 -> {2, 4} -> 3, breakpoint in block 3.
+    ///
+    /// Unoptimized block 1 holds both assignments to x (tags 1 then 2);
+    /// partial dead code elimination moves the second into block 2.
+    fn figure12() -> (Program, Program, AssignTags, AssignTags, Var) {
+        let x_index = 0;
+        let build = |second_assign_in_b2: bool| {
+            single_function_program(|fb| {
+                let b1 = fb.entry();
+                let b2 = fb.new_block();
+                let b3 = fb.new_block();
+                let b4 = fb.new_block();
+                let x = fb.new_var();
+                fb.push(b1, Stmt::assign(x, Rvalue::Use(Operand::Const(10))));
+                if second_assign_in_b2 {
+                    fb.push(b2, Stmt::assign(x, Rvalue::Use(Operand::Const(20))));
+                } else {
+                    fb.push(b1, Stmt::assign(x, Rvalue::Use(Operand::Const(20))));
+                }
+                // block 2 uses x (the last use before the sink point).
+                fb.push(b2, Stmt::Print(Operand::Var(x)));
+                fb.terminate(
+                    b1,
+                    Terminator::Branch {
+                        cond: Operand::Var(x),
+                        then_dest: b2,
+                        else_dest: b4,
+                    },
+                );
+                fb.terminate(b2, Terminator::Jump(b3));
+                fb.terminate(b4, Terminator::Jump(b3));
+                fb.push(b3, Stmt::Print(Operand::Var(x)));
+                fb.terminate(b3, Terminator::Return(None));
+            })
+            .unwrap()
+        };
+        let unopt = build(false);
+        let opt = build(true);
+        let mut unopt_tags = AssignTags::new();
+        unopt_tags.insert((b(1), 0), 1);
+        unopt_tags.insert((b(1), 1), 2);
+        let mut opt_tags = AssignTags::new();
+        opt_tags.insert((b(1), 0), 1);
+        opt_tags.insert((b(2), 0), 2);
+        (unopt, opt, unopt_tags, opt_tags, Var::from_index(x_index))
+    }
+
+    #[test]
+    fn path_through_moved_assignment_is_current() {
+        let (unopt, opt, ut, ot, x) = figure12();
+        let trace = [b(1), b(2), b(3)];
+        let verdict = currency_of(
+            unopt.func(unopt.main()),
+            opt.func(opt.main()),
+            &ut,
+            &ot,
+            &trace,
+            3,
+            x,
+        );
+        assert_eq!(verdict, Currency::Current);
+    }
+
+    #[test]
+    fn path_avoiding_moved_assignment_is_non_current() {
+        let (unopt, opt, ut, ot, x) = figure12();
+        let trace = [b(1), b(4), b(3)];
+        let verdict = currency_of(
+            unopt.func(unopt.main()),
+            opt.func(opt.main()),
+            &ut,
+            &ot,
+            &trace,
+            3,
+            x,
+        );
+        // Optimized execution still holds tag 1's value; the user expects
+        // tag 2's.
+        assert_eq!(
+            verdict,
+            Currency::NonCurrent {
+                actual: Some(1),
+                expected: Some(2),
+            }
+        );
+    }
+
+    #[test]
+    fn never_assigned_variable_is_trivially_current() {
+        let (unopt, opt, ut, ot, _) = figure12();
+        let trace = [b(1), b(4), b(3)];
+        let never_assigned = Var::from_index(9);
+        let verdict = currency_of(
+            unopt.func(unopt.main()),
+            opt.func(opt.main()),
+            &ut,
+            &ot,
+            &trace,
+            3,
+            never_assigned,
+        );
+        assert_eq!(verdict, Currency::Current);
+    }
+}

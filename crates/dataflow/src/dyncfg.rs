@@ -1,0 +1,317 @@
+//! The timestamp-annotated dynamic control flow graph (§4.1 of the paper).
+//!
+//! For one unique path trace of a function, the dynamic CFG has one node
+//! per dynamic basic block (DBB), each annotated with the ordered set of
+//! timestamps at which it executed. A timestamp/node pair `(t, n)` names a
+//! unique point in the path trace; the preceding point is `(t-1, m)` where
+//! `m` is the predecessor whose timestamp set contains `t-1` — which is
+//! what makes efficient backward and forward traversal (and the
+//! simultaneous traversal of many subpaths via compacted timestamp
+//! vectors) possible.
+
+use std::collections::HashMap;
+
+use twpp::{DbbDictionary, TimestampedTrace, TsSet};
+use twpp_ir::cfg::FlowgraphSize;
+use twpp_ir::{BlockId, Function};
+
+/// One node of a dynamic CFG: a dynamic basic block with its timestamps.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DynNode {
+    /// The DBB head (its id in the compacted trace).
+    pub head: BlockId,
+    /// The static blocks the DBB expands to (`[head]` when uncompacted).
+    pub blocks: Vec<BlockId>,
+    /// The ordered timestamps at which this DBB executed.
+    pub ts: TsSet,
+}
+
+/// The timestamp-annotated dynamic control flow graph of one path trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DynCfg {
+    nodes: Vec<DynNode>,
+    node_of: HashMap<BlockId, usize>,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    len: u32,
+}
+
+impl DynCfg {
+    /// Builds the dynamic CFG of a timestamped trace, expanding DBB heads
+    /// through `dict`.
+    pub fn new(tt: &TimestampedTrace, dict: &DbbDictionary) -> DynCfg {
+        let mut nodes: Vec<DynNode> = Vec::new();
+        let mut node_of = HashMap::new();
+        for (head, ts) in tt.iter() {
+            let blocks = dict
+                .chain(head)
+                .map(<[BlockId]>::to_vec)
+                .unwrap_or_else(|| vec![head]);
+            node_of.insert(head, nodes.len());
+            nodes.push(DynNode {
+                head,
+                blocks,
+                ts: ts.clone(),
+            });
+        }
+        // Edges from consecutive positions of the compacted trace.
+        let path = tt.to_path_trace();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for w in path.blocks().windows(2) {
+            let a = node_of[&w[0]];
+            let b = node_of[&w[1]];
+            if !succs[a].contains(&b) {
+                succs[a].push(b);
+                preds[b].push(a);
+            }
+        }
+        DynCfg {
+            nodes,
+            node_of,
+            preds,
+            succs,
+            len: tt.len(),
+        }
+    }
+
+    /// Convenience: the dynamic CFG of an (uncompacted) block sequence.
+    pub fn from_block_sequence(blocks: &[BlockId]) -> DynCfg {
+        let trace: twpp::PathTrace = blocks.to_vec().into();
+        let tt = TimestampedTrace::from_path_trace(&trace);
+        DynCfg::new(&tt, &DbbDictionary::new())
+    }
+
+    /// Number of dynamic nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of dynamic edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// The trace length (timestamps run `1..=len`).
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Returns `true` for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The node with the given DBB head, if present.
+    pub fn node_by_head(&self, head: BlockId) -> Option<usize> {
+        self.node_of.get(&head).copied()
+    }
+
+    /// Node payload by index.
+    pub fn node(&self, i: usize) -> &DynNode {
+        &self.nodes[i]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[DynNode] {
+        &self.nodes
+    }
+
+    /// Predecessor node indices of node `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Successor node indices of node `i`.
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// The node executing at timestamp `t`.
+    pub fn node_at(&self, t: u32) -> Option<usize> {
+        self.nodes.iter().position(|n| n.ts.contains(t))
+    }
+
+    /// One simultaneous **backward** traversal step (§4.1): all traversal
+    /// points `ts` at node `node` move to their preceding trace positions,
+    /// routed to the predecessors whose timestamp sets contain them.
+    /// Returns `(predecessor node, its points)` pairs; points at the very
+    /// start of the trace are dropped.
+    pub fn step_backward(&self, node: usize, ts: &TsSet) -> Vec<(usize, TsSet)> {
+        let shifted = ts.intersect(&self.nodes[node].ts).shift(-1);
+        self.route(shifted, self.preds(node))
+    }
+
+    /// One simultaneous **forward** traversal step: the dual of
+    /// [`DynCfg::step_backward`]; points at the end of the trace are
+    /// dropped.
+    pub fn step_forward(&self, node: usize, ts: &TsSet) -> Vec<(usize, TsSet)> {
+        let shifted = ts.intersect(&self.nodes[node].ts).shift(1);
+        self.route(shifted, self.succs(node))
+    }
+
+    fn route(&self, shifted: TsSet, neighbours: &[usize]) -> Vec<(usize, TsSet)> {
+        let mut out = Vec::new();
+        for &m in neighbours {
+            let to_m = shifted.intersect(&self.nodes[m].ts);
+            if !to_m.is_empty() {
+                out.push((m, to_m));
+            }
+        }
+        out
+    }
+
+    /// Dynamic flowgraph size (one row contribution of Table 6).
+    pub fn flowgraph_size(&self) -> FlowgraphSize {
+        FlowgraphSize {
+            nodes: self.node_count(),
+            edges: self.edge_count(),
+        }
+    }
+
+    /// Average timestamp-vector length per node, `(compacted entries,
+    /// uncompacted timestamps)` — Table 6's last column.
+    pub fn avg_timestamp_vector(&self) -> (f64, f64) {
+        if self.nodes.is_empty() {
+            return (0.0, 0.0);
+        }
+        let entries: usize = self.nodes.iter().map(|n| n.ts.entry_count()).sum();
+        let raw: u64 = self.nodes.iter().map(|n| n.ts.len()).sum();
+        (
+            entries as f64 / self.nodes.len() as f64,
+            raw as f64 / self.nodes.len() as f64,
+        )
+    }
+}
+
+/// Builds dynamic CFGs for every unique trace of `func` from a compacted
+/// TWPP function block.
+pub fn dyn_cfgs_of(block: &twpp::pipeline::FunctionBlock) -> Vec<DynCfg> {
+    block
+        .traces
+        .iter()
+        .map(|(dict_idx, tt)| DynCfg::new(tt, &block.dicts[*dict_idx as usize]))
+        .collect()
+}
+
+/// Statement-level view helpers shared by the analyses.
+pub(crate) fn stmts_of_node<'f>(
+    func: &'f Function,
+    node: &DynNode,
+) -> impl Iterator<Item = &'f twpp_ir::Stmt> {
+    let blocks = node.blocks.clone();
+    blocks
+        .into_iter()
+        .flat_map(move |b| func.block(b).stmts().iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twpp::trace::trace_of;
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn nodes_edges_and_timestamps() {
+        // Compacted trace 1.2.2.2.10 (the paper's f after DBB compaction).
+        let tt = TimestampedTrace::from_path_trace(&trace_of(&[1, 2, 2, 2, 10]));
+        let dict = DbbDictionary::from_chains(vec![vec![b(2), b(3), b(4), b(5), b(6)]]);
+        let g = DynCfg::new(&tt, &dict);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3); // 1->2, 2->2, 2->10
+        let n2 = g.node_by_head(b(2)).unwrap();
+        assert_eq!(g.node(n2).blocks.len(), 5);
+        assert_eq!(g.node(n2).ts.to_string(), "{2:4}");
+        assert!(g.succs(n2).contains(&n2)); // self loop
+        assert_eq!(g.node_at(1), g.node_by_head(b(1)));
+        assert_eq!(g.node_at(5), g.node_by_head(b(10)));
+        assert_eq!(g.node_at(9), None);
+    }
+
+    #[test]
+    fn traversal_via_timestamps() {
+        let g = DynCfg::from_block_sequence(&[b(1), b(2), b(3), b(2), b(3), b(4)]);
+        // Point (4, block 2): preceding point is (3, block 3).
+        let n2 = g.node_by_head(b(2)).unwrap();
+        let shifted = g.node(n2).ts.shift(-1);
+        let n3 = g.node_by_head(b(3)).unwrap();
+        // block 2 executes at {2, 4}; predecessors at {1, 3}: 1 is block 1,
+        // 3 is block 3.
+        assert_eq!(shifted.intersect(&g.node(n3).ts).to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn traversal_steps_route_points_to_neighbours() {
+        // Trace 1.2.3.2.3.4: block 2 at {2,4}, block 3 at {3,5}.
+        let g = DynCfg::from_block_sequence(&[b(1), b(2), b(3), b(2), b(3), b(4)]);
+        let n2 = g.node_by_head(b(2)).unwrap();
+        let n3 = g.node_by_head(b(3)).unwrap();
+        let n1 = g.node_by_head(b(1)).unwrap();
+        let n4 = g.node_by_head(b(4)).unwrap();
+
+        // Backward from both executions of block 2: {2,4} -> {1,3}; 1 is
+        // block 1, 3 is block 3.
+        let back = g.step_backward(n2, &g.node(n2).ts);
+        assert_eq!(back.len(), 2);
+        let find = |steps: &[(usize, TsSet)], n: usize| {
+            steps.iter().find(|(m, _)| *m == n).map(|(_, t)| t.to_vec())
+        };
+        assert_eq!(find(&back, n1), Some(vec![1]));
+        assert_eq!(find(&back, n3), Some(vec![3]));
+
+        // Forward from both executions of block 3: {3,5} -> {4,6}; 4 is
+        // block 2 again, 6 is block 4.
+        let fwd = g.step_forward(n3, &g.node(n3).ts);
+        assert_eq!(find(&fwd, n2), Some(vec![4]));
+        assert_eq!(find(&fwd, n4), Some(vec![6]));
+
+        // Trace boundaries drop points.
+        assert!(g.step_backward(n1, &g.node(n1).ts).is_empty());
+        assert!(g.step_forward(n4, &g.node(n4).ts).is_empty());
+    }
+
+    #[test]
+    fn repeated_traversal_replays_the_trace() {
+        // Following forward steps from the entry reconstructs the block
+        // order of the trace.
+        let seq = [b(1), b(2), b(2), b(3), b(2), b(4)];
+        let g = DynCfg::from_block_sequence(&seq);
+        let mut replayed = vec![seq[0]];
+        let mut state = vec![(g.node_at(1).unwrap(), TsSet::from_sorted(&[1]))];
+        while let Some((n, ts)) = state.pop() {
+            let next = g.step_forward(n, &ts);
+            assert!(next.len() <= 1, "single point follows a single path");
+            if let Some((m, ts)) = next.into_iter().next() {
+                replayed.push(g.node(m).head);
+                state.push((m, ts));
+            }
+        }
+        assert_eq!(replayed, seq);
+    }
+
+    #[test]
+    fn table6_metrics() {
+        let mut seq = vec![b(1)];
+        for _ in 0..500 {
+            seq.push(b(2));
+        }
+        seq.push(b(3));
+        let g = DynCfg::from_block_sequence(&seq);
+        let size = g.flowgraph_size();
+        assert_eq!(size.nodes, 3);
+        assert_eq!(size.edges, 3);
+        let (compact, raw) = g.avg_timestamp_vector();
+        assert!(raw > 100.0);
+        assert!(compact < 2.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let g = DynCfg::from_block_sequence(&[]);
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+    }
+}

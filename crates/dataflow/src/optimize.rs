@@ -1,0 +1,290 @@
+//! Profile-guided optimization candidates — §4.3.1 as a reusable pass.
+//!
+//! "A profile-guided optimizer identifies data flow facts that are observed
+//! to hold for hot regions of the code and exploits them." This module
+//! scans a function's executed traces for load instructions, computes each
+//! load's dynamic redundancy degree with the demand-driven query engine,
+//! and reports the candidates whose degree crosses a threshold — the
+//! *hot data flow facts* an optimizer would specialize on (e.g. with code
+//! motion or restructuring, per the paper's references).
+
+use std::collections::HashMap;
+
+use twpp::pipeline::CompactedTwpp;
+use twpp_ir::{FuncId, Function, Operand, Program};
+
+use crate::dyncfg::{dyn_cfgs_of, DynCfg};
+use crate::facts::{Effect, GenKillFact};
+use crate::interproc::{CallSummaries, WithCallEffects};
+use crate::query::solve_backward;
+use crate::AvailableLoad;
+
+/// One optimization candidate: a load that is dynamically redundant often
+/// enough to be worth specializing.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LoadCandidate {
+    /// The function containing the load.
+    pub func: FuncId,
+    /// The dynamic-CFG head block containing the load (per unique trace).
+    pub block: twpp_ir::BlockId,
+    /// Which unique trace of the function this was measured on.
+    pub trace_idx: u32,
+    /// The load's syntactic address.
+    pub addr: Operand,
+    /// Executions of the load in this trace's activations.
+    pub executions: u64,
+    /// Executions at which the loaded value was already available.
+    pub redundant: u64,
+    /// How many times this unique trace ran (the candidate's weight).
+    pub frequency: u64,
+}
+
+impl LoadCandidate {
+    /// Degree of redundancy in percent.
+    pub fn degree_percent(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.redundant as f64 * 100.0 / self.executions as f64
+        }
+    }
+
+    /// Total dynamically removable load executions if the trace's
+    /// activations were specialized: `redundant * frequency`.
+    pub fn removable(&self) -> u64 {
+        self.redundant * self.frequency
+    }
+}
+
+/// Scans every unique trace of `func` and returns the loads whose dynamic
+/// redundancy degree is at least `min_degree_percent`, hottest (most
+/// removable executions) first. Call effects are summarized from the
+/// compacted TWPP so loads across calls are classified safely.
+pub fn redundant_load_candidates(
+    program: &Program,
+    compacted: &CompactedTwpp,
+    func: FuncId,
+    min_degree_percent: f64,
+) -> Vec<LoadCandidate> {
+    let Some(fb) = compacted.function(func) else {
+        return Vec::new();
+    };
+    let function = program.func(func);
+    let freqs = compacted.trace_frequencies(func);
+    // Call-effect summaries depend only on the queried address: compute
+    // each once, not once per load.
+    let mut summaries: HashMap<Operand, CallSummaries> = HashMap::new();
+    let mut out = Vec::new();
+    for (trace_idx, dcfg) in dyn_cfgs_of(fb).into_iter().enumerate() {
+        let frequency = freqs[trace_idx];
+        for candidate in candidates_in_trace(
+            program,
+            compacted,
+            function,
+            func,
+            &dcfg,
+            trace_idx as u32,
+            &mut summaries,
+        ) {
+            let candidate = LoadCandidate {
+                frequency,
+                ..candidate
+            };
+            if candidate.degree_percent() >= min_degree_percent {
+                out.push(candidate);
+            }
+        }
+    }
+    out.sort_by_key(|c| std::cmp::Reverse(c.removable()));
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn candidates_in_trace(
+    program: &Program,
+    compacted: &CompactedTwpp,
+    function: &Function,
+    func: FuncId,
+    dcfg: &DynCfg,
+    trace_idx: u32,
+    summaries: &mut HashMap<Operand, CallSummaries>,
+) -> Vec<LoadCandidate> {
+    let mut out = Vec::new();
+    for node in 0..dcfg.node_count() {
+        // Walk the node's statements (a DBB may span several blocks) so
+        // loads made redundant by earlier statements *within* the node are
+        // classified too.
+        let mut flat: Vec<&twpp_ir::Stmt> = Vec::new();
+        for &b in &dcfg.node(node).blocks {
+            flat.extend(function.block(b).stmts());
+        }
+        for (idx, stmt) in flat.iter().enumerate() {
+            let twpp_ir::Stmt::Assign {
+                rvalue: twpp_ir::Rvalue::Load(addr),
+                ..
+            } = stmt
+            else {
+                continue;
+            };
+            let addr = *addr;
+            let fact = AvailableLoad { addr };
+            let summary = summaries
+                .entry(addr)
+                .or_insert_with(|| CallSummaries::compute(program, compacted, &fact));
+            let with_calls = WithCallEffects::new(&fact, summary);
+            // Effect of the node's statements before this load.
+            let mut prefix = Effect::Transparent;
+            for s in &flat[..idx] {
+                if let Some(callee) = s.callee() {
+                    match with_calls.effect_of_call(callee) {
+                        Effect::Transparent => {}
+                        e => prefix = e,
+                    }
+                }
+                match with_calls.effect_of(s) {
+                    Effect::Transparent => {}
+                    e => prefix = e,
+                }
+            }
+            let ts = dcfg.node(node).ts.clone();
+            let executions = ts.len();
+            let redundant = match prefix {
+                Effect::Gen => executions,
+                Effect::Kill => 0,
+                Effect::Transparent => {
+                    solve_backward(dcfg, function, &with_calls, node, &ts)
+                        .holds
+                        .len()
+                }
+            };
+            out.push(LoadCandidate {
+                func,
+                block: dcfg.node(node).head,
+                trace_idx,
+                addr,
+                executions,
+                redundant,
+                frequency: 0,
+            });
+        }
+    }
+    out
+}
+
+/// Convenience: candidates across *all* functions of the execution, ranked
+/// by removable executions.
+pub fn all_redundant_load_candidates(
+    program: &Program,
+    compacted: &CompactedTwpp,
+    min_degree_percent: f64,
+) -> Vec<LoadCandidate> {
+    let mut out = Vec::new();
+    for fb in &compacted.functions {
+        out.extend(redundant_load_candidates(
+            program,
+            compacted,
+            fb.func,
+            min_degree_percent,
+        ));
+    }
+    out.sort_by_key(|c| std::cmp::Reverse(c.removable()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twpp::compact;
+    use twpp_lang::{compile_with_options, LowerOptions};
+    use twpp_tracer::{run_traced, ExecLimits};
+
+    fn setup(src: &str) -> (Program, CompactedTwpp) {
+        let program = compile_with_options(
+            src,
+            LowerOptions {
+                stmt_per_block: true,
+            },
+        )
+        .unwrap();
+        let (_, wpp) = run_traced(&program, &[], ExecLimits::default()).unwrap();
+        let compacted = compact(&wpp).unwrap();
+        (program, compacted)
+    }
+
+    #[test]
+    fn figure9_load_is_the_top_candidate() {
+        let (program, compacted) = setup(twpp_lang::programs::FIGURE9);
+        let candidates =
+            redundant_load_candidates(&program, &compacted, program.main(), 99.5);
+        // Only the fully redundant 60-execution load clears 99.5%.
+        assert_eq!(candidates.len(), 1);
+        let c = &candidates[0];
+        assert_eq!(c.executions, 60);
+        assert_eq!(c.redundant, 60);
+        assert!((c.degree_percent() - 100.0).abs() < 1e-9);
+        // main ran once, so removable = redundant.
+        assert_eq!(c.frequency, 1);
+        assert_eq!(c.removable(), 60);
+        // Lowering the threshold also surfaces the 99% header load.
+        let candidates =
+            redundant_load_candidates(&program, &compacted, program.main(), 50.0);
+        assert_eq!(candidates.len(), 2);
+        assert!(candidates[0].removable() >= candidates[1].removable());
+    }
+
+    #[test]
+    fn hot_functions_weight_candidates_by_frequency() {
+        // f is called 10 times; its redundant load is worth 10x its
+        // per-activation count.
+        let src = "
+            fn f() {
+                let a = load(5);
+                let b = load(5);
+                print(a + b);
+            }
+            fn main() {
+                let i = 0;
+                while (i < 10) { f(); i = i + 1; }
+            }";
+        let (program, compacted) = setup(src);
+        let (f_id, _) = program.func_by_name("f").unwrap();
+        let candidates = redundant_load_candidates(&program, &compacted, f_id, 99.0);
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].frequency, 10);
+        assert_eq!(candidates[0].removable(), 10);
+    }
+
+    #[test]
+    fn calls_that_clobber_lower_the_degree() {
+        let src = "
+            fn clobber() { store(9, 1); }
+            fn main() {
+                let a = load(5);
+                clobber();
+                let b = load(5);
+                print(a + b);
+            }";
+        let (program, compacted) = setup(src);
+        let candidates =
+            all_redundant_load_candidates(&program, &compacted, 0.0);
+        // Two loads, both seen; the second has 0% degree because clobber()
+        // may alias.
+        let degrees: Vec<f64> = candidates.iter().map(LoadCandidate::degree_percent).collect();
+        assert_eq!(candidates.len(), 2);
+        assert!(degrees.iter().all(|&d| d == 0.0), "{degrees:?}");
+        // With a 1% threshold, nothing qualifies.
+        assert!(all_redundant_load_candidates(&program, &compacted, 1.0).is_empty());
+    }
+
+    #[test]
+    fn unknown_function_yields_no_candidates() {
+        let (program, compacted) = setup(twpp_lang::programs::FIGURE9);
+        assert!(redundant_load_candidates(
+            &program,
+            &compacted,
+            FuncId::from_index(7),
+            0.0
+        )
+        .is_empty());
+    }
+}

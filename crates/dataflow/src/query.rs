@@ -1,0 +1,332 @@
+//! Demand-driven, profile-limited GEN-KILL query propagation (§4.2).
+//!
+//! A query `<T, n>_d` asks: *does fact `d` hold immediately before each of
+//! node `n`'s executions at timestamps `T`?* The engine propagates a
+//! compacted timestamp vector backwards through the timestamp-annotated
+//! dynamic CFG: at every step all traversal points decrement together
+//! (one [`TsSet::shift`] per entry, not per timestamp), are routed to the
+//! predecessors whose timestamp sets contain them, and are resolved where
+//! the predecessor's `DGEN`/`DKILL` answers the query.
+//!
+//! Solving `<T(n), n>_d` yields the *frequency* with which `d` holds — the
+//! paper's hot-data-flow-fact primitive for profile-guided optimization.
+
+use twpp::TsSet;
+use twpp_ir::Function;
+
+use crate::dyncfg::{stmts_of_node, DynCfg};
+use crate::facts::{effect_of_stmts, Effect, GenKillFact};
+
+/// The resolution of a query, in the query's original timestamps.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct QueryResult {
+    /// Timestamps for which the fact holds on entry to the queried node.
+    pub holds: TsSet,
+    /// Timestamps for which it does not.
+    pub not_holds: TsSet,
+}
+
+impl QueryResult {
+    /// Fraction of queried executions for which the fact holds, in
+    /// `[0, 1]`. Returns 1.0 for empty queries.
+    pub fn frequency(&self) -> f64 {
+        let h = self.holds.len() as f64;
+        let n = h + self.not_holds.len() as f64;
+        if n == 0.0 {
+            1.0
+        } else {
+            h / n
+        }
+    }
+
+    /// `true` if the fact holds for every queried execution.
+    pub fn always_holds(&self) -> bool {
+        self.not_holds.is_empty()
+    }
+
+    /// `true` if the fact holds for no queried execution.
+    pub fn never_holds(&self) -> bool {
+        self.holds.is_empty()
+    }
+}
+
+/// Solves the query `<ts, node>` for `fact` over one dynamic CFG.
+///
+/// `func` supplies the statements of the static blocks each dynamic node
+/// expands to. Timestamps in `ts` that are not in `node`'s timestamp set
+/// are ignored.
+///
+/// # Examples
+///
+/// Querying all executions of a node computes the *frequency* of a fact:
+///
+/// ```
+/// use twpp_dataflow::{solve_backward, AvailableLoad};
+/// use twpp_dataflow::dyncfg::DynCfg;
+/// use twpp_dataflow::redundancy::loads_in;
+/// use twpp_ir::Operand;
+/// use twpp_lang::{compile_with_options, LowerOptions};
+/// use twpp_tracer::{run_traced, ExecLimits};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = compile_with_options(
+///     "fn main() {
+///          let a = load(7);
+///          let b = load(7);  // always redundant
+///          print(a + b);
+///      }",
+///     LowerOptions { stmt_per_block: true },
+/// )?;
+/// let (_, wpp) = run_traced(&program, &[], ExecLimits::default())?;
+/// let func = program.func(program.main());
+/// let trace = wpp.scan_function(program.main()).remove(0);
+/// let dcfg = DynCfg::from_block_sequence(&trace);
+/// let (second_load, addr) = loads_in(&dcfg, func)[1];
+/// let fact = AvailableLoad { addr };
+/// let ts = dcfg.node(second_load).ts.clone();
+/// let result = solve_backward(&dcfg, func, &fact, second_load, &ts);
+/// assert!(result.always_holds());
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_backward<F: GenKillFact + ?Sized>(
+    dcfg: &DynCfg,
+    func: &Function,
+    fact: &F,
+    node: usize,
+    ts: &TsSet,
+) -> QueryResult {
+    // Pre-compute each node's DGEN/DKILL summary.
+    let effects: Vec<Effect> = dcfg
+        .nodes()
+        .iter()
+        .map(|n| effect_of_stmts(fact, stmts_of_node(func, n)))
+        .collect();
+
+    let mut result = QueryResult::default();
+    let initial = ts.intersect(&dcfg.node(node).ts);
+    if initial.is_empty() {
+        return result;
+    }
+    // Worklist of propagation states: (node, positions, depth). A position
+    // `v` at depth `k` stands for original query timestamp `v + k`.
+    let mut work: Vec<(usize, TsSet, u32)> = vec![(node, initial, 0)];
+    while let Some((n, positions, depth)) = work.pop() {
+        let shifted = positions.shift(-1);
+        // Positions that fell off the front of the trace reached the
+        // function entry unresolved: the fact does not hold there.
+        let mut routed = TsSet::new();
+        for &m in dcfg.preds(n) {
+            let to_m = shifted.intersect(&dcfg.node(m).ts);
+            if to_m.is_empty() {
+                continue;
+            }
+            routed = routed.union(&to_m);
+            match effects[m] {
+                Effect::Gen => {
+                    result.holds = result.holds.union(&to_m.shift(i64::from(depth) + 1));
+                }
+                Effect::Kill => {
+                    result.not_holds = result.not_holds.union(&to_m.shift(i64::from(depth) + 1));
+                }
+                Effect::Transparent => work.push((m, to_m, depth + 1)),
+            }
+        }
+        let lost = shifted.subtract(&routed);
+        if !lost.is_empty() {
+            result.not_holds = result
+                .not_holds
+                .union(&lost.shift(i64::from(depth) + 1));
+        }
+        // Positions at timestamp 1 vanish in the shift: they are at the
+        // very start of the trace, so nothing precedes them.
+        let at_entry = positions.len() - shifted.len();
+        if at_entry > 0 {
+            if let Some(first) = positions.first() {
+                debug_assert_eq!(first, 1);
+                result.not_holds = result
+                    .not_holds
+                    .union(&TsSet::from_sorted(&[first + depth]));
+            }
+        }
+    }
+    result
+}
+
+/// Naive oracle: answers the same query by replaying the full block
+/// sequence (used to validate the propagation engine in tests and as the
+/// baseline in the ablation benchmarks).
+pub fn solve_by_replay<F: GenKillFact + ?Sized>(
+    dcfg: &DynCfg,
+    func: &Function,
+    fact: &F,
+    node: usize,
+    ts: &TsSet,
+) -> QueryResult {
+    // Effect at each trace position.
+    let len = dcfg.len();
+    let mut effect_at = vec![Effect::Transparent; (len + 1) as usize];
+    for (i, n) in dcfg.nodes().iter().enumerate() {
+        let e = effect_of_stmts(fact, stmts_of_node(func, dcfg.node(i)));
+        for t in n.ts.iter() {
+            effect_at[t as usize] = e;
+        }
+    }
+    let mut result = QueryResult::default();
+    let mut holds = Vec::new();
+    let mut not_holds = Vec::new();
+    for t in ts.intersect(&dcfg.node(node).ts).iter() {
+        let mut state = false;
+        for v in 1..t {
+            match effect_at[v as usize] {
+                Effect::Gen => state = true,
+                Effect::Kill => state = false,
+                Effect::Transparent => {}
+            }
+        }
+        if state {
+            holds.push(t);
+        } else {
+            not_holds.push(t);
+        }
+    }
+    result.holds = TsSet::from_sorted(&holds);
+    result.not_holds = TsSet::from_sorted(&not_holds);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dyncfg::DynCfg;
+    use crate::facts::AvailableLoad;
+    use twpp_ir::{
+        single_function_program, Operand, Program, Rvalue, Stmt, Terminator,
+    };
+
+    /// A 4-block function: 1 loads addr, 2 is neutral, 3 stores elsewhere
+    /// (kill), 4 loads addr again (the queried node).
+    fn program() -> Program {
+        single_function_program(|fb| {
+            let b1 = fb.entry();
+            let b2 = fb.new_block();
+            let b3 = fb.new_block();
+            let b4 = fb.new_block();
+            let v = fb.new_var();
+            fb.push(b1, Stmt::assign(v, Rvalue::Load(Operand::Const(100))));
+            fb.push(b2, Stmt::Print(Operand::Var(v)));
+            fb.push(
+                b3,
+                Stmt::Store {
+                    addr: Operand::Const(200),
+                    value: Operand::Const(1),
+                },
+            );
+            fb.push(b4, Stmt::assign(v, Rvalue::Load(Operand::Const(100))));
+            let c = Operand::Const(1);
+            fb.terminate(
+                b1,
+                Terminator::Branch {
+                    cond: c,
+                    then_dest: b2,
+                    else_dest: b3,
+                },
+            );
+            fb.terminate(b2, Terminator::Jump(b4));
+            fb.terminate(b3, Terminator::Jump(b4));
+            fb.terminate(
+                b4,
+                Terminator::Branch {
+                    cond: c,
+                    then_dest: b1,
+                    else_dest: b1,
+                },
+            );
+        })
+        .unwrap()
+    }
+
+    fn b(i: u32) -> twpp_ir::BlockId {
+        twpp_ir::BlockId::new(i)
+    }
+
+    #[test]
+    fn resolves_gen_and_kill_paths() {
+        let p = program();
+        let func = p.func(p.main());
+        // Trace: 1.2.4 | 1.3.4 | 1.2.4 — block 4's loads at t=3,6,9.
+        let seq = [1u32, 2, 4, 1, 3, 4, 1, 2, 4].map(b);
+        let dcfg = DynCfg::from_block_sequence(&seq);
+        let fact = AvailableLoad {
+            addr: Operand::Const(100),
+        };
+        let n4 = dcfg.node_by_head(b(4)).unwrap();
+        let result = solve_backward(&dcfg, func, &fact, n4, &dcfg.node(n4).ts);
+        // t=3 and t=9 came via block 2 (transparent) from block 1 (gen);
+        // t=6 came via block 3 (kill).
+        assert_eq!(result.holds.to_vec(), vec![3, 9]);
+        assert_eq!(result.not_holds.to_vec(), vec![6]);
+        assert!((result.frequency() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entry_positions_resolve_to_not_holds() {
+        let p = program();
+        let func = p.func(p.main());
+        // Query block 1's first execution: nothing precedes it.
+        let dcfg = DynCfg::from_block_sequence(&[b(1), b(2), b(4)]);
+        let fact = AvailableLoad {
+            addr: Operand::Const(100),
+        };
+        let n1 = dcfg.node_by_head(b(1)).unwrap();
+        let result = solve_backward(&dcfg, func, &fact, n1, &dcfg.node(n1).ts);
+        assert!(result.holds.is_empty());
+        assert_eq!(result.not_holds.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn propagation_agrees_with_replay_oracle() {
+        let p = program();
+        let func = p.func(p.main());
+        // A longer pseudo-random interleaving of the two loop paths.
+        let mut seq = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seq.push(b(1));
+            seq.push(if (x >> 33).is_multiple_of(3) { b(3) } else { b(2) });
+            seq.push(b(4));
+        }
+        let dcfg = DynCfg::from_block_sequence(&seq);
+        let fact = AvailableLoad {
+            addr: Operand::Const(100),
+        };
+        for head in [1u32, 2, 3, 4] {
+            let Some(n) = dcfg.node_by_head(b(head)) else {
+                continue;
+            };
+            let fast = solve_backward(&dcfg, func, &fact, n, &dcfg.node(n).ts);
+            let slow = solve_by_replay(&dcfg, func, &fact, n, &dcfg.node(n).ts);
+            assert_eq!(fast, slow, "disagreement at block {head}");
+        }
+    }
+
+    #[test]
+    fn partial_timestamp_queries() {
+        let p = program();
+        let func = p.func(p.main());
+        let seq = [1u32, 2, 4, 1, 3, 4].map(b);
+        let dcfg = DynCfg::from_block_sequence(&seq);
+        let fact = AvailableLoad {
+            addr: Operand::Const(100),
+        };
+        let n4 = dcfg.node_by_head(b(4)).unwrap();
+        // Only ask about the second execution (t=6).
+        let result = solve_backward(&dcfg, func, &fact, n4, &TsSet::from_sorted(&[6]));
+        assert!(result.holds.is_empty());
+        assert_eq!(result.not_holds.to_vec(), vec![6]);
+        // Timestamps not belonging to the node are ignored.
+        let result = solve_backward(&dcfg, func, &fact, n4, &TsSet::from_sorted(&[5]));
+        assert!(result.holds.is_empty() && result.not_holds.is_empty());
+    }
+}

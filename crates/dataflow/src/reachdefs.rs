@@ -1,0 +1,256 @@
+//! Classic static reaching-definitions analysis at basic-block granularity.
+//!
+//! Used by dynamic slicing approach 1, which restricts the *static*
+//! program dependence graph to executed nodes, and as the static
+//! comparison point for the profile-limited analyses.
+
+use std::collections::HashSet;
+
+use twpp_ir::cfg::Cfg;
+use twpp_ir::{BlockId, Function, Var};
+
+/// A definition site: the defining block (a block defining `v` several
+/// times contributes one site — the last assignment wins downstream).
+pub type DefSite = (BlockId, Var);
+
+/// Block-level reaching definitions for one function.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    reach_in: Vec<HashSet<DefSite>>,
+    defs: Vec<Vec<Var>>,
+    uses: Vec<Vec<Var>>,
+}
+
+impl ReachingDefs {
+    /// Runs the analysis to a fixed point.
+    pub fn new(func: &Function) -> ReachingDefs {
+        let cfg = Cfg::new(func);
+        let n = func.block_count();
+        let defs: Vec<Vec<Var>> = func
+            .block_ids()
+            .map(|b| block_defs(func, b))
+            .collect();
+        let uses: Vec<Vec<Var>> = func
+            .block_ids()
+            .map(|b| upward_exposed_uses(func, b))
+            .collect();
+
+        let gen: Vec<HashSet<DefSite>> = (0..n)
+            .map(|i| {
+                defs[i]
+                    .iter()
+                    .map(|&v| (BlockId::from_index(i), v))
+                    .collect()
+            })
+            .collect();
+        let mut reach_in: Vec<HashSet<DefSite>> = vec![HashSet::new(); n];
+        let mut reach_out: Vec<HashSet<DefSite>> = gen.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let b = BlockId::from_index(i);
+                let mut inset: HashSet<DefSite> = HashSet::new();
+                for &p in cfg.preds(b) {
+                    inset.extend(reach_out[p.index()].iter().copied());
+                }
+                if inset != reach_in[i] {
+                    reach_in[i] = inset.clone();
+                    changed = true;
+                }
+                // OUT = GEN ∪ (IN − KILL): a block defining v kills every
+                // other definition of v.
+                let mut outset = gen[i].clone();
+                for &(src, v) in &inset {
+                    if !defs[i].contains(&v) {
+                        outset.insert((src, v));
+                    }
+                }
+                if outset != reach_out[i] {
+                    reach_out[i] = outset;
+                    changed = true;
+                }
+            }
+        }
+        ReachingDefs {
+            reach_in,
+            defs,
+            uses,
+        }
+    }
+
+    /// Definitions reaching the entry of `block`.
+    pub fn reaching(&self, block: BlockId) -> &HashSet<DefSite> {
+        &self.reach_in[block.index()]
+    }
+
+    /// Variables defined (assigned) by `block`.
+    pub fn defs_of(&self, block: BlockId) -> &[Var] {
+        &self.defs[block.index()]
+    }
+
+    /// Upward-exposed uses of `block`: variables read before any local
+    /// (re)definition, including the terminator's reads.
+    pub fn uses_of(&self, block: BlockId) -> &[Var] {
+        &self.uses[block.index()]
+    }
+
+    /// Static data-dependence predecessors of `block`: blocks whose
+    /// definition of one of `block`'s upward-exposed uses reaches it.
+    pub fn dep_sources(&self, block: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for &u in self.uses_of(block) {
+            for &(src, v) in self.reaching(block) {
+                if v == u && !out.contains(&src) {
+                    out.push(src);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Variables assigned by a block, in first-assignment order.
+pub fn block_defs(func: &Function, block: BlockId) -> Vec<Var> {
+    let mut out = Vec::new();
+    for s in func.block(block).stmts() {
+        if let Some(v) = s.defined_var() {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Upward-exposed uses of a block (reads not preceded by a local write).
+pub fn upward_exposed_uses(func: &Function, block: BlockId) -> Vec<Var> {
+    let mut defined: HashSet<Var> = HashSet::new();
+    let mut out = Vec::new();
+    let bb = func.block(block);
+    for s in bb.stmts() {
+        for u in s.used_vars() {
+            if !defined.contains(&u) && !out.contains(&u) {
+                out.push(u);
+            }
+        }
+        if let Some(d) = s.defined_var() {
+            defined.insert(d);
+        }
+    }
+    for u in bb.terminator().used_vars() {
+        if !defined.contains(&u) && !out.contains(&u) {
+            out.push(u);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twpp_ir::{single_function_program, BinOp, Operand, Rvalue, Stmt, Terminator};
+
+    #[test]
+    fn defs_and_upward_exposed_uses() {
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            let a = fb.new_var();
+            let b = fb.new_var();
+            // a = b + 1 ; b = a  — b is upward exposed, a is not.
+            fb.push(
+                e,
+                Stmt::assign(
+                    a,
+                    Rvalue::Binary(BinOp::Add, Operand::Var(b), Operand::Const(1)),
+                ),
+            );
+            fb.push(e, Stmt::assign(b, Rvalue::Use(Operand::Var(a))));
+            fb.terminate(e, Terminator::Return(None));
+        })
+        .unwrap();
+        let f = p.func(p.main());
+        let rd = ReachingDefs::new(f);
+        let entry = BlockId::new(1);
+        assert_eq!(rd.defs_of(entry).len(), 2);
+        assert_eq!(rd.uses_of(entry), &[Var::from_index(1)]);
+    }
+
+    #[test]
+    fn reaching_through_a_diamond() {
+        // b1: x=1 -> {b2: x=2, b3: (no def)} -> b4: use x.
+        let p = single_function_program(|fb| {
+            let b1 = fb.entry();
+            let b2 = fb.new_block();
+            let b3 = fb.new_block();
+            let b4 = fb.new_block();
+            let x = fb.new_var();
+            fb.push(b1, Stmt::assign(x, Rvalue::Use(Operand::Const(1))));
+            fb.push(b2, Stmt::assign(x, Rvalue::Use(Operand::Const(2))));
+            fb.push(b4, Stmt::Print(Operand::Var(x)));
+            let c = Operand::Const(1);
+            fb.terminate(
+                b1,
+                Terminator::Branch {
+                    cond: c,
+                    then_dest: b2,
+                    else_dest: b3,
+                },
+            );
+            fb.terminate(b2, Terminator::Jump(b4));
+            fb.terminate(b3, Terminator::Jump(b4));
+            fb.terminate(b4, Terminator::Return(None));
+        })
+        .unwrap();
+        let f = p.func(p.main());
+        let rd = ReachingDefs::new(f);
+        let b4 = BlockId::new(4);
+        // Both defs reach the use.
+        let sources = rd.dep_sources(b4);
+        assert_eq!(sources, vec![BlockId::new(1), BlockId::new(2)]);
+        // b2's def kills b1's along its own path.
+        let reach_b4 = rd.reaching(b4);
+        assert!(reach_b4.contains(&(BlockId::new(1), Var::from_index(0))));
+        assert!(reach_b4.contains(&(BlockId::new(2), Var::from_index(0))));
+        let reach_b2_exit_via_b4 = rd.reaching(BlockId::new(2));
+        assert!(reach_b2_exit_via_b4.contains(&(BlockId::new(1), Var::from_index(0))));
+    }
+
+    #[test]
+    fn loop_defs_reach_around_the_back_edge() {
+        // b1: i=0 -> b2: i=i+1 -> b2 (loop) | b3.
+        let p = single_function_program(|fb| {
+            let b1 = fb.entry();
+            let b2 = fb.new_block();
+            let b3 = fb.new_block();
+            let i = fb.new_var();
+            fb.push(b1, Stmt::assign(i, Rvalue::Use(Operand::Const(0))));
+            fb.push(
+                b2,
+                Stmt::assign(
+                    i,
+                    Rvalue::Binary(BinOp::Add, Operand::Var(i), Operand::Const(1)),
+                ),
+            );
+            fb.terminate(b1, Terminator::Jump(b2));
+            fb.terminate(
+                b2,
+                Terminator::Branch {
+                    cond: Operand::Var(i),
+                    then_dest: b2,
+                    else_dest: b3,
+                },
+            );
+            fb.terminate(b3, Terminator::Return(None));
+        })
+        .unwrap();
+        let f = p.func(p.main());
+        let rd = ReachingDefs::new(f);
+        let b2 = BlockId::new(2);
+        // Both the initial def and the loop def reach b2's entry.
+        assert!(rd.reaching(b2).contains(&(BlockId::new(1), Var::from_index(0))));
+        assert!(rd.reaching(b2).contains(&(BlockId::new(2), Var::from_index(0))));
+        assert_eq!(rd.dep_sources(b2), vec![BlockId::new(1), BlockId::new(2)]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Dynamic load-redundancy analysis — the profile-guided-optimization
+//! application of §4.3.1 (Figure 9).
+//!
+//! A load is *redundant* at an execution instance when the loaded value is
+//! already available (from an earlier load or store of the same address
+//! that no intervening store killed). Edge or path profiles can only bound
+//! this; the WPP gives the exact count, and the timestamped representation
+//! computes it with a single backward propagation of a compacted
+//! timestamp vector.
+
+use twpp_ir::{Function, Operand, Rvalue, Stmt};
+
+use crate::dyncfg::{stmts_of_node, DynCfg};
+use crate::facts::AvailableLoad;
+use crate::query::{solve_backward, QueryResult};
+
+/// The outcome of a load-redundancy query.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RedundancyReport {
+    /// Executions of the load at which the loaded value was available.
+    pub redundant: u64,
+    /// Total executions of the load.
+    pub total: u64,
+    /// The per-timestamp resolution.
+    pub result: QueryResult,
+}
+
+impl RedundancyReport {
+    /// Degree of redundancy in percent (the paper reports 100% for
+    /// Figure 9).
+    pub fn degree_percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.redundant as f64 * 100.0 / self.total as f64
+        }
+    }
+}
+
+/// Measures the degree of redundancy of the load contained in dynamic node
+/// `node` (its first load statement). Returns `None` if the node contains
+/// no load.
+pub fn load_redundancy(dcfg: &DynCfg, func: &Function, node: usize) -> Option<RedundancyReport> {
+    let addr = stmts_of_node(func, dcfg.node(node)).find_map(|s| match s {
+        Stmt::Assign {
+            rvalue: Rvalue::Load(a),
+            ..
+        } => Some(*a),
+        _ => None,
+    })?;
+    Some(load_redundancy_for(dcfg, func, node, addr))
+}
+
+/// Measures the redundancy of loading `addr` at the executions of `node`.
+pub fn load_redundancy_for(
+    dcfg: &DynCfg,
+    func: &Function,
+    node: usize,
+    addr: Operand,
+) -> RedundancyReport {
+    let fact = AvailableLoad { addr };
+    let ts = dcfg.node(node).ts.clone();
+    let total = ts.len();
+    let result = solve_backward(dcfg, func, &fact, node, &ts);
+    RedundancyReport {
+        redundant: result.holds.len(),
+        total,
+        result,
+    }
+}
+
+/// Finds every dynamic node containing a load, with its address — helper
+/// for locating candidate loads to query.
+pub fn loads_in(dcfg: &DynCfg, func: &Function) -> Vec<(usize, Operand)> {
+    let mut out = Vec::new();
+    for i in 0..dcfg.node_count() {
+        for s in stmts_of_node(func, dcfg.node(i)) {
+            if let Stmt::Assign {
+                rvalue: Rvalue::Load(a),
+                ..
+            } = s
+            {
+                out.push((i, *a));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twpp_ir::BlockId;
+    use twpp_lang::{compile_with_options, programs, LowerOptions};
+    use twpp_tracer::{run_traced, ExecLimits};
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn figure9_degree_is_100_percent() {
+        let program = compile_with_options(
+            programs::FIGURE9,
+            LowerOptions {
+                stmt_per_block: true,
+            },
+        )
+        .unwrap();
+        let (_, wpp) = run_traced(&program, &[], ExecLimits::default()).unwrap();
+        let main_id = program.main();
+        let func = program.func(main_id);
+        let trace = &wpp.scan_function(main_id)[0];
+        let dcfg = DynCfg::from_block_sequence(trace);
+
+        // Two loads of address 100: the loop-header load (100 executions)
+        // and the frequent-branch load (60 executions).
+        let loads = loads_in(&dcfg, func);
+        assert_eq!(loads.len(), 2);
+        let (hot_load, _) = loads
+            .iter()
+            .copied()
+            .find(|(n, _)| dcfg.node(*n).ts.len() == 60)
+            .expect("the 60-execution load");
+
+        let report = load_redundancy(&dcfg, func, hot_load).unwrap();
+        assert_eq!(report.total, 60);
+        assert_eq!(report.redundant, 60);
+        assert!((report.degree_percent() - 100.0).abs() < 1e-9);
+        assert!(report.result.always_holds());
+    }
+
+    #[test]
+    fn header_load_is_killed_by_the_store_path() {
+        let program = compile_with_options(
+            programs::FIGURE9,
+            LowerOptions {
+                stmt_per_block: true,
+            },
+        )
+        .unwrap();
+        let (_, wpp) = run_traced(&program, &[], ExecLimits::default()).unwrap();
+        let main_id = program.main();
+        let func = program.func(main_id);
+        let trace = &wpp.scan_function(main_id)[0];
+        let dcfg = DynCfg::from_block_sequence(trace);
+
+        let loads = loads_in(&dcfg, func);
+        let (header_load, _) = loads
+            .iter()
+            .copied()
+            .find(|(n, _)| dcfg.node(*n).ts.len() == 100)
+            .expect("the 100-execution load");
+        let report = load_redundancy(&dcfg, func, header_load).unwrap();
+        assert_eq!(report.total, 100);
+        // The first iteration has nothing before it; iterations after a
+        // store-path iteration are killed... but the store is to the SAME
+        // address (100), which re-generates availability. So only the very
+        // first execution is non-redundant.
+        assert_eq!(report.redundant, 99);
+    }
+
+    #[test]
+    fn no_load_yields_none() {
+        let p = twpp_ir::single_function_program(|fb| {
+            let e = fb.entry();
+            fb.push(e, twpp_ir::Stmt::Print(Operand::Const(1)));
+            fb.terminate(e, twpp_ir::Terminator::Return(None));
+        })
+        .unwrap();
+        let f = p.func(p.main());
+        let dcfg = DynCfg::from_block_sequence(&[b(1)]);
+        assert!(load_redundancy(&dcfg, f, 0).is_none());
+    }
+}

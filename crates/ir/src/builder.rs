@@ -1,0 +1,479 @@
+//! Checked construction of programs and functions.
+
+use std::collections::HashMap;
+
+use crate::error::IrError;
+use crate::func::{BasicBlock, Function, Program};
+use crate::ids::{BlockId, FuncId, Var};
+use crate::stmt::{Rvalue, Stmt, Terminator};
+
+/// Incrementally builds one [`Function`] body.
+///
+/// A fresh builder already contains the (empty) entry block, block 1. Blocks
+/// must be terminated with [`FunctionBuilder::terminate`] before the function
+/// is handed to [`ProgramBuilder::define`].
+#[derive(Clone, Debug)]
+pub struct FunctionBuilder {
+    param_count: usize,
+    var_count: usize,
+    returns_value: bool,
+    blocks: Vec<(Vec<Stmt>, Option<Terminator>)>,
+}
+
+impl FunctionBuilder {
+    /// Creates a builder for a function with `param_count` parameters that
+    /// does not return a value.
+    pub fn new(param_count: usize) -> FunctionBuilder {
+        FunctionBuilder {
+            param_count,
+            var_count: param_count,
+            returns_value: false,
+            blocks: vec![(Vec::new(), None)],
+        }
+    }
+
+    /// Creates a builder for a function that returns a value.
+    pub fn new_returning(param_count: usize) -> FunctionBuilder {
+        let mut fb = FunctionBuilder::new(param_count);
+        fb.returns_value = true;
+        fb
+    }
+
+    /// The entry block (always block 1).
+    pub fn entry(&self) -> BlockId {
+        BlockId::ENTRY
+    }
+
+    /// Returns the variable slot of the `i`-th parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid parameter index.
+    pub fn param(&self, i: usize) -> Var {
+        assert!(i < self.param_count, "parameter index out of range");
+        Var::from_index(i)
+    }
+
+    /// Allocates a fresh local variable slot.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.var_count);
+        self.var_count += 1;
+        v
+    }
+
+    /// Allocates a fresh, empty basic block and returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push((Vec::new(), None));
+        BlockId::from_index(self.blocks.len() - 1)
+    }
+
+    /// Appends a statement to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder or is already
+    /// terminated.
+    pub fn push(&mut self, block: BlockId, stmt: Stmt) -> &mut FunctionBuilder {
+        let (stmts, term) = &mut self.blocks[block.index()];
+        assert!(term.is_none(), "cannot append to a terminated block");
+        stmts.push(stmt);
+        self
+    }
+
+    /// Sets the terminator of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already terminated.
+    pub fn terminate(&mut self, block: BlockId, term: Terminator) -> &mut FunctionBuilder {
+        let slot = &mut self.blocks[block.index()].1;
+        assert!(slot.is_none(), "block terminated twice");
+        *slot = Some(term);
+        self
+    }
+
+    /// Returns whether `block` already has a terminator.
+    pub fn is_terminated(&self, block: BlockId) -> bool {
+        self.blocks[block.index()].1.is_some()
+    }
+
+    fn finish(self, name: &str) -> Result<Function, IrError> {
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (i, (stmts, term)) in self.blocks.into_iter().enumerate() {
+            let term = term.ok_or_else(|| IrError::Unterminated {
+                func: name.to_owned(),
+                block: BlockId::from_index(i),
+            })?;
+            blocks.push(BasicBlock { stmts, term });
+        }
+        Ok(Function {
+            name: name.to_owned(),
+            param_count: self.param_count,
+            var_count: self.var_count,
+            returns_value: self.returns_value,
+            blocks,
+        })
+    }
+}
+
+/// Builds a validated [`Program`].
+///
+/// Usage: [`declare`](ProgramBuilder::declare) every function first (so
+/// mutually recursive calls can reference each other's [`FuncId`]s), then
+/// [`define`](ProgramBuilder::define) each body, then
+/// [`finish`](ProgramBuilder::finish).
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    names: Vec<String>,
+    signatures: Vec<(usize, bool)>,
+    bodies: Vec<Option<FunctionBuilder>>,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a function and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DuplicateFunction`] if the name was already
+    /// declared.
+    pub fn declare(
+        &mut self,
+        name: &str,
+        param_count: usize,
+        returns_value: bool,
+    ) -> Result<FuncId, IrError> {
+        if self.by_name.contains_key(name) {
+            return Err(IrError::DuplicateFunction(name.to_owned()));
+        }
+        let id = FuncId::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.signatures.push((param_count, returns_value));
+        self.bodies.push(None);
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Looks up a previously declared function by name.
+    pub fn lookup(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Supplies the body for a declared function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the body was already defined, a block is
+    /// unterminated, or the builder's parameter count disagrees with the
+    /// declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this builder's `declare`.
+    pub fn define(&mut self, id: FuncId, body: FunctionBuilder) -> Result<(), IrError> {
+        let (param_count, returns_value) = self.signatures[id.index()];
+        assert_eq!(
+            body.param_count, param_count,
+            "body parameter count disagrees with declaration"
+        );
+        assert_eq!(
+            body.returns_value, returns_value,
+            "body return kind disagrees with declaration"
+        );
+        if self.bodies[id.index()].is_some() {
+            return Err(IrError::DuplicateBody(id));
+        }
+        self.bodies[id.index()] = Some(body);
+        Ok(())
+    }
+
+    /// Validates and produces the final program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error found: missing bodies or `main`,
+    /// out-of-range block/variable/function references, call arity and
+    /// return-kind mismatches.
+    pub fn finish(self) -> Result<Program, IrError> {
+        let main = *self.by_name.get("main").ok_or(IrError::MissingMain)?;
+        if self.signatures[main.index()].0 != 0 {
+            return Err(IrError::MainHasParams);
+        }
+        let mut functions = Vec::with_capacity(self.names.len());
+        for (i, body) in self.bodies.into_iter().enumerate() {
+            let name = &self.names[i];
+            let body = body.ok_or_else(|| IrError::MissingBody(name.clone()))?;
+            functions.push(body.finish(name)?);
+        }
+        let program = Program { functions, main };
+        validate(&program)?;
+        Ok(program)
+    }
+}
+
+/// Checks cross-references of a fully built program.
+fn validate(program: &Program) -> Result<(), IrError> {
+    for (_, func) in program.funcs() {
+        if func.block_count() == 0 {
+            return Err(IrError::EmptyFunction(func.name().to_owned()));
+        }
+        for (_, block) in func.blocks() {
+            for stmt in block.stmts() {
+                validate_stmt(program, func, stmt)?;
+            }
+            for succ in block.successors() {
+                if succ.index() >= func.block_count() {
+                    return Err(IrError::UnknownBlock {
+                        func: func.name().to_owned(),
+                        block: succ,
+                    });
+                }
+            }
+            for var in block.terminator().used_vars() {
+                check_var(func, var)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_stmt(program: &Program, func: &Function, stmt: &Stmt) -> Result<(), IrError> {
+    if let Some(def) = stmt.defined_var() {
+        check_var(func, def)?;
+    }
+    for var in stmt.used_vars() {
+        check_var(func, var)?;
+    }
+    let (callee, args, needs_value) = match stmt {
+        Stmt::Call { callee, args } => (Some(*callee), args.len(), false),
+        Stmt::Assign {
+            rvalue: Rvalue::Call { callee, args },
+            ..
+        } => (Some(*callee), args.len(), true),
+        _ => (None, 0, false),
+    };
+    if let Some(callee) = callee {
+        if callee.index() >= program.func_count() {
+            return Err(IrError::UnknownCallee {
+                func: func.name().to_owned(),
+                callee,
+            });
+        }
+        let target = program.func(callee);
+        if target.param_count() != args {
+            return Err(IrError::ArityMismatch {
+                func: func.name().to_owned(),
+                callee: target.name().to_owned(),
+                expected: target.param_count(),
+                found: args,
+            });
+        }
+        if needs_value && !target.returns_value() {
+            return Err(IrError::VoidCallee {
+                func: func.name().to_owned(),
+                callee: target.name().to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_var(func: &Function, var: Var) -> Result<(), IrError> {
+    if var.index() >= func.var_count() {
+        return Err(IrError::UnknownVar {
+            func: func.name().to_owned(),
+            var,
+        });
+    }
+    Ok(())
+}
+
+/// Convenience: builds the one-function program `main { <entry> }` from a
+/// closure that populates the body. Useful in tests and examples.
+///
+/// # Errors
+///
+/// Propagates any validation error from the built program.
+pub fn single_function_program(
+    build: impl FnOnce(&mut FunctionBuilder),
+) -> Result<Program, IrError> {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.declare("main", 0, false)?;
+    let mut fb = FunctionBuilder::new(0);
+    build(&mut fb);
+    pb.define(main, fb)?;
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::{BinOp, Operand};
+
+    fn trivially_terminated(fb: &mut FunctionBuilder) {
+        let e = fb.entry();
+        fb.terminate(e, Terminator::Return(None));
+    }
+
+    #[test]
+    fn minimal_program_builds() {
+        let p = single_function_program(trivially_terminated).unwrap();
+        assert_eq!(p.func_count(), 1);
+        assert_eq!(p.func(p.main()).block_count(), 1);
+    }
+
+    #[test]
+    fn missing_main_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("f", 0, false).unwrap();
+        let mut fb = FunctionBuilder::new(0);
+        trivially_terminated(&mut fb);
+        pb.define(f, fb).unwrap();
+        assert_eq!(pb.finish().unwrap_err(), IrError::MissingMain);
+    }
+
+    #[test]
+    fn duplicate_declaration_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare("f", 0, false).unwrap();
+        assert!(matches!(
+            pb.declare("f", 1, true),
+            Err(IrError::DuplicateFunction(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_block_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 0, false).unwrap();
+        let fb = FunctionBuilder::new(0);
+        pb.define(main, fb).unwrap();
+        assert!(matches!(
+            pb.finish(),
+            Err(IrError::Unterminated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_block_reference_is_rejected() {
+        let result = single_function_program(|fb| {
+            let e = fb.entry();
+            fb.terminate(e, Terminator::Jump(BlockId::new(9)));
+        });
+        assert!(matches!(result, Err(IrError::UnknownBlock { .. })));
+    }
+
+    #[test]
+    fn unknown_var_is_rejected() {
+        let result = single_function_program(|fb| {
+            let e = fb.entry();
+            fb.push(
+                e,
+                Stmt::Print(Operand::Var(Var::from_index(10))),
+            );
+            fb.terminate(e, Terminator::Return(None));
+        });
+        assert!(matches!(result, Err(IrError::UnknownVar { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("f", 2, false).unwrap();
+        let main = pb.declare("main", 0, false).unwrap();
+
+        let mut fbody = FunctionBuilder::new(2);
+        trivially_terminated(&mut fbody);
+        pb.define(f, fbody).unwrap();
+
+        let mut mb = FunctionBuilder::new(0);
+        let e = mb.entry();
+        mb.push(
+            e,
+            Stmt::Call {
+                callee: f,
+                args: vec![Operand::Const(1)],
+            },
+        );
+        mb.terminate(e, Terminator::Return(None));
+        pb.define(main, mb).unwrap();
+
+        assert!(matches!(pb.finish(), Err(IrError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn void_callee_in_value_position_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("f", 0, false).unwrap();
+        let main = pb.declare("main", 0, false).unwrap();
+
+        let mut fbody = FunctionBuilder::new(0);
+        trivially_terminated(&mut fbody);
+        pb.define(f, fbody).unwrap();
+
+        let mut mb = FunctionBuilder::new(0);
+        let e = mb.entry();
+        let v = mb.new_var();
+        mb.push(
+            e,
+            Stmt::assign(
+                v,
+                Rvalue::Call {
+                    callee: f,
+                    args: vec![],
+                },
+            ),
+        );
+        mb.terminate(e, Terminator::Return(None));
+        pb.define(main, mb).unwrap();
+
+        assert!(matches!(pb.finish(), Err(IrError::VoidCallee { .. })));
+    }
+
+    #[test]
+    fn main_with_params_is_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 1, false).unwrap();
+        let mut fb = FunctionBuilder::new(1);
+        trivially_terminated(&mut fb);
+        pb.define(main, fb).unwrap();
+        assert_eq!(pb.finish().unwrap_err(), IrError::MainHasParams);
+    }
+
+    #[test]
+    fn builder_chains_and_loops() {
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            let body = fb.new_block();
+            let exit = fb.new_block();
+            let i = fb.new_var();
+            fb.push(e, Stmt::assign(i, Rvalue::Use(Operand::Const(0))));
+            fb.terminate(e, Terminator::Jump(body));
+            fb.push(
+                body,
+                Stmt::assign(
+                    i,
+                    Rvalue::Binary(BinOp::Add, Operand::Var(i), Operand::Const(1)),
+                ),
+            );
+            fb.terminate(
+                body,
+                Terminator::Branch {
+                    cond: Operand::Var(i),
+                    then_dest: exit,
+                    else_dest: body,
+                },
+            );
+            fb.terminate(exit, Terminator::Return(None));
+        })
+        .unwrap();
+        let f = p.func(p.main());
+        assert_eq!(f.block_count(), 3);
+        assert_eq!(f.stmt_count(), 2);
+    }
+}

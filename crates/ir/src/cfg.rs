@@ -1,0 +1,217 @@
+//! Static control-flow-graph views: successors, predecessors, traversal
+//! orders and the flowgraph sizes reported in Table 6 of the paper.
+
+use crate::func::Function;
+use crate::ids::BlockId;
+
+/// An immutable successor/predecessor view over a function's CFG.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG view of `func`.
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.block_count();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, block) in func.blocks() {
+            for succ in block.successors() {
+                succs[id.index()].push(succ);
+                preds[succ.index()].push(id);
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Successors of `block`, in branch order.
+    pub fn succs(&self, block: BlockId) -> &[BlockId] {
+        &self.succs[block.index()]
+    }
+
+    /// Predecessors of `block`, in discovery order.
+    pub fn preds(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.index()]
+    }
+
+    /// Total number of CFG edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Blocks with no successors (return blocks).
+    pub fn exits(&self) -> Vec<BlockId> {
+        (0..self.block_count())
+            .map(BlockId::from_index)
+            .filter(|b| self.succs(*b).is_empty())
+            .collect()
+    }
+
+    /// Blocks in reverse post-order from the entry. Unreachable blocks are
+    /// appended after the reachable ones, in id order.
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let n = self.block_count();
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS computing post-order.
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::ENTRY, 0)];
+        state[BlockId::ENTRY.index()] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < self.succs(b).len() {
+                let s = self.succs(b)[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        for (i, &st) in state.iter().enumerate() {
+            if st == 0 {
+                post.push(BlockId::from_index(i));
+            }
+        }
+        post
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.block_count()];
+        let mut work = vec![BlockId::ENTRY];
+        seen[BlockId::ENTRY.index()] = true;
+        while let Some(b) = work.pop() {
+            for &s in self.succs(b) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    work.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Node and edge counts of a flowgraph, as compared in Table 6.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct FlowgraphSize {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+}
+
+impl FlowgraphSize {
+    /// Measures the static flowgraph of `func`.
+    pub fn of_function(func: &Function) -> FlowgraphSize {
+        let cfg = Cfg::new(func);
+        FlowgraphSize {
+            nodes: cfg.block_count(),
+            edges: cfg.edge_count(),
+        }
+    }
+}
+
+impl std::ops::Add for FlowgraphSize {
+    type Output = FlowgraphSize;
+
+    fn add(self, rhs: FlowgraphSize) -> FlowgraphSize {
+        FlowgraphSize {
+            nodes: self.nodes + rhs.nodes,
+            edges: self.edges + rhs.edges,
+        }
+    }
+}
+
+impl std::iter::Sum for FlowgraphSize {
+    fn sum<I: Iterator<Item = FlowgraphSize>>(iter: I) -> FlowgraphSize {
+        iter.fold(FlowgraphSize::default(), std::ops::Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::single_function_program;
+    use crate::stmt::{Operand, Terminator};
+
+    /// Diamond: 1 -> {2, 3} -> 4.
+    fn diamond() -> crate::Program {
+        single_function_program(|fb| {
+            let b1 = fb.entry();
+            let b2 = fb.new_block();
+            let b3 = fb.new_block();
+            let b4 = fb.new_block();
+            fb.terminate(
+                b1,
+                Terminator::Branch {
+                    cond: Operand::Const(1),
+                    then_dest: b2,
+                    else_dest: b3,
+                },
+            );
+            fb.terminate(b2, Terminator::Jump(b4));
+            fb.terminate(b3, Terminator::Jump(b4));
+            fb.terminate(b4, Terminator::Return(None));
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn succs_and_preds() {
+        let p = diamond();
+        let cfg = Cfg::new(p.func(p.main()));
+        assert_eq!(cfg.succs(BlockId::new(1)), &[BlockId::new(2), BlockId::new(3)]);
+        assert_eq!(cfg.preds(BlockId::new(4)), &[BlockId::new(2), BlockId::new(3)]);
+        assert_eq!(cfg.edge_count(), 4);
+        assert_eq!(cfg.exits(), vec![BlockId::new(4)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_visits_all() {
+        let p = diamond();
+        let cfg = Cfg::new(p.func(p.main()));
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId::ENTRY);
+        // Join block must come after both branch arms.
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId::new(4)) > pos(BlockId::new(2)));
+        assert!(pos(BlockId::new(4)) > pos(BlockId::new(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let p = single_function_program(|fb| {
+            let b1 = fb.entry();
+            let dead = fb.new_block();
+            fb.terminate(b1, Terminator::Return(None));
+            fb.terminate(dead, Terminator::Return(None));
+        })
+        .unwrap();
+        let cfg = Cfg::new(p.func(p.main()));
+        assert_eq!(cfg.reachable(), vec![true, false]);
+        // RPO still lists the unreachable block last.
+        assert_eq!(cfg.reverse_post_order().len(), 2);
+    }
+
+    #[test]
+    fn flowgraph_size_sums() {
+        let p = diamond();
+        let s = FlowgraphSize::of_function(p.func(p.main()));
+        assert_eq!(s, FlowgraphSize { nodes: 4, edges: 4 });
+        let total: FlowgraphSize = [s, s].into_iter().sum();
+        assert_eq!(total, FlowgraphSize { nodes: 8, edges: 8 });
+    }
+}

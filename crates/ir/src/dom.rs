@@ -1,0 +1,392 @@
+//! Dominators, post-dominators and control dependence.
+//!
+//! Uses the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
+//! Dominance Algorithm"). Control dependence follows Ferrante–Ottenstein–
+//! Warren: `n` is control dependent on `m` when `m` has a successor from
+//! which `n` post-dominates, but `n` does not post-dominate `m` itself.
+//! The dynamic slicing application in `twpp-dataflow` uses
+//! [`ControlDeps`] to find the predicates controlling each block.
+
+use crate::cfg::Cfg;
+use crate::func::Function;
+use crate::ids::BlockId;
+
+/// Immediate-dominator tree over a function's CFG.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    idom: Vec<Option<usize>>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn new(func: &Function) -> DomTree {
+        let cfg = Cfg::new(func);
+        let n = cfg.block_count();
+        let rpo = cfg.reverse_post_order();
+        let reachable = cfg.reachable();
+        let order: Vec<usize> = rpo
+            .iter()
+            .filter(|b| reachable[b.index()])
+            .map(|b| b.index())
+            .collect();
+        let preds: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                cfg.preds(BlockId::from_index(i))
+                    .iter()
+                    .filter(|p| reachable[p.index()])
+                    .map(|p| p.index())
+                    .collect()
+            })
+            .collect();
+        let idom = compute_idoms(n, BlockId::ENTRY.index(), &order, &preds);
+        DomTree { idom }
+    }
+
+    /// The immediate dominator of `block`, or `None` for the entry block and
+    /// unreachable blocks.
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        let i = block.index();
+        match self.idom[i] {
+            Some(d) if d != i => Some(BlockId::from_index(d)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let a = a.index();
+        let mut cur = b.index();
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// Immediate-post-dominator tree, computed over the reverse CFG with a
+/// virtual exit joining all return blocks.
+#[derive(Clone, Debug)]
+pub struct PostDomTree {
+    /// `idom[i]` in the augmented reverse graph; index `n` is the virtual
+    /// exit.
+    idom: Vec<Option<usize>>,
+    n: usize,
+}
+
+impl PostDomTree {
+    /// Computes the post-dominator tree of `func`.
+    pub fn new(func: &Function) -> PostDomTree {
+        let cfg = Cfg::new(func);
+        let n = cfg.block_count();
+        let virtual_exit = n;
+        // Reverse graph: preds of node i = successors of i in the CFG;
+        // every real exit gets the virtual exit as a reverse-predecessor.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let b = BlockId::from_index(i);
+            if cfg.succs(b).is_empty() {
+                preds[i].push(virtual_exit);
+            } else {
+                for &s in cfg.succs(b) {
+                    preds[i].push(s.index());
+                }
+            }
+        }
+        // RPO of the reverse graph from the virtual exit.
+        let mut succs_rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (i, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                succs_rev[p].push(i);
+            }
+        }
+        let order = rpo_of(&succs_rev, virtual_exit);
+        let idom = compute_idoms(n + 1, virtual_exit, &order, &preds);
+        PostDomTree { idom, n }
+    }
+
+    /// The immediate post-dominator of `block`. `None` means the block is
+    /// immediately post-dominated by the virtual exit (e.g. a return block)
+    /// or never reaches an exit.
+    pub fn ipdom(&self, block: BlockId) -> Option<BlockId> {
+        let i = block.index();
+        match self.idom[i] {
+            Some(d) if d != i && d != self.n => Some(BlockId::from_index(d)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `a` post-dominates `b` (reflexively).
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let a = a.index();
+        let mut cur = b.index();
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(d) if d != cur && d != self.n => cur = d,
+                Some(d) if d == self.n => return false,
+                _ => return false,
+            }
+        }
+    }
+
+    fn ipdom_raw(&self, i: usize) -> Option<usize> {
+        match self.idom[i] {
+            Some(d) if d != i => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Control-dependence relation of a function.
+#[derive(Clone, Debug)]
+pub struct ControlDeps {
+    /// `deps[i]` = blocks that block `i` is control dependent on.
+    deps: Vec<Vec<BlockId>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences for `func`.
+    pub fn new(func: &Function) -> ControlDeps {
+        let cfg = Cfg::new(func);
+        let pdt = PostDomTree::new(func);
+        let n = cfg.block_count();
+        let mut deps: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for a_idx in 0..n {
+            let a = BlockId::from_index(a_idx);
+            for &b in cfg.succs(a) {
+                // Walk the post-dominator tree from b up to (not including)
+                // ipdom(a); every node on the way is control dependent on a.
+                let stop = pdt.ipdom_raw(a_idx);
+                let mut runner = Some(b.index());
+                while let Some(r) = runner {
+                    if Some(r) == stop {
+                        break;
+                    }
+                    if r < n && !deps[r].contains(&a) {
+                        deps[r].push(a);
+                    }
+                    runner = pdt.ipdom_raw(r);
+                    if runner == Some(r) {
+                        break;
+                    }
+                }
+            }
+        }
+        ControlDeps { deps }
+    }
+
+    /// Blocks that `block` is control dependent on.
+    pub fn deps_of(&self, block: BlockId) -> &[BlockId] {
+        &self.deps[block.index()]
+    }
+}
+
+/// Cooper–Harvey–Kennedy iterative immediate-dominator computation.
+///
+/// `order` must be a reverse post-order of the reachable nodes starting with
+/// `root`; `preds` gives predecessors restricted to reachable nodes.
+/// Returns `idom[i] = Some(root)`-rooted tree; unreachable nodes get `None`.
+fn compute_idoms(
+    n: usize,
+    root: usize,
+    order: &[usize],
+    preds: &[Vec<usize>],
+) -> Vec<Option<usize>> {
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root);
+    // Position of each node in RPO, for the intersection walk.
+    let mut pos = vec![usize::MAX; n];
+    for (i, &b) in order.iter().enumerate() {
+        pos[b] = i;
+    }
+    let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| {
+        while a != b {
+            while pos[a] > pos[b] {
+                a = idom[a].expect("processed node has idom");
+            }
+            while pos[b] > pos[a] {
+                b = idom[b].expect("processed node has idom");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if new_idom.is_some() && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+/// Reverse post-order of an arbitrary adjacency-list graph from `root`.
+fn rpo_of(succs: &[Vec<usize>], root: usize) -> Vec<usize> {
+    let n = succs.len();
+    let mut state = vec![0u8; n];
+    let mut post = Vec::with_capacity(n);
+    let mut stack = vec![(root, 0usize)];
+    state[root] = 1;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        if *next < succs[b].len() {
+            let s = succs[b][*next];
+            *next += 1;
+            if state[s] == 0 {
+                state[s] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b] = 2;
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::single_function_program;
+    use crate::stmt::{Operand, Terminator};
+    use crate::Program;
+
+    /// 1 -> {2,3}; 2 -> 4; 3 -> 4; 4 -> {5 (loop back to 1), 6}; 6 returns.
+    fn looped() -> Program {
+        single_function_program(|fb| {
+            let b1 = fb.entry();
+            let b2 = fb.new_block();
+            let b3 = fb.new_block();
+            let b4 = fb.new_block();
+            let b5 = fb.new_block();
+            let b6 = fb.new_block();
+            let c = Operand::Const(1);
+            fb.terminate(
+                b1,
+                Terminator::Branch {
+                    cond: c,
+                    then_dest: b2,
+                    else_dest: b3,
+                },
+            );
+            fb.terminate(b2, Terminator::Jump(b4));
+            fb.terminate(b3, Terminator::Jump(b4));
+            fb.terminate(
+                b4,
+                Terminator::Branch {
+                    cond: c,
+                    then_dest: b5,
+                    else_dest: b6,
+                },
+            );
+            fb.terminate(b5, Terminator::Jump(b1));
+            fb.terminate(b6, Terminator::Return(None));
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn dominators_of_diamond_with_loop() {
+        let p = looped();
+        let f = p.func(p.main());
+        let dt = DomTree::new(f);
+        let b = BlockId::new;
+        assert_eq!(dt.idom(b(1)), None);
+        assert_eq!(dt.idom(b(2)), Some(b(1)));
+        assert_eq!(dt.idom(b(3)), Some(b(1)));
+        assert_eq!(dt.idom(b(4)), Some(b(1)));
+        assert_eq!(dt.idom(b(5)), Some(b(4)));
+        assert_eq!(dt.idom(b(6)), Some(b(4)));
+        assert!(dt.dominates(b(1), b(6)));
+        assert!(dt.dominates(b(4), b(5)));
+        assert!(!dt.dominates(b(2), b(4)));
+        assert!(dt.dominates(b(3), b(3)));
+    }
+
+    #[test]
+    fn post_dominators() {
+        let p = looped();
+        let f = p.func(p.main());
+        let pdt = PostDomTree::new(f);
+        let b = BlockId::new;
+        assert_eq!(pdt.ipdom(b(1)), Some(b(4)));
+        assert_eq!(pdt.ipdom(b(2)), Some(b(4)));
+        assert_eq!(pdt.ipdom(b(3)), Some(b(4)));
+        assert_eq!(pdt.ipdom(b(4)), Some(b(6)));
+        assert_eq!(pdt.ipdom(b(6)), None); // virtual exit
+        assert!(pdt.post_dominates(b(4), b(1)));
+        assert!(pdt.post_dominates(b(6), b(2)));
+        assert!(!pdt.post_dominates(b(2), b(1)));
+    }
+
+    #[test]
+    fn control_dependence_of_branch_arms() {
+        let p = looped();
+        let f = p.func(p.main());
+        let cd = ControlDeps::new(f);
+        let b = BlockId::new;
+        // Branch arms depend on the branching block.
+        assert!(cd.deps_of(b(2)).contains(&b(1)));
+        assert!(cd.deps_of(b(3)).contains(&b(1)));
+        // The join does not depend on the branch.
+        assert!(!cd.deps_of(b(4)).contains(&b(1)));
+        // Loop body: block 5 depends on block 4's branch; so does block 1
+        // (it re-executes only if 4 takes the back edge).
+        assert!(cd.deps_of(b(5)).contains(&b(4)));
+        assert!(cd.deps_of(b(1)).contains(&b(4)));
+    }
+
+    #[test]
+    fn straight_line_has_no_control_deps() {
+        let p = single_function_program(|fb| {
+            let b1 = fb.entry();
+            let b2 = fb.new_block();
+            fb.terminate(b1, Terminator::Jump(b2));
+            fb.terminate(b2, Terminator::Return(None));
+        })
+        .unwrap();
+        let cd = ControlDeps::new(p.func(p.main()));
+        assert!(cd.deps_of(BlockId::new(1)).is_empty());
+        assert!(cd.deps_of(BlockId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn dominates_is_transitive_on_chain() {
+        let p = single_function_program(|fb| {
+            let b1 = fb.entry();
+            let b2 = fb.new_block();
+            let b3 = fb.new_block();
+            fb.terminate(b1, Terminator::Jump(b2));
+            fb.terminate(b2, Terminator::Jump(b3));
+            fb.terminate(b3, Terminator::Return(None));
+        })
+        .unwrap();
+        let dt = DomTree::new(p.func(p.main()));
+        let b = BlockId::new;
+        assert!(dt.dominates(b(1), b(3)));
+        assert!(dt.dominates(b(2), b(3)));
+        assert!(!dt.dominates(b(3), b(2)));
+    }
+}

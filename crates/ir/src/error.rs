@@ -1,0 +1,112 @@
+//! Error type for IR construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId, Var};
+
+/// Errors produced while building or validating a [`Program`](crate::Program).
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum IrError {
+    /// Two functions were declared with the same name.
+    DuplicateFunction(String),
+    /// A function body was provided twice.
+    DuplicateBody(FuncId),
+    /// A declared function was never given a body.
+    MissingBody(String),
+    /// No function named `main` was declared.
+    MissingMain,
+    /// `main` must take no parameters.
+    MainHasParams,
+    /// A block id referenced by a terminator does not exist.
+    UnknownBlock {
+        /// Function containing the bad reference.
+        func: String,
+        /// The out-of-range block id.
+        block: BlockId,
+    },
+    /// A block was never terminated.
+    Unterminated {
+        /// Function containing the block.
+        func: String,
+        /// The unterminated block.
+        block: BlockId,
+    },
+    /// A call references a function id that does not exist.
+    UnknownCallee {
+        /// Function containing the call.
+        func: String,
+        /// The unknown callee id.
+        callee: FuncId,
+    },
+    /// A call passes the wrong number of arguments.
+    ArityMismatch {
+        /// Function containing the call.
+        func: String,
+        /// Name of the callee.
+        callee: String,
+        /// Number of parameters the callee declares.
+        expected: usize,
+        /// Number of arguments passed.
+        found: usize,
+    },
+    /// A value-returning call targets a function that returns nothing.
+    VoidCallee {
+        /// Function containing the call.
+        func: String,
+        /// Name of the void callee.
+        callee: String,
+    },
+    /// A statement or terminator references a variable slot out of range.
+    UnknownVar {
+        /// Function containing the reference.
+        func: String,
+        /// The out-of-range variable.
+        var: Var,
+    },
+    /// A function has no blocks at all.
+    EmptyFunction(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::DuplicateFunction(name) => {
+                write!(f, "function `{name}` declared more than once")
+            }
+            IrError::DuplicateBody(id) => write!(f, "body for {id} defined more than once"),
+            IrError::MissingBody(name) => write!(f, "function `{name}` has no body"),
+            IrError::MissingMain => f.write_str("program has no `main` function"),
+            IrError::MainHasParams => f.write_str("`main` must not take parameters"),
+            IrError::UnknownBlock { func, block } => {
+                write!(f, "function `{func}` references unknown block {block}")
+            }
+            IrError::Unterminated { func, block } => {
+                write!(f, "block {block} of function `{func}` has no terminator")
+            }
+            IrError::UnknownCallee { func, callee } => {
+                write!(f, "function `{func}` calls unknown function {callee}")
+            }
+            IrError::ArityMismatch {
+                func,
+                callee,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function `{func}` calls `{callee}` with {found} arguments, expected {expected}"
+            ),
+            IrError::VoidCallee { func, callee } => write!(
+                f,
+                "function `{func}` uses the result of `{callee}` which returns no value"
+            ),
+            IrError::UnknownVar { func, var } => {
+                write!(f, "function `{func}` references unknown variable {var}")
+            }
+            IrError::EmptyFunction(name) => write!(f, "function `{name}` has no blocks"),
+        }
+    }
+}
+
+impl Error for IrError {}

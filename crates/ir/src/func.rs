@@ -1,0 +1,194 @@
+//! Functions, basic blocks and whole programs.
+
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId, Var};
+use crate::stmt::{Stmt, Terminator};
+
+/// A basic block: a straight-line sequence of statements ended by a
+/// terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BasicBlock {
+    pub(crate) stmts: Vec<Stmt>,
+    pub(crate) term: Terminator,
+}
+
+impl BasicBlock {
+    /// The statements of the block, in execution order.
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.stmts
+    }
+
+    /// The block terminator.
+    pub fn terminator(&self) -> &Terminator {
+        &self.term
+    }
+
+    /// Successor blocks of this block.
+    pub fn successors(&self) -> Vec<BlockId> {
+        self.term.successors()
+    }
+
+    /// Returns the callee of the first call statement in this block, if any.
+    pub fn first_callee(&self) -> Option<FuncId> {
+        self.stmts.iter().find_map(Stmt::callee)
+    }
+}
+
+impl fmt::Display for BasicBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stmts {
+            writeln!(f, "    {s}")?;
+        }
+        writeln!(f, "    {}", self.term)
+    }
+}
+
+/// A function: parameters, local variable slots and a control-flow graph of
+/// basic blocks. The entry block is always [`BlockId::ENTRY`] (block 1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    pub(crate) name: String,
+    pub(crate) param_count: usize,
+    pub(crate) var_count: usize,
+    pub(crate) returns_value: bool,
+    pub(crate) blocks: Vec<BasicBlock>,
+}
+
+impl Function {
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of parameters; parameters occupy variable slots
+    /// `0..param_count`.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Total number of variable slots (parameters + locals).
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// Whether the function returns a value.
+    pub fn returns_value(&self) -> bool {
+        self.returns_value
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range; validated programs only contain
+    /// in-range ids.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Iterates over `(id, block)` pairs in id order.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from_index(i), b))
+    }
+
+    /// Iterates over all block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len()).map(BlockId::from_index)
+    }
+
+    /// Total number of statements in the function.
+    pub fn stmt_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.stmts.len()).sum()
+    }
+
+    /// Iterates over all variable slots.
+    pub fn vars(&self) -> impl Iterator<Item = Var> {
+        (0..self.var_count).map(Var::from_index)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fn {}({} params, {} vars){}:",
+            self.name,
+            self.param_count,
+            self.var_count,
+            if self.returns_value { " -> value" } else { "" }
+        )?;
+        for (id, b) in self.blocks() {
+            writeln!(f, "  {id}:")?;
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete program: a set of functions and a designated `main`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    pub(crate) functions: Vec<Function>,
+    pub(crate) main: FuncId,
+}
+
+impl Program {
+    /// The entry function.
+    pub fn main(&self) -> FuncId {
+        self.main
+    }
+
+    /// Number of functions.
+    pub fn func_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Looks up a function by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId::from_index(i), f))
+    }
+
+    /// Iterates over `(id, function)` pairs in id order.
+    pub fn funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId::from_index(i), f))
+    }
+
+    /// Iterates over all function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.functions.len()).map(FuncId::from_index)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, func) in self.funcs() {
+            writeln!(f, "{id} = {func}")?;
+        }
+        writeln!(f, "main = {}", self.main)
+    }
+}

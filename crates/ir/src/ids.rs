@@ -1,0 +1,140 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+/// Identifier of a function within a [`Program`](crate::Program).
+///
+/// Function ids are dense indices assigned by
+/// [`ProgramBuilder::declare`](crate::ProgramBuilder::declare) in declaration
+/// order.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Creates a function id from its dense index.
+    pub fn from_index(index: usize) -> FuncId {
+        FuncId(u32::try_from(index).expect("function index exceeds u32"))
+    }
+
+    /// Returns the dense index of this function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw id value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Creates a function id from a raw value previously obtained from
+    /// [`FuncId::as_u32`].
+    pub fn from_u32(raw: u32) -> FuncId {
+        FuncId(raw)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// Identifier of a basic block within a [`Function`](crate::Function).
+///
+/// Block ids are **1-based**, matching the paper's figures: the entry block
+/// of every function is block 1.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// The entry block of every function.
+    pub const ENTRY: BlockId = BlockId(1);
+
+    /// Creates a block id from its raw 1-based value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is zero; block ids are 1-based.
+    pub fn new(raw: u32) -> BlockId {
+        assert!(raw != 0, "block ids are 1-based; 0 is not a valid block id");
+        BlockId(raw)
+    }
+
+    /// Creates a block id from a dense 0-based index (index 0 is block 1).
+    pub fn from_index(index: usize) -> BlockId {
+        BlockId(u32::try_from(index + 1).expect("block index exceeds u32"))
+    }
+
+    /// Returns the dense 0-based index of this block.
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Returns the raw 1-based id value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Identifier of a local variable slot within a function.
+///
+/// Parameters occupy the first slots (`Var(0)..Var(param_count)`), followed
+/// by locals in allocation order.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense slot index.
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index exceeds u32"))
+    }
+
+    /// Returns the dense slot index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ids_are_one_based() {
+        assert_eq!(BlockId::from_index(0), BlockId::ENTRY);
+        assert_eq!(BlockId::new(3).index(), 2);
+        assert_eq!(BlockId::from_index(2).as_u32(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_block_id_panics() {
+        let _ = BlockId::new(0);
+    }
+
+    #[test]
+    fn func_and_var_round_trip() {
+        assert_eq!(FuncId::from_index(7).index(), 7);
+        assert_eq!(FuncId::from_u32(7), FuncId::from_index(7));
+        assert_eq!(Var::from_index(3).index(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FuncId::from_index(2).to_string(), "fn2");
+        assert_eq!(BlockId::new(4).to_string(), "b4");
+        assert_eq!(Var::from_index(0).to_string(), "v0");
+    }
+}

@@ -1,0 +1,55 @@
+//! Static program representation for the TWPP reproduction.
+//!
+//! This crate provides the intermediate representation that every other crate
+//! in the workspace consumes:
+//!
+//! * [`Program`], [`Function`] and [`BasicBlock`] — a control-flow-graph IR
+//!   with executable statement semantics (assignments, loads/stores to a flat
+//!   memory, calls, input/output), so the tracer can *run* programs and emit
+//!   whole program paths.
+//! * [`ProgramBuilder`] / [`FunctionBuilder`] — checked construction.
+//! * [`cfg`](mod@cfg) — successor/predecessor views, reverse post-order and the static
+//!   flowgraph sizes reported in Table 6 of the paper.
+//! * [`dom`] — dominators, post-dominators and control dependence (needed by
+//!   the dynamic slicing application).
+//!
+//! Block ids are 1-based, matching the figures of the paper (the entry block
+//! of every function is block 1).
+//!
+//! # Example
+//!
+//! ```
+//! use twpp_ir::{FunctionBuilder, Operand, ProgramBuilder, Rvalue, Stmt, Terminator};
+//!
+//! # fn main() -> Result<(), twpp_ir::IrError> {
+//! let mut pb = ProgramBuilder::new();
+//! let main = pb.declare("main", 0, false)?;
+//! let mut fb = FunctionBuilder::new(0);
+//! let b1 = fb.entry();
+//! let v = fb.new_var();
+//! fb.push(b1, Stmt::assign(v, Rvalue::Use(Operand::Const(42))));
+//! fb.push(b1, Stmt::Print(Operand::Var(v)));
+//! fb.terminate(b1, Terminator::Return(None));
+//! pb.define(main, fb)?;
+//! let program = pb.finish()?;
+//! assert_eq!(program.func(program.main()).name(), "main");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod cfg;
+pub mod dom;
+mod error;
+mod func;
+mod ids;
+mod stmt;
+
+pub use builder::{single_function_program, FunctionBuilder, ProgramBuilder};
+pub use error::IrError;
+pub use func::{BasicBlock, Function, Program};
+pub use ids::{BlockId, FuncId, Var};
+pub use stmt::{BinOp, Operand, Rvalue, Stmt, Terminator, UnOp};

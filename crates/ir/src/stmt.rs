@@ -1,0 +1,471 @@
+//! Statements, operands and terminators.
+
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId, Var};
+
+/// A value read by a statement: either a constant or a variable.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// An integer constant.
+    Const(i64),
+    /// The current value of a variable slot.
+    Var(Var),
+}
+
+impl Operand {
+    /// Returns the variable read by this operand, if any.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Operand::Var(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(c) => write!(f, "{c}"),
+            Operand::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation (zero becomes 1, anything else 0).
+    Not,
+}
+
+impl UnOp {
+    /// Evaluates the operator on a concrete value.
+    pub fn eval(self, v: i64) -> i64 {
+        match self {
+            UnOp::Neg => v.wrapping_neg(),
+            UnOp::Not => i64::from(v == 0),
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        })
+    }
+}
+
+/// Binary operators. Comparison and logical operators produce 0 or 1.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; division by zero yields 0 (the interpreter does not trap).
+    Div,
+    /// Remainder; remainder by zero yields 0.
+    Rem,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Logical and of truthiness (non-zero operands).
+    And,
+    /// Logical or of truthiness.
+    Or,
+}
+
+impl BinOp {
+    /// Evaluates the operator on concrete values.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::Lt => i64::from(a < b),
+            BinOp::Le => i64::from(a <= b),
+            BinOp::Gt => i64::from(a > b),
+            BinOp::Ge => i64::from(a >= b),
+            BinOp::Eq => i64::from(a == b),
+            BinOp::Ne => i64::from(a != b),
+            BinOp::And => i64::from(a != 0 && b != 0),
+            BinOp::Or => i64::from(a != 0 || b != 0),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        })
+    }
+}
+
+/// The right-hand side of an assignment.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Rvalue {
+    /// Copies an operand.
+    Use(Operand),
+    /// Applies a unary operator.
+    Unary(UnOp, Operand),
+    /// Applies a binary operator.
+    Binary(BinOp, Operand, Operand),
+    /// Loads the value stored at the given address in the flat memory.
+    Load(Operand),
+    /// Consumes the next value from the program's input stream (the paper's
+    /// `read X`).
+    Input,
+    /// Calls a value-returning function.
+    Call {
+        /// The called function; must be declared with `returns_value`.
+        callee: FuncId,
+        /// Actual arguments, one per parameter.
+        args: Vec<Operand>,
+    },
+}
+
+impl Rvalue {
+    /// Appends every variable read by this rvalue to `out`.
+    pub fn collect_used_vars(&self, out: &mut Vec<Var>) {
+        let mut push = |op: &Operand| {
+            if let Operand::Var(v) = op {
+                out.push(*v);
+            }
+        };
+        match self {
+            Rvalue::Use(a) | Rvalue::Unary(_, a) | Rvalue::Load(a) => push(a),
+            Rvalue::Binary(_, a, b) => {
+                push(a);
+                push(b);
+            }
+            Rvalue::Input => {}
+            Rvalue::Call { args, .. } => args.iter().for_each(push),
+        }
+    }
+
+    /// Returns the function called by this rvalue, if it is a call.
+    pub fn callee(&self) -> Option<FuncId> {
+        match self {
+            Rvalue::Call { callee, .. } => Some(*callee),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rvalue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rvalue::Use(a) => write!(f, "{a}"),
+            Rvalue::Unary(op, a) => write!(f, "{op}{a}"),
+            Rvalue::Binary(op, a, b) => write!(f, "{a} {op} {b}"),
+            Rvalue::Load(a) => write!(f, "load({a})"),
+            Rvalue::Input => f.write_str("input()"),
+            Rvalue::Call { callee, args } => {
+                write!(f, "{callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// A statement inside a basic block.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Stmt {
+    /// `dest = rvalue`.
+    Assign {
+        /// The variable slot written.
+        dest: Var,
+        /// The computed value.
+        rvalue: Rvalue,
+    },
+    /// `store(addr, value)` into the flat memory.
+    Store {
+        /// The address written.
+        addr: Operand,
+        /// The value stored.
+        value: Operand,
+    },
+    /// Writes a value to the program's output stream.
+    Print(Operand),
+    /// Calls a function and discards its result (if any).
+    Call {
+        /// The called function.
+        callee: FuncId,
+        /// Actual arguments, one per parameter.
+        args: Vec<Operand>,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor for [`Stmt::Assign`].
+    pub fn assign(dest: Var, rvalue: Rvalue) -> Stmt {
+        Stmt::Assign { dest, rvalue }
+    }
+
+    /// Returns the variable defined (written) by this statement, if any.
+    pub fn defined_var(&self) -> Option<Var> {
+        match self {
+            Stmt::Assign { dest, .. } => Some(*dest),
+            _ => None,
+        }
+    }
+
+    /// Returns every variable read by this statement.
+    pub fn used_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        match self {
+            Stmt::Assign { rvalue, .. } => rvalue.collect_used_vars(&mut out),
+            Stmt::Store { addr, value } => {
+                out.extend(addr.as_var());
+                out.extend(value.as_var());
+            }
+            Stmt::Print(a) => out.extend(a.as_var()),
+            Stmt::Call { args, .. } => out.extend(args.iter().filter_map(|a| a.as_var())),
+        }
+        out
+    }
+
+    /// Returns the function called by this statement, if any.
+    pub fn callee(&self) -> Option<FuncId> {
+        match self {
+            Stmt::Assign { rvalue, .. } => rvalue.callee(),
+            Stmt::Call { callee, .. } => Some(*callee),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this statement loads from memory.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Stmt::Assign {
+                rvalue: Rvalue::Load(_),
+                ..
+            }
+        )
+    }
+
+    /// Returns `true` if this statement stores to memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Stmt::Store { .. })
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Assign { dest, rvalue } => write!(f, "{dest} = {rvalue}"),
+            Stmt::Store { addr, value } => write!(f, "store({addr}, {value})"),
+            Stmt::Print(a) => write!(f, "print({a})"),
+            Stmt::Call { callee, args } => {
+                write!(f, "{callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// The terminator of a basic block, deciding control transfer.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on the truthiness (non-zero) of `cond`.
+    Branch {
+        /// The branch condition.
+        cond: Operand,
+        /// Successor when `cond` is non-zero.
+        then_dest: BlockId,
+        /// Successor when `cond` is zero.
+        else_dest: BlockId,
+    },
+    /// Returns from the function, optionally with a value.
+    Return(Option<Operand>),
+}
+
+impl Terminator {
+    /// Returns the possible successor blocks, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(d) => vec![*d],
+            Terminator::Branch {
+                then_dest,
+                else_dest,
+                ..
+            } => vec![*then_dest, *else_dest],
+            Terminator::Return(_) => Vec::new(),
+        }
+    }
+
+    /// Returns every variable read by this terminator.
+    pub fn used_vars(&self) -> Vec<Var> {
+        match self {
+            Terminator::Branch { cond, .. } => cond.as_var().into_iter().collect(),
+            Terminator::Return(Some(op)) => op.as_var().into_iter().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Returns `true` if this terminator is a conditional branch.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Terminator::Branch { .. })
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(d) => write!(f, "jump {d}"),
+            Terminator::Branch {
+                cond,
+                then_dest,
+                else_dest,
+            } => write!(f, "branch {cond} ? {then_dest} : {else_dest}"),
+            Terminator::Return(None) => f.write_str("return"),
+            Terminator::Return(Some(op)) => write!(f, "return {op}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_matches_semantics() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Div.eval(7, 0), 0);
+        assert_eq!(BinOp::Rem.eval(7, 0), 0);
+        assert_eq!(BinOp::Lt.eval(1, 2), 1);
+        assert_eq!(BinOp::And.eval(2, 0), 0);
+        assert_eq!(BinOp::Or.eval(0, -1), 1);
+        assert_eq!(BinOp::Sub.eval(i64::MIN, 1), i64::MAX);
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(UnOp::Neg.eval(5), -5);
+        assert_eq!(UnOp::Not.eval(0), 1);
+        assert_eq!(UnOp::Not.eval(3), 0);
+    }
+
+    #[test]
+    fn def_use_sets() {
+        let v0 = Var::from_index(0);
+        let v1 = Var::from_index(1);
+        let s = Stmt::assign(
+            v0,
+            Rvalue::Binary(BinOp::Add, Operand::Var(v1), Operand::Const(1)),
+        );
+        assert_eq!(s.defined_var(), Some(v0));
+        assert_eq!(s.used_vars(), vec![v1]);
+
+        let store = Stmt::Store {
+            addr: Operand::Var(v0),
+            value: Operand::Var(v1),
+        };
+        assert_eq!(store.defined_var(), None);
+        assert_eq!(store.used_vars(), vec![v0, v1]);
+        assert!(store.is_store());
+    }
+
+    #[test]
+    fn call_detection() {
+        let f = FuncId::from_index(3);
+        let s = Stmt::Call {
+            callee: f,
+            args: vec![Operand::Const(1)],
+        };
+        assert_eq!(s.callee(), Some(f));
+        let a = Stmt::assign(
+            Var::from_index(0),
+            Rvalue::Call {
+                callee: f,
+                args: vec![],
+            },
+        );
+        assert_eq!(a.callee(), Some(f));
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Branch {
+            cond: Operand::Const(1),
+            then_dest: BlockId::new(2),
+            else_dest: BlockId::new(3),
+        };
+        assert_eq!(t.successors(), vec![BlockId::new(2), BlockId::new(3)]);
+        assert!(t.is_branch());
+        assert!(Terminator::Return(None).successors().is_empty());
+    }
+
+    #[test]
+    fn display_round() {
+        let v = Var::from_index(1);
+        let s = Stmt::assign(
+            v,
+            Rvalue::Binary(BinOp::Mul, Operand::Var(v), Operand::Const(2)),
+        );
+        assert_eq!(s.to_string(), "v1 = v1 * 2");
+        assert_eq!(
+            Terminator::Jump(BlockId::new(5)).to_string(),
+            "jump b5"
+        );
+    }
+}

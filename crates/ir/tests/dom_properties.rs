@@ -1,0 +1,211 @@
+//! Property-based validation of dominators, post-dominators and control
+//! dependence against brute-force path-based definitions, on random CFGs.
+
+use proptest::prelude::*;
+
+use twpp_ir::cfg::Cfg;
+use twpp_ir::dom::{ControlDeps, DomTree, PostDomTree};
+use twpp_ir::{single_function_program, BlockId, Operand, Program, Terminator};
+
+/// Builds a random CFG: `n` blocks, each terminated with a jump or branch
+/// to arbitrary targets (the last block returns; others may too).
+fn cfg_strategy() -> impl Strategy<Value = Program> {
+    (2usize..10).prop_flat_map(|n| {
+        let term = prop_oneof![
+            Just(None),                                         // return
+            (0..n).prop_map(Some).prop_map(|t| t.map(|x| (x, x))), // jump
+            ((0..n), (0..n)).prop_map(|(a, b)| Some((a, b))),   // branch
+        ];
+        prop::collection::vec(term, n).prop_map(move |terms| {
+            single_function_program(|fb| {
+                let blocks: Vec<BlockId> = (0..terms.len())
+                    .map(|i| if i == 0 { fb.entry() } else { fb.new_block() })
+                    .collect();
+                for (i, t) in terms.iter().enumerate() {
+                    let term = match t {
+                        None => Terminator::Return(None),
+                        Some((a, b)) if a == b => Terminator::Jump(blocks[*a]),
+                        Some((a, b)) => Terminator::Branch {
+                            cond: Operand::Const(1),
+                            then_dest: blocks[*a],
+                            else_dest: blocks[*b],
+                        },
+                    };
+                    fb.terminate(blocks[i], term);
+                }
+            })
+            .expect("structurally valid")
+        })
+    })
+}
+
+/// Brute force: does every path from `entry` to `to` pass through `via`?
+/// (Standard dominance via graph cut: remove `via`, check reachability.)
+fn dominates_brute(cfg: &Cfg, via: BlockId, to: BlockId) -> bool {
+    if via == to {
+        return true;
+    }
+    // BFS from entry avoiding `via`.
+    let mut seen = vec![false; cfg.block_count()];
+    let mut work = vec![BlockId::ENTRY];
+    if BlockId::ENTRY == via {
+        return true; // entry dominates everything reachable
+    }
+    seen[BlockId::ENTRY.index()] = true;
+    while let Some(b) = work.pop() {
+        for &s in cfg.succs(b) {
+            if s != via && !seen[s.index()] {
+                seen[s.index()] = true;
+                work.push(s);
+            }
+        }
+    }
+    !seen[to.index()]
+}
+
+/// Brute force post-dominance: every path from `from` to any exit passes
+/// through `via`.
+fn post_dominates_brute(cfg: &Cfg, via: BlockId, from: BlockId) -> bool {
+    if via == from {
+        return true;
+    }
+    // BFS from `from` avoiding `via`; if an exit is reachable, `via` does
+    // not post-dominate.
+    let mut seen = vec![false; cfg.block_count()];
+    let mut work = vec![from];
+    seen[from.index()] = true;
+    while let Some(b) = work.pop() {
+        if cfg.succs(b).is_empty() {
+            return false;
+        }
+        for &s in cfg.succs(b) {
+            if s != via && !seen[s.index()] {
+                seen[s.index()] = true;
+                work.push(s);
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dominates_matches_brute_force(program in cfg_strategy()) {
+        let func = program.func(program.main());
+        let cfg = Cfg::new(func);
+        let dt = DomTree::new(func);
+        let reachable = cfg.reachable();
+        for a in func.block_ids() {
+            for b in func.block_ids() {
+                if !reachable[a.index()] || !reachable[b.index()] {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dt.dominates(a, b),
+                    dominates_brute(&cfg, a, b),
+                    "dominates({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn post_dominates_matches_brute_force(program in cfg_strategy()) {
+        let func = program.func(program.main());
+        let cfg = Cfg::new(func);
+        let pdt = PostDomTree::new(func);
+        let reachable = cfg.reachable();
+        // Only meaningful for blocks that can reach an exit.
+        let reaches_exit = |from: BlockId| {
+            let mut seen = vec![false; cfg.block_count()];
+            let mut work = vec![from];
+            seen[from.index()] = true;
+            while let Some(b) = work.pop() {
+                if cfg.succs(b).is_empty() {
+                    return true;
+                }
+                for &s in cfg.succs(b) {
+                    if !seen[s.index()] {
+                        seen[s.index()] = true;
+                        work.push(s);
+                    }
+                }
+            }
+            false
+        };
+        for a in func.block_ids() {
+            for b in func.block_ids() {
+                if !reachable[a.index()] || !reachable[b.index()] {
+                    continue;
+                }
+                if !reaches_exit(b) || !reaches_exit(a) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    pdt.post_dominates(a, b),
+                    post_dominates_brute(&cfg, a, b),
+                    "post_dominates({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idom_strictly_dominates_and_chains_to_entry(program in cfg_strategy()) {
+        let func = program.func(program.main());
+        let cfg = Cfg::new(func);
+        let dt = DomTree::new(func);
+        let reachable = cfg.reachable();
+        for b in func.block_ids() {
+            if !reachable[b.index()] || b == BlockId::ENTRY {
+                continue;
+            }
+            // Every reachable non-entry block has an idom chain ending at
+            // the entry.
+            let mut cur = b;
+            let mut steps = 0;
+            while let Some(d) = dt.idom(cur) {
+                prop_assert!(dt.dominates(d, b));
+                cur = d;
+                steps += 1;
+                prop_assert!(steps <= func.block_count(), "idom chain cycles");
+            }
+            prop_assert_eq!(cur, BlockId::ENTRY);
+        }
+    }
+
+    #[test]
+    fn control_dependence_matches_definition(program in cfg_strategy()) {
+        // n is control dependent on m iff m has successors s1 (from which
+        // n post-dominates) and s2 (from which it does not), per
+        // Ferrante-Ottenstein-Warren.
+        let func = program.func(program.main());
+        let cfg = Cfg::new(func);
+        let pdt = PostDomTree::new(func);
+        let cds = ControlDeps::new(func);
+        let reachable = cfg.reachable();
+        for m in func.block_ids() {
+            if !reachable[m.index()] || cfg.succs(m).len() < 2 {
+                continue;
+            }
+            for n in func.block_ids() {
+                if !reachable[n.index()] {
+                    continue;
+                }
+                let some_arm = cfg
+                    .succs(m)
+                    .iter()
+                    .any(|&s| pdt.post_dominates(n, s));
+                let not_m = !pdt.post_dominates(n, m) || n == m;
+                let expected = some_arm && not_m;
+                let computed = cds.deps_of(n).contains(&m);
+                prop_assert_eq!(
+                    computed, expected,
+                    "control dep of {} on {}", n, m
+                );
+            }
+        }
+    }
+}

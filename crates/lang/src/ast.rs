@@ -1,0 +1,163 @@
+//! Abstract syntax tree.
+
+use crate::token::Pos;
+
+/// A binary operator (strict evaluation; `&&`/`||` are not short-circuit in
+/// this language).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// A unary operator.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Variable reference.
+    Var(String, Pos),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call in expression position.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position of the call.
+        pos: Pos,
+    },
+    /// `input()` — read the next input value.
+    Input,
+    /// `load(addr)` — read memory.
+    Load(Box<Expr>),
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        value: Expr,
+        /// Position of the declaration.
+        pos: Pos,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+        /// Position of the assignment.
+        pos: Pos,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return;` or `return expr;`
+    Return(Option<Expr>),
+    /// `print(expr);`
+    Print(Expr),
+    /// `store(addr, value);`
+    Store(Expr, Expr),
+    /// A call in statement position: `name(args);`
+    CallStmt {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position of the call.
+        pos: Pos,
+    },
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Position of the `fn` keyword.
+    pub pos: Pos,
+}
+
+/// A parsed source file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceFile {
+    /// Function definitions in source order.
+    pub fns: Vec<FnDef>,
+}
+
+impl FnDef {
+    /// Returns `true` if any (nested) statement is `return expr;`.
+    pub fn returns_value(&self) -> bool {
+        fn stmts_return(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::Return(Some(_)) => true,
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => stmts_return(then_body) || stmts_return(else_body),
+                Stmt::While { body, .. } => stmts_return(body),
+                _ => false,
+            })
+        }
+        stmts_return(&self.body)
+    }
+}

@@ -1,0 +1,114 @@
+//! Compilation errors with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::token::Pos;
+
+/// Errors produced while compiling mini-language source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum LangError {
+    /// An unexpected character in the source.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Its position.
+        pos: Pos,
+    },
+    /// An integer literal out of `i64` range.
+    BadNumber {
+        /// Position of the literal.
+        pos: Pos,
+    },
+    /// The parser expected something else.
+    Unexpected {
+        /// Human-readable description of what was found.
+        found: String,
+        /// What was expected.
+        expected: String,
+        /// Position of the offending token.
+        pos: Pos,
+    },
+    /// Use of an undeclared variable.
+    UnknownVar {
+        /// Variable name.
+        name: String,
+        /// Position of the use.
+        pos: Pos,
+    },
+    /// Call of an undeclared function.
+    UnknownFn {
+        /// Function name.
+        name: String,
+        /// Position of the call.
+        pos: Pos,
+    },
+    /// Call with the wrong number of arguments.
+    Arity {
+        /// Function name.
+        name: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Arguments passed.
+        found: usize,
+        /// Position of the call.
+        pos: Pos,
+    },
+    /// A value was requested from a function that never returns one.
+    VoidInExpr {
+        /// Function name.
+        name: String,
+        /// Position of the call.
+        pos: Pos,
+    },
+    /// Variable declared twice in the same scope.
+    Redeclared {
+        /// Variable name.
+        name: String,
+        /// Position of the redeclaration.
+        pos: Pos,
+    },
+    /// Two functions share a name, or `main` is missing/has parameters.
+    Program(String),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::UnexpectedChar { ch, pos } => {
+                write!(f, "{pos}: unexpected character {ch:?}")
+            }
+            LangError::BadNumber { pos } => write!(f, "{pos}: integer literal out of range"),
+            LangError::Unexpected {
+                found,
+                expected,
+                pos,
+            } => write!(f, "{pos}: expected {expected}, found {found}"),
+            LangError::UnknownVar { name, pos } => {
+                write!(f, "{pos}: unknown variable `{name}`")
+            }
+            LangError::UnknownFn { name, pos } => {
+                write!(f, "{pos}: unknown function `{name}`")
+            }
+            LangError::Arity {
+                name,
+                expected,
+                found,
+                pos,
+            } => write!(
+                f,
+                "{pos}: `{name}` takes {expected} arguments, {found} given"
+            ),
+            LangError::VoidInExpr { name, pos } => {
+                write!(f, "{pos}: `{name}` returns no value but is used in an expression")
+            }
+            LangError::Redeclared { name, pos } => {
+                write!(f, "{pos}: variable `{name}` already declared in this scope")
+            }
+            LangError::Program(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl Error for LangError {}

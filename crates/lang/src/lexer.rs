@@ -1,0 +1,296 @@
+//! Hand-written lexer.
+
+use crate::error::LangError;
+use crate::token::{Pos, Token, TokenKind};
+
+/// Tokenizes `src`.
+///
+/// Line comments start with `//`. Whitespace separates tokens.
+///
+/// # Errors
+///
+/// Returns [`LangError::UnexpectedChar`] or [`LangError::BadNumber`].
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    bump!();
+                }
+                Some('/') => {
+                    // Peek one further for a comment.
+                    let mut clone = chars.clone();
+                    clone.next();
+                    if clone.peek() == Some(&'/') {
+                        while let Some(&c) = chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            bump!();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else {
+            tokens.push(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+            return Ok(tokens);
+        };
+        let kind = match c {
+            '0'..='9' => {
+                let mut value: i64 = 0;
+                let mut overflow = false;
+                while let Some(&d) = chars.peek() {
+                    let Some(digit) = d.to_digit(10) else { break };
+                    bump!();
+                    value = match value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(i64::from(digit)))
+                    {
+                        Some(v) => v,
+                        None => {
+                            overflow = true;
+                            0
+                        }
+                    };
+                }
+                if overflow {
+                    return Err(LangError::BadNumber { pos });
+                }
+                TokenKind::Num(value)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                match ident.as_str() {
+                    "fn" => TokenKind::Fn,
+                    "let" => TokenKind::Let,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "return" => TokenKind::Return,
+                    "print" => TokenKind::Print,
+                    "input" => TokenKind::Input,
+                    "load" => TokenKind::Load,
+                    "store" => TokenKind::Store,
+                    _ => TokenKind::Ident(ident),
+                }
+            }
+            '(' => {
+                bump!();
+                TokenKind::LParen
+            }
+            ')' => {
+                bump!();
+                TokenKind::RParen
+            }
+            '{' => {
+                bump!();
+                TokenKind::LBrace
+            }
+            '}' => {
+                bump!();
+                TokenKind::RBrace
+            }
+            ',' => {
+                bump!();
+                TokenKind::Comma
+            }
+            ';' => {
+                bump!();
+                TokenKind::Semi
+            }
+            '+' => {
+                bump!();
+                TokenKind::Plus
+            }
+            '-' => {
+                bump!();
+                TokenKind::Minus
+            }
+            '*' => {
+                bump!();
+                TokenKind::Star
+            }
+            '/' => {
+                bump!();
+                TokenKind::Slash
+            }
+            '%' => {
+                bump!();
+                TokenKind::Percent
+            }
+            '<' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '=' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '!' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    TokenKind::Ne
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            '&' => {
+                bump!();
+                if chars.peek() == Some(&'&') {
+                    bump!();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(LangError::UnexpectedChar { ch: '&', pos });
+                }
+            }
+            '|' => {
+                bump!();
+                if chars.peek() == Some(&'|') {
+                    bump!();
+                    TokenKind::OrOr
+                } else {
+                    return Err(LangError::UnexpectedChar { ch: '|', pos });
+                }
+            }
+            other => return Err(LangError::UnexpectedChar { ch: other, pos }),
+        };
+        tokens.push(Token { kind, pos });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_idents_numbers() {
+        assert_eq!(
+            kinds("fn foo(x) { let y1 = 42; }"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("foo".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::Let,
+                TokenKind::Ident("y1".into()),
+                TokenKind::Assign,
+                TokenKind::Num(42),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_including_two_char() {
+        assert_eq!(
+            kinds("< <= > >= == != && || ! = + - * / %"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Bang,
+                TokenKind::Assign,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Percent,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = lex("let a = 1; // comment\nlet b = 2;").unwrap();
+        let b = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".into()))
+            .unwrap();
+        assert_eq!((b.pos.line, b.pos.col), (2, 5));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            lex("let a = $;"),
+            Err(LangError::UnexpectedChar { ch: '$', .. })
+        ));
+        assert!(matches!(
+            lex("99999999999999999999"),
+            Err(LangError::BadNumber { .. })
+        ));
+        assert!(matches!(
+            lex("a & b"),
+            Err(LangError::UnexpectedChar { ch: '&', .. })
+        ));
+    }
+}

@@ -1,0 +1,60 @@
+//! **twpp-lang** — a mini imperative language compiled to `twpp-ir` CFGs.
+//!
+//! The paper collected whole program paths from Trimaran-instrumented
+//! SPECint95 binaries. This crate supplies the corresponding front end for
+//! the reproduction: programs written in a small C-like language are
+//! lowered to control-flow graphs, which `twpp-tracer` then executes to
+//! collect WPPs.
+//!
+//! The language has functions, integers, `let`/assignment, `if`/`while`,
+//! `print`, `input()`, and a flat memory accessed with `load`/`store`.
+//! `&&`/`||` evaluate strictly (no short-circuit).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), twpp_lang::LangError> {
+//! let program = twpp_lang::compile(
+//!     "fn main() { let x = 6; print(x * 7); }",
+//! )?;
+//! assert_eq!(program.func(program.main()).name(), "main");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+pub mod programs;
+pub mod token;
+
+pub use error::LangError;
+pub use lexer::lex;
+pub use lower::{lower, lower_with_options, LowerOptions};
+pub use parser::parse;
+
+use twpp_ir::Program;
+
+/// Compiles source text to an executable [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error.
+pub fn compile(src: &str) -> Result<Program, LangError> {
+    lower(&parse(src)?)
+}
+
+/// Compiles source text with explicit lowering options (e.g. one statement
+/// per basic block, the granularity used by the data flow figures).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error.
+pub fn compile_with_options(src: &str, opts: LowerOptions) -> Result<Program, LangError> {
+    lower_with_options(&parse(src)?, opts)
+}

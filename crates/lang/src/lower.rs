@@ -1,0 +1,492 @@
+//! Lowering from AST to the `twpp-ir` control-flow-graph representation.
+
+use std::collections::HashMap;
+
+use twpp_ir::{
+    BlockId, FuncId, FunctionBuilder, Operand, Program, ProgramBuilder, Rvalue, Terminator, Var,
+};
+
+use crate::ast::{self, Expr, FnDef, SourceFile, Stmt};
+use crate::error::LangError;
+use crate::token::Pos;
+
+/// Options controlling lowering.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct LowerOptions {
+    /// Place every simple statement in its own basic block (jump-linked).
+    ///
+    /// The paper's data flow figures (9–12) number individual statements as
+    /// trace nodes; this mode reproduces that granularity so timestamps
+    /// identify statement instances.
+    pub stmt_per_block: bool,
+}
+
+/// Lowers a parsed source file with default options.
+///
+/// # Errors
+///
+/// Returns the first semantic error (unknown names, arity mismatches,
+/// missing `main`, …).
+pub fn lower(sf: &SourceFile) -> Result<Program, LangError> {
+    lower_with_options(sf, LowerOptions::default())
+}
+
+/// Lowers a parsed source file.
+///
+/// # Errors
+///
+/// Returns the first semantic error encountered.
+pub fn lower_with_options(sf: &SourceFile, opts: LowerOptions) -> Result<Program, LangError> {
+    let mut pb = ProgramBuilder::new();
+    let mut sigs: HashMap<String, (FuncId, usize, bool)> = HashMap::new();
+    for f in &sf.fns {
+        let returns = f.returns_value();
+        let id = pb
+            .declare(&f.name, f.params.len(), returns)
+            .map_err(|e| LangError::Program(e.to_string()))?;
+        sigs.insert(f.name.clone(), (id, f.params.len(), returns));
+    }
+    for f in &sf.fns {
+        let (id, _, returns) = sigs[&f.name];
+        let body = lower_fn(f, returns, &sigs, opts)?;
+        pb.define(id, body)
+            .map_err(|e| LangError::Program(e.to_string()))?;
+    }
+    pb.finish().map_err(|e| LangError::Program(e.to_string()))
+}
+
+struct Ctx<'a> {
+    fb: FunctionBuilder,
+    scopes: Vec<HashMap<String, Var>>,
+    sigs: &'a HashMap<String, (FuncId, usize, bool)>,
+    current: BlockId,
+    opts: LowerOptions,
+}
+
+fn lower_fn(
+    f: &FnDef,
+    returns: bool,
+    sigs: &HashMap<String, (FuncId, usize, bool)>,
+    opts: LowerOptions,
+) -> Result<FunctionBuilder, LangError> {
+    let fb = if returns {
+        FunctionBuilder::new_returning(f.params.len())
+    } else {
+        FunctionBuilder::new(f.params.len())
+    };
+    let mut scope = HashMap::new();
+    for (i, p) in f.params.iter().enumerate() {
+        if scope.insert(p.clone(), fb.param(i)).is_some() {
+            return Err(LangError::Redeclared {
+                name: p.clone(),
+                pos: f.pos,
+            });
+        }
+    }
+    let entry = fb.entry();
+    let mut ctx = Ctx {
+        fb,
+        scopes: vec![scope],
+        sigs,
+        current: entry,
+        opts,
+    };
+    ctx.lower_stmts(&f.body)?;
+    if !ctx.fb.is_terminated(ctx.current) {
+        let term = if returns {
+            Terminator::Return(Some(Operand::Const(0)))
+        } else {
+            Terminator::Return(None)
+        };
+        ctx.fb.terminate(ctx.current, term);
+    }
+    Ok(ctx.fb)
+}
+
+impl Ctx<'_> {
+    fn lookup(&self, name: &str, pos: Pos) -> Result<Var, LangError> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .copied()
+            .ok_or_else(|| LangError::UnknownVar {
+                name: name.to_owned(),
+                pos,
+            })
+    }
+
+    fn signature(&self, name: &str, pos: Pos) -> Result<(FuncId, usize, bool), LangError> {
+        self.sigs
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::UnknownFn {
+                name: name.to_owned(),
+                pos,
+            })
+    }
+
+    fn check_arity(
+        &self,
+        name: &str,
+        expected: usize,
+        found: usize,
+        pos: Pos,
+    ) -> Result<(), LangError> {
+        if expected != found {
+            return Err(LangError::Arity {
+                name: name.to_owned(),
+                expected,
+                found,
+                pos,
+            });
+        }
+        Ok(())
+    }
+
+    /// Starts a fresh block after a simple statement when `stmt_per_block`
+    /// is on.
+    fn break_block(&mut self) {
+        if self.opts.stmt_per_block && !self.fb.is_terminated(self.current) {
+            let next = self.fb.new_block();
+            self.fb.terminate(self.current, Terminator::Jump(next));
+            self.current = next;
+        }
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), LangError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.lower_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), LangError> {
+        match stmt {
+            Stmt::Let { name, value, pos } => {
+                let op = self.lower_expr(value)?;
+                let scope = self.scopes.last_mut().expect("scope stack never empty");
+                if scope.contains_key(name) {
+                    return Err(LangError::Redeclared {
+                        name: name.clone(),
+                        pos: *pos,
+                    });
+                }
+                let v = self.fb.new_var();
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(name.clone(), v);
+                self.fb
+                    .push(self.current, twpp_ir::Stmt::assign(v, Rvalue::Use(op)));
+                self.break_block();
+            }
+            Stmt::Assign { name, value, pos } => {
+                let op = self.lower_expr(value)?;
+                let v = self.lookup(name, *pos)?;
+                self.fb
+                    .push(self.current, twpp_ir::Stmt::assign(v, Rvalue::Use(op)));
+                self.break_block();
+            }
+            Stmt::Print(e) => {
+                let op = self.lower_expr(e)?;
+                self.fb.push(self.current, twpp_ir::Stmt::Print(op));
+                self.break_block();
+            }
+            Stmt::Store(addr, value) => {
+                let a = self.lower_expr(addr)?;
+                let v = self.lower_expr(value)?;
+                self.fb
+                    .push(self.current, twpp_ir::Stmt::Store { addr: a, value: v });
+                self.break_block();
+            }
+            Stmt::CallStmt { name, args, pos } => {
+                let (id, expected, _) = self.signature(name, *pos)?;
+                self.check_arity(name, expected, args.len(), *pos)?;
+                let argv = args
+                    .iter()
+                    .map(|a| self.lower_expr(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.fb.push(
+                    self.current,
+                    twpp_ir::Stmt::Call {
+                        callee: id,
+                        args: argv,
+                    },
+                );
+                self.break_block();
+            }
+            Stmt::Return(value) => {
+                let term = match value {
+                    Some(e) => Terminator::Return(Some(self.lower_expr(e)?)),
+                    None => Terminator::Return(None),
+                };
+                self.fb.terminate(self.current, term);
+                // Anything after a return in the same source block is
+                // unreachable; give it a fresh block.
+                self.current = self.fb.new_block();
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.lower_expr(cond)?;
+                let then_b = self.fb.new_block();
+                let else_b = self.fb.new_block();
+                let join = self.fb.new_block();
+                self.fb.terminate(
+                    self.current,
+                    Terminator::Branch {
+                        cond: c,
+                        then_dest: then_b,
+                        else_dest: else_b,
+                    },
+                );
+                self.current = then_b;
+                self.lower_stmts(then_body)?;
+                if !self.fb.is_terminated(self.current) {
+                    self.fb.terminate(self.current, Terminator::Jump(join));
+                }
+                self.current = else_b;
+                self.lower_stmts(else_body)?;
+                if !self.fb.is_terminated(self.current) {
+                    self.fb.terminate(self.current, Terminator::Jump(join));
+                }
+                self.current = join;
+            }
+            Stmt::While { cond, body } => {
+                let head = self.fb.new_block();
+                let body_b = self.fb.new_block();
+                let exit = self.fb.new_block();
+                self.fb.terminate(self.current, Terminator::Jump(head));
+                self.current = head;
+                let c = self.lower_expr(cond)?;
+                self.fb.terminate(
+                    self.current,
+                    Terminator::Branch {
+                        cond: c,
+                        then_dest: body_b,
+                        else_dest: exit,
+                    },
+                );
+                self.current = body_b;
+                self.lower_stmts(body)?;
+                if !self.fb.is_terminated(self.current) {
+                    self.fb.terminate(self.current, Terminator::Jump(head));
+                }
+                self.current = exit;
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers an expression, emitting intermediate assignments into the
+    /// current block, and returns the operand holding its value.
+    fn lower_expr(&mut self, e: &Expr) -> Result<Operand, LangError> {
+        Ok(match e {
+            Expr::Num(n) => Operand::Const(*n),
+            Expr::Var(name, pos) => Operand::Var(self.lookup(name, *pos)?),
+            Expr::Unary(op, inner) => {
+                let a = self.lower_expr(inner)?;
+                let ir_op = match op {
+                    ast::UnOp::Neg => twpp_ir::UnOp::Neg,
+                    ast::UnOp::Not => twpp_ir::UnOp::Not,
+                };
+                self.emit_tmp(Rvalue::Unary(ir_op, a))
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let a = self.lower_expr(lhs)?;
+                let b = self.lower_expr(rhs)?;
+                self.emit_tmp(Rvalue::Binary(bin_op(*op), a, b))
+            }
+            Expr::Call { name, args, pos } => {
+                let (id, expected, returns) = self.signature(name, *pos)?;
+                if !returns {
+                    return Err(LangError::VoidInExpr {
+                        name: name.clone(),
+                        pos: *pos,
+                    });
+                }
+                self.check_arity(name, expected, args.len(), *pos)?;
+                let argv = args
+                    .iter()
+                    .map(|a| self.lower_expr(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.emit_tmp(Rvalue::Call {
+                    callee: id,
+                    args: argv,
+                })
+            }
+            Expr::Input => self.emit_tmp(Rvalue::Input),
+            Expr::Load(addr) => {
+                let a = self.lower_expr(addr)?;
+                self.emit_tmp(Rvalue::Load(a))
+            }
+        })
+    }
+
+    fn emit_tmp(&mut self, rv: Rvalue) -> Operand {
+        let v = self.fb.new_var();
+        self.fb.push(self.current, twpp_ir::Stmt::assign(v, rv));
+        Operand::Var(v)
+    }
+}
+
+fn bin_op(op: ast::BinOp) -> twpp_ir::BinOp {
+    match op {
+        ast::BinOp::Add => twpp_ir::BinOp::Add,
+        ast::BinOp::Sub => twpp_ir::BinOp::Sub,
+        ast::BinOp::Mul => twpp_ir::BinOp::Mul,
+        ast::BinOp::Div => twpp_ir::BinOp::Div,
+        ast::BinOp::Rem => twpp_ir::BinOp::Rem,
+        ast::BinOp::Lt => twpp_ir::BinOp::Lt,
+        ast::BinOp::Le => twpp_ir::BinOp::Le,
+        ast::BinOp::Gt => twpp_ir::BinOp::Gt,
+        ast::BinOp::Ge => twpp_ir::BinOp::Ge,
+        ast::BinOp::Eq => twpp_ir::BinOp::Eq,
+        ast::BinOp::Ne => twpp_ir::BinOp::Ne,
+        ast::BinOp::And => twpp_ir::BinOp::And,
+        ast::BinOp::Or => twpp_ir::BinOp::Or,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use twpp_tracer::{run, ExecLimits};
+
+    fn compile(src: &str) -> Program {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    fn output_of(src: &str, input: &[i64]) -> Vec<i64> {
+        run(&compile(src), input, ExecLimits::default())
+            .unwrap()
+            .output
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(output_of("fn main() { print(1 + 2 * 3); }", &[]), vec![7]);
+        assert_eq!(output_of("fn main() { print((1 + 2) * 3); }", &[]), vec![9]);
+        assert_eq!(output_of("fn main() { print(-3 + 1); }", &[]), vec![-2]);
+        assert_eq!(output_of("fn main() { print(!0 + !5); }", &[]), vec![1]);
+    }
+
+    #[test]
+    fn control_flow_loops_and_branches() {
+        let src = "
+            fn main() {
+                let i = 0;
+                let sum = 0;
+                while (i < 10) {
+                    if (i % 2 == 0) { sum = sum + i; }
+                    i = i + 1;
+                }
+                print(sum);
+            }";
+        assert_eq!(output_of(src, &[]), vec![20]);
+    }
+
+    #[test]
+    fn functions_recursion_and_returns() {
+        let src = "
+            fn fib(n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main() { print(fib(10)); }";
+        assert_eq!(output_of(src, &[]), vec![55]);
+    }
+
+    #[test]
+    fn io_and_memory() {
+        let src = "
+            fn main() {
+                let a = input();
+                store(7, a * 2);
+                print(load(7));
+                print(load(8));
+            }";
+        assert_eq!(output_of(src, &[21]), vec![42, 0]);
+    }
+
+    #[test]
+    fn shadowing_in_nested_scopes() {
+        let src = "
+            fn main() {
+                let x = 1;
+                if (1) { let x = 2; print(x); } else { }
+                print(x);
+            }";
+        assert_eq!(output_of(src, &[]), vec![2, 1]);
+    }
+
+    #[test]
+    fn semantic_errors() {
+        let check = |src: &str| lower(&parse(src).unwrap()).unwrap_err();
+        assert!(matches!(
+            check("fn main() { print(x); }"),
+            LangError::UnknownVar { .. }
+        ));
+        assert!(matches!(
+            check("fn main() { g(); }"),
+            LangError::UnknownFn { .. }
+        ));
+        assert!(matches!(
+            check("fn f(a) { print(a); } fn main() { f(); }"),
+            LangError::Arity { .. }
+        ));
+        assert!(matches!(
+            check("fn f() { print(1); } fn main() { let x = f(); }"),
+            LangError::VoidInExpr { .. }
+        ));
+        assert!(matches!(
+            check("fn main() { let a = 1; let a = 2; }"),
+            LangError::Redeclared { .. }
+        ));
+        assert!(matches!(
+            check("fn f() {} fn f() {} fn main() {}"),
+            LangError::Program(_)
+        ));
+        assert!(matches!(check("fn f() {}"), LangError::Program(_)));
+    }
+
+    #[test]
+    fn stmt_per_block_increases_block_count() {
+        let src = "fn main() { let a = 1; let b = 2; print(a + b); }";
+        let coarse = compile(src);
+        let sf = parse(src).unwrap();
+        let fine = lower_with_options(&sf, LowerOptions { stmt_per_block: true }).unwrap();
+        let f_coarse = coarse.func(coarse.main());
+        let f_fine = fine.func(fine.main());
+        assert_eq!(f_coarse.block_count(), 1);
+        assert!(f_fine.block_count() > f_coarse.block_count());
+        // Behaviour is unchanged.
+        let out = run(&fine, &[], ExecLimits::default()).unwrap().output;
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn return_mid_block_leaves_valid_cfg() {
+        let src = "
+            fn f(x) {
+                if (x > 0) { return 1; }
+                return 0;
+            }
+            fn main() { print(f(5)); print(f(-5)); }";
+        assert_eq!(output_of(src, &[]), vec![1, 0]);
+    }
+
+    #[test]
+    fn value_function_falls_back_to_zero() {
+        let src = "
+            fn f(x) { if (x > 0) { return 7; } }
+            fn main() { print(f(1)); print(f(-1)); }";
+        assert_eq!(output_of(src, &[]), vec![7, 0]);
+    }
+}

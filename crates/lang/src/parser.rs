@@ -1,0 +1,376 @@
+//! Recursive-descent parser.
+
+use crate::ast::{BinOp, Expr, FnDef, SourceFile, Stmt, UnOp};
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Pos, Token, TokenKind};
+
+/// Parses a source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error.
+pub fn parse(src: &str) -> Result<SourceFile, LangError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut fns = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        fns.push(p.fn_def()?);
+    }
+    Ok(SourceFile { fns })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token, LangError> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> LangError {
+        LangError::Unexpected {
+            found: self.peek().kind.to_string(),
+            expected: expected.to_owned(),
+            pos: self.peek().pos,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Pos), LangError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                let pos = self.peek().pos;
+                self.bump();
+                Ok((name, pos))
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, LangError> {
+        let kw = self.expect(TokenKind::Fn, "`fn`")?;
+        let (name, _) = self.ident("function name")?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let (p, _) = self.ident("parameter name")?;
+                params.push(p);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(FnDef {
+            name,
+            params,
+            body,
+            pos: kw.pos,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                return Err(self.unexpected("`}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // `}`
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Let => {
+                self.bump();
+                let (name, pos) = self.ident("variable name")?;
+                self.expect(TokenKind::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Let { name, value, pos })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&TokenKind::Else) {
+                    if self.at(&TokenKind::If) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::Print => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Print(e))
+            }
+            TokenKind::Store => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let addr = self.expr()?;
+                self.expect(TokenKind::Comma, "`,`")?;
+                let value = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Store(addr, value))
+            }
+            TokenKind::Ident(name) => {
+                let pos = self.peek().pos;
+                self.bump();
+                if self.eat(&TokenKind::Assign) {
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semi, "`;`")?;
+                    Ok(Stmt::Assign { name, value, pos })
+                } else if self.at(&TokenKind::LParen) {
+                    let args = self.call_args()?;
+                    self.expect(TokenKind::Semi, "`;`")?;
+                    Ok(Stmt::CallStmt { name, args, pos })
+                } else {
+                    Err(self.unexpected("`=` or `(`"))
+                }
+            }
+            _ => Err(self.unexpected("a statement")),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, LangError> {
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.binary(0)
+    }
+
+    /// Precedence climbing. Levels: `||` < `&&` < `== !=` < `< <= > >=` <
+    /// `+ -` < `* / %`.
+    fn binary(&mut self, min_level: u8) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, level) = match self.peek().kind {
+                TokenKind::OrOr => (BinOp::Or, 1),
+                TokenKind::AndAnd => (BinOp::And, 2),
+                TokenKind::EqEq => (BinOp::Eq, 3),
+                TokenKind::Ne => (BinOp::Ne, 3),
+                TokenKind::Lt => (BinOp::Lt, 4),
+                TokenKind::Le => (BinOp::Le, 4),
+                TokenKind::Gt => (BinOp::Gt, 4),
+                TokenKind::Ge => (BinOp::Ge, 4),
+                TokenKind::Plus => (BinOp::Add, 5),
+                TokenKind::Minus => (BinOp::Sub, 5),
+                TokenKind::Star => (BinOp::Mul, 6),
+                TokenKind::Slash => (BinOp::Div, 6),
+                TokenKind::Percent => (BinOp::Rem, 6),
+                _ => break,
+            };
+            if level < min_level {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        match self.peek().kind {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::Input => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(Expr::Input)
+            }
+            TokenKind::Load => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let addr = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(Expr::Load(Box::new(addr)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                let pos = self.peek().pos;
+                self.bump();
+                if self.at(&TokenKind::LParen) {
+                    let args = self.call_args()?;
+                    Ok(Expr::Call { name, args, pos })
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_main() {
+        let sf = parse("fn main() { print(1); }").unwrap();
+        assert_eq!(sf.fns.len(), 1);
+        assert_eq!(sf.fns[0].name, "main");
+        assert_eq!(sf.fns[0].body.len(), 1);
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        let sf = parse("fn main() { let x = 1 + 2 * 3 < 4 && 5 == 6; }").unwrap();
+        let Stmt::Let { value, .. } = &sf.fns[0].body[0] else {
+            panic!()
+        };
+        // ((1 + (2*3)) < 4) && (5 == 6)
+        let Expr::Binary(BinOp::And, lhs, rhs) = value else {
+            panic!("expected && at top: {value:?}")
+        };
+        assert!(matches!(**lhs, Expr::Binary(BinOp::Lt, _, _)));
+        assert!(matches!(**rhs, Expr::Binary(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let sf = parse(
+            "fn main() { if (1) { print(1); } else if (2) { print(2); } else { print(3); } }",
+        )
+        .unwrap();
+        let Stmt::If { else_body, .. } = &sf.fns[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn calls_statements_and_expressions() {
+        let sf = parse("fn f(x, y) { return x + y; } fn main() { f(1, 2); let z = f(3, f(4, 5)); }")
+            .unwrap();
+        assert_eq!(sf.fns[0].params, vec!["x", "y"]);
+        assert!(sf.fns[0].returns_value());
+        assert!(!sf.fns[1].returns_value());
+    }
+
+    #[test]
+    fn memory_and_io_forms() {
+        parse("fn main() { store(1, input()); let v = load(1); print(v); }").unwrap();
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let err = parse("fn main() { let = 3; }").unwrap_err();
+        assert!(err.to_string().contains("variable name"), "{err}");
+        let err = parse("fn main() { x 3; }").unwrap_err();
+        assert!(err.to_string().contains("expected"), "{err}");
+        assert!(parse("fn main() {").is_err());
+        assert!(parse("main() {}").is_err());
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let sf = parse("fn main() { let x = - - 1; let y = !!x; }").unwrap();
+        assert_eq!(sf.fns[0].body.len(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! The paper's example programs, written in the mini language.
+//!
+//! These sources reproduce the structures of the paper's figures and are
+//! shared by tests, examples and the table-regeneration harness.
+
+/// Figure 1's running example: `main` iterates 5 times calling `f`; `f`
+/// loops 3 times per call and follows one of two paths through its body
+/// depending on its argument, so redundant path trace elimination finds
+/// exactly 2 unique traces over 5 calls.
+pub const FIGURE1: &str = "
+// Figure 1 of the paper: a loop in main calling f, which loops itself.
+fn f(x) {
+    let j = 0;
+    while (j < 3) {
+        if (x % 2 == 0) {
+            print(x + j);
+        } else {
+            print(x - j);
+        }
+        j = j + 1;
+    }
+}
+fn main() {
+    let i = 0;
+    while (i < 5) {
+        f(i);
+        i = i + 1;
+    }
+}
+";
+
+/// Figure 9's load-redundancy example: a loop of 100 iterations; the load
+/// in the frequent branch (60 executions) is always redundant with respect
+/// to the loop-header load because the killing store (40 executions) sits
+/// on the other path.
+pub const FIGURE9: &str = "
+// Figure 9 of the paper: detecting dynamic load redundancy.
+fn main() {
+    let i = 0;
+    while (i < 100) {
+        let t = load(100);      // 1_Load: executes 100 times
+        if (i % 5 < 3) {        // 60 of 100 iterations
+            let u = load(100);  // 4_Load: executes 60 times, 100% redundant
+            print(u);
+        } else {
+            store(100, i);      // 6_Store: executes 40 times
+        }
+        i = i + 1;
+    }
+}
+";
+
+/// Figure 10's dynamic slicing example (run with input `N = 3, X = -4, 3,
+/// -2`): the slice of `z` at the final print distinguishes the three
+/// Agrawal–Horgan algorithms.
+pub const FIGURE10: &str = "
+// Figure 10 of the paper: the dynamic slicing example.
+fn f1(x) { return 0 - x; }
+fn f2(x) { return x * 2; }
+fn f3(y) { return y + 1; }
+fn main() {
+    let n = input();        // 1: read N
+    let i = 1;              // 2: I = 1
+    let j = 0;              // 3: J = 0
+    let x = 0;
+    let y = 0;
+    let z = 0;
+    while (i <= n) {        // 4: while I <= N
+        x = input();        // 5: read X
+        if (x < 0) {        // 6: if X < 0
+            y = f1(x);      // 7: Y = f1(X)
+        } else {
+            y = f2(x);      // 8: Y = f2(X)
+        }
+        z = f3(y);          // 9: Z = f3(Y)
+        print(z);           // 10: write Z
+        j = 1;              // 11: J = 1
+        i = i + 1;          // 12: I = I + 1
+    }
+    z = z + j;              // 13: Z = Z + J
+    print(z);               // 14: breakpoint - request slice for Z
+}
+";
+
+/// The input of Figure 10: `N = 3`, then `X = -4, 3, -2`.
+pub const FIGURE10_INPUT: &[i64] = &[3, -4, 3, -2];
+
+/// A compute-heavy program exercising every language feature; used as a
+/// realistic end-to-end compilation workload.
+pub const KITCHEN_SINK: &str = "
+fn gcd(a, b) {
+    while (b != 0) {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+fn collatz_len(n) {
+    let len = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        len = len + 1;
+    }
+    return len;
+}
+fn main() {
+    print(gcd(252, 105));
+    let i = 1;
+    let longest = 0;
+    while (i <= 30) {
+        let l = collatz_len(i);
+        if (l > longest) { longest = l; }
+        store(i, l);
+        i = i + 1;
+    }
+    print(longest);
+    print(load(27));
+}
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use twpp_tracer::{run, ExecLimits};
+
+    #[test]
+    fn figure1_compiles_and_runs() {
+        let p = compile(FIGURE1).unwrap();
+        let exec = run(&p, &[], ExecLimits::default()).unwrap();
+        assert_eq!(exec.output.len(), 15); // 5 calls x 3 iterations
+    }
+
+    #[test]
+    fn figure9_compiles_and_runs() {
+        let p = compile(FIGURE9).unwrap();
+        let exec = run(&p, &[], ExecLimits::default()).unwrap();
+        assert_eq!(exec.output.len(), 60);
+    }
+
+    #[test]
+    fn figure10_produces_paper_values() {
+        let p = compile(FIGURE10).unwrap();
+        let exec = run(&p, FIGURE10_INPUT, ExecLimits::default()).unwrap();
+        // z values: f3(f1(-4)) = 5, f3(f2(3)) = 7, f3(f1(-2)) = 3,
+        // then z + j = 4 at the breakpoint.
+        assert_eq!(exec.output, vec![5, 7, 3, 4]);
+    }
+
+    #[test]
+    fn kitchen_sink_runs() {
+        let p = compile(KITCHEN_SINK).unwrap();
+        let exec = run(&p, &[], ExecLimits::default()).unwrap();
+        assert_eq!(exec.output[0], 21); // gcd(252, 105)
+        assert_eq!(exec.output[1], 111); // longest collatz chain <= 30 (27)
+        assert_eq!(exec.output[2], 111); // load(27)
+    }
+}

@@ -1,0 +1,187 @@
+//! Property test: random expressions printed as source, compiled through
+//! the full front end, executed by the CFG interpreter, and compared to a
+//! direct big-step evaluation of the expression tree.
+
+use proptest::prelude::*;
+
+use twpp_lang::compile;
+use twpp_tracer::{run, ExecLimits};
+
+/// A small expression tree with its own evaluator and printer.
+#[derive(Clone, Debug)]
+enum E {
+    Num(i64),
+    Var(usize),
+    Neg(Box<E>),
+    Not(Box<E>),
+    Bin(Op, Box<E>, Box<E>),
+}
+
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+const VARS: usize = 3;
+const VAR_VALUES: [i64; VARS] = [7, -3, 0];
+
+impl E {
+    fn eval(&self) -> i64 {
+        match self {
+            E::Num(n) => *n,
+            E::Var(i) => VAR_VALUES[*i],
+            E::Neg(e) => e.eval().wrapping_neg(),
+            E::Not(e) => i64::from(e.eval() == 0),
+            E::Bin(op, a, b) => {
+                let (a, b) = (a.eval(), b.eval());
+                match op {
+                    Op::Add => a.wrapping_add(b),
+                    Op::Sub => a.wrapping_sub(b),
+                    Op::Mul => a.wrapping_mul(b),
+                    Op::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    Op::Rem => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_rem(b)
+                        }
+                    }
+                    Op::Lt => i64::from(a < b),
+                    Op::Le => i64::from(a <= b),
+                    Op::Gt => i64::from(a > b),
+                    Op::Ge => i64::from(a >= b),
+                    Op::Eq => i64::from(a == b),
+                    Op::Ne => i64::from(a != b),
+                    Op::And => i64::from(a != 0 && b != 0),
+                    Op::Or => i64::from(a != 0 || b != 0),
+                }
+            }
+        }
+    }
+
+    /// Prints with full parenthesisation, so precedence in the parsed form
+    /// must reproduce exactly this tree.
+    fn print(&self) -> String {
+        match self {
+            E::Num(n) => {
+                if *n < 0 {
+                    format!("(0 - {})", -n)
+                } else {
+                    n.to_string()
+                }
+            }
+            E::Var(i) => format!("v{i}"),
+            E::Neg(e) => format!("(-{})", e.print()),
+            E::Not(e) => format!("(!{})", e.print()),
+            E::Bin(op, a, b) => {
+                let sym = match op {
+                    Op::Add => "+",
+                    Op::Sub => "-",
+                    Op::Mul => "*",
+                    Op::Div => "/",
+                    Op::Rem => "%",
+                    Op::Lt => "<",
+                    Op::Le => "<=",
+                    Op::Gt => ">",
+                    Op::Ge => ">=",
+                    Op::Eq => "==",
+                    Op::Ne => "!=",
+                    Op::And => "&&",
+                    Op::Or => "||",
+                };
+                format!("({} {} {})", a.print(), sym, b.print())
+            }
+        }
+    }
+
+    /// Prints without redundant parentheses around additive chains, to
+    /// exercise the parser's precedence rules (only shapes whose printed
+    /// form is unambiguous under standard precedence).
+    fn print_loose(&self) -> String {
+        match self {
+            E::Bin(op @ (Op::Add | Op::Sub), a, b) => {
+                let sym = if matches!(op, Op::Add) { "+" } else { "-" };
+                // Left side may be an additive chain; right side must bind
+                // tighter, so parenthesise it.
+                format!("{} {} ({})", a.print_loose(), sym, b.print())
+            }
+            other => other.print(),
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(E::Num),
+        (0..VARS).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        let op = prop_oneof![
+            Just(Op::Add),
+            Just(Op::Sub),
+            Just(Op::Mul),
+            Just(Op::Div),
+            Just(Op::Rem),
+            Just(Op::Lt),
+            Just(Op::Le),
+            Just(Op::Gt),
+            Just(Op::Ge),
+            Just(Op::Eq),
+            Just(Op::Ne),
+            Just(Op::And),
+            Just(Op::Or),
+        ];
+        prop_oneof![
+            inner.clone().prop_map(|e| E::Neg(Box::new(e))),
+            inner.clone().prop_map(|e| E::Not(Box::new(e))),
+            (op, inner.clone(), inner).prop_map(|(o, a, b)| E::Bin(o, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn run_source_expr(expr_src: &str) -> i64 {
+    let src = format!(
+        "fn main() {{
+            let v0 = {};
+            let v1 = 0 - {};
+            let v2 = {};
+            print({expr_src});
+        }}",
+        VAR_VALUES[0], -VAR_VALUES[1], VAR_VALUES[2]
+    );
+    let program = compile(&src).expect("generated source compiles");
+    let exec = run(&program, &[], ExecLimits::default()).expect("expression evaluates");
+    exec.output[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiled_expressions_match_direct_evaluation(e in expr_strategy()) {
+        prop_assert_eq!(run_source_expr(&e.print()), e.eval());
+    }
+
+    #[test]
+    fn precedence_of_additive_chains(e in expr_strategy()) {
+        prop_assert_eq!(run_source_expr(&e.print_loose()), e.eval());
+    }
+}

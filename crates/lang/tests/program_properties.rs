@@ -1,0 +1,110 @@
+//! Property test: random structured programs behave identically under
+//! coarse lowering and statement-per-block lowering, and never crash the
+//! front end or the interpreter.
+
+use proptest::prelude::*;
+
+use twpp_lang::{compile, compile_with_options, LowerOptions};
+use twpp_tracer::{run, run_traced, ExecLimits};
+
+/// A bounded statement tree printed as mini-language source. Loops are
+/// always of the shape `while (i < k)` with a fresh counter so programs
+/// terminate.
+#[derive(Clone, Debug)]
+enum S {
+    Print(i64),
+    Assign(usize, i64),
+    AddVar(usize, usize),
+    Store(i64, usize),
+    LoadPrint(i64),
+    If(usize, Vec<S>, Vec<S>),
+    Loop(u8, Vec<S>),
+}
+
+const VARS: usize = 4;
+
+fn print_stmts(stmts: &[S], depth: usize, counter: &mut usize, out: &mut String) {
+    let pad = "    ".repeat(depth + 1);
+    for s in stmts {
+        match s {
+            S::Print(n) => out.push_str(&format!("{pad}print({n});\n")),
+            S::Assign(v, n) => out.push_str(&format!("{pad}v{v} = {n};\n")),
+            S::AddVar(a, b) => out.push_str(&format!("{pad}v{a} = v{a} + v{b};\n")),
+            S::Store(addr, v) => out.push_str(&format!("{pad}store({addr}, v{v});\n")),
+            S::LoadPrint(addr) => out.push_str(&format!("{pad}print(load({addr}));\n")),
+            S::If(v, then_b, else_b) => {
+                out.push_str(&format!("{pad}if (v{v} % 2 == 0) {{\n"));
+                print_stmts(then_b, depth + 1, counter, out);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                print_stmts(else_b, depth + 1, counter, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            S::Loop(k, body) => {
+                let c = *counter;
+                *counter += 1;
+                out.push_str(&format!("{pad}let loop{c} = 0;\n"));
+                out.push_str(&format!("{pad}while (loop{c} < {k}) {{\n"));
+                print_stmts(body, depth + 1, counter, out);
+                out.push_str(&format!("{}loop{c} = loop{c} + 1;\n", "    ".repeat(depth + 2)));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+fn to_source(stmts: &[S]) -> String {
+    let mut body = String::new();
+    let mut counter = 0usize;
+    print_stmts(stmts, 0, &mut counter, &mut body);
+    let decls: String = (0..VARS)
+        .map(|i| format!("    let v{i} = {};\n", i as i64 + 1))
+        .collect();
+    format!("fn main() {{\n{decls}{body}}}\n")
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Vec<S>> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(S::Print),
+        ((0..VARS), -20i64..20).prop_map(|(v, n)| S::Assign(v, n)),
+        ((0..VARS), (0..VARS)).prop_map(|(a, b)| S::AddVar(a, b)),
+        ((0i64..8), (0..VARS)).prop_map(|(a, v)| S::Store(a, v)),
+        (0i64..8).prop_map(S::LoadPrint),
+    ];
+    let stmt = leaf.prop_recursive(3, 32, 4, |inner| {
+        let block = prop::collection::vec(inner.clone(), 0..4);
+        prop_oneof![
+            ((0..VARS), block.clone(), block.clone())
+                .prop_map(|(v, t, e)| S::If(v, t, e)),
+            ((1u8..4), block).prop_map(|(k, b)| S::Loop(k, b)),
+        ]
+    });
+    prop::collection::vec(stmt, 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn coarse_and_fine_lowering_agree(stmts in stmt_strategy()) {
+        let src = to_source(&stmts);
+        let coarse = compile(&src).expect("generated source compiles");
+        let fine = compile_with_options(
+            &src,
+            LowerOptions { stmt_per_block: true },
+        )
+        .expect("generated source compiles (fine)");
+        let limits = ExecLimits::default();
+        let out_coarse = run(&coarse, &[], limits).expect("runs").output;
+        let out_fine = run(&fine, &[], limits).expect("runs (fine)").output;
+        prop_assert_eq!(out_coarse, out_fine);
+    }
+
+    #[test]
+    fn traces_of_random_programs_compact_losslessly(stmts in stmt_strategy()) {
+        let src = to_source(&stmts);
+        let program = compile(&src).expect("generated source compiles");
+        let (_, wpp) = run_traced(&program, &[], ExecLimits::default()).expect("runs");
+        let compacted = twpp::compact(&wpp).expect("compacts");
+        prop_assert_eq!(compacted.reconstruct(), wpp);
+    }
+}

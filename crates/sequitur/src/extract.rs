@@ -1,0 +1,111 @@
+//! Extracting one function's path traces from a Sequitur-compressed WPP —
+//! the "process" half of Table 5's extraction times.
+//!
+//! Unlike the TWPP archive, a grammar has no per-function locality: the
+//! trace of any function is scattered through rule expansions, so
+//! extraction must walk the **entire** expansion while tracking the
+//! activation stack. That whole-grammar walk is precisely the access-cost
+//! asymmetry the paper measures.
+
+use twpp_ir::{BlockId, FuncId};
+use twpp_tracer::WppEvent;
+
+use crate::grammar::Sym;
+
+/// Collects the path traces of every call to `func` by walking the full
+/// expansion of `rules` (dense form, rule 0 = start). Terminals must be
+/// encoded WPP event words.
+///
+/// Events that fail to decode are skipped (a grammar built from a valid
+/// [`twpp_tracer::RawWpp`] contains only valid words).
+pub fn extract_function(rules: &[Vec<Sym>], func: FuncId) -> Vec<Vec<BlockId>> {
+    let mut result = Vec::new();
+    if rules.is_empty() {
+        return result;
+    }
+    // Activation stack: Some(trace) for activations of `func`.
+    let mut activations: Vec<Option<Vec<BlockId>>> = Vec::new();
+    // Expansion stack over the rule graph.
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    while let Some(&mut (r, ref mut pos)) = stack.last_mut() {
+        if *pos >= rules[r].len() {
+            stack.pop();
+            continue;
+        }
+        let sym = rules[r][*pos];
+        *pos += 1;
+        match sym {
+            Sym::N(x) => stack.push((x as usize, 0)),
+            Sym::T(word) => match WppEvent::decode(word) {
+                Some(WppEvent::Enter(f)) => {
+                    activations.push(if f == func { Some(Vec::new()) } else { None });
+                }
+                Some(WppEvent::Block(b)) => {
+                    if let Some(Some(trace)) = activations.last_mut() {
+                        trace.push(b);
+                    }
+                }
+                Some(WppEvent::Exit) => {
+                    if let Some(Some(trace)) = activations.pop() {
+                        result.push(trace);
+                    }
+                }
+                None => {}
+            },
+        }
+    }
+    while let Some(top) = activations.pop() {
+        if let Some(trace) = top {
+            result.push(trace);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::Grammar;
+    use twpp_tracer::RawWpp;
+
+    fn f(i: usize) -> FuncId {
+        FuncId::from_index(i)
+    }
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(i)
+    }
+
+    #[test]
+    fn extraction_matches_raw_scan() {
+        // main calls f three times with two distinct traces, repeated so
+        // Sequitur builds real rules.
+        let mut events = vec![WppEvent::Enter(f(0)), WppEvent::Block(b(1))];
+        for t in [&[1u32, 2, 4][..], &[1, 3, 4], &[1, 2, 4], &[1, 2, 4]] {
+            events.push(WppEvent::Enter(f(1)));
+            for &x in t {
+                events.push(WppEvent::Block(b(x)));
+            }
+            events.push(WppEvent::Exit);
+        }
+        events.push(WppEvent::Block(b(2)));
+        events.push(WppEvent::Exit);
+        let wpp = RawWpp::from_events(&events);
+
+        let g = Grammar::build(wpp.words());
+        let rules = g.to_rules();
+        for target in [f(0), f(1), f(9)] {
+            assert_eq!(
+                extract_function(&rules, target),
+                wpp.scan_function(target),
+                "mismatch for {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_grammar_yields_nothing() {
+        assert!(extract_function(&[], f(0)).is_empty());
+        assert!(extract_function(&[vec![]], f(0)).is_empty());
+    }
+}

@@ -1,0 +1,549 @@
+//! The Sequitur grammar inference algorithm (Nevill-Manning & Witten),
+//! operating on a stream of `u32` symbols.
+//!
+//! Sequitur maintains two invariants while consuming the input:
+//!
+//! * **digram uniqueness** — no pair of adjacent symbols appears more than
+//!   once in the grammar (non-overlapping);
+//! * **rule utility** — every rule other than the start rule is referenced
+//!   at least twice.
+//!
+//! The result is a context-free grammar generating exactly one string: the
+//! input. Larus (PLDI 1999) compressed whole program paths this way; the
+//! TWPP paper uses it as the baseline of its Table 5 comparison.
+
+use std::collections::HashMap;
+
+/// A grammar symbol: a terminal word or a reference to a rule.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Sym {
+    /// A terminal input word.
+    T(u32),
+    /// A reference to grammar rule `r`.
+    N(u32),
+}
+
+/// Sentinel for "no link yet" on freshly created nodes.
+const NONE: usize = usize::MAX;
+
+#[derive(Copy, Clone, Debug)]
+struct Node {
+    sym: Sym,
+    prev: usize,
+    next: usize,
+    /// `Some(rule)` marks the guard node of that rule's circular list.
+    guard_of: Option<u32>,
+    alive: bool,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Rule {
+    guard: usize,
+    refs: u32,
+    alive: bool,
+}
+
+/// A Sequitur grammar. Build one with [`Grammar::build`], or incrementally
+/// with [`Grammar::new`] + [`Grammar::push`].
+#[derive(Clone, Debug)]
+pub struct Grammar {
+    nodes: Vec<Node>,
+    rules: Vec<Rule>,
+    digrams: HashMap<(Sym, Sym), usize>,
+}
+
+impl Grammar {
+    /// Creates an empty grammar (start rule only).
+    pub fn new() -> Grammar {
+        let mut g = Grammar {
+            nodes: Vec::new(),
+            rules: Vec::new(),
+            digrams: HashMap::new(),
+        };
+        g.new_rule();
+        g
+    }
+
+    /// Runs Sequitur over `input`.
+    pub fn build(input: &[u32]) -> Grammar {
+        let mut g = Grammar::new();
+        for &t in input {
+            g.push(t);
+        }
+        g
+    }
+
+    /// Appends one terminal to the input string.
+    pub fn push(&mut self, t: u32) {
+        let guard = self.rules[0].guard;
+        let last = self.nodes[guard].prev;
+        let n = self.insert_after(last, Sym::T(t));
+        if !self.is_guard(last) {
+            self.check(self.nodes[n].prev);
+        }
+    }
+
+    // ----- structural primitives -------------------------------------
+
+    fn new_node(&mut self, sym: Sym) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            sym,
+            prev: NONE,
+            next: NONE,
+            guard_of: None,
+            alive: true,
+        });
+        idx
+    }
+
+    fn new_rule(&mut self) -> u32 {
+        let r = self.rules.len() as u32;
+        let guard = self.new_node(Sym::T(0));
+        self.nodes[guard].guard_of = Some(r);
+        self.nodes[guard].prev = guard;
+        self.nodes[guard].next = guard;
+        self.rules.push(Rule {
+            guard,
+            refs: 0,
+            alive: true,
+        });
+        r
+    }
+
+    fn is_guard(&self, i: usize) -> bool {
+        self.nodes[i].guard_of.is_some()
+    }
+
+    fn digram_key(&self, first: usize) -> Option<(Sym, Sym)> {
+        if first == NONE {
+            return None;
+        }
+        let second = self.nodes[first].next;
+        if second == NONE || self.is_guard(first) || self.is_guard(second) {
+            None
+        } else {
+            Some((self.nodes[first].sym, self.nodes[second].sym))
+        }
+    }
+
+    /// Removes the digram starting at `first` from the index if the index
+    /// points at `first`.
+    fn delete_digram(&mut self, first: usize) {
+        if let Some(key) = self.digram_key(first) {
+            if self.digrams.get(&key) == Some(&first) {
+                self.digrams.remove(&key);
+            }
+        }
+    }
+
+    /// Links `left -> right`, maintaining the digram index (including the
+    /// canonical triple repairs for runs of equal symbols).
+    fn join(&mut self, left: usize, right: usize) {
+        if self.nodes[left].next != NONE {
+            self.delete_digram(left);
+            // Triple repair (canonical "aaa" handling): if `right` or
+            // `left` sits in a run of equal symbols, re-point the index at
+            // the copy whose digram survives the relink.
+            let (rp, rn) = (self.nodes[right].prev, self.nodes[right].next);
+            if rp != NONE
+                && rn != NONE
+                && !self.is_guard(right)
+                && !self.is_guard(rp)
+                && !self.is_guard(rn)
+                && self.nodes[right].sym == self.nodes[rp].sym
+                && self.nodes[right].sym == self.nodes[rn].sym
+            {
+                let key = (self.nodes[right].sym, self.nodes[right].sym);
+                self.digrams.insert(key, right);
+            }
+            let (lp, ln) = (self.nodes[left].prev, self.nodes[left].next);
+            if lp != NONE
+                && ln != NONE
+                && !self.is_guard(left)
+                && !self.is_guard(lp)
+                && !self.is_guard(ln)
+                && self.nodes[left].sym == self.nodes[ln].sym
+                && self.nodes[left].sym == self.nodes[lp].sym
+            {
+                let key = (self.nodes[left].sym, self.nodes[left].sym);
+                self.digrams.insert(key, lp);
+            }
+        }
+        self.nodes[left].next = right;
+        self.nodes[right].prev = left;
+    }
+
+    fn insert_after(&mut self, after: usize, sym: Sym) -> usize {
+        let n = self.new_node(sym);
+        if let Sym::N(r) = sym {
+            self.rules[r as usize].refs += 1;
+        }
+        let old_next = self.nodes[after].next;
+        self.join(n, old_next);
+        self.join(after, n);
+        n
+    }
+
+    /// Unlinks and kills a symbol node, maintaining digram index and rule
+    /// reference counts.
+    fn delete_node(&mut self, i: usize) {
+        debug_assert!(self.nodes[i].alive && !self.is_guard(i));
+        self.delete_digram(i);
+        let (p, n) = (self.nodes[i].prev, self.nodes[i].next);
+        self.join(p, n);
+        if let Sym::N(r) = self.nodes[i].sym {
+            self.rules[r as usize].refs -= 1;
+        }
+        self.nodes[i].alive = false;
+    }
+
+    // ----- the Sequitur invariants ------------------------------------
+
+    /// Ensures digram uniqueness for the digram beginning at `first`.
+    /// Returns `true` if the grammar changed.
+    fn check(&mut self, first: usize) -> bool {
+        let Some(key) = self.digram_key(first) else {
+            return false;
+        };
+        match self.digrams.get(&key).copied() {
+            None => {
+                self.digrams.insert(key, first);
+                false
+            }
+            Some(found) if found == first => false,
+            // Stale entry (its digram no longer matches): repair in place.
+            Some(found)
+                if !self.nodes[found].alive || self.digram_key(found) != Some(key) =>
+            {
+                self.digrams.insert(key, first);
+                false
+            }
+            // Overlapping occurrence (e.g. in "aaa"): leave it alone.
+            Some(found)
+                if self.nodes[found].next == first || self.nodes[first].next == found =>
+            {
+                false
+            }
+            Some(found) => {
+                self.handle_match(first, found);
+                true
+            }
+        }
+    }
+
+    /// Both `newly` and `found` start the same digram at distinct,
+    /// non-overlapping positions.
+    fn handle_match(&mut self, newly: usize, found: usize) {
+        let found_prev = self.nodes[found].prev;
+        let found_second = self.nodes[found].next;
+        let found_after = self.nodes[found_second].next;
+        let rule = if self.is_guard(found_prev)
+            && self.is_guard(found_after)
+            && found_prev == found_after
+        {
+            // The found occurrence is exactly an existing rule's body.
+            self.nodes[found_prev].guard_of.expect("guard node")
+        } else {
+            // Create a new rule for the digram.
+            let r = self.new_rule();
+            let guard = self.rules[r as usize].guard;
+            let (s1, s2) = (self.nodes[found].sym, self.nodes[found_second].sym);
+            let a = self.insert_after(guard, s1);
+            let _b = self.insert_after(a, s2);
+            // Replace the found occurrence first, then record the body
+            // digram (replacing first avoids matching the body with it).
+            self.substitute(found, r);
+            self.digrams.insert((s1, s2), a);
+            r
+        };
+        self.substitute(newly, rule);
+        // Rule utility: substitution may have dropped a body symbol's rule
+        // to a single reference; inline it.
+        let guard = self.rules[rule as usize].guard;
+        let first_body = self.nodes[guard].next;
+        if let Sym::N(r) = self.nodes[first_body].sym {
+            if self.rules[r as usize].refs == 1 {
+                self.expand(first_body, r);
+            }
+        }
+        let guard = self.rules[rule as usize].guard;
+        let last_body = self.nodes[guard].prev;
+        if !self.is_guard(last_body) {
+            if let Sym::N(r) = self.nodes[last_body].sym {
+                if self.rules[r as usize].refs == 1 {
+                    self.expand(last_body, r);
+                }
+            }
+        }
+    }
+
+    /// Replaces the digram starting at `first` with a reference to `rule`.
+    fn substitute(&mut self, first: usize, rule: u32) {
+        let second = self.nodes[first].next;
+        let p = self.nodes[first].prev;
+        self.delete_node(first);
+        self.delete_node(second);
+        let m = self.insert_after(p, Sym::N(rule));
+        if !self.check(p) {
+            self.check(m);
+        }
+    }
+
+    /// Inlines rule `r` (referenced exactly once) at its occurrence `at`.
+    fn expand(&mut self, at: usize, r: u32) {
+        debug_assert_eq!(self.nodes[at].sym, Sym::N(r));
+        debug_assert_eq!(self.rules[r as usize].refs, 1);
+        let left = self.nodes[at].prev;
+        let right = self.nodes[at].next;
+        let guard = self.rules[r as usize].guard;
+        let body_first = self.nodes[guard].next;
+        let body_last = self.nodes[guard].prev;
+        // Remove the occurrence (without touching r's refcount bookkeeping
+        // beyond the decrement in delete_node).
+        self.delete_digram(at);
+        self.delete_digram(left);
+        self.nodes[at].alive = false;
+        self.rules[r as usize].refs -= 1;
+        self.rules[r as usize].alive = false;
+        self.nodes[guard].alive = false;
+        if self.is_guard(body_first) {
+            // Empty body (cannot happen for digram-built rules).
+            self.join(left, right);
+            return;
+        }
+        self.nodes[left].next = body_first;
+        self.nodes[body_first].prev = left;
+        self.nodes[body_last].next = right;
+        self.nodes[right].prev = body_last;
+        // Record the new junction digram (canonical behaviour).
+        if let Some(key) = self.digram_key(body_last) {
+            self.digrams.insert(key, body_last);
+        }
+        if !self.check(left) {
+            // The left junction may itself form a duplicate digram.
+        }
+    }
+
+    // ----- read-side API ----------------------------------------------
+
+    /// Number of live rules (including the start rule).
+    pub fn rule_count(&self) -> usize {
+        self.rules.iter().filter(|r| r.alive).count()
+    }
+
+    /// Total number of symbols across all live rule bodies — the grammar
+    /// size Sequitur papers report.
+    pub fn symbol_count(&self) -> usize {
+        self.rules
+            .iter()
+            .filter(|r| r.alive)
+            .map(|r| self.body_len(r.guard))
+            .sum()
+    }
+
+    fn body_len(&self, guard: usize) -> usize {
+        let mut n = 0;
+        let mut cur = self.nodes[guard].next;
+        while cur != guard {
+            n += 1;
+            cur = self.nodes[cur].next;
+        }
+        n
+    }
+
+    /// Extracts the rules as dense vectors: index 0 is the start rule.
+    /// Rule references in the result are re-numbered densely.
+    pub fn to_rules(&self) -> Vec<Vec<Sym>> {
+        let mut dense = vec![u32::MAX; self.rules.len()];
+        let mut count = 0u32;
+        for (i, r) in self.rules.iter().enumerate() {
+            if r.alive {
+                dense[i] = count;
+                count += 1;
+            }
+        }
+        let mut out = Vec::with_capacity(count as usize);
+        for r in self.rules.iter().filter(|r| r.alive) {
+            let mut body = Vec::new();
+            let mut cur = self.nodes[r.guard].next;
+            while cur != r.guard {
+                body.push(match self.nodes[cur].sym {
+                    Sym::T(t) => Sym::T(t),
+                    Sym::N(x) => Sym::N(dense[x as usize]),
+                });
+                cur = self.nodes[cur].next;
+            }
+            out.push(body);
+        }
+        out
+    }
+
+    /// Expands the grammar back into the original input.
+    pub fn expand_input(&self) -> Vec<u32> {
+        expand_rules(&self.to_rules())
+    }
+
+    /// Verifies the digram-uniqueness invariant (test support): every
+    /// non-overlapping digram occurs at most once across all rule bodies.
+    pub fn digram_uniqueness_holds(&self) -> bool {
+        let rules = self.to_rules();
+        let mut seen: HashMap<(Sym, Sym), (usize, usize)> = HashMap::new();
+        for (ri, body) in rules.iter().enumerate() {
+            for i in 0..body.len().saturating_sub(1) {
+                let key = (body[i], body[i + 1]);
+                if let Some(&(pr, pi)) = seen.get(&key) {
+                    // Overlapping occurrence in a run of equal symbols is
+                    // permitted.
+                    let overlapping = pr == ri && i == pi + 1 && body[i] == body[i + 1];
+                    if !overlapping {
+                        return false;
+                    }
+                    continue;
+                }
+                seen.insert(key, (ri, i));
+            }
+        }
+        true
+    }
+
+    /// Verifies the rule-utility invariant (test support): every rule
+    /// except the start rule is referenced at least twice.
+    pub fn rule_utility_holds(&self) -> bool {
+        let rules = self.to_rules();
+        let mut refs = vec![0usize; rules.len()];
+        for body in &rules {
+            for s in body {
+                if let Sym::N(r) = s {
+                    refs[*r as usize] += 1;
+                }
+            }
+        }
+        refs.iter().skip(1).all(|&c| c >= 2)
+    }
+}
+
+impl Default for Grammar {
+    fn default() -> Grammar {
+        Grammar::new()
+    }
+}
+
+/// Expands dense rules (as produced by [`Grammar::to_rules`]) back into the
+/// generated string.
+pub fn expand_rules(rules: &[Vec<Sym>]) -> Vec<u32> {
+    let mut out = Vec::new();
+    if rules.is_empty() {
+        return out;
+    }
+    // Iterative expansion with an explicit stack of (rule, position).
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    while let Some(&mut (r, ref mut pos)) = stack.last_mut() {
+        if *pos >= rules[r].len() {
+            stack.pop();
+            continue;
+        }
+        let sym = rules[r][*pos];
+        *pos += 1;
+        match sym {
+            Sym::T(t) => out.push(t),
+            Sym::N(x) => stack.push((x as usize, 0)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_round_trip(input: &[u32]) -> Grammar {
+        let g = Grammar::build(input);
+        assert_eq!(g.expand_input(), input, "expansion mismatch");
+        g
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        check_round_trip(&[]);
+        check_round_trip(&[1]);
+        check_round_trip(&[1, 2]);
+        check_round_trip(&[1, 1]);
+    }
+
+    #[test]
+    fn classic_abcdbc() {
+        // The canonical example: abcdbc -> S: a A d A, A: b c.
+        let g = check_round_trip(&[1, 2, 3, 4, 2, 3]);
+        assert_eq!(g.rule_count(), 2);
+        assert!(g.digram_uniqueness_holds());
+        assert!(g.rule_utility_holds());
+    }
+
+    #[test]
+    fn repeats_compress_hierarchically() {
+        // (ab)^64: grammar should be logarithmic in the input.
+        let input: Vec<u32> = std::iter::repeat_n([7u32, 9], 64)
+            .flatten()
+            .collect();
+        let g = check_round_trip(&input);
+        assert!(g.symbol_count() < 30, "got {}", g.symbol_count());
+        assert!(g.digram_uniqueness_holds());
+        assert!(g.rule_utility_holds());
+    }
+
+    #[test]
+    fn runs_of_equal_symbols() {
+        for n in 1..40 {
+            let input = vec![5u32; n];
+            check_round_trip(&input);
+        }
+    }
+
+    #[test]
+    fn invariants_on_structured_input() {
+        // Loop-like traces: 1 (2 3 4 5 6)^k 10 repeated with variations.
+        let mut input = Vec::new();
+        for k in [3usize, 3, 5, 3, 4] {
+            input.push(1);
+            for _ in 0..k {
+                input.extend_from_slice(&[2, 3, 4, 5, 6]);
+            }
+            input.push(10);
+        }
+        let g = check_round_trip(&input);
+        assert!(g.digram_uniqueness_holds());
+        assert!(g.rule_utility_holds());
+        assert!(g.symbol_count() < input.len());
+    }
+
+    #[test]
+    fn pseudorandom_streams_round_trip() {
+        let mut x: u64 = 42;
+        for len in [10usize, 100, 1000, 5000] {
+            for alphabet in [2u32, 3, 8, 64] {
+                let input: Vec<u32> = (0..len)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        ((x >> 33) as u32) % alphabet + 1
+                    })
+                    .collect();
+                check_round_trip(&input);
+            }
+        }
+    }
+
+    #[test]
+    fn utility_holds_on_pseudorandom_small_alphabet() {
+        let mut x: u64 = 7;
+        let input: Vec<u32> = (0..2000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) as u32) % 3 + 1
+            })
+            .collect();
+        let g = Grammar::build(&input);
+        assert_eq!(g.expand_input(), input);
+        assert!(g.rule_utility_holds());
+    }
+}

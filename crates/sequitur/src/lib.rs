@@ -1,0 +1,48 @@
+//! **twpp-sequitur** — the Sequitur-compressed WPP baseline.
+//!
+//! Larus (PLDI 1999) stored whole program paths as Sequitur grammars. The
+//! TWPP paper's Table 5 compares that representation against compacted
+//! TWPPs on two axes: compressed size (Sequitur wins, ~3.9x) and time to
+//! extract a single function's traces (TWPP wins, ~300x). This crate
+//! provides the baseline side of that comparison:
+//!
+//! * [`Grammar`] — full Sequitur (digram uniqueness + rule utility) over
+//!   the WPP event-word stream;
+//! * [`wire`] — grammar serialization (the "read" cost component);
+//! * [`extract_function`] — per-function trace extraction, which must walk
+//!   the whole grammar (the "process" cost component).
+//!
+//! # Example
+//!
+//! ```
+//! use twpp_sequitur::Grammar;
+//!
+//! let input = [1u32, 2, 3, 4, 2, 3];
+//! let grammar = Grammar::build(&input);
+//! assert_eq!(grammar.expand_input(), input);
+//! assert!(grammar.symbol_count() <= input.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod grammar;
+pub mod wire;
+
+pub use extract::extract_function;
+pub use grammar::{expand_rules, Grammar, Sym};
+pub use wire::{decode, encode, encoded_size, WireError};
+
+use twpp_tracer::RawWpp;
+
+/// Compresses a raw WPP with Sequitur.
+pub fn compress_wpp(wpp: &RawWpp) -> Grammar {
+    Grammar::build(wpp.words())
+}
+
+/// Serialized grammar size in bytes for a raw WPP (Table 5's "Sequitur"
+/// size column).
+pub fn compressed_size(wpp: &RawWpp) -> usize {
+    encoded_size(&compress_wpp(wpp).to_rules())
+}

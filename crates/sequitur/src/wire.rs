@@ -1,0 +1,155 @@
+//! Serialization of Sequitur grammars, used to measure the "read" half of
+//! Table 5's extraction times.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::grammar::Sym;
+
+/// Rule references use the `0b11` top-bit tag, which the WPP event
+/// encoding never produces (tags are `00` block, `01` enter, `10` exit).
+const NT_TAG: u32 = 0b11 << 30;
+const MAGIC: [u8; 4] = *b"SQTR";
+
+/// Errors produced while decoding a serialized grammar.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Missing `SQTR` magic.
+    BadMagic,
+    /// The stream ended early or is not a whole number of words.
+    Truncated,
+    /// A rule reference points past the rule table.
+    BadRuleRef(u32),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => f.write_str("missing SQTR magic"),
+            WireError::Truncated => f.write_str("truncated grammar stream"),
+            WireError::BadRuleRef(r) => write!(f, "rule reference {r} out of range"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Serializes dense rules to bytes: magic, rule count, then per rule a
+/// length word and the body (terminals verbatim, rule refs with the high
+/// bit set).
+///
+/// # Panics
+///
+/// Panics if a terminal carries the reserved `0b11` top-bit tag (WPP event
+/// words never do) or there are more than `2^30` rules.
+pub fn encode(rules: &[Vec<Sym>]) -> Vec<u8> {
+    let mut words: Vec<u32> = Vec::with_capacity(1 + rules.len());
+    words.push(rules.len() as u32);
+    for body in rules {
+        words.push(u32::try_from(body.len()).expect("rule body exceeds u32"));
+        for s in body {
+            words.push(match *s {
+                Sym::T(t) => {
+                    assert!(t & NT_TAG != NT_TAG, "terminal uses the rule-reference tag");
+                    t
+                }
+                Sym::N(r) => {
+                    assert!(r & NT_TAG == 0, "too many rules");
+                    r | NT_TAG
+                }
+            });
+        }
+    }
+    let mut bytes = Vec::with_capacity(4 + words.len() * 4);
+    bytes.extend_from_slice(&MAGIC);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes
+}
+
+/// Decodes a grammar serialized with [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for malformed input.
+pub fn decode(bytes: &[u8]) -> Result<Vec<Vec<Sym>>, WireError> {
+    if bytes.len() < 4 || bytes[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let body = &bytes[4..];
+    if !body.len().is_multiple_of(4) {
+        return Err(WireError::Truncated);
+    }
+    let words: Vec<u32> = body
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let mut pos = 0usize;
+    let take = |pos: &mut usize| -> Result<u32, WireError> {
+        let w = *words.get(*pos).ok_or(WireError::Truncated)?;
+        *pos += 1;
+        Ok(w)
+    };
+    let n_rules = take(&mut pos)? as usize;
+    // Counts are untrusted input: clamp pre-allocations to the stream size.
+    let mut rules = Vec::with_capacity(n_rules.min(words.len()));
+    for _ in 0..n_rules {
+        let len = take(&mut pos)? as usize;
+        let mut body = Vec::with_capacity(len.min(words.len() - pos + 1));
+        for _ in 0..len {
+            let w = take(&mut pos)?;
+            body.push(if w & NT_TAG == NT_TAG {
+                let r = w & !NT_TAG;
+                if r as usize >= n_rules {
+                    return Err(WireError::BadRuleRef(r));
+                }
+                Sym::N(r)
+            } else {
+                Sym::T(w)
+            });
+        }
+        rules.push(body);
+    }
+    if pos != words.len() {
+        return Err(WireError::Truncated);
+    }
+    Ok(rules)
+}
+
+/// Serialized size in bytes of a grammar.
+pub fn encoded_size(rules: &[Vec<Sym>]) -> usize {
+    4 + (1 + rules.len() + rules.iter().map(Vec::len).sum::<usize>()) * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::Grammar;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let input: Vec<u32> = (0..500u32).map(|i| i % 9 + 1).collect();
+        let rules = Grammar::build(&input).to_rules();
+        let bytes = encode(&rules);
+        assert_eq!(bytes.len(), encoded_size(&rules));
+        assert_eq!(decode(&bytes).unwrap(), rules);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert_eq!(decode(b"XXXX"), Err(WireError::BadMagic));
+        let rules = Grammar::build(&[1, 2, 3, 1, 2, 3]).to_rules();
+        let bytes = encode(&rules);
+        for cut in 4..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err());
+        }
+        // A bogus rule reference.
+        let mut bad = encode(&[vec![Sym::N(0)]]);
+        let w = (5u32 | (0b11 << 30)).to_le_bytes();
+        let n = bad.len();
+        bad[n - 4..].copy_from_slice(&w);
+        assert_eq!(decode(&bad), Err(WireError::BadRuleRef(5)));
+    }
+}

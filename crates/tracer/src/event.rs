@@ -1,0 +1,122 @@
+//! The WPP event alphabet and its 4-byte word encoding.
+
+use std::fmt;
+
+use twpp_ir::{BlockId, FuncId};
+
+/// One event of a whole program path.
+///
+/// A WPP is the complete control-flow trace of one program execution:
+/// function entries and exits (the dynamic call structure) interleaved with
+/// the basic blocks executed at each activation's own nesting level.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum WppEvent {
+    /// A function activation begins.
+    Enter(FuncId),
+    /// A basic block of the current activation executes.
+    Block(BlockId),
+    /// The current activation returns.
+    Exit,
+}
+
+impl WppEvent {
+    const TAG_BLOCK: u32 = 0;
+    const TAG_ENTER: u32 = 1 << 30;
+    const TAG_EXIT: u32 = 2 << 30;
+    const TAG_MASK: u32 = 3 << 30;
+    const PAYLOAD_MASK: u32 = !Self::TAG_MASK;
+
+    /// Maximum representable block/function id (30 payload bits).
+    pub const MAX_ID: u32 = Self::PAYLOAD_MASK;
+
+    /// Encodes the event as one 4-byte word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block or function id exceeds [`WppEvent::MAX_ID`].
+    pub fn encode(self) -> u32 {
+        match self {
+            WppEvent::Block(b) => {
+                assert!(b.as_u32() <= Self::MAX_ID, "block id exceeds 30 bits");
+                Self::TAG_BLOCK | b.as_u32()
+            }
+            WppEvent::Enter(f) => {
+                assert!(f.as_u32() <= Self::MAX_ID, "function id exceeds 30 bits");
+                Self::TAG_ENTER | f.as_u32()
+            }
+            WppEvent::Exit => Self::TAG_EXIT,
+        }
+    }
+
+    /// Decodes an event from its word form.
+    ///
+    /// Returns `None` for words with the reserved tag `11` or a zero block
+    /// id (block ids are 1-based).
+    pub fn decode(word: u32) -> Option<WppEvent> {
+        let payload = word & Self::PAYLOAD_MASK;
+        match word & Self::TAG_MASK {
+            Self::TAG_BLOCK => {
+                if payload == 0 {
+                    None
+                } else {
+                    Some(WppEvent::Block(BlockId::new(payload)))
+                }
+            }
+            Self::TAG_ENTER => Some(WppEvent::Enter(FuncId::from_u32(payload))),
+            Self::TAG_EXIT => Some(WppEvent::Exit),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`WppEvent::Block`].
+    pub fn is_block(self) -> bool {
+        matches!(self, WppEvent::Block(_))
+    }
+}
+
+impl fmt::Display for WppEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WppEvent::Enter(id) => write!(f, "enter({id})"),
+            WppEvent::Block(id) => write!(f, "{}", id.as_u32()),
+            WppEvent::Exit => f.write_str("exit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let events = [
+            WppEvent::Enter(FuncId::from_index(0)),
+            WppEvent::Enter(FuncId::from_index(12345)),
+            WppEvent::Block(BlockId::new(1)),
+            WppEvent::Block(BlockId::new(WppEvent::MAX_ID)),
+            WppEvent::Exit,
+        ];
+        for e in events {
+            assert_eq!(WppEvent::decode(e.encode()), Some(e));
+        }
+    }
+
+    #[test]
+    fn reserved_tag_and_zero_block_decode_to_none() {
+        assert_eq!(WppEvent::decode(3 << 30), None);
+        assert_eq!(WppEvent::decode(0), None); // Block with id 0
+    }
+
+    #[test]
+    #[should_panic(expected = "30 bits")]
+    fn oversized_block_id_panics() {
+        let _ = WppEvent::Block(BlockId::new(WppEvent::MAX_ID + 1)).encode();
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(WppEvent::Block(BlockId::new(7)).to_string(), "7");
+        assert_eq!(WppEvent::Exit.to_string(), "exit");
+    }
+}

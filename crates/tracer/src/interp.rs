@@ -1,0 +1,739 @@
+//! The CFG interpreter that executes programs and emits WPP events.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use twpp_ir::{BlockId, FuncId, Function, Operand, Program, Rvalue, Stmt, Terminator, Var};
+
+use crate::event::WppEvent;
+use crate::raw::RawWpp;
+
+/// Receives trace events as the interpreter runs.
+///
+/// This plays the role of the paper's binary instrumentation: every function
+/// entry/exit and basic block execution is reported in program order.
+pub trait TraceSink {
+    /// A function activation begins.
+    fn enter(&mut self, func: FuncId);
+    /// A basic block executes at the current activation's level.
+    fn block(&mut self, block: BlockId);
+    /// The current activation returns.
+    fn exit(&mut self);
+
+    /// Polled after every block: returning `true` stops execution (used by
+    /// breakpoints — the paper's debugging scenario analyzes the WPP of the
+    /// partial execution up to a breakpoint).
+    fn should_stop(&self) -> bool {
+        false
+    }
+}
+
+impl TraceSink for Vec<WppEvent> {
+    fn enter(&mut self, func: FuncId) {
+        self.push(WppEvent::Enter(func));
+    }
+
+    fn block(&mut self, block: BlockId) {
+        self.push(WppEvent::Block(block));
+    }
+
+    fn exit(&mut self) {
+        self.push(WppEvent::Exit);
+    }
+}
+
+/// A sink that discards all events (for running untraced).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enter(&mut self, _: FuncId) {}
+    fn block(&mut self, _: BlockId) {}
+    fn exit(&mut self) {}
+}
+
+/// Resource limits protecting the interpreter from runaway programs.
+#[derive(Copy, Clone, Debug)]
+pub struct ExecLimits {
+    /// Maximum number of executed basic blocks.
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for ExecLimits {
+    fn default() -> ExecLimits {
+        ExecLimits {
+            max_steps: 50_000_000,
+            max_call_depth: 512,
+        }
+    }
+}
+
+/// Errors raised during execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The block step limit was exceeded.
+    StepLimit(u64),
+    /// The call depth limit was exceeded.
+    DepthLimit(usize),
+    /// An `input()` expression ran past the end of the input stream.
+    InputExhausted,
+    /// Internal control signal: the trace sink requested a stop. Never
+    /// escapes [`Interp::run`], which reports a stopped execution as a
+    /// normal completion (check the sink, e.g.
+    /// [`BreakpointSink::hit`], to distinguish).
+    Stopped,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::StepLimit(n) => write!(f, "execution exceeded {n} block steps"),
+            ExecError::DepthLimit(n) => write!(f, "execution exceeded call depth {n}"),
+            ExecError::InputExhausted => f.write_str("input stream exhausted"),
+            ExecError::Stopped => f.write_str("execution stopped at a breakpoint"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// The observable result of a completed execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Execution {
+    /// Values printed by the program, in order.
+    pub output: Vec<i64>,
+    /// Number of basic blocks executed.
+    pub steps: u64,
+}
+
+/// The interpreter. Create one with [`Interp::new`], then call
+/// [`Interp::run`].
+///
+/// Memory is a flat `i64 -> i64` map initialised to zeroes; variables are
+/// per-activation slots initialised to zero (parameters receive argument
+/// values).
+pub struct Interp<'p, S> {
+    program: &'p Program,
+    sink: S,
+    limits: ExecLimits,
+    input: Vec<i64>,
+    input_pos: usize,
+    output: Vec<i64>,
+    memory: HashMap<i64, i64>,
+    steps: u64,
+}
+
+impl<'p, S: TraceSink> Interp<'p, S> {
+    /// Creates an interpreter for `program` reading from `input` and
+    /// reporting trace events to `sink`.
+    pub fn new(program: &'p Program, input: &[i64], sink: S, limits: ExecLimits) -> Interp<'p, S> {
+        Interp {
+            program,
+            sink,
+            limits,
+            input: input.to_vec(),
+            input_pos: 0,
+            output: Vec::new(),
+            memory: HashMap::new(),
+            steps: 0,
+        }
+    }
+
+    /// Runs `main` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a resource limit is hit or the input stream is
+    /// exhausted; the trace emitted so far remains in the sink.
+    pub fn run(mut self) -> Result<(Execution, S), ExecError> {
+        match self.call(self.program.main(), &[], 0) {
+            Ok(_) | Err(ExecError::Stopped) => Ok((
+                Execution {
+                    output: self.output,
+                    steps: self.steps,
+                },
+                self.sink,
+            )),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn call(&mut self, func_id: FuncId, args: &[i64], depth: usize) -> Result<Option<i64>, ExecError> {
+        if depth >= self.limits.max_call_depth {
+            return Err(ExecError::DepthLimit(self.limits.max_call_depth));
+        }
+        let func = self.program.func(func_id);
+        debug_assert_eq!(args.len(), func.param_count());
+        let mut vars = vec![0i64; func.var_count()];
+        vars[..args.len()].copy_from_slice(args);
+
+        self.sink.enter(func_id);
+        let result = self.run_body(func, &mut vars, depth);
+        if result.is_ok() {
+            self.sink.exit();
+        }
+        result
+    }
+
+    fn run_body(
+        &mut self,
+        func: &Function,
+        vars: &mut [i64],
+        depth: usize,
+    ) -> Result<Option<i64>, ExecError> {
+        let mut block = BlockId::ENTRY;
+        loop {
+            self.steps += 1;
+            if self.steps > self.limits.max_steps {
+                return Err(ExecError::StepLimit(self.limits.max_steps));
+            }
+            self.sink.block(block);
+            if self.sink.should_stop() {
+                return Err(ExecError::Stopped);
+            }
+            let bb = func.block(block);
+            for stmt in bb.stmts() {
+                self.exec_stmt(stmt, vars, depth)?;
+            }
+            match bb.terminator() {
+                Terminator::Jump(d) => block = *d,
+                Terminator::Branch {
+                    cond,
+                    then_dest,
+                    else_dest,
+                } => {
+                    block = if self.eval_operand(*cond, vars) != 0 {
+                        *then_dest
+                    } else {
+                        *else_dest
+                    };
+                }
+                Terminator::Return(op) => {
+                    return Ok(op.map(|o| self.eval_operand(o, vars)));
+                }
+            }
+        }
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, vars: &mut [i64], depth: usize) -> Result<(), ExecError> {
+        match stmt {
+            Stmt::Assign { dest, rvalue } => {
+                let value = self.eval_rvalue(rvalue, vars, depth)?;
+                vars[dest.index()] = value;
+            }
+            Stmt::Store { addr, value } => {
+                let addr = self.eval_operand(*addr, vars);
+                let value = self.eval_operand(*value, vars);
+                self.memory.insert(addr, value);
+            }
+            Stmt::Print(op) => {
+                let value = self.eval_operand(*op, vars);
+                self.output.push(value);
+            }
+            Stmt::Call { callee, args } => {
+                let argv: Vec<i64> = args.iter().map(|a| self.eval_operand(*a, vars)).collect();
+                self.call(*callee, &argv, depth + 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_rvalue(
+        &mut self,
+        rvalue: &Rvalue,
+        vars: &mut [i64],
+        depth: usize,
+    ) -> Result<i64, ExecError> {
+        Ok(match rvalue {
+            Rvalue::Use(op) => self.eval_operand(*op, vars),
+            Rvalue::Unary(un, op) => un.eval(self.eval_operand(*op, vars)),
+            Rvalue::Binary(bin, a, b) => {
+                bin.eval(self.eval_operand(*a, vars), self.eval_operand(*b, vars))
+            }
+            Rvalue::Load(addr) => {
+                let addr = self.eval_operand(*addr, vars);
+                self.memory.get(&addr).copied().unwrap_or(0)
+            }
+            Rvalue::Input => {
+                let v = *self
+                    .input
+                    .get(self.input_pos)
+                    .ok_or(ExecError::InputExhausted)?;
+                self.input_pos += 1;
+                v
+            }
+            Rvalue::Call { callee, args } => {
+                let argv: Vec<i64> = args.iter().map(|a| self.eval_operand(*a, vars)).collect();
+                self.call(*callee, &argv, depth + 1)?
+                    .expect("validated value-returning callee returned no value")
+            }
+        })
+    }
+
+    fn eval_operand(&self, op: Operand, vars: &[i64]) -> i64 {
+        match op {
+            Operand::Const(c) => c,
+            Operand::Var(v) => self.read_var(v, vars),
+        }
+    }
+
+    fn read_var(&self, v: Var, vars: &[i64]) -> i64 {
+        vars[v.index()]
+    }
+}
+
+/// Runs `program` on `input`, collecting the raw WPP alongside the output.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`].
+pub fn run_traced(
+    program: &Program,
+    input: &[i64],
+    limits: ExecLimits,
+) -> Result<(Execution, RawWpp), ExecError> {
+    let (execution, events) = Interp::new(program, input, Vec::new(), limits).run()?;
+    Ok((execution, RawWpp::from_events(&events)))
+}
+
+/// A sink wrapper that stops execution when a given block of a given
+/// function has executed `hits` times — a debugger breakpoint.
+#[derive(Clone, Debug)]
+pub struct BreakpointSink<S> {
+    inner: S,
+    func: FuncId,
+    block: BlockId,
+    remaining: u32,
+    /// Activation stack: `true` while inside the target function.
+    stack: Vec<bool>,
+}
+
+impl<S: TraceSink> BreakpointSink<S> {
+    /// Wraps `inner`, stopping at the `hits`-th execution of `block` inside
+    /// `func`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits` is zero.
+    pub fn new(inner: S, func: FuncId, block: BlockId, hits: u32) -> BreakpointSink<S> {
+        assert!(hits >= 1, "a breakpoint needs at least one hit");
+        BreakpointSink {
+            inner,
+            func,
+            block,
+            remaining: hits,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Consumes the wrapper, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// `true` once the breakpoint has been hit.
+    pub fn hit(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl<S: TraceSink> TraceSink for BreakpointSink<S> {
+    fn enter(&mut self, func: FuncId) {
+        self.stack.push(func == self.func);
+        self.inner.enter(func);
+    }
+
+    fn block(&mut self, block: BlockId) {
+        if self.remaining > 0
+            && block == self.block
+            && self.stack.last().copied().unwrap_or(false)
+        {
+            self.remaining -= 1;
+        }
+        self.inner.block(block);
+    }
+
+    fn exit(&mut self) {
+        self.stack.pop();
+        self.inner.exit();
+    }
+
+    fn should_stop(&self) -> bool {
+        self.remaining == 0 || self.inner.should_stop()
+    }
+}
+
+/// Runs `program` until `block` in `func` has executed `hits` times (or the
+/// program ends first), returning the output so far, the partial WPP and
+/// whether the breakpoint was actually reached.
+///
+/// The partial WPP ends mid-activation; `twpp::partition` accepts such
+/// truncated streams, which is exactly the paper's debugging setup (§4.3.2:
+/// "the TWPP corresponding to partial program execution up to the
+/// breakpoint").
+///
+/// # Errors
+///
+/// Propagates resource-limit and input errors.
+pub fn run_to_breakpoint(
+    program: &Program,
+    input: &[i64],
+    limits: ExecLimits,
+    func: FuncId,
+    block: BlockId,
+    hits: u32,
+) -> Result<(Execution, RawWpp, bool), ExecError> {
+    let sink = BreakpointSink::new(Vec::new(), func, block, hits);
+    let (execution, sink) = Interp::new(program, input, sink, limits).run()?;
+    let hit = sink.hit();
+    Ok((execution, RawWpp::from_events(&sink.into_inner()), hit))
+}
+
+/// Runs `program` on `input` without tracing.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`].
+pub fn run(program: &Program, input: &[i64], limits: ExecLimits) -> Result<Execution, ExecError> {
+    let (execution, _) = Interp::new(program, input, NullSink, limits).run()?;
+    Ok(execution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twpp_ir::{
+        single_function_program, BinOp, FunctionBuilder, ProgramBuilder, Rvalue, Stmt, Terminator,
+    };
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            let v = fb.new_var();
+            fb.push(e, Stmt::assign(v, Rvalue::Use(Operand::Const(2))));
+            fb.push(
+                e,
+                Stmt::assign(
+                    v,
+                    Rvalue::Binary(BinOp::Mul, Operand::Var(v), Operand::Const(21)),
+                ),
+            );
+            fb.push(e, Stmt::Print(Operand::Var(v)));
+            fb.terminate(e, Terminator::Return(None));
+        })
+        .unwrap();
+        let exec = run(&p, &[], ExecLimits::default()).unwrap();
+        assert_eq!(exec.output, vec![42]);
+        assert_eq!(exec.steps, 1);
+    }
+
+    #[test]
+    fn loop_counts_iterations() {
+        // i = 0; while i < 5 { print i; i = i + 1 }
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            let head = fb.new_block();
+            let body = fb.new_block();
+            let exit = fb.new_block();
+            let i = fb.new_var();
+            let c = fb.new_var();
+            fb.push(e, Stmt::assign(i, Rvalue::Use(Operand::Const(0))));
+            fb.terminate(e, Terminator::Jump(head));
+            fb.push(
+                head,
+                Stmt::assign(
+                    c,
+                    Rvalue::Binary(BinOp::Lt, Operand::Var(i), Operand::Const(5)),
+                ),
+            );
+            fb.terminate(
+                head,
+                Terminator::Branch {
+                    cond: Operand::Var(c),
+                    then_dest: body,
+                    else_dest: exit,
+                },
+            );
+            fb.push(body, Stmt::Print(Operand::Var(i)));
+            fb.push(
+                body,
+                Stmt::assign(
+                    i,
+                    Rvalue::Binary(BinOp::Add, Operand::Var(i), Operand::Const(1)),
+                ),
+            );
+            fb.terminate(body, Terminator::Jump(head));
+            fb.terminate(exit, Terminator::Return(None));
+        })
+        .unwrap();
+        let (exec, wpp) = run_traced(&p, &[], ExecLimits::default()).unwrap();
+        assert_eq!(exec.output, vec![0, 1, 2, 3, 4]);
+        // Events: enter + 1 entry block + 6 head + 5 body + 1 exit block + exit.
+        assert_eq!(wpp.event_count(), 2 + 1 + 6 + 5 + 1);
+    }
+
+    fn call_program() -> Program {
+        // fn double(x) -> x * 2; main { print(double(21)) }
+        let mut pb = ProgramBuilder::new();
+        let double = pb.declare("double", 1, true).unwrap();
+        let main = pb.declare("main", 0, false).unwrap();
+
+        let mut db = FunctionBuilder::new_returning(1);
+        let de = db.entry();
+        let x = db.param(0);
+        let r = db.new_var();
+        db.push(
+            de,
+            Stmt::assign(
+                r,
+                Rvalue::Binary(BinOp::Mul, Operand::Var(x), Operand::Const(2)),
+            ),
+        );
+        db.terminate(de, Terminator::Return(Some(Operand::Var(r))));
+        pb.define(double, db).unwrap();
+
+        let mut mb = FunctionBuilder::new(0);
+        let me = mb.entry();
+        let v = mb.new_var();
+        mb.push(
+            me,
+            Stmt::assign(
+                v,
+                Rvalue::Call {
+                    callee: double,
+                    args: vec![Operand::Const(21)],
+                },
+            ),
+        );
+        mb.push(me, Stmt::Print(Operand::Var(v)));
+        mb.terminate(me, Terminator::Return(None));
+        pb.define(main, mb).unwrap();
+        pb.finish().unwrap()
+    }
+
+    use twpp_ir::Program;
+
+    #[test]
+    fn calls_nest_in_trace() {
+        let p = call_program();
+        let (exec, events) = Interp::new(&p, &[], Vec::new(), ExecLimits::default())
+            .run()
+            .unwrap();
+        assert_eq!(exec.output, vec![42]);
+        let (main_id, _) = p.func_by_name("main").unwrap();
+        let (double_id, _) = p.func_by_name("double").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                WppEvent::Enter(main_id),
+                WppEvent::Block(BlockId::new(1)),
+                WppEvent::Enter(double_id),
+                WppEvent::Block(BlockId::new(1)),
+                WppEvent::Exit,
+                WppEvent::Exit,
+            ]
+        );
+    }
+
+    #[test]
+    fn input_stream_and_exhaustion() {
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            let v = fb.new_var();
+            fb.push(e, Stmt::assign(v, Rvalue::Input));
+            fb.push(e, Stmt::Print(Operand::Var(v)));
+            fb.push(e, Stmt::assign(v, Rvalue::Input));
+            fb.terminate(e, Terminator::Return(None));
+        })
+        .unwrap();
+        assert_eq!(
+            run(&p, &[9], ExecLimits::default()).unwrap_err(),
+            ExecError::InputExhausted
+        );
+        let ok = run(&p, &[9, 10], ExecLimits::default()).unwrap();
+        assert_eq!(ok.output, vec![9]);
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            let v = fb.new_var();
+            fb.push(
+                e,
+                Stmt::Store {
+                    addr: Operand::Const(100),
+                    value: Operand::Const(55),
+                },
+            );
+            fb.push(e, Stmt::assign(v, Rvalue::Load(Operand::Const(100))));
+            fb.push(e, Stmt::Print(Operand::Var(v)));
+            // Uninitialised memory reads as zero.
+            fb.push(e, Stmt::assign(v, Rvalue::Load(Operand::Const(999))));
+            fb.push(e, Stmt::Print(Operand::Var(v)));
+            fb.terminate(e, Terminator::Return(None));
+        })
+        .unwrap();
+        let exec = run(&p, &[], ExecLimits::default()).unwrap();
+        assert_eq!(exec.output, vec![55, 0]);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            fb.terminate(e, Terminator::Jump(e));
+        })
+        .unwrap();
+        let limits = ExecLimits {
+            max_steps: 100,
+            ..ExecLimits::default()
+        };
+        assert_eq!(run(&p, &[], limits).unwrap_err(), ExecError::StepLimit(100));
+    }
+
+    #[test]
+    fn breakpoint_stops_mid_execution_with_partial_trace() {
+        // main loops 5 times printing i; break at the 3rd execution of the
+        // loop body block.
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            let head = fb.new_block();
+            let body = fb.new_block();
+            let exit = fb.new_block();
+            let i = fb.new_var();
+            let c = fb.new_var();
+            fb.push(e, Stmt::assign(i, Rvalue::Use(Operand::Const(0))));
+            fb.terminate(e, Terminator::Jump(head));
+            fb.push(
+                head,
+                Stmt::assign(
+                    c,
+                    Rvalue::Binary(BinOp::Lt, Operand::Var(i), Operand::Const(5)),
+                ),
+            );
+            fb.terminate(
+                head,
+                Terminator::Branch {
+                    cond: Operand::Var(c),
+                    then_dest: body,
+                    else_dest: exit,
+                },
+            );
+            fb.push(body, Stmt::Print(Operand::Var(i)));
+            fb.push(
+                body,
+                Stmt::assign(
+                    i,
+                    Rvalue::Binary(BinOp::Add, Operand::Var(i), Operand::Const(1)),
+                ),
+            );
+            fb.terminate(body, Terminator::Jump(head));
+            fb.terminate(exit, Terminator::Return(None));
+        })
+        .unwrap();
+        let body_block = BlockId::new(3);
+        let (exec, wpp, hit) =
+            run_to_breakpoint(&p, &[], ExecLimits::default(), p.main(), body_block, 3)
+                .unwrap();
+        assert!(hit);
+        // The breakpoint fires before the body's statements run: two full
+        // iterations printed.
+        assert_eq!(exec.output, vec![0, 1]);
+        // The partial trace ends exactly at the 3rd body execution and is
+        // still consumable (open activation).
+        let blocks: Vec<BlockId> = wpp
+            .iter()
+            .filter_map(|e| match e {
+                WppEvent::Block(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(blocks.last(), Some(&body_block));
+        assert_eq!(blocks.iter().filter(|&&b| b == body_block).count(), 3);
+    }
+
+    #[test]
+    fn breakpoint_never_hit_runs_to_completion() {
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            fb.push(e, Stmt::Print(Operand::Const(1)));
+            fb.terminate(e, Terminator::Return(None));
+        })
+        .unwrap();
+        let (exec, wpp, hit) = run_to_breakpoint(
+            &p,
+            &[],
+            ExecLimits::default(),
+            p.main(),
+            BlockId::new(1),
+            5,
+        )
+        .unwrap();
+        assert!(!hit);
+        assert_eq!(exec.output, vec![1]);
+        // Completed run: balanced trace.
+        assert_eq!(wpp.event_count(), 3);
+    }
+
+    #[test]
+    fn breakpoint_matches_function_scope() {
+        // Block 1 exists in both functions; the breakpoint targets f only.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare("f", 0, false).unwrap();
+        let main = pb.declare("main", 0, false).unwrap();
+        let mut fbody = FunctionBuilder::new(0);
+        let fe = fbody.entry();
+        fbody.push(fe, Stmt::Print(Operand::Const(7)));
+        fbody.terminate(fe, Terminator::Return(None));
+        pb.define(f, fbody).unwrap();
+        let mut mb = FunctionBuilder::new(0);
+        let me = mb.entry();
+        mb.push(me, Stmt::Print(Operand::Const(1)));
+        mb.push(
+            me,
+            Stmt::Call {
+                callee: f,
+                args: vec![],
+            },
+        );
+        mb.push(me, Stmt::Print(Operand::Const(2)));
+        mb.terminate(me, Terminator::Return(None));
+        pb.define(main, mb).unwrap();
+        let p = pb.finish().unwrap();
+        let (exec, _, hit) =
+            run_to_breakpoint(&p, &[], ExecLimits::default(), f, BlockId::new(1), 1).unwrap();
+        assert!(hit);
+        // main's block 1 ran its first print and the call, but f's body
+        // stops before printing.
+        assert_eq!(exec.output, vec![1]);
+    }
+
+    #[test]
+    fn depth_limit_stops_infinite_recursion() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main", 0, false).unwrap();
+        let mut mb = FunctionBuilder::new(0);
+        let e = mb.entry();
+        mb.push(
+            e,
+            Stmt::Call {
+                callee: main,
+                args: vec![],
+            },
+        );
+        mb.terminate(e, Terminator::Return(None));
+        pb.define(main, mb).unwrap();
+        let p = pb.finish().unwrap();
+        let limits = ExecLimits {
+            max_call_depth: 16,
+            ..ExecLimits::default()
+        };
+        assert_eq!(run(&p, &[], limits).unwrap_err(), ExecError::DepthLimit(16));
+    }
+}

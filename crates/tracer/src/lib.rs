@@ -1,0 +1,42 @@
+//! Whole-program-path collection: a CFG interpreter that executes
+//! [`twpp_ir::Program`]s and records the complete control flow trace, plus
+//! the raw (uncompacted) WPP representation the paper starts from.
+//!
+//! The paper generated WPPs by instrumenting SPECint95 binaries with the
+//! Trimaran infrastructure; here the "instrumentation" is a [`TraceSink`]
+//! that the interpreter notifies on every function entry/exit and basic
+//! block execution. Everything downstream (`twpp`, `twpp-sequitur`,
+//! `twpp-dataflow`) consumes only the resulting event stream.
+//!
+//! # Example
+//!
+//! ```
+//! use twpp_ir::{single_function_program, Operand, Stmt, Terminator};
+//! use twpp_tracer::{run_traced, ExecLimits};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = single_function_program(|fb| {
+//!     let entry = fb.entry();
+//!     fb.push(entry, Stmt::Print(Operand::Const(7)));
+//!     fb.terminate(entry, Terminator::Return(None));
+//! })?;
+//! let (execution, wpp) = run_traced(&program, &[], ExecLimits::default())?;
+//! assert_eq!(execution.output, vec![7]);
+//! assert_eq!(wpp.event_count(), 3); // Enter(main), Block(1), Exit
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod interp;
+pub mod raw;
+
+pub use event::WppEvent;
+pub use interp::{
+    run, run_to_breakpoint, run_traced, BreakpointSink, ExecError, ExecLimits, Execution, Interp,
+    TraceSink,
+};
+pub use raw::RawWpp;

@@ -1,0 +1,367 @@
+//! The raw (uncompacted) WPP representation: a flat stream of 4-byte event
+//! words, exactly the form whose sizes Table 1 of the paper reports.
+//!
+//! The raw form also provides the *uncompacted access* baseline of Table 4:
+//! [`RawWpp::scan_function`] must scan the entire stream to collect the path
+//! traces of a single function.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use twpp_ir::{BlockId, FuncId};
+
+use crate::event::WppEvent;
+
+const MAGIC: [u8; 4] = *b"WPP0";
+
+/// A raw whole program path: the complete control-flow trace of one
+/// execution, stored as encoded 4-byte words.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RawWpp {
+    words: Vec<u32>,
+}
+
+/// Byte-size breakdown of a raw WPP, mirroring Table 1's split of a WPP into
+/// the dynamic call graph (enter/exit events) and the per-call traces (block
+/// events).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct RawSizes {
+    /// Bytes attributable to the dynamic call structure (enter/exit words).
+    pub dcg_bytes: usize,
+    /// Bytes attributable to the path traces (block words).
+    pub trace_bytes: usize,
+}
+
+impl RawSizes {
+    /// Total size in bytes.
+    pub fn total(&self) -> usize {
+        self.dcg_bytes + self.trace_bytes
+    }
+}
+
+/// Errors produced while decoding a serialized raw WPP.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum RawWppError {
+    /// The stream does not start with the `WPP0` magic.
+    BadMagic,
+    /// The stream length is not a whole number of words.
+    Truncated,
+    /// A word failed to decode as an event.
+    BadWord(u32),
+}
+
+impl fmt::Display for RawWppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RawWppError::BadMagic => f.write_str("missing WPP0 magic header"),
+            RawWppError::Truncated => f.write_str("truncated WPP stream"),
+            RawWppError::BadWord(w) => write!(f, "undecodable WPP word {w:#010x}"),
+        }
+    }
+}
+
+impl Error for RawWppError {}
+
+impl RawWpp {
+    /// Creates an empty WPP.
+    pub fn new() -> RawWpp {
+        RawWpp::default()
+    }
+
+    /// Builds a raw WPP from decoded events.
+    pub fn from_events(events: &[WppEvent]) -> RawWpp {
+        RawWpp {
+            words: events.iter().map(|e| e.encode()).collect(),
+        }
+    }
+
+    /// Builds a raw WPP directly from encoded words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RawWppError::BadWord`] if any word does not decode.
+    pub fn from_words(words: Vec<u32>) -> Result<RawWpp, RawWppError> {
+        if let Some(&bad) = words.iter().find(|w| WppEvent::decode(**w).is_none()) {
+            return Err(RawWppError::BadWord(bad));
+        }
+        Ok(RawWpp { words })
+    }
+
+    /// The encoded words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Number of events.
+    pub fn event_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Size in bytes of the uncompacted representation (4 bytes per event).
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Decodes all events.
+    pub fn events(&self) -> Vec<WppEvent> {
+        self.words
+            .iter()
+            .map(|w| WppEvent::decode(*w).expect("RawWpp contains only valid words"))
+            .collect()
+    }
+
+    /// Iterates over decoded events without allocating.
+    pub fn iter(&self) -> impl Iterator<Item = WppEvent> + '_ {
+        self.words
+            .iter()
+            .map(|w| WppEvent::decode(*w).expect("RawWpp contains only valid words"))
+    }
+
+    /// Splits the byte size into call-structure and trace components
+    /// (Table 1).
+    pub fn size_breakdown(&self) -> RawSizes {
+        let mut sizes = RawSizes::default();
+        for e in self.iter() {
+            if e.is_block() {
+                sizes.trace_bytes += 4;
+            } else {
+                sizes.dcg_bytes += 4;
+            }
+        }
+        sizes
+    }
+
+    /// Number of calls (enter events) per function.
+    pub fn call_counts(&self) -> HashMap<FuncId, u64> {
+        let mut counts = HashMap::new();
+        for e in self.iter() {
+            if let WppEvent::Enter(f) = e {
+                *counts.entry(f).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Collects the path traces of every call to `func` by scanning the
+    /// **entire** stream — the uncompacted-access baseline of Table 4.
+    ///
+    /// A path trace contains the block events at the activation's own
+    /// nesting level; blocks executed by callees belong to the callees'
+    /// traces.
+    pub fn scan_function(&self, func: FuncId) -> Vec<Vec<BlockId>> {
+        let mut result = Vec::new();
+        // Stack of activations; each entry is Some(trace) when the
+        // activation belongs to `func`, None otherwise.
+        let mut stack: Vec<Option<Vec<BlockId>>> = Vec::new();
+        for e in self.iter() {
+            match e {
+                WppEvent::Enter(f) => {
+                    stack.push(if f == func { Some(Vec::new()) } else { None });
+                }
+                WppEvent::Block(b) => {
+                    if let Some(Some(trace)) = stack.last_mut() {
+                        trace.push(b);
+                    }
+                }
+                WppEvent::Exit => {
+                    if let Some(Some(trace)) = stack.pop() {
+                        result.push(trace);
+                    }
+                }
+            }
+        }
+        // Unbalanced streams (e.g. truncated executions) still yield the
+        // completed activations; drain any open ones of `func` too.
+        while let Some(top) = stack.pop() {
+            if let Some(trace) = top {
+                result.push(trace);
+            }
+        }
+        result
+    }
+
+    /// Serializes the trace with a `WPP0` magic header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`. A `&mut` reference can be passed
+    /// as the writer.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(&MAGIC)?;
+        for w in &self.words {
+            writer.write_all(&w.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace previously written with [`RawWpp::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decoding error wrapped in `io::Error` for malformed input,
+    /// or propagates I/O errors from `reader`. A `&mut` reference can be
+    /// passed as the reader.
+    pub fn read_from<R: Read>(mut reader: R) -> io::Result<RawWpp> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, RawWppError::BadMagic));
+        }
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        if bytes.len() % 4 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                RawWppError::Truncated,
+            ));
+        }
+        let words: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        RawWpp::from_words(words).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl FromIterator<WppEvent> for RawWpp {
+    fn from_iter<I: IntoIterator<Item = WppEvent>>(iter: I) -> RawWpp {
+        RawWpp {
+            words: iter.into_iter().map(|e| e.encode()).collect(),
+        }
+    }
+}
+
+impl Extend<WppEvent> for RawWpp {
+    fn extend<I: IntoIterator<Item = WppEvent>>(&mut self, iter: I) {
+        self.words.extend(iter.into_iter().map(|e| e.encode()));
+    }
+}
+
+impl fmt::Display for RawWpp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for e in self.iter() {
+            if !first {
+                f.write_str(".")?;
+            }
+            write!(f, "{e}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: usize) -> FuncId {
+        FuncId::from_index(i)
+    }
+
+    fn b(i: u32) -> BlockId {
+        BlockId::new(i)
+    }
+
+    fn sample() -> RawWpp {
+        // main: 1 . f(1.2) . 2 . f(1.3) . 3
+        RawWpp::from_events(&[
+            WppEvent::Enter(f(0)),
+            WppEvent::Block(b(1)),
+            WppEvent::Enter(f(1)),
+            WppEvent::Block(b(1)),
+            WppEvent::Block(b(2)),
+            WppEvent::Exit,
+            WppEvent::Block(b(2)),
+            WppEvent::Enter(f(1)),
+            WppEvent::Block(b(1)),
+            WppEvent::Block(b(3)),
+            WppEvent::Exit,
+            WppEvent::Block(b(3)),
+            WppEvent::Exit,
+        ])
+    }
+
+    #[test]
+    fn scan_function_collects_per_call_traces() {
+        let wpp = sample();
+        assert_eq!(
+            wpp.scan_function(f(1)),
+            vec![vec![b(1), b(2)], vec![b(1), b(3)]]
+        );
+        assert_eq!(wpp.scan_function(f(0)), vec![vec![b(1), b(2), b(3)]]);
+        assert!(wpp.scan_function(f(9)).is_empty());
+    }
+
+    #[test]
+    fn size_breakdown_splits_dcg_and_traces() {
+        let wpp = sample();
+        let sizes = wpp.size_breakdown();
+        assert_eq!(sizes.dcg_bytes, 6 * 4); // 3 enters + 3 exits
+        assert_eq!(sizes.trace_bytes, 7 * 4);
+        assert_eq!(sizes.total(), wpp.byte_len());
+    }
+
+    #[test]
+    fn call_counts() {
+        let wpp = sample();
+        let counts = wpp.call_counts();
+        assert_eq!(counts[&f(0)], 1);
+        assert_eq!(counts[&f(1)], 2);
+    }
+
+    #[test]
+    fn io_round_trip() {
+        let wpp = sample();
+        let mut buf = Vec::new();
+        wpp.write_to(&mut buf).unwrap();
+        let back = RawWpp::read_from(&buf[..]).unwrap();
+        assert_eq!(back, wpp);
+    }
+
+    #[test]
+    fn read_rejects_bad_magic_and_truncation() {
+        assert!(RawWpp::read_from(&b"NOPE"[..]).is_err());
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        buf.pop();
+        assert!(RawWpp::read_from(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn from_words_validates() {
+        assert!(RawWpp::from_words(vec![3 << 30]).is_err());
+        assert!(RawWpp::from_words(vec![WppEvent::Exit.encode()]).is_ok());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let wpp = RawWpp::from_events(&[
+            WppEvent::Block(b(1)),
+            WppEvent::Block(b(2)),
+            WppEvent::Exit,
+        ]);
+        assert_eq!(wpp.to_string(), "1.2.exit");
+    }
+
+    #[test]
+    fn scan_handles_unbalanced_stream() {
+        // Enter without matching exit (truncated run).
+        let wpp = RawWpp::from_events(&[
+            WppEvent::Enter(f(0)),
+            WppEvent::Block(b(1)),
+            WppEvent::Enter(f(1)),
+            WppEvent::Block(b(4)),
+        ]);
+        assert_eq!(wpp.scan_function(f(1)), vec![vec![b(4)]]);
+        assert_eq!(wpp.scan_function(f(0)), vec![vec![b(1)]]);
+    }
+}

@@ -1,0 +1,482 @@
+//! Deterministic workload generation: random structured programs plus WPP
+//! event streams sampled from them.
+//!
+//! Each function gets a structured CFG (straight chains, diamonds, simple
+//! loops) and a pool of *unique* walks through it. The WPP is emitted by
+//! replaying walks: `main` loops calling top-level functions sampled with
+//! a Zipf-like frequency distribution, each call picks a walk from the
+//! callee's pool (again Zipf-distributed, producing the path-trace
+//! redundancy of Figure 8), and call-site blocks recurse into deeper
+//! functions. Everything is seeded, so workloads are reproducible.
+
+use std::collections::HashMap;
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use twpp_ir::{
+    BlockId, FuncId, FunctionBuilder, Operand, Program, ProgramBuilder, Rvalue, Stmt, Terminator,
+};
+use twpp_tracer::{RawWpp, WppEvent};
+
+use crate::spec::WorkloadSpec;
+
+/// A generated workload: the static program and one WPP of it.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Workload name (from the spec).
+    pub name: String,
+    /// The static program (static flowgraph sizes for Table 6).
+    pub program: Program,
+    /// The whole program path.
+    pub wpp: RawWpp,
+}
+
+/// Call-site blocks and their callees within one function.
+type CallSites = HashMap<BlockId, FuncId>;
+/// Loop headers mapped to their (body entry, exit) blocks.
+type LoopInfo = HashMap<BlockId, (BlockId, BlockId)>;
+
+/// Per-function generation artifacts.
+struct Shape {
+    /// Pool of unique walks (block sequences) through the function.
+    pool: Vec<Vec<BlockId>>,
+    /// Callee of each call-site block.
+    calls: HashMap<BlockId, FuncId>,
+}
+
+/// Maximum dynamic call depth during emission.
+const MAX_DEPTH: usize = 12;
+
+/// Generates a workload from a spec. Deterministic in the spec (seed
+/// included).
+pub fn generate(spec: &WorkloadSpec) -> Workload {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let (program, shapes) = build_program(spec, &mut rng);
+
+    // Zipf weights over the callable functions for main's loop.
+    let n = spec.n_funcs;
+    let func_weights = cumulative_zipf(n, 1.1);
+    let mut events: Vec<WppEvent> = Vec::with_capacity(spec.target_events + 1024);
+    let hard_cap = spec.target_events + spec.target_events / 4;
+
+    let main_id = program.main();
+    events.push(WppEvent::Enter(main_id));
+    events.push(WppEvent::Block(BlockId::new(1)));
+    while events.len() < spec.target_events {
+        // Loop header + body block of main.
+        events.push(WppEvent::Block(BlockId::new(2)));
+        events.push(WppEvent::Block(BlockId::new(3)));
+        let callee = FuncId::from_index(1 + sample_cumulative(&func_weights, &mut rng));
+        emit_function(callee, &shapes, spec, 1, hard_cap, &mut events, &mut rng);
+    }
+    events.push(WppEvent::Block(BlockId::new(2)));
+    events.push(WppEvent::Block(BlockId::new(4)));
+    events.push(WppEvent::Exit);
+
+    Workload {
+        name: spec.name.clone(),
+        program,
+        wpp: RawWpp::from_events(&events),
+    }
+}
+
+fn emit_function(
+    func: FuncId,
+    shapes: &HashMap<FuncId, Shape>,
+    spec: &WorkloadSpec,
+    depth: usize,
+    hard_cap: usize,
+    events: &mut Vec<WppEvent>,
+    rng: &mut ChaCha8Rng,
+) {
+    let shape = &shapes[&func];
+    events.push(WppEvent::Enter(func));
+    let pick = sample_zipf(shape.pool.len(), spec.path_zipf, rng);
+    // The pool is never empty: every function has at least one walk.
+    let walk = &shape.pool[pick];
+    for &b in walk {
+        events.push(WppEvent::Block(b));
+        if let Some(&callee) = shape.calls.get(&b) {
+            if depth < MAX_DEPTH && events.len() < hard_cap {
+                emit_function(callee, shapes, spec, depth + 1, hard_cap, events, rng);
+            }
+        }
+    }
+    events.push(WppEvent::Exit);
+}
+
+// ----- program construction ------------------------------------------
+
+/// One structured segment of a function body.
+enum Segment {
+    Straight,
+    Diamond,
+    Loop,
+}
+
+fn build_program(spec: &WorkloadSpec, rng: &mut ChaCha8Rng) -> (Program, HashMap<FuncId, Shape>) {
+    let mut pb = ProgramBuilder::new();
+    let main_id = pb.declare("main", 0, false).expect("fresh name");
+    let mut func_ids = Vec::with_capacity(spec.n_funcs);
+    for i in 0..spec.n_funcs {
+        func_ids.push(
+            pb.declare(&format!("f{i:03}"), 0, false)
+                .expect("fresh name"),
+        );
+    }
+
+    // main: b1 entry -> b2 header -> {b3 body -> b2 | b4 exit}.
+    let mut mb = FunctionBuilder::new(0);
+    let b1 = mb.entry();
+    let b2 = mb.new_block();
+    let b3 = mb.new_block();
+    let b4 = mb.new_block();
+    let i = mb.new_var();
+    mb.push(b1, Stmt::assign(i, Rvalue::Use(Operand::Const(0))));
+    mb.terminate(b1, Terminator::Jump(b2));
+    mb.terminate(
+        b2,
+        Terminator::Branch {
+            cond: Operand::Var(i),
+            then_dest: b3,
+            else_dest: b4,
+        },
+    );
+    // Statically main calls the first function; emission samples callees.
+    let static_callee = *func_ids.first().unwrap_or(&main_id);
+    mb.push(
+        b3,
+        Stmt::Call {
+            callee: static_callee,
+            args: vec![],
+        },
+    );
+    mb.push(
+        b3,
+        Stmt::assign(
+            i,
+            Rvalue::Binary(twpp_ir::BinOp::Add, Operand::Var(i), Operand::Const(1)),
+        ),
+    );
+    mb.terminate(b3, Terminator::Jump(b2));
+    mb.terminate(b4, Terminator::Return(None));
+    pb.define(main_id, mb).expect("single body");
+
+    let mut partial: Vec<(FuncId, CallSites, LoopInfo)> = Vec::new();
+    for (idx, &fid) in func_ids.iter().enumerate() {
+        // Call sites target *lower*-indexed functions (the call graph is
+        // acyclic with utility functions at the bottom). Those same
+        // low-index functions are also favoured by main's Zipf sampling
+        // and are generated short, while cold high-index functions are
+        // long. Real programs show the same anti-correlation, and it is
+        // what keeps the paper's redundancy factors moderate: unique-trace
+        // *bytes* are dominated by long, rarely-called functions while
+        // *calls* concentrate on short hot ones.
+        let callees: Vec<FuncId> = func_ids[..idx].to_vec();
+        let size_mult = 0.5 + 2.5 * (idx as f64 / spec.n_funcs.max(1) as f64);
+        let (fb, calls, loop_info) = build_function(spec, size_mult, &callees, rng);
+        pb.define(fid, fb).expect("single body");
+        partial.push((fid, calls, loop_info));
+    }
+    let _ = static_callee;
+    let program = pb.finish().expect("generated programs are well-formed");
+
+    // Walk pools are generated against the finished functions.
+    let mut shapes = HashMap::new();
+    for (fid, calls, loop_info) in partial {
+        let func = program.func(fid);
+        let pool_target = rng
+            .gen_range(spec.unique_paths.0..=spec.unique_paths.1)
+            .max(1);
+        let mut pool: Vec<Vec<BlockId>> = Vec::new();
+        for _ in 0..pool_target * 4 {
+            if pool.len() >= pool_target {
+                break;
+            }
+            let walk = random_walk(func, &loop_info, spec, rng);
+            if !pool.contains(&walk) {
+                pool.push(walk);
+            }
+        }
+        shapes.insert(fid, Shape { pool, calls });
+    }
+    (program, shapes)
+}
+
+/// Builds one function body; returns its call sites and loop structure.
+fn build_function(
+    spec: &WorkloadSpec,
+    size_mult: f64,
+    callees: &[FuncId],
+    rng: &mut ChaCha8Rng,
+) -> (FunctionBuilder, CallSites, LoopInfo) {
+    let mut fb = FunctionBuilder::new(0);
+    let v = fb.new_var();
+    let mut calls: CallSites = HashMap::new();
+    let mut current = fb.entry();
+    let scaled = |range: (usize, usize), rng: &mut ChaCha8Rng| -> usize {
+        let n = rng.gen_range(range.0..=range.1) as f64;
+        (n * size_mult).round().max(1.0) as usize
+    };
+    let n_segments = scaled(spec.segments_per_func, rng);
+
+    // Loop headers and their (body-entry, exit) pairs for walk replay.
+    let mut loop_info: HashMap<BlockId, (BlockId, BlockId)> = HashMap::new();
+
+    // `may_call = false` keeps call sites out of loop bodies: a call block
+    // inside a loop would fire once per iteration and blow up the call
+    // counts far past what real call-frequency distributions look like.
+    let fill = |fb: &mut FunctionBuilder,
+                    block: BlockId,
+                    may_call: bool,
+                    calls: &mut HashMap<BlockId, FuncId>,
+                    rng: &mut ChaCha8Rng| {
+        fb.push(
+            block,
+            Stmt::assign(
+                v,
+                Rvalue::Binary(twpp_ir::BinOp::Add, Operand::Var(v), Operand::Const(1)),
+            ),
+        );
+        if may_call && !callees.is_empty() && rng.gen_bool(spec.call_prob) {
+            // Prefer the hottest (lowest-index) functions as callees.
+            let callee = callees[sample_zipf(callees.len(), 1.1, rng)];
+            fb.push(
+                block,
+                Stmt::Call {
+                    callee,
+                    args: vec![],
+                },
+            );
+            calls.insert(block, callee);
+        }
+    };
+
+    for _ in 0..n_segments {
+        let kind = if rng.gen_bool(spec.loop_prob) {
+            Segment::Loop
+        } else if rng.gen_bool(spec.diamond_prob) {
+            Segment::Diamond
+        } else {
+            Segment::Straight
+        };
+        match kind {
+            Segment::Straight => {
+                let len = scaled(spec.straight_len, rng);
+                for _ in 0..len {
+                    fill(&mut fb, current, true, &mut calls, rng);
+                    let next = fb.new_block();
+                    fb.terminate(current, Terminator::Jump(next));
+                    current = next;
+                }
+            }
+            Segment::Diamond => {
+                fill(&mut fb, current, true, &mut calls, rng);
+                let then_b = fb.new_block();
+                let else_b = fb.new_block();
+                let join = fb.new_block();
+                fb.terminate(
+                    current,
+                    Terminator::Branch {
+                        cond: Operand::Var(v),
+                        then_dest: then_b,
+                        else_dest: else_b,
+                    },
+                );
+                for arm in [then_b, else_b] {
+                    fill(&mut fb, arm, true, &mut calls, rng);
+                    fb.terminate(arm, Terminator::Jump(join));
+                }
+                current = join;
+            }
+            Segment::Loop => {
+                let header = fb.new_block();
+                fb.terminate(current, Terminator::Jump(header));
+                let body_first = fb.new_block();
+                let exit = fb.new_block();
+                fb.terminate(
+                    header,
+                    Terminator::Branch {
+                        cond: Operand::Var(v),
+                        then_dest: body_first,
+                        else_dest: exit,
+                    },
+                );
+                // The body is a straight chain, so the dynamic basic block
+                // dictionary collapses it (and the header/body alternation
+                // series-compacts in the TWPP).
+                let body_len = rng.gen_range(spec.loop_body_len.0..=spec.loop_body_len.1);
+                let mut body_cur = body_first;
+                for i in 0..body_len {
+                    fill(&mut fb, body_cur, false, &mut calls, rng);
+                    if i + 1 < body_len {
+                        let next = fb.new_block();
+                        fb.terminate(body_cur, Terminator::Jump(next));
+                        body_cur = next;
+                    }
+                }
+                fb.terminate(body_cur, Terminator::Jump(header));
+                loop_info.insert(header, (body_first, exit));
+                current = exit;
+            }
+        }
+    }
+    fill(&mut fb, current, true, &mut calls, rng);
+    fb.terminate(current, Terminator::Return(None));
+    (fb, calls, loop_info)
+}
+
+/// Replays the CFG from the entry with random branch choices and loop
+/// iteration counts, producing one concrete walk.
+fn random_walk(
+    func: &twpp_ir::Function,
+    loop_info: &LoopInfo,
+    spec: &WorkloadSpec,
+    rng: &mut ChaCha8Rng,
+) -> Vec<BlockId> {
+    let mut walk = Vec::new();
+    let mut cur = BlockId::ENTRY;
+    let mut remaining: HashMap<BlockId, u32> = HashMap::new();
+    loop {
+        walk.push(cur);
+        match func.block(cur).terminator() {
+            Terminator::Return(_) => break,
+            Terminator::Jump(d) => cur = *d,
+            Terminator::Branch {
+                then_dest,
+                else_dest,
+                ..
+            } => {
+                if let Some(&(body, exit)) = loop_info.get(&cur) {
+                    let left = remaining
+                        .entry(cur)
+                        .or_insert_with(|| rng.gen_range(spec.loop_iters.0..=spec.loop_iters.1));
+                    if *left > 0 {
+                        *left -= 1;
+                        cur = body;
+                    } else {
+                        remaining.remove(&cur);
+                        cur = exit;
+                    }
+                } else {
+                    cur = if rng.gen_bool(0.5) {
+                        *then_dest
+                    } else {
+                        *else_dest
+                    };
+                }
+            }
+        }
+    }
+    walk
+}
+
+// ----- sampling helpers ------------------------------------------------
+
+/// Cumulative Zipf weights `1/(i+1)^s` for `n` items.
+fn cumulative_zipf(n: usize, s: f64) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += 1.0 / ((i + 1) as f64).powf(s);
+        cum.push(total);
+    }
+    cum
+}
+
+fn sample_cumulative(cum: &[f64], rng: &mut ChaCha8Rng) -> usize {
+    let total = *cum.last().expect("non-empty weights");
+    let x = rng.gen_range(0.0..total);
+    cum.partition_point(|&c| c <= x).min(cum.len() - 1)
+}
+
+fn sample_zipf(n: usize, s: f64, rng: &mut ChaCha8Rng) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let cum = cumulative_zipf(n, s);
+    sample_cumulative(&cum, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Profile;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = Profile::Perl.spec().scaled(0.02);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.wpp, b.wpp);
+        assert_eq!(a.program, b.program);
+    }
+
+    #[test]
+    fn wpp_is_well_formed_and_near_target_size() {
+        for profile in Profile::all() {
+            let spec = profile.spec().scaled(0.01);
+            let w = generate(&spec);
+            assert!(
+                w.wpp.event_count() >= spec.target_events,
+                "{}: {} < {}",
+                w.name,
+                w.wpp.event_count(),
+                spec.target_events
+            );
+            // The emitter only checks the budget between top-level calls,
+            // so the stream can overshoot by at most one activation tree
+            // (noticeable only at tiny scales).
+            assert!(w.wpp.event_count() < spec.target_events * 2 + 100_000);
+            // Balanced enter/exit structure: partition succeeds.
+            let part = twpp::partition(&w.wpp).expect("valid stream");
+            assert!(part.dcg.node_count() > 1);
+            // Lossless round trip through partitioning.
+            assert_eq!(part.reconstruct(), w.wpp);
+        }
+    }
+
+    #[test]
+    fn walks_respect_the_static_cfg() {
+        let spec = Profile::Li.spec().scaled(0.01);
+        let w = generate(&spec);
+        // Every consecutive block pair inside one activation must be a
+        // static CFG edge.
+        let part = twpp::partition(&w.wpp).unwrap();
+        for (_, node) in part.dcg.iter() {
+            let func = w.program.func(node.func);
+            let trace = &part.traces[&node.func][node.trace_idx as usize];
+            for pair in trace.blocks().windows(2) {
+                let succs = func.block(pair[0]).successors();
+                assert!(
+                    succs.contains(&pair[1]),
+                    "{} -> {} is not a static edge of {}",
+                    pair[0],
+                    pair[1],
+                    func.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_differ_in_redundancy() {
+        let perl = generate(&Profile::Perl.spec().scaled(0.02));
+        let go = generate(&Profile::Go.spec().scaled(0.02));
+        let stats = |w: &Workload| {
+            let mut part = twpp::partition(&w.wpp).unwrap();
+            let s = twpp::eliminate_redundancy(&mut part);
+            // Average unique traces per function, weighted by calls.
+            let total_calls: u64 = s.per_func.values().map(|&(c, _)| c).sum();
+            let covered = s.percent_calls_with_at_most(5);
+            (total_calls, covered)
+        };
+        let (_, perl_cov) = stats(&perl);
+        let (_, go_cov) = stats(&go);
+        // perl: nearly all calls hit functions with <=5 unique traces;
+        // go: far fewer.
+        assert!(perl_cov > 90.0, "perl coverage {perl_cov}");
+        assert!(go_cov < perl_cov, "go {go_cov} vs perl {perl_cov}");
+    }
+}

@@ -1,0 +1,27 @@
+//! **twpp-workloads** — synthetic SPECint95-like workloads for the TWPP
+//! reproduction experiments.
+//!
+//! The paper's evaluation traces came from Trimaran-instrumented SPECint95
+//! binaries. This crate substitutes seeded generators whose per-benchmark
+//! [`Profile`]s reproduce the distributional properties the paper's results
+//! depend on — call-count skew, unique-path-trace counts per function
+//! (Figure 8), loop regularity and trace length — at laptop scale.
+//!
+//! # Example
+//!
+//! ```
+//! use twpp_workloads::{generate, Profile};
+//!
+//! let spec = Profile::Perl.spec().scaled(0.01);
+//! let workload = generate(&spec);
+//! assert!(workload.wpp.event_count() >= 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+pub mod spec;
+
+pub use gen::{generate, Workload};
+pub use spec::{Profile, WorkloadSpec};

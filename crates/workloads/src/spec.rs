@@ -1,0 +1,202 @@
+//! Workload specifications: the tunable statistics that drive generation,
+//! with one profile per SPECint95 benchmark used in the paper.
+//!
+//! The paper's compaction results are driven by a handful of distributional
+//! properties of each benchmark's WPP: how many functions execute, how
+//! many *unique* path traces each contributes (Figure 8), how regular the
+//! loops are (DBB and timestamp-series compaction), and how long traces
+//! run. The profiles below set those knobs per benchmark so the *shape* of
+//! Tables 1–6 reproduces at laptop scale; absolute megabytes do not (and
+//! need not) match.
+
+/// Tunable statistics for one synthetic workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Workload name (the benchmark it models).
+    pub name: String,
+    /// RNG seed; generation is fully deterministic given the spec.
+    pub seed: u64,
+    /// Number of functions (excluding `main`).
+    pub n_funcs: usize,
+    /// Number of structured segments per function body.
+    pub segments_per_func: (usize, usize),
+    /// Length of straight-line chains (drives DBB dictionary wins).
+    pub straight_len: (usize, usize),
+    /// Probability that a segment is a loop (vs. straight or diamond).
+    pub loop_prob: f64,
+    /// Probability that a segment is a diamond, given it is not a loop.
+    pub diamond_prob: f64,
+    /// Loop iteration counts drawn per unique path (regular loops dedup
+    /// and series-compact well; wide ranges create unique traces).
+    pub loop_iters: (u32, u32),
+    /// Length of the straight chain forming each loop body.
+    pub loop_body_len: (usize, usize),
+    /// Size of each function's unique-path pool (Figure 8's X axis).
+    pub unique_paths: (usize, usize),
+    /// Zipf-ish exponent for sampling paths from the pool: higher values
+    /// concentrate calls on few paths (more redundancy).
+    pub path_zipf: f64,
+    /// Probability that a straight-line block calls a deeper function.
+    pub call_prob: f64,
+    /// Approximate number of WPP events to emit.
+    pub target_events: usize,
+}
+
+impl WorkloadSpec {
+    /// Scales the workload size (number of emitted events) by `factor`.
+    pub fn scaled(mut self, factor: f64) -> WorkloadSpec {
+        self.target_events = ((self.target_events as f64) * factor).max(1_000.0) as usize;
+        self
+    }
+}
+
+/// The five SPECint95 benchmarks of the paper's evaluation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Profile {
+    /// `099.go` — few very hot functions with *many* unique paths each
+    /// (the paper: >50 unique traces cover only half the calls); irregular
+    /// loops, so TWPP gains little over the compacted WPP (x0.97).
+    Go,
+    /// `126.gcc` — many functions, moderate path diversity (~25 unique
+    /// traces at the 50% mark), mixed regularity.
+    Gcc,
+    /// `130.li` — small interpreter: few unique paths, very regular
+    /// recursion/loops; strong TWPP win (x4.81).
+    Li,
+    /// `132.ijpeg` — loop-dominated kernels: long regular inner loops,
+    /// strong dictionary + series compaction (x3.65 TWPP).
+    Ijpeg,
+    /// `134.perl` — extremely redundant: most functions follow 1–3 paths;
+    /// the TWPP collapses (x85 in the paper).
+    Perl,
+}
+
+impl Profile {
+    /// All profiles in the paper's table order.
+    pub fn all() -> [Profile; 5] {
+        [
+            Profile::Go,
+            Profile::Gcc,
+            Profile::Li,
+            Profile::Ijpeg,
+            Profile::Perl,
+        ]
+    }
+
+    /// The benchmark name as it appears in the paper's tables.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Profile::Go => "099.go",
+            Profile::Gcc => "126.gcc",
+            Profile::Li => "130.li",
+            Profile::Ijpeg => "132.ijpeg",
+            Profile::Perl => "134.perl",
+        }
+    }
+
+    /// The default workload spec modeling this benchmark.
+    pub fn spec(self) -> WorkloadSpec {
+        match self {
+            Profile::Go => WorkloadSpec {
+                name: "099.go".into(),
+                seed: 0x90_90_90,
+                n_funcs: 64,
+                segments_per_func: (3, 6),
+                straight_len: (2, 3),
+                loop_prob: 0.25,
+                diamond_prob: 0.75,
+                loop_iters: (1, 10),
+                loop_body_len: (1, 2),
+                unique_paths: (25, 80),
+                path_zipf: 0.7,
+                call_prob: 0.08,
+                target_events: 900_000,
+            },
+            Profile::Gcc => WorkloadSpec {
+                name: "126.gcc".into(),
+                seed: 0x6cc_6cc,
+                n_funcs: 96,
+                segments_per_func: (3, 6),
+                straight_len: (2, 3),
+                loop_prob: 0.3,
+                diamond_prob: 0.6,
+                loop_iters: (8, 24),
+                loop_body_len: (1, 3),
+                unique_paths: (45, 330),
+                path_zipf: 1.1,
+                call_prob: 0.1,
+                target_events: 1_600_000,
+            },
+            Profile::Li => WorkloadSpec {
+                name: "130.li".into(),
+                seed: 0x11_11,
+                n_funcs: 160,
+                segments_per_func: (2, 4),
+                straight_len: (2, 3),
+                loop_prob: 0.5,
+                diamond_prob: 0.5,
+                loop_iters: (30, 30),
+                loop_body_len: (2, 3),
+                unique_paths: (2, 10),
+                path_zipf: 1.4,
+                call_prob: 0.12,
+                target_events: 280_000,
+            },
+            Profile::Ijpeg => WorkloadSpec {
+                name: "132.ijpeg".into(),
+                seed: 0x1_3e6,
+                n_funcs: 96,
+                segments_per_func: (2, 4),
+                straight_len: (1, 3),
+                loop_prob: 0.55,
+                diamond_prob: 0.4,
+                loop_iters: (32, 32),
+                loop_body_len: (2, 2),
+                unique_paths: (6, 24),
+                path_zipf: 1.2,
+                call_prob: 0.06,
+                target_events: 900_000,
+            },
+            Profile::Perl => WorkloadSpec {
+                name: "134.perl".into(),
+                seed: 0xbe_71,
+                n_funcs: 32,
+                segments_per_func: (2, 4),
+                straight_len: (6, 10),
+                loop_prob: 0.5,
+                diamond_prob: 0.4,
+                loop_iters: (400, 400),
+                loop_body_len: (5, 8),
+                unique_paths: (1, 2),
+                path_zipf: 1.6,
+                call_prob: 0.05,
+                target_events: 1_000_000,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_cover_the_paper_benchmarks() {
+        let names: Vec<&str> = Profile::all().iter().map(|p| p.paper_name()).collect();
+        assert_eq!(
+            names,
+            vec!["099.go", "126.gcc", "130.li", "132.ijpeg", "134.perl"]
+        );
+    }
+
+    #[test]
+    fn scaling_changes_target_events_only() {
+        let spec = Profile::Perl.spec();
+        let scaled = spec.clone().scaled(0.1);
+        assert_eq!(scaled.n_funcs, spec.n_funcs);
+        assert!(scaled.target_events < spec.target_events);
+        // Never scales to zero.
+        let tiny = spec.scaled(0.0);
+        assert!(tiny.target_events >= 1_000);
+    }
+}

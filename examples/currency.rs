@@ -1,0 +1,92 @@
+//! Figure 12: dynamic currency determination — debugging optimized code
+//! with a timestamped WPP.
+//!
+//! Partial dead code elimination sinks an assignment from a dominator
+//! block into one branch. Whether the variable's value at a breakpoint
+//! still matches what the unoptimized program would show depends on the
+//! executed path, which the WPP records.
+//!
+//! ```sh
+//! cargo run --example currency
+//! ```
+
+use twpp_repro::twpp_dataflow::currency::{currency_of, AssignTags, Currency};
+use twpp_repro::twpp_ir::{
+    single_function_program, BlockId, Operand, Program, Rvalue, Stmt, Terminator, Var,
+};
+
+/// Builds the Figure 12 CFG: `1 -> {2, 4} -> 3` with the second assignment
+/// to `x` either in block 1 (unoptimized) or sunk into block 2 (optimized).
+fn build(moved: bool) -> Program {
+    single_function_program(|fb| {
+        let b1 = fb.entry();
+        let b2 = fb.new_block();
+        let b3 = fb.new_block();
+        let b4 = fb.new_block();
+        let x = fb.new_var();
+        fb.push(b1, Stmt::assign(x, Rvalue::Use(Operand::Const(10))));
+        if moved {
+            fb.push(b2, Stmt::assign(x, Rvalue::Use(Operand::Const(20))));
+        } else {
+            fb.push(b1, Stmt::assign(x, Rvalue::Use(Operand::Const(20))));
+        }
+        fb.push(b2, Stmt::Print(Operand::Var(x)));
+        fb.terminate(
+            b1,
+            Terminator::Branch {
+                cond: Operand::Var(x),
+                then_dest: b2,
+                else_dest: b4,
+            },
+        );
+        fb.terminate(b2, Terminator::Jump(b3));
+        fb.terminate(b4, Terminator::Jump(b3));
+        fb.push(b3, Stmt::Print(Operand::Var(x)));
+        fb.terminate(b3, Terminator::Return(None));
+    })
+    .expect("figure 12 CFG is well-formed")
+}
+
+fn main() {
+    let b = BlockId::new;
+    let unopt = build(false);
+    let opt = build(true);
+
+    // Source identity of each assignment to x, per version: partial dead
+    // code elimination moved assignment #2 from block 1 into block 2.
+    let mut unopt_tags = AssignTags::new();
+    unopt_tags.insert((b(1), 0), 1);
+    unopt_tags.insert((b(1), 1), 2);
+    let mut opt_tags = AssignTags::new();
+    opt_tags.insert((b(1), 0), 1);
+    opt_tags.insert((b(2), 0), 2);
+    let x = Var::from_index(0);
+
+    println!("breakpoint in block 3; the user asks for the value of x\n");
+    for (label, trace) in [
+        ("execution took 1 -> 2 -> 3", vec![b(1), b(2), b(3)]),
+        ("execution took 1 -> 4 -> 3", vec![b(1), b(4), b(3)]),
+    ] {
+        let verdict = currency_of(
+            unopt.func(unopt.main()),
+            opt.func(opt.main()),
+            &unopt_tags,
+            &opt_tags,
+            &trace,
+            3,
+            x,
+        );
+        match verdict {
+            Currency::Current => {
+                println!("{label}: x is CURRENT — the debugger may display it");
+            }
+            Currency::NonCurrent { actual, expected } => {
+                println!(
+                    "{label}: x is NON-CURRENT — it holds the value of assignment \
+                     {actual:?}, but the source-level debugger user expects \
+                     assignment {expected:?}"
+                );
+            }
+        }
+    }
+}

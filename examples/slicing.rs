@@ -1,0 +1,68 @@
+//! Figures 10 & 11: dynamic program slicing with the three Agrawal–Horgan
+//! algorithms, all running on one timestamped dynamic CFG.
+//!
+//! ```sh
+//! cargo run --example slicing
+//! ```
+
+use twpp_repro::twpp_dataflow::slicing::{Approach, Criterion, Slicer};
+use twpp_repro::twpp_ir::{Operand, Stmt};
+use twpp_repro::twpp_lang::{compile_with_options, programs, LowerOptions};
+use twpp_repro::twpp_tracer::{run_traced, ExecLimits};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's example program, run on its input N=3, X=-4,3,-2.
+    let program = compile_with_options(
+        programs::FIGURE10,
+        LowerOptions {
+            stmt_per_block: true,
+        },
+    )?;
+    let (execution, wpp) = run_traced(
+        &program,
+        programs::FIGURE10_INPUT,
+        ExecLimits::default(),
+    )?;
+    println!("program output: {:?}", execution.output);
+
+    let main_id = program.main();
+    let func = program.func(main_id);
+    let trace = wpp.scan_function(main_id).remove(0);
+    let slicer = Slicer::new(func, &trace);
+
+    // Criterion: the value of z at the breakpoint (the final print).
+    let breakpoint = *trace.last().expect("non-empty trace");
+    let z = func
+        .blocks()
+        .flat_map(|(_, b)| b.stmts())
+        .filter_map(|s| match s {
+            Stmt::Print(Operand::Var(v)) => Some(*v),
+            _ => None,
+        })
+        .last()
+        .expect("breakpoint prints z");
+    let criterion = Criterion {
+        block: breakpoint,
+        timestamp: slicer.dyn_cfg().len(),
+        var: z,
+    };
+    println!(
+        "criterion: slice for {z} at block {breakpoint}, timestamp {}",
+        criterion.timestamp
+    );
+
+    for (name, approach) in [
+        ("approach 1: executed nodes   ", Approach::ExecutedNodes),
+        ("approach 2: executed edges   ", Approach::ExecutedEdges),
+        ("approach 3: precise instances", Approach::PreciseInstances),
+    ] {
+        let slice = slicer.slice(criterion, approach);
+        let ids: Vec<u32> = slice.iter().map(|b| b.as_u32()).collect();
+        println!("{name}: {} blocks {ids:?}", slice.len());
+    }
+    println!(
+        "\nEach approach refines the previous one; approach 3 tracks the exact\n\
+         statement *instances* (block, timestamp) that influenced the value."
+    );
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the TWPP reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so that the runnable
+//! examples in `examples/` and the integration tests in `tests/` can use a
+//! single dependency. Library users should depend on the individual crates
+//! ([`twpp`], [`twpp_dataflow`], …) directly.
+
+pub use twpp;
+pub use twpp_dataflow;
+pub use twpp_ir;
+pub use twpp_lang;
+pub use twpp_sequitur;
+pub use twpp_tracer;
+pub use twpp_workloads;

@@ -1,0 +1,260 @@
+//! Integration tests of the profile-limited data flow analyses on the
+//! paper's example programs (Figures 9-12) and on randomized executions.
+
+use proptest::prelude::*;
+
+use twpp_repro::twpp::TsSet;
+use twpp_repro::twpp_dataflow::dyncfg::DynCfg;
+use twpp_repro::twpp_dataflow::redundancy::{load_redundancy, loads_in};
+use twpp_repro::twpp_dataflow::slicing::{Approach, Criterion, Slicer};
+use twpp_repro::twpp_dataflow::{solve_backward, solve_by_replay, AvailableLoad};
+use twpp_repro::twpp_ir::{BlockId, Operand, Stmt, Var};
+use twpp_repro::twpp_lang::{compile_with_options, programs, LowerOptions};
+use twpp_repro::twpp_tracer::{run_traced, ExecLimits};
+
+fn figure_program(src: &str, input: &[i64]) -> (twpp_repro::twpp_ir::Program, Vec<BlockId>) {
+    let program = compile_with_options(
+        src,
+        LowerOptions {
+            stmt_per_block: true,
+        },
+    )
+    .expect("program compiles");
+    let (_, wpp) = run_traced(&program, input, ExecLimits::default()).expect("program runs");
+    let trace = wpp.scan_function(program.main()).remove(0);
+    (program, trace)
+}
+
+#[test]
+fn figure9_redundancy_degrees() {
+    let (program, trace) = figure_program(programs::FIGURE9, &[]);
+    let func = program.func(program.main());
+    let dcfg = DynCfg::from_block_sequence(&trace);
+    let loads = loads_in(&dcfg, func);
+    assert_eq!(loads.len(), 2);
+    let mut degrees: Vec<(u64, f64)> = loads
+        .iter()
+        .map(|&(n, _)| {
+            let r = load_redundancy(&dcfg, func, n).unwrap();
+            (r.total, r.degree_percent())
+        })
+        .collect();
+    degrees.sort_by_key(|&(total, _)| total);
+    // The 60-execution load is 100% redundant (the paper's headline);
+    // the 100-execution header load misses only its first execution.
+    assert_eq!(degrees[0].0, 60);
+    assert!((degrees[0].1 - 100.0).abs() < 1e-9);
+    assert_eq!(degrees[1].0, 100);
+    assert!((degrees[1].1 - 99.0).abs() < 1e-9);
+}
+
+/// Identifies figure-10 blocks by their source statement so assertions
+/// survive block renumbering: returns the block that assigns via a call to
+/// the given function.
+fn call_block(
+    program: &twpp_repro::twpp_ir::Program,
+    callee_name: &str,
+) -> BlockId {
+    let func = program.func(program.main());
+    let (callee, _) = program.func_by_name(callee_name).unwrap();
+    func.blocks()
+        .find(|(_, b)| b.stmts().iter().any(|s| s.callee() == Some(callee)))
+        .map(|(id, _)| id)
+        .expect("call block exists")
+}
+
+#[test]
+fn figure10_slices_reproduce_the_paper() {
+    let (program, trace) = figure_program(programs::FIGURE10, programs::FIGURE10_INPUT);
+    let func = program.func(program.main());
+    let slicer = Slicer::new(func, &trace);
+
+    let breakpoint = *trace.last().unwrap();
+    let z = func
+        .blocks()
+        .flat_map(|(_, b)| b.stmts())
+        .filter_map(|s| match s {
+            Stmt::Print(Operand::Var(v)) => Some(*v),
+            _ => None,
+        })
+        .last()
+        .unwrap();
+    let criterion = Criterion {
+        block: breakpoint,
+        timestamp: slicer.dyn_cfg().len(),
+        var: z,
+    };
+
+    let s1 = slicer.slice(criterion, Approach::ExecutedNodes);
+    let s2 = slicer.slice(criterion, Approach::ExecutedEdges);
+    let s3 = slicer.slice(criterion, Approach::PreciseInstances);
+
+    // The paper's precision ordering.
+    assert!(s3.is_subset(&s2));
+    assert!(s2.is_subset(&s1));
+    assert!(s3.len() < s1.len());
+
+    // Paper: although f2 executed (statement 8), the value of Z at the
+    // breakpoint flows from the last iteration (X=-2 < 0 takes f1), so the
+    // precise slice excludes the f2 branch but keeps f1's.
+    let f1_block = call_block(&program, "f1");
+    let f2_block = call_block(&program, "f2");
+    assert!(s3.contains(&f1_block), "precise slice keeps the f1 branch");
+    assert!(!s3.contains(&f2_block), "precise slice drops the f2 branch");
+    // Approach 1 (executed nodes) keeps both executed branches.
+    assert!(s1.contains(&f2_block));
+}
+
+#[test]
+fn queries_match_replay_oracle_on_random_paths() {
+    // A randomized variant of the figure-9 CFG exercises the propagation
+    // engine against the naive oracle.
+    let (program, _) = figure_program(programs::FIGURE9, &[]);
+    let func = program.func(program.main());
+
+    proptest!(ProptestConfig::with_cases(24), |(choices in prop::collection::vec(any::<bool>(), 1..60))| {
+        // Rebuild a synthetic trace following the real CFG of figure 9 by
+        // re-running with a controlled iteration pattern is complex;
+        // instead replay the actual structure: the real trace restricted
+        // to a random prefix still is a valid block sequence.
+        let (_, full) = figure_program(programs::FIGURE9, &[]);
+        let cut = 1 + choices.len() * full.len() / 64;
+        let prefix = &full[..cut.min(full.len())];
+        let dcfg = DynCfg::from_block_sequence(prefix);
+        let fact = AvailableLoad { addr: Operand::Const(100) };
+        for n in 0..dcfg.node_count() {
+            let ts = dcfg.node(n).ts.clone();
+            let fast = solve_backward(&dcfg, func, &fact, n, &ts);
+            let slow = solve_by_replay(&dcfg, func, &fact, n, &ts);
+            prop_assert_eq!(fast, slow);
+        }
+    });
+}
+
+#[test]
+fn partial_queries_subset_full_queries() {
+    let (program, trace) = figure_program(programs::FIGURE9, &[]);
+    let func = program.func(program.main());
+    let dcfg = DynCfg::from_block_sequence(&trace);
+    let fact = AvailableLoad {
+        addr: Operand::Const(100),
+    };
+    let (node, _) = loads_in(&dcfg, func)[0];
+    let full_ts = dcfg.node(node).ts.clone();
+    let full = solve_backward(&dcfg, func, &fact, node, &full_ts);
+    // Query only the first three timestamps.
+    let subset: Vec<u32> = full_ts.iter().take(3).collect();
+    let part = solve_backward(&dcfg, func, &fact, node, &TsSet::from_sorted(&subset));
+    for t in part.holds.iter() {
+        assert!(full.holds.contains(t));
+    }
+    for t in part.not_holds.iter() {
+        assert!(full.not_holds.contains(t));
+    }
+    assert_eq!(part.holds.len() + part.not_holds.len(), 3);
+}
+
+#[test]
+fn partial_wpp_up_to_a_breakpoint_supports_slicing() {
+    // The paper's debugging setup: stop mid-run, analyze the partial WPP.
+    use twpp_repro::twpp_tracer::run_to_breakpoint;
+    let program = compile_with_options(
+        programs::FIGURE10,
+        LowerOptions {
+            stmt_per_block: true,
+        },
+    )
+    .unwrap();
+    let main_id = program.main();
+    let func = program.func(main_id);
+    let print_block = func
+        .blocks()
+        .filter(|(_, b)| {
+            b.stmts()
+                .iter()
+                .any(|s| matches!(s, Stmt::Print(Operand::Var(_))))
+        })
+        .map(|(id, _)| id)
+        .next()
+        .unwrap();
+    let (execution, wpp, hit) = run_to_breakpoint(
+        &program,
+        programs::FIGURE10_INPUT,
+        ExecLimits::default(),
+        main_id,
+        print_block,
+        2,
+    )
+    .unwrap();
+    assert!(hit);
+    // First iteration's z printed, second pending.
+    assert_eq!(execution.output, vec![5]);
+    // The truncated stream still partitions and compacts losslessly.
+    let part = twpp_repro::twpp::partition(&wpp).unwrap();
+    assert_eq!(part.reconstruct().event_count(), wpp.event_count() + {
+        // reconstruction closes the open activations explicitly
+        let open = wpp
+            .iter()
+            .fold(0i64, |d, e| match e {
+                twpp_repro::twpp_tracer::WppEvent::Enter(_) => d + 1,
+                twpp_repro::twpp_tracer::WppEvent::Exit => d - 1,
+                _ => d,
+            });
+        open as usize
+    });
+    // And the slice at the breakpoint only sees the first two iterations.
+    let trace = wpp.scan_function(main_id).remove(0);
+    let slicer = Slicer::new(func, &trace);
+    let t = slicer
+        .dyn_cfg()
+        .node_by_head(print_block)
+        .and_then(|i| slicer.dyn_cfg().node(i).ts.last())
+        .unwrap();
+    let z = func
+        .block(print_block)
+        .stmts()
+        .iter()
+        .find_map(|s| match s {
+            Stmt::Print(Operand::Var(v)) => Some(*v),
+            _ => None,
+        })
+        .unwrap();
+    let slice = slicer.slice(
+        Criterion {
+            block: print_block,
+            timestamp: t,
+            var: z,
+        },
+        Approach::PreciseInstances,
+    );
+    assert!(!slice.is_empty());
+    assert!(slice.contains(&print_block));
+}
+
+#[test]
+fn slicer_handles_larger_realistic_program() {
+    let (program, trace) = figure_program(programs::KITCHEN_SINK, &[]);
+    let func = program.func(program.main());
+    let slicer = Slicer::new(func, &trace);
+    // Slice the final print's variable at the last timestamp.
+    let last = *trace.last().unwrap();
+    let var = func
+        .blocks()
+        .flat_map(|(_, b)| b.stmts())
+        .filter_map(|s| match s {
+            Stmt::Print(Operand::Var(v)) => Some(*v),
+            _ => None,
+        })
+        .last()
+        .unwrap_or(Var::from_index(0));
+    let criterion = Criterion {
+        block: last,
+        timestamp: slicer.dyn_cfg().len(),
+        var,
+    };
+    let s1 = slicer.slice(criterion, Approach::ExecutedNodes);
+    let s2 = slicer.slice(criterion, Approach::ExecutedEdges);
+    let s3 = slicer.slice(criterion, Approach::PreciseInstances);
+    assert!(!s3.is_empty());
+    assert!(s3.is_subset(&s2) && s2.is_subset(&s1));
+}

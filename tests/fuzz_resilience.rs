@@ -1,0 +1,111 @@
+//! Decoder robustness: every binary decoder in the workspace must reject
+//! arbitrary or corrupted input with an error — never panic. These are
+//! fuzz-style property tests over random byte/word soup and over random
+//! corruptions of valid encodings.
+
+use proptest::prelude::*;
+
+use twpp_repro::twpp::{compact, lzw, Dcg, TimestampedTrace, TsSet, TwppArchive};
+use twpp_repro::twpp_sequitur;
+use twpp_repro::twpp_tracer::RawWpp;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn raw_wpp_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = RawWpp::read_from(&bytes[..]);
+    }
+
+    #[test]
+    fn archive_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = TwppArchive::from_bytes(bytes);
+    }
+
+    #[test]
+    fn lzw_decompressor_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lzw::decompress(&bytes);
+    }
+
+    #[test]
+    fn tsset_wire_decoder_never_panics(words in prop::collection::vec(any::<i32>(), 0..64)) {
+        let _ = TsSet::from_wire(&words);
+    }
+
+    #[test]
+    fn dcg_decoder_never_panics(words in prop::collection::vec(any::<u32>(), 0..64)) {
+        let _ = Dcg::from_words(&words);
+    }
+
+    #[test]
+    fn timestamped_trace_decoder_never_panics(
+        words in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let mut pos = 0;
+        let _ = TimestampedTrace::from_words(&words, &mut pos);
+    }
+
+    #[test]
+    fn sequitur_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = twpp_sequitur::decode(&bytes);
+    }
+
+    #[test]
+    fn corrupted_archives_error_not_panic(
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..8),
+    ) {
+        // Build a small valid archive, then flip random bytes.
+        let wpp = sample_wpp();
+        let compacted = compact(&wpp).unwrap();
+        let archive = TwppArchive::from_compacted(&compacted);
+        let mut bytes = archive.as_bytes().to_vec();
+        for (pos, val) in flips {
+            let len = bytes.len();
+            bytes[pos % len] ^= val;
+        }
+        // Either parses (and then every function read must also not
+        // panic) or errors out.
+        if let Ok(parsed) = TwppArchive::from_bytes(bytes) {
+            for func in parsed.function_ids() {
+                let _ = parsed.read_function(func);
+            }
+            let _ = parsed.read_dcg();
+        }
+    }
+
+    #[test]
+    fn corrupted_wpp_files_error_not_panic(
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..8),
+    ) {
+        let wpp = sample_wpp();
+        let mut bytes = Vec::new();
+        wpp.write_to(&mut bytes).unwrap();
+        for (pos, val) in flips {
+            let len = bytes.len();
+            bytes[pos % len] ^= val;
+        }
+        if let Ok(parsed) = RawWpp::read_from(&bytes[..]) {
+            // Scanning a possibly-garbage (but decodable) stream must not
+            // panic either.
+            let _ = parsed.scan_function(twpp_repro::twpp_ir::FuncId::from_index(0));
+            let _ = twpp_repro::twpp::partition(&parsed);
+        }
+    }
+}
+
+fn sample_wpp() -> RawWpp {
+    use twpp_repro::twpp_ir::{BlockId, FuncId};
+    use twpp_repro::twpp_tracer::WppEvent;
+    let f = |i| FuncId::from_index(i);
+    let b = |i| BlockId::new(i);
+    let mut events = vec![WppEvent::Enter(f(0)), WppEvent::Block(b(1))];
+    for t in [&[1u32, 2, 4][..], &[1, 3, 4], &[1, 2, 4]] {
+        events.push(WppEvent::Enter(f(1)));
+        for &x in t {
+            events.push(WppEvent::Block(b(x)));
+        }
+        events.push(WppEvent::Exit);
+    }
+    events.push(WppEvent::Exit);
+    RawWpp::from_events(&events)
+}
