@@ -6,6 +6,7 @@
 //! twpp compact <in.wpp> -o <out.twpa> [--program <prog.twl>]
 //! twpp info <file.wpp|file.twpa>
 //! twpp query <file.twpa> <func-id-or-name>
+//! twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]]
 //! twpp sequitur <in.wpp>
 //! ```
 
@@ -53,6 +54,9 @@ usage:
                                             (--program embeds function names)
   twpp info <file.wpp|file.twpa>            summarize a trace or archive
   twpp query <file.twpa> <func-id-or-name>  extract one function's traces
+  twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]]
+                                            verify checksums; --repair writes a
+                                            salvaged copy of a damaged file
   twpp sequitur <in.wpp>                    compress with the Sequitur baseline";
 
 /// Parses `args` and executes the selected command, writing human-readable
@@ -67,6 +71,7 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
     let mut output: Option<&str> = None;
     let mut program_path: Option<&str> = None;
     let mut input: Vec<i64> = Vec::new();
+    let mut repair = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -96,6 +101,7 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                     .collect::<Result<_, _>>()
                     .map_err(|e| CliError::Usage(format!("bad --input: {e}")))?;
             }
+            "--repair" => repair = true,
             "--help" | "-h" => {
                 writeln!(out, "{USAGE}").map_err(fail)?;
                 return Ok(());
@@ -121,6 +127,7 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
             )
         }
         ["info", path] => cmd_info(Path::new(path), out),
+        ["fsck", path] => cmd_fsck(Path::new(path), repair, output.map(Path::new), out),
         ["query", path, func] => cmd_query(Path::new(path), func, out),
         ["sequitur", path] => cmd_sequitur(Path::new(path), out),
         _ => Err(usage()),
@@ -270,6 +277,93 @@ fn cmd_info(path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+fn cmd_fsck(
+    path: &Path,
+    repair: bool,
+    output: Option<&Path>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let bytes = fs::read(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
+    if bytes.starts_with(b"TWPA") {
+        let (archive, report) =
+            TwppArchive::recover(&bytes).map_err(|e| fail(format!("{}: {e}", path.display())))?;
+        write!(out, "{report}").map_err(fail)?;
+        if report.is_clean() {
+            writeln!(out, "{}: clean", path.display()).map_err(fail)?;
+            return Ok(());
+        }
+        if repair {
+            let repaired = match output {
+                Some(p) => p.to_path_buf(),
+                None => path.with_extension("repaired.twpa"),
+            };
+            archive.save(&repaired).map_err(fail)?;
+            writeln!(
+                out,
+                "wrote repaired archive {} ({} bytes, {} functions)",
+                repaired.display(),
+                archive.byte_len(),
+                report.salvaged_functions()
+            )
+            .map_err(fail)?;
+            return Ok(());
+        }
+        Err(fail(format!(
+            "{}: archive is damaged ({} of {} functions salvageable); \
+             rerun with --repair to write a clean copy",
+            path.display(),
+            report.salvaged_functions(),
+            report.functions.len()
+        )))
+    } else {
+        let salvage = RawWpp::read_salvage(&bytes[..])
+            .map_err(|e| fail(format!("{}: {e}", path.display())))?;
+        writeln!(
+            out,
+            "raw WPP: {} events, footer {}",
+            salvage.wpp.event_count(),
+            if salvage.footer_verified {
+                "verified"
+            } else {
+                "missing or damaged"
+            }
+        )
+        .map_err(fail)?;
+        if salvage.is_clean() {
+            writeln!(out, "{}: clean", path.display()).map_err(fail)?;
+            return Ok(());
+        }
+        writeln!(
+            out,
+            "dropped {} undecodable words ({} trailing bytes)",
+            salvage.words_dropped, salvage.bytes_dropped
+        )
+        .map_err(fail)?;
+        if repair {
+            let repaired = match output {
+                Some(p) => p.to_path_buf(),
+                None => path.with_extension("repaired.wpp"),
+            };
+            let file = fs::File::create(&repaired).map_err(fail)?;
+            let mut writer = std::io::BufWriter::new(file);
+            salvage.wpp.write_to(&mut writer).map_err(fail)?;
+            writer.into_inner().map_err(fail)?.sync_all().map_err(fail)?;
+            writeln!(
+                out,
+                "wrote repaired trace {} ({} events)",
+                repaired.display(),
+                salvage.wpp.event_count()
+            )
+            .map_err(fail)?;
+            return Ok(());
+        }
+        Err(fail(format!(
+            "{}: trace is damaged; rerun with --repair to write the salvaged prefix",
+            path.display()
+        )))
+    }
 }
 
 fn cmd_query(path: &Path, func: &str, out: &mut dyn Write) -> Result<(), CliError> {
@@ -422,6 +516,77 @@ mod tests {
         // sequitur baseline
         let output = run(&["sequitur", wpp_path.to_str().unwrap()]).unwrap();
         assert!(output.contains("rules"));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_detects_damage_and_repair_revalidates() {
+        let dir = temp_dir();
+        let src_path = dir.join("prog.twl");
+        fs::write(
+            &src_path,
+            "fn f(x) { print(x); }
+             fn main() { let i = 0; while (i < 4) { f(i); i = i + 1; } }",
+        )
+        .unwrap();
+        let src = src_path.to_str().unwrap();
+        let wpp_path = dir.join("prog.wpp");
+        run(&["trace", src, "-o", wpp_path.to_str().unwrap()]).unwrap();
+        let arc_path = dir.join("prog.twpa");
+        run(&["compact", wpp_path.to_str().unwrap(), "-o", arc_path.to_str().unwrap()]).unwrap();
+
+        // Clean files verify.
+        let output = run(&["fsck", arc_path.to_str().unwrap()]).unwrap();
+        assert!(output.contains("clean"), "{output}");
+        let output = run(&["fsck", wpp_path.to_str().unwrap()]).unwrap();
+        assert!(output.contains("clean"), "{output}");
+
+        // Flip one byte in the archive body: fsck must fail (exit non-zero
+        // via CliError::Failed)…
+        let mut bytes = fs::read(&arc_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let bad_path = dir.join("bad.twpa");
+        fs::write(&bad_path, &bytes).unwrap();
+        assert!(matches!(
+            run(&["fsck", bad_path.to_str().unwrap()]),
+            Err(CliError::Failed(_))
+        ));
+
+        // …and --repair must emit an archive that re-validates.
+        let fixed_path = dir.join("fixed.twpa");
+        let output = run(&[
+            "fsck",
+            bad_path.to_str().unwrap(),
+            "--repair",
+            "-o",
+            fixed_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(output.contains("wrote repaired archive"), "{output}");
+        let output = run(&["fsck", fixed_path.to_str().unwrap()]).unwrap();
+        assert!(output.contains("clean"), "{output}");
+
+        // Truncated raw trace: fsck fails, --repair salvages a clean prefix.
+        let wpp_bytes = fs::read(&wpp_path).unwrap();
+        let cut = dir.join("cut.wpp");
+        fs::write(&cut, &wpp_bytes[..wpp_bytes.len() - 7]).unwrap();
+        assert!(matches!(
+            run(&["fsck", cut.to_str().unwrap()]),
+            Err(CliError::Failed(_))
+        ));
+        let fixed_wpp = dir.join("fixed.wpp");
+        run(&[
+            "fsck",
+            cut.to_str().unwrap(),
+            "--repair",
+            "-o",
+            fixed_wpp.to_str().unwrap(),
+        ])
+        .unwrap();
+        let output = run(&["fsck", fixed_wpp.to_str().unwrap()]).unwrap();
+        assert!(output.contains("clean"), "{output}");
 
         fs::remove_dir_all(&dir).ok();
     }

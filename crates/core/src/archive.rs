@@ -1,41 +1,88 @@
 //! The TWPP archive: the on-disk container whose layout makes per-function
 //! queries fast (the paper's access-time study, Tables 4 and 5).
 //!
-//! Layout:
+//! # Version 3 layout (current)
+//!
+//! Every region carries a CRC32, function regions are self-delimiting
+//! frames appended in stream order, and the function table lives in a
+//! *footer* written last — so a crash mid-write leaves a salvageable
+//! prefix of intact frames instead of a table pointing at garbage:
 //!
 //! ```text
-//! "TWPA" magic | version | n_funcs | dcg_comp_len | names_len
-//! function table (most-called first):
-//!     func_id | call_count | n_dicts | n_traces | offset | byte_len
-//! LZW-compressed DCG (padded to 4 bytes)
-//! optional name table: per function, a length-prefixed UTF-8 name
-//! per-function regions at the recorded offsets:
-//!     dictionaries, then timestamped traces
+//! "TWPA" | version=3 | dcg_comp_len | names_len | header_crc
+//! LZW-compressed DCG (padded to 4) | dcg_crc
+//! name table [count, (func_id, len, utf8)…] (padded to 4) | names_crc
+//! frames, most-called first:
+//!     "TWPR" | func | call_count | n_dicts | n_traces | payload_len | frame_crc
+//!     payload words (dictionaries then timestamped traces)
+//! footer:
+//!     "TWPT" | per function: func, call_count, n_dicts, n_traces,
+//!                            frame_offset, payload_len, frame_crc
+//!     n_funcs | data_len | footer_crc | "TWPC"
 //! ```
 //!
-//! Reading the traces of one function touches the header and exactly one
-//! region: `O(header + that function's data)`, versus scanning the entire
-//! stream for the uncompacted WPP and processing the whole grammar for
-//! Sequitur-compressed WPPs.
+//! `frame_crc` covers the frame's header fields *and* its payload, so a
+//! flip anywhere in a region is caught whether the reader arrives via the
+//! footer table or by scanning for frame magics. The trailing `"TWPC"`
+//! commit marker is the last thing written: its absence means the archive
+//! was interrupted and [`TwppArchive::recover`] must scan for frames.
+//!
+//! # Version 2 layout (legacy, still readable)
+//!
+//! ```text
+//! "TWPA" | version=2 | n_funcs | dcg_comp_len | names_len
+//! function table: func | call_count | n_dicts | n_traces | offset | byte_len
+//! LZW-compressed DCG (padded to 4)
+//! optional name table: per function, a length-prefixed UTF-8 name
+//! per-function regions at the recorded offsets
+//! ```
+//!
+//! Reading the traces of one function touches the header/footer and
+//! exactly one region in either version: `O(header + that function's
+//! data)`, versus scanning the entire stream for the uncompacted WPP.
 
-use std::collections::HashMap;
+#![deny(clippy::unwrap_used)]
+
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use twpp_ir::checksum::{crc32, Crc32};
 use twpp_ir::{BlockId, FuncId};
 
 use crate::dbb::DbbDictionary;
 use crate::dcg::Dcg;
-use crate::lzw;
+use crate::lzw::{self, LzwError};
 use crate::pipeline::{CompactedTwpp, FunctionBlock};
+use crate::recovery::{FunctionVerdict, RecoveryReport, RegionStatus};
 use crate::timestamped::{TimestampedTrace, TimestampedTraceError};
 
 const MAGIC: [u8; 4] = *b"TWPA";
-const VERSION: u32 = 2;
+/// Current container version.
+pub const VERSION: u32 = 3;
+/// Legacy container version, still accepted by every read path.
+pub const VERSION_V2: u32 = 2;
 const FIXED_HEADER_LEN: usize = 20;
+
+const FRAME_MAGIC: [u8; 4] = *b"TWPR";
+/// Bytes of a v3 frame header preceding the payload.
+const FRAME_HEADER_LEN: usize = 28;
+const FOOTER_MAGIC: [u8; 4] = *b"TWPT";
+const COMMIT_MAGIC: [u8; 4] = *b"TWPC";
+const FOOTER_ENTRY_BYTES: usize = 7 * 4;
+/// Footer bytes besides the entries: magic + n_funcs + data_len +
+/// footer_crc + commit marker.
+const FOOTER_FIXED_LEN: usize = 20;
+
+/// Upper bound on the declared function count before any allocation.
+pub const MAX_FUNCTIONS: usize = 1 << 20;
+/// Upper bound on the decompressed DCG size accepted by [`TwppArchive::read_dcg`].
+pub const MAX_DCG_RAW_BYTES: usize = 1 << 28;
+
+const TABLE_ENTRY_WORDS: usize = 6; // v2
 
 /// Errors produced while encoding or decoding an archive.
 #[derive(Debug)]
@@ -51,8 +98,33 @@ pub enum ArchiveError {
     Truncated,
     /// The requested function is not present.
     UnknownFunction(FuncId),
-    /// A region failed to decode.
-    Corrupt(String),
+    /// A region failed structural decoding; the string names the spot.
+    Corrupt(&'static str),
+    /// The compressed DCG failed to decompress.
+    Lzw(LzwError),
+    /// A timestamped trace failed to decode.
+    Trace(TimestampedTraceError),
+    /// A region's stored CRC32 does not match its bytes.
+    ChecksumMismatch {
+        /// Which region failed.
+        region: &'static str,
+        /// The CRC stored in the archive.
+        expected: u32,
+        /// The CRC computed over the bytes actually present.
+        actual: u32,
+    },
+    /// The archive has no trailing commit marker: the writer was
+    /// interrupted before [`ArchiveWriter::finish`].
+    NotCommitted,
+    /// A declared size exceeds a hard decoding cap.
+    TooLarge {
+        /// What was too large.
+        what: &'static str,
+        /// The declared value.
+        declared: u64,
+        /// The cap it exceeded.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ArchiveError {
@@ -64,6 +136,24 @@ impl fmt::Display for ArchiveError {
             ArchiveError::Truncated => f.write_str("truncated archive"),
             ArchiveError::UnknownFunction(id) => write!(f, "function {id} not in archive"),
             ArchiveError::Corrupt(what) => write!(f, "corrupt archive: {what}"),
+            ArchiveError::Lzw(e) => write!(f, "corrupt compressed DCG: {e}"),
+            ArchiveError::Trace(e) => write!(f, "corrupt timestamped trace: {e}"),
+            ArchiveError::ChecksumMismatch {
+                region,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {region}: stored {expected:#010x}, computed {actual:#010x}"
+            ),
+            ArchiveError::NotCommitted => {
+                f.write_str("archive has no commit marker (interrupted write)")
+            }
+            ArchiveError::TooLarge {
+                what,
+                declared,
+                limit,
+            } => write!(f, "declared {what} {declared} exceeds cap {limit}"),
         }
     }
 }
@@ -72,6 +162,8 @@ impl Error for ArchiveError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ArchiveError::Io(e) => Some(e),
+            ArchiveError::Lzw(e) => Some(e),
+            ArchiveError::Trace(e) => Some(e),
             _ => None,
         }
     }
@@ -85,7 +177,13 @@ impl From<std::io::Error> for ArchiveError {
 
 impl From<TimestampedTraceError> for ArchiveError {
     fn from(e: TimestampedTraceError) -> ArchiveError {
-        ArchiveError::Corrupt(e.to_string())
+        ArchiveError::Trace(e)
+    }
+}
+
+impl From<LzwError> for ArchiveError {
+    fn from(e: LzwError) -> ArchiveError {
+        ArchiveError::Lzw(e)
     }
 }
 
@@ -96,12 +194,14 @@ struct TableEntry {
     call_count: u32,
     n_dicts: u32,
     n_traces: u32,
-    /// Offset of the function's region from the start of the data section.
+    /// v3: offset of the function's *frame* from the start of the data
+    /// section. v2: offset of the raw region.
     offset: u32,
+    /// Payload length in bytes (excluding the v3 frame header).
     byte_len: u32,
+    /// v3 frame CRC (over header fields + payload); 0 for v2 entries.
+    crc: u32,
 }
-
-const TABLE_ENTRY_WORDS: usize = 6;
 
 /// The decoded per-function payload: what a query for one function returns.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -123,6 +223,156 @@ impl FunctionRecord {
             .iter()
             .map(|(dict_idx, tt)| self.dicts[*dict_idx as usize].expand(&tt.to_path_trace()))
             .collect()
+    }
+
+    fn into_block(self) -> FunctionBlock {
+        FunctionBlock {
+            func: self.func,
+            call_count: self.call_count,
+            dicts: self.dicts,
+            traces: self.traces,
+        }
+    }
+}
+
+/// Streaming v3 archive writer: header and metadata up front, function
+/// frames appended one at a time, footer and commit marker last.
+///
+/// Because each frame is checksummed and self-delimiting, a process that
+/// dies between [`ArchiveWriter::add_function`] calls leaves a file whose
+/// completed frames are fully recoverable with [`TwppArchive::recover`] —
+/// only the footer (and the commit marker) are missing.
+///
+/// # Examples
+///
+/// ```
+/// use twpp::archive::ArchiveWriter;
+/// use twpp::{compact, TwppArchive};
+/// use std::collections::HashMap;
+/// # use twpp_tracer::{run_traced, ExecLimits};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let program = twpp_lang::compile("fn main() { print(1); }")?;
+/// # let (_, wpp) = run_traced(&program, &[], ExecLimits::default())?;
+/// let c = compact(&wpp)?;
+/// let mut w = ArchiveWriter::new(Vec::new(), &c.dcg, &HashMap::new())?;
+/// for fb in &c.functions {
+///     w.add_function(fb)?;
+/// }
+/// let bytes = w.finish()?;
+/// assert!(TwppArchive::from_bytes(bytes).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub struct ArchiveWriter<W: Write> {
+    sink: W,
+    table: Vec<TableEntry>,
+    data_len: usize,
+}
+
+impl<W: Write> ArchiveWriter<W> {
+    /// Writes the header, compressed DCG and name table, returning a
+    /// writer ready to append function frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(
+        mut sink: W,
+        dcg: &Dcg,
+        names: &HashMap<FuncId, String>,
+    ) -> Result<ArchiveWriter<W>, ArchiveError> {
+        let dcg_words = dcg.to_words();
+        let dcg_bytes: Vec<u8> = dcg_words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let dcg_comp = lzw::compress(&dcg_bytes);
+        let name_blob = encode_names_v3(names);
+
+        let mut header = Vec::with_capacity(FIXED_HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        push_u32(&mut header, VERSION);
+        push_u32(&mut header, dcg_comp.len() as u32);
+        push_u32(&mut header, name_blob.len() as u32);
+        let hcrc = crc32(&header);
+        push_u32(&mut header, hcrc);
+        sink.write_all(&header)?;
+
+        sink.write_all(&dcg_comp)?;
+        let pad = dcg_comp.len().div_ceil(4) * 4 - dcg_comp.len();
+        sink.write_all(&[0u8; 3][..pad])?;
+        sink.write_all(&crc32(&dcg_comp).to_le_bytes())?;
+
+        sink.write_all(&name_blob)?;
+        sink.write_all(&crc32(&name_blob).to_le_bytes())?;
+
+        Ok(ArchiveWriter {
+            sink,
+            table: Vec::new(),
+            data_len: 0,
+        })
+    }
+
+    /// Appends one function's frame (header + checksummed payload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn add_function(&mut self, fb: &FunctionBlock) -> Result<(), ArchiveError> {
+        let words = encode_region(fb);
+        let payload: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+
+        let mut head = Vec::with_capacity(FRAME_HEADER_LEN);
+        head.extend_from_slice(&FRAME_MAGIC);
+        push_u32(&mut head, fb.func.as_u32());
+        push_u32(&mut head, u32::try_from(fb.call_count).unwrap_or(u32::MAX));
+        push_u32(&mut head, fb.dicts.len() as u32);
+        push_u32(&mut head, fb.traces.len() as u32);
+        push_u32(&mut head, payload.len() as u32);
+        let mut h = Crc32::new();
+        h.update(&head[4..24]);
+        h.update(&payload);
+        let crc = h.finalize();
+        push_u32(&mut head, crc);
+
+        self.sink.write_all(&head)?;
+        self.sink.write_all(&payload)?;
+        self.table.push(TableEntry {
+            func: fb.func,
+            call_count: u32::try_from(fb.call_count).unwrap_or(u32::MAX),
+            n_dicts: fb.dicts.len() as u32,
+            n_traces: fb.traces.len() as u32,
+            offset: self.data_len as u32,
+            byte_len: payload.len() as u32,
+            crc,
+        });
+        self.data_len += FRAME_HEADER_LEN + payload.len();
+        Ok(())
+    }
+
+    /// Writes the footer and commit marker, flushes, and returns the sink.
+    /// The archive is only valid for strict readers once this succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn finish(mut self) -> Result<W, ArchiveError> {
+        let mut footer = Vec::with_capacity(4 + self.table.len() * FOOTER_ENTRY_BYTES + 8);
+        footer.extend_from_slice(&FOOTER_MAGIC);
+        for e in &self.table {
+            push_u32(&mut footer, e.func.as_u32());
+            push_u32(&mut footer, e.call_count);
+            push_u32(&mut footer, e.n_dicts);
+            push_u32(&mut footer, e.n_traces);
+            push_u32(&mut footer, e.offset);
+            push_u32(&mut footer, e.byte_len);
+            push_u32(&mut footer, e.crc);
+        }
+        push_u32(&mut footer, self.table.len() as u32);
+        push_u32(&mut footer, self.data_len as u32);
+        let fcrc = crc32(&footer);
+        push_u32(&mut footer, fcrc);
+        footer.extend_from_slice(&COMMIT_MAGIC);
+        self.sink.write_all(&footer)?;
+        self.sink.flush()?;
+        Ok(self.sink)
     }
 }
 
@@ -151,8 +401,12 @@ pub struct TwppArchive {
     table: Vec<TableEntry>,
     index: HashMap<FuncId, usize>,
     names: Vec<Option<String>>,
-    data_start: usize,
+    version: u32,
+    /// Offset of the compressed DCG.
+    dcg_start: usize,
     dcg_comp_len: usize,
+    /// Offset of the data section (frames for v3, raw regions for v2).
+    data_start: usize,
 }
 
 impl TwppArchive {
@@ -162,122 +416,141 @@ impl TwppArchive {
         TwppArchive::from_compacted_named(c, &HashMap::new())
     }
 
-    /// Encodes a compacted TWPP, embedding the given function names so
-    /// tools can query by name.
-    pub fn from_compacted_named(
-        c: &CompactedTwpp,
-        names: &HashMap<FuncId, String>,
-    ) -> TwppArchive {
-        // Compress the DCG.
-        let dcg_words = c.dcg.to_words();
-        let dcg_bytes: Vec<u8> = dcg_words.iter().flat_map(|w| w.to_le_bytes()).collect();
-        let dcg_comp = lzw::compress(&dcg_bytes);
-        let dcg_padded = dcg_comp.len().div_ceil(4) * 4;
-
-        // Encode function regions.
-        let mut regions: Vec<Vec<u32>> = Vec::with_capacity(c.functions.len());
-        let mut table: Vec<TableEntry> = Vec::with_capacity(c.functions.len());
-        let mut offset = 0u32;
+    /// Encodes a compacted TWPP in the current (v3) layout, embedding the
+    /// given function names so tools can query by name.
+    pub fn from_compacted_named(c: &CompactedTwpp, names: &HashMap<FuncId, String>) -> TwppArchive {
+        let mut w = ArchiveWriter::new(Vec::new(), &c.dcg, names)
+            .expect("writing to an in-memory buffer cannot fail");
         for fb in &c.functions {
-            let words = encode_region(fb);
-            let byte_len = (words.len() * 4) as u32;
-            table.push(TableEntry {
-                func: fb.func,
-                call_count: u32::try_from(fb.call_count).unwrap_or(u32::MAX),
-                n_dicts: fb.dicts.len() as u32,
-                n_traces: fb.traces.len() as u32,
-                offset,
-                byte_len,
-            });
-            offset += byte_len;
-            regions.push(words);
+            w.add_function(fb)
+                .expect("writing to an in-memory buffer cannot fail");
         }
-
-        // Name table: per function (table order), a length-prefixed
-        // UTF-8 name; zero length means unnamed.
-        let mut name_blob: Vec<u8> = Vec::new();
-        let mut stored_names: Vec<Option<String>> = Vec::with_capacity(table.len());
-        if names.is_empty() {
-            stored_names.resize(table.len(), None);
-        } else {
-            for e in &table {
-                let name = names.get(&e.func).cloned();
-                let bytes = name.as_deref().unwrap_or("").as_bytes();
-                name_blob.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-                name_blob.extend_from_slice(bytes);
-                stored_names.push(name.filter(|n| !n.is_empty()));
-            }
-            while !name_blob.len().is_multiple_of(4) {
-                name_blob.push(0);
-            }
-        }
-
-        // Assemble.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&MAGIC);
-        push_u32(&mut bytes, VERSION);
-        push_u32(&mut bytes, c.functions.len() as u32);
-        push_u32(&mut bytes, dcg_comp.len() as u32);
-        push_u32(&mut bytes, name_blob.len() as u32);
-        for e in &table {
-            push_u32(&mut bytes, e.func.as_u32());
-            push_u32(&mut bytes, e.call_count);
-            push_u32(&mut bytes, e.n_dicts);
-            push_u32(&mut bytes, e.n_traces);
-            push_u32(&mut bytes, e.offset);
-            push_u32(&mut bytes, e.byte_len);
-        }
-        bytes.extend_from_slice(&dcg_comp);
-        bytes.resize(bytes.len() + (dcg_padded - dcg_comp.len()), 0);
-        bytes.extend_from_slice(&name_blob);
-        let data_start = bytes.len();
-        for words in &regions {
-            for w in words {
-                push_u32(&mut bytes, *w);
-            }
-        }
-        let index = table
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.func, i))
-            .collect();
-        TwppArchive {
-            bytes,
-            table,
-            index,
-            names: stored_names,
-            data_start,
-            dcg_comp_len: dcg_comp.len(),
-        }
+        let bytes = w
+            .finish()
+            .expect("writing to an in-memory buffer cannot fail");
+        TwppArchive::from_bytes(bytes).expect("freshly encoded archive must parse")
     }
 
-    /// Parses an archive, reading only the header and function table.
+    /// Parses an archive, reading the header and function table and
+    /// verifying every metadata checksum (v3). Function payload checksums
+    /// are verified on access by [`TwppArchive::read_function`].
     ///
     /// # Errors
     ///
-    /// Returns an [`ArchiveError`] for malformed input.
+    /// Returns an [`ArchiveError`] for malformed input, including
+    /// [`ArchiveError::NotCommitted`] for v3 archives whose write was
+    /// interrupted (use [`TwppArchive::recover`] to salvage those).
     pub fn from_bytes(bytes: Vec<u8>) -> Result<TwppArchive, ArchiveError> {
-        let (table, names, dcg_comp_len, data_start) = parse_header(&bytes)?;
+        if bytes.len() < FIXED_HEADER_LEN {
+            return Err(ArchiveError::Truncated);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(ArchiveError::BadMagic);
+        }
+        match read_u32(&bytes[4..8]) {
+            VERSION_V2 => TwppArchive::from_bytes_v2(bytes),
+            VERSION => TwppArchive::from_bytes_v3(bytes),
+            v => Err(ArchiveError::BadVersion(v)),
+        }
+    }
+
+    fn from_bytes_v2(bytes: Vec<u8>) -> Result<TwppArchive, ArchiveError> {
+        let (table, names, dcg_comp_len, data_start) = parse_header_v2(&bytes)?;
         // Validate regions lie within the buffer.
         for e in &table {
-            let end = data_start + e.offset as usize + e.byte_len as usize;
+            let end = data_start
+                .checked_add(e.offset as usize)
+                .and_then(|x| x.checked_add(e.byte_len as usize))
+                .ok_or(ArchiveError::Truncated)?;
             if end > bytes.len() {
                 return Err(ArchiveError::Truncated);
             }
         }
-        let index = table
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.func, i))
-            .collect();
+        let index = table.iter().enumerate().map(|(i, e)| (e.func, i)).collect();
+        let dcg_start = FIXED_HEADER_LEN + table.len() * TABLE_ENTRY_WORDS * 4;
         Ok(TwppArchive {
             bytes,
             table,
             index,
             names,
-            data_start,
+            version: VERSION_V2,
+            dcg_start,
             dcg_comp_len,
+            data_start,
         })
+    }
+
+    fn from_bytes_v3(bytes: Vec<u8>) -> Result<TwppArchive, ArchiveError> {
+        let meta = parse_meta_v3(&bytes)?;
+        verify_meta_crcs(&bytes, &meta)?;
+        let name_map = parse_names_v3(&bytes[meta.names_start..meta.names_start + meta.names_len])?;
+        let (table, footer_start) = parse_footer_v3(&bytes, meta.data_start)?;
+        // Validate frames lie within the data section.
+        for e in &table {
+            let end = meta
+                .data_start
+                .checked_add(e.offset as usize)
+                .and_then(|x| x.checked_add(FRAME_HEADER_LEN))
+                .and_then(|x| x.checked_add(e.byte_len as usize))
+                .ok_or(ArchiveError::Truncated)?;
+            if end > footer_start {
+                return Err(ArchiveError::Truncated);
+            }
+        }
+        let names = table
+            .iter()
+            .map(|e| name_map.get(&e.func).cloned())
+            .collect();
+        let index = table.iter().enumerate().map(|(i, e)| (e.func, i)).collect();
+        Ok(TwppArchive {
+            bytes,
+            table,
+            index,
+            names,
+            version: VERSION,
+            dcg_start: FIXED_HEADER_LEN,
+            dcg_comp_len: meta.dcg_comp_len,
+            data_start: meta.data_start,
+        })
+    }
+
+    /// Salvages whatever survives in a damaged (or perfectly healthy)
+    /// archive. Every region whose checksum still verifies is kept; the
+    /// result is a freshly encoded, fully committed v3 archive plus a
+    /// [`RecoveryReport`] naming exactly what was lost and why.
+    ///
+    /// The salvage strategy, in order of preference:
+    ///
+    /// 1. **Footer path** — if the commit footer verifies, each table
+    ///    entry's frame is checked and decoded individually; corrupt
+    ///    frames are dropped, intact ones kept.
+    /// 2. **Frame scan** — if the footer is missing or corrupt (e.g. an
+    ///    interrupted write), the data section is scanned for `TWPR`
+    ///    frame magics at 4-byte alignment; each candidate frame is
+    ///    admitted only if its checksum verifies and its payload decodes.
+    /// 3. A damaged header loses the DCG and name table (replaced by an
+    ///    empty DCG and no names) but the frame scan still runs over the
+    ///    whole buffer.
+    ///
+    /// v2 archives have no checksums; salvage decodes each table region
+    /// and keeps the ones that parse, re-encoding the result as v3.
+    ///
+    /// # Errors
+    ///
+    /// Only totally unusable input errors: a missing `TWPA` magic, an
+    /// unsupported version, or fewer than 8 bytes.
+    pub fn recover(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
+        if bytes.len() < 8 {
+            return Err(ArchiveError::Truncated);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(ArchiveError::BadMagic);
+        }
+        match read_u32(&bytes[4..8]) {
+            VERSION_V2 => recover_v2(bytes),
+            VERSION => recover_v3(bytes),
+            v => Err(ArchiveError::BadVersion(v)),
+        }
     }
 
     /// The encoded bytes.
@@ -288,6 +561,11 @@ impl TwppArchive {
     /// Total archive size in bytes.
     pub fn byte_len(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// Container version of this archive (2 or 3).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Function ids present, most-frequently-called first.
@@ -318,12 +596,14 @@ impl TwppArchive {
     }
 
     /// Decodes the traces and dictionaries of one function, touching only
-    /// that function's region — the fast path of Table 4.
+    /// that function's region — the fast path of Table 4. For v3 archives
+    /// the region's checksum is verified before decoding.
     ///
     /// # Errors
     ///
-    /// Returns [`ArchiveError::UnknownFunction`] for absent functions or a
-    /// decoding error for corrupt regions.
+    /// Returns [`ArchiveError::UnknownFunction`] for absent functions, a
+    /// [`ArchiveError::ChecksumMismatch`] for regions whose bytes rotted,
+    /// or a decoding error for structurally corrupt regions.
     pub fn read_function(&self, func: FuncId) -> Result<FunctionRecord, ArchiveError> {
         let &i = self
             .index
@@ -331,27 +611,39 @@ impl TwppArchive {
             .ok_or(ArchiveError::UnknownFunction(func))?;
         let e = self.table[i];
         let start = self.data_start + e.offset as usize;
-        let region = &self.bytes[start..start + e.byte_len as usize];
-        decode_region(e, region)
+        if self.version == VERSION_V2 {
+            let region = &self.bytes[start..start + e.byte_len as usize];
+            return decode_region(e, region);
+        }
+        if self.bytes[start..start + 4] != FRAME_MAGIC {
+            return Err(ArchiveError::Corrupt("frame magic"));
+        }
+        let payload_start = start + FRAME_HEADER_LEN;
+        let payload = &self.bytes[payload_start..payload_start + e.byte_len as usize];
+        let mut h = Crc32::new();
+        h.update(&self.bytes[start + 4..start + 24]);
+        h.update(payload);
+        let actual = h.finalize();
+        if actual != e.crc {
+            return Err(ArchiveError::ChecksumMismatch {
+                region: "function region",
+                expected: e.crc,
+                actual,
+            });
+        }
+        decode_region(e, payload)
     }
 
-    /// Decompresses and decodes the dynamic call graph.
+    /// Decompresses and decodes the dynamic call graph. Decoding is
+    /// bounded: the decompressed stream is capped at
+    /// [`MAX_DCG_RAW_BYTES`].
     ///
     /// # Errors
     ///
     /// Returns a decoding error for corrupt archives.
     pub fn read_dcg(&self) -> Result<Dcg, ArchiveError> {
-        let header_len = FIXED_HEADER_LEN + self.table.len() * TABLE_ENTRY_WORDS * 4;
-        let comp = &self.bytes[header_len..header_len + self.dcg_comp_len];
-        let raw = lzw::decompress(comp).map_err(|e| ArchiveError::Corrupt(e.to_string()))?;
-        if raw.len() % 4 != 0 {
-            return Err(ArchiveError::Corrupt("DCG byte length".into()));
-        }
-        let words: Vec<u32> = raw
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
-        Dcg::from_words(&words).ok_or_else(|| ArchiveError::Corrupt("DCG structure".into()))
+        let comp = &self.bytes[self.dcg_start..self.dcg_start + self.dcg_comp_len];
+        decode_dcg(comp)
     }
 
     /// Fully decodes the archive back into a [`CompactedTwpp`].
@@ -364,12 +656,7 @@ impl TwppArchive {
         let mut functions = Vec::with_capacity(self.table.len());
         for e in &self.table {
             let r = self.read_function(e.func)?;
-            functions.push(FunctionBlock {
-                func: r.func,
-                call_count: r.call_count,
-                dicts: r.dicts,
-                traces: r.traces,
-            });
+            functions.push(r.into_block());
         }
         Ok(CompactedTwpp { dcg, functions })
     }
@@ -397,54 +684,223 @@ impl TwppArchive {
     }
 
     /// Reads the traces of a single function **directly from a file**:
-    /// reads the header, seeks to the function's region and decodes only
-    /// those bytes. This is the exact experiment of Table 4's column C.
+    /// reads the header (and for v3, the footer), seeks to the function's
+    /// region and decodes only those bytes. This is the exact experiment
+    /// of Table 4's column C. Allocation is bounded by the file size
+    /// before any declared count is trusted.
     ///
     /// # Errors
     ///
     /// Propagates I/O and format errors.
-    pub fn read_function_from_file(
-        path: &Path,
-        func: FuncId,
-    ) -> Result<FunctionRecord, ArchiveError> {
+    pub fn read_function_from_file(path: &Path, func: FuncId) -> Result<FunctionRecord, ArchiveError> {
         let mut f = File::open(path)?;
-        // Fixed header.
+        let file_len = f.metadata()?.len();
         let mut fixed = [0u8; FIXED_HEADER_LEN];
         f.read_exact(&mut fixed)?;
         if fixed[0..4] != MAGIC {
             return Err(ArchiveError::BadMagic);
         }
-        let version = read_u32(&fixed[4..8]);
-        if version != VERSION {
-            return Err(ArchiveError::BadVersion(version));
+        match read_u32(&fixed[4..8]) {
+            VERSION_V2 => read_function_from_file_v2(&mut f, file_len, &fixed, func),
+            VERSION => read_function_from_file_v3(&mut f, file_len, &fixed, func),
+            v => Err(ArchiveError::BadVersion(v)),
         }
-        let n_funcs = read_u32(&fixed[8..12]) as usize;
-        let dcg_comp_len = read_u32(&fixed[12..16]) as usize;
-        let names_len = read_u32(&fixed[16..20]) as usize;
-        let mut table_bytes = vec![0u8; n_funcs * TABLE_ENTRY_WORDS * 4];
-        f.read_exact(&mut table_bytes)?;
-        let data_start = FIXED_HEADER_LEN
-            + table_bytes.len()
-            + dcg_comp_len.div_ceil(4) * 4
-            + names_len;
-        for chunk in table_bytes.chunks_exact(TABLE_ENTRY_WORDS * 4) {
-            let e = TableEntry {
-                func: FuncId::from_u32(read_u32(&chunk[0..4])),
-                call_count: read_u32(&chunk[4..8]),
-                n_dicts: read_u32(&chunk[8..12]),
-                n_traces: read_u32(&chunk[12..16]),
-                offset: read_u32(&chunk[16..20]),
-                byte_len: read_u32(&chunk[20..24]),
-            };
-            if e.func == func {
-                f.seek(SeekFrom::Start((data_start + e.offset as usize) as u64))?;
-                let mut region = vec![0u8; e.byte_len as usize];
-                f.read_exact(&mut region)?;
-                return decode_region(e, &region);
-            }
-        }
-        Err(ArchiveError::UnknownFunction(func))
     }
+}
+
+fn read_function_from_file_v2(
+    f: &mut File,
+    file_len: u64,
+    fixed: &[u8; FIXED_HEADER_LEN],
+    func: FuncId,
+) -> Result<FunctionRecord, ArchiveError> {
+    let n_funcs = read_u32(&fixed[8..12]) as usize;
+    let dcg_comp_len = read_u32(&fixed[12..16]) as usize;
+    let names_len = read_u32(&fixed[16..20]) as usize;
+    check_func_count(n_funcs)?;
+    let table_len = n_funcs * TABLE_ENTRY_WORDS * 4;
+    // Bound the allocation by what the file can actually hold.
+    if (FIXED_HEADER_LEN + table_len) as u64 > file_len {
+        return Err(ArchiveError::Truncated);
+    }
+    let mut table_bytes = vec![0u8; table_len];
+    f.read_exact(&mut table_bytes)?;
+    let data_start = FIXED_HEADER_LEN + table_len + dcg_comp_len.div_ceil(4) * 4 + names_len;
+    for chunk in table_bytes.chunks_exact(TABLE_ENTRY_WORDS * 4) {
+        let e = TableEntry {
+            func: FuncId::from_u32(read_u32(&chunk[0..4])),
+            call_count: read_u32(&chunk[4..8]),
+            n_dicts: read_u32(&chunk[8..12]),
+            n_traces: read_u32(&chunk[12..16]),
+            offset: read_u32(&chunk[16..20]),
+            byte_len: read_u32(&chunk[20..24]),
+            crc: 0,
+        };
+        if e.func == func {
+            let start = (data_start + e.offset as usize) as u64;
+            if start + u64::from(e.byte_len) > file_len {
+                return Err(ArchiveError::Truncated);
+            }
+            f.seek(SeekFrom::Start(start))?;
+            let mut region = vec![0u8; e.byte_len as usize];
+            f.read_exact(&mut region)?;
+            return decode_region(e, &region);
+        }
+    }
+    Err(ArchiveError::UnknownFunction(func))
+}
+
+fn read_function_from_file_v3(
+    f: &mut File,
+    file_len: u64,
+    fixed: &[u8; FIXED_HEADER_LEN],
+    func: FuncId,
+) -> Result<FunctionRecord, ArchiveError> {
+    let stored = read_u32(&fixed[16..20]);
+    let actual = crc32(&fixed[0..16]);
+    if stored != actual {
+        return Err(ArchiveError::ChecksumMismatch {
+            region: "header",
+            expected: stored,
+            actual,
+        });
+    }
+    let dcg_comp_len = read_u32(&fixed[8..12]) as usize;
+    let names_len = read_u32(&fixed[12..16]) as usize;
+    let data_start = FIXED_HEADER_LEN + dcg_comp_len.div_ceil(4) * 4 + 4 + names_len + 4;
+
+    // Footer tail: n_funcs | data_len | footer_crc | "TWPC".
+    if file_len < (data_start + FOOTER_FIXED_LEN) as u64 {
+        return Err(ArchiveError::Truncated);
+    }
+    let mut tail = [0u8; 16];
+    f.seek(SeekFrom::End(-16))?;
+    f.read_exact(&mut tail)?;
+    if tail[12..16] != COMMIT_MAGIC {
+        return Err(ArchiveError::NotCommitted);
+    }
+    let n_funcs = read_u32(&tail[0..4]) as usize;
+    check_func_count(n_funcs)?;
+    let footer_len = 4 + n_funcs * FOOTER_ENTRY_BYTES + 16;
+    if (footer_len as u64) > file_len - data_start as u64 {
+        return Err(ArchiveError::Truncated);
+    }
+    let footer_start = file_len - footer_len as u64;
+    f.seek(SeekFrom::Start(footer_start))?;
+    let mut footer = vec![0u8; footer_len];
+    f.read_exact(&mut footer)?;
+    if footer[0..4] != FOOTER_MAGIC {
+        return Err(ArchiveError::Corrupt("footer magic"));
+    }
+    let stored = read_u32(&footer[footer_len - 8..footer_len - 4]);
+    let actual = crc32(&footer[..footer_len - 8]);
+    if stored != actual {
+        return Err(ArchiveError::ChecksumMismatch {
+            region: "footer",
+            expected: stored,
+            actual,
+        });
+    }
+    for chunk in footer[4..4 + n_funcs * FOOTER_ENTRY_BYTES].chunks_exact(FOOTER_ENTRY_BYTES) {
+        let e = footer_entry(chunk);
+        if e.func != func {
+            continue;
+        }
+        let frame_start = (data_start + e.offset as usize) as u64;
+        let frame_len = FRAME_HEADER_LEN + e.byte_len as usize;
+        if frame_start + frame_len as u64 > footer_start {
+            return Err(ArchiveError::Truncated);
+        }
+        f.seek(SeekFrom::Start(frame_start))?;
+        let mut frame = vec![0u8; frame_len];
+        f.read_exact(&mut frame)?;
+        if frame[0..4] != FRAME_MAGIC {
+            return Err(ArchiveError::Corrupt("frame magic"));
+        }
+        let mut h = Crc32::new();
+        h.update(&frame[4..24]);
+        h.update(&frame[FRAME_HEADER_LEN..]);
+        let actual = h.finalize();
+        if actual != e.crc {
+            return Err(ArchiveError::ChecksumMismatch {
+                region: "function region",
+                expected: e.crc,
+                actual,
+            });
+        }
+        return decode_region(e, &frame[FRAME_HEADER_LEN..]);
+    }
+    Err(ArchiveError::UnknownFunction(func))
+}
+
+/// Encodes a compacted TWPP in the **legacy v2 layout**. Retained so the
+/// v2 decode path stays exercised and older readers can be fed.
+pub fn encode_v2_named(c: &CompactedTwpp, names: &HashMap<FuncId, String>) -> Vec<u8> {
+    // Compress the DCG.
+    let dcg_words = c.dcg.to_words();
+    let dcg_bytes: Vec<u8> = dcg_words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let dcg_comp = lzw::compress(&dcg_bytes);
+    let dcg_padded = dcg_comp.len().div_ceil(4) * 4;
+
+    // Encode function regions.
+    let mut regions: Vec<Vec<u32>> = Vec::with_capacity(c.functions.len());
+    let mut table: Vec<TableEntry> = Vec::with_capacity(c.functions.len());
+    let mut offset = 0u32;
+    for fb in &c.functions {
+        let words = encode_region(fb);
+        let byte_len = (words.len() * 4) as u32;
+        table.push(TableEntry {
+            func: fb.func,
+            call_count: u32::try_from(fb.call_count).unwrap_or(u32::MAX),
+            n_dicts: fb.dicts.len() as u32,
+            n_traces: fb.traces.len() as u32,
+            offset,
+            byte_len,
+            crc: 0,
+        });
+        offset += byte_len;
+        regions.push(words);
+    }
+
+    // Name table: per function (table order), a length-prefixed UTF-8
+    // name; zero length means unnamed.
+    let mut name_blob: Vec<u8> = Vec::new();
+    if !names.is_empty() {
+        for e in &table {
+            let name = names.get(&e.func).cloned();
+            let bytes = name.as_deref().unwrap_or("").as_bytes();
+            name_blob.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            name_blob.extend_from_slice(bytes);
+        }
+        while !name_blob.len().is_multiple_of(4) {
+            name_blob.push(0);
+        }
+    }
+
+    // Assemble.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    push_u32(&mut bytes, VERSION_V2);
+    push_u32(&mut bytes, c.functions.len() as u32);
+    push_u32(&mut bytes, dcg_comp.len() as u32);
+    push_u32(&mut bytes, name_blob.len() as u32);
+    for e in &table {
+        push_u32(&mut bytes, e.func.as_u32());
+        push_u32(&mut bytes, e.call_count);
+        push_u32(&mut bytes, e.n_dicts);
+        push_u32(&mut bytes, e.n_traces);
+        push_u32(&mut bytes, e.offset);
+        push_u32(&mut bytes, e.byte_len);
+    }
+    bytes.extend_from_slice(&dcg_comp);
+    bytes.resize(bytes.len() + (dcg_padded - dcg_comp.len()), 0);
+    bytes.extend_from_slice(&name_blob);
+    for words in &regions {
+        for w in words {
+            push_u32(&mut bytes, *w);
+        }
+    }
+    bytes
 }
 
 fn push_u32(bytes: &mut Vec<u8>, w: u32) {
@@ -455,22 +911,43 @@ fn read_u32(bytes: &[u8]) -> u32 {
     u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
 }
 
-type ParsedHeader = (Vec<TableEntry>, Vec<Option<String>>, usize, usize);
+fn check_func_count(n_funcs: usize) -> Result<(), ArchiveError> {
+    if n_funcs > MAX_FUNCTIONS {
+        return Err(ArchiveError::TooLarge {
+            what: "function count",
+            declared: n_funcs as u64,
+            limit: MAX_FUNCTIONS as u64,
+        });
+    }
+    Ok(())
+}
 
-fn parse_header(bytes: &[u8]) -> Result<ParsedHeader, ArchiveError> {
+fn decode_dcg(comp: &[u8]) -> Result<Dcg, ArchiveError> {
+    let raw = lzw::decompress_bounded(comp, MAX_DCG_RAW_BYTES)?;
+    if !raw.len().is_multiple_of(4) {
+        return Err(ArchiveError::Corrupt("DCG byte length"));
+    }
+    let words: Vec<u32> = raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Dcg::from_words(&words).ok_or(ArchiveError::Corrupt("DCG structure"))
+}
+
+// ---------------------------------------------------------------------------
+// v2 parsing
+// ---------------------------------------------------------------------------
+
+type ParsedHeaderV2 = (Vec<TableEntry>, Vec<Option<String>>, usize, usize);
+
+fn parse_header_v2(bytes: &[u8]) -> Result<ParsedHeaderV2, ArchiveError> {
     if bytes.len() < FIXED_HEADER_LEN {
         return Err(ArchiveError::Truncated);
-    }
-    if bytes[0..4] != MAGIC {
-        return Err(ArchiveError::BadMagic);
-    }
-    let version = read_u32(&bytes[4..8]);
-    if version != VERSION {
-        return Err(ArchiveError::BadVersion(version));
     }
     let n_funcs = read_u32(&bytes[8..12]) as usize;
     let dcg_comp_len = read_u32(&bytes[12..16]) as usize;
     let names_len = read_u32(&bytes[16..20]) as usize;
+    check_func_count(n_funcs)?;
     let table_len = n_funcs
         .checked_mul(TABLE_ENTRY_WORDS * 4)
         .ok_or(ArchiveError::Truncated)?;
@@ -495,14 +972,15 @@ fn parse_header(bytes: &[u8]) -> Result<ParsedHeader, ArchiveError> {
             n_traces: read_u32(&chunk[12..16]),
             offset: read_u32(&chunk[16..20]),
             byte_len: read_u32(&chunk[20..24]),
+            crc: 0,
         });
     }
-    let names = parse_names(&bytes[names_start..names_start + names_len], n_funcs)?;
+    let names = parse_names_v2(&bytes[names_start..names_start + names_len], n_funcs)?;
     Ok((table, names, dcg_comp_len, data_start))
 }
 
-/// Parses the length-prefixed name table; an empty blob means unnamed.
-fn parse_names(blob: &[u8], n_funcs: usize) -> Result<Vec<Option<String>>, ArchiveError> {
+/// Parses the v2 length-prefixed name table; an empty blob means unnamed.
+fn parse_names_v2(blob: &[u8], n_funcs: usize) -> Result<Vec<Option<String>>, ArchiveError> {
     if blob.is_empty() {
         return Ok(vec![None; n_funcs]);
     }
@@ -510,15 +988,15 @@ fn parse_names(blob: &[u8], n_funcs: usize) -> Result<Vec<Option<String>>, Archi
     let mut pos = 0usize;
     for _ in 0..n_funcs {
         if pos + 4 > blob.len() {
-            return Err(ArchiveError::Corrupt("name table".into()));
+            return Err(ArchiveError::Corrupt("name table"));
         }
         let len = read_u32(&blob[pos..pos + 4]) as usize;
         pos += 4;
         if pos + len > blob.len() {
-            return Err(ArchiveError::Corrupt("name table".into()));
+            return Err(ArchiveError::Corrupt("name table"));
         }
         let name = std::str::from_utf8(&blob[pos..pos + len])
-            .map_err(|_| ArchiveError::Corrupt("name table utf-8".into()))?;
+            .map_err(|_| ArchiveError::Corrupt("name table utf-8"))?;
         pos += len;
         names.push(if name.is_empty() {
             None
@@ -528,6 +1006,470 @@ fn parse_names(blob: &[u8], n_funcs: usize) -> Result<Vec<Option<String>>, Archi
     }
     Ok(names)
 }
+
+// ---------------------------------------------------------------------------
+// v3 parsing
+// ---------------------------------------------------------------------------
+
+/// Region geometry of a v3 archive, computed from the fixed header.
+struct MetaV3 {
+    dcg_comp_len: usize,
+    dcg_crc_at: usize,
+    names_start: usize,
+    names_len: usize,
+    names_crc_at: usize,
+    data_start: usize,
+}
+
+/// Verifies the header checksum and computes the metadata region offsets.
+fn parse_meta_v3(bytes: &[u8]) -> Result<MetaV3, ArchiveError> {
+    let stored = read_u32(&bytes[16..20]);
+    let actual = crc32(&bytes[0..16]);
+    if stored != actual {
+        return Err(ArchiveError::ChecksumMismatch {
+            region: "header",
+            expected: stored,
+            actual,
+        });
+    }
+    let dcg_comp_len = read_u32(&bytes[8..12]) as usize;
+    let names_len = read_u32(&bytes[12..16]) as usize;
+    if !names_len.is_multiple_of(4) {
+        return Err(ArchiveError::Corrupt("name table alignment"));
+    }
+    let dcg_crc_at = FIXED_HEADER_LEN
+        .checked_add(dcg_comp_len.div_ceil(4) * 4)
+        .ok_or(ArchiveError::Truncated)?;
+    let names_start = dcg_crc_at.checked_add(4).ok_or(ArchiveError::Truncated)?;
+    let names_crc_at = names_start
+        .checked_add(names_len)
+        .ok_or(ArchiveError::Truncated)?;
+    let data_start = names_crc_at.checked_add(4).ok_or(ArchiveError::Truncated)?;
+    if data_start > bytes.len() {
+        return Err(ArchiveError::Truncated);
+    }
+    Ok(MetaV3 {
+        dcg_comp_len,
+        dcg_crc_at,
+        names_start,
+        names_len,
+        names_crc_at,
+        data_start,
+    })
+}
+
+fn verify_meta_crcs(bytes: &[u8], meta: &MetaV3) -> Result<(), ArchiveError> {
+    let stored = read_u32(&bytes[meta.dcg_crc_at..meta.dcg_crc_at + 4]);
+    let actual = crc32(&bytes[FIXED_HEADER_LEN..FIXED_HEADER_LEN + meta.dcg_comp_len]);
+    if stored != actual {
+        return Err(ArchiveError::ChecksumMismatch {
+            region: "dcg",
+            expected: stored,
+            actual,
+        });
+    }
+    let stored = read_u32(&bytes[meta.names_crc_at..meta.names_crc_at + 4]);
+    let actual = crc32(&bytes[meta.names_start..meta.names_start + meta.names_len]);
+    if stored != actual {
+        return Err(ArchiveError::ChecksumMismatch {
+            region: "name table",
+            expected: stored,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Encodes the v3 keyed name table: `count, (func_id, len, utf8)…`,
+/// zero-padded to 4 bytes. An empty map encodes as an empty blob.
+fn encode_names_v3(names: &HashMap<FuncId, String>) -> Vec<u8> {
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let mut entries: Vec<(&FuncId, &String)> = names.iter().collect();
+    entries.sort_by_key(|(f, _)| **f);
+    let mut blob = Vec::new();
+    push_u32(&mut blob, entries.len() as u32);
+    for (func, name) in entries {
+        push_u32(&mut blob, func.as_u32());
+        push_u32(&mut blob, name.len() as u32);
+        blob.extend_from_slice(name.as_bytes());
+    }
+    while !blob.len().is_multiple_of(4) {
+        blob.push(0);
+    }
+    blob
+}
+
+/// Parses the v3 keyed name table into a map.
+fn parse_names_v3(blob: &[u8]) -> Result<HashMap<FuncId, String>, ArchiveError> {
+    let mut map = HashMap::new();
+    if blob.is_empty() {
+        return Ok(map);
+    }
+    if blob.len() < 4 {
+        return Err(ArchiveError::Corrupt("name table"));
+    }
+    let count = read_u32(&blob[0..4]) as usize;
+    // Each entry takes at least 8 bytes: cross-check the declared count
+    // against the blob before trusting it.
+    if count > (blob.len() - 4) / 8 {
+        return Err(ArchiveError::TooLarge {
+            what: "name count",
+            declared: count as u64,
+            limit: ((blob.len() - 4) / 8) as u64,
+        });
+    }
+    let mut pos = 4usize;
+    for _ in 0..count {
+        if pos + 8 > blob.len() {
+            return Err(ArchiveError::Corrupt("name table"));
+        }
+        let func = FuncId::from_u32(read_u32(&blob[pos..pos + 4]));
+        let len = read_u32(&blob[pos + 4..pos + 8]) as usize;
+        pos += 8;
+        if len > blob.len() - pos {
+            return Err(ArchiveError::Corrupt("name table"));
+        }
+        let name = std::str::from_utf8(&blob[pos..pos + len])
+            .map_err(|_| ArchiveError::Corrupt("name table utf-8"))?;
+        pos += len;
+        if !name.is_empty() {
+            map.insert(func, name.to_owned());
+        }
+    }
+    Ok(map)
+}
+
+fn footer_entry(chunk: &[u8]) -> TableEntry {
+    TableEntry {
+        func: FuncId::from_u32(read_u32(&chunk[0..4])),
+        call_count: read_u32(&chunk[4..8]),
+        n_dicts: read_u32(&chunk[8..12]),
+        n_traces: read_u32(&chunk[12..16]),
+        offset: read_u32(&chunk[16..20]),
+        byte_len: read_u32(&chunk[20..24]),
+        crc: read_u32(&chunk[24..28]),
+    }
+}
+
+/// Locates and verifies the commit footer; returns the table and the
+/// footer's start offset (= end of the data section).
+fn parse_footer_v3(bytes: &[u8], data_start: usize) -> Result<(Vec<TableEntry>, usize), ArchiveError> {
+    if bytes.len() < data_start + FOOTER_FIXED_LEN {
+        return Err(ArchiveError::Truncated);
+    }
+    if bytes[bytes.len() - 4..] != COMMIT_MAGIC {
+        return Err(ArchiveError::NotCommitted);
+    }
+    let tail = &bytes[bytes.len() - 16..];
+    let n_funcs = read_u32(&tail[0..4]) as usize;
+    let data_len = read_u32(&tail[4..8]) as usize;
+    check_func_count(n_funcs)?;
+    let footer_len = 4 + n_funcs * FOOTER_ENTRY_BYTES + 16;
+    if footer_len > bytes.len() - data_start {
+        return Err(ArchiveError::Truncated);
+    }
+    let footer_start = bytes.len() - footer_len;
+    let footer = &bytes[footer_start..];
+    if footer[0..4] != FOOTER_MAGIC {
+        return Err(ArchiveError::Corrupt("footer magic"));
+    }
+    let stored = read_u32(&footer[footer_len - 8..footer_len - 4]);
+    let actual = crc32(&footer[..footer_len - 8]);
+    if stored != actual {
+        return Err(ArchiveError::ChecksumMismatch {
+            region: "footer",
+            expected: stored,
+            actual,
+        });
+    }
+    if footer_start - data_start != data_len {
+        return Err(ArchiveError::Corrupt("footer data length"));
+    }
+    let table = footer[4..4 + n_funcs * FOOTER_ENTRY_BYTES]
+        .chunks_exact(FOOTER_ENTRY_BYTES)
+        .map(footer_entry)
+        .collect();
+    Ok((table, footer_start))
+}
+
+// ---------------------------------------------------------------------------
+// Salvage
+// ---------------------------------------------------------------------------
+
+/// Checks one v3 frame (located via a verified footer entry) and decodes
+/// its payload.
+fn check_frame(
+    bytes: &[u8],
+    data_start: usize,
+    footer_start: usize,
+    e: TableEntry,
+) -> (RegionStatus, Option<FunctionRecord>) {
+    let Some(frame_start) = data_start.checked_add(e.offset as usize) else {
+        return (RegionStatus::Truncated, None);
+    };
+    let Some(end) = frame_start
+        .checked_add(FRAME_HEADER_LEN)
+        .and_then(|x| x.checked_add(e.byte_len as usize))
+    else {
+        return (RegionStatus::Truncated, None);
+    };
+    if end > footer_start || frame_start + 4 > footer_start {
+        return (RegionStatus::Truncated, None);
+    }
+    if bytes[frame_start..frame_start + 4] != FRAME_MAGIC {
+        return (RegionStatus::BadChecksum, None);
+    }
+    let payload = &bytes[frame_start + FRAME_HEADER_LEN..end];
+    let mut h = Crc32::new();
+    h.update(&bytes[frame_start + 4..frame_start + 24]);
+    h.update(payload);
+    if h.finalize() != e.crc {
+        return (RegionStatus::BadChecksum, None);
+    }
+    match decode_region(e, payload) {
+        Ok(r) => (RegionStatus::Ok, Some(r)),
+        Err(err) => (RegionStatus::Undecodable(err.to_string()), None),
+    }
+}
+
+/// Scans `bytes[from..limit]` for intact frames at 4-byte alignment; used
+/// when the footer is missing or corrupt. Each candidate frame must pass
+/// its checksum to be admitted, so a corrupted frame causes a resync
+/// rather than garbage.
+fn scan_frames(bytes: &[u8], from: usize) -> (Vec<FunctionVerdict>, Vec<FunctionRecord>) {
+    let mut verdicts = Vec::new();
+    let mut records = Vec::new();
+    let mut pos = from.div_ceil(4) * 4;
+    while pos + FRAME_HEADER_LEN <= bytes.len() {
+        if bytes[pos..pos + 4] != FRAME_MAGIC {
+            pos += 4;
+            continue;
+        }
+        let func = FuncId::from_u32(read_u32(&bytes[pos + 4..pos + 8]));
+        let payload_len = read_u32(&bytes[pos + 20..pos + 24]) as usize;
+        let offset = pos;
+        let sane = payload_len.is_multiple_of(4)
+            && payload_len <= bytes.len() - pos - FRAME_HEADER_LEN;
+        if !sane {
+            verdicts.push(FunctionVerdict {
+                func,
+                offset,
+                byte_len: payload_len,
+                status: RegionStatus::Truncated,
+            });
+            pos += 4;
+            continue;
+        }
+        let e = TableEntry {
+            func,
+            call_count: read_u32(&bytes[pos + 8..pos + 12]),
+            n_dicts: read_u32(&bytes[pos + 12..pos + 16]),
+            n_traces: read_u32(&bytes[pos + 16..pos + 20]),
+            offset: 0,
+            byte_len: payload_len as u32,
+            crc: read_u32(&bytes[pos + 24..pos + 28]),
+        };
+        let payload = &bytes[pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + payload_len];
+        let mut h = Crc32::new();
+        h.update(&bytes[pos + 4..pos + 24]);
+        h.update(payload);
+        if h.finalize() != e.crc {
+            verdicts.push(FunctionVerdict {
+                func,
+                offset,
+                byte_len: payload_len,
+                status: RegionStatus::BadChecksum,
+            });
+            pos += 4;
+            continue;
+        }
+        match decode_region(e, payload) {
+            Ok(r) => {
+                verdicts.push(FunctionVerdict {
+                    func,
+                    offset,
+                    byte_len: payload_len,
+                    status: RegionStatus::Ok,
+                });
+                records.push(r);
+            }
+            Err(err) => {
+                verdicts.push(FunctionVerdict {
+                    func,
+                    offset,
+                    byte_len: payload_len,
+                    status: RegionStatus::Undecodable(err.to_string()),
+                });
+            }
+        }
+        pos += FRAME_HEADER_LEN + payload_len;
+    }
+    (verdicts, records)
+}
+
+/// Re-encodes salvaged pieces as a fresh, committed v3 archive.
+fn rebuild(
+    dcg: Dcg,
+    names: &HashMap<FuncId, String>,
+    records: Vec<FunctionRecord>,
+) -> TwppArchive {
+    let mut seen = HashSet::new();
+    let mut w = ArchiveWriter::new(Vec::new(), &dcg, names)
+        .expect("writing to an in-memory buffer cannot fail");
+    for r in records {
+        if seen.insert(r.func) {
+            w.add_function(&r.into_block())
+                .expect("writing to an in-memory buffer cannot fail");
+        }
+    }
+    let bytes = w
+        .finish()
+        .expect("writing to an in-memory buffer cannot fail");
+    TwppArchive::from_bytes(bytes).expect("rebuilt archive must parse")
+}
+
+fn recover_v3(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
+    let mut report = RecoveryReport {
+        version: VERSION,
+        total_bytes: bytes.len(),
+        header_ok: false,
+        dcg_ok: false,
+        names_ok: false,
+        committed: false,
+        salvaged_bytes: 0,
+        functions: Vec::new(),
+    };
+    let mut dcg = Dcg::empty();
+    let mut names: HashMap<FuncId, String> = HashMap::new();
+    let mut scan_from = FIXED_HEADER_LEN.min(bytes.len());
+    let mut data_start = scan_from;
+    let mut footer_table: Option<(Vec<TableEntry>, usize)> = None;
+
+    if bytes.len() >= FIXED_HEADER_LEN {
+        if let Ok(meta) = parse_meta_v3(bytes) {
+            report.header_ok = true;
+            data_start = meta.data_start;
+            scan_from = meta.data_start;
+            // DCG: checksum, then decode.
+            let dcg_bytes = &bytes[FIXED_HEADER_LEN..FIXED_HEADER_LEN + meta.dcg_comp_len];
+            let dcg_crc_ok =
+                read_u32(&bytes[meta.dcg_crc_at..meta.dcg_crc_at + 4]) == crc32(dcg_bytes);
+            if dcg_crc_ok {
+                if let Ok(d) = decode_dcg(dcg_bytes) {
+                    dcg = d;
+                    report.dcg_ok = true;
+                    report.salvaged_bytes += meta.dcg_comp_len;
+                }
+            }
+            // Names: checksum, then decode.
+            let names_bytes = &bytes[meta.names_start..meta.names_start + meta.names_len];
+            let names_crc_ok =
+                read_u32(&bytes[meta.names_crc_at..meta.names_crc_at + 4]) == crc32(names_bytes);
+            if names_crc_ok {
+                if let Ok(map) = parse_names_v3(names_bytes) {
+                    names = map;
+                    report.names_ok = true;
+                    report.salvaged_bytes += meta.names_len;
+                }
+            }
+            if let Ok(found) = parse_footer_v3(bytes, meta.data_start) {
+                footer_table = Some(found);
+            }
+        }
+    }
+
+    let records = match footer_table {
+        Some((table, footer_start)) => {
+            report.committed = true;
+            let mut records = Vec::new();
+            for e in table {
+                let (status, record) = check_frame(bytes, data_start, footer_start, e);
+                if let Some(r) = record {
+                    report.salvaged_bytes += e.byte_len as usize;
+                    records.push(r);
+                }
+                report.functions.push(FunctionVerdict {
+                    func: e.func,
+                    offset: data_start + e.offset as usize,
+                    byte_len: e.byte_len as usize,
+                    status,
+                });
+            }
+            records
+        }
+        None => {
+            let (verdicts, records) = scan_frames(bytes, scan_from);
+            report.salvaged_bytes += verdicts
+                .iter()
+                .filter(|v| v.status.is_ok())
+                .map(|v| v.byte_len)
+                .sum::<usize>();
+            report.functions = verdicts;
+            records
+        }
+    };
+
+    Ok((rebuild(dcg, &names, records), report))
+}
+
+fn recover_v2(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
+    let (table, names_vec, dcg_comp_len, data_start) = parse_header_v2(bytes)?;
+    let mut report = RecoveryReport {
+        version: VERSION_V2,
+        total_bytes: bytes.len(),
+        header_ok: true,
+        dcg_ok: false,
+        names_ok: true,
+        committed: true,
+        salvaged_bytes: 0,
+        functions: Vec::new(),
+    };
+    // v2 has no checksums: salvage by decoding.
+    let dcg_start = FIXED_HEADER_LEN + table.len() * TABLE_ENTRY_WORDS * 4;
+    let mut dcg = Dcg::empty();
+    if dcg_start + dcg_comp_len <= bytes.len() {
+        if let Ok(d) = decode_dcg(&bytes[dcg_start..dcg_start + dcg_comp_len]) {
+            dcg = d;
+            report.dcg_ok = true;
+            report.salvaged_bytes += dcg_comp_len;
+        }
+    }
+    let names: HashMap<FuncId, String> = table
+        .iter()
+        .zip(&names_vec)
+        .filter_map(|(e, n)| n.clone().map(|n| (e.func, n)))
+        .collect();
+    let mut records = Vec::new();
+    for e in &table {
+        let start = data_start + e.offset as usize;
+        let end = start.saturating_add(e.byte_len as usize);
+        let status = if end > bytes.len() {
+            RegionStatus::Truncated
+        } else {
+            match decode_region(*e, &bytes[start..end]) {
+                Ok(r) => {
+                    report.salvaged_bytes += e.byte_len as usize;
+                    records.push(r);
+                    RegionStatus::Ok
+                }
+                Err(err) => RegionStatus::Undecodable(err.to_string()),
+            }
+        };
+        report.functions.push(FunctionVerdict {
+            func: e.func,
+            offset: data_start + e.offset as usize,
+            byte_len: e.byte_len as usize,
+            status,
+        });
+    }
+    Ok((rebuild(dcg, &names, records), report))
+}
+
+// ---------------------------------------------------------------------------
+// Region codec (shared by v2 and v3)
+// ---------------------------------------------------------------------------
 
 /// Encodes one function's region:
 /// dictionaries (`n_chains, (head, len, blocks…)*` each) followed by traces
@@ -551,7 +1493,7 @@ fn encode_region(fb: &FunctionBlock) -> Vec<u32> {
 
 fn decode_region(e: TableEntry, region: &[u8]) -> Result<FunctionRecord, ArchiveError> {
     if !region.len().is_multiple_of(4) {
-        return Err(ArchiveError::Corrupt("region length".into()));
+        return Err(ArchiveError::Corrupt("region length"));
     }
     let words: Vec<u32> = region
         .chunks_exact(4)
@@ -574,18 +1516,18 @@ fn decode_region(e: TableEntry, region: &[u8]) -> Result<FunctionRecord, Archive
             let head = take(&mut pos)?;
             let len = take(&mut pos)? as usize;
             if len < 2 {
-                return Err(ArchiveError::Corrupt("chain too short".into()));
+                return Err(ArchiveError::Corrupt("chain too short"));
             }
             let mut chain = Vec::with_capacity(cap(len));
             for _ in 0..len {
                 let b = take(&mut pos)?;
                 if b == 0 {
-                    return Err(ArchiveError::Corrupt("zero block id".into()));
+                    return Err(ArchiveError::Corrupt("zero block id"));
                 }
                 chain.push(BlockId::new(b));
             }
             if head == 0 || chain[0].as_u32() != head {
-                return Err(ArchiveError::Corrupt("chain head mismatch".into()));
+                return Err(ArchiveError::Corrupt("chain head mismatch"));
             }
             chains.push(chain);
         }
@@ -595,13 +1537,13 @@ fn decode_region(e: TableEntry, region: &[u8]) -> Result<FunctionRecord, Archive
     for _ in 0..e.n_traces {
         let dict_idx = take(&mut pos)?;
         if dict_idx as usize >= dicts.len() {
-            return Err(ArchiveError::Corrupt("dictionary index".into()));
+            return Err(ArchiveError::Corrupt("dictionary index"));
         }
         let tt = TimestampedTrace::from_words(&words, &mut pos)?;
         traces.push((dict_idx, tt));
     }
     if pos != words.len() {
-        return Err(ArchiveError::Corrupt("trailing region bytes".into()));
+        return Err(ArchiveError::Corrupt("trailing region bytes"));
     }
     Ok(FunctionRecord {
         func: e.func,
@@ -611,8 +1553,8 @@ fn decode_region(e: TableEntry, region: &[u8]) -> Result<FunctionRecord, Archive
     })
 }
 
-
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pipeline::compact;
@@ -639,10 +1581,18 @@ mod tests {
         RawWpp::from_events(&events)
     }
 
+    fn sample_names() -> HashMap<FuncId, String> {
+        let mut names = HashMap::new();
+        names.insert(f(0), "main".to_owned());
+        names.insert(f(1), "helper".to_owned());
+        names
+    }
+
     #[test]
     fn archive_round_trip() {
         let c = compact(&sample_wpp()).unwrap();
         let a = TwppArchive::from_compacted(&c);
+        assert_eq!(a.version(), VERSION);
         let b = TwppArchive::from_bytes(a.as_bytes().to_vec()).unwrap();
         assert_eq!(b.to_compacted().unwrap(), c);
         assert_eq!(b.read_dcg().unwrap(), c.dcg);
@@ -700,17 +1650,14 @@ mod tests {
         ));
         // Truncations anywhere must error, not panic.
         for cut in [4usize, 12, 20, bytes.len() / 2, bytes.len() - 1] {
-            let _ = TwppArchive::from_bytes(bytes[..cut.min(bytes.len())].to_vec());
+            assert!(TwppArchive::from_bytes(bytes[..cut.min(bytes.len())].to_vec()).is_err());
         }
     }
 
     #[test]
     fn named_archives_store_and_look_up_names() {
         let c = compact(&sample_wpp()).unwrap();
-        let mut names = HashMap::new();
-        names.insert(f(0), "main".to_owned());
-        names.insert(f(1), "helper".to_owned());
-        let a = TwppArchive::from_compacted_named(&c, &names);
+        let a = TwppArchive::from_compacted_named(&c, &sample_names());
         assert_eq!(a.function_name(f(0)), Some("main"));
         assert_eq!(a.function_name(f(1)), Some("helper"));
         assert_eq!(a.function_by_name("helper"), Some(f(1)));
@@ -746,5 +1693,198 @@ mod tests {
         assert_eq!(record, a.read_function(f(1)).unwrap());
         assert!(TwppArchive::read_function_from_file(&path, f(9)).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_archives_are_still_readable() {
+        let c = compact(&sample_wpp()).unwrap();
+        let names = sample_names();
+        let v2 = encode_v2_named(&c, &names);
+        let a = TwppArchive::from_bytes(v2).unwrap();
+        assert_eq!(a.version(), VERSION_V2);
+        assert_eq!(a.to_compacted().unwrap(), c);
+        assert_eq!(a.read_dcg().unwrap(), c.dcg);
+        assert_eq!(a.function_name(f(1)), Some("helper"));
+        // And seek-reads work on v2 files too.
+        let dir = std::env::temp_dir().join("twpp-archive-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.twpa");
+        std::fs::write(&path, a.as_bytes()).unwrap();
+        let record = TwppArchive::read_function_from_file(&path, f(1)).unwrap();
+        assert_eq!(record.call_count, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_writer_matches_one_shot_encoder() {
+        let c = compact(&sample_wpp()).unwrap();
+        let names = sample_names();
+        let mut w = ArchiveWriter::new(Vec::new(), &c.dcg, &names).unwrap();
+        for fb in &c.functions {
+            w.add_function(fb).unwrap();
+        }
+        let streamed = w.finish().unwrap();
+        let one_shot = TwppArchive::from_compacted_named(&c, &names);
+        assert_eq!(streamed, one_shot.as_bytes());
+    }
+
+    #[test]
+    fn flipped_function_region_is_caught_and_others_survive() {
+        let c = compact(&sample_wpp()).unwrap();
+        let a = TwppArchive::from_compacted(&c);
+        let mut bytes = a.as_bytes().to_vec();
+        // Flip one payload bit of the first (hottest) function's frame.
+        let flip_at = a.data_start + FRAME_HEADER_LEN + 2;
+        bytes[flip_at] ^= 0x10;
+        // The strict parser still accepts the container (payload CRCs are
+        // lazy) but reading the damaged function reports the mismatch...
+        let b = TwppArchive::from_bytes(bytes.clone()).unwrap();
+        assert!(matches!(
+            b.read_function(f(1)),
+            Err(ArchiveError::ChecksumMismatch { region: "function region", .. })
+        ));
+        // ...while the untouched function still reads fine.
+        assert_eq!(b.read_function(f(0)).unwrap(), a.read_function(f(0)).unwrap());
+        // Salvage keeps the intact function and names the loss.
+        let (salvaged, report) = TwppArchive::recover(&bytes).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.committed && report.dcg_ok);
+        assert_eq!(report.salvaged_functions(), 1);
+        let lost = report.functions.iter().find(|v| !v.status.is_ok()).unwrap();
+        assert_eq!(lost.func, f(1));
+        assert_eq!(lost.status, RegionStatus::BadChecksum);
+        assert_eq!(
+            salvaged.read_function(f(0)).unwrap(),
+            a.read_function(f(0)).unwrap()
+        );
+        assert!(salvaged.read_function(f(1)).is_err());
+    }
+
+    #[test]
+    fn interrupted_write_is_not_committed_but_salvageable() {
+        let c = compact(&sample_wpp()).unwrap();
+        let names = sample_names();
+        // Simulate a crash after the first frame: write header + one
+        // function, never finish().
+        let mut w = ArchiveWriter::new(Vec::new(), &c.dcg, &names).unwrap();
+        w.add_function(&c.functions[0]).unwrap();
+        let partial = w.sink.clone();
+        drop(w);
+        assert!(matches!(
+            TwppArchive::from_bytes(partial.clone()),
+            Err(ArchiveError::NotCommitted)
+        ));
+        let (salvaged, report) = TwppArchive::recover(&partial).unwrap();
+        assert!(!report.committed);
+        assert!(report.header_ok && report.dcg_ok && report.names_ok);
+        assert_eq!(report.salvaged_functions(), 1);
+        assert_eq!(salvaged.function_ids(), vec![c.functions[0].func]);
+        assert_eq!(salvaged.read_dcg().unwrap(), c.dcg);
+        assert_eq!(salvaged.function_name(f(1)), Some("helper"));
+    }
+
+    #[test]
+    fn damaged_header_still_salvages_frames_by_scanning() {
+        let c = compact(&sample_wpp()).unwrap();
+        let a = TwppArchive::from_compacted(&c);
+        let mut bytes = a.as_bytes().to_vec();
+        bytes[9] ^= 0xff; // corrupt dcg_comp_len in the header
+        assert!(matches!(
+            TwppArchive::from_bytes(bytes.clone()),
+            Err(ArchiveError::ChecksumMismatch { region: "header", .. })
+        ));
+        let (salvaged, report) = TwppArchive::recover(&bytes).unwrap();
+        assert!(!report.header_ok);
+        assert!(!report.dcg_ok);
+        assert_eq!(report.salvaged_functions(), 2);
+        // The DCG is lost but both functions decode from the rebuilt
+        // archive.
+        assert_eq!(salvaged.read_dcg().unwrap(), Dcg::empty());
+        assert_eq!(
+            salvaged.read_function(f(1)).unwrap().traces,
+            a.read_function(f(1)).unwrap().traces
+        );
+    }
+
+    #[test]
+    fn recover_on_clean_archive_reports_clean() {
+        let c = compact(&sample_wpp()).unwrap();
+        let a = TwppArchive::from_compacted_named(&c, &sample_names());
+        let (salvaged, report) = TwppArchive::recover(a.as_bytes()).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.salvaged_functions(), 2);
+        assert_eq!(salvaged.to_compacted().unwrap(), c);
+    }
+
+    #[test]
+    fn recover_v2_salvages_decodable_regions() {
+        let c = compact(&sample_wpp()).unwrap();
+        let v2 = encode_v2_named(&c, &sample_names());
+        let (salvaged, report) = TwppArchive::recover(&v2).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.version, VERSION_V2);
+        // Salvage upgrades to the current container.
+        assert_eq!(salvaged.version(), VERSION);
+        assert_eq!(salvaged.to_compacted().unwrap(), c);
+        assert_eq!(salvaged.function_name(f(1)), Some("helper"));
+        // Truncating the last region loses exactly that function.
+        let cut = &v2[..v2.len() - 4];
+        let (salvaged, report) = TwppArchive::recover(cut).unwrap();
+        assert_eq!(report.salvaged_functions(), 1);
+        assert!(salvaged.read_function(f(1)).is_ok());
+    }
+
+    #[test]
+    fn recover_rejects_unusable_input() {
+        assert!(matches!(
+            TwppArchive::recover(b"XXXXXXXX"),
+            Err(ArchiveError::BadMagic)
+        ));
+        assert!(matches!(
+            TwppArchive::recover(b"TW"),
+            Err(ArchiveError::Truncated)
+        ));
+        let mut bad_version = Vec::new();
+        bad_version.extend_from_slice(&MAGIC);
+        bad_version.extend_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            TwppArchive::recover(&bad_version),
+            Err(ArchiveError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corrupt_footer_falls_back_to_frame_scan() {
+        let c = compact(&sample_wpp()).unwrap();
+        let a = TwppArchive::from_compacted(&c);
+        let mut bytes = a.as_bytes().to_vec();
+        // Swap the two footer entries' func fields: footer CRC fails, so
+        // salvage must rescan frames (whose own CRCs are intact).
+        let n = bytes.len();
+        let e0 = n - 16 - 2 * FOOTER_ENTRY_BYTES;
+        let e1 = n - 16 - FOOTER_ENTRY_BYTES;
+        for k in 0..4 {
+            bytes.swap(e0 + k, e1 + k);
+        }
+        assert!(TwppArchive::from_bytes(bytes.clone()).is_err());
+        let (salvaged, report) = TwppArchive::recover(&bytes).unwrap();
+        assert!(!report.committed);
+        assert_eq!(report.salvaged_functions(), 2);
+        assert_eq!(salvaged.to_compacted().unwrap(), c);
+    }
+
+    #[test]
+    fn declared_function_count_is_capped() {
+        // A v3 footer tail claiming u32::MAX functions must be rejected
+        // before any allocation.
+        let c = compact(&sample_wpp()).unwrap();
+        let a = TwppArchive::from_compacted(&c);
+        let mut bytes = a.as_bytes().to_vec();
+        let n = bytes.len();
+        bytes[n - 16..n - 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            TwppArchive::from_bytes(bytes),
+            Err(ArchiveError::TooLarge { .. }) | Err(ArchiveError::Truncated)
+        ));
     }
 }

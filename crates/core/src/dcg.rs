@@ -1,6 +1,8 @@
 //! The dynamic call graph (DCG): the activation tree that links per-call
 //! path traces back into a complete WPP.
 
+#![deny(clippy::unwrap_used)]
+
 use std::fmt;
 
 use twpp_ir::FuncId;
@@ -54,6 +56,12 @@ pub struct Dcg {
 impl Dcg {
     pub(crate) fn from_nodes(nodes: Vec<DcgNode>) -> Dcg {
         Dcg { nodes }
+    }
+
+    /// The empty DCG (no activations). Used by recovery when an archive's
+    /// call-graph region is lost but function regions are salvageable.
+    pub fn empty() -> Dcg {
+        Dcg { nodes: Vec::new() }
     }
 
     /// The root activation (the run of `main`).
@@ -139,6 +147,12 @@ impl Dcg {
         if words.is_empty() {
             return Some(Dcg { nodes: Vec::new() });
         }
+        // Bounded decoding: a valid stream is exactly 4 words per node, so
+        // reject misaligned input up front (the node vector below is then
+        // inherently capped at `words.len() / 4` entries).
+        if !words.len().is_multiple_of(4) {
+            return None;
+        }
         let mut nodes: Vec<DcgNode> = Vec::new();
         let mut pos = 0usize;
         // Stack of (node index, children still expected).
@@ -189,6 +203,7 @@ impl Dcg {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

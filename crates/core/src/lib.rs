@@ -33,16 +33,18 @@ pub mod dedup;
 pub mod lzw;
 pub mod partition;
 pub mod pipeline;
+pub mod recovery;
 pub mod timestamped;
 pub mod trace;
 pub mod tsset;
 
-pub use archive::TwppArchive;
+pub use archive::{ArchiveError, ArchiveWriter, FunctionRecord, TwppArchive};
 pub use dbb::{compact_trace, CompactedTrace, DbbDictionary};
 pub use dcg::{Dcg, DcgNode, DcgNodeId};
 pub use dedup::{eliminate_redundancy, RedundancyStats};
 pub use partition::{partition, PartitionError, PartitionedWpp};
 pub use pipeline::{compact, compact_with_stats, CompactedTwpp, PipelineStats};
+pub use recovery::{FunctionVerdict, RecoveryReport, RegionStatus};
 pub use timestamped::TimestampedTrace;
 pub use trace::PathTrace;
 pub use tsset::{SeriesEntry, TsSet, TsSetError};

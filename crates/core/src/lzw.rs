@@ -6,11 +6,21 @@
 //! stay adaptive. The format is self-contained: the decoder rebuilds the
 //! dictionary from the code stream alone.
 
+#![deny(clippy::unwrap_used)]
+
 use std::error::Error;
 use std::fmt;
 
 /// Maximum code width in bits.
 pub const MAX_CODE_BITS: u32 = 16;
+
+/// Default decompressed-output cap for [`decompress`] (1 GiB).
+///
+/// LZW output can grow quadratically in the input size for adversarial
+/// streams (each code may expand to a dictionary entry tens of kilobytes
+/// long), so every decode path is bounded. Callers that know a tighter
+/// bound should use [`decompress_bounded`].
+pub const DEFAULT_MAX_OUTPUT: usize = 1 << 30;
 
 const CLEAR_CODE: u32 = 256;
 const FIRST_CODE: u32 = 257;
@@ -23,6 +33,9 @@ pub enum LzwError {
     BadCode(u32),
     /// The bit stream ended inside a code.
     Truncated,
+    /// Decompression exceeded the caller's output cap — the stream is
+    /// either hostile or destined for a larger budget.
+    OutputLimit(usize),
 }
 
 impl fmt::Display for LzwError {
@@ -30,6 +43,9 @@ impl fmt::Display for LzwError {
         match self {
             LzwError::BadCode(c) => write!(f, "invalid LZW code {c}"),
             LzwError::Truncated => f.write_str("truncated LZW stream"),
+            LzwError::OutputLimit(cap) => {
+                write!(f, "LZW output exceeds the {cap}-byte cap")
+            }
         }
     }
 }
@@ -38,7 +54,7 @@ impl Error for LzwError {}
 
 struct BitWriter {
     bytes: Vec<u8>,
-    bit_pos: u32,
+    bit_pos: u64,
 }
 
 impl BitWriter {
@@ -52,11 +68,12 @@ impl BitWriter {
     fn write(&mut self, value: u32, bits: u32) {
         for i in 0..bits {
             let bit = (value >> i) & 1;
-            if self.bit_pos.is_multiple_of(8) {
+            let byte_idx = (self.bit_pos / 8) as usize;
+            if byte_idx == self.bytes.len() {
                 self.bytes.push(0);
             }
             if bit != 0 {
-                *self.bytes.last_mut().expect("pushed above") |= 1 << (self.bit_pos % 8);
+                self.bytes[byte_idx] |= 1 << (self.bit_pos % 8);
             }
             self.bit_pos += 1;
         }
@@ -129,13 +146,26 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     writer.bytes
 }
 
-/// Decompresses an LZW stream produced by [`compress`].
+/// Decompresses an LZW stream produced by [`compress`], capping the output
+/// at [`DEFAULT_MAX_OUTPUT`] bytes.
 ///
 /// # Errors
 ///
-/// Returns an [`LzwError`] if the stream is truncated or references
-/// impossible codes.
+/// Returns an [`LzwError`] if the stream is truncated, references
+/// impossible codes, or expands past the cap.
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzwError> {
+    decompress_bounded(input, DEFAULT_MAX_OUTPUT)
+}
+
+/// Decompresses an LZW stream with a caller-supplied output cap — the
+/// bounded-decoding entry point for untrusted input.
+///
+/// # Errors
+///
+/// Returns [`LzwError::OutputLimit`] as soon as the decoded output would
+/// exceed `max_output` bytes (the partial output is discarded), or any
+/// other [`LzwError`] for malformed streams.
+pub fn decompress_bounded(input: &[u8], max_output: usize) -> Result<Vec<u8>, LzwError> {
     let mut reader = BitReader::new(input);
     let mut output = Vec::new();
     if input.is_empty() {
@@ -224,6 +254,9 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzwError> {
                 }
             }
         }
+        if output.len() > max_output {
+            return Err(LzwError::OutputLimit(max_output));
+        }
         prev = Some(code);
     }
 }
@@ -234,6 +267,7 @@ pub fn compressed_size(input: &[u8]) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -300,6 +334,18 @@ mod tests {
         for cut in 0..c.len() {
             if let Ok(d) = decompress(&c[..cut]) { assert!(data.starts_with(&d)) }
         }
+    }
+
+    #[test]
+    fn output_cap_is_enforced() {
+        let data: Vec<u8> = b"abcabcabc".iter().copied().cycle().take(10_000).collect();
+        let c = compress(&data);
+        // Exact size passes; one byte less trips the cap.
+        assert_eq!(decompress_bounded(&c, data.len()).unwrap(), data);
+        assert_eq!(
+            decompress_bounded(&c, data.len() - 1),
+            Err(LzwError::OutputLimit(data.len() - 1))
+        );
     }
 
     #[test]

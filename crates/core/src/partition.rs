@@ -22,6 +22,9 @@ pub enum PartitionError {
     MultipleRoots,
     /// The stream is empty.
     Empty,
+    /// A pipeline-internal count overflowed its serialized width; the
+    /// string names the limit.
+    LimitExceeded(&'static str),
 }
 
 impl fmt::Display for PartitionError {
@@ -32,6 +35,7 @@ impl fmt::Display for PartitionError {
             }
             PartitionError::MultipleRoots => f.write_str("WPP has multiple top-level activations"),
             PartitionError::Empty => f.write_str("WPP stream is empty"),
+            PartitionError::LimitExceeded(what) => write!(f, "{what}"),
         }
     }
 }

@@ -1,6 +1,8 @@
 //! The full compaction pipeline: raw WPP → compacted TWPP, with per-stage
 //! size accounting (the data behind Tables 2 and 3 of the paper).
 
+#![deny(clippy::unwrap_used)]
+
 use std::collections::{BTreeMap, HashMap};
 
 use twpp_ir::FuncId;
@@ -240,7 +242,8 @@ pub fn compact_with_stats(wpp: &RawWpp) -> Result<(CompactedTwpp, PipelineStats)
             after_dict_bytes += compacted.trace.byte_size();
             // Deduplicate identical dictionaries via their debug-stable key.
             let key = dict_key(&compacted.dictionary);
-            let next = u32::try_from(dicts.len()).expect("dict count exceeds u32");
+            let next = u32::try_from(dicts.len())
+                .map_err(|_| PartitionError::LimitExceeded("dictionary count exceeds u32"))?;
             let idx = *dict_index.entry(key).or_insert(next);
             if idx == next {
                 dicts.push(compacted.dictionary);
@@ -299,6 +302,7 @@ fn dict_key(dict: &DbbDictionary) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use twpp_ir::BlockId;

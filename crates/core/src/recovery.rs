@@ -1,0 +1,195 @@
+//! Recovery reporting for damaged TWPP archives.
+//!
+//! [`crate::TwppArchive::recover`] walks an archive that failed strict
+//! validation, salvages every region whose checksum still verifies, and
+//! returns a [`RecoveryReport`] describing exactly what survived and what
+//! was lost. The report is the machine-readable side of `twpp fsck`.
+
+#![deny(clippy::unwrap_used)]
+
+use std::fmt;
+
+use twpp_ir::FuncId;
+
+/// The verdict for one checksummed region of the archive.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum RegionStatus {
+    /// Checksum verified and the region decoded.
+    Ok,
+    /// The stored CRC32 does not match the region bytes.
+    BadChecksum,
+    /// The region extends past the end of the file (or its frame header
+    /// claims an impossible length).
+    Truncated,
+    /// The checksum verified but the payload failed semantic decoding;
+    /// the string names the decode error.
+    Undecodable(String),
+}
+
+impl RegionStatus {
+    /// Whether the region was salvaged.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RegionStatus::Ok)
+    }
+}
+
+impl fmt::Display for RegionStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionStatus::Ok => f.write_str("ok"),
+            RegionStatus::BadChecksum => f.write_str("checksum mismatch"),
+            RegionStatus::Truncated => f.write_str("truncated"),
+            RegionStatus::Undecodable(why) => write!(f, "undecodable ({why})"),
+        }
+    }
+}
+
+/// The verdict for one function region.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FunctionVerdict {
+    /// The function the region claims to hold.
+    pub func: FuncId,
+    /// Absolute byte offset of the region within the archive file (the
+    /// frame start for v3, the raw region start for v2).
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub byte_len: usize,
+    /// What happened to it.
+    pub status: RegionStatus,
+}
+
+/// The outcome of salvaging an archive: which metadata regions survived,
+/// a per-function verdict list, and how many payload bytes made it out.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RecoveryReport {
+    /// Container version of the damaged input (2 or 3).
+    pub version: u32,
+    /// Size of the input in bytes.
+    pub total_bytes: usize,
+    /// Whether the fixed header verified (v3: header CRC; v2: parsed).
+    pub header_ok: bool,
+    /// Whether the compressed DCG verified and decoded.
+    pub dcg_ok: bool,
+    /// Whether the function name table verified and decoded.
+    pub names_ok: bool,
+    /// Whether the commit footer was present and verified (v3 only; a
+    /// fully parsed v2 archive counts as committed). An uncommitted
+    /// archive was interrupted mid-write and salvage fell back to
+    /// scanning for intact frames.
+    pub committed: bool,
+    /// Total payload bytes recovered (DCG + names + function regions).
+    pub salvaged_bytes: usize,
+    /// Per-function-region verdicts, in the order regions were found.
+    pub functions: Vec<FunctionVerdict>,
+}
+
+impl RecoveryReport {
+    /// Whether every region of the archive verified — i.e. the input was
+    /// not actually damaged.
+    pub fn is_clean(&self) -> bool {
+        self.header_ok
+            && self.dcg_ok
+            && self.names_ok
+            && self.committed
+            && self.functions.iter().all(|v| v.status.is_ok())
+    }
+
+    /// Number of function regions salvaged.
+    pub fn salvaged_functions(&self) -> usize {
+        self.functions.iter().filter(|v| v.status.is_ok()).count()
+    }
+
+    /// Number of function regions lost.
+    pub fn lost_functions(&self) -> usize {
+        self.functions.len() - self.salvaged_functions()
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let flag = |ok: bool| if ok { "ok" } else { "LOST" };
+        writeln!(
+            f,
+            "archive: v{}, {} bytes, header {}, dcg {}, names {}, {}",
+            self.version,
+            self.total_bytes,
+            flag(self.header_ok),
+            flag(self.dcg_ok),
+            flag(self.names_ok),
+            if self.committed {
+                "committed"
+            } else {
+                "NOT COMMITTED"
+            },
+        )?;
+        writeln!(
+            f,
+            "functions: {} salvaged, {} lost, {} bytes recovered",
+            self.salvaged_functions(),
+            self.lost_functions(),
+            self.salvaged_bytes,
+        )?;
+        for v in &self.functions {
+            writeln!(
+                f,
+                "  {} @+{} ({} bytes): {}",
+                v.func, v.offset, v.byte_len, v.status
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn report() -> RecoveryReport {
+        RecoveryReport {
+            version: 3,
+            total_bytes: 1024,
+            header_ok: true,
+            dcg_ok: true,
+            names_ok: true,
+            committed: true,
+            salvaged_bytes: 900,
+            functions: vec![
+                FunctionVerdict {
+                    func: FuncId::from_index(0),
+                    offset: 0,
+                    byte_len: 400,
+                    status: RegionStatus::Ok,
+                },
+                FunctionVerdict {
+                    func: FuncId::from_index(1),
+                    offset: 428,
+                    byte_len: 500,
+                    status: RegionStatus::BadChecksum,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_requires_every_region_ok() {
+        let mut r = report();
+        assert!(!r.is_clean());
+        r.functions[1].status = RegionStatus::Ok;
+        assert!(r.is_clean());
+        r.committed = false;
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn counts_and_display() {
+        let r = report();
+        assert_eq!(r.salvaged_functions(), 1);
+        assert_eq!(r.lost_functions(), 1);
+        let text = r.to_string();
+        assert!(text.contains("committed"));
+        assert!(text.contains("checksum mismatch"));
+        assert!(text.contains("1 salvaged, 1 lost"));
+    }
+}

@@ -8,6 +8,8 @@
 //! organisation profile-limited data flow analysis wants, and one that
 //! compacts further because loop iterations produce arithmetic series.
 
+#![deny(clippy::unwrap_used)]
+
 use std::error::Error;
 use std::fmt;
 
@@ -15,6 +17,13 @@ use twpp_ir::BlockId;
 
 use crate::trace::PathTrace;
 use crate::tsset::{TsSet, TsSetError};
+
+/// Maximum trace length accepted by [`TimestampedTrace::from_words`]
+/// (16 Mi positions). A forged `len` word combined with arithmetic-series
+/// timestamp entries could otherwise make a handful of wire words claim
+/// billions of positions and blow up [`TimestampedTrace::to_path_trace`];
+/// real per-call path traces are orders of magnitude below this cap.
+pub const MAX_DECODED_LEN: u32 = 1 << 24;
 
 /// A path trace in timestamped (TWPP) form: `block -> ordered timestamp
 /// set`, with timestamps `1..=len` numbering the trace positions.
@@ -37,6 +46,8 @@ pub enum TimestampedTraceError {
     BadTsSet(TsSetError),
     /// The timestamp sets do not partition `1..=len`.
     NotAPartition,
+    /// The declared trace length exceeds [`MAX_DECODED_LEN`].
+    TooLong(u32),
 }
 
 impl fmt::Display for TimestampedTraceError {
@@ -49,6 +60,9 @@ impl fmt::Display for TimestampedTraceError {
             TimestampedTraceError::BadTsSet(e) => write!(f, "bad timestamp set: {e}"),
             TimestampedTraceError::NotAPartition => {
                 f.write_str("timestamp sets do not partition the trace positions")
+            }
+            TimestampedTraceError::TooLong(len) => {
+                write!(f, "declared trace length {len} exceeds the {MAX_DECODED_LEN} cap")
             }
         }
     }
@@ -186,6 +200,9 @@ impl TimestampedTrace {
             Ok(w)
         };
         let len = take(pos)?;
+        if len > MAX_DECODED_LEN {
+            return Err(TimestampedTraceError::TooLong(len));
+        }
         let n_blocks = take(pos)? as usize;
         // Clamp: n_blocks is untrusted input.
         let mut map = Vec::with_capacity(n_blocks.min(words.len() - *pos + 1));
@@ -208,9 +225,11 @@ impl TimestampedTrace {
             }
             let wire: Vec<i32> = words[*pos..*pos + n_words].iter().map(|&w| w as i32).collect();
             *pos += n_words;
-            let ts = TsSet::from_wire(&wire)?;
-            if let (Some(first), Some(last)) = (ts.first(), ts.last()) {
-                if first < 1 || last > len {
+            // Bounded decoding: every timestamp must fall in `1..=len`,
+            // rejecting wire entries that claim huge member counts.
+            let ts = TsSet::from_wire_capped(&wire, len)?;
+            if let Some(first) = ts.first() {
+                if first < 1 {
                     return Err(TimestampedTraceError::NotAPartition);
                 }
             }
@@ -254,9 +273,30 @@ impl fmt::Display for TimestampedTrace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::trace::trace_of;
+
+    #[test]
+    fn forged_length_bomb_is_rejected() {
+        // len = 2^30 with a single 2-word range set totalling exactly len:
+        // without the cap this would decode and let `to_path_trace`
+        // allocate gigabytes.
+        let words = vec![1u32 << 30, 1, 1, 2, 1, (-(1i32 << 30)) as u32];
+        let mut pos = 0;
+        assert_eq!(
+            TimestampedTrace::from_words(&words, &mut pos),
+            Err(TimestampedTraceError::TooLong(1 << 30))
+        );
+        // A set reaching past a *plausible* len is rejected by the cap too.
+        let words = vec![10u32, 1, 1, 2, 1, (-20i32) as u32];
+        let mut pos = 0;
+        assert!(matches!(
+            TimestampedTrace::from_words(&words, &mut pos),
+            Err(TimestampedTraceError::BadTsSet(TsSetError::ExceedsCap { .. }))
+        ));
+    }
 
     #[test]
     fn paper_example_mapping() {

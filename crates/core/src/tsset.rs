@@ -13,6 +13,8 @@
 //! queries of §4.2 need: shifting by ±1 (one backward/forward step of all
 //! traversal points at once), intersection, difference, and order queries.
 
+#![deny(clippy::unwrap_used)]
+
 use std::error::Error;
 use std::fmt;
 
@@ -213,6 +215,15 @@ pub enum TsSetError {
     BadEntry(usize),
     /// Entries are not strictly increasing and disjoint.
     Unordered(usize),
+    /// A timestamp exceeds the caller-supplied cap (bounded decoding:
+    /// a two-word wire entry can claim billions of members, so decoders
+    /// reject sets reaching past the enclosing trace length up front).
+    ExceedsCap {
+        /// The offending timestamp.
+        value: u32,
+        /// The cap it violated.
+        cap: u32,
+    },
 }
 
 impl fmt::Display for TsSetError {
@@ -221,6 +232,9 @@ impl fmt::Display for TsSetError {
             TsSetError::Truncated => f.write_str("truncated timestamp entry"),
             TsSetError::BadEntry(i) => write!(f, "malformed timestamp entry at word {i}"),
             TsSetError::Unordered(i) => write!(f, "out-of-order timestamp entry at word {i}"),
+            TsSetError::ExceedsCap { value, cap } => {
+                write!(f, "timestamp {value} exceeds the cap {cap}")
+            }
         }
     }
 }
@@ -607,6 +621,26 @@ impl TsSet {
         }
         Ok(TsSet { entries })
     }
+
+    /// Like [`TsSet::from_wire`], but additionally rejects any set whose
+    /// largest timestamp exceeds `cap` — the bounded-decoding entry point
+    /// for untrusted input, where a two-word range entry could otherwise
+    /// claim `i32::MAX` members and blow up downstream materialisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsSetError::ExceedsCap`] for out-of-range sets, or any
+    /// other [`TsSetError`] for malformed wire data.
+    pub fn from_wire_capped(words: &[i32], cap: u32) -> Result<TsSet, TsSetError> {
+        let set = TsSet::from_wire(words)?;
+        // Entries are ordered, so the last timestamp is the maximum.
+        if let Some(last) = set.last() {
+            if last > cap {
+                return Err(TsSetError::ExceedsCap { value: last, cap });
+            }
+        }
+        Ok(set)
+    }
 }
 
 /// Merges consecutive entries that form one longer series (used after
@@ -671,6 +705,7 @@ impl fmt::Display for TsSet {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -713,6 +748,24 @@ mod tests {
             assert_eq!(back.to_vec(), vals);
         }
         assert_eq!(TsSet::from_wire(&[]).unwrap(), TsSet::new());
+    }
+
+    #[test]
+    fn capped_decode_rejects_count_bombs() {
+        // `[1, -i32::MAX]` is a 2-word wire entry claiming ~2^31 members.
+        let bomb = [1i32, -i32::MAX];
+        assert!(TsSet::from_wire(&bomb).is_ok(), "format itself is legal");
+        assert_eq!(
+            TsSet::from_wire_capped(&bomb, 1000),
+            Err(TsSetError::ExceedsCap {
+                value: i32::MAX as u32,
+                cap: 1000
+            })
+        );
+        // In-range sets pass through unchanged.
+        let s = TsSet::from_sorted(&[2, 4, 6]);
+        assert_eq!(TsSet::from_wire_capped(&s.to_wire(), 6).unwrap(), s);
+        assert!(TsSet::from_wire_capped(&s.to_wire(), 5).is_err());
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 mod builder;
 pub mod cfg;
+pub mod checksum;
 pub mod dom;
 mod error;
 mod func;

@@ -39,4 +39,4 @@ pub use interp::{
     run, run_to_breakpoint, run_traced, BreakpointSink, ExecError, ExecLimits, Execution, Interp,
     TraceSink,
 };
-pub use raw::RawWpp;
+pub use raw::{RawSalvage, RawWpp, RawWppError};

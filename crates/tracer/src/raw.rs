@@ -4,17 +4,33 @@
 //! The raw form also provides the *uncompacted access* baseline of Table 4:
 //! [`RawWpp::scan_function`] must scan the entire stream to collect the path
 //! traces of a single function.
+//!
+//! Serialized streams carry a `WPP0` magic header and — since the
+//! integrity rework — a trailing `WPPZ` footer holding the event count
+//! and a CRC32 of the event words, so a tracer killed mid-write leaves a
+//! detectably incomplete file. [`RawWpp::read_from`] verifies the footer
+//! when present (older footer-less streams still load);
+//! [`RawWpp::read_salvage`] truncates a damaged stream to its longest
+//! decodable event prefix instead of failing.
+
+#![deny(clippy::unwrap_used)]
 
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use twpp_ir::checksum::crc32;
 use twpp_ir::{BlockId, FuncId};
 
 use crate::event::WppEvent;
 
 const MAGIC: [u8; 4] = *b"WPP0";
+const FOOTER_MAGIC: [u8; 4] = *b"WPPZ";
+/// The footer magic as a little-endian word.
+const FOOTER_WORD: u32 = u32::from_le_bytes(FOOTER_MAGIC);
+/// Footer length in words: magic, event count, CRC32.
+const FOOTER_WORDS: usize = 3;
 
 /// A raw whole program path: the complete control-flow trace of one
 /// execution, stored as encoded 4-byte words.
@@ -42,28 +58,95 @@ impl RawSizes {
 }
 
 /// Errors produced while decoding a serialized raw WPP.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Debug)]
 #[non_exhaustive]
 pub enum RawWppError {
+    /// Underlying I/O failure.
+    Io(io::Error),
     /// The stream does not start with the `WPP0` magic.
     BadMagic,
-    /// The stream length is not a whole number of words.
-    Truncated,
+    /// The stream length is not a whole number of words: it was cut
+    /// mid-word (as opposed to ending cleanly between events).
+    TruncatedWord,
     /// A word failed to decode as an event.
     BadWord(u32),
+    /// The stream ends inside the `WPPZ` footer: the write was cut off
+    /// after the footer magic but before the CRC.
+    TruncatedFooter,
+    /// The stream carries a `WPPZ` footer whose event count or CRC32
+    /// does not match the words actually present: the trace was
+    /// interrupted or damaged after writing began.
+    FooterMismatch {
+        /// The CRC stored in the footer.
+        expected: u32,
+        /// The CRC computed over the event words present.
+        actual: u32,
+    },
 }
 
 impl fmt::Display for RawWppError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            RawWppError::Io(e) => write!(f, "WPP stream I/O error: {e}"),
             RawWppError::BadMagic => f.write_str("missing WPP0 magic header"),
-            RawWppError::Truncated => f.write_str("truncated WPP stream"),
+            RawWppError::TruncatedWord => f.write_str("WPP stream cut mid-word"),
             RawWppError::BadWord(w) => write!(f, "undecodable WPP word {w:#010x}"),
+            RawWppError::TruncatedFooter => f.write_str("WPP stream cut inside its footer"),
+            RawWppError::FooterMismatch { expected, actual } => write!(
+                f,
+                "WPP footer mismatch: stored CRC {expected:#010x}, computed {actual:#010x}"
+            ),
         }
     }
 }
 
-impl Error for RawWppError {}
+impl Error for RawWppError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RawWppError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RawWppError {
+    fn from(e: io::Error) -> RawWppError {
+        RawWppError::Io(e)
+    }
+}
+
+/// What [`RawWpp::read_salvage`] managed to keep from a damaged stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawSalvage {
+    /// The longest decodable event prefix.
+    pub wpp: RawWpp,
+    /// Whole words dropped from the tail (undecodable events; footer
+    /// words are not counted).
+    pub words_dropped: usize,
+    /// Trailing bytes dropped because the stream was cut mid-word.
+    pub bytes_dropped: usize,
+    /// Whether a footer was present and verified against the kept words.
+    pub footer_verified: bool,
+}
+
+impl RawSalvage {
+    /// Whether the stream was fully intact (requires a verified footer,
+    /// so legacy footer-less streams always report damage-unknown).
+    pub fn is_clean(&self) -> bool {
+        self.footer_verified && self.words_dropped == 0 && self.bytes_dropped == 0
+    }
+}
+
+/// How the trailing `WPPZ` footer of a stream presented itself.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum FooterState {
+    /// No footer: a legacy (pre-integrity) stream.
+    Absent,
+    /// Complete footer with the stored CRC32.
+    Full(u32),
+    /// The footer magic is present but the stream was cut before the CRC.
+    Partial,
+}
 
 impl RawWpp {
     /// Creates an empty WPP.
@@ -188,7 +271,16 @@ impl RawWpp {
         result
     }
 
-    /// Serializes the trace with a `WPP0` magic header.
+    /// The CRC32 of the encoded event words (what the `WPPZ` footer
+    /// stores).
+    fn words_crc(words: &[u32]) -> u32 {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        crc32(&bytes)
+    }
+
+    /// Serializes the trace with a `WPP0` magic header and a trailing
+    /// `WPPZ` footer (event count + CRC32), so interrupted writes are
+    /// detectable.
     ///
     /// # Errors
     ///
@@ -199,35 +291,116 @@ impl RawWpp {
         for w in &self.words {
             writer.write_all(&w.to_le_bytes())?;
         }
+        writer.write_all(&FOOTER_MAGIC)?;
+        writer.write_all(&(self.words.len() as u32).to_le_bytes())?;
+        writer.write_all(&RawWpp::words_crc(&self.words).to_le_bytes())?;
         Ok(())
     }
 
+    /// Splits a word stream into events and a footer state. A complete
+    /// footer is recognized only when the magic *and* the event count
+    /// line up, so a legacy footer-less stream is never misread; a footer
+    /// cut at a word boundary is detected so its magic is not mistaken
+    /// for an event.
+    fn split_footer(words: &[u32]) -> (&[u32], FooterState) {
+        let n = words.len();
+        if n >= FOOTER_WORDS
+            && words[n - 3] == FOOTER_WORD
+            && words[n - 2] as usize == n - FOOTER_WORDS
+        {
+            return (&words[..n - FOOTER_WORDS], FooterState::Full(words[n - 1]));
+        }
+        if n >= 2 && words[n - 2] == FOOTER_WORD && words[n - 1] as usize == n - 2 {
+            return (&words[..n - 2], FooterState::Partial);
+        }
+        if n >= 1 && words[n - 1] == FOOTER_WORD {
+            return (&words[..n - 1], FooterState::Partial);
+        }
+        (words, FooterState::Absent)
+    }
+
     /// Deserializes a trace previously written with [`RawWpp::write_to`].
+    /// The footer's CRC is verified when present; streams from before the
+    /// footer was introduced still load.
     ///
     /// # Errors
     ///
-    /// Returns a decoding error wrapped in `io::Error` for malformed input,
-    /// or propagates I/O errors from `reader`. A `&mut` reference can be
-    /// passed as the reader.
-    pub fn read_from<R: Read>(mut reader: R) -> io::Result<RawWpp> {
+    /// Returns a [`RawWppError`] for malformed input
+    /// ([`RawWppError::FooterMismatch`] when the trace was interrupted or
+    /// damaged after writing began) or I/O failures from `reader`. A
+    /// `&mut` reference can be passed as the reader.
+    pub fn read_from<R: Read>(mut reader: R) -> Result<RawWpp, RawWppError> {
         let mut magic = [0u8; 4];
         reader.read_exact(&mut magic)?;
         if magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, RawWppError::BadMagic));
+            return Err(RawWppError::BadMagic);
         }
         let mut bytes = Vec::new();
         reader.read_to_end(&mut bytes)?;
         if bytes.len() % 4 != 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                RawWppError::Truncated,
-            ));
+            return Err(RawWppError::TruncatedWord);
         }
         let words: Vec<u32> = bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        RawWpp::from_words(words).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let (events, footer) = RawWpp::split_footer(&words);
+        match footer {
+            FooterState::Full(expected) => {
+                let actual = RawWpp::words_crc(events);
+                if expected != actual {
+                    return Err(RawWppError::FooterMismatch { expected, actual });
+                }
+            }
+            FooterState::Partial => return Err(RawWppError::TruncatedFooter),
+            FooterState::Absent => {}
+        }
+        let events = events.to_vec();
+        RawWpp::from_words(events)
+    }
+
+    /// Reads a possibly damaged stream, keeping the longest decodable
+    /// event prefix instead of failing: trailing partial words, an
+    /// unverifiable footer and undecodable tail words are all dropped and
+    /// reported in the returned [`RawSalvage`].
+    ///
+    /// # Errors
+    ///
+    /// Only unusable input errors: a missing `WPP0` magic or an I/O
+    /// failure.
+    pub fn read_salvage<R: Read>(mut reader: R) -> Result<RawSalvage, RawWppError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(RawWppError::BadMagic);
+        }
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        let bytes_dropped = bytes.len() % 4;
+        let words: Vec<u32> = bytes[..bytes.len() - bytes_dropped]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let (events, footer) = RawWpp::split_footer(&words);
+        let footer_verified = matches!(
+            footer,
+            FooterState::Full(stored) if stored == RawWpp::words_crc(events)
+        );
+        // Keep the longest prefix of decodable events.
+        let keep = events
+            .iter()
+            .position(|w| WppEvent::decode(*w).is_none())
+            .unwrap_or(events.len());
+        let words_dropped = events.len() - keep;
+        let wpp = RawWpp {
+            words: events[..keep].to_vec(),
+        };
+        Ok(RawSalvage {
+            wpp,
+            words_dropped,
+            bytes_dropped,
+            footer_verified: footer_verified && words_dropped == 0,
+        })
     }
 }
 
@@ -260,6 +433,7 @@ impl fmt::Display for RawWpp {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -329,11 +503,90 @@ mod tests {
 
     #[test]
     fn read_rejects_bad_magic_and_truncation() {
-        assert!(RawWpp::read_from(&b"NOPE"[..]).is_err());
+        assert!(matches!(
+            RawWpp::read_from(&b"NOPE"[..]),
+            Err(RawWppError::BadMagic)
+        ));
         let mut buf = Vec::new();
         sample().write_to(&mut buf).unwrap();
         buf.pop();
-        assert!(RawWpp::read_from(&buf[..]).is_err());
+        assert!(matches!(
+            RawWpp::read_from(&buf[..]),
+            Err(RawWppError::TruncatedWord)
+        ));
+    }
+
+    #[test]
+    fn footer_detects_interrupted_writes() {
+        let wpp = sample();
+        let mut buf = Vec::new();
+        wpp.write_to(&mut buf).unwrap();
+        // Cut the CRC word: the footer magic is found but unverifiable.
+        let cut_crc = &buf[..buf.len() - 4];
+        assert!(matches!(
+            RawWpp::read_from(cut_crc),
+            Err(RawWppError::TruncatedFooter)
+        ));
+        // Cut the count and CRC words: same.
+        let cut_count = &buf[..buf.len() - 8];
+        assert!(matches!(
+            RawWpp::read_from(cut_count),
+            Err(RawWppError::TruncatedFooter)
+        ));
+        // Flip an event byte: the CRC no longer matches.
+        let mut flipped = buf.clone();
+        flipped[6] ^= 0x01;
+        assert!(matches!(
+            RawWpp::read_from(&flipped[..]),
+            Err(RawWppError::FooterMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_footerless_streams_still_load() {
+        let wpp = sample();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        for w in wpp.words() {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(RawWpp::read_from(&buf[..]).unwrap(), wpp);
+    }
+
+    #[test]
+    fn salvage_keeps_longest_decodable_prefix() {
+        let wpp = sample();
+        let mut buf = Vec::new();
+        wpp.write_to(&mut buf).unwrap();
+        // Intact stream salvages cleanly.
+        let s = RawWpp::read_salvage(&buf[..]).unwrap();
+        assert!(s.is_clean(), "{s:?}");
+        assert_eq!(s.wpp, wpp);
+        // Cut mid-word inside the events: partial word dropped, footer
+        // gone, the whole-event prefix survives.
+        let cut = &buf[..4 + 5 * 4 + 2];
+        let s = RawWpp::read_salvage(cut).unwrap();
+        assert!(!s.is_clean());
+        assert_eq!(s.bytes_dropped, 2);
+        assert_eq!(s.wpp.words(), &wpp.words()[..5]);
+        // An undecodable word in the middle truncates to before it.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&MAGIC);
+        for w in &wpp.words()[..3] {
+            bad.extend_from_slice(&w.to_le_bytes());
+        }
+        bad.extend_from_slice(&(3u32 << 30).to_le_bytes());
+        for w in &wpp.words()[3..] {
+            bad.extend_from_slice(&w.to_le_bytes());
+        }
+        let s = RawWpp::read_salvage(&bad[..]).unwrap();
+        assert_eq!(s.wpp.words(), &wpp.words()[..3]);
+        assert!(s.words_dropped > 0);
+        // Garbage without the magic is rejected outright.
+        assert!(matches!(
+            RawWpp::read_salvage(&b"JUNKJUNK"[..]),
+            Err(RawWppError::BadMagic)
+        ));
     }
 
     #[test]

@@ -74,6 +74,71 @@ proptest! {
     }
 
     #[test]
+    fn archive_recover_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Salvage over arbitrary byte soup: typed error or a report, never
+        // a panic, never unbounded allocation.
+        let _ = TwppArchive::recover(&bytes);
+    }
+
+    #[test]
+    fn raw_salvage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = RawWpp::read_salvage(&bytes[..]);
+    }
+
+    #[test]
+    fn recover_output_always_revalidates(
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..8),
+    ) {
+        // Whatever corruption hits a valid archive, recovery (the library
+        // half of `twpp fsck --repair`) either refuses or emits an archive
+        // that is itself clean — repairs converge in one pass.
+        let wpp = sample_wpp();
+        let compacted = compact(&wpp).unwrap();
+        let archive = TwppArchive::from_compacted(&compacted);
+        let mut bytes = archive.as_bytes().to_vec();
+        for (pos, val) in flips {
+            let len = bytes.len();
+            bytes[pos % len] ^= val;
+        }
+        if let Ok((salvaged, _)) = TwppArchive::recover(&bytes) {
+            let (_, report) = TwppArchive::recover(salvaged.as_bytes())
+                .expect("rebuilt archive must parse");
+            prop_assert!(report.is_clean(), "repair did not converge:\n{report}");
+        }
+    }
+
+    #[test]
+    fn corrupted_v2_archives_error_not_panic(
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 0..8),
+    ) {
+        // Legacy v2 archives (no checksums) keep working, and corrupted
+        // ones still never panic the strict or salvage decoders.
+        let wpp = sample_wpp();
+        let compacted = compact(&wpp).unwrap();
+        let names: std::collections::HashMap<_, _> = [
+            (twpp_repro::twpp_ir::FuncId::from_index(0), "main".to_owned()),
+            (twpp_repro::twpp_ir::FuncId::from_index(1), "f".to_owned()),
+        ]
+        .into_iter()
+        .collect();
+        let mut bytes = twpp_repro::twpp::archive::encode_v2_named(&compacted, &names);
+        let pristine = flips.is_empty();
+        for (pos, val) in flips {
+            let len = bytes.len();
+            bytes[pos % len] ^= val;
+        }
+        if let Ok(parsed) = TwppArchive::from_bytes(bytes.clone()) {
+            for func in parsed.function_ids() {
+                let _ = parsed.read_function(func);
+            }
+            let _ = parsed.read_dcg();
+        } else {
+            prop_assert!(!pristine, "clean v2 archive must parse");
+        }
+        let _ = TwppArchive::recover(&bytes);
+    }
+
+    #[test]
     fn corrupted_wpp_files_error_not_panic(
         flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..8),
     ) {

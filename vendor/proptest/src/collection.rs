@@ -1,0 +1,109 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Inclusive size bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let span = (self.max - self.min) as u64 + 1;
+        self.min + rng.below(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with sizes drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of `elem` values with length in `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut out = BTreeSet::new();
+        // Bounded attempts: if the element domain is smaller than the
+        // requested size we accept a smaller set (same as real proptest's
+        // behaviour of treating the size as a goal under a retry budget).
+        let mut attempts = 0usize;
+        let budget = target.saturating_mul(10) + 16;
+        while out.len() < target && attempts < budget {
+            out.insert(self.elem.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Generates ordered sets of `elem` values with target size in `size`.
+pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        elem,
+        size: size.into(),
+    }
+}

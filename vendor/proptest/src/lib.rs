@@ -1,0 +1,145 @@
+//! Minimal, dependency-free workalike of the `proptest` crate API surface
+//! used by this workspace.
+//!
+//! The build environment has no crates.io registry access, so the workspace
+//! vendors the thin slice of proptest it actually uses: `Strategy` with
+//! `prop_map`/`prop_flat_map`/`prop_recursive`/`boxed`, integer-range and
+//! tuple strategies, `Just`, `prop_oneof!`, `any::<T>()`,
+//! `prop::collection::{vec, btree_set}`, the `proptest!` macro (block and
+//! closure forms) and `prop_assert*!`.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case reports its deterministic case index
+//!   and panics with the original assertion message.
+//! - **Deterministic generation.** Case `i` of every test always sees the
+//!   same inputs (splitmix64 stream keyed by the case index), which makes
+//!   CI failures reproducible by construction.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-exports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors the `prop` namespace from `proptest::prelude` (`prop::collection::…`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Deterministic test RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of a deterministic run.
+    pub fn for_case(case: u64) -> Self {
+        // Fixed golden key so case streams are decorrelated.
+        TestRng {
+            state: case.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Non-fatal property assertion (no shrinking here, so it just asserts).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Union of strategies, uniform (or weighted) choice per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The main proptest entry macro. Supports the block form (with optional
+/// `#![proptest_config(..)]` inner attribute and `#[test]` fns whose
+/// arguments are `name in strategy` bindings) and the closure form
+/// `proptest!(config, |(a in strat, ...)| { .. })`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($cfg:expr, |($($arg:ident in $strat:expr),+ $(,)?)| $body:block) => {{
+        let __cfg = $cfg;
+        $crate::test_runner::run(&__cfg, |__rng| {
+            $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+            $body
+        });
+    }};
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            $crate::test_runner::run(&__cfg, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                $body
+            });
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}

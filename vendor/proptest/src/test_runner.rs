@@ -1,0 +1,42 @@
+//! Deterministic case runner.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::TestRng;
+
+/// Runner configuration (subset of real proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Runs `body` once per case with a deterministic per-case RNG. On panic,
+/// reports the failing case index (inputs are reproducible from it) and
+/// re-raises.
+pub fn run(config: &ProptestConfig, mut body: impl FnMut(&mut TestRng)) {
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(u64::from(case));
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest (vendored shim): property failed at deterministic case {case} of {}",
+                config.cases
+            );
+            resume_unwind(payload);
+        }
+    }
+}
