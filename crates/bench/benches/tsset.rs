@@ -70,9 +70,9 @@ fn bench(c: &mut Criterion) {
     });
 
     group.bench_function("encode_wire", |b| {
-        b.iter(|| std::hint::black_box(&ragged_set).to_wire().len())
+        b.iter(|| std::hint::black_box(&ragged_set).to_wire().unwrap().len())
     });
-    let wire = ragged_set.to_wire();
+    let wire = ragged_set.to_wire().unwrap();
     group.bench_function("decode_wire", |b| {
         b.iter(|| TsSet::from_wire(std::hint::black_box(&wire)).unwrap().len())
     });

@@ -2,14 +2,14 @@
 //!
 //! ```text
 //! tables [--scale <f>] [table1|table2|table3|table4|table5|table6|
-//!         figure8|figure9|figure10|figure12|all]
+//!         figure8|figure9|figure10|figure12|scaling|all]
 //! ```
 //!
 //! `--scale` multiplies the workload sizes (default 1.0; use 0.1 for a
 //! quick run). Figures 9/10/12 run the paper's example programs and take
 //! no scale.
 
-use twpp_bench::experiments::{figure10, figure12, figure9, Suite};
+use twpp_bench::experiments::{figure10, figure12, figure9, parallel_scaling, Suite};
 
 fn main() {
     let mut scale = 1.0f64;
@@ -76,6 +76,9 @@ fn main() {
     if wants("figure12") {
         println!("{}", figure12());
     }
+    if wants("scaling") {
+        println!("{}", parallel_scaling(scale));
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -83,7 +86,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: tables [--scale <f>] [table1..table6|figure8|figure9|figure10|figure12|all]"
+        "usage: tables [--scale <f>] [table1..table6|figure8|figure9|figure10|figure12|scaling|all]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -8,7 +8,9 @@
 
 use std::time::{Duration, Instant};
 
-use twpp::pipeline::{compact_with_stats, CompactedTwpp, PipelineStats};
+use twpp::pipeline::{
+    compact_with_stats, compact_with_stats_threads, CompactOptions, CompactedTwpp, PipelineStats,
+};
 use twpp::TwppArchive;
 use twpp_dataflow::dyncfg::DynCfg;
 use twpp_ir::cfg::FlowgraphSize;
@@ -389,6 +391,79 @@ impl Suite {
     }
 }
 
+/// Parallel compaction scaling: wall time of the full pipeline at 1, 2,
+/// 4, … worker threads on the largest workload, with per-stage timings
+/// from [`PipelineStats::timings`]. Output bytes are identical at every
+/// thread count (checked here); only the wall clock moves.
+pub fn parallel_scaling(scale: f64) -> String {
+    let spec = Profile::Gcc.spec().scaled(scale);
+    let workload = generate(&spec);
+    let wpp = &workload.wpp;
+
+    let hw = twpp::default_threads();
+    let mut counts = vec![1usize, 2, 4];
+    if hw > 4 {
+        counts.push(hw);
+    }
+    counts.dedup();
+
+    let mut t = Table::new(&[
+        "threads",
+        "wall (ms)",
+        "speedup",
+        "partition (ms)",
+        "dedup (ms)",
+        "per-func (ms)",
+        "DCG lzw (ms)",
+    ]);
+    let mut baseline: Option<(Duration, CompactedTwpp)> = None;
+    let mut out = String::from("Parallel compaction scaling (126.gcc workload)\n");
+    for &threads in &counts {
+        let options = CompactOptions::with_threads(threads);
+        // Median-of-3 to damp scheduler noise.
+        let mut best: Option<(Duration, CompactedTwpp, PipelineStats)> = None;
+        let mut samples = Vec::new();
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (compacted, stats) =
+                compact_with_stats_threads(wpp, options).expect("generated WPPs are well-formed");
+            let wall = start.elapsed();
+            samples.push(wall);
+            if best.as_ref().is_none_or(|(b, _, _)| wall < *b) {
+                best = Some((wall, compacted, stats));
+            }
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let (_, compacted, stats) = best.expect("three samples were taken");
+        match &baseline {
+            None => baseline = Some((median, compacted)),
+            Some((_, base_compacted)) => {
+                assert_eq!(
+                    &compacted, base_compacted,
+                    "parallel compaction diverged at {threads} threads"
+                );
+            }
+        }
+        let base = baseline.as_ref().map_or(median, |(b, _)| *b);
+        let speedup = base.as_secs_f64() / median.as_secs_f64().max(1e-9);
+        let tm = &stats.timings;
+        let nanos_ms = |n: u64| format!("{:.2}", n as f64 / 1e6);
+        t.row(vec![
+            threads.to_string(),
+            ms(median),
+            format!("{speedup:.2}x"),
+            nanos_ms(tm.partition_nanos),
+            nanos_ms(tm.dedup_nanos),
+            nanos_ms(tm.function_stage_nanos),
+            nanos_ms(tm.dcg_compress_nanos),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("(identical output bytes at every thread count; speedup is wall-clock)\n");
+    out
+}
+
 /// Figure 9: dynamic load redundancy on the paper's loop example.
 pub fn figure9() -> String {
     use twpp_dataflow::redundancy::{load_redundancy, loads_in};
@@ -630,6 +705,17 @@ mod tests {
             for name in ["099.go", "126.gcc", "130.li", "132.ijpeg", "134.perl"] {
                 assert!(table.contains(name), "{name} missing from:\n{table}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_scaling_renders_and_checks_determinism() {
+        let report = parallel_scaling(0.002);
+        assert!(report.contains("threads"), "{report}");
+        assert!(report.contains("speedup"), "{report}");
+        // Rows for at least the 1/2/4 thread counts.
+        for count in ["1", "2", "4"] {
+            assert!(report.contains(count), "{count} missing from:\n{report}");
         }
     }
 

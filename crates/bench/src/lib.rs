@@ -11,4 +11,4 @@
 pub mod experiments;
 pub mod fmt;
 
-pub use experiments::{BenchCase, Suite};
+pub use experiments::{parallel_scaling, BenchCase, Suite};

@@ -3,12 +3,17 @@
 //! ```text
 //! twpp run <prog.twl> [--input 1,2,3]
 //! twpp trace <prog.twl> -o <out.wpp> [--input 1,2,3]
-//! twpp compact <in.wpp> -o <out.twpa> [--program <prog.twl>]
+//! twpp compact <in.wpp> -o <out.twpa> [--program <prog.twl>] [--threads N] [--stats]
 //! twpp info <file.wpp|file.twpa>
 //! twpp query <file.twpa> <func-id-or-name>
-//! twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]]
+//! twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]] [--threads N]
 //! twpp sequitur <in.wpp>
 //! ```
+//!
+//! `--threads N` caps the worker pool used by the parallel compaction and
+//! verification stages (default: `TWPP_THREADS` or the machine's available
+//! parallelism). `--stats` adds per-stage wall time and worker utilisation
+//! to the `compact` report.
 
 use std::error::Error;
 use std::fmt;
@@ -16,7 +21,7 @@ use std::fs;
 use std::io::Write;
 use std::path::Path;
 
-use twpp::{compact_with_stats, TwppArchive};
+use twpp::{compact_with_stats_threads, CompactOptions, PipelineStats, TwppArchive};
 use twpp_ir::FuncId;
 use twpp_tracer::{run_traced, ExecLimits, RawWpp};
 
@@ -49,15 +54,19 @@ const USAGE: &str = "\
 usage:
   twpp run <prog.twl> [--input 1,2,3]       compile and execute a program
   twpp trace <prog.twl> -o <out.wpp>        collect its whole program path
-  twpp compact <in.wpp> -o <out.twpa> [--program <prog.twl>]
+  twpp compact <in.wpp> -o <out.twpa> [--program <prog.twl>] [--threads N] [--stats]
                                             compact a WPP into a TWPP archive
-                                            (--program embeds function names)
+                                            (--program embeds function names;
+                                            --stats prints stage timings)
   twpp info <file.wpp|file.twpa>            summarize a trace or archive
   twpp query <file.twpa> <func-id-or-name>  extract one function's traces
-  twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]]
+  twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]] [--threads N]
                                             verify checksums; --repair writes a
                                             salvaged copy of a damaged file
-  twpp sequitur <in.wpp>                    compress with the Sequitur baseline";
+  twpp sequitur <in.wpp>                    compress with the Sequitur baseline
+
+  --threads N caps the worker pool for compact/fsck (default: TWPP_THREADS
+  or the machine's available parallelism)";
 
 /// Parses `args` and executes the selected command, writing human-readable
 /// output to `out`.
@@ -72,6 +81,8 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
     let mut program_path: Option<&str> = None;
     let mut input: Vec<i64> = Vec::new();
     let mut repair = false;
+    let mut threads: Option<usize> = None;
+    let mut stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -102,6 +113,20 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                     .map_err(|e| CliError::Usage(format!("bad --input: {e}")))?;
             }
             "--repair" => repair = true,
+            "--stats" => stats = true,
+            "--threads" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--threads needs a count".into()))?;
+                let n = raw
+                    .parse::<usize>()
+                    .map_err(|e| CliError::Usage(format!("bad --threads: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--threads must be at least 1".into()));
+                }
+                threads = Some(n);
+            }
             "--help" | "-h" => {
                 writeln!(out, "{USAGE}").map_err(fail)?;
                 return Ok(());
@@ -123,11 +148,13 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                 Path::new(path),
                 Path::new(output),
                 program_path.map(Path::new),
+                threads,
+                stats,
                 out,
             )
         }
         ["info", path] => cmd_info(Path::new(path), out),
-        ["fsck", path] => cmd_fsck(Path::new(path), repair, output.map(Path::new), out),
+        ["fsck", path] => cmd_fsck(Path::new(path), repair, output.map(Path::new), threads, out),
         ["query", path, func] => cmd_query(Path::new(path), func, out),
         ["sequitur", path] => cmd_sequitur(Path::new(path), out),
         _ => Err(usage()),
@@ -190,21 +217,25 @@ fn cmd_compact(
     path: &Path,
     output: &Path,
     program_path: Option<&Path>,
+    threads: Option<usize>,
+    show_stats: bool,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let wpp = read_wpp(path)?;
-    let (compacted, stats) = compact_with_stats(&wpp).map_err(fail)?;
-    let archive = match program_path {
+    let options = CompactOptions { threads };
+    let (compacted, stats) = compact_with_stats_threads(&wpp, options).map_err(fail)?;
+    let resolved = twpp::resolve_threads(threads);
+    let names = match program_path {
         Some(src) => {
             let program = compile(src)?;
-            let names = program
+            program
                 .funcs()
                 .map(|(id, f)| (id, f.name().to_owned()))
-                .collect();
-            TwppArchive::from_compacted_named(&compacted, &names)
+                .collect()
         }
-        None => TwppArchive::from_compacted(&compacted),
+        None => std::collections::HashMap::new(),
     };
+    let archive = TwppArchive::from_compacted_named_with_threads(&compacted, &names, resolved);
     archive.save(output).map_err(fail)?;
     writeln!(out, "wrote {} ({} bytes)", output.display(), archive.byte_len()).map_err(fail)?;
     writeln!(out, "original WPP          : {:>10} bytes", stats.raw.total()).map_err(fail)?;
@@ -236,6 +267,46 @@ fn cmd_compact(
         stats.overall_factor()
     )
     .map_err(fail)?;
+    if show_stats {
+        write_stage_stats(&stats, out)?;
+    }
+    Ok(())
+}
+
+/// The `--stats` tail of `twpp compact`: per-stage wall time plus the
+/// worker utilisation of the parallel per-function stage.
+fn write_stage_stats(stats: &PipelineStats, out: &mut dyn Write) -> Result<(), CliError> {
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    let t = &stats.timings;
+    writeln!(out, "stage timings:").map_err(fail)?;
+    writeln!(out, "  partition        : {:>9.3} ms", ms(t.partition_nanos)).map_err(fail)?;
+    writeln!(out, "  dedup            : {:>9.3} ms", ms(t.dedup_nanos)).map_err(fail)?;
+    writeln!(
+        out,
+        "  per-function     : {:>9.3} ms",
+        ms(t.function_stage_nanos)
+    )
+    .map_err(fail)?;
+    writeln!(
+        out,
+        "  DCG compression  : {:>9.3} ms",
+        ms(t.dcg_compress_nanos)
+    )
+    .map_err(fail)?;
+    writeln!(out, "  total            : {:>9.3} ms", ms(t.total_nanos())).map_err(fail)?;
+    let w = &stats.workers;
+    writeln!(
+        out,
+        "workers: {} thread{} over {} function{}",
+        w.threads,
+        if w.threads == 1 { "" } else { "s" },
+        w.total_items(),
+        if w.total_items() == 1 { "" } else { "s" },
+    )
+    .map_err(fail)?;
+    for (id, items) in w.items_per_worker.iter().enumerate() {
+        writeln!(out, "  worker {id:>3}: {items:>6} items").map_err(fail)?;
+    }
     Ok(())
 }
 
@@ -283,12 +354,16 @@ fn cmd_fsck(
     path: &Path,
     repair: bool,
     output: Option<&Path>,
+    threads: Option<usize>,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let bytes = fs::read(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
     if bytes.starts_with(b"TWPA") {
-        let (archive, report) =
-            TwppArchive::recover(&bytes).map_err(|e| fail(format!("{}: {e}", path.display())))?;
+        let (archive, report) = TwppArchive::recover_with_threads(
+            &bytes,
+            twpp::resolve_threads(threads),
+        )
+        .map_err(|e| fail(format!("{}: {e}", path.display())))?;
         write!(out, "{report}").map_err(fail)?;
         if report.is_clean() {
             writeln!(out, "{}: clean", path.display()).map_err(fail)?;
@@ -587,6 +662,70 @@ mod tests {
         .unwrap();
         let output = run(&["fsck", fixed_wpp.to_str().unwrap()]).unwrap();
         assert!(output.contains("clean"), "{output}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_threads_and_stats_flags() {
+        let dir = temp_dir();
+        let src_path = dir.join("prog.twl");
+        fs::write(
+            &src_path,
+            "fn f(x) { if (x % 2 == 0) { print(x); } else { print(0 - x); } }
+             fn g(x) { print(x * 2); }
+             fn main() { let i = 0; while (i < 8) { f(i); g(i); i = i + 1; } }",
+        )
+        .unwrap();
+        let src = src_path.to_str().unwrap();
+        let wpp_path = dir.join("prog.wpp");
+        run(&["trace", src, "-o", wpp_path.to_str().unwrap()]).unwrap();
+
+        // `--stats` adds the timing/worker tail.
+        let arc1 = dir.join("one.twpa");
+        let output = run(&[
+            "compact",
+            wpp_path.to_str().unwrap(),
+            "-o",
+            arc1.to_str().unwrap(),
+            "--threads",
+            "1",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(output.contains("stage timings:"), "{output}");
+        assert!(output.contains("workers: 1 thread"), "{output}");
+
+        // Different thread counts write byte-identical archives.
+        let arc4 = dir.join("four.twpa");
+        run(&[
+            "compact",
+            wpp_path.to_str().unwrap(),
+            "-o",
+            arc4.to_str().unwrap(),
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(fs::read(&arc1).unwrap(), fs::read(&arc4).unwrap());
+
+        // fsck accepts --threads too.
+        let output = run(&["fsck", arc4.to_str().unwrap(), "--threads", "4"]).unwrap();
+        assert!(output.contains("clean"), "{output}");
+
+        // Bad values are usage errors.
+        assert!(matches!(
+            run(&["compact", wpp_path.to_str().unwrap(), "-o", "x", "--threads", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["compact", wpp_path.to_str().unwrap(), "-o", "x", "--threads"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["compact", wpp_path.to_str().unwrap(), "-o", "x", "--threads", "lots"]),
+            Err(CliError::Usage(_))
+        ));
 
         fs::remove_dir_all(&dir).ok();
     }

@@ -314,36 +314,47 @@ impl<W: Write> ArchiveWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the sink.
+    /// Propagates I/O errors from the sink and encoding errors from
+    /// out-of-domain timestamps.
     pub fn add_function(&mut self, fb: &FunctionBlock) -> Result<(), ArchiveError> {
-        let words = encode_region(fb);
-        let payload: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let frame = encode_frame(fb)?;
+        self.commit_frame(frame)
+    }
 
-        let mut head = Vec::with_capacity(FRAME_HEADER_LEN);
-        head.extend_from_slice(&FRAME_MAGIC);
-        push_u32(&mut head, fb.func.as_u32());
-        push_u32(&mut head, u32::try_from(fb.call_count).unwrap_or(u32::MAX));
-        push_u32(&mut head, fb.dicts.len() as u32);
-        push_u32(&mut head, fb.traces.len() as u32);
-        push_u32(&mut head, payload.len() as u32);
-        let mut h = Crc32::new();
-        h.update(&head[4..24]);
-        h.update(&payload);
-        let crc = h.finalize();
-        push_u32(&mut head, crc);
+    /// Appends many function frames, encoding and checksumming them on up
+    /// to `threads` workers while committing the bytes to the sink **in
+    /// input order** — the archive produced is byte-identical to calling
+    /// [`ArchiveWriter::add_function`] for each block sequentially,
+    /// because frame encoding is pure per function and only the commit
+    /// step touches the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink and encoding errors from
+    /// out-of-domain timestamps. On error, no frame at or after the
+    /// first failing block has been committed.
+    pub fn add_functions(
+        &mut self,
+        blocks: &[FunctionBlock],
+        threads: usize,
+    ) -> Result<(), ArchiveError> {
+        let frames = crate::par::map_indexed(blocks, threads, |_, fb| encode_frame(fb));
+        for frame in frames {
+            self.commit_frame(frame?)?;
+        }
+        Ok(())
+    }
 
-        self.sink.write_all(&head)?;
-        self.sink.write_all(&payload)?;
+    /// Writes an already-encoded frame to the sink and records its table
+    /// entry. Must be called in the intended function order.
+    fn commit_frame(&mut self, frame: EncodedFrame) -> Result<(), ArchiveError> {
+        self.sink.write_all(&frame.head)?;
+        self.sink.write_all(&frame.payload)?;
         self.table.push(TableEntry {
-            func: fb.func,
-            call_count: u32::try_from(fb.call_count).unwrap_or(u32::MAX),
-            n_dicts: fb.dicts.len() as u32,
-            n_traces: fb.traces.len() as u32,
             offset: self.data_len as u32,
-            byte_len: payload.len() as u32,
-            crc,
+            ..frame.entry
         });
-        self.data_len += FRAME_HEADER_LEN + payload.len();
+        self.data_len += FRAME_HEADER_LEN + frame.payload.len();
         Ok(())
     }
 
@@ -374,6 +385,52 @@ impl<W: Write> ArchiveWriter<W> {
         self.sink.flush()?;
         Ok(self.sink)
     }
+}
+
+/// One fully encoded, checksummed function frame awaiting commit to the
+/// sink. Produced by the pure [`encode_frame`] step so frame encoding can
+/// run on worker threads while commits stay sequential and ordered.
+struct EncodedFrame {
+    /// The 28-byte frame header (`TWPR` magic through frame CRC).
+    head: Vec<u8>,
+    /// The payload bytes the CRC covers together with `head[4..24]`.
+    payload: Vec<u8>,
+    /// Table entry for the footer; `offset` is filled in at commit time.
+    entry: TableEntry,
+}
+
+/// Encodes and checksums one function's frame without touching any sink —
+/// pure per function, hence safe to fan across worker threads.
+fn encode_frame(fb: &FunctionBlock) -> Result<EncodedFrame, ArchiveError> {
+    let words = encode_region(fb)?;
+    let payload: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+
+    let mut head = Vec::with_capacity(FRAME_HEADER_LEN);
+    head.extend_from_slice(&FRAME_MAGIC);
+    push_u32(&mut head, fb.func.as_u32());
+    push_u32(&mut head, u32::try_from(fb.call_count).unwrap_or(u32::MAX));
+    push_u32(&mut head, fb.dicts.len() as u32);
+    push_u32(&mut head, fb.traces.len() as u32);
+    push_u32(&mut head, payload.len() as u32);
+    let mut h = Crc32::new();
+    h.update(&head[4..24]);
+    h.update(&payload);
+    let crc = h.finalize();
+    push_u32(&mut head, crc);
+
+    Ok(EncodedFrame {
+        entry: TableEntry {
+            func: fb.func,
+            call_count: u32::try_from(fb.call_count).unwrap_or(u32::MAX),
+            n_dicts: fb.dicts.len() as u32,
+            n_traces: fb.traces.len() as u32,
+            offset: 0,
+            byte_len: payload.len() as u32,
+            crc,
+        },
+        head,
+        payload,
+    })
 }
 
 /// An encoded TWPP archive with a parsed function index.
@@ -417,14 +474,25 @@ impl TwppArchive {
     }
 
     /// Encodes a compacted TWPP in the current (v3) layout, embedding the
-    /// given function names so tools can query by name.
+    /// given function names so tools can query by name. Frame encoding
+    /// runs on [`crate::par::default_threads`] workers; the bytes are
+    /// identical to a single-threaded encode.
     pub fn from_compacted_named(c: &CompactedTwpp, names: &HashMap<FuncId, String>) -> TwppArchive {
+        TwppArchive::from_compacted_named_with_threads(c, names, crate::par::default_threads())
+    }
+
+    /// Like [`TwppArchive::from_compacted_named`] with an explicit worker
+    /// count for the frame-encoding stage. Output bytes do not depend on
+    /// `threads`.
+    pub fn from_compacted_named_with_threads(
+        c: &CompactedTwpp,
+        names: &HashMap<FuncId, String>,
+        threads: usize,
+    ) -> TwppArchive {
         let mut w = ArchiveWriter::new(Vec::new(), &c.dcg, names)
             .expect("writing to an in-memory buffer cannot fail");
-        for fb in &c.functions {
-            w.add_function(fb)
-                .expect("writing to an in-memory buffer cannot fail");
-        }
+        w.add_functions(&c.functions, threads)
+            .expect("pipeline-produced blocks always encode");
         let bytes = w
             .finish()
             .expect("writing to an in-memory buffer cannot fail");
@@ -540,6 +608,22 @@ impl TwppArchive {
     /// Only totally unusable input errors: a missing `TWPA` magic, an
     /// unsupported version, or fewer than 8 bytes.
     pub fn recover(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
+        TwppArchive::recover_with_threads(bytes, crate::par::default_threads())
+    }
+
+    /// Like [`TwppArchive::recover`] with an explicit worker count for the
+    /// per-frame checksum verification and decode stage. The report and
+    /// the rebuilt archive do not depend on `threads` — per-region
+    /// verification is pure and verdicts are assembled in the same order
+    /// the sequential walk would produce.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TwppArchive::recover`].
+    pub fn recover_with_threads(
+        bytes: &[u8],
+        threads: usize,
+    ) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
         if bytes.len() < 8 {
             return Err(ArchiveError::Truncated);
         }
@@ -547,8 +631,8 @@ impl TwppArchive {
             return Err(ArchiveError::BadMagic);
         }
         match read_u32(&bytes[4..8]) {
-            VERSION_V2 => recover_v2(bytes),
-            VERSION => recover_v3(bytes),
+            VERSION_V2 => recover_v2(bytes, threads),
+            VERSION => recover_v3(bytes, threads),
             v => Err(ArchiveError::BadVersion(v)),
         }
     }
@@ -835,7 +919,15 @@ fn read_function_from_file_v3(
 
 /// Encodes a compacted TWPP in the **legacy v2 layout**. Retained so the
 /// v2 decode path stays exercised and older readers can be fed.
-pub fn encode_v2_named(c: &CompactedTwpp, names: &HashMap<FuncId, String>) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns [`ArchiveError::Trace`] if a timestamp set holds values the
+/// wire encoding cannot represent (never the case for pipeline output).
+pub fn encode_v2_named(
+    c: &CompactedTwpp,
+    names: &HashMap<FuncId, String>,
+) -> Result<Vec<u8>, ArchiveError> {
     // Compress the DCG.
     let dcg_words = c.dcg.to_words();
     let dcg_bytes: Vec<u8> = dcg_words.iter().flat_map(|w| w.to_le_bytes()).collect();
@@ -847,7 +939,7 @@ pub fn encode_v2_named(c: &CompactedTwpp, names: &HashMap<FuncId, String>) -> Ve
     let mut table: Vec<TableEntry> = Vec::with_capacity(c.functions.len());
     let mut offset = 0u32;
     for fb in &c.functions {
-        let words = encode_region(fb);
+        let words = encode_region(fb)?;
         let byte_len = (words.len() * 4) as u32;
         table.push(TableEntry {
             func: fb.func,
@@ -900,7 +992,7 @@ pub fn encode_v2_named(c: &CompactedTwpp, names: &HashMap<FuncId, String>) -> Ve
             push_u32(&mut bytes, *w);
         }
     }
-    bytes
+    Ok(bytes)
 }
 
 fn push_u32(bytes: &mut Vec<u8>, w: u32) {
@@ -1234,77 +1326,115 @@ fn check_frame(
     }
 }
 
-/// Scans `bytes[from..limit]` for intact frames at 4-byte alignment; used
-/// when the footer is missing or corrupt. Each candidate frame must pass
-/// its checksum to be admitted, so a corrupted frame causes a resync
-/// rather than garbage.
-fn scan_frames(bytes: &[u8], from: usize) -> (Vec<FunctionVerdict>, Vec<FunctionRecord>) {
+/// One verified frame candidate from the recovery scan: the verdict the
+/// sequential walk would emit if it stops at this offset, the decoded
+/// record (for `Ok` frames), and how far the walk advances afterwards.
+struct FrameCandidate {
+    verdict: FunctionVerdict,
+    record: Option<FunctionRecord>,
+    advance: usize,
+}
+
+/// Verifies one `TWPR` candidate at `pos` — pure per offset, so candidates
+/// can be checked on worker threads. The caller guarantees
+/// `bytes[pos..pos + 4] == FRAME_MAGIC` and a full header fits.
+fn verify_frame_candidate(bytes: &[u8], pos: usize) -> FrameCandidate {
+    let func = FuncId::from_u32(read_u32(&bytes[pos + 4..pos + 8]));
+    let payload_len = read_u32(&bytes[pos + 20..pos + 24]) as usize;
+    let verdict = |status: RegionStatus| FunctionVerdict {
+        func,
+        offset: pos,
+        byte_len: payload_len,
+        status,
+    };
+    let sane = payload_len.is_multiple_of(4) && payload_len <= bytes.len() - pos - FRAME_HEADER_LEN;
+    if !sane {
+        return FrameCandidate {
+            verdict: verdict(RegionStatus::Truncated),
+            record: None,
+            advance: 4,
+        };
+    }
+    let e = TableEntry {
+        func,
+        call_count: read_u32(&bytes[pos + 8..pos + 12]),
+        n_dicts: read_u32(&bytes[pos + 12..pos + 16]),
+        n_traces: read_u32(&bytes[pos + 16..pos + 20]),
+        offset: 0,
+        byte_len: payload_len as u32,
+        crc: read_u32(&bytes[pos + 24..pos + 28]),
+    };
+    let payload = &bytes[pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + payload_len];
+    let mut h = Crc32::new();
+    h.update(&bytes[pos + 4..pos + 24]);
+    h.update(payload);
+    if h.finalize() != e.crc {
+        return FrameCandidate {
+            verdict: verdict(RegionStatus::BadChecksum),
+            record: None,
+            advance: 4,
+        };
+    }
+    match decode_region(e, payload) {
+        Ok(r) => FrameCandidate {
+            verdict: verdict(RegionStatus::Ok),
+            record: Some(r),
+            advance: FRAME_HEADER_LEN + payload_len,
+        },
+        Err(err) => FrameCandidate {
+            verdict: verdict(RegionStatus::Undecodable(err.to_string())),
+            record: None,
+            advance: FRAME_HEADER_LEN + payload_len,
+        },
+    }
+}
+
+/// Scans `bytes[from..]` for intact frames at 4-byte alignment; used when
+/// the footer is missing or corrupt. Each candidate frame must pass its
+/// checksum to be admitted, so a corrupted frame causes a resync rather
+/// than garbage.
+///
+/// Candidate verification (checksum + decode) is pure per offset and fans
+/// across up to `threads` workers; a sequential resync walk then consumes
+/// the precomputed results, so the verdict list and record order are
+/// byte-identical to a single-threaded scan.
+fn scan_frames(
+    bytes: &[u8],
+    from: usize,
+    threads: usize,
+) -> (Vec<FunctionVerdict>, Vec<FunctionRecord>) {
+    let start = from.div_ceil(4) * 4;
+    // Phase 1: find every aligned `TWPR` magic with room for a header.
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut pos = start;
+    while pos + FRAME_HEADER_LEN <= bytes.len() {
+        if bytes[pos..pos + 4] == FRAME_MAGIC {
+            candidates.push(pos);
+        }
+        pos += 4;
+    }
+    // Phase 2: verify + decode candidates in parallel (pure per offset).
+    let mut verified =
+        crate::par::map_indexed(&candidates, threads, |_, &p| verify_frame_candidate(bytes, p));
+    let index_of: HashMap<usize, usize> =
+        candidates.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    // Phase 3: the sequential resync walk. Frame advances are multiples
+    // of 4 (header is 28 bytes, payloads are word-aligned), so the walk
+    // only ever lands on aligned offsets covered by phase 1.
     let mut verdicts = Vec::new();
     let mut records = Vec::new();
-    let mut pos = from.div_ceil(4) * 4;
+    let mut pos = start;
     while pos + FRAME_HEADER_LEN <= bytes.len() {
-        if bytes[pos..pos + 4] != FRAME_MAGIC {
+        let Some(&i) = index_of.get(&pos) else {
             pos += 4;
             continue;
-        }
-        let func = FuncId::from_u32(read_u32(&bytes[pos + 4..pos + 8]));
-        let payload_len = read_u32(&bytes[pos + 20..pos + 24]) as usize;
-        let offset = pos;
-        let sane = payload_len.is_multiple_of(4)
-            && payload_len <= bytes.len() - pos - FRAME_HEADER_LEN;
-        if !sane {
-            verdicts.push(FunctionVerdict {
-                func,
-                offset,
-                byte_len: payload_len,
-                status: RegionStatus::Truncated,
-            });
-            pos += 4;
-            continue;
-        }
-        let e = TableEntry {
-            func,
-            call_count: read_u32(&bytes[pos + 8..pos + 12]),
-            n_dicts: read_u32(&bytes[pos + 12..pos + 16]),
-            n_traces: read_u32(&bytes[pos + 16..pos + 20]),
-            offset: 0,
-            byte_len: payload_len as u32,
-            crc: read_u32(&bytes[pos + 24..pos + 28]),
         };
-        let payload = &bytes[pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + payload_len];
-        let mut h = Crc32::new();
-        h.update(&bytes[pos + 4..pos + 24]);
-        h.update(payload);
-        if h.finalize() != e.crc {
-            verdicts.push(FunctionVerdict {
-                func,
-                offset,
-                byte_len: payload_len,
-                status: RegionStatus::BadChecksum,
-            });
-            pos += 4;
-            continue;
+        let c = &mut verified[i];
+        verdicts.push(c.verdict.clone());
+        if let Some(r) = c.record.take() {
+            records.push(r);
         }
-        match decode_region(e, payload) {
-            Ok(r) => {
-                verdicts.push(FunctionVerdict {
-                    func,
-                    offset,
-                    byte_len: payload_len,
-                    status: RegionStatus::Ok,
-                });
-                records.push(r);
-            }
-            Err(err) => {
-                verdicts.push(FunctionVerdict {
-                    func,
-                    offset,
-                    byte_len: payload_len,
-                    status: RegionStatus::Undecodable(err.to_string()),
-                });
-            }
-        }
-        pos += FRAME_HEADER_LEN + payload_len;
+        pos += c.advance;
     }
     (verdicts, records)
 }
@@ -1320,8 +1450,10 @@ fn rebuild(
         .expect("writing to an in-memory buffer cannot fail");
     for r in records {
         if seen.insert(r.func) {
+            // Decoded records always re-encode: their trace lengths were
+            // bounded by `MAX_DECODED_LEN` (< i32::MAX) during salvage.
             w.add_function(&r.into_block())
-                .expect("writing to an in-memory buffer cannot fail");
+                .expect("salvaged records always re-encode");
         }
     }
     let bytes = w
@@ -1330,7 +1462,7 @@ fn rebuild(
     TwppArchive::from_bytes(bytes).expect("rebuilt archive must parse")
 }
 
-fn recover_v3(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
+fn recover_v3(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
     let mut report = RecoveryReport {
         version: VERSION,
         total_bytes: bytes.len(),
@@ -1383,9 +1515,14 @@ fn recover_v3(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveErro
     let records = match footer_table {
         Some((table, footer_start)) => {
             report.committed = true;
+            // Per-entry verification is pure: fan the checksum + decode
+            // work across workers, then fold verdicts in table order so
+            // the report matches the sequential walk exactly.
+            let checked = crate::par::map_indexed(&table, threads, |_, &e| {
+                check_frame(bytes, data_start, footer_start, e)
+            });
             let mut records = Vec::new();
-            for e in table {
-                let (status, record) = check_frame(bytes, data_start, footer_start, e);
+            for (e, (status, record)) in table.iter().zip(checked) {
                 if let Some(r) = record {
                     report.salvaged_bytes += e.byte_len as usize;
                     records.push(r);
@@ -1400,7 +1537,7 @@ fn recover_v3(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveErro
             records
         }
         None => {
-            let (verdicts, records) = scan_frames(bytes, scan_from);
+            let (verdicts, records) = scan_frames(bytes, scan_from, threads);
             report.salvaged_bytes += verdicts
                 .iter()
                 .filter(|v| v.status.is_ok())
@@ -1414,7 +1551,7 @@ fn recover_v3(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveErro
     Ok((rebuild(dcg, &names, records), report))
 }
 
-fn recover_v2(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
+fn recover_v2(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
     let (table, names_vec, dcg_comp_len, data_start) = parse_header_v2(bytes)?;
     let mut report = RecoveryReport {
         version: VERSION_V2,
@@ -1441,22 +1578,26 @@ fn recover_v2(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveErro
         .zip(&names_vec)
         .filter_map(|(e, n)| n.clone().map(|n| (e.func, n)))
         .collect();
-    let mut records = Vec::new();
-    for e in &table {
+    // v2 regions are independent: decode them in parallel, then fold the
+    // verdicts in table order.
+    let decoded = crate::par::map_indexed(&table, threads, |_, e| {
         let start = data_start + e.offset as usize;
         let end = start.saturating_add(e.byte_len as usize);
-        let status = if end > bytes.len() {
-            RegionStatus::Truncated
+        if end > bytes.len() {
+            (RegionStatus::Truncated, None)
         } else {
             match decode_region(*e, &bytes[start..end]) {
-                Ok(r) => {
-                    report.salvaged_bytes += e.byte_len as usize;
-                    records.push(r);
-                    RegionStatus::Ok
-                }
-                Err(err) => RegionStatus::Undecodable(err.to_string()),
+                Ok(r) => (RegionStatus::Ok, Some(r)),
+                Err(err) => (RegionStatus::Undecodable(err.to_string()), None),
             }
-        };
+        }
+    });
+    let mut records = Vec::new();
+    for (e, (status, record)) in table.iter().zip(decoded) {
+        if let Some(r) = record {
+            report.salvaged_bytes += e.byte_len as usize;
+            records.push(r);
+        }
         report.functions.push(FunctionVerdict {
             func: e.func,
             offset: data_start + e.offset as usize,
@@ -1474,7 +1615,11 @@ fn recover_v2(bytes: &[u8]) -> Result<(TwppArchive, RecoveryReport), ArchiveErro
 /// Encodes one function's region:
 /// dictionaries (`n_chains, (head, len, blocks…)*` each) followed by traces
 /// (`dict_idx` + timestamped words each).
-fn encode_region(fb: &FunctionBlock) -> Vec<u32> {
+///
+/// Fails only when a timestamped trace holds timestamps outside the wire
+/// encoding's `i32` domain — impossible for pipeline-produced blocks,
+/// whose trace lengths are asserted `<= i32::MAX` at construction.
+fn encode_region(fb: &FunctionBlock) -> Result<Vec<u32>, ArchiveError> {
     let mut words = Vec::new();
     for dict in &fb.dicts {
         words.push(dict.len() as u32);
@@ -1486,9 +1631,9 @@ fn encode_region(fb: &FunctionBlock) -> Vec<u32> {
     }
     for (dict_idx, tt) in &fb.traces {
         words.push(*dict_idx);
-        words.extend(tt.to_words());
+        words.extend(tt.to_words()?);
     }
-    words
+    Ok(words)
 }
 
 fn decode_region(e: TableEntry, region: &[u8]) -> Result<FunctionRecord, ArchiveError> {
@@ -1699,7 +1844,7 @@ mod tests {
     fn v2_archives_are_still_readable() {
         let c = compact(&sample_wpp()).unwrap();
         let names = sample_names();
-        let v2 = encode_v2_named(&c, &names);
+        let v2 = encode_v2_named(&c, &names).unwrap();
         let a = TwppArchive::from_bytes(v2).unwrap();
         assert_eq!(a.version(), VERSION_V2);
         assert_eq!(a.to_compacted().unwrap(), c);
@@ -1819,7 +1964,7 @@ mod tests {
     #[test]
     fn recover_v2_salvages_decodable_regions() {
         let c = compact(&sample_wpp()).unwrap();
-        let v2 = encode_v2_named(&c, &sample_names());
+        let v2 = encode_v2_named(&c, &sample_names()).unwrap();
         let (salvaged, report) = TwppArchive::recover(&v2).unwrap();
         assert!(report.is_clean());
         assert_eq!(report.version, VERSION_V2);

@@ -55,15 +55,23 @@ impl RedundancyStats {
 /// Eliminates duplicate path traces in place, remapping the DCG's trace
 /// indices onto the surviving unique traces (first-seen order is kept).
 ///
+/// Runs the per-function scans on [`crate::par::default_threads`]
+/// workers; the result does not depend on the worker count.
+///
 /// Returns per-function call/unique-trace counts.
 pub fn eliminate_redundancy(part: &mut PartitionedWpp) -> RedundancyStats {
-    // Unique traces per function, in first-seen order.
-    let mut unique: BTreeMap<FuncId, Vec<PathTrace>> = BTreeMap::new();
-    // Old trace index -> new trace index, per function.
-    let mut remap: HashMap<FuncId, Vec<u32>> = HashMap::new();
-    let mut per_func: BTreeMap<FuncId, (u64, u64)> = BTreeMap::new();
+    eliminate_redundancy_threads(part, crate::par::default_threads())
+}
 
-    for (&func, traces) in &part.traces {
+/// Like [`eliminate_redundancy`] with an explicit worker count.
+///
+/// Duplicate detection never crosses function boundaries, so each
+/// function's scan runs independently on the pool; the sequential epilogue
+/// folds results in function order and remaps the DCG, making the output
+/// identical for every `threads` value.
+pub fn eliminate_redundancy_threads(part: &mut PartitionedWpp, threads: usize) -> RedundancyStats {
+    let entries: Vec<(&FuncId, &Vec<PathTrace>)> = part.traces.iter().collect();
+    let scanned = crate::par::map_indexed(&entries, threads, |_, &(&func, traces)| {
         let mut seen: HashMap<&PathTrace, u32> = HashMap::new();
         let mut keep: Vec<PathTrace> = Vec::new();
         let mut map = Vec::with_capacity(traces.len());
@@ -75,7 +83,16 @@ pub fn eliminate_redundancy(part: &mut PartitionedWpp) -> RedundancyStats {
             }
             map.push(idx);
         }
-        per_func.insert(func, (traces.len() as u64, keep.len() as u64));
+        (func, traces.len() as u64, keep, map)
+    });
+
+    // Unique traces per function, in first-seen order.
+    let mut unique: BTreeMap<FuncId, Vec<PathTrace>> = BTreeMap::new();
+    // Old trace index -> new trace index, per function.
+    let mut remap: HashMap<FuncId, Vec<u32>> = HashMap::new();
+    let mut per_func: BTreeMap<FuncId, (u64, u64)> = BTreeMap::new();
+    for (func, calls, keep, map) in scanned {
+        per_func.insert(func, (calls, keep.len() as u64));
         unique.insert(func, keep);
         remap.insert(func, map);
     }

@@ -31,6 +31,7 @@ pub mod dbb;
 pub mod dcg;
 pub mod dedup;
 pub mod lzw;
+pub mod par;
 pub mod partition;
 pub mod pipeline;
 pub mod recovery;
@@ -41,9 +42,13 @@ pub mod tsset;
 pub use archive::{ArchiveError, ArchiveWriter, FunctionRecord, TwppArchive};
 pub use dbb::{compact_trace, CompactedTrace, DbbDictionary};
 pub use dcg::{Dcg, DcgNode, DcgNodeId};
-pub use dedup::{eliminate_redundancy, RedundancyStats};
+pub use dedup::{eliminate_redundancy, eliminate_redundancy_threads, RedundancyStats};
+pub use par::{default_threads, resolve_threads, WorkerReport};
 pub use partition::{partition, PartitionError, PartitionedWpp};
-pub use pipeline::{compact, compact_with_stats, CompactedTwpp, PipelineStats};
+pub use pipeline::{
+    compact, compact_with_stats, compact_with_stats_threads, CompactOptions, CompactedTwpp,
+    PipelineStats, StageTimings,
+};
 pub use recovery::{FunctionVerdict, RecoveryReport, RegionStatus};
 pub use timestamped::TimestampedTrace;
 pub use trace::PathTrace;

@@ -4,6 +4,7 @@
 #![deny(clippy::unwrap_used)]
 
 use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
 use twpp_ir::FuncId;
 use twpp_tracer::raw::RawSizes;
@@ -11,8 +12,9 @@ use twpp_tracer::RawWpp;
 
 use crate::dbb::{compact_trace, DbbDictionary};
 use crate::dcg::Dcg;
-use crate::dedup::{eliminate_redundancy, RedundancyStats};
+use crate::dedup::{eliminate_redundancy_threads, RedundancyStats};
 use crate::lzw;
+use crate::par::{self, WorkerReport};
 use crate::partition::{partition, PartitionError, PartitionedWpp};
 use crate::timestamped::TimestampedTrace;
 use crate::trace::PathTrace;
@@ -136,6 +138,50 @@ impl CompactedTwpp {
     }
 }
 
+/// Options controlling how the compaction pipeline executes. The options
+/// affect only scheduling, never the bytes produced.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct CompactOptions {
+    /// Worker count for the per-function stages. `None` resolves through
+    /// [`crate::par::resolve_threads`]: the `TWPP_THREADS` environment
+    /// variable if set, otherwise the hardware's parallelism.
+    pub threads: Option<usize>,
+}
+
+impl CompactOptions {
+    /// Options pinning an explicit worker count.
+    pub fn with_threads(threads: usize) -> CompactOptions {
+        CompactOptions {
+            threads: Some(threads),
+        }
+    }
+}
+
+/// Wall-clock nanoseconds spent in each pipeline stage, surfaced by the
+/// CLI's `--stats` output and the bench crate's scaling experiment.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct StageTimings {
+    /// Stage 1: partitioning the WPP into per-call traces + DCG.
+    pub partition_nanos: u64,
+    /// Stage 2: redundant path trace elimination.
+    pub dedup_nanos: u64,
+    /// Stages 3+4: DBB dictionaries and TWPP inversion (the parallel
+    /// per-function stage).
+    pub function_stage_nanos: u64,
+    /// Stage 5: LZW compression of the serialized DCG.
+    pub dcg_compress_nanos: u64,
+}
+
+impl StageTimings {
+    /// Sum of all recorded stage times.
+    pub fn total_nanos(&self) -> u64 {
+        self.partition_nanos
+            .saturating_add(self.dedup_nanos)
+            .saturating_add(self.function_stage_nanos)
+            .saturating_add(self.dcg_compress_nanos)
+    }
+}
+
 /// Per-stage size accounting for one WPP, in bytes. Produces the rows of
 /// Tables 1–3.
 #[derive(Clone, PartialEq, Debug)]
@@ -160,6 +206,10 @@ pub struct PipelineStats {
     pub dcg_compressed_bytes: usize,
     /// Per-function call/unique-trace counts (Figure 8).
     pub redundancy: RedundancyStats,
+    /// Wall-clock time spent in each stage.
+    pub timings: StageTimings,
+    /// How the parallel per-function stage spread over workers.
+    pub workers: WorkerReport,
 }
 
 impl PipelineStats {
@@ -196,7 +246,10 @@ impl PipelineStats {
     }
 }
 
-fn ratio(a: usize, b: usize) -> f64 {
+/// Size ratio `a / b` with the divide-by-zero convention used by every
+/// compaction factor: an empty denominator yields `+∞` (compaction of
+/// something into nothing), and `0 / 0` is also `+∞` by that rule.
+pub fn ratio(a: usize, b: usize) -> f64 {
     if b == 0 {
         f64::INFINITY
     } else {
@@ -204,7 +257,8 @@ fn ratio(a: usize, b: usize) -> f64 {
     }
 }
 
-/// Runs the full compaction pipeline.
+/// Runs the full compaction pipeline on the default worker count
+/// (`TWPP_THREADS` if set, otherwise the hardware's parallelism).
 ///
 /// # Errors
 ///
@@ -213,49 +267,61 @@ pub fn compact(wpp: &RawWpp) -> Result<CompactedTwpp, PartitionError> {
     compact_with_stats(wpp).map(|(c, _)| c)
 }
 
-/// Runs the full compaction pipeline, also returning per-stage statistics.
+/// Runs the full compaction pipeline, also returning per-stage statistics,
+/// on the default worker count.
 ///
 /// # Errors
 ///
 /// Returns a [`PartitionError`] if the event stream is malformed.
 pub fn compact_with_stats(wpp: &RawWpp) -> Result<(CompactedTwpp, PipelineStats), PartitionError> {
+    compact_with_stats_threads(wpp, CompactOptions::default())
+}
+
+/// Runs the full compaction pipeline with explicit [`CompactOptions`].
+///
+/// The per-function stages — redundancy elimination, DBB dictionary
+/// building, TWPP inversion and timestamp-series compaction — never cross
+/// function boundaries, so they fan across the worker pool; results are
+/// folded in function order, making the output **byte-identical for every
+/// thread count** (property-tested in `tests/parallel.rs`).
+///
+/// # Errors
+///
+/// Returns a [`PartitionError`] if the event stream is malformed.
+pub fn compact_with_stats_threads(
+    wpp: &RawWpp,
+    options: CompactOptions,
+) -> Result<(CompactedTwpp, PipelineStats), PartitionError> {
+    let threads = par::resolve_threads(options.threads);
     let raw = wpp.size_breakdown();
 
     // Stage 1: partition into path traces + DCG.
+    let started = Instant::now();
     let mut part = partition(wpp)?;
+    let partition_nanos = elapsed_nanos(started);
     let owpp_trace_bytes = part.trace_bytes();
 
-    // Stage 2: redundant path trace elimination.
-    let redundancy = eliminate_redundancy(&mut part);
+    // Stage 2: redundant path trace elimination (per-function, parallel).
+    let started = Instant::now();
+    let redundancy = eliminate_redundancy_threads(&mut part, threads);
+    let dedup_nanos = elapsed_nanos(started);
     let after_dedup_bytes = part.trace_bytes();
 
-    // Stage 3 + 4: DBB dictionaries, then the TWPP inversion, per function.
+    // Stage 3 + 4: DBB dictionaries, then the TWPP inversion, per
+    // function. Each function's work is independent: fan it across the
+    // pool and fold the results in function order.
+    let started = Instant::now();
     let call_counts: HashMap<FuncId, u64> = part.dcg.call_counts().into_iter().collect();
+    let entries: Vec<(&FuncId, &Vec<PathTrace>)> = part.traces.iter().collect();
+    let (built, workers) = par::map_indexed_report(&entries, threads, |_, &(&func, traces)| {
+        build_function_block(func, traces, &call_counts)
+    });
     let mut after_dict_bytes = 0usize;
-    let mut functions: Vec<FunctionBlock> = Vec::with_capacity(part.traces.len());
-    for (&func, traces) in &part.traces {
-        let mut dicts: Vec<DbbDictionary> = Vec::new();
-        let mut dict_index: HashMap<Vec<u8>, u32> = HashMap::new();
-        let mut tts: Vec<(u32, TimestampedTrace)> = Vec::with_capacity(traces.len());
-        for trace in traces {
-            let compacted = compact_trace(trace);
-            after_dict_bytes += compacted.trace.byte_size();
-            // Deduplicate identical dictionaries via their debug-stable key.
-            let key = dict_key(&compacted.dictionary);
-            let next = u32::try_from(dicts.len())
-                .map_err(|_| PartitionError::LimitExceeded("dictionary count exceeds u32"))?;
-            let idx = *dict_index.entry(key).or_insert(next);
-            if idx == next {
-                dicts.push(compacted.dictionary);
-            }
-            tts.push((idx, TimestampedTrace::from_path_trace(&compacted.trace)));
-        }
-        functions.push(FunctionBlock {
-            func,
-            call_count: call_counts.get(&func).copied().unwrap_or(0),
-            dicts,
-            traces: tts,
-        });
+    let mut functions: Vec<FunctionBlock> = Vec::with_capacity(built.len());
+    for r in built {
+        let (fb, dict_trace_bytes) = r?;
+        after_dict_bytes += dict_trace_bytes;
+        functions.push(fb);
     }
     // Most frequently called functions first (ties broken by id for
     // determinism).
@@ -264,11 +330,14 @@ pub fn compact_with_stats(wpp: &RawWpp) -> Result<(CompactedTwpp, PipelineStats)
             .cmp(&a.call_count)
             .then(a.func.cmp(&b.func))
     });
+    let function_stage_nanos = elapsed_nanos(started);
 
     // Stage 5: DCG compression.
+    let started = Instant::now();
     let dcg_words = part.dcg.to_words();
     let dcg_bytes: Vec<u8> = dcg_words.iter().flat_map(|w| w.to_le_bytes()).collect();
     let dcg_compressed_bytes = lzw::compressed_size(&dcg_bytes);
+    let dcg_compress_nanos = elapsed_nanos(started);
 
     let compacted = CompactedTwpp {
         dcg: part.dcg,
@@ -284,8 +353,57 @@ pub fn compact_with_stats(wpp: &RawWpp) -> Result<(CompactedTwpp, PipelineStats)
         dcg_raw_bytes: dcg_bytes.len(),
         dcg_compressed_bytes,
         redundancy,
+        timings: StageTimings {
+            partition_nanos,
+            dedup_nanos,
+            function_stage_nanos,
+            dcg_compress_nanos,
+        },
+        workers,
     };
     Ok((compacted, stats))
+}
+
+/// Builds one function's [`FunctionBlock`] — DBB dictionary creation, the
+/// TWPP inversion and timestamp-series compaction. Pure per function,
+/// hence safe to run on worker threads. Also returns the function's
+/// post-dictionary trace bytes (the Table 2 column 2 contribution).
+fn build_function_block(
+    func: FuncId,
+    traces: &[PathTrace],
+    call_counts: &HashMap<FuncId, u64>,
+) -> Result<(FunctionBlock, usize), PartitionError> {
+    let mut after_dict_bytes = 0usize;
+    let mut dicts: Vec<DbbDictionary> = Vec::new();
+    let mut dict_index: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut tts: Vec<(u32, TimestampedTrace)> = Vec::with_capacity(traces.len());
+    for trace in traces {
+        let compacted = compact_trace(trace);
+        after_dict_bytes += compacted.trace.byte_size();
+        // Deduplicate identical dictionaries via their debug-stable key.
+        let key = dict_key(&compacted.dictionary);
+        let next = u32::try_from(dicts.len())
+            .map_err(|_| PartitionError::LimitExceeded("dictionary count exceeds u32"))?;
+        let idx = *dict_index.entry(key).or_insert(next);
+        if idx == next {
+            dicts.push(compacted.dictionary);
+        }
+        tts.push((idx, TimestampedTrace::from_path_trace(&compacted.trace)));
+    }
+    Ok((
+        FunctionBlock {
+            func,
+            call_count: call_counts.get(&func).copied().unwrap_or(0),
+            dicts,
+            traces: tts,
+        },
+        after_dict_bytes,
+    ))
+}
+
+/// Elapsed nanoseconds since `started`, saturating at `u64::MAX`.
+fn elapsed_nanos(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// A canonical byte key for dictionary deduplication.
@@ -355,7 +473,7 @@ mod tests {
         let (_, tt) = &fb.traces[0];
         let ts = tt.ts_of(BlockId::new(2)).unwrap();
         assert_eq!(ts.to_string(), "{2:4}");
-        assert_eq!(ts.to_wire(), vec![2, -4]);
+        assert_eq!(ts.to_wire().unwrap(), vec![2, -4]);
 
         // The pipeline is lossless end to end.
         assert_eq!(c.reconstruct(), wpp);
@@ -411,5 +529,46 @@ mod tests {
     #[test]
     fn empty_stream_errors() {
         assert!(compact(&RawWpp::new()).is_err());
+    }
+
+    #[test]
+    fn ratio_divide_by_zero_semantics() {
+        // Every compaction factor treats an empty denominator as infinite
+        // compaction — including the degenerate 0/0.
+        assert_eq!(ratio(10, 0), f64::INFINITY);
+        assert_eq!(ratio(0, 0), f64::INFINITY);
+        assert_eq!(ratio(0, 4), 0.0);
+        assert_eq!(ratio(6, 3), 2.0);
+        assert!(ratio(1, 3) > 0.0 && ratio(1, 3) < 1.0);
+    }
+
+    #[test]
+    fn output_is_identical_for_every_thread_count() {
+        let wpp = figure1();
+        let (seq, _) = compact_with_stats_threads(&wpp, CompactOptions::with_threads(1)).unwrap();
+        for threads in 2..=8 {
+            let (par, stats) =
+                compact_with_stats_threads(&wpp, CompactOptions::with_threads(threads)).unwrap();
+            assert_eq!(par, seq, "compact diverged at {threads} threads");
+            assert_eq!(stats.workers.total_items(), 2, "two functions processed");
+        }
+    }
+
+    #[test]
+    fn stats_carry_stage_timings_and_worker_report() {
+        let (_, stats) =
+            compact_with_stats_threads(&figure1(), CompactOptions::with_threads(2)).unwrap();
+        // Wall clocks are monotone; every stage ran, so the total is the
+        // sum of its parts (all finite).
+        assert_eq!(
+            stats.timings.total_nanos(),
+            stats.timings.partition_nanos
+                + stats.timings.dedup_nanos
+                + stats.timings.function_stage_nanos
+                + stats.timings.dcg_compress_nanos
+        );
+        assert!(stats.workers.threads >= 1);
+        assert_eq!(stats.workers.total_items(), 2);
+        assert!(stats.workers.busy_workers() >= 1);
     }
 }

@@ -175,15 +175,23 @@ impl TimestampedTrace {
     /// Serializes to a word stream:
     /// `[len, n_blocks, (block_id, n_words, words…)*]`, with timestamp
     /// words holding the sign-delimited [`TsSet`] encoding.
-    pub fn to_words(&self) -> Vec<u32> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimestampedTraceError::BadTsSet`] (carrying
+    /// [`TsSetError::TimestampOverflow`]) when a timestamp set holds values
+    /// the sign encoding cannot represent (`> i32::MAX`). Traces built via
+    /// [`TimestampedTrace::from_path_trace`] always encode, because
+    /// construction asserts `len <= i32::MAX`.
+    pub fn to_words(&self) -> Result<Vec<u32>, TimestampedTraceError> {
         let mut words = vec![self.len, self.map.len() as u32];
         for (b, ts) in &self.map {
-            let wire = ts.to_wire();
+            let wire = ts.to_wire()?;
             words.push(b.as_u32());
             words.push(wire.len() as u32);
             words.extend(wire.iter().map(|&w| w as u32));
         }
-        words
+        Ok(words)
     }
 
     /// Decodes a stream produced by [`TimestampedTrace::to_words`],
@@ -335,7 +343,7 @@ mod tests {
     fn serialization_round_trip() {
         let t = trace_of(&[1, 2, 2, 2, 9, 2, 6, 9]);
         let tt = TimestampedTrace::from_path_trace(&t);
-        let words = tt.to_words();
+        let words = tt.to_words().unwrap();
         assert_eq!(words.len() * 4, tt.byte_size());
         let mut pos = 0;
         let back = TimestampedTrace::from_words(&words, &mut pos).unwrap();
@@ -347,7 +355,7 @@ mod tests {
     fn decoding_rejects_non_partition() {
         let t = trace_of(&[1, 2, 3]);
         let tt = TimestampedTrace::from_path_trace(&t);
-        let mut words = tt.to_words();
+        let mut words = tt.to_words().unwrap();
         words[0] = 4; // claim an extra position
         let mut pos = 0;
         assert_eq!(
@@ -360,7 +368,7 @@ mod tests {
     fn decoding_rejects_truncation() {
         let t = trace_of(&[1, 2, 3]);
         let tt = TimestampedTrace::from_path_trace(&t);
-        let words = tt.to_words();
+        let words = tt.to_words().unwrap();
         for cut in 0..words.len() {
             let mut pos = 0;
             assert!(TimestampedTrace::from_words(&words[..cut], &mut pos).is_err());

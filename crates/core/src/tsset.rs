@@ -149,8 +149,18 @@ impl SeriesEntry {
         if x > hi {
             return None;
         }
+        if lcm > i128::from(u32::MAX) {
+            // The solution period exceeds the timestamp domain, so the
+            // window [lo, hi] (narrower than 2^32) holds at most one
+            // solution. Splitting the entry down to that single member is
+            // always correct; clamping the step to u32::MAX could
+            // fabricate an entry whose `last` does not lie on the series
+            // and trip `SeriesEntry::new`'s invariant.
+            debug_assert!(x + lcm > hi, "period > domain admits one solution");
+            return Some(SeriesEntry::singleton(x as u32));
+        }
         let last = x + (hi - x).div_euclid(lcm) * lcm;
-        Some(SeriesEntry::new(x as u32, last as u32, lcm.min(u32::MAX as i128) as u32))
+        Some(SeriesEntry::new(x as u32, last as u32, lcm as u32))
     }
 }
 
@@ -224,6 +234,14 @@ pub enum TsSetError {
         /// The cap it violated.
         cap: u32,
     },
+    /// A timestamp left the representable domain: either a shift would
+    /// push a series element past `u32::MAX`, or encoding met a value
+    /// past `i32::MAX` (the price of the paper's sign-delimited wire
+    /// format, which steals one bit for entry framing).
+    TimestampOverflow {
+        /// The unrepresentable value (as it would have been).
+        value: u64,
+    },
 }
 
 impl fmt::Display for TsSetError {
@@ -234,6 +252,9 @@ impl fmt::Display for TsSetError {
             TsSetError::Unordered(i) => write!(f, "out-of-order timestamp entry at word {i}"),
             TsSetError::ExceedsCap { value, cap } => {
                 write!(f, "timestamp {value} exceeds the cap {cap}")
+            }
+            TsSetError::TimestampOverflow { value } => {
+                write!(f, "timestamp {value} overflows the representable domain")
             }
         }
     }
@@ -259,7 +280,7 @@ impl Error for TsSetError {}
 /// // One backward traversal step for all ten subpaths simultaneously:
 /// assert_eq!(ts.shift(-1).to_string(), "{1:19:2}");
 /// // The sign-delimited wire form of the paper:
-/// assert_eq!(ts.to_wire(), vec![2, 20, -2]);
+/// assert_eq!(ts.to_wire().unwrap(), vec![2, 20, -2]);
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct TsSet {
@@ -391,15 +412,48 @@ impl TsSet {
         self.iter().collect()
     }
 
-    /// Shifts every timestamp by `delta`, dropping results below 1. This is
-    /// the paper's *simultaneous traversal* step: decrementing a whole
-    /// vector of traversal points costs one operation per entry, not per
-    /// timestamp.
+    /// Shifts every timestamp by `delta`, **dropping results that leave
+    /// the timestamp domain** on either side: elements shifted below 1
+    /// vanish (the paper's traversal-off-the-front case), and elements
+    /// shifted above `u32::MAX` vanish symmetrically. This is the paper's
+    /// *simultaneous traversal* step: decrementing a whole vector of
+    /// traversal points costs one operation per entry, not per timestamp.
+    ///
+    /// Callers that must distinguish "element walked off the high end"
+    /// from "element never existed" should use [`TsSet::try_shift`],
+    /// which reports the overflow as a typed error instead of clamping.
     pub fn shift(&self, delta: i64) -> TsSet {
+        self.shift_clamped(delta).0
+    }
+
+    /// Checked shift: like [`TsSet::shift`] but returns
+    /// [`TsSetError::TimestampOverflow`] if any element would exceed
+    /// `u32::MAX` instead of silently dropping it. (Elements shifted
+    /// below 1 are still dropped — that is the documented traversal
+    /// semantics, not an overflow.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsSetError::TimestampOverflow`] carrying the first
+    /// out-of-domain value.
+    pub fn try_shift(&self, delta: i64) -> Result<TsSet, TsSetError> {
+        match self.shift_clamped(delta) {
+            (set, None) => Ok(set),
+            (_, Some(value)) => Err(TsSetError::TimestampOverflow { value }),
+        }
+    }
+
+    /// Core shift: returns the clamped set plus the first value (if any)
+    /// that overflowed the high end of the domain. All arithmetic is done
+    /// in `i64`, where `u32 + i64-delta` cannot wrap, so release builds
+    /// are exactly as safe as debug builds.
+    fn shift_clamped(&self, delta: i64) -> (TsSet, Option<u64>) {
         let mut entries = Vec::with_capacity(self.entries.len());
+        let mut overflowed: Option<u64> = None;
+        const MAX: i64 = u32::MAX as i64;
         for e in &self.entries {
             let nf = i64::from(e.first) + delta;
-            let nl = i64::from(e.last) + delta;
+            let mut nl = i64::from(e.last) + delta;
             if nl < 1 {
                 continue;
             }
@@ -411,13 +465,28 @@ impl TsSet {
             } else {
                 nf
             };
+            if nl > MAX {
+                // Record the overflow, then retreat to the last series
+                // element still inside the domain (keeping the residue,
+                // so the entry invariant `(last - first) % step == 0`
+                // is preserved).
+                if overflowed.is_none() {
+                    overflowed = Some(nl as u64);
+                }
+                let over = nl - MAX;
+                nl -= over.div_euclid(step) * step
+                    + if over % step != 0 { step } else { 0 };
+            }
             if nf > nl {
+                // The whole entry left the domain.
+                if nf > MAX && overflowed.is_none() {
+                    overflowed = Some(nf as u64);
+                }
                 continue;
             }
-            debug_assert!(nl <= u32::MAX as i64, "timestamp overflow after shift");
             entries.push(SeriesEntry::new(nf as u32, nl as u32, e.step));
         }
-        TsSet { entries }
+        (TsSet { entries }, overflowed)
     }
 
     /// Set intersection. Entry pairs are intersected exactly (the
@@ -534,17 +603,27 @@ impl TsSet {
 
     /// Encodes the set in the sign-delimited wire format.
     ///
-    /// # Panics
+    /// The sign encoding steals one bit for entry framing — the paper's
+    /// "we can no longer use unsigned integers" — so any timestamp or
+    /// step above `i32::MAX` is unrepresentable. Encoding such a set is a
+    /// typed error, never a panic (decode paths were already panic-free;
+    /// this keeps the two directions symmetric).
     ///
-    /// Panics if a timestamp exceeds `i32::MAX` — the price of the sign
-    /// encoding the paper acknowledges ("we can no longer use unsigned
-    /// integers").
-    pub fn to_wire(&self) -> Vec<i32> {
+    /// # Errors
+    ///
+    /// Returns [`TsSetError::TimestampOverflow`] if a timestamp or step
+    /// exceeds `i32::MAX`.
+    pub fn to_wire(&self) -> Result<Vec<i32>, TsSetError> {
         let mut words = Vec::with_capacity(self.wire_word_count());
+        let enc = |v: u32| {
+            i32::try_from(v).map_err(|_| TsSetError::TimestampOverflow {
+                value: u64::from(v),
+            })
+        };
         for e in &self.entries {
-            let f = i32::try_from(e.first).expect("timestamp exceeds i32::MAX");
-            let l = i32::try_from(e.last).expect("timestamp exceeds i32::MAX");
-            let s = i32::try_from(e.step).expect("step exceeds i32::MAX");
+            let f = enc(e.first)?;
+            let l = enc(e.last)?;
+            let s = enc(e.step)?;
             if e.first == e.last {
                 words.push(-f);
             } else if e.step == 1 {
@@ -556,7 +635,7 @@ impl TsSet {
                 words.push(-s);
             }
         }
-        words
+        Ok(words)
     }
 
     /// Total number of wire words.
@@ -729,9 +808,9 @@ mod tests {
     #[test]
     fn paper_example_wire_encoding() {
         // {1 -> {1}, 2 -> {2..6}, 6 -> {7}} compacts to {-1}, {2:-6}, {-7}.
-        assert_eq!(TsSet::from_sorted(&[1]).to_wire(), vec![-1]);
-        assert_eq!(TsSet::from_sorted(&[2, 3, 4, 5, 6]).to_wire(), vec![2, -6]);
-        assert_eq!(TsSet::from_sorted(&[7]).to_wire(), vec![-7]);
+        assert_eq!(TsSet::from_sorted(&[1]).to_wire().unwrap(), vec![-1]);
+        assert_eq!(TsSet::from_sorted(&[2, 3, 4, 5, 6]).to_wire().unwrap(), vec![2, -6]);
+        assert_eq!(TsSet::from_sorted(&[7]).to_wire().unwrap(), vec![-7]);
     }
 
     #[test]
@@ -743,7 +822,7 @@ mod tests {
             vec![5, 9, 100, 200, 300, 400],
         ] {
             let s = TsSet::from_sorted(&vals);
-            let back = TsSet::from_wire(&s.to_wire()).unwrap();
+            let back = TsSet::from_wire(&s.to_wire().unwrap()).unwrap();
             assert_eq!(back, s);
             assert_eq!(back.to_vec(), vals);
         }
@@ -764,8 +843,8 @@ mod tests {
         );
         // In-range sets pass through unchanged.
         let s = TsSet::from_sorted(&[2, 4, 6]);
-        assert_eq!(TsSet::from_wire_capped(&s.to_wire(), 6).unwrap(), s);
-        assert!(TsSet::from_wire_capped(&s.to_wire(), 5).is_err());
+        assert_eq!(TsSet::from_wire_capped(&s.to_wire().unwrap(), 6).unwrap(), s);
+        assert!(TsSet::from_wire_capped(&s.to_wire().unwrap(), 5).is_err());
     }
 
     #[test]
@@ -872,6 +951,107 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn from_sorted_rejects_unsorted() {
         let _ = TsSet::from_sorted(&[3, 2]);
+    }
+
+    #[test]
+    fn shift_overflow_is_checked_not_wrapped() {
+        // Regression: release builds used to guard the high end with
+        // `debug_assert!` only, silently wrapping `nl as u32` and
+        // corrupting the series. The high end now mirrors the low end
+        // (out-of-domain elements drop), and `try_shift` reports the
+        // overflow as a typed error. This test must pass identically in
+        // debug and release builds.
+        let s = TsSet::from_sorted(&[u32::MAX - 4, u32::MAX - 2, u32::MAX]);
+        assert_eq!(s.entry_count(), 1);
+
+        // Partial overflow: the surviving prefix keeps its step/residue.
+        let shifted = s.shift(2);
+        assert_eq!(shifted.to_vec(), vec![u32::MAX - 2, u32::MAX]);
+        assert_eq!(
+            s.try_shift(2),
+            Err(TsSetError::TimestampOverflow {
+                value: u64::from(u32::MAX) + 2
+            })
+        );
+
+        // Total overflow: nothing wraps back into the low domain.
+        assert!(s.shift(10).is_empty());
+        assert!(s.try_shift(10).is_err());
+
+        // In-domain shifts are unchanged, and try_shift agrees with shift.
+        assert_eq!(
+            s.shift(-2).to_vec(),
+            vec![u32::MAX - 6, u32::MAX - 4, u32::MAX - 2]
+        );
+        assert_eq!(s.try_shift(-2).unwrap(), s.shift(-2));
+        // Singleton at the very top of the domain.
+        let top = TsSet::from_sorted(&[u32::MAX]);
+        assert!(top.shift(1).is_empty());
+        assert_eq!(
+            top.try_shift(1),
+            Err(TsSetError::TimestampOverflow {
+                value: u64::from(u32::MAX) + 1
+            })
+        );
+    }
+
+    #[test]
+    fn to_wire_rejects_unencodable_timestamps() {
+        // Regression: encoding used to `expect` (panic) past i32::MAX even
+        // though every decode path is panic-free.
+        let max = i32::MAX as u32;
+        // At the boundary: encodes and round-trips.
+        let s = TsSet::from_sorted(&[max - 2, max - 1, max]);
+        let wire = s.to_wire().unwrap();
+        assert_eq!(TsSet::from_wire(&wire).unwrap(), s);
+        // One past the boundary: typed error, not a panic.
+        let s = TsSet::from_sorted(&[max + 1]);
+        assert_eq!(
+            s.to_wire(),
+            Err(TsSetError::TimestampOverflow {
+                value: u64::from(max) + 1
+            })
+        );
+        // A set mixing encodable and unencodable entries still errors.
+        let s = TsSet::from_sorted(&[1, 2, 3, max + 1]);
+        assert!(s.to_wire().is_err());
+        // The word-count estimate stays callable either way.
+        assert_eq!(s.wire_word_count(), 3);
+    }
+
+    #[test]
+    fn intersect_huge_lcm_splits_instead_of_clamping() {
+        // Regression: steps whose lcm exceeds u32::MAX used to be clamped
+        // (`lcm.min(u32::MAX)`), which can fabricate a step that does not
+        // satisfy `(last - first) % step == 0`. The window is narrower
+        // than the period, so the correct fallback is to split down to
+        // the single admissible member.
+        let half = 1u32 << 31; // 2^31
+        let a = SeriesEntry::new(1, 1 + half, half); // {1, 2^31+1}
+        let top = u32::MAX - (u32::MAX - 1) % 3;
+        let b = SeriesEntry::new(1, top, 3); // {1, 4, 7, …}
+        // lcm(2^31, 3) = 3·2^31 > u32::MAX: exactly one solution fits.
+        let i = a.intersect(&b).expect("1 is in both series");
+        assert_eq!((i.first(), i.last(), i.step()), (1, 1, 1));
+        // The result is a genuine subset of both series.
+        for t in i.iter() {
+            assert!(a.contains(t) && b.contains(t));
+        }
+        // And through the set-level two-pointer walk as well.
+        let sa = TsSet::from_entries(vec![a]);
+        let sb = TsSet::from_entries(vec![b]);
+        assert_eq!(sa.intersect(&sb).to_vec(), vec![1]);
+        // Symmetric direction.
+        assert_eq!(sb.intersect(&sa).to_vec(), vec![1]);
+        // Disjoint residues with a huge lcm still yield the empty set:
+        // {3, 2^31+3} has members ≡ 0 and ≡ 2 (mod 3), never ≡ 1.
+        let c = SeriesEntry::new(3, 3 + half, half);
+        assert!(c.intersect(&b).is_none());
+        // When the one admissible member sits mid-window it is found:
+        // 2^31+2 ≡ 1 (mod 3) and ≡ 2 (mod 2^31).
+        let d = SeriesEntry::new(2, 2 + half, half);
+        let j = d.intersect(&b).expect("2^31+2 is in both series");
+        assert_eq!((j.first(), j.last(), j.step()), (2 + half, 2 + half, 1));
     }
 
     #[test]

@@ -285,6 +285,30 @@ mod tests {
     }
 
     #[test]
+    fn empty_query_frequency_is_one_not_nan() {
+        // The divide-by-zero convention: a query over zero executions
+        // vacuously holds — frequency 1.0, never NaN.
+        let empty = QueryResult::default();
+        assert_eq!(empty.frequency(), 1.0);
+        assert!(!empty.frequency().is_nan());
+        assert!(empty.always_holds());
+        assert!(empty.never_holds());
+        // Querying a node with an empty timestamp vector takes the same
+        // path end to end.
+        let p = program();
+        let func = p.func(p.main());
+        let dcfg = DynCfg::from_block_sequence(&[b(1), b(2), b(4)]);
+        let fact = AvailableLoad {
+            addr: Operand::Const(100),
+        };
+        let n4 = dcfg.node_by_head(b(4)).unwrap();
+        let result = solve_backward(&dcfg, func, &fact, n4, &TsSet::default());
+        assert!(result.holds.is_empty());
+        assert!(result.not_holds.is_empty());
+        assert_eq!(result.frequency(), 1.0);
+    }
+
+    #[test]
     fn propagation_agrees_with_replay_oracle() {
         let p = program();
         let func = p.func(p.main());

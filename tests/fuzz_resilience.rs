@@ -121,7 +121,7 @@ proptest! {
         ]
         .into_iter()
         .collect();
-        let mut bytes = twpp_repro::twpp::archive::encode_v2_named(&compacted, &names);
+        let mut bytes = twpp_repro::twpp::archive::encode_v2_named(&compacted, &names).unwrap();
         let pristine = flips.is_empty();
         for (pos, val) in flips {
             let len = bytes.len();

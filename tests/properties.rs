@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use twpp_repro::twpp::{
     compact_trace, compact_with_stats, lzw, partition, PathTrace, TimestampedTrace, TsSet,
-    TwppArchive,
+    TsSetError, TwppArchive,
 };
 use twpp_repro::twpp_ir::{BlockId, FuncId};
 use twpp_repro::twpp_sequitur::Grammar;
@@ -131,7 +131,7 @@ proptest! {
         let tt = TimestampedTrace::from_path_trace(&trace);
         prop_assert_eq!(tt.to_path_trace(), trace);
         // Serialization round trip.
-        let words = tt.to_words();
+        let words = tt.to_words().unwrap();
         let mut pos = 0;
         prop_assert_eq!(TimestampedTrace::from_words(&words, &mut pos).unwrap(), tt);
         prop_assert_eq!(pos, words.len());
@@ -162,7 +162,40 @@ proptest! {
             .collect();
         prop_assert_eq!(set.shift(delta).to_vec(), shifted);
         // Wire round trip.
-        prop_assert_eq!(TsSet::from_wire(&set.to_wire()).unwrap(), set);
+        prop_assert_eq!(TsSet::from_wire(&set.to_wire().unwrap()).unwrap(), set);
+    }
+
+    #[test]
+    fn tsset_wire_boundary_near_i32_max(
+        offsets in prop::collection::btree_set(0u32..64, 1..16),
+        excess in 1u32..1000,
+    ) {
+        // Timestamps hugging `i32::MAX` from below round-trip through the
+        // sign-delimited wire format; anything above the boundary yields a
+        // typed error instead of a panic or a silent wrap.
+        let max = i32::MAX as u32;
+        let mut vals: Vec<u32> = offsets.iter().map(|&o| max - o).collect();
+        vals.sort_unstable();
+        let set = TsSet::from_sorted(&vals);
+        let wire = set.to_wire().unwrap();
+        prop_assert_eq!(TsSet::from_wire(&wire).unwrap(), set);
+        // One member past the boundary: encoding must fail loudly.
+        let mut over = vals.clone();
+        over.push(max + excess);
+        let bad = TsSet::from_sorted(&over);
+        prop_assert!(matches!(
+            bad.to_wire(),
+            Err(TsSetError::TimestampOverflow { .. })
+        ));
+        // Checked shifts past the u32 domain are typed errors (the set
+        // tops out near 2^31, so a delta of u32::MAX overflows), and the
+        // clamped shift never fabricates out-of-domain members.
+        let delta = i64::from(u32::MAX) - i64::from(excess % 7);
+        prop_assert!(set.try_shift(delta).is_err());
+        let clamped = set.shift(delta);
+        for t in clamped.iter() {
+            prop_assert!(t >= 1);
+        }
     }
 
     #[test]
