@@ -8,4 +8,4 @@
 
 pub mod commands;
 
-pub use commands::{run_command, CliError};
+pub use commands::{exit_code, run_command, CliError};

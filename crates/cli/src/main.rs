@@ -7,7 +7,7 @@ fn main() {
         Ok(()) => {}
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(twpp_cli::exit_code(&e));
         }
     }
 }

@@ -77,6 +77,12 @@ const FOOTER_ENTRY_BYTES: usize = 7 * 4;
 /// footer_crc + commit marker.
 const FOOTER_FIXED_LEN: usize = 20;
 
+/// Footer `offset` sentinel marking a function the writer recorded as
+/// *failed during compaction* (degraded run): no frame bytes exist for
+/// it. Sentinel entries carry `byte_len == 0` and `crc == 0`; only the
+/// function id and call count are meaningful.
+const SENTINEL_OFFSET: u32 = u32::MAX;
+
 /// Upper bound on the declared function count before any allocation.
 pub const MAX_FUNCTIONS: usize = 1 << 20;
 /// Upper bound on the decompressed DCG size accepted by [`TwppArchive::read_dcg`].
@@ -98,6 +104,9 @@ pub enum ArchiveError {
     Truncated,
     /// The requested function is not present.
     UnknownFunction(FuncId),
+    /// The function is listed in the archive but was recorded as failed
+    /// during a degraded compaction run: no payload exists by design.
+    DegradedFunction(FuncId),
     /// A region failed structural decoding; the string names the spot.
     Corrupt(&'static str),
     /// The compressed DCG failed to decompress.
@@ -135,6 +144,10 @@ impl fmt::Display for ArchiveError {
             ArchiveError::BadVersion(v) => write!(f, "unsupported archive version {v}"),
             ArchiveError::Truncated => f.write_str("truncated archive"),
             ArchiveError::UnknownFunction(id) => write!(f, "function {id} not in archive"),
+            ArchiveError::DegradedFunction(id) => write!(
+                f,
+                "function {id} was recorded as failed during compaction (degraded archive)"
+            ),
             ArchiveError::Corrupt(what) => write!(f, "corrupt archive: {what}"),
             ArchiveError::Lzw(e) => write!(f, "corrupt compressed DCG: {e}"),
             ArchiveError::Trace(e) => write!(f, "corrupt timestamped trace: {e}"),
@@ -203,6 +216,13 @@ struct TableEntry {
     crc: u32,
 }
 
+impl TableEntry {
+    /// Whether this entry is a degraded-function sentinel (no frame).
+    fn is_sentinel(&self) -> bool {
+        self.offset == SENTINEL_OFFSET && self.byte_len == 0
+    }
+}
+
 /// The decoded per-function payload: what a query for one function returns.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FunctionRecord {
@@ -218,10 +238,37 @@ pub struct FunctionRecord {
 
 impl FunctionRecord {
     /// Expands every unique trace back to its full block sequence.
+    ///
+    /// # Panics
+    ///
+    /// On a dictionary index out of range. Records decoded from archives
+    /// are always validated, so this only fires for hand-built records;
+    /// use [`FunctionRecord::try_expanded_traces`] when the record's
+    /// provenance is unknown (e.g. CLI input).
     pub fn expanded_traces(&self) -> Vec<crate::trace::PathTrace> {
         self.traces
             .iter()
             .map(|(dict_idx, tt)| self.dicts[*dict_idx as usize].expand(&tt.to_path_trace()))
+            .collect()
+    }
+
+    /// Fallible variant of [`FunctionRecord::expanded_traces`]: a
+    /// dictionary index out of range yields a typed error instead of a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchiveError::Corrupt`] when a trace references a dictionary the
+    /// record does not hold.
+    pub fn try_expanded_traces(&self) -> Result<Vec<crate::trace::PathTrace>, ArchiveError> {
+        self.traces
+            .iter()
+            .map(|(dict_idx, tt)| {
+                self.dicts
+                    .get(*dict_idx as usize)
+                    .map(|d| d.expand(&tt.to_path_trace()))
+                    .ok_or(ArchiveError::Corrupt("dictionary index"))
+            })
             .collect()
     }
 
@@ -345,6 +392,25 @@ impl<W: Write> ArchiveWriter<W> {
         Ok(())
     }
 
+    /// Records a function whose per-function compaction stage failed
+    /// under the degrade policy. **No frame bytes are written** — the
+    /// footer gets a sentinel entry (offset `u32::MAX`, zero length and
+    /// CRC) carrying only the id and call count, so `twpp fsck` and
+    /// strict readers can report exactly which functions a degraded run
+    /// lost. Archives with no failed functions are byte-identical to
+    /// pre-degradation archives.
+    pub fn add_failed_function(&mut self, func: FuncId, call_count: u64) {
+        self.table.push(TableEntry {
+            func,
+            call_count: u32::try_from(call_count).unwrap_or(u32::MAX),
+            n_dicts: 0,
+            n_traces: 0,
+            offset: SENTINEL_OFFSET,
+            byte_len: 0,
+            crc: 0,
+        });
+    }
+
     /// Writes an already-encoded frame to the sink and records its table
     /// entry. Must be called in the intended function order.
     fn commit_frame(&mut self, frame: EncodedFrame) -> Result<(), ArchiveError> {
@@ -464,6 +530,9 @@ pub struct TwppArchive {
     dcg_comp_len: usize,
     /// Offset of the data section (frames for v3, raw regions for v2).
     data_start: usize,
+    /// Functions recorded as failed during a degraded compaction run
+    /// (`(func, call_count)`), parsed from sentinel footer entries.
+    failed: Vec<(FuncId, u32)>,
 }
 
 impl TwppArchive {
@@ -493,6 +562,30 @@ impl TwppArchive {
             .expect("writing to an in-memory buffer cannot fail");
         w.add_functions(&c.functions, threads)
             .expect("pipeline-produced blocks always encode");
+        let bytes = w
+            .finish()
+            .expect("writing to an in-memory buffer cannot fail");
+        TwppArchive::from_bytes(bytes).expect("freshly encoded archive must parse")
+    }
+
+    /// Encodes the output of a possibly degraded governed compaction run:
+    /// like [`TwppArchive::from_compacted_named_with_threads`], plus one
+    /// sentinel footer entry per failed function so readers and `twpp
+    /// fsck` can report exactly what the run lost. With an empty
+    /// `failed` slice the bytes are identical to the plain encoder.
+    pub fn from_compacted_governed(
+        c: &CompactedTwpp,
+        names: &HashMap<FuncId, String>,
+        threads: usize,
+        failed: &[crate::pipeline::FailedFunction],
+    ) -> TwppArchive {
+        let mut w = ArchiveWriter::new(Vec::new(), &c.dcg, names)
+            .expect("writing to an in-memory buffer cannot fail");
+        w.add_functions(&c.functions, threads)
+            .expect("pipeline-produced blocks always encode");
+        for ff in failed {
+            w.add_failed_function(ff.func, ff.call_count);
+        }
         let bytes = w
             .finish()
             .expect("writing to an in-memory buffer cannot fail");
@@ -545,6 +638,7 @@ impl TwppArchive {
             dcg_start,
             dcg_comp_len,
             data_start,
+            failed: Vec::new(),
         })
     }
 
@@ -552,8 +646,18 @@ impl TwppArchive {
         let meta = parse_meta_v3(&bytes)?;
         verify_meta_crcs(&bytes, &meta)?;
         let name_map = parse_names_v3(&bytes[meta.names_start..meta.names_start + meta.names_len])?;
-        let (table, footer_start) = parse_footer_v3(&bytes, meta.data_start)?;
-        // Validate frames lie within the data section.
+        let (all_entries, footer_start) = parse_footer_v3(&bytes, meta.data_start)?;
+        // Split degraded-function sentinels from live entries, then
+        // validate that every live frame lies within the data section.
+        let mut table = Vec::with_capacity(all_entries.len());
+        let mut failed = Vec::new();
+        for e in all_entries {
+            if e.is_sentinel() {
+                failed.push((e.func, e.call_count));
+            } else {
+                table.push(e);
+            }
+        }
         for e in &table {
             let end = meta
                 .data_start
@@ -579,6 +683,7 @@ impl TwppArchive {
             dcg_start: FIXED_HEADER_LEN,
             dcg_comp_len: meta.dcg_comp_len,
             data_start: meta.data_start,
+            failed,
         })
     }
 
@@ -652,9 +757,24 @@ impl TwppArchive {
         self.version
     }
 
-    /// Function ids present, most-frequently-called first.
+    /// Function ids present, most-frequently-called first. Degraded
+    /// (failed) functions are not included; see
+    /// [`TwppArchive::failed_functions`].
     pub fn function_ids(&self) -> Vec<FuncId> {
         self.table.iter().map(|e| e.func).collect()
+    }
+
+    /// Functions the writer recorded as failed during a degraded
+    /// compaction run, as `(func, call_count)` pairs. Empty for archives
+    /// produced by a clean run.
+    pub fn failed_functions(&self) -> &[(FuncId, u32)] {
+        &self.failed
+    }
+
+    /// Whether this archive was produced by a degraded run (at least one
+    /// function's compaction stage failed and was skipped).
+    pub fn is_degraded(&self) -> bool {
+        !self.failed.is_empty()
     }
 
     /// The embedded name of `func`, if the archive stores names.
@@ -689,10 +809,12 @@ impl TwppArchive {
     /// [`ArchiveError::ChecksumMismatch`] for regions whose bytes rotted,
     /// or a decoding error for structurally corrupt regions.
     pub fn read_function(&self, func: FuncId) -> Result<FunctionRecord, ArchiveError> {
-        let &i = self
-            .index
-            .get(&func)
-            .ok_or(ArchiveError::UnknownFunction(func))?;
+        let Some(&i) = self.index.get(&func) else {
+            if self.failed.iter().any(|&(f, _)| f == func) {
+                return Err(ArchiveError::DegradedFunction(func));
+            }
+            return Err(ArchiveError::UnknownFunction(func));
+        };
         let e = self.table[i];
         let start = self.data_start + e.offset as usize;
         if self.version == VERSION_V2 {
@@ -889,6 +1011,9 @@ fn read_function_from_file_v3(
         let e = footer_entry(chunk);
         if e.func != func {
             continue;
+        }
+        if e.is_sentinel() {
+            return Err(ArchiveError::DegradedFunction(func));
         }
         let frame_start = (data_start + e.offset as usize) as u64;
         let frame_len = FRAME_HEADER_LEN + e.byte_len as usize;
@@ -1440,10 +1565,14 @@ fn scan_frames(
 }
 
 /// Re-encodes salvaged pieces as a fresh, committed v3 archive.
+/// Degraded-function sentinels present in the damaged input are
+/// preserved, so salvage never silently forgets what a degraded run
+/// already reported as lost.
 fn rebuild(
     dcg: Dcg,
     names: &HashMap<FuncId, String>,
     records: Vec<FunctionRecord>,
+    failed: &[(FuncId, u32)],
 ) -> TwppArchive {
     let mut seen = HashSet::new();
     let mut w = ArchiveWriter::new(Vec::new(), &dcg, names)
@@ -1454,6 +1583,11 @@ fn rebuild(
             // bounded by `MAX_DECODED_LEN` (< i32::MAX) during salvage.
             w.add_function(&r.into_block())
                 .expect("salvaged records always re-encode");
+        }
+    }
+    for &(func, call_count) in failed {
+        if seen.insert(func) {
+            w.add_failed_function(func, u64::from(call_count));
         }
     }
     let bytes = w
@@ -1512,14 +1646,21 @@ fn recover_v3(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryRepo
         }
     }
 
+    let mut failed: Vec<(FuncId, u32)> = Vec::new();
     let records = match footer_table {
         Some((table, footer_start)) => {
             report.committed = true;
             // Per-entry verification is pure: fan the checksum + decode
             // work across workers, then fold verdicts in table order so
-            // the report matches the sequential walk exactly.
+            // the report matches the sequential walk exactly. Degraded
+            // sentinels have no frame: they get a FailedAtCompaction
+            // verdict instead of being mistaken for truncation.
             let checked = crate::par::map_indexed(&table, threads, |_, &e| {
-                check_frame(bytes, data_start, footer_start, e)
+                if e.is_sentinel() {
+                    (RegionStatus::FailedAtCompaction, None)
+                } else {
+                    check_frame(bytes, data_start, footer_start, e)
+                }
             });
             let mut records = Vec::new();
             for (e, (status, record)) in table.iter().zip(checked) {
@@ -1527,12 +1668,22 @@ fn recover_v3(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryRepo
                     report.salvaged_bytes += e.byte_len as usize;
                     records.push(r);
                 }
-                report.functions.push(FunctionVerdict {
-                    func: e.func,
-                    offset: data_start + e.offset as usize,
-                    byte_len: e.byte_len as usize,
-                    status,
-                });
+                if e.is_sentinel() {
+                    failed.push((e.func, e.call_count));
+                    report.functions.push(FunctionVerdict {
+                        func: e.func,
+                        offset: 0,
+                        byte_len: 0,
+                        status,
+                    });
+                } else {
+                    report.functions.push(FunctionVerdict {
+                        func: e.func,
+                        offset: data_start + e.offset as usize,
+                        byte_len: e.byte_len as usize,
+                        status,
+                    });
+                }
             }
             records
         }
@@ -1548,7 +1699,7 @@ fn recover_v3(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryRepo
         }
     };
 
-    Ok((rebuild(dcg, &names, records), report))
+    Ok((rebuild(dcg, &names, records, &failed), report))
 }
 
 fn recover_v2(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
@@ -1605,7 +1756,7 @@ fn recover_v2(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryRepo
             status,
         });
     }
-    Ok((rebuild(dcg, &names, records), report))
+    Ok((rebuild(dcg, &names, records, &[]), report))
 }
 
 // ---------------------------------------------------------------------------
@@ -1773,6 +1924,61 @@ mod tests {
             a.read_function(f(7)),
             Err(ArchiveError::UnknownFunction(_))
         ));
+    }
+
+    #[test]
+    fn degraded_archive_round_trips_survivors_and_reports_failed() {
+        let mut c = compact(&sample_wpp()).unwrap();
+        // Pretend f(1)'s compaction stage failed: drop its block and
+        // record the failure as the governed pipeline would.
+        let pos = c.functions.iter().position(|fb| fb.func == f(1)).unwrap();
+        let dropped = c.functions.remove(pos);
+        let failed = vec![crate::pipeline::FailedFunction {
+            func: dropped.func,
+            call_count: dropped.call_count,
+            stage: "compact",
+            reason: "injected".to_owned(),
+        }];
+        let a = TwppArchive::from_compacted_governed(&c, &sample_names(), 2, &failed);
+        assert!(a.is_degraded());
+        assert_eq!(a.failed_functions(), &[(f(1), 4)]);
+        // The survivor decodes; the failed function yields the typed error.
+        assert!(a.read_function(f(0)).is_ok());
+        assert!(matches!(
+            a.read_function(f(1)),
+            Err(ArchiveError::DegradedFunction(id)) if id == f(1)
+        ));
+        // Re-parsing the bytes preserves the split.
+        let b = TwppArchive::from_bytes(a.as_bytes().to_vec()).unwrap();
+        assert_eq!(b.failed_functions(), &[(f(1), 4)]);
+        assert_eq!(b.function_ids(), vec![f(0)]);
+        // fsck over the degraded archive: intact modulo the reported
+        // function, and the sentinel survives the rebuild.
+        let (rebuilt, report) = TwppArchive::recover(a.as_bytes()).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.is_degraded_only());
+        assert_eq!(report.degraded_functions(), vec![f(1)]);
+        assert_eq!(rebuilt.failed_functions(), &[(f(1), 4)]);
+        // File-based single-function read reports the degraded function.
+        let dir = std::env::temp_dir().join("twpp-degraded-archive-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("degraded.twpa");
+        a.save(&path).unwrap();
+        assert!(TwppArchive::read_function_from_file(&path, f(0)).is_ok());
+        assert!(matches!(
+            TwppArchive::read_function_from_file(&path, f(1)),
+            Err(ArchiveError::DegradedFunction(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn governed_encode_with_no_failures_is_byte_identical() {
+        let c = compact(&sample_wpp()).unwrap();
+        let plain = TwppArchive::from_compacted_named_with_threads(&c, &sample_names(), 2);
+        let governed = TwppArchive::from_compacted_governed(&c, &sample_names(), 2, &[]);
+        assert_eq!(plain.as_bytes(), governed.as_bytes());
+        assert!(!governed.is_degraded());
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! **twpp-gov** — resource governance for every stage of the pipeline.
+//!
+//! A production service over TWPP archives must bound *every* stage —
+//! tracing, compaction, and the §5 demand-driven data-flow queries —
+//! rather than run to completion or die. This module provides the two
+//! primitives the rest of the workspace threads through its hot loops:
+//!
+//! * [`Budget`] — a shared, thread-safe resource envelope combining an
+//!   optional wall-clock deadline, an optional step (event/node-visit)
+//!   cap, an approximate byte cap, and a cooperative [`CancelToken`].
+//!   Consumers call [`Budget::charge_step`] / [`Budget::charge_steps`] /
+//!   [`Budget::charge_bytes`] at natural granularity (one worklist pop,
+//!   one compacted function, one decoded frame) and stop with a typed
+//!   [`StopReason`] when the envelope is exhausted.
+//! * [`FaultPlan`] — a deterministic fault-injection harness used by the
+//!   test suite and the CLI (`TWPP_INJECT_PANIC=<func-id>`,
+//!   `TWPP_INJECT_DELAY_MS=<ms>`) to prove that panics degrade rather
+//!   than destroy and that deadlines fire within one check interval.
+//!
+//! Design notes:
+//!
+//! * `Budget` is `Clone` and internally `Arc`-shared: all clones charge
+//!   the same counters, so the pipeline's worker pool and the caller see
+//!   a single envelope.
+//! * The unlimited budget ([`Budget::default`]/[`Budget::unlimited`])
+//!   caches an `unlimited` flag so governed hot loops cost one branch
+//!   when no limits are set — the pre-governance fast path is preserved.
+//! * The deadline is re-evaluated on **every** charge when set. The
+//!   acceptance contract is "a deadlined run overshoots by at most one
+//!   check interval", and charges are already amortised over meaningful
+//!   units of work, so there is no additional stride.
+
+#![deny(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use twpp_ir::FuncId;
+
+/// Environment variable naming a function id whose per-function stage
+/// panics deterministically (fault injection).
+pub const INJECT_PANIC_ENV: &str = "TWPP_INJECT_PANIC";
+
+/// Environment variable adding a sleep (milliseconds) to every
+/// per-function stage (fault injection; used to make deadlines fire
+/// deterministically in tests).
+pub const INJECT_DELAY_ENV: &str = "TWPP_INJECT_DELAY_MS";
+
+/// Why a governed computation stopped before completion.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[non_exhaustive]
+pub enum StopReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The step (event / node-visit) cap was reached.
+    StepLimit,
+    /// The approximate byte cap was reached.
+    ByteLimit,
+    /// The attached [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Deadline => write!(f, "wall-clock deadline exceeded"),
+            StopReason::StepLimit => write!(f, "step limit exceeded"),
+            StopReason::ByteLimit => write!(f, "byte limit exceeded"),
+            StopReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for StopReason {}
+
+/// A cooperative cancellation flag shared between a controller and any
+/// number of governed computations. Cheap to clone; all clones observe
+/// the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Declarative limits used to construct a [`Budget`].
+///
+/// ```
+/// use twpp::gov::Limits;
+/// let budget = Limits::new().max_steps(10_000).deadline_ms(250).start();
+/// assert!(budget.check().is_ok());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Limits {
+    /// Wall-clock deadline in milliseconds from [`Limits::start`].
+    pub deadline_ms: Option<u64>,
+    /// Maximum number of steps (events / node visits) to process.
+    pub max_steps: Option<u64>,
+    /// Approximate maximum number of bytes to materialise.
+    pub max_bytes: Option<u64>,
+}
+
+impl Limits {
+    /// No limits at all; `start()` yields an unlimited budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the wall-clock deadline, in milliseconds from `start()`.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets the step cap.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Sets the approximate byte cap.
+    pub fn max_bytes(mut self, bytes: u64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Whether any limit is actually set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline_ms.is_none() && self.max_steps.is_none() && self.max_bytes.is_none()
+    }
+
+    /// Starts the clock: materialises a [`Budget`] whose deadline (if
+    /// any) is measured from *now*.
+    pub fn start(self) -> Budget {
+        Budget::with_limits(self, CancelToken::new())
+    }
+
+    /// Like [`Limits::start`] but wiring in an external cancel token.
+    pub fn start_with_cancel(self, cancel: CancelToken) -> Budget {
+        Budget::with_limits(self, cancel)
+    }
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    deadline: Option<Instant>,
+    max_steps: Option<u64>,
+    max_bytes: Option<u64>,
+    steps: AtomicU64,
+    bytes: AtomicU64,
+    cancel: CancelToken,
+}
+
+/// A shared resource envelope: deadline + step cap + byte cap +
+/// cancellation. Clones share the same counters.
+///
+/// The default budget is unlimited and costs a single branch per charge,
+/// so governed code paths can be used unconditionally.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    /// Fast-path flag: true when no limit of any kind is configured.
+    unlimited: bool,
+    inner: Arc<BudgetInner>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl PartialEq for Budget {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Budget {
+    /// A budget with no limits: every check succeeds (unless the
+    /// embedded token is cancelled, which for this constructor is a
+    /// fresh private token nobody else holds).
+    pub fn unlimited() -> Self {
+        Budget {
+            unlimited: true,
+            inner: Arc::new(BudgetInner {
+                deadline: None,
+                max_steps: None,
+                max_bytes: None,
+                steps: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                cancel: CancelToken::new(),
+            }),
+        }
+    }
+
+    fn with_limits(limits: Limits, cancel: CancelToken) -> Self {
+        let deadline = limits
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        Budget {
+            unlimited: limits.is_unlimited(),
+            inner: Arc::new(BudgetInner {
+                deadline,
+                max_steps: limits.max_steps,
+                max_bytes: limits.max_bytes,
+                steps: AtomicU64::new(0),
+                bytes: AtomicU64::new(0),
+                cancel,
+            }),
+        }
+    }
+
+    /// The cancel token attached to this budget. Cancelling it makes
+    /// every subsequent [`Budget::check`] fail with
+    /// [`StopReason::Cancelled`].
+    pub fn cancel_token(&self) -> CancelToken {
+        self.inner.cancel.clone()
+    }
+
+    /// Whether no limit of any kind is configured. Note that even an
+    /// unlimited budget is still cancellable via its token.
+    pub fn is_unlimited(&self) -> bool {
+        self.unlimited
+    }
+
+    /// Steps charged so far.
+    pub fn steps_used(&self) -> u64 {
+        self.inner.steps.load(Ordering::Relaxed)
+    }
+
+    /// Bytes charged so far.
+    pub fn bytes_used(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Checks the envelope without charging anything.
+    pub fn check(&self) -> Result<(), StopReason> {
+        if self.inner.cancel.is_cancelled() {
+            return Err(StopReason::Cancelled);
+        }
+        if self.unlimited {
+            return Ok(());
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(StopReason::Deadline);
+            }
+        }
+        if let Some(max) = self.inner.max_steps {
+            if self.inner.steps.load(Ordering::Relaxed) > max {
+                return Err(StopReason::StepLimit);
+            }
+        }
+        if let Some(max) = self.inner.max_bytes {
+            if self.inner.bytes.load(Ordering::Relaxed) > max {
+                return Err(StopReason::ByteLimit);
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges one step and checks the envelope.
+    pub fn charge_step(&self) -> Result<(), StopReason> {
+        self.charge_steps(1)
+    }
+
+    /// Charges `n` steps and checks the envelope. A governed loop calls
+    /// this once per natural unit of work (worklist pop, compacted
+    /// function, decoded frame).
+    pub fn charge_steps(&self, n: u64) -> Result<(), StopReason> {
+        if self.unlimited {
+            // Cancellation still applies, but counters need not move.
+            if self.inner.cancel.is_cancelled() {
+                return Err(StopReason::Cancelled);
+            }
+            return Ok(());
+        }
+        self.inner.steps.fetch_add(n, Ordering::Relaxed);
+        self.check()
+    }
+
+    /// Charges `n` approximate bytes and checks the envelope.
+    pub fn charge_bytes(&self, n: u64) -> Result<(), StopReason> {
+        if self.unlimited {
+            if self.inner.cancel.is_cancelled() {
+                return Err(StopReason::Cancelled);
+            }
+            return Ok(());
+        }
+        self.inner.bytes.fetch_add(n, Ordering::Relaxed);
+        self.check()
+    }
+}
+
+/// A deterministic fault-injection plan: optionally panic when a given
+/// function is processed, and/or sleep before each per-function stage.
+///
+/// The library never reads the environment implicitly — tests construct
+/// plans directly (no env races between parallel tests), and only the
+/// CLI calls [`FaultPlan::from_env`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Function id (decimal string of `FuncId::as_u32`) whose stage
+    /// panics. `None` disables panic injection.
+    pub panic_func: Option<String>,
+    /// Milliseconds to sleep at every injection point. Zero disables.
+    pub delay_ms: u64,
+}
+
+impl FaultPlan {
+    /// No faults; all injection points are no-ops.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault is configured.
+    pub fn is_active(&self) -> bool {
+        self.panic_func.is_some() || self.delay_ms > 0
+    }
+
+    /// Reads `TWPP_INJECT_PANIC` / `TWPP_INJECT_DELAY_MS` from the
+    /// environment. Missing or unparsable values disable the respective
+    /// fault.
+    pub fn from_env() -> Self {
+        let panic_func = std::env::var(INJECT_PANIC_ENV)
+            .ok()
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty());
+        let delay_ms = std::env::var(INJECT_DELAY_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        FaultPlan { panic_func, delay_ms }
+    }
+
+    /// A plan that panics when `func` is processed.
+    pub fn panic_on(func: FuncId) -> Self {
+        FaultPlan {
+            panic_func: Some(func.as_u32().to_string()),
+            delay_ms: 0,
+        }
+    }
+
+    /// A plan that sleeps `ms` milliseconds at every injection point.
+    pub fn delay(ms: u64) -> Self {
+        FaultPlan { panic_func: None, delay_ms: ms }
+    }
+
+    /// Injection point: panics iff this plan targets `func`.
+    ///
+    /// # Panics
+    ///
+    /// Deliberately, when `func` matches `panic_func` — that is the
+    /// whole point of the harness.
+    pub fn maybe_panic(&self, func: FuncId) {
+        if let Some(target) = &self.panic_func {
+            if *target == func.as_u32().to_string() {
+                panic!("injected fault: panic in stage for function {}", func.as_u32());
+            }
+        }
+    }
+
+    /// Injection point: sleeps for `delay_ms` if configured.
+    pub fn apply_delay(&self) {
+        if self.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.delay_ms));
+        }
+    }
+}
+
+/// Renders a panic payload (from `catch_unwind` / `JoinHandle::join`)
+/// into a human-readable message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_stops() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        for _ in 0..10_000 {
+            b.charge_step().unwrap();
+        }
+        b.charge_bytes(u64::MAX / 2).unwrap();
+        assert!(b.check().is_ok());
+        // Unlimited budgets skip counter updates entirely.
+        assert_eq!(b.steps_used(), 0);
+    }
+
+    #[test]
+    fn step_limit_fires() {
+        let b = Limits::new().max_steps(10).start();
+        let mut stopped = None;
+        for _ in 0..100 {
+            if let Err(r) = b.charge_step() {
+                stopped = Some(r);
+                break;
+            }
+        }
+        assert_eq!(stopped, Some(StopReason::StepLimit));
+        assert!(b.steps_used() >= 10);
+    }
+
+    #[test]
+    fn byte_limit_fires() {
+        let b = Limits::new().max_bytes(1000).start();
+        assert!(b.charge_bytes(500).is_ok());
+        assert!(b.charge_bytes(400).is_ok());
+        assert_eq!(b.charge_bytes(200), Err(StopReason::ByteLimit));
+    }
+
+    #[test]
+    fn deadline_fires_promptly() {
+        let b = Limits::new().deadline_ms(20).start();
+        assert!(b.check().is_ok());
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.check(), Err(StopReason::Deadline));
+        assert_eq!(b.charge_step(), Err(StopReason::Deadline));
+    }
+
+    #[test]
+    fn cancellation_beats_everything() {
+        let b = Budget::unlimited();
+        let token = b.cancel_token();
+        assert!(b.charge_step().is_ok());
+        token.cancel();
+        assert_eq!(b.check(), Err(StopReason::Cancelled));
+        assert_eq!(b.charge_step(), Err(StopReason::Cancelled));
+        assert_eq!(b.charge_bytes(1), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let b = Limits::new().max_steps(100).start();
+        let c = b.clone();
+        for _ in 0..60 {
+            b.charge_step().unwrap();
+        }
+        assert_eq!(c.steps_used(), 60);
+        let mut stopped = false;
+        for _ in 0..60 {
+            if c.charge_step().is_err() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped, "clone must observe the shared step counter");
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn fault_plan_panics_only_on_target() {
+        let plan = FaultPlan::panic_on(FuncId::from_u32(7));
+        plan.maybe_panic(FuncId::from_u32(3)); // no-op
+        let caught = std::panic::catch_unwind(|| plan.maybe_panic(FuncId::from_u32(7)));
+        let payload = caught.expect_err("target function must panic");
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("injected fault"), "got: {msg}");
+        assert!(msg.contains('7'), "got: {msg}");
+    }
+
+    #[test]
+    fn fault_plan_inactive_by_default() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(FaultPlan::panic_on(FuncId::from_u32(0)).is_active());
+        assert!(FaultPlan::delay(1).is_active());
+    }
+
+    #[test]
+    fn stop_reason_displays() {
+        assert!(StopReason::Deadline.to_string().contains("deadline"));
+        assert!(StopReason::StepLimit.to_string().contains("step"));
+        assert!(StopReason::ByteLimit.to_string().contains("byte"));
+        assert!(StopReason::Cancelled.to_string().contains("cancel"));
+    }
+
+    #[test]
+    fn panic_message_handles_both_payload_kinds() {
+        let s = std::panic::catch_unwind(|| panic!("literal")).unwrap_err();
+        assert_eq!(panic_message(s.as_ref()), "literal");
+        let owned = std::panic::catch_unwind(|| panic!("{}", 42)).unwrap_err();
+        assert_eq!(panic_message(owned.as_ref()), "42");
+    }
+}

@@ -30,6 +30,7 @@ pub mod archive;
 pub mod dbb;
 pub mod dcg;
 pub mod dedup;
+pub mod gov;
 pub mod lzw;
 pub mod par;
 pub mod partition;
@@ -43,10 +44,12 @@ pub use archive::{ArchiveError, ArchiveWriter, FunctionRecord, TwppArchive};
 pub use dbb::{compact_trace, CompactedTrace, DbbDictionary};
 pub use dcg::{Dcg, DcgNode, DcgNodeId};
 pub use dedup::{eliminate_redundancy, eliminate_redundancy_threads, RedundancyStats};
-pub use par::{default_threads, resolve_threads, WorkerReport};
+pub use gov::{Budget, CancelToken, FaultPlan, Limits, StopReason};
+pub use par::{default_threads, map_indexed_isolated, resolve_threads, WorkerReport};
 pub use partition::{partition, PartitionError, PartitionedWpp};
 pub use pipeline::{
-    compact, compact_with_stats, compact_with_stats_threads, CompactOptions, CompactedTwpp,
+    compact, compact_governed, compact_with_stats, compact_with_stats_threads, CompactOptions,
+    CompactedTwpp, DegradedReport, FailedFunction, FunctionOutcome, GovOptions, PipelineError,
     PipelineStats, StageTimings,
 };
 pub use recovery::{FunctionVerdict, RecoveryReport, RegionStatus};

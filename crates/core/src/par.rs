@@ -197,6 +197,35 @@ where
     (out, report)
 }
 
+/// Like [`map_indexed_report`], but every invocation of `f` is wrapped
+/// in [`std::panic::catch_unwind`]: a panicking item yields
+/// `Err(message)` for that index while every other item still completes
+/// and is returned in input order.
+///
+/// This is the degrade-mode primitive: one poisoned function must not
+/// abort the whole compaction. The fail-fast paths keep using
+/// [`map_indexed`], whose panic-propagation semantics are unchanged.
+///
+/// The panic hook is left untouched, so an injected panic still prints a
+/// backtrace unless the caller silences it; callers that expect panics
+/// (tests, degrade-mode CLI) may install a quiet hook around the call.
+pub fn map_indexed_isolated<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> (Vec<Result<R, String>>, WorkerReport)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let f = &f;
+    map_indexed_report(items, threads, move |i, item| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)))
+            .map_err(|payload| crate::gov::panic_message(payload.as_ref()))
+    })
+}
+
 /// Elapsed nanoseconds since `started`, saturating at `u64::MAX`.
 fn elapsed_nanos(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
@@ -263,6 +292,32 @@ mod tests {
         let payload = result.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("worker exploded"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn isolated_map_contains_panics() {
+        let items: Vec<u32> = (0..64).collect();
+        // Silence the default panic hook's stderr spew for the injected
+        // panic; restore afterwards so other tests are unaffected.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (out, report) = map_indexed_isolated(&items, 4, |_, &x| {
+            if x == 33 {
+                panic!("worker exploded on {x}");
+            }
+            x * 2
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(out.len(), 64);
+        assert_eq!(report.total_items(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i == 33 {
+                let msg = r.as_ref().expect_err("item 33 must fail");
+                assert!(msg.contains("worker exploded"), "got: {msg}");
+            } else {
+                assert_eq!(*r.as_ref().expect("other items succeed"), (i as u32) * 2);
+            }
+        }
     }
 
     #[test]

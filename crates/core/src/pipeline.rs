@@ -13,6 +13,7 @@ use twpp_tracer::RawWpp;
 use crate::dbb::{compact_trace, DbbDictionary};
 use crate::dcg::Dcg;
 use crate::dedup::{eliminate_redundancy_threads, RedundancyStats};
+use crate::gov::{Budget, FaultPlan, StopReason};
 use crate::lzw;
 use crate::par::{self, WorkerReport};
 use crate::partition::{partition, PartitionError, PartitionedWpp};
@@ -157,6 +158,148 @@ impl CompactOptions {
     }
 }
 
+/// Options for the governed pipeline entry point
+/// [`compact_governed`]: scheduling plus a resource envelope, a
+/// degradation policy, and an optional fault-injection plan.
+#[derive(Clone, Debug)]
+pub struct GovOptions {
+    /// Worker count, resolved like [`CompactOptions::threads`].
+    pub threads: Option<usize>,
+    /// Resource envelope checked at stage boundaries and per function.
+    /// Exhaustion is a **hard stop** ([`PipelineError::Budget`]) — a
+    /// deadlined run never yields a partially-built archive.
+    pub budget: Budget,
+    /// `true` (the default, matching the pre-governance pipeline):
+    /// a panicking per-function stage propagates on the calling thread.
+    /// `false`: each per-function stage runs panic-isolated; a failure
+    /// becomes a [`FunctionOutcome::Failed`] entry in
+    /// [`PipelineStats::degraded`] while every other function completes.
+    pub fail_fast: bool,
+    /// Deterministic fault injection (tests and the CLI harness).
+    pub faults: FaultPlan,
+}
+
+impl Default for GovOptions {
+    fn default() -> Self {
+        GovOptions {
+            threads: None,
+            budget: Budget::unlimited(),
+            fail_fast: true,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl GovOptions {
+    /// Governed options with the degrade policy enabled.
+    pub fn degrade() -> GovOptions {
+        GovOptions {
+            fail_fast: false,
+            ..GovOptions::default()
+        }
+    }
+}
+
+/// Errors from the governed pipeline.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The event stream was malformed.
+    Partition(PartitionError),
+    /// The resource envelope was exhausted (deadline, step cap, byte
+    /// cap, or cancellation). Nothing partial is returned: archives are
+    /// either complete-modulo-degraded-functions or not written at all.
+    Budget(StopReason),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Partition(e) => write!(f, "{e}"),
+            PipelineError::Budget(r) => write!(f, "budget exhausted: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<PartitionError> for PipelineError {
+    fn from(e: PartitionError) -> Self {
+        PipelineError::Partition(e)
+    }
+}
+
+impl From<StopReason> for PipelineError {
+    fn from(r: StopReason) -> Self {
+        PipelineError::Budget(r)
+    }
+}
+
+/// A function whose per-function compaction stage failed under the
+/// degrade policy.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FailedFunction {
+    /// The function whose stage failed.
+    pub func: FuncId,
+    /// Its call count (preserved so the archive footer can record the
+    /// failure with its original frequency rank).
+    pub call_count: u64,
+    /// Which stage failed (currently always the fused per-function
+    /// DBB/TWPP/TsSet stage, `"compact"`).
+    pub stage: &'static str,
+    /// The panic message or error that killed the stage.
+    pub reason: String,
+}
+
+/// The outcome of one function's per-function stage under the degrade
+/// policy.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FunctionOutcome {
+    /// The stage completed; the block is part of the output.
+    Built(FunctionBlock),
+    /// The stage panicked or errored; the function is excluded from the
+    /// output and recorded in [`PipelineStats::degraded`].
+    Failed(FailedFunction),
+}
+
+/// The set of functions that failed during a degraded run. Empty on a
+/// clean run — and a clean degraded run is byte-identical to the
+/// fail-fast pipeline.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DegradedReport {
+    /// Failed functions, in deterministic function-id order.
+    pub failed: Vec<FailedFunction>,
+}
+
+impl DegradedReport {
+    /// Whether every function completed.
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Number of failed functions.
+    pub fn len(&self) -> usize {
+        self.failed.len()
+    }
+}
+
+impl std::fmt::Display for DegradedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.failed.is_empty() {
+            return write!(f, "degraded: none");
+        }
+        writeln!(f, "degraded: {} function(s) failed", self.failed.len())?;
+        for fail in &self.failed {
+            writeln!(
+                f,
+                "  {} (calls {}): {} stage: {}",
+                fail.func, fail.call_count, fail.stage, fail.reason
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Wall-clock nanoseconds spent in each pipeline stage, surfaced by the
 /// CLI's `--stats` output and the bench crate's scaling experiment.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -210,6 +353,9 @@ pub struct PipelineStats {
     pub timings: StageTimings,
     /// How the parallel per-function stage spread over workers.
     pub workers: WorkerReport,
+    /// Functions whose per-function stage failed under the degrade
+    /// policy. Always empty for the fail-fast entry points.
+    pub degraded: DegradedReport,
 }
 
 impl PipelineStats {
@@ -292,19 +438,69 @@ pub fn compact_with_stats_threads(
     wpp: &RawWpp,
     options: CompactOptions,
 ) -> Result<(CompactedTwpp, PipelineStats), PartitionError> {
+    let gov = GovOptions {
+        threads: options.threads,
+        ..GovOptions::default()
+    };
+    compact_governed(wpp, &gov).map_err(|e| match e {
+        PipelineError::Partition(p) => p,
+        // Unreachable: the unlimited budget's private cancel token is
+        // never cancelled and no other limit is configured.
+        PipelineError::Budget(_) => PartitionError::LimitExceeded("unlimited budget exhausted"),
+    })
+}
+
+/// Runs the full compaction pipeline under a [`Budget`], with optional
+/// panic-isolated graceful degradation and fault injection.
+///
+/// Semantics:
+///
+/// * **Budget exhaustion is a hard stop** — the pipeline returns
+///   [`PipelineError::Budget`] and produces *no* output, so a deadlined
+///   or cancelled run can never commit a partially-built archive. The
+///   budget is checked at every stage boundary and charged per event
+///   after partitioning and per unique trace inside the per-function
+///   stage.
+/// * **Panics degrade (when `fail_fast` is `false`)** — each
+///   per-function stage runs under `catch_unwind`; a panicking or
+///   erroring function becomes a [`FailedFunction`] in
+///   [`PipelineStats::degraded`] (deterministic function-id order) while
+///   every other function completes normally. With `fail_fast: true`
+///   (the default, and the path the legacy entry points take) a panic
+///   propagates on the calling thread exactly as before.
+/// * **No fault ⇒ byte identity** — with an unlimited budget and no
+///   injected fault, the output is byte-identical to
+///   [`compact_with_stats_threads`] for every thread count and policy
+///   (property-tested in `tests/governance.rs`).
+///
+/// # Errors
+///
+/// [`PipelineError::Partition`] for malformed event streams (or, in
+/// fail-fast mode, a malformed single function);
+/// [`PipelineError::Budget`] when the envelope is exhausted.
+pub fn compact_governed(
+    wpp: &RawWpp,
+    options: &GovOptions,
+) -> Result<(CompactedTwpp, PipelineStats), PipelineError> {
     let threads = par::resolve_threads(options.threads);
+    let budget = &options.budget;
+    budget.check()?;
     let raw = wpp.size_breakdown();
 
-    // Stage 1: partition into path traces + DCG.
+    // Stage 1: partition into path traces + DCG. The event count is the
+    // natural unit for `--max-events`.
     let started = Instant::now();
     let mut part = partition(wpp)?;
     let partition_nanos = elapsed_nanos(started);
+    budget.charge_steps(wpp.event_count() as u64)?;
+    budget.charge_bytes(wpp.byte_len() as u64)?;
     let owpp_trace_bytes = part.trace_bytes();
 
     // Stage 2: redundant path trace elimination (per-function, parallel).
     let started = Instant::now();
     let redundancy = eliminate_redundancy_threads(&mut part, threads);
     let dedup_nanos = elapsed_nanos(started);
+    budget.check()?;
     let after_dedup_bytes = part.trace_bytes();
 
     // Stage 3 + 4: DBB dictionaries, then the TWPP inversion, per
@@ -313,15 +509,73 @@ pub fn compact_with_stats_threads(
     let started = Instant::now();
     let call_counts: HashMap<FuncId, u64> = part.dcg.call_counts().into_iter().collect();
     let entries: Vec<(&FuncId, &Vec<PathTrace>)> = part.traces.iter().collect();
-    let (built, workers) = par::map_indexed_report(&entries, threads, |_, &(&func, traces)| {
-        build_function_block(func, traces, &call_counts)
-    });
+    let faults = &options.faults;
+    let build = |_: usize, entry: &(&FuncId, &Vec<PathTrace>)| -> BuildResult {
+        let (&func, traces) = *entry;
+        if let Err(reason) = budget.charge_steps(traces.len() as u64) {
+            return BuildResult::Stopped(reason);
+        }
+        faults.apply_delay();
+        faults.maybe_panic(func);
+        match build_function_block(func, traces, &call_counts) {
+            Ok((fb, bytes)) => BuildResult::Built(Box::new(fb), bytes),
+            Err(e) => BuildResult::Errored(e),
+        }
+    };
+
     let mut after_dict_bytes = 0usize;
-    let mut functions: Vec<FunctionBlock> = Vec::with_capacity(built.len());
-    for r in built {
-        let (fb, dict_trace_bytes) = r?;
-        after_dict_bytes += dict_trace_bytes;
-        functions.push(fb);
+    let mut functions: Vec<FunctionBlock> = Vec::with_capacity(entries.len());
+    let mut failed: Vec<FailedFunction> = Vec::new();
+    let workers;
+    if options.fail_fast {
+        // Pre-governance semantics: a panicking worker propagates via
+        // `resume_unwind` on the calling thread; an errored function
+        // fails the whole run.
+        let (built, report) = par::map_indexed_report(&entries, threads, build);
+        workers = report;
+        for r in built {
+            match r {
+                BuildResult::Built(fb, bytes) => {
+                    after_dict_bytes += bytes;
+                    functions.push(*fb);
+                }
+                BuildResult::Errored(e) => return Err(PipelineError::Partition(e)),
+                BuildResult::Stopped(reason) => return Err(PipelineError::Budget(reason)),
+            }
+        }
+    } else {
+        // Degrade mode: every per-function stage is panic-isolated; one
+        // poisoned function becomes a FailedFunction entry instead of
+        // aborting the run. Budget exhaustion still hard-stops.
+        let (built, report) = par::map_indexed_isolated(&entries, threads, build);
+        workers = report;
+        for (i, r) in built.into_iter().enumerate() {
+            let (&func, _) = entries[i];
+            let call_count = call_counts.get(&func).copied().unwrap_or(0);
+            let outcome = match r {
+                Ok(BuildResult::Built(fb, bytes)) => FunctionOutcome::Built({
+                    after_dict_bytes += bytes;
+                    *fb
+                }),
+                Ok(BuildResult::Errored(e)) => FunctionOutcome::Failed(FailedFunction {
+                    func,
+                    call_count,
+                    stage: "compact",
+                    reason: e.to_string(),
+                }),
+                Ok(BuildResult::Stopped(reason)) => return Err(PipelineError::Budget(reason)),
+                Err(panic_msg) => FunctionOutcome::Failed(FailedFunction {
+                    func,
+                    call_count,
+                    stage: "compact",
+                    reason: panic_msg,
+                }),
+            };
+            match outcome {
+                FunctionOutcome::Built(fb) => functions.push(fb),
+                FunctionOutcome::Failed(ff) => failed.push(ff),
+            }
+        }
     }
     // Most frequently called functions first (ties broken by id for
     // determinism).
@@ -330,7 +584,9 @@ pub fn compact_with_stats_threads(
             .cmp(&a.call_count)
             .then(a.func.cmp(&b.func))
     });
+    failed.sort_by_key(|f| f.func);
     let function_stage_nanos = elapsed_nanos(started);
+    budget.check()?;
 
     // Stage 5: DCG compression.
     let started = Instant::now();
@@ -338,6 +594,7 @@ pub fn compact_with_stats_threads(
     let dcg_bytes: Vec<u8> = dcg_words.iter().flat_map(|w| w.to_le_bytes()).collect();
     let dcg_compressed_bytes = lzw::compressed_size(&dcg_bytes);
     let dcg_compress_nanos = elapsed_nanos(started);
+    budget.charge_bytes(dcg_bytes.len() as u64)?;
 
     let compacted = CompactedTwpp {
         dcg: part.dcg,
@@ -360,8 +617,17 @@ pub fn compact_with_stats_threads(
             dcg_compress_nanos,
         },
         workers,
+        degraded: DegradedReport { failed },
     };
     Ok((compacted, stats))
+}
+
+/// The per-function stage's tri-state result, carried through the worker
+/// pool so budget stops and partition errors survive the fan-out.
+enum BuildResult {
+    Built(Box<FunctionBlock>, usize),
+    Errored(PartitionError),
+    Stopped(StopReason),
 }
 
 /// Builds one function's [`FunctionBlock`] — DBB dictionary creation, the
@@ -551,6 +817,84 @@ mod tests {
                 compact_with_stats_threads(&wpp, CompactOptions::with_threads(threads)).unwrap();
             assert_eq!(par, seq, "compact diverged at {threads} threads");
             assert_eq!(stats.workers.total_items(), 2, "two functions processed");
+        }
+    }
+
+    #[test]
+    fn governed_matches_legacy_when_no_fault_fires() {
+        let wpp = figure1();
+        let (legacy, legacy_stats) = compact_with_stats(&wpp).unwrap();
+        for fail_fast in [true, false] {
+            let gov = GovOptions {
+                fail_fast,
+                ..GovOptions::default()
+            };
+            let (c, stats) = compact_governed(&wpp, &gov).unwrap();
+            assert_eq!(c, legacy);
+            assert_eq!(stats.ctwpp_trace_bytes, legacy_stats.ctwpp_trace_bytes);
+            assert_eq!(stats.after_dict_bytes, legacy_stats.after_dict_bytes);
+            assert!(stats.degraded.is_empty());
+        }
+    }
+
+    #[test]
+    fn governed_degrade_isolates_injected_panic() {
+        let wpp = figure1();
+        let gov = GovOptions {
+            faults: crate::gov::FaultPlan::panic_on(f(1)),
+            ..GovOptions::degrade()
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (c, stats) = compact_governed(&wpp, &gov).unwrap();
+        std::panic::set_hook(prev);
+        // f(1) failed; f(0) (main) survived.
+        assert_eq!(c.functions.len(), 1);
+        assert_eq!(c.functions[0].func, f(0));
+        assert_eq!(stats.degraded.len(), 1);
+        let fail = &stats.degraded.failed[0];
+        assert_eq!(fail.func, f(1));
+        assert_eq!(fail.call_count, 5);
+        assert_eq!(fail.stage, "compact");
+        assert!(fail.reason.contains("injected fault"), "got: {}", fail.reason);
+    }
+
+    #[test]
+    fn governed_fail_fast_propagates_injected_panic() {
+        let wpp = figure1();
+        let gov = GovOptions {
+            faults: crate::gov::FaultPlan::panic_on(f(1)),
+            ..GovOptions::default()
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(|| compact_governed(&wpp, &gov));
+        std::panic::set_hook(prev);
+        assert!(result.is_err(), "fail-fast must propagate the panic");
+    }
+
+    #[test]
+    fn governed_budget_exhaustion_is_a_hard_stop() {
+        let wpp = figure1();
+        // The stream has far more events than one step.
+        let gov = GovOptions {
+            budget: crate::gov::Limits::new().max_steps(1).start(),
+            ..GovOptions::default()
+        };
+        match compact_governed(&wpp, &gov) {
+            Err(PipelineError::Budget(reason)) => {
+                assert_eq!(reason, crate::gov::StopReason::StepLimit)
+            }
+            other => panic!("expected budget stop, got {other:?}"),
+        }
+        // Cancellation also hard-stops, before any work happens.
+        let gov = GovOptions::default();
+        gov.budget.cancel_token().cancel();
+        match compact_governed(&wpp, &gov) {
+            Err(PipelineError::Budget(reason)) => {
+                assert_eq!(reason, crate::gov::StopReason::Cancelled)
+            }
+            other => panic!("expected cancellation, got {other:?}"),
         }
     }
 

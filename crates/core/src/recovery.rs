@@ -25,6 +25,10 @@ pub enum RegionStatus {
     /// The checksum verified but the payload failed semantic decoding;
     /// the string names the decode error.
     Undecodable(String),
+    /// The writer recorded this function as failed during compaction (a
+    /// degraded run): no payload was ever written, by design. The
+    /// archive is intact; the function's traces were lost upstream.
+    FailedAtCompaction,
 }
 
 impl RegionStatus {
@@ -41,6 +45,7 @@ impl fmt::Display for RegionStatus {
             RegionStatus::BadChecksum => f.write_str("checksum mismatch"),
             RegionStatus::Truncated => f.write_str("truncated"),
             RegionStatus::Undecodable(why) => write!(f, "undecodable ({why})"),
+            RegionStatus::FailedAtCompaction => f.write_str("failed at compaction (degraded)"),
         }
     }
 }
@@ -103,6 +108,36 @@ impl RecoveryReport {
     /// Number of function regions lost.
     pub fn lost_functions(&self) -> usize {
         self.functions.len() - self.salvaged_functions()
+    }
+
+    /// Functions the writer recorded as failed during a degraded
+    /// compaction run.
+    pub fn degraded_functions(&self) -> Vec<FuncId> {
+        self.functions
+            .iter()
+            .filter(|v| matches!(v.status, RegionStatus::FailedAtCompaction))
+            .map(|v| v.func)
+            .collect()
+    }
+
+    /// Whether the archive itself is intact and its only blemish is a
+    /// non-empty set of functions recorded as failed during compaction.
+    /// This is `twpp fsck`'s "degraded" verdict (exit code 3): every
+    /// byte that was written verifies, but a degraded run skipped some
+    /// functions on purpose.
+    pub fn is_degraded_only(&self) -> bool {
+        self.header_ok
+            && self.dcg_ok
+            && self.names_ok
+            && self.committed
+            && !self.functions.is_empty()
+            && self.functions.iter().all(|v| {
+                v.status.is_ok() || matches!(v.status, RegionStatus::FailedAtCompaction)
+            })
+            && self
+                .functions
+                .iter()
+                .any(|v| matches!(v.status, RegionStatus::FailedAtCompaction))
     }
 }
 

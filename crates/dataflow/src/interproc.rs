@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use twpp::gov::{Budget, StopReason};
 use twpp::pipeline::CompactedTwpp;
 use twpp_ir::{FuncId, Program, Stmt};
 
@@ -33,6 +34,24 @@ impl CallSummaries {
         compacted: &CompactedTwpp,
         fact: &F,
     ) -> CallSummaries {
+        match Self::compute_governed(program, compacted, fact, &Budget::unlimited()) {
+            Ok(s) => s,
+            Err(reason) => unreachable!("unlimited budget stopped: {reason}"),
+        }
+    }
+
+    /// Budget-governed variant of [`CallSummaries::compute`].
+    ///
+    /// Charges one step per (round, function, unique trace) replay. A
+    /// half-converged fixed point would *under*-approximate kill effects
+    /// — unsound for must-hold queries — so budget exhaustion here is a
+    /// hard stop, never a partial summary.
+    pub fn compute_governed<F: GenKillFact + ?Sized>(
+        program: &Program,
+        compacted: &CompactedTwpp,
+        fact: &F,
+        budget: &Budget,
+    ) -> Result<CallSummaries, StopReason> {
         let mut summaries = CallSummaries {
             effects: HashMap::new(),
         };
@@ -49,6 +68,7 @@ impl CallSummaries {
                 let mut agreed: Option<Effect> = None;
                 let mut mixed = false;
                 for trace in fb.expanded_traces() {
+                    budget.charge_step()?;
                     let e = summaries.trace_effect(program, fb.func, trace.blocks(), fact);
                     match agreed {
                         None => agreed = Some(e),
@@ -74,7 +94,7 @@ impl CallSummaries {
                 break;
             }
         }
-        summaries
+        Ok(summaries)
     }
 
     fn trace_effect<F: GenKillFact + ?Sized>(
@@ -227,6 +247,30 @@ mod tests {
         let (n_b, _) = loads[1];
         let naive = solve_backward(&dcfg, main_func, &fact, n_b, &dcfg.node(n_b).ts);
         assert!(naive.always_holds());
+    }
+
+    #[test]
+    fn governed_summaries_stop_hard_on_budget() {
+        let (program, compacted, _) = setup();
+        let fact = AvailableLoad {
+            addr: Operand::Const(100),
+        };
+        // A tiny step cap is a hard stop: no partial summary escapes.
+        let budget = twpp::gov::Limits::new().max_steps(1).start();
+        let stopped = CallSummaries::compute_governed(&program, &compacted, &fact, &budget);
+        assert!(matches!(stopped, Err(twpp::StopReason::StepLimit)));
+        // An unlimited governed run agrees with the ungoverned wrapper.
+        let governed = CallSummaries::compute_governed(
+            &program,
+            &compacted,
+            &fact,
+            &twpp::Budget::unlimited(),
+        )
+        .unwrap();
+        let plain = CallSummaries::compute(&program, &compacted, &fact);
+        for fb in &compacted.functions {
+            assert_eq!(governed.effect_of(fb.func), plain.effect_of(fb.func));
+        }
     }
 
     #[test]

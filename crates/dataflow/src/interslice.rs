@@ -21,6 +21,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
+use twpp::gov::{Budget, StopReason};
 use twpp::pipeline::CompactedTwpp;
 use twpp::{DcgNodeId, TsSet};
 use twpp_ir::dom::ControlDeps;
@@ -31,6 +32,41 @@ use crate::reachdefs::ReachingDefs;
 
 /// A point in an interprocedural slice.
 pub type SlicePoint = (FuncId, BlockId);
+
+/// The outcome of a governed interprocedural slice.
+///
+/// A partial slice is a sound under-approximation: every `(func, block)`
+/// pair it contains influenced the criterion, but pairs may be missing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum InterSliceOutcome {
+    /// The worklist drained: the slice is exact.
+    Complete(BTreeSet<SlicePoint>),
+    /// The budget stopped the activation walk early.
+    Partial {
+        /// The points discovered before the stop.
+        slice: BTreeSet<SlicePoint>,
+        /// Worklist instances processed before the stop.
+        visited: u64,
+        /// Why the walk stopped.
+        reason: StopReason,
+    },
+}
+
+impl InterSliceOutcome {
+    /// The discovered slice points, complete or not.
+    pub fn slice(&self) -> &BTreeSet<SlicePoint> {
+        match self {
+            InterSliceOutcome::Complete(s) => s,
+            InterSliceOutcome::Partial { slice, .. } => slice,
+        }
+    }
+
+    /// Whether the walk ran to completion.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, InterSliceOutcome::Complete(_))
+    }
+}
 
 /// The slicing criterion: a variable at an execution instance *within a
 /// particular activation*.
@@ -82,16 +118,39 @@ impl<'p> InterSlicer<'p> {
 
     /// Computes the interprocedural precise dynamic slice.
     pub fn slice(&mut self, criterion: InterCriterion) -> BTreeSet<SlicePoint> {
+        match self.slice_governed(criterion, &Budget::unlimited()) {
+            InterSliceOutcome::Complete(s) | InterSliceOutcome::Partial { slice: s, .. } => s,
+        }
+    }
+
+    /// Budget-governed variant of [`InterSlicer::slice`]: charges one
+    /// step per statement instance popped from the worklist, so a
+    /// deadline or step cap interrupts the activation walk within one
+    /// dependence hop and returns the points found so far.
+    pub fn slice_governed(
+        &mut self,
+        criterion: InterCriterion,
+        budget: &Budget,
+    ) -> InterSliceOutcome {
         let mut slice: BTreeSet<SlicePoint> = BTreeSet::new();
         let mut visited: HashSet<(DcgNodeId, u32)> = HashSet::new();
         let mut work: Vec<(DcgNodeId, u32, Option<Var>)> = Vec::new();
+        let mut popped: u64 = 0;
         // The criterion instance itself is in the slice; explaining `var`
         // starts from its reaching definition.
         work.push((criterion.activation, criterion.timestamp, Some(criterion.var)));
         while let Some((activation, t, seed_var)) = work.pop() {
+            if let Err(reason) = budget.charge_step() {
+                return InterSliceOutcome::Partial {
+                    slice,
+                    visited: popped,
+                    reason,
+                };
+            }
+            popped += 1;
             self.process_instance(activation, t, seed_var, &mut slice, &mut visited, &mut work);
         }
-        slice
+        InterSliceOutcome::Complete(slice)
     }
 
     /// Handles one statement instance `(activation, t)`. When `seed_var`
@@ -557,6 +616,34 @@ mod tests {
             !slice.iter().any(|&(f, _)| f == f2),
             "f2 did not produce the sliced value: {slice:?}"
         );
+    }
+
+    #[test]
+    fn governed_interslice_degrades_to_a_sound_subset() {
+        let src = "
+            fn id(x) { return x; }
+            fn main() {
+                let a = input();
+                let r = id(a);
+                print(r);
+            }";
+        let (program, compacted) = setup(src, &[5]);
+        let mut slicer = InterSlicer::new(&program, &compacted);
+        let criterion = criterion_at_end(&program, &compacted, true);
+        let full = slicer.slice(criterion);
+        // Unlimited governed run is complete and identical.
+        let out = slicer.slice_governed(criterion, &twpp::Budget::unlimited());
+        assert!(out.is_complete());
+        assert_eq!(out.slice(), &full);
+        // A 1-step cap returns a sound subset with the stop reason.
+        let budget = twpp::gov::Limits::new().max_steps(1).start();
+        match slicer.slice_governed(criterion, &budget) {
+            InterSliceOutcome::Partial { slice, reason, .. } => {
+                assert_eq!(reason, twpp::StopReason::StepLimit);
+                assert!(slice.is_subset(&full));
+            }
+            InterSliceOutcome::Complete(s) => assert_eq!(s, full),
+        }
     }
 
     #[test]

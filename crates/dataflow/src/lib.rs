@@ -40,9 +40,12 @@ pub use currency::{currency_of, AssignTag, AssignTags, Currency};
 pub use dyncfg::{dyn_cfgs_of, DynCfg, DynNode};
 pub use facts::{AvailableLoad, Defined, Effect, GenKillFact};
 pub use interproc::{CallSummaries, WithCallEffects};
-pub use interslice::{InterCriterion, InterSlicer, SlicePoint};
+pub use interslice::{InterCriterion, InterSliceOutcome, InterSlicer, SlicePoint};
 pub use optimize::{all_redundant_load_candidates, redundant_load_candidates, LoadCandidate};
-pub use query::{solve_backward, solve_by_replay, QueryResult};
+pub use query::{
+    solve_backward, solve_backward_governed, solve_by_replay, solve_by_replay_governed,
+    QueryOutcome, QueryResult,
+};
 pub use reachdefs::ReachingDefs;
 pub use redundancy::{load_redundancy, load_redundancy_for, loads_in, RedundancyReport};
-pub use slicing::{Approach, Criterion, Slicer};
+pub use slicing::{Approach, Criterion, SliceOutcome, Slicer};

@@ -11,6 +11,7 @@
 //! Solving `<T(n), n>_d` yields the *frequency* with which `d` holds — the
 //! paper's hot-data-flow-fact primitive for profile-guided optimization.
 
+use twpp::gov::{Budget, StopReason};
 use twpp::TsSet;
 use twpp_ir::Function;
 
@@ -47,6 +48,55 @@ impl QueryResult {
     /// `true` if the fact holds for no queried execution.
     pub fn never_holds(&self) -> bool {
         self.holds.is_empty()
+    }
+}
+
+/// The outcome of a governed query: either every queried timestamp was
+/// resolved, or the budget ran out first and the answer covers only a
+/// fraction of them.
+///
+/// A `Partial` answer is still *sound*: every timestamp in
+/// `result.holds`/`result.not_holds` was fully propagated. The unresolved
+/// timestamps are simply absent from both sets.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum QueryOutcome {
+    /// Every queried timestamp was resolved.
+    Complete(QueryResult),
+    /// The budget stopped propagation before every timestamp resolved.
+    Partial {
+        /// The resolved portion of the answer (sound, possibly empty).
+        result: QueryResult,
+        /// Fraction of the queried timestamps that were resolved, in
+        /// `[0, 1]`.
+        coverage: f64,
+        /// Worklist nodes visited before the stop.
+        visited: u64,
+        /// Why propagation stopped.
+        reason: StopReason,
+    },
+}
+
+impl QueryOutcome {
+    /// The resolved portion of the answer, complete or not.
+    pub fn result(&self) -> &QueryResult {
+        match self {
+            QueryOutcome::Complete(r) => r,
+            QueryOutcome::Partial { result, .. } => result,
+        }
+    }
+
+    /// Whether every queried timestamp was resolved.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, QueryOutcome::Complete(_))
+    }
+
+    /// Fraction of queried timestamps resolved (1.0 when complete).
+    pub fn coverage(&self) -> f64 {
+        match self {
+            QueryOutcome::Complete(_) => 1.0,
+            QueryOutcome::Partial { coverage, .. } => *coverage,
+        }
     }
 }
 
@@ -96,6 +146,26 @@ pub fn solve_backward<F: GenKillFact + ?Sized>(
     node: usize,
     ts: &TsSet,
 ) -> QueryResult {
+    match solve_backward_governed(dcfg, func, fact, node, ts, &Budget::unlimited()) {
+        QueryOutcome::Complete(r) | QueryOutcome::Partial { result: r, .. } => r,
+    }
+}
+
+/// Budget-governed variant of [`solve_backward`].
+///
+/// The budget is charged one step per worklist pop and checked at the
+/// same cadence, so a deadline or step cap stops propagation within one
+/// node visit. On a stop the already-resolved timestamps are returned as
+/// [`QueryOutcome::Partial`]; coverage is deterministic for a given step
+/// cap because the worklist order is deterministic.
+pub fn solve_backward_governed<F: GenKillFact + ?Sized>(
+    dcfg: &DynCfg,
+    func: &Function,
+    fact: &F,
+    node: usize,
+    ts: &TsSet,
+    budget: &Budget,
+) -> QueryOutcome {
     // Pre-compute each node's DGEN/DKILL summary.
     let effects: Vec<Effect> = dcfg
         .nodes()
@@ -106,12 +176,25 @@ pub fn solve_backward<F: GenKillFact + ?Sized>(
     let mut result = QueryResult::default();
     let initial = ts.intersect(&dcfg.node(node).ts);
     if initial.is_empty() {
-        return result;
+        return QueryOutcome::Complete(result);
     }
+    let total = initial.len() as f64;
+    let mut visited: u64 = 0;
     // Worklist of propagation states: (node, positions, depth). A position
     // `v` at depth `k` stands for original query timestamp `v + k`.
     let mut work: Vec<(usize, TsSet, u32)> = vec![(node, initial, 0)];
     while let Some((n, positions, depth)) = work.pop() {
+        if let Err(reason) = budget.charge_step() {
+            let coverage =
+                (result.holds.len() as f64 + result.not_holds.len() as f64) / total;
+            return QueryOutcome::Partial {
+                result,
+                coverage,
+                visited,
+                reason,
+            };
+        }
+        visited += 1;
         let shifted = positions.shift(-1);
         // Positions that fell off the front of the trace reached the
         // function entry unresolved: the fact does not hold there.
@@ -150,7 +233,7 @@ pub fn solve_backward<F: GenKillFact + ?Sized>(
             }
         }
     }
-    result
+    QueryOutcome::Complete(result)
 }
 
 /// Naive oracle: answers the same query by replaying the full block
@@ -163,6 +246,22 @@ pub fn solve_by_replay<F: GenKillFact + ?Sized>(
     node: usize,
     ts: &TsSet,
 ) -> QueryResult {
+    match solve_by_replay_governed(dcfg, func, fact, node, ts, &Budget::unlimited()) {
+        QueryOutcome::Complete(r) | QueryOutcome::Partial { result: r, .. } => r,
+    }
+}
+
+/// Budget-governed variant of [`solve_by_replay`]: charges one step per
+/// queried timestamp (each costs a full prefix replay) and stops between
+/// timestamps when the budget runs out.
+pub fn solve_by_replay_governed<F: GenKillFact + ?Sized>(
+    dcfg: &DynCfg,
+    func: &Function,
+    fact: &F,
+    node: usize,
+    ts: &TsSet,
+    budget: &Budget,
+) -> QueryOutcome {
     // Effect at each trace position.
     let len = dcfg.len();
     let mut effect_at = vec![Effect::Transparent; (len + 1) as usize];
@@ -175,7 +274,16 @@ pub fn solve_by_replay<F: GenKillFact + ?Sized>(
     let mut result = QueryResult::default();
     let mut holds = Vec::new();
     let mut not_holds = Vec::new();
-    for t in ts.intersect(&dcfg.node(node).ts).iter() {
+    let queried = ts.intersect(&dcfg.node(node).ts);
+    let total = queried.len() as f64;
+    let mut visited: u64 = 0;
+    let mut stopped: Option<StopReason> = None;
+    for t in queried.iter() {
+        if let Err(reason) = budget.charge_step() {
+            stopped = Some(reason);
+            break;
+        }
+        visited += 1;
         let mut state = false;
         for v in 1..t {
             match effect_at[v as usize] {
@@ -192,7 +300,22 @@ pub fn solve_by_replay<F: GenKillFact + ?Sized>(
     }
     result.holds = TsSet::from_sorted(&holds);
     result.not_holds = TsSet::from_sorted(&not_holds);
-    result
+    match stopped {
+        None => QueryOutcome::Complete(result),
+        Some(reason) => {
+            let coverage = if total == 0.0 {
+                1.0
+            } else {
+                (result.holds.len() as f64 + result.not_holds.len() as f64) / total
+            };
+            QueryOutcome::Partial {
+                result,
+                coverage,
+                visited,
+                reason,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +455,119 @@ mod tests {
             let fast = solve_backward(&dcfg, func, &fact, n, &dcfg.node(n).ts);
             let slow = solve_by_replay(&dcfg, func, &fact, n, &dcfg.node(n).ts);
             assert_eq!(fast, slow, "disagreement at block {head}");
+        }
+    }
+
+    #[test]
+    fn governed_complete_matches_ungoverned() {
+        let p = program();
+        let func = p.func(p.main());
+        let seq = [1u32, 2, 4, 1, 3, 4, 1, 2, 4].map(b);
+        let dcfg = DynCfg::from_block_sequence(&seq);
+        let fact = AvailableLoad {
+            addr: Operand::Const(100),
+        };
+        let n4 = dcfg.node_by_head(b(4)).unwrap();
+        let plain = solve_backward(&dcfg, func, &fact, n4, &dcfg.node(n4).ts);
+        let governed = solve_backward_governed(
+            &dcfg,
+            func,
+            &fact,
+            n4,
+            &dcfg.node(n4).ts,
+            &Budget::unlimited(),
+        );
+        assert!(governed.is_complete());
+        assert_eq!(governed.result(), &plain);
+        assert_eq!(governed.coverage(), 1.0);
+    }
+
+    #[test]
+    fn step_cap_yields_partial_with_monotone_coverage() {
+        let p = program();
+        let func = p.func(p.main());
+        let mut seq = Vec::new();
+        for _ in 0..50 {
+            seq.extend([b(1), b(2), b(4)]);
+        }
+        let dcfg = DynCfg::from_block_sequence(&seq);
+        let fact = AvailableLoad {
+            addr: Operand::Const(100),
+        };
+        let n4 = dcfg.node_by_head(b(4)).unwrap();
+        let full = solve_backward(&dcfg, func, &fact, n4, &dcfg.node(n4).ts);
+        let mut prev = -1.0f64;
+        let mut saw_partial = false;
+        for cap in [1u64, 2, 4, 8, 1_000_000] {
+            let budget = twpp::gov::Limits::new().max_steps(cap).start();
+            let out = solve_backward_governed(
+                &dcfg,
+                func,
+                &fact,
+                n4,
+                &dcfg.node(n4).ts,
+                &budget,
+            );
+            let cov = out.coverage();
+            assert!(cov >= prev, "coverage must be monotone in the step cap");
+            assert!((0.0..=1.0).contains(&cov));
+            prev = cov;
+            match &out {
+                QueryOutcome::Complete(r) => assert_eq!(r, &full),
+                QueryOutcome::Partial {
+                    result,
+                    visited,
+                    reason,
+                    ..
+                } => {
+                    saw_partial = true;
+                    assert_eq!(*reason, StopReason::StepLimit);
+                    assert!(*visited <= cap);
+                    // Sound: resolved timestamps agree with the full answer.
+                    assert_eq!(
+                        result.holds.intersect(&full.holds).to_vec(),
+                        result.holds.to_vec()
+                    );
+                    assert_eq!(
+                        result.not_holds.intersect(&full.not_holds).to_vec(),
+                        result.not_holds.to_vec()
+                    );
+                }
+            }
+        }
+        assert!(saw_partial, "a 1-step cap must not complete this query");
+        assert_eq!(prev, 1.0, "the generous cap must complete");
+    }
+
+    #[test]
+    fn cancelled_budget_stops_replay_oracle() {
+        let p = program();
+        let func = p.func(p.main());
+        let seq = [1u32, 2, 4, 1, 3, 4].map(b);
+        let dcfg = DynCfg::from_block_sequence(&seq);
+        let fact = AvailableLoad {
+            addr: Operand::Const(100),
+        };
+        let n4 = dcfg.node_by_head(b(4)).unwrap();
+        let cancel = twpp::gov::CancelToken::new();
+        cancel.cancel();
+        let budget = twpp::gov::Limits::new().start_with_cancel(cancel);
+        let out = solve_by_replay_governed(
+            &dcfg,
+            func,
+            &fact,
+            n4,
+            &dcfg.node(n4).ts,
+            &budget,
+        );
+        match out {
+            QueryOutcome::Partial {
+                reason, visited, ..
+            } => {
+                assert_eq!(reason, StopReason::Cancelled);
+                assert_eq!(visited, 0);
+            }
+            QueryOutcome::Complete(_) => panic!("cancelled budget must not complete"),
         }
     }
 

@@ -18,6 +18,7 @@
 
 use std::collections::{BTreeSet, HashSet};
 
+use twpp::gov::{Budget, StopReason};
 use twpp_ir::dom::ControlDeps;
 use twpp_ir::{BlockId, Function, Var};
 
@@ -45,6 +46,41 @@ pub struct Criterion {
     pub timestamp: u32,
     /// The variable whose value is being explained.
     pub var: Var,
+}
+
+/// The outcome of a governed slice: complete, or cut short by the budget.
+///
+/// A partial slice is an *under-approximation*: every block it contains
+/// genuinely influences the criterion, but blocks may be missing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum SliceOutcome {
+    /// The worklist drained: the slice is exact for the chosen approach.
+    Complete(BTreeSet<BlockId>),
+    /// The budget stopped traversal; the slice is a sound subset.
+    Partial {
+        /// The blocks discovered before the stop.
+        slice: BTreeSet<BlockId>,
+        /// Worklist items processed before the stop.
+        visited: u64,
+        /// Why traversal stopped.
+        reason: StopReason,
+    },
+}
+
+impl SliceOutcome {
+    /// The discovered blocks, complete or not.
+    pub fn slice(&self) -> &BTreeSet<BlockId> {
+        match self {
+            SliceOutcome::Complete(s) => s,
+            SliceOutcome::Partial { slice, .. } => slice,
+        }
+    }
+
+    /// Whether the traversal ran to completion.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SliceOutcome::Complete(_))
+    }
 }
 
 /// A dynamic slicer for one function's execution trace.
@@ -79,10 +115,32 @@ impl<'f> Slicer<'f> {
     /// Computes the slice: the set of blocks (statements) whose execution
     /// influenced the criterion under the chosen approach.
     pub fn slice(&self, criterion: Criterion, approach: Approach) -> BTreeSet<BlockId> {
-        match approach {
-            Approach::ExecutedNodes => self.slice_executed_nodes(criterion),
-            Approach::ExecutedEdges => self.slice_executed_edges(criterion),
-            Approach::PreciseInstances => self.slice_precise(criterion),
+        match self.slice_governed(criterion, approach, &Budget::unlimited()) {
+            SliceOutcome::Complete(s) | SliceOutcome::Partial { slice: s, .. } => s,
+        }
+    }
+
+    /// Budget-governed variant of [`Slicer::slice`]: charges one step per
+    /// worklist item, so a deadline or step cap interrupts the traversal
+    /// within one dependence hop and returns the blocks found so far.
+    pub fn slice_governed(
+        &self,
+        criterion: Criterion,
+        approach: Approach,
+        budget: &Budget,
+    ) -> SliceOutcome {
+        let (slice, visited, stopped) = match approach {
+            Approach::ExecutedNodes => self.slice_executed_nodes(criterion, budget),
+            Approach::ExecutedEdges => self.slice_executed_edges(criterion, budget),
+            Approach::PreciseInstances => self.slice_precise(criterion, budget),
+        };
+        match stopped {
+            None => SliceOutcome::Complete(slice),
+            Some(reason) => SliceOutcome::Partial {
+                slice,
+                visited,
+                reason,
+            },
         }
     }
 
@@ -110,10 +168,15 @@ impl<'f> Slicer<'f> {
 
     // --- Approach 1 ----------------------------------------------------
 
-    fn slice_executed_nodes(&self, criterion: Criterion) -> BTreeSet<BlockId> {
+    fn slice_executed_nodes(
+        &self,
+        criterion: Criterion,
+        budget: &Budget,
+    ) -> (BTreeSet<BlockId>, u64, Option<StopReason>) {
         let mut slice = BTreeSet::new();
+        let mut visited: u64 = 0;
         if !self.executed(criterion.block) {
-            return slice;
+            return (slice, visited, None);
         }
         let mut work = vec![criterion.block];
         slice.insert(criterion.block);
@@ -125,6 +188,10 @@ impl<'f> Slicer<'f> {
             }
         }
         while let Some(n) = work.pop() {
+            if let Err(reason) = budget.charge_step() {
+                return (slice, visited, Some(reason));
+            }
+            visited += 1;
             for src in self.rd.dep_sources(n) {
                 if self.executed(src) && slice.insert(src) {
                     work.push(src);
@@ -136,15 +203,20 @@ impl<'f> Slicer<'f> {
                 }
             }
         }
-        slice
+        (slice, visited, None)
     }
 
     // --- Approach 2 ----------------------------------------------------
 
-    fn slice_executed_edges(&self, criterion: Criterion) -> BTreeSet<BlockId> {
+    fn slice_executed_edges(
+        &self,
+        criterion: Criterion,
+        budget: &Budget,
+    ) -> (BTreeSet<BlockId>, u64, Option<StopReason>) {
         let mut slice = BTreeSet::new();
+        let mut popped: u64 = 0;
         if !self.executed(criterion.block) {
-            return slice;
+            return (slice, popped, None);
         }
         let mut visited: HashSet<BlockId> = HashSet::new();
         let mut work: Vec<BlockId> = Vec::new();
@@ -161,6 +233,10 @@ impl<'f> Slicer<'f> {
         // Process the criterion node's own dependences too.
         work.push(criterion.block);
         while let Some(n) = work.pop() {
+            if let Err(reason) = budget.charge_step() {
+                return (slice, popped, Some(reason));
+            }
+            popped += 1;
             let Some(node_idx) = self.dcfg.node_by_head(n) else {
                 continue;
             };
@@ -195,15 +271,20 @@ impl<'f> Slicer<'f> {
                 }
             }
         }
-        slice
+        (slice, popped, None)
     }
 
     // --- Approach 3 ----------------------------------------------------
 
-    fn slice_precise(&self, criterion: Criterion) -> BTreeSet<BlockId> {
+    fn slice_precise(
+        &self,
+        criterion: Criterion,
+        budget: &Budget,
+    ) -> (BTreeSet<BlockId>, u64, Option<StopReason>) {
         let mut slice = BTreeSet::new();
+        let mut popped: u64 = 0;
         if !self.executed(criterion.block) {
-            return slice;
+            return (slice, popped, None);
         }
         let mut visited: HashSet<(BlockId, u32)> = HashSet::new();
         let mut work: Vec<(BlockId, u32)> = Vec::new();
@@ -218,6 +299,10 @@ impl<'f> Slicer<'f> {
             if !visited.insert((n, t)) {
                 continue;
             }
+            if let Err(reason) = budget.charge_step() {
+                return (slice, popped, Some(reason));
+            }
+            popped += 1;
             for &u in self.rd.uses_of(n) {
                 if let Some((src, ts)) = self.last_def(u, t) {
                     slice.insert(src);
@@ -234,7 +319,7 @@ impl<'f> Slicer<'f> {
                 }
             }
         }
-        slice
+        (slice, popped, None)
     }
 }
 
@@ -351,6 +436,40 @@ mod tests {
         // x's reaching def is b2 (last iteration); b1's x=1 is dead here.
         assert!(s3.contains(&b(2)));
         assert!(!s3.contains(&b(1)));
+    }
+
+    #[test]
+    fn governed_slice_matches_ungoverned_and_degrades_soundly() {
+        let p = diamond_program();
+        let f = p.func(p.main());
+        let trace = [b(1), b(2), b(3), b(5), b(6)];
+        let slicer = Slicer::new(f, &trace);
+        let criterion = Criterion {
+            block: b(6),
+            timestamp: 5,
+            var: Var::from_index(2),
+        };
+        for approach in [
+            Approach::ExecutedNodes,
+            Approach::ExecutedEdges,
+            Approach::PreciseInstances,
+        ] {
+            let full = slicer.slice(criterion, approach);
+            let out = slicer.slice_governed(criterion, approach, &Budget::unlimited());
+            assert!(out.is_complete());
+            assert_eq!(out.slice(), &full);
+            // A 1-step cap yields a sound subset and a StepLimit stop.
+            let budget = twpp::gov::Limits::new().max_steps(1).start();
+            let capped = slicer.slice_governed(criterion, approach, &budget);
+            match &capped {
+                SliceOutcome::Partial { slice, reason, .. } => {
+                    assert_eq!(*reason, StopReason::StepLimit);
+                    assert!(slice.is_subset(&full));
+                }
+                SliceOutcome::Complete(s) => assert_eq!(s, &full),
+            }
+            assert!(capped.slice().is_subset(&full));
+        }
     }
 
     #[test]

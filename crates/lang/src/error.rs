@@ -69,6 +69,16 @@ pub enum LangError {
         /// Position of the redeclaration.
         pos: Pos,
     },
+    /// Expression or block nesting exceeded the parser's recursion
+    /// limit. The input is syntactically pathological (e.g. thousands of
+    /// nested parentheses); rejecting it keeps the recursive-descent
+    /// parser's stack bounded instead of overflowing it.
+    TooDeep {
+        /// The nesting limit that was exceeded.
+        limit: usize,
+        /// Position at which the limit was hit.
+        pos: Pos,
+    },
     /// Two functions share a name, or `main` is missing/has parameters.
     Program(String),
 }
@@ -105,6 +115,9 @@ impl fmt::Display for LangError {
             }
             LangError::Redeclared { name, pos } => {
                 write!(f, "{pos}: variable `{name}` already declared in this scope")
+            }
+            LangError::TooDeep { limit, pos } => {
+                write!(f, "{pos}: nesting deeper than {limit} levels")
             }
             LangError::Program(msg) => f.write_str(msg),
         }

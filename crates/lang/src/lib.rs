@@ -36,7 +36,7 @@ pub mod token;
 pub use error::LangError;
 pub use lexer::lex;
 pub use lower::{lower, lower_with_options, LowerOptions};
-pub use parser::parse;
+pub use parser::{parse, MAX_NESTING_DEPTH};
 
 use twpp_ir::Program;
 

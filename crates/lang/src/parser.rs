@@ -12,7 +12,11 @@ use crate::token::{Pos, Token, TokenKind};
 /// Returns the first lexical or syntactic error.
 pub fn parse(src: &str) -> Result<SourceFile, LangError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut fns = Vec::new();
     while !p.at(&TokenKind::Eof) {
         fns.push(p.fn_def()?);
@@ -20,12 +24,40 @@ pub fn parse(src: &str) -> Result<SourceFile, LangError> {
     Ok(SourceFile { fns })
 }
 
+/// Maximum combined nesting depth of blocks and expressions. Each level
+/// costs a constant number of recursive-descent stack frames (which are
+/// sizable in unoptimized builds), so this bound keeps pathological
+/// inputs (e.g. ten thousand nested parentheses) from overflowing even a
+/// 2 MiB test-thread stack while staying far above anything a real
+/// program needs.
+pub const MAX_NESTING_DEPTH: usize = 96;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current nesting depth of blocks/expressions being parsed.
+    depth: usize,
 }
 
 impl Parser {
+    /// Enters one nesting level, failing with [`LangError::TooDeep`] when
+    /// [`MAX_NESTING_DEPTH`] is exceeded. Every `enter` is paired with a
+    /// `leave` by the wrapper methods below.
+    fn enter(&mut self) -> Result<(), LangError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(LangError::TooDeep {
+                limit: MAX_NESTING_DEPTH,
+                pos: self.peek().pos,
+            });
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn peek(&self) -> &Token {
         &self.tokens[self.pos]
     }
@@ -104,6 +136,13 @@ impl Parser {
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.enter()?;
+        let result = self.block_inner();
+        self.leave();
+        result
+    }
+
+    fn block_inner(&mut self) -> Result<Vec<Stmt>, LangError> {
         self.expect(TokenKind::LBrace, "`{`")?;
         let mut stmts = Vec::new();
         while !self.at(&TokenKind::RBrace) {
@@ -218,7 +257,10 @@ impl Parser {
     }
 
     fn expr(&mut self) -> Result<Expr, LangError> {
-        self.binary(0)
+        self.enter()?;
+        let result = self.binary(0);
+        self.leave();
+        result
     }
 
     /// Precedence climbing. Levels: `||` < `&&` < `== !=` < `< <= > >=` <
@@ -253,6 +295,13 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, LangError> {
+        self.enter()?;
+        let result = self.unary_inner();
+        self.leave();
+        result
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, LangError> {
         match self.peek().kind {
             TokenKind::Minus => {
                 self.bump();
@@ -372,5 +421,50 @@ mod tests {
     fn unary_operators_nest() {
         let sf = parse("fn main() { let x = - - 1; let y = !!x; }").unwrap();
         assert_eq!(sf.fns[0].body.len(), 2);
+    }
+
+    #[test]
+    fn pathological_paren_nesting_is_rejected_not_overflowed() {
+        // 10_000 nested parentheses once overflowed the recursive-descent
+        // stack; the depth guard must reject them with a typed error.
+        let deep = format!(
+            "fn main() {{ let x = {}1{}; }}",
+            "(".repeat(10_000),
+            ")".repeat(10_000)
+        );
+        let err = parse(&deep).unwrap_err();
+        assert!(
+            matches!(err, LangError::TooDeep { limit, .. } if limit == MAX_NESTING_DEPTH),
+            "expected TooDeep, got {err}"
+        );
+        assert!(err.to_string().contains("nesting deeper than"), "{err}");
+    }
+
+    #[test]
+    fn pathological_block_nesting_is_rejected() {
+        let deep = format!(
+            "fn main() {{ {} print(1); {} }}",
+            "if (1) {".repeat(10_000),
+            "}".repeat(10_000)
+        );
+        let err = parse(&deep).unwrap_err();
+        assert!(matches!(err, LangError::TooDeep { .. }), "got {err}");
+        // Deep unary chains hit the same guard.
+        let deep = format!("fn main() {{ let x = {}1; }}", "-".repeat(10_000));
+        let err = parse(&deep).unwrap_err();
+        assert!(matches!(err, LangError::TooDeep { .. }), "got {err}");
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        // 40 levels of parens and 40 nested ifs are well below the limit.
+        let src = format!(
+            "fn main() {{ let x = {}1{}; {} print(x); {} }}",
+            "(".repeat(40),
+            ")".repeat(40),
+            "if (1) {".repeat(40),
+            "}".repeat(40)
+        );
+        parse(&src).unwrap();
     }
 }

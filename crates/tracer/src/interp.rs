@@ -60,6 +60,10 @@ pub struct ExecLimits {
     pub max_steps: u64,
     /// Maximum call depth.
     pub max_call_depth: usize,
+    /// Optional wall-clock deadline, measured from [`Interp::new`].
+    /// Checked at the same cadence as `max_steps` (once per executed
+    /// block), so an overrun is detected within one block step.
+    pub max_wall: Option<std::time::Duration>,
 }
 
 impl Default for ExecLimits {
@@ -67,7 +71,17 @@ impl Default for ExecLimits {
         ExecLimits {
             max_steps: 50_000_000,
             max_call_depth: 512,
+            max_wall: None,
         }
+    }
+}
+
+impl ExecLimits {
+    /// Returns these limits with a wall-clock deadline of `ms`
+    /// milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> ExecLimits {
+        self.max_wall = Some(std::time::Duration::from_millis(ms));
+        self
     }
 }
 
@@ -79,6 +93,8 @@ pub enum ExecError {
     StepLimit(u64),
     /// The call depth limit was exceeded.
     DepthLimit(usize),
+    /// The wall-clock deadline was exceeded.
+    Deadline(std::time::Duration),
     /// An `input()` expression ran past the end of the input stream.
     InputExhausted,
     /// Internal control signal: the trace sink requested a stop. Never
@@ -93,6 +109,9 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::StepLimit(n) => write!(f, "execution exceeded {n} block steps"),
             ExecError::DepthLimit(n) => write!(f, "execution exceeded call depth {n}"),
+            ExecError::Deadline(d) => {
+                write!(f, "execution exceeded wall-clock deadline of {} ms", d.as_millis())
+            }
             ExecError::InputExhausted => f.write_str("input stream exhausted"),
             ExecError::Stopped => f.write_str("execution stopped at a breakpoint"),
         }
@@ -125,6 +144,7 @@ pub struct Interp<'p, S> {
     output: Vec<i64>,
     memory: HashMap<i64, i64>,
     steps: u64,
+    started: std::time::Instant,
 }
 
 impl<'p, S: TraceSink> Interp<'p, S> {
@@ -140,6 +160,7 @@ impl<'p, S: TraceSink> Interp<'p, S> {
             output: Vec::new(),
             memory: HashMap::new(),
             steps: 0,
+            started: std::time::Instant::now(),
         }
     }
 
@@ -190,6 +211,11 @@ impl<'p, S: TraceSink> Interp<'p, S> {
             self.steps += 1;
             if self.steps > self.limits.max_steps {
                 return Err(ExecError::StepLimit(self.limits.max_steps));
+            }
+            if let Some(max_wall) = self.limits.max_wall {
+                if self.started.elapsed() >= max_wall {
+                    return Err(ExecError::Deadline(max_wall));
+                }
             }
             self.sink.block(block);
             if self.sink.should_stop() {
@@ -595,6 +621,39 @@ mod tests {
             ..ExecLimits::default()
         };
         assert_eq!(run(&p, &[], limits).unwrap_err(), ExecError::StepLimit(100));
+    }
+
+    #[test]
+    fn wall_clock_deadline_stops_infinite_loop() {
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            fb.terminate(e, Terminator::Jump(e));
+        })
+        .unwrap();
+        // Generous step limit; the 5 ms deadline must fire first.
+        let limits = ExecLimits {
+            max_steps: u64::MAX,
+            ..ExecLimits::default()
+        }
+        .with_deadline_ms(5);
+        let started = std::time::Instant::now();
+        let err = run(&p, &[], limits).unwrap_err();
+        assert_eq!(err, ExecError::Deadline(std::time::Duration::from_millis(5)));
+        assert!(err.to_string().contains("deadline"));
+        // The stop happened promptly, not after the 50M default steps.
+        assert!(started.elapsed() < std::time::Duration::from_secs(10));
+    }
+
+    #[test]
+    fn no_deadline_means_no_wall_clock_checks() {
+        let p = single_function_program(|fb| {
+            let e = fb.entry();
+            fb.push(e, Stmt::Print(Operand::Const(1)));
+            fb.terminate(e, Terminator::Return(None));
+        })
+        .unwrap();
+        let exec = run(&p, &[], ExecLimits::default()).unwrap();
+        assert_eq!(exec.output, vec![1]);
     }
 
     #[test]
