@@ -1,0 +1,91 @@
+//! Instrumented-vs-noop overhead of the `twpp::obs` layer.
+//!
+//! The observability contract is "near-zero cost when disabled": a noop
+//! `Obs` must not slow the pipeline measurably, and even a collecting
+//! one should cost only the span/metric bookkeeping. These benches put
+//! numbers on both claims — the full compaction pipeline under each
+//! observer, plus microbenches of the raw counter handles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use twpp::obs::Obs;
+use twpp::GovOptions;
+use twpp_workloads::{generate, Profile};
+
+fn bench(c: &mut Criterion) {
+    let workload = generate(&Profile::Gcc.spec().scaled(0.02));
+    let wpp = &workload.wpp;
+
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(10);
+
+    group.bench_function("compact_noop", |b| {
+        b.iter(|| {
+            let options = GovOptions {
+                threads: Some(1),
+                obs: Obs::noop(),
+                ..GovOptions::default()
+            };
+            twpp::compact_governed(std::hint::black_box(wpp), &options)
+                .unwrap()
+                .0
+                .functions
+                .len()
+        })
+    });
+
+    group.bench_function("compact_collecting", |b| {
+        b.iter(|| {
+            let options = GovOptions {
+                threads: Some(1),
+                obs: Obs::collecting(),
+                ..GovOptions::default()
+            };
+            twpp::compact_governed(std::hint::black_box(wpp), &options)
+                .unwrap()
+                .0
+                .functions
+                .len()
+        })
+    });
+
+    // The raw handle cost: a noop counter is one branch on None; a live
+    // one is a relaxed atomic add.
+    group.bench_function("counter_inc_noop_x1000", |b| {
+        let counter = Obs::noop().counter("twpp_bench_noop_total", "noop handle");
+        b.iter(|| {
+            for _ in 0..1000 {
+                counter.inc();
+            }
+            counter.get()
+        })
+    });
+    group.bench_function("counter_inc_live_x1000", |b| {
+        let obs = Obs::collecting();
+        let counter = obs.counter("twpp_bench_live_total", "live handle");
+        b.iter(|| {
+            for _ in 0..1000 {
+                counter.inc();
+            }
+            counter.get()
+        })
+    });
+
+    // Export cost for a realistically sized collection.
+    group.bench_function("export_trace_and_prometheus", |b| {
+        let obs = Obs::collecting();
+        let options = GovOptions {
+            threads: Some(2),
+            obs: obs.clone(),
+            ..GovOptions::default()
+        };
+        let _ = twpp::compact_governed(wpp, &options).unwrap();
+        b.iter(|| {
+            obs.chrome_trace_json().len() + obs.prometheus_text().len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! tables [--scale <f>] [table1|table2|table3|table4|table5|table6|
-//!         figure8|figure9|figure10|figure12|scaling|all]
+//!         figure8|figure9|figure10|figure12|scaling|obs|all]
 //! ```
 //!
 //! `--scale` multiplies the workload sizes (default 1.0; use 0.1 for a
 //! quick run). Figures 9/10/12 run the paper's example programs and take
 //! no scale.
 
-use twpp_bench::experiments::{figure10, figure12, figure9, parallel_scaling, Suite};
+use twpp_bench::experiments::{
+    append_bench_datapoint, figure10, figure12, figure9, obs_overhead, parallel_scaling, Suite,
+};
 
 fn main() {
     let mut scale = 1.0f64;
@@ -79,6 +81,15 @@ fn main() {
     if wants("scaling") {
         println!("{}", parallel_scaling(scale));
     }
+    if wants("obs") {
+        let o = obs_overhead(scale);
+        println!("{}", o.table);
+        let path = std::path::Path::new("BENCH_obs.json");
+        match append_bench_datapoint(path, &o.datapoint_json) {
+            Ok(()) => eprintln!("appended obs datapoint to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -86,7 +97,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: tables [--scale <f>] [table1..table6|figure8|figure9|figure10|figure12|scaling|all]"
+        "usage: tables [--scale <f>] [table1..table6|figure8|figure9|figure10|figure12|scaling|obs|all]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -686,6 +686,188 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
     dir
 }
 
+/// Result of the observability-overhead experiment: a rendered table and
+/// one machine-readable datapoint for the `BENCH_obs.json` trajectory.
+pub struct ObsOverhead {
+    /// Human-readable comparison table.
+    pub table: String,
+    /// One JSON datapoint: measured walls, overhead, and the full
+    /// [`twpp::RunReport`] of the instrumented run.
+    pub datapoint_json: String,
+}
+
+/// Measures the cost of the `twpp::obs` layer on the full compaction
+/// pipeline: wall time with the no-op observer versus a collecting one
+/// (median of five runs each, 126.gcc workload), asserting that both
+/// produce identical compacted output. The collecting run's spans,
+/// metric snapshot and pipeline statistics become the run report inside
+/// the emitted datapoint.
+pub fn obs_overhead(scale: f64) -> ObsOverhead {
+    use twpp::obs::{JsonWriter, Obs};
+    use twpp::{GovOptions, RunOutcome, RunReport};
+
+    let spec = Profile::Gcc.spec().scaled(scale);
+    let workload = generate(&spec);
+    let wpp = &workload.wpp;
+    const SAMPLES: usize = 5;
+
+    let measure = |obs_for_run: &dyn Fn() -> Obs| {
+        let mut walls: Vec<Duration> = Vec::new();
+        let mut last = None;
+        for _ in 0..SAMPLES {
+            let obs = obs_for_run();
+            let options = GovOptions {
+                threads: Some(1),
+                obs: obs.clone(),
+                ..GovOptions::default()
+            };
+            let start = Instant::now();
+            let (compacted, stats) =
+                twpp::compact_governed(wpp, &options).expect("generated WPPs are well-formed");
+            walls.push(start.elapsed());
+            last = Some((compacted, stats, obs));
+        }
+        walls.sort();
+        let median = walls[walls.len() / 2];
+        let (compacted, stats, obs) = last.expect("samples were taken");
+        (median, compacted, stats, obs)
+    };
+
+    let (noop_wall, noop_out, _, _) = measure(&Obs::noop);
+    let (obs_wall, obs_out, stats, obs) = measure(&Obs::collecting);
+    assert_eq!(
+        noop_out, obs_out,
+        "observation changed the compacted output"
+    );
+    let overhead = (obs_wall.as_secs_f64() / noop_wall.as_secs_f64().max(1e-9) - 1.0) * 100.0;
+    let snapshot = obs.snapshot();
+    let span_count = obs.span_count();
+
+    let mut t = Table::new(&["observer", "wall (ms)", "overhead", "spans", "metrics"]);
+    t.row(vec![
+        "noop".into(),
+        ms(noop_wall),
+        "—".into(),
+        "0".into(),
+        "0".into(),
+    ]);
+    t.row(vec![
+        "collecting".into(),
+        ms(obs_wall),
+        format!("{overhead:+.1}%"),
+        span_count.to_string(),
+        snapshot.samples.len().to_string(),
+    ]);
+    let mut table = String::from("Observability overhead (126.gcc workload, 1 thread)\n");
+    table.push_str(&t.render());
+    table.push_str("(identical compacted output with and without observation)\n");
+
+    let mut report = RunReport::new("bench", RunOutcome::Complete);
+    report.threads = 1;
+    report.pipeline = Some(stats.to_section());
+    report.metrics = snapshot;
+    report.span_count = span_count as u64;
+    let report_json = report.to_json();
+    debug_assert!(twpp::validate_report_json(&report_json).is_ok());
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("experiment");
+    w.string("obs_overhead");
+    w.key("scale");
+    w.float(scale);
+    w.key("samples");
+    w.uint(SAMPLES as u64);
+    w.key("noop_wall_ns");
+    w.uint(noop_wall.as_nanos() as u64);
+    w.key("collecting_wall_ns");
+    w.uint(obs_wall.as_nanos() as u64);
+    w.key("overhead_percent");
+    w.float((overhead * 100.0).round() / 100.0);
+    w.key("report");
+    w.raw(&report_json);
+    w.end_object();
+
+    ObsOverhead {
+        table,
+        datapoint_json: w.finish(),
+    }
+}
+
+/// Appends `datapoint_json` to the JSON-array trajectory at `path`
+/// (creating `[datapoint]` if the file does not exist or fails to
+/// parse) and returns the serialized array written back.
+pub fn append_bench_datapoint(path: &std::path::Path, datapoint_json: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).ok();
+    let mut points: Vec<String> = Vec::new();
+    if let Some(text) = existing {
+        if let Ok(doc) = twpp::obs::parse_json(&text) {
+            if let Some(arr) = doc.as_arr() {
+                points = (0..arr.len())
+                    .filter_map(|i| extract_array_element(&text, i))
+                    .collect();
+            }
+        }
+    }
+    points.push(datapoint_json.to_owned());
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(p);
+        if i + 1 < points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// Re-serializes element `index` of a top-level JSON array by slicing
+/// the source text between matching brackets (whitespace-trimmed). The
+/// datapoints were emitted by our own compact writer, so a structural
+/// scan is sufficient and preserves them byte-for-byte.
+fn extract_array_element(text: &str, index: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    let mut element = 0usize;
+    let mut start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => {
+                if depth == 1 && start.is_none() && element == index {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                if depth == 1 {
+                    if let Some(s) = start {
+                        return Some(text[s..=i].to_owned());
+                    }
+                    element += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,6 +899,30 @@ mod tests {
         for count in ["1", "2", "4"] {
             assert!(report.contains(count), "{count} missing from:\n{report}");
         }
+    }
+
+    #[test]
+    fn obs_overhead_renders_and_datapoint_validates() {
+        let o = obs_overhead(0.002);
+        assert!(o.table.contains("collecting"), "{}", o.table);
+        assert!(o.table.contains("identical compacted output"), "{}", o.table);
+        // The datapoint parses and embeds a schema-valid run report.
+        let doc = twpp::obs::parse_json(&o.datapoint_json).expect("datapoint is JSON");
+        assert_eq!(
+            doc.get("experiment").and_then(|e| e.as_str()),
+            Some("obs_overhead")
+        );
+        assert!(doc.get("report").is_some());
+        // Round-trip through the trajectory file: appending twice yields
+        // a two-element array.
+        let dir = temp_dir("obs-datapoint");
+        let path = dir.join("BENCH_obs.json");
+        append_bench_datapoint(&path, &o.datapoint_json).unwrap();
+        append_bench_datapoint(&path, &o.datapoint_json).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let arr = twpp::obs::parse_json(&text).unwrap();
+        assert_eq!(arr.as_arr().map(<[_]>::len), Some(2), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -11,4 +11,6 @@
 pub mod experiments;
 pub mod fmt;
 
-pub use experiments::{parallel_scaling, BenchCase, Suite};
+pub use experiments::{
+    append_bench_datapoint, obs_overhead, parallel_scaling, BenchCase, ObsOverhead, Suite,
+};

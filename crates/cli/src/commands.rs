@@ -7,6 +7,7 @@
 //! twpp info <file.wpp|file.twpa>
 //! twpp query <file.twpa> <func-id-or-name>
 //! twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]] [--threads N]
+//! twpp report-check <report.json>
 //! twpp sequitur <in.wpp>
 //! ```
 //!
@@ -14,14 +15,22 @@
 //! verification stages (default: `TWPP_THREADS` or the machine's available
 //! parallelism). `--stats` adds per-stage wall time and worker utilisation
 //! to the `compact` report.
+//!
+//! The observability flags (`--trace-out`, `--metrics-out`, `--report`)
+//! switch `compact`/`query`/`fsck` from the no-op observer to a
+//! collecting one and write Chrome trace-event spans, Prometheus
+//! metrics, and the machine-readable run report (DESIGN.md §13). With
+//! none of them given, the run is byte-identical to an uninstrumented
+//! build.
 
 use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use twpp::{ArchiveError, GovOptions, PipelineStats, TwppArchive};
+use twpp::obs::BudgetSection;
+use twpp::{ArchiveError, GovOptions, Obs, PipelineStats, RunOutcome, RunReport, TwppArchive};
 use twpp_ir::FuncId;
 use twpp_tracer::{run_traced, ExecLimits, RawWpp};
 
@@ -66,6 +75,34 @@ fn fail(e: impl fmt::Display) -> CliError {
     CliError::Failed(e.to_string())
 }
 
+/// The single fallible sink every piece of CLI output goes through.
+///
+/// `write!`/`writeln!` resolve to the inherent [`Out::write_fmt`], so a
+/// broken pipe or full disk surfaces as one [`CliError::Failed`] at the
+/// first failed print instead of being sprinkled as ad-hoc `map_err`
+/// calls (or worse, panics) across every command.
+pub struct Out<'a> {
+    w: &'a mut dyn Write,
+}
+
+impl<'a> Out<'a> {
+    /// Wraps a raw writer.
+    pub fn new(w: &'a mut dyn Write) -> Out<'a> {
+        Out { w }
+    }
+
+    /// The method `write!`/`writeln!` expand to; maps the I/O error.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Failed`] when the underlying writer fails.
+    pub fn write_fmt(&mut self, args: fmt::Arguments<'_>) -> Result<(), CliError> {
+        self.w
+            .write_fmt(args)
+            .map_err(|e| CliError::Failed(format!("output write failed: {e}")))
+    }
+}
+
 const USAGE: &str = "\
 usage:
   twpp run <prog.twl> [--input 1,2,3]       compile and execute a program
@@ -79,6 +116,8 @@ usage:
   twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]] [--threads N]
                                             verify checksums; --repair writes a
                                             salvaged copy of a damaged file
+  twpp report-check <report.json>           validate a --report file against
+                                            the run-report schema
   twpp sequitur <in.wpp>                    compress with the Sequitur baseline
 
   --threads N caps the worker pool for compact/fsck (default: TWPP_THREADS
@@ -91,7 +130,77 @@ governance (compact/query/fsck):
                     an archive of the surviving functions (exit 3)
   --fail-fast       compact only: abort on the first failure (default)
 
+observability (compact/query/fsck):
+  --trace-out <f>   write spans as Chrome trace-event JSON
+  --metrics-out <f> write metrics in Prometheus text format
+  --report <f>      write the machine-readable run report (JSON)
+
 exit codes: 0 complete, 2 usage, 3 partial or degraded result, 4 failure";
+
+/// Destination paths for the observability artifacts. Any one of them
+/// switches the run from the no-op observer to a collecting one.
+#[derive(Default)]
+struct ObsFiles {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    report_out: Option<PathBuf>,
+}
+
+impl ObsFiles {
+    fn enabled(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.report_out.is_some()
+    }
+
+    /// The observer for this run: collecting iff any artifact was
+    /// requested, so unobserved runs stay on the noop fast path.
+    fn observer(&self) -> Obs {
+        if self.enabled() {
+            Obs::collecting()
+        } else {
+            Obs::noop()
+        }
+    }
+
+    /// Writes the requested artifacts. The report gains the metrics
+    /// snapshot and span count here, so callers only fill the
+    /// command-specific sections (outcome, pipeline, fsck, budget).
+    fn emit(&self, obs: &Obs, mut report: RunReport, out: &mut Out<'_>) -> Result<(), CliError> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        report.metrics = obs.snapshot();
+        report.span_count = obs.span_count() as u64;
+        if let Some(p) = &self.trace_out {
+            fs::write(p, obs.chrome_trace_json())
+                .map_err(|e| fail(format!("{}: {e}", p.display())))?;
+            writeln!(out, "wrote trace events {}", p.display())?;
+        }
+        if let Some(p) = &self.metrics_out {
+            fs::write(p, obs.prometheus_text())
+                .map_err(|e| fail(format!("{}: {e}", p.display())))?;
+            writeln!(out, "wrote metrics {}", p.display())?;
+        }
+        if let Some(p) = &self.report_out {
+            let json = report.to_json();
+            debug_assert!(
+                twpp::validate_report_json(&json).is_ok(),
+                "emitted report must satisfy its own schema"
+            );
+            fs::write(p, json).map_err(|e| fail(format!("{}: {e}", p.display())))?;
+            writeln!(out, "wrote run report {}", p.display())?;
+        }
+        Ok(())
+    }
+}
+
+/// The budget section of a run report, read back from a spent budget.
+fn budget_section(budget: &twpp::Budget) -> BudgetSection {
+    BudgetSection {
+        limited: !budget.is_unlimited(),
+        steps_used: budget.steps_used(),
+        bytes_used: budget.bytes_used(),
+    }
+}
 
 /// Parses `args` and executes the selected command, writing human-readable
 /// output to `out`.
@@ -101,6 +210,7 @@ exit codes: 0 complete, 2 usage, 3 partial or degraded result, 4 failure";
 /// Returns [`CliError::Usage`] for malformed invocations and
 /// [`CliError::Failed`] for runtime failures.
 pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let out = &mut Out::new(out);
     let mut positional: Vec<&str> = Vec::new();
     let mut output: Option<&str> = None;
     let mut program_path: Option<&str> = None;
@@ -110,6 +220,7 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
     let mut stats = false;
     let mut limits = twpp::Limits::new();
     let mut degrade = false;
+    let mut obs_files = ObsFiles::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -143,6 +254,27 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
             "--stats" => stats = true,
             "--degrade" => degrade = true,
             "--fail-fast" => degrade = false,
+            "--trace-out" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--trace-out needs a path".into()))?;
+                obs_files.trace_out = Some(PathBuf::from(p));
+            }
+            "--metrics-out" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--metrics-out needs a path".into()))?;
+                obs_files.metrics_out = Some(PathBuf::from(p));
+            }
+            "--report" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--report needs a path".into()))?;
+                obs_files.report_out = Some(PathBuf::from(p));
+            }
             "--deadline-ms" => {
                 i += 1;
                 let raw = args
@@ -177,7 +309,7 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                 threads = Some(n);
             }
             "--help" | "-h" => {
-                writeln!(out, "{USAGE}").map_err(fail)?;
+                writeln!(out, "{USAGE}")?;
                 return Ok(());
             }
             other => positional.push(other),
@@ -201,12 +333,21 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                 stats,
                 limits,
                 degrade,
+                &obs_files,
                 out,
             )
         }
         ["info", path] => cmd_info(Path::new(path), out),
-        ["fsck", path] => cmd_fsck(Path::new(path), repair, output.map(Path::new), threads, out),
-        ["query", path, func] => cmd_query(Path::new(path), func, limits, out),
+        ["fsck", path] => cmd_fsck(
+            Path::new(path),
+            repair,
+            output.map(Path::new),
+            threads,
+            &obs_files,
+            out,
+        ),
+        ["query", path, func] => cmd_query(Path::new(path), func, limits, &obs_files, out),
+        ["report-check", path] => cmd_report_check(Path::new(path), out),
         ["sequitur", path] => cmd_sequitur(Path::new(path), out),
         _ => Err(usage()),
     }
@@ -217,19 +358,18 @@ fn compile(path: &Path) -> Result<twpp_ir::Program, CliError> {
     twpp_lang::compile(&src).map_err(|e| fail(format!("{}: {e}", path.display())))
 }
 
-fn cmd_run(path: &Path, input: &[i64], out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_run(path: &Path, input: &[i64], out: &mut Out<'_>) -> Result<(), CliError> {
     let program = compile(path)?;
     let (execution, wpp) = run_traced(&program, input, ExecLimits::default()).map_err(fail)?;
     for v in &execution.output {
-        writeln!(out, "{v}").map_err(fail)?;
+        writeln!(out, "{v}")?;
     }
     writeln!(
         out,
         "-- {} block steps, {} trace events",
         execution.steps,
         wpp.event_count()
-    )
-    .map_err(fail)?;
+    )?;
     Ok(())
 }
 
@@ -237,7 +377,7 @@ fn cmd_trace(
     path: &Path,
     input: &[i64],
     output: &Path,
-    out: &mut dyn Write,
+    out: &mut Out<'_>,
 ) -> Result<(), CliError> {
     let program = compile(path)?;
     let (_, wpp) = run_traced(&program, input, ExecLimits::default()).map_err(fail)?;
@@ -250,11 +390,10 @@ fn cmd_trace(
         output.display(),
         wpp.event_count(),
         wpp.byte_len()
-    )
-    .map_err(fail)?;
-    writeln!(out, "function ids:").map_err(fail)?;
+    )?;
+    writeln!(out, "function ids:")?;
     for (id, func) in program.funcs() {
-        writeln!(out, "  {:>4}  {}", id.as_u32(), func.name()).map_err(fail)?;
+        writeln!(out, "  {:>4}  {}", id.as_u32(), func.name())?;
     }
     Ok(())
 }
@@ -273,23 +412,36 @@ fn cmd_compact(
     show_stats: bool,
     limits: twpp::Limits,
     degrade: bool,
-    out: &mut dyn Write,
+    obs_files: &ObsFiles,
+    out: &mut Out<'_>,
 ) -> Result<(), CliError> {
     let wpp = read_wpp(path)?;
+    let obs = obs_files.observer();
+    let resolved = twpp::resolve_threads(threads);
     let options = GovOptions {
         threads,
         budget: limits.start(),
         fail_fast: !degrade,
         faults: twpp::FaultPlan::from_env(),
+        obs: obs.clone(),
     };
-    let (compacted, stats) = twpp::compact_governed(&wpp, &options).map_err(|e| match e {
-        twpp::PipelineError::Budget(reason) => fail(format!(
-            "{}: compaction stopped ({reason}); no archive written",
-            path.display()
-        )),
-        other => fail(other),
-    })?;
-    let resolved = twpp::resolve_threads(threads);
+    let (compacted, mut stats) = match twpp::compact_governed(&wpp, &options) {
+        Ok(v) => v,
+        Err(twpp::PipelineError::Budget(reason)) => {
+            // The budget stopped the pipeline: nothing partial is
+            // written, but the report still records what was spent.
+            let mut report = RunReport::new("compact", RunOutcome::Stopped);
+            report.stop_reason = Some(reason.as_str().to_owned());
+            report.threads = resolved as u64;
+            report.budget = budget_section(&options.budget);
+            obs_files.emit(&obs, report, out)?;
+            return Err(fail(format!(
+                "{}: compaction stopped ({reason}); no archive written",
+                path.display()
+            )));
+        }
+        Err(other) => return Err(fail(other)),
+    };
     let names = match program_path {
         Some(src) => {
             let program = compile(src)?;
@@ -300,48 +452,60 @@ fn cmd_compact(
         }
         None => std::collections::HashMap::new(),
     };
-    let archive = TwppArchive::from_compacted_governed(
+    let encode_started = std::time::Instant::now();
+    let archive = TwppArchive::from_compacted_governed_obs(
         &compacted,
         &names,
         resolved,
         &stats.degraded.failed,
+        &obs,
     );
+    stats.timings.archive_encode_nanos = encode_started.elapsed().as_nanos() as u64;
     archive.save(output).map_err(fail)?;
-    writeln!(out, "wrote {} ({} bytes)", output.display(), archive.byte_len()).map_err(fail)?;
-    writeln!(out, "original WPP          : {:>10} bytes", stats.raw.total()).map_err(fail)?;
+    writeln!(out, "wrote {} ({} bytes)", output.display(), archive.byte_len())?;
+    writeln!(out, "original WPP          : {:>10} bytes", stats.raw.total())?;
     writeln!(
         out,
         "after dedup           : {:>10} bytes (x{:.2})",
         stats.after_dedup_bytes,
         stats.dedup_factor()
-    )
-    .map_err(fail)?;
+    )?;
     writeln!(
         out,
         "after DBB dictionaries: {:>10} bytes (x{:.2})",
         stats.after_dict_bytes,
         stats.dict_factor()
-    )
-    .map_err(fail)?;
+    )?;
     writeln!(
         out,
         "compacted TWPP traces : {:>10} bytes (x{:.2})",
         stats.ctwpp_trace_bytes,
         stats.twpp_factor()
-    )
-    .map_err(fail)?;
+    )?;
     writeln!(
         out,
         "total (DCG+traces+dic): {:>10} bytes -> overall x{:.1}",
         stats.total_compacted_bytes(),
         stats.overall_factor()
-    )
-    .map_err(fail)?;
+    )?;
     if show_stats {
         write_stage_stats(&stats, out)?;
     }
-    if !stats.degraded.is_empty() {
-        write!(out, "{}", stats.degraded).map_err(fail)?;
+    let degraded_run = !stats.degraded.is_empty();
+    let mut report = RunReport::new(
+        "compact",
+        if degraded_run {
+            RunOutcome::Degraded
+        } else {
+            RunOutcome::Complete
+        },
+    );
+    report.threads = resolved as u64;
+    report.pipeline = Some(stats.to_section());
+    report.budget = budget_section(&options.budget);
+    obs_files.emit(&obs, report, out)?;
+    if degraded_run {
+        write!(out, "{}", stats.degraded)?;
         return Err(CliError::Degraded(format!(
             "degraded: {} function(s) failed during compaction and were \
              recorded in the archive footer; the remaining functions are \
@@ -355,25 +519,28 @@ fn cmd_compact(
 
 /// The `--stats` tail of `twpp compact`: per-stage wall time plus the
 /// worker utilisation of the parallel per-function stage.
-fn write_stage_stats(stats: &PipelineStats, out: &mut dyn Write) -> Result<(), CliError> {
+fn write_stage_stats(stats: &PipelineStats, out: &mut Out<'_>) -> Result<(), CliError> {
     let ms = |nanos: u64| nanos as f64 / 1e6;
     let t = &stats.timings;
-    writeln!(out, "stage timings:").map_err(fail)?;
-    writeln!(out, "  partition        : {:>9.3} ms", ms(t.partition_nanos)).map_err(fail)?;
-    writeln!(out, "  dedup            : {:>9.3} ms", ms(t.dedup_nanos)).map_err(fail)?;
+    writeln!(out, "stage timings:")?;
+    writeln!(out, "  partition        : {:>9.3} ms", ms(t.partition_nanos))?;
+    writeln!(out, "  dedup            : {:>9.3} ms", ms(t.dedup_nanos))?;
     writeln!(
         out,
         "  per-function     : {:>9.3} ms",
         ms(t.function_stage_nanos)
-    )
-    .map_err(fail)?;
+    )?;
     writeln!(
         out,
         "  DCG compression  : {:>9.3} ms",
         ms(t.dcg_compress_nanos)
-    )
-    .map_err(fail)?;
-    writeln!(out, "  total            : {:>9.3} ms", ms(t.total_nanos())).map_err(fail)?;
+    )?;
+    writeln!(
+        out,
+        "  archive encode   : {:>9.3} ms",
+        ms(t.archive_encode_nanos)
+    )?;
+    writeln!(out, "  total            : {:>9.3} ms", ms(t.total_nanos()))?;
     let w = &stats.workers;
     writeln!(
         out,
@@ -382,22 +549,20 @@ fn write_stage_stats(stats: &PipelineStats, out: &mut dyn Write) -> Result<(), C
         if w.threads == 1 { "" } else { "s" },
         w.total_items(),
         if w.total_items() == 1 { "" } else { "s" },
-    )
-    .map_err(fail)?;
+    )?;
     for (id, items) in w.items_per_worker.iter().enumerate() {
-        writeln!(out, "  worker {id:>3}: {items:>6} items").map_err(fail)?;
+        writeln!(out, "  worker {id:>3}: {items:>6} items")?;
     }
     Ok(())
 }
 
-fn cmd_info(path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_info(path: &Path, out: &mut Out<'_>) -> Result<(), CliError> {
     let bytes = fs::read(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
     if bytes.starts_with(b"TWPA") {
         let archive = TwppArchive::from_bytes(bytes).map_err(fail)?;
-        writeln!(out, "TWPP archive, {} bytes", archive.byte_len()).map_err(fail)?;
-        writeln!(out, "{} functions (most-called first):", archive.function_ids().len())
-            .map_err(fail)?;
-        writeln!(out, "{:>12} {:>10} {:>13}", "func", "calls", "unique paths").map_err(fail)?;
+        writeln!(out, "TWPP archive, {} bytes", archive.byte_len())?;
+        writeln!(out, "{} functions (most-called first):", archive.function_ids().len())?;
+        writeln!(out, "{:>12} {:>10} {:>13}", "func", "calls", "unique paths")?;
         for func in archive.function_ids() {
             let record = archive.read_function(func).map_err(fail)?;
             let label = archive
@@ -410,21 +575,19 @@ fn cmd_info(path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
                 label,
                 record.call_count,
                 record.traces.len()
-            )
-            .map_err(fail)?;
+            )?;
         }
     } else {
         let wpp = RawWpp::read_from(&bytes[..]).map_err(fail)?;
         let sizes = wpp.size_breakdown();
-        writeln!(out, "raw WPP, {} events ({} bytes)", wpp.event_count(), wpp.byte_len())
-            .map_err(fail)?;
-        writeln!(out, "  call structure: {} bytes", sizes.dcg_bytes).map_err(fail)?;
-        writeln!(out, "  block traces  : {} bytes", sizes.trace_bytes).map_err(fail)?;
+        writeln!(out, "raw WPP, {} events ({} bytes)", wpp.event_count(), wpp.byte_len())?;
+        writeln!(out, "  call structure: {} bytes", sizes.dcg_bytes)?;
+        writeln!(out, "  block traces  : {} bytes", sizes.trace_bytes)?;
         let mut counts: Vec<_> = wpp.call_counts().into_iter().collect();
         counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-        writeln!(out, "top functions by calls:").map_err(fail)?;
+        writeln!(out, "top functions by calls:")?;
         for (func, count) in counts.into_iter().take(10) {
-            writeln!(out, "  {:>6}  {count}", func.as_u32()).map_err(fail)?;
+            writeln!(out, "  {:>6}  {count}", func.as_u32())?;
         }
     }
     Ok(())
@@ -435,25 +598,35 @@ fn cmd_fsck(
     repair: bool,
     output: Option<&Path>,
     threads: Option<usize>,
-    out: &mut dyn Write,
+    obs_files: &ObsFiles,
+    out: &mut Out<'_>,
 ) -> Result<(), CliError> {
     let bytes = fs::read(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
+    let obs = obs_files.observer();
+    let resolved = twpp::resolve_threads(threads);
     if bytes.starts_with(b"TWPA") {
-        let (archive, report) = TwppArchive::recover_with_threads(
-            &bytes,
-            twpp::resolve_threads(threads),
-        )
-        .map_err(|e| fail(format!("{}: {e}", path.display())))?;
-        write!(out, "{report}").map_err(fail)?;
+        let (archive, report) = TwppArchive::recover_observed(&bytes, resolved, &obs)
+            .map_err(|e| fail(format!("{}: {e}", path.display())))?;
+        write!(out, "{report}")?;
+        let outcome = if report.is_clean() {
+            RunOutcome::Complete
+        } else if report.is_degraded_only() {
+            RunOutcome::Degraded
+        } else {
+            RunOutcome::Damaged
+        };
+        let mut run = RunReport::new("fsck", outcome);
+        run.threads = resolved as u64;
+        run.fsck = Some(report.to_section());
+        obs_files.emit(&obs, run, out)?;
         if report.is_clean() {
-            writeln!(out, "{}: clean", path.display()).map_err(fail)?;
+            writeln!(out, "{}: clean", path.display())?;
             return Ok(());
         }
         if report.is_degraded_only() {
             let degraded = report.degraded_functions();
             for id in &degraded {
-                writeln!(out, "degraded function {}: failed at compaction, no traces stored", id.as_u32())
-                    .map_err(fail)?;
+                writeln!(out, "degraded function {}: failed at compaction, no traces stored", id.as_u32())?;
             }
             return Err(CliError::Degraded(format!(
                 "{}: archive is intact but degraded — {} function(s) failed \
@@ -475,8 +648,7 @@ fn cmd_fsck(
                 repaired.display(),
                 archive.byte_len(),
                 report.salvaged_functions()
-            )
-            .map_err(fail)?;
+            )?;
             return Ok(());
         }
         Err(fail(format!(
@@ -498,18 +670,24 @@ fn cmd_fsck(
             } else {
                 "missing or damaged"
             }
-        )
-        .map_err(fail)?;
+        )?;
+        let outcome = if salvage.is_clean() {
+            RunOutcome::Complete
+        } else {
+            RunOutcome::Damaged
+        };
+        let mut run = RunReport::new("fsck", outcome);
+        run.threads = resolved as u64;
+        obs_files.emit(&obs, run, out)?;
         if salvage.is_clean() {
-            writeln!(out, "{}: clean", path.display()).map_err(fail)?;
+            writeln!(out, "{}: clean", path.display())?;
             return Ok(());
         }
         writeln!(
             out,
             "dropped {} undecodable words ({} trailing bytes)",
             salvage.words_dropped, salvage.bytes_dropped
-        )
-        .map_err(fail)?;
+        )?;
         if repair {
             let repaired = match output {
                 Some(p) => p.to_path_buf(),
@@ -524,8 +702,7 @@ fn cmd_fsck(
                 "wrote repaired trace {} ({} events)",
                 repaired.display(),
                 salvage.wpp.event_count()
-            )
-            .map_err(fail)?;
+            )?;
             return Ok(());
         }
         Err(fail(format!(
@@ -539,9 +716,11 @@ fn cmd_query(
     path: &Path,
     func: &str,
     limits: twpp::Limits,
-    out: &mut dyn Write,
+    obs_files: &ObsFiles,
+    out: &mut Out<'_>,
 ) -> Result<(), CliError> {
     let budget = limits.start();
+    let obs = obs_files.observer();
     // Numeric ids use the seek-read fast path; names need the header's
     // name table, so load the archive header first.
     let func = match func.parse::<u32>() {
@@ -555,16 +734,19 @@ fn cmd_query(
                 .ok_or_else(|| fail(format!("no function named `{func}` in archive")))?
         }
     };
-    let record = match TwppArchive::read_function_from_file(path, func) {
-        Ok(record) => record,
-        Err(ArchiveError::DegradedFunction(id)) => {
-            return Err(CliError::Degraded(format!(
-                "function {} failed during compaction and carries no traces \
-                 in this archive (degraded entry)",
-                id.as_u32()
-            )));
+    let record = {
+        let _s = obs.span("query_read");
+        match TwppArchive::read_function_from_file(path, func) {
+            Ok(record) => record,
+            Err(ArchiveError::DegradedFunction(id)) => {
+                return Err(CliError::Degraded(format!(
+                    "function {} failed during compaction and carries no traces \
+                     in this archive (degraded entry)",
+                    id.as_u32()
+                )));
+            }
+            Err(e) => return Err(fail(e)),
         }
-        Err(e) => return Err(fail(e)),
     };
     writeln!(
         out,
@@ -573,29 +755,65 @@ fn cmd_query(
         record.call_count,
         record.traces.len(),
         record.dicts.len()
-    )
-    .map_err(fail)?;
-    let traces = record.try_expanded_traces().map_err(fail)?;
+    )?;
+    let traces = {
+        let _s = obs.span("query_expand");
+        record.try_expanded_traces().map_err(fail)?
+    };
+    let printed = obs.counter(
+        "twpp_cli_query_traces_printed_total",
+        "Expanded path traces printed by `twpp query`",
+    );
     let total = traces.len();
+    let mut stopped: Option<(usize, twpp::StopReason)> = None;
     for (i, trace) in traces.iter().enumerate() {
         if let Err(reason) = budget.charge_step() {
-            writeln!(out, "  … truncated ({reason})").map_err(fail)?;
-            return Err(CliError::Degraded(format!(
-                "query truncated after {i} of {total} traces ({reason})"
-            )));
+            writeln!(out, "  … truncated ({reason})")?;
+            stopped = Some((i, reason));
+            break;
         }
-        writeln!(out, "  path {i}: {trace}").map_err(fail)?;
+        printed.inc();
+        writeln!(out, "  path {i}: {trace}")?;
+    }
+    let mut report = RunReport::new(
+        "query",
+        if stopped.is_some() {
+            RunOutcome::Degraded
+        } else {
+            RunOutcome::Complete
+        },
+    );
+    report.stop_reason = stopped.map(|(_, r)| r.as_str().to_owned());
+    report.budget = budget_section(&budget);
+    obs_files.emit(&obs, report, out)?;
+    if let Some((i, reason)) = stopped {
+        return Err(CliError::Degraded(format!(
+            "query truncated after {i} of {total} traces ({reason})"
+        )));
     }
     Ok(())
 }
 
-fn cmd_sequitur(path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
+/// Validates a `--report` file against the run-report JSON schema.
+fn cmd_report_check(path: &Path, out: &mut Out<'_>) -> Result<(), CliError> {
+    let text = fs::read_to_string(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
+    twpp::validate_report_json(&text)
+        .map_err(|e| fail(format!("{}: invalid run report: {e}", path.display())))?;
+    writeln!(
+        out,
+        "{}: valid run report (schema v{})",
+        path.display(),
+        twpp::REPORT_SCHEMA_VERSION
+    )?;
+    Ok(())
+}
+
+fn cmd_sequitur(path: &Path, out: &mut Out<'_>) -> Result<(), CliError> {
     let wpp = read_wpp(path)?;
     let grammar = twpp_sequitur::compress_wpp(&wpp);
     let rules = grammar.to_rules();
     let encoded = twpp_sequitur::encode(&rules);
-    writeln!(out, "input : {:>10} bytes ({} events)", wpp.byte_len(), wpp.event_count())
-        .map_err(fail)?;
+    writeln!(out, "input : {:>10} bytes ({} events)", wpp.byte_len(), wpp.event_count())?;
     writeln!(
         out,
         "output: {:>10} bytes ({} rules, {} symbols) -> x{:.2}",
@@ -603,8 +821,7 @@ fn cmd_sequitur(path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
         rules.len(),
         grammar.symbol_count(),
         wpp.byte_len() as f64 / encoded.len() as f64
-    )
-    .map_err(fail)?;
+    )?;
     Ok(())
 }
 
@@ -636,6 +853,14 @@ mod tests {
         assert!(matches!(run(&["bogus"]), Err(CliError::Usage(_))));
         assert!(matches!(
             run(&["trace", "x.twl"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["compact", "x.wpp", "-o", "y", "--trace-out"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["compact", "x.wpp", "-o", "y", "--report"]),
             Err(CliError::Usage(_))
         ));
     }
@@ -799,7 +1024,8 @@ mod tests {
         let wpp_path = dir.join("prog.wpp");
         run(&["trace", src, "-o", wpp_path.to_str().unwrap()]).unwrap();
 
-        // `--stats` adds the timing/worker tail.
+        // `--stats` adds the timing/worker tail, including the archive
+        // encode stage.
         let arc1 = dir.join("one.twpa");
         let output = run(&[
             "compact",
@@ -812,6 +1038,7 @@ mod tests {
         ])
         .unwrap();
         assert!(output.contains("stage timings:"), "{output}");
+        assert!(output.contains("archive encode"), "{output}");
         assert!(output.contains("workers: 1 thread"), "{output}");
 
         // Different thread counts write byte-identical archives.
@@ -955,6 +1182,7 @@ mod tests {
             budget: twpp::Budget::unlimited(),
             fail_fast: false,
             faults: twpp::FaultPlan::panic_on(FuncId::from_u32(0)),
+            obs: Obs::noop(),
         };
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
@@ -982,6 +1210,22 @@ mod tests {
         assert!(matches!(err, CliError::Degraded(_)), "{err}");
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("degraded function 0"), "{text}");
+
+        // fsck --report on the degraded archive records the degraded
+        // functions in the fsck section with outcome "degraded".
+        let report_path = dir.join("fsck-report.json");
+        let mut out = Vec::new();
+        let args = vec![
+            "fsck".to_owned(),
+            arc_path.to_str().unwrap().to_owned(),
+            "--report".to_owned(),
+            report_path.to_str().unwrap().to_owned(),
+        ];
+        run_command(&args, &mut out).unwrap_err();
+        let text = fs::read_to_string(&report_path).unwrap();
+        twpp::validate_report_json(&text).unwrap();
+        assert!(text.contains("\"outcome\":\"degraded\""), "{text}");
+        assert!(text.contains("\"functions_degraded\":1"), "{text}");
 
         fs::remove_dir_all(&dir).ok();
     }
@@ -1013,6 +1257,169 @@ mod tests {
             run(&["query", bad.to_str().unwrap(), "zero"]),
             Err(CliError::Failed(_))
         ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A sink whose every write fails, standing in for a closed pipe.
+    struct BrokenPipe;
+
+    impl Write for BrokenPipe {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "broken pipe",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn print_failures_surface_as_cli_errors() {
+        let args = vec!["--help".to_owned()];
+        let err = run_command(&args, &mut BrokenPipe).unwrap_err();
+        assert!(matches!(err, CliError::Failed(_)), "{err:?}");
+        assert!(err.to_string().contains("output write failed"), "{err}");
+    }
+
+    #[test]
+    fn obs_flags_write_trace_metrics_and_report() {
+        let dir = temp_dir();
+        let src_path = dir.join("prog.twl");
+        fs::write(
+            &src_path,
+            "fn f(x) { if (x % 2 == 0) { print(x); } else { print(0 - x); } }
+             fn main() { let i = 0; while (i < 6) { f(i); i = i + 1; } }",
+        )
+        .unwrap();
+        let src = src_path.to_str().unwrap();
+        let wpp_path = dir.join("prog.wpp");
+        run(&["trace", src, "-o", wpp_path.to_str().unwrap()]).unwrap();
+
+        // Plain compact, then an instrumented one: the archives must be
+        // byte-identical (observation never perturbs output).
+        let plain = dir.join("plain.twpa");
+        run(&["compact", wpp_path.to_str().unwrap(), "-o", plain.to_str().unwrap()]).unwrap();
+        let observed = dir.join("observed.twpa");
+        let trace_out = dir.join("run.json");
+        let metrics_out = dir.join("run.prom");
+        let report_out = dir.join("report.json");
+        let output = run(&[
+            "compact",
+            wpp_path.to_str().unwrap(),
+            "-o",
+            observed.to_str().unwrap(),
+            "--trace-out",
+            trace_out.to_str().unwrap(),
+            "--metrics-out",
+            metrics_out.to_str().unwrap(),
+            "--report",
+            report_out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(output.contains("wrote trace events"), "{output}");
+        assert!(output.contains("wrote metrics"), "{output}");
+        assert!(output.contains("wrote run report"), "{output}");
+        assert_eq!(fs::read(&plain).unwrap(), fs::read(&observed).unwrap());
+
+        // The trace file is loadable Chrome trace-event JSON with the
+        // pipeline spans.
+        let trace_text = fs::read_to_string(&trace_out).unwrap();
+        let doc = twpp::obs::parse_json(&trace_text).unwrap();
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert!(!events.is_empty());
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"compact"), "{names:?}");
+        assert!(names.contains(&"archive_encode"), "{names:?}");
+
+        // The metrics file is Prometheus text exposition.
+        let prom = fs::read_to_string(&metrics_out).unwrap();
+        assert!(
+            prom.contains("# TYPE twpp_core_events_processed_total counter"),
+            "{prom}"
+        );
+        assert!(prom.contains("twpp_core_frames_encoded_total"), "{prom}");
+
+        // The report validates against the schema and carries the
+        // pipeline section with the archive_encode timing filled in.
+        let report_text = fs::read_to_string(&report_out).unwrap();
+        twpp::validate_report_json(&report_text).unwrap();
+        assert!(report_text.contains("\"command\":\"compact\""), "{report_text}");
+        assert!(report_text.contains("\"archive_encode\":"), "{report_text}");
+
+        // report-check accepts it…
+        let output = run(&["report-check", report_out.to_str().unwrap()]).unwrap();
+        assert!(output.contains("valid run report"), "{output}");
+
+        // …and rejects garbage and schema violations.
+        let junk = dir.join("junk.json");
+        fs::write(&junk, "{\"schema_version\":999}").unwrap();
+        assert!(matches!(
+            run(&["report-check", junk.to_str().unwrap()]),
+            Err(CliError::Failed(_))
+        ));
+        let notjson = dir.join("notjson.json");
+        fs::write(&notjson, "not json at all").unwrap();
+        assert!(matches!(
+            run(&["report-check", notjson.to_str().unwrap()]),
+            Err(CliError::Failed(_))
+        ));
+
+        // fsck + query also emit schema-valid reports.
+        let fsck_report = dir.join("fsck.json");
+        run(&[
+            "fsck",
+            observed.to_str().unwrap(),
+            "--report",
+            fsck_report.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = fs::read_to_string(&fsck_report).unwrap();
+        twpp::validate_report_json(&text).unwrap();
+        assert!(text.contains("\"command\":\"fsck\""), "{text}");
+        assert!(text.contains("\"outcome\":\"complete\""), "{text}");
+
+        let query_report = dir.join("query.json");
+        run(&[
+            "query",
+            observed.to_str().unwrap(),
+            "0",
+            "--report",
+            query_report.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = fs::read_to_string(&query_report).unwrap();
+        twpp::validate_report_json(&text).unwrap();
+        assert!(text.contains("\"command\":\"query\""), "{text}");
+        assert!(
+            text.contains("twpp_cli_query_traces_printed_total"),
+            "{text}"
+        );
+
+        // A budget-stopped compact still writes a "stopped" report.
+        let stopped_report = dir.join("stopped.json");
+        let never = dir.join("never.twpa");
+        let err = run(&[
+            "compact",
+            wpp_path.to_str().unwrap(),
+            "-o",
+            never.to_str().unwrap(),
+            "--max-events",
+            "1",
+            "--report",
+            stopped_report.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Failed(_)), "{err}");
+        let text = fs::read_to_string(&stopped_report).unwrap();
+        twpp::validate_report_json(&text).unwrap();
+        assert!(text.contains("\"outcome\":\"stopped\""), "{text}");
+        assert!(text.contains("\"stop_reason\":\"step_limit\""), "{text}");
+
         fs::remove_dir_all(&dir).ok();
     }
 }

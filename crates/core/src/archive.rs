@@ -385,7 +385,34 @@ impl<W: Write> ArchiveWriter<W> {
         blocks: &[FunctionBlock],
         threads: usize,
     ) -> Result<(), ArchiveError> {
-        let frames = crate::par::map_indexed(blocks, threads, |_, fb| encode_frame(fb));
+        self.add_functions_observed(blocks, threads, &crate::obs::Obs::noop())
+    }
+
+    /// Like [`ArchiveWriter::add_functions`], additionally recording
+    /// per-worker `encode_frame` spans and the
+    /// `twpp_core_frames_encoded_total` counter into `obs`. The bytes
+    /// committed are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ArchiveWriter::add_functions`].
+    pub fn add_functions_observed(
+        &mut self,
+        blocks: &[FunctionBlock],
+        threads: usize,
+        obs: &crate::obs::Obs,
+    ) -> Result<(), ArchiveError> {
+        let (frames, _report) =
+            crate::par::map_indexed_observed(blocks, threads, obs, "encode_frame", |_, fb| {
+                encode_frame(fb)
+            });
+        if obs.is_enabled() {
+            obs.counter(
+                "twpp_core_frames_encoded_total",
+                "Archive function frames encoded",
+            )
+            .add(blocks.len() as u64);
+        }
         for frame in frames {
             self.commit_frame(frame?)?;
         }
@@ -579,9 +606,24 @@ impl TwppArchive {
         threads: usize,
         failed: &[crate::pipeline::FailedFunction],
     ) -> TwppArchive {
+        TwppArchive::from_compacted_governed_obs(c, names, threads, failed, &crate::obs::Obs::noop())
+    }
+
+    /// Like [`TwppArchive::from_compacted_governed`], additionally
+    /// recording an `archive_encode` span, per-worker `encode_frame`
+    /// spans and the frame counter into `obs`. Bytes are identical to
+    /// the unobserved encoder.
+    pub fn from_compacted_governed_obs(
+        c: &CompactedTwpp,
+        names: &HashMap<FuncId, String>,
+        threads: usize,
+        failed: &[crate::pipeline::FailedFunction],
+        obs: &crate::obs::Obs,
+    ) -> TwppArchive {
+        let _s = obs.span("archive_encode");
         let mut w = ArchiveWriter::new(Vec::new(), &c.dcg, names)
             .expect("writing to an in-memory buffer cannot fail");
-        w.add_functions(&c.functions, threads)
+        w.add_functions_observed(&c.functions, threads, obs)
             .expect("pipeline-produced blocks always encode");
         for ff in failed {
             w.add_failed_function(ff.func, ff.call_count);
@@ -729,17 +771,52 @@ impl TwppArchive {
         bytes: &[u8],
         threads: usize,
     ) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
-        if bytes.len() < 8 {
-            return Err(ArchiveError::Truncated);
+        TwppArchive::recover_observed(bytes, threads, &crate::obs::Obs::noop())
+    }
+
+    /// Like [`TwppArchive::recover_with_threads`], additionally
+    /// recording an `fsck_verify` span and the
+    /// `twpp_core_frames_crc_verified_total` /
+    /// `twpp_core_frames_lost_total` counters derived from the recovery
+    /// report. The report and rebuilt archive are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TwppArchive::recover`].
+    pub fn recover_observed(
+        bytes: &[u8],
+        threads: usize,
+        obs: &crate::obs::Obs,
+    ) -> Result<(TwppArchive, RecoveryReport), ArchiveError> {
+        let result = {
+            let _s = obs.span("fsck_verify");
+            if bytes.len() < 8 {
+                return Err(ArchiveError::Truncated);
+            }
+            if bytes[0..4] != MAGIC {
+                return Err(ArchiveError::BadMagic);
+            }
+            match read_u32(&bytes[4..8]) {
+                VERSION_V2 => recover_v2(bytes, threads),
+                VERSION => recover_v3(bytes, threads),
+                v => Err(ArchiveError::BadVersion(v)),
+            }
+        };
+        if obs.is_enabled() {
+            if let Ok((_, report)) = &result {
+                obs.counter(
+                    "twpp_core_frames_crc_verified_total",
+                    "Function frames whose checksum verified and payload decoded",
+                )
+                .add(report.salvaged_functions() as u64);
+                obs.counter(
+                    "twpp_core_frames_lost_total",
+                    "Function frames lost to damage during recovery",
+                )
+                .add(report.lost_functions() as u64);
+            }
         }
-        if bytes[0..4] != MAGIC {
-            return Err(ArchiveError::BadMagic);
-        }
-        match read_u32(&bytes[4..8]) {
-            VERSION_V2 => recover_v2(bytes, threads),
-            VERSION => recover_v3(bytes, threads),
-            v => Err(ArchiveError::BadVersion(v)),
-        }
+        result
     }
 
     /// The encoded bytes.

@@ -61,6 +61,19 @@ pub enum StopReason {
     Cancelled,
 }
 
+impl StopReason {
+    /// Stable machine-readable form used by the RunReport schema
+    /// (`deadline` / `step_limit` / `byte_limit` / `cancelled`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Deadline => "deadline",
+            StopReason::StepLimit => "step_limit",
+            StopReason::ByteLimit => "byte_limit",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+}
+
 impl std::fmt::Display for StopReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

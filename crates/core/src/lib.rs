@@ -32,6 +32,7 @@ pub mod dcg;
 pub mod dedup;
 pub mod gov;
 pub mod lzw;
+pub mod obs;
 pub mod par;
 pub mod partition;
 pub mod pipeline;
@@ -45,6 +46,9 @@ pub use dbb::{compact_trace, CompactedTrace, DbbDictionary};
 pub use dcg::{Dcg, DcgNode, DcgNodeId};
 pub use dedup::{eliminate_redundancy, eliminate_redundancy_threads, RedundancyStats};
 pub use gov::{Budget, CancelToken, FaultPlan, Limits, StopReason};
+pub use obs::{
+    validate_report_json, MetricsSnapshot, Obs, RunOutcome, RunReport, REPORT_SCHEMA_VERSION,
+};
 pub use par::{default_threads, map_indexed_isolated, resolve_threads, WorkerReport};
 pub use partition::{partition, PartitionError, PartitionedWpp};
 pub use pipeline::{

@@ -30,6 +30,8 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use crate::obs::Obs;
+
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "TWPP_THREADS";
 
@@ -120,11 +122,40 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    map_indexed_observed(items, threads, &Obs::noop(), "par", f)
+}
+
+/// Like [`map_indexed_report`], additionally recording one span per
+/// worker (`span_name`, tid = worker index + 1) into `obs`.
+///
+/// Workers measure their own busy interval with [`Obs::now_ns`]; the
+/// records are pushed **at join time, in worker order**, so the
+/// per-thread buffers merge deterministically (the span tracer's export
+/// additionally sorts by `(start, tid, name)`). With a noop observer the
+/// instrumentation is one branch per pool invocation — the mapped
+/// results are identical either way.
+pub fn map_indexed_observed<T, R, F>(
+    items: &[T],
+    threads: usize,
+    obs: &Obs,
+    span_name: &'static str,
+    f: F,
+) -> (Vec<R>, WorkerReport)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let started = Instant::now();
     let n = items.len();
     let workers = threads.clamp(1, MAX_THREADS).min(n.max(1));
     if workers <= 1 || n <= 1 {
+        let span_start = obs.now_ns();
         let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        if obs.is_enabled() && n > 0 {
+            let end = obs.now_ns();
+            obs.record_span(span_name, 1, span_start, end.saturating_sub(span_start));
+        }
         let report = WorkerReport {
             threads: 1,
             items_per_worker: vec![n as u64],
@@ -147,7 +178,9 @@ where
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let cursor = &cursor;
+            let obs = &*obs;
             handles.push(scope.spawn(move || {
+                let span_start = obs.now_ns();
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -159,12 +192,24 @@ where
                         local.push((i, f(i, item)));
                     }
                 }
-                local
+                let span_end = obs.now_ns();
+                (local, span_start, span_end)
             }));
         }
+        // Join in spawn order: the deterministic merge point for the
+        // per-worker spans.
         for (w, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(local) => {
+                Ok((local, span_start, span_end)) => {
+                    if obs.is_enabled() && !local.is_empty() {
+                        let tid = u32::try_from(w + 1).unwrap_or(u32::MAX);
+                        obs.record_span(
+                            span_name,
+                            tid,
+                            span_start,
+                            span_end.saturating_sub(span_start),
+                        );
+                    }
                     counts[w] = local.len() as u64;
                     buckets.push(local);
                 }
@@ -219,8 +264,25 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    map_indexed_isolated_observed(items, threads, &Obs::noop(), "par", f)
+}
+
+/// Like [`map_indexed_isolated`], additionally recording per-worker
+/// spans into `obs` (see [`map_indexed_observed`]).
+pub fn map_indexed_isolated_observed<T, R, F>(
+    items: &[T],
+    threads: usize,
+    obs: &Obs,
+    span_name: &'static str,
+    f: F,
+) -> (Vec<Result<R, String>>, WorkerReport)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let f = &f;
-    map_indexed_report(items, threads, move |i, item| {
+    map_indexed_observed(items, threads, obs, span_name, move |i, item| {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)))
             .map_err(|payload| crate::gov::panic_message(payload.as_ref()))
     })
@@ -318,6 +380,26 @@ mod tests {
                 assert_eq!(*r.as_ref().expect("other items succeed"), (i as u32) * 2);
             }
         }
+    }
+
+    #[test]
+    fn observed_map_records_busy_worker_spans() {
+        let items: Vec<u32> = (0..128).collect();
+        let obs = Obs::collecting();
+        let (out, report) = map_indexed_observed(&items, 4, &obs, "stage", |_, &x| x + 1);
+        assert_eq!(out.len(), 128);
+        let spans = obs.spans();
+        // One span per busy worker, tids in 1..=threads.
+        assert_eq!(spans.len(), report.busy_workers());
+        for s in &spans {
+            assert_eq!(s.name, "stage");
+            assert!(s.tid >= 1 && s.tid as usize <= report.threads);
+        }
+        // A noop observer records nothing and returns the same results.
+        let noop = Obs::noop();
+        let (out2, _) = map_indexed_observed(&items, 4, &noop, "stage", |_, &x| x + 1);
+        assert_eq!(out2, out);
+        assert_eq!(noop.span_count(), 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::dcg::Dcg;
 use crate::dedup::{eliminate_redundancy_threads, RedundancyStats};
 use crate::gov::{Budget, FaultPlan, StopReason};
 use crate::lzw;
+use crate::obs::Obs;
 use crate::par::{self, WorkerReport};
 use crate::partition::{partition, PartitionError, PartitionedWpp};
 use crate::timestamped::TimestampedTrace;
@@ -177,6 +178,11 @@ pub struct GovOptions {
     pub fail_fast: bool,
     /// Deterministic fault injection (tests and the CLI harness).
     pub faults: FaultPlan,
+    /// Observability sink. [`Obs::noop`] (the default) records nothing
+    /// and costs one branch per instrumentation point; an enabled
+    /// observer collects stage spans, per-worker spans and the
+    /// `twpp_core_*` metrics. Never influences output bytes.
+    pub obs: Obs,
 }
 
 impl Default for GovOptions {
@@ -186,6 +192,7 @@ impl Default for GovOptions {
             budget: Budget::unlimited(),
             fail_fast: true,
             faults: FaultPlan::none(),
+            obs: Obs::noop(),
         }
     }
 }
@@ -313,15 +320,34 @@ pub struct StageTimings {
     pub function_stage_nanos: u64,
     /// Stage 5: LZW compression of the serialized DCG.
     pub dcg_compress_nanos: u64,
+    /// Archive frame encoding ([`ArchiveWriter`](crate::archive::ArchiveWriter)
+    /// commit). The pipeline itself leaves this 0; callers that encode an
+    /// archive (the CLI, the bench harness) fill it in so
+    /// [`StageTimings::total_nanos`] stops undercounting governed runs.
+    pub archive_encode_nanos: u64,
 }
 
 impl StageTimings {
-    /// Sum of all recorded stage times.
+    /// Sum of all recorded stage times (including archive encoding when
+    /// the caller recorded it).
     pub fn total_nanos(&self) -> u64 {
         self.partition_nanos
             .saturating_add(self.dedup_nanos)
             .saturating_add(self.function_stage_nanos)
             .saturating_add(self.dcg_compress_nanos)
+            .saturating_add(self.archive_encode_nanos)
+    }
+
+    /// Stage timings as stable `(name, nanos)` rows — the order used by
+    /// the `--stats` table and the RunReport `timings_nanos` object.
+    pub fn named_rows(&self) -> [(&'static str, u64); 5] {
+        [
+            ("partition", self.partition_nanos),
+            ("dedup", self.dedup_nanos),
+            ("function_stage", self.function_stage_nanos),
+            ("dcg_compress", self.dcg_compress_nanos),
+            ("archive_encode", self.archive_encode_nanos),
+        ]
     }
 }
 
@@ -389,6 +415,42 @@ impl PipelineStats {
     /// paper).
     pub fn overall_factor(&self) -> f64 {
         ratio(self.raw.total(), self.total_compacted_bytes())
+    }
+
+    /// Rebases these stats into the [`RunReport`](crate::obs::RunReport)
+    /// pipeline section (stable field naming, DESIGN.md §13).
+    pub fn to_section(&self) -> crate::obs::PipelineSection {
+        let t = &self.timings;
+        let mut timings: Vec<(&'static str, u64)> = t.named_rows().to_vec();
+        timings.push(("total", t.total_nanos()));
+        crate::obs::PipelineSection {
+            raw_total_bytes: self.raw.total() as u64,
+            raw_dcg_bytes: self.raw.dcg_bytes as u64,
+            raw_trace_bytes: self.raw.trace_bytes as u64,
+            after_dedup_bytes: self.after_dedup_bytes as u64,
+            after_dict_bytes: self.after_dict_bytes as u64,
+            ctwpp_trace_bytes: self.ctwpp_trace_bytes as u64,
+            dict_bytes: self.dict_bytes as u64,
+            dcg_compressed_bytes: self.dcg_compressed_bytes as u64,
+            total_compacted_bytes: self.total_compacted_bytes() as u64,
+            overall_factor: self.overall_factor(),
+            timings,
+            worker_threads: self.workers.threads as u64,
+            items_per_worker: self.workers.items_per_worker.clone(),
+            degraded: self
+                .degraded
+                .failed
+                .iter()
+                .map(|f| {
+                    (
+                        f.func.as_u32(),
+                        f.call_count,
+                        f.stage.to_string(),
+                        f.reason.clone(),
+                    )
+                })
+                .collect(),
+        }
     }
 }
 
@@ -482,15 +544,149 @@ pub fn compact_governed(
     wpp: &RawWpp,
     options: &GovOptions,
 ) -> Result<(CompactedTwpp, PipelineStats), PipelineError> {
+    let obs = &options.obs;
+    let result = {
+        let _run = obs.span("compact");
+        compact_governed_inner(wpp, options)
+    };
+    if obs.is_enabled() {
+        match &result {
+            Ok((compacted, stats)) => {
+                record_pipeline_metrics(obs, wpp, compacted, stats, &options.budget)
+            }
+            Err(PipelineError::Budget(reason)) => {
+                obs.counter(
+                    "twpp_core_budget_stops_total",
+                    "Pipeline runs hard-stopped by budget exhaustion",
+                )
+                .inc();
+                if *reason == StopReason::Cancelled {
+                    obs.counter(
+                        "twpp_core_cancellations_total",
+                        "Pipeline runs stopped by cooperative cancellation",
+                    )
+                    .inc();
+                }
+            }
+            Err(PipelineError::Partition(_)) => {}
+        }
+    }
+    result
+}
+
+/// Records the `twpp_core_*` metrics of one successful pipeline run.
+/// Only called with an enabled observer, so handle registration cost is
+/// off the noop path entirely.
+fn record_pipeline_metrics(
+    obs: &Obs,
+    wpp: &RawWpp,
+    compacted: &CompactedTwpp,
+    stats: &PipelineStats,
+    budget: &Budget,
+) {
+    obs.counter(
+        "twpp_core_events_processed_total",
+        "Raw WPP events consumed by the compaction pipeline",
+    )
+    .add(wpp.event_count() as u64);
+    obs.counter(
+        "twpp_core_functions_total",
+        "Functions carried through the per-function stage",
+    )
+    .add(compacted.functions.len() as u64);
+    let unique: u64 = compacted
+        .functions
+        .iter()
+        .map(|fb| fb.traces.len() as u64)
+        .sum();
+    obs.counter(
+        "twpp_core_unique_traces_total",
+        "Unique path traces surviving redundancy elimination",
+    )
+    .add(unique);
+    obs.counter(
+        "twpp_core_panics_isolated_total",
+        "Per-function stages that panicked and were isolated (degrade mode)",
+    )
+    .add(stats.degraded.len() as u64);
+    obs.gauge("twpp_core_raw_bytes", "Raw WPP input bytes")
+        .set(clamp_i64(stats.raw.total()));
+    obs.gauge(
+        "twpp_core_after_dedup_bytes",
+        "Trace bytes after redundant-trace elimination",
+    )
+    .set(clamp_i64(stats.after_dedup_bytes));
+    obs.gauge(
+        "twpp_core_after_dict_bytes",
+        "Trace bytes after DBB dictionary creation",
+    )
+    .set(clamp_i64(stats.after_dict_bytes));
+    obs.gauge(
+        "twpp_core_ctwpp_trace_bytes",
+        "Compacted TWPP trace bytes",
+    )
+    .set(clamp_i64(stats.ctwpp_trace_bytes));
+    obs.gauge("twpp_core_dict_bytes", "Serialized DBB dictionary bytes")
+        .set(clamp_i64(stats.dict_bytes));
+    obs.gauge(
+        "twpp_core_dcg_compressed_bytes",
+        "LZW-compressed dynamic call graph bytes",
+    )
+    .set(clamp_i64(stats.dcg_compressed_bytes));
+    let per_func = obs.histogram(
+        "twpp_core_traces_per_function",
+        "Unique traces per function",
+        &[1, 2, 4, 8, 16, 32, 64, 128],
+    );
+    for fb in &compacted.functions {
+        per_func.observe(fb.traces.len() as u64);
+    }
+    record_budget_metrics(obs, &stats.workers, budget);
+}
+
+/// Budget counters shared by compact and (via re-use) query paths.
+fn record_budget_metrics(obs: &Obs, workers: &WorkerReport, budget: &Budget) {
+    obs.gauge(
+        "twpp_core_worker_threads",
+        "Worker-pool threads used by the per-function stage",
+    )
+    .set(clamp_i64(workers.threads));
+    if !budget.is_unlimited() {
+        obs.counter(
+            "twpp_core_budget_steps_total",
+            "Budget steps consumed by governed stages",
+        )
+        .add(budget.steps_used());
+        obs.counter(
+            "twpp_core_budget_bytes_total",
+            "Budget bytes consumed by governed stages",
+        )
+        .add(budget.bytes_used());
+    }
+}
+
+/// Clamps a `usize` into the `i64` range a gauge stores.
+fn clamp_i64(v: usize) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+fn compact_governed_inner(
+    wpp: &RawWpp,
+    options: &GovOptions,
+) -> Result<(CompactedTwpp, PipelineStats), PipelineError> {
     let threads = par::resolve_threads(options.threads);
     let budget = &options.budget;
+    let obs = &options.obs;
     budget.check()?;
     let raw = wpp.size_breakdown();
 
     // Stage 1: partition into path traces + DCG. The event count is the
     // natural unit for `--max-events`.
     let started = Instant::now();
-    let mut part = partition(wpp)?;
+    let mut part = {
+        let _s = obs.span("partition");
+        partition(wpp)?
+    };
     let partition_nanos = elapsed_nanos(started);
     budget.charge_steps(wpp.event_count() as u64)?;
     budget.charge_bytes(wpp.byte_len() as u64)?;
@@ -498,7 +694,10 @@ pub fn compact_governed(
 
     // Stage 2: redundant path trace elimination (per-function, parallel).
     let started = Instant::now();
-    let redundancy = eliminate_redundancy_threads(&mut part, threads);
+    let redundancy = {
+        let _s = obs.span("dedup");
+        eliminate_redundancy_threads(&mut part, threads)
+    };
     let dedup_nanos = elapsed_nanos(started);
     budget.check()?;
     let after_dedup_bytes = part.trace_bytes();
@@ -531,7 +730,8 @@ pub fn compact_governed(
         // Pre-governance semantics: a panicking worker propagates via
         // `resume_unwind` on the calling thread; an errored function
         // fails the whole run.
-        let (built, report) = par::map_indexed_report(&entries, threads, build);
+        let (built, report) =
+            par::map_indexed_observed(&entries, threads, obs, "function_stage", build);
         workers = report;
         for r in built {
             match r {
@@ -547,7 +747,8 @@ pub fn compact_governed(
         // Degrade mode: every per-function stage is panic-isolated; one
         // poisoned function becomes a FailedFunction entry instead of
         // aborting the run. Budget exhaustion still hard-stops.
-        let (built, report) = par::map_indexed_isolated(&entries, threads, build);
+        let (built, report) =
+            par::map_indexed_isolated_observed(&entries, threads, obs, "function_stage", build);
         workers = report;
         for (i, r) in built.into_iter().enumerate() {
             let (&func, _) = entries[i];
@@ -590,9 +791,13 @@ pub fn compact_governed(
 
     // Stage 5: DCG compression.
     let started = Instant::now();
-    let dcg_words = part.dcg.to_words();
-    let dcg_bytes: Vec<u8> = dcg_words.iter().flat_map(|w| w.to_le_bytes()).collect();
-    let dcg_compressed_bytes = lzw::compressed_size(&dcg_bytes);
+    let (dcg_bytes, dcg_compressed_bytes) = {
+        let _s = obs.span("dcg_compress");
+        let dcg_words = part.dcg.to_words();
+        let dcg_bytes: Vec<u8> = dcg_words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let compressed = lzw::compressed_size(&dcg_bytes);
+        (dcg_bytes, compressed)
+    };
     let dcg_compress_nanos = elapsed_nanos(started);
     budget.charge_bytes(dcg_bytes.len() as u64)?;
 
@@ -615,6 +820,9 @@ pub fn compact_governed(
             dedup_nanos,
             function_stage_nanos,
             dcg_compress_nanos,
+            // Archive encoding happens outside the pipeline; callers
+            // that encode (the CLI, the bench harness) fill this in.
+            archive_encode_nanos: 0,
         },
         workers,
         degraded: DegradedReport { failed },
@@ -899,6 +1107,51 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_records_spans_and_metrics_without_changing_output() {
+        let wpp = figure1();
+        let (plain, _) = compact_with_stats(&wpp).unwrap();
+        let obs = crate::obs::Obs::collecting();
+        let gov = GovOptions {
+            obs: obs.clone(),
+            ..GovOptions::default()
+        };
+        let (c, _) = compact_governed(&wpp, &gov).unwrap();
+        // Observation never changes the produced bytes.
+        assert_eq!(c, plain);
+        let names: Vec<&str> = obs.spans().iter().map(|s| s.name).collect();
+        for expected in ["compact", "partition", "dedup", "function_stage", "dcg_compress"] {
+            assert!(names.contains(&expected), "missing span {expected}: {names:?}");
+        }
+        let snap = obs.snapshot();
+        match snap.get("twpp_core_events_processed_total").map(|s| &s.value) {
+            Some(crate::obs::SampleValue::Counter(n)) => {
+                assert_eq!(*n, wpp.event_count() as u64)
+            }
+            other => panic!("missing events counter: {other:?}"),
+        }
+        match snap.get("twpp_core_unique_traces_total").map(|s| &s.value) {
+            Some(crate::obs::SampleValue::Counter(n)) => assert_eq!(*n, 3), // f has 2, main 1
+            other => panic!("missing unique traces counter: {other:?}"),
+        }
+        // A budget stop shows up as a stop counter.
+        let obs2 = crate::obs::Obs::collecting();
+        let gov = GovOptions {
+            budget: crate::gov::Limits::new().max_steps(1).start(),
+            obs: obs2.clone(),
+            ..GovOptions::default()
+        };
+        assert!(compact_governed(&wpp, &gov).is_err());
+        match obs2
+            .snapshot()
+            .get("twpp_core_budget_stops_total")
+            .map(|s| &s.value)
+        {
+            Some(crate::obs::SampleValue::Counter(1)) => {}
+            other => panic!("missing budget stop counter: {other:?}"),
+        }
+    }
+
+    #[test]
     fn stats_carry_stage_timings_and_worker_report() {
         let (_, stats) =
             compact_with_stats_threads(&figure1(), CompactOptions::with_threads(2)).unwrap();
@@ -910,7 +1163,18 @@ mod tests {
                 + stats.timings.dedup_nanos
                 + stats.timings.function_stage_nanos
                 + stats.timings.dcg_compress_nanos
+                + stats.timings.archive_encode_nanos
         );
+        // The pipeline itself never encodes an archive: the encode slot
+        // is 0 until a caller (CLI / bench) fills it in, and the named
+        // rows expose all five stages for the --stats table.
+        assert_eq!(stats.timings.archive_encode_nanos, 0);
+        let rows = stats.timings.named_rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[4].0, "archive_encode");
+        let mut with_encode = stats.timings;
+        with_encode.archive_encode_nanos = 17;
+        assert_eq!(with_encode.total_nanos(), stats.timings.total_nanos() + 17);
         assert!(stats.workers.threads >= 1);
         assert_eq!(stats.workers.total_items(), 2);
         assert!(stats.workers.busy_workers() >= 1);

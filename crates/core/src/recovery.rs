@@ -120,6 +120,28 @@ impl RecoveryReport {
             .collect()
     }
 
+    /// Rebases this report into the [`RunReport`](crate::obs::RunReport)
+    /// fsck section (stable field naming, DESIGN.md §13).
+    /// `functions_lost` counts regions lost to *damage* — functions a
+    /// degraded run recorded as failed-at-compaction are counted
+    /// separately in `functions_degraded`.
+    pub fn to_section(&self) -> crate::obs::FsckSection {
+        let degraded = self.degraded_functions().len();
+        crate::obs::FsckSection {
+            version: self.version,
+            total_bytes: self.total_bytes as u64,
+            header_ok: self.header_ok,
+            dcg_ok: self.dcg_ok,
+            names_ok: self.names_ok,
+            committed: self.committed,
+            salvaged_bytes: self.salvaged_bytes as u64,
+            functions_total: self.functions.len() as u64,
+            functions_salvaged: self.salvaged_functions() as u64,
+            functions_lost: (self.lost_functions() - degraded) as u64,
+            functions_degraded: degraded as u64,
+        }
+    }
+
     /// Whether the archive itself is intact and its only blemish is a
     /// non-empty set of functions recorded as failed during compaction.
     /// This is `twpp fsck`'s "degraded" verdict (exit code 3): every
@@ -215,6 +237,24 @@ mod tests {
         assert!(r.is_clean());
         r.committed = false;
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn fsck_section_separates_damage_from_degradation() {
+        let mut r = report();
+        r.functions.push(FunctionVerdict {
+            func: FuncId::from_index(2),
+            offset: 950,
+            byte_len: 0,
+            status: RegionStatus::FailedAtCompaction,
+        });
+        let s = r.to_section();
+        assert_eq!(s.functions_total, 3);
+        assert_eq!(s.functions_salvaged, 1);
+        assert_eq!(s.functions_lost, 1); // the checksum-mismatch region
+        assert_eq!(s.functions_degraded, 1);
+        assert_eq!(s.version, 3);
+        assert!(s.committed);
     }
 
     #[test]

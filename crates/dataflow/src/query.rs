@@ -12,6 +12,7 @@
 //! paper's hot-data-flow-fact primitive for profile-guided optimization.
 
 use twpp::gov::{Budget, StopReason};
+use twpp::obs::Obs;
 use twpp::TsSet;
 use twpp_ir::Function;
 
@@ -166,6 +167,52 @@ pub fn solve_backward_governed<F: GenKillFact + ?Sized>(
     ts: &TsSet,
     budget: &Budget,
 ) -> QueryOutcome {
+    solve_backward_observed(dcfg, func, fact, node, ts, budget, &Obs::noop())
+}
+
+/// Observed variant of [`solve_backward_governed`]: additionally records
+/// the `twpp_dataflow_query_*` counters (queries issued, worklist nodes
+/// visited, partial answers) into `obs`. The outcome is identical.
+pub fn solve_backward_observed<F: GenKillFact + ?Sized>(
+    dcfg: &DynCfg,
+    func: &Function,
+    fact: &F,
+    node: usize,
+    ts: &TsSet,
+    budget: &Budget,
+    obs: &Obs,
+) -> QueryOutcome {
+    let (outcome, visited) = solve_backward_impl(dcfg, func, fact, node, ts, budget);
+    if obs.is_enabled() {
+        obs.counter(
+            "twpp_dataflow_query_total",
+            "Backward GEN-KILL queries issued",
+        )
+        .inc();
+        obs.counter(
+            "twpp_dataflow_query_nodes_visited_total",
+            "Worklist nodes visited by backward query propagation",
+        )
+        .add(visited);
+        if !outcome.is_complete() {
+            obs.counter(
+                "twpp_dataflow_query_partial_total",
+                "Backward queries stopped early by a budget",
+            )
+            .inc();
+        }
+    }
+    outcome
+}
+
+fn solve_backward_impl<F: GenKillFact + ?Sized>(
+    dcfg: &DynCfg,
+    func: &Function,
+    fact: &F,
+    node: usize,
+    ts: &TsSet,
+    budget: &Budget,
+) -> (QueryOutcome, u64) {
     // Pre-compute each node's DGEN/DKILL summary.
     let effects: Vec<Effect> = dcfg
         .nodes()
@@ -176,7 +223,7 @@ pub fn solve_backward_governed<F: GenKillFact + ?Sized>(
     let mut result = QueryResult::default();
     let initial = ts.intersect(&dcfg.node(node).ts);
     if initial.is_empty() {
-        return QueryOutcome::Complete(result);
+        return (QueryOutcome::Complete(result), 0);
     }
     let total = initial.len() as f64;
     let mut visited: u64 = 0;
@@ -187,12 +234,15 @@ pub fn solve_backward_governed<F: GenKillFact + ?Sized>(
         if let Err(reason) = budget.charge_step() {
             let coverage =
                 (result.holds.len() as f64 + result.not_holds.len() as f64) / total;
-            return QueryOutcome::Partial {
-                result,
-                coverage,
+            return (
+                QueryOutcome::Partial {
+                    result,
+                    coverage,
+                    visited,
+                    reason,
+                },
                 visited,
-                reason,
-            };
+            );
         }
         visited += 1;
         let shifted = positions.shift(-1);
@@ -233,7 +283,7 @@ pub fn solve_backward_governed<F: GenKillFact + ?Sized>(
             }
         }
     }
-    QueryOutcome::Complete(result)
+    (QueryOutcome::Complete(result), visited)
 }
 
 /// Naive oracle: answers the same query by replaying the full block

@@ -60,6 +60,7 @@ fn injected_panic_yields_degraded_but_valid_archive() {
             budget: Budget::unlimited(),
             fail_fast: false,
             faults: FaultPlan::panic_on(victim),
+            obs: twpp::Obs::noop(),
         };
         let (compacted, stats) =
             quiet_panics(|| compact_governed(&wpp, &options)).expect("degraded run completes");
@@ -114,6 +115,7 @@ fn fail_fast_propagates_the_injected_panic() {
         budget: Budget::unlimited(),
         fail_fast: true,
         faults: FaultPlan::panic_on(FuncId::from_u32(0)),
+        obs: twpp::Obs::noop(),
     };
     let outcome = quiet_panics(|| {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -137,6 +139,7 @@ fn exhausted_budget_stops_compaction_with_no_output() {
         budget: Limits::new().max_steps(1).start(),
         fail_fast: true,
         faults: FaultPlan::none(),
+        obs: twpp::Obs::noop(),
     };
     match compact_governed(&wpp, &options) {
         Err(PipelineError::Budget(StopReason::StepLimit)) => {}
@@ -151,6 +154,7 @@ fn exhausted_budget_stops_compaction_with_no_output() {
         budget: Limits::new().start_with_cancel(cancel),
         fail_fast: true,
         faults: FaultPlan::none(),
+        obs: twpp::Obs::noop(),
     };
     match compact_governed(&wpp, &options) {
         Err(PipelineError::Budget(StopReason::Cancelled)) => {}
@@ -163,6 +167,7 @@ fn exhausted_budget_stops_compaction_with_no_output() {
         budget: Limits::new().deadline_ms(0).start(),
         fail_fast: true,
         faults: FaultPlan::none(),
+        obs: twpp::Obs::noop(),
     };
     std::thread::sleep(std::time::Duration::from_millis(2));
     match compact_governed(&wpp, &options) {
@@ -189,6 +194,7 @@ fn governed_output_is_byte_identical_without_faults() {
                 budget: Limits::new().deadline_ms(600_000).start(),
                 fail_fast,
                 faults: FaultPlan::none(),
+                obs: twpp::Obs::noop(),
             };
             let (compacted, stats) =
                 compact_governed(&wpp, &options).expect("governed compaction");
