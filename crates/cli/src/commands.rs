@@ -9,6 +9,7 @@
 //! twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]] [--threads N]
 //! twpp report-check <report.json>
 //! twpp sequitur <in.wpp>
+//! twpp selftest [--seed N] [--cases K] [--max-events M] [--out-dir D] [--threads N]
 //! ```
 //!
 //! `--threads N` caps the worker pool used by the parallel compaction and
@@ -119,9 +120,17 @@ usage:
   twpp report-check <report.json>           validate a --report file against
                                             the run-report schema
   twpp sequitur <in.wpp>                    compress with the Sequitur baseline
+  twpp selftest [--seed N] [--cases K] [--max-events M] [--out-dir D]
+                                            run the conformance battery: the
+                                            optimized pipeline against naive
+                                            reference oracles and metamorphic
+                                            relations; failing cases are shrunk
+                                            to minimal reproducers in the out
+                                            dir (defaults: seed 42, 100 cases)
 
   --threads N caps the worker pool for compact/fsck (default: TWPP_THREADS
-  or the machine's available parallelism)
+  or the machine's available parallelism); for selftest it sets the largest
+  thread count the byte-identity checks compare against
 
 governance (compact/query/fsck):
   --deadline-ms N   stop after N milliseconds of wall-clock time
@@ -221,6 +230,10 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
     let mut limits = twpp::Limits::new();
     let mut degrade = false;
     let mut obs_files = ObsFiles::default();
+    let mut seed: Option<u64> = None;
+    let mut cases: Option<usize> = None;
+    let mut max_events: Option<u64> = None;
+    let mut out_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -293,7 +306,38 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                 let n = raw
                     .parse::<u64>()
                     .map_err(|e| CliError::Usage(format!("bad --max-events: {e}")))?;
+                max_events = Some(n);
                 limits = limits.max_steps(n);
+            }
+            "--seed" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--seed needs a number".into()))?;
+                seed = Some(
+                    raw.parse::<u64>()
+                        .map_err(|e| CliError::Usage(format!("bad --seed: {e}")))?,
+                );
+            }
+            "--cases" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--cases needs a count".into()))?;
+                let n = raw
+                    .parse::<usize>()
+                    .map_err(|e| CliError::Usage(format!("bad --cases: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--cases must be at least 1".into()));
+                }
+                cases = Some(n);
+            }
+            "--out-dir" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--out-dir needs a path".into()))?;
+                out_dir = Some(PathBuf::from(p));
             }
             "--threads" => {
                 i += 1;
@@ -349,6 +393,15 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
         ["query", path, func] => cmd_query(Path::new(path), func, limits, &obs_files, out),
         ["report-check", path] => cmd_report_check(Path::new(path), out),
         ["sequitur", path] => cmd_sequitur(Path::new(path), out),
+        ["selftest"] => cmd_selftest(
+            seed.unwrap_or(42),
+            cases.unwrap_or(100),
+            max_events.unwrap_or(2_000) as usize,
+            out_dir,
+            threads,
+            &obs_files,
+            out,
+        ),
         _ => Err(usage()),
     }
 }
@@ -808,6 +861,87 @@ fn cmd_report_check(path: &Path, out: &mut Out<'_>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The conformance battery: differential checks against naive reference
+/// oracles, metamorphic relations, byte-identity across thread counts,
+/// and auto-shrunk reproducers for anything that diverges.
+fn cmd_selftest(
+    seed: u64,
+    cases: usize,
+    max_events: usize,
+    out_dir: Option<PathBuf>,
+    threads: Option<usize>,
+    obs_files: &ObsFiles,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let out_dir = out_dir.unwrap_or_else(|| std::env::temp_dir().join("twpp-selftest"));
+    // The byte-identity checks compare the pipeline against itself at
+    // every listed thread count; `--threads N` pins the largest one.
+    let thread_list: Vec<usize> = match threads {
+        Some(1) => vec![1],
+        Some(n) => vec![1, n],
+        None => vec![1, 2, 4, 8],
+    };
+    let cfg = twpp_conformance::SelftestConfig {
+        seed,
+        cases,
+        max_events,
+        threads: thread_list,
+        out_dir: Some(out_dir.clone()),
+        shrink_budget: twpp_conformance::shrink::ShrinkBudget::default(),
+    };
+    let obs = obs_files.observer();
+    let report = {
+        let _s = obs.span("selftest");
+        twpp_conformance::run_selftest(&cfg)
+    };
+    write!(out, "{}", report.summary())?;
+    obs.counter("twpp_selftest_cases_total", "Selftest cases executed")
+        .add(report.cases as u64);
+    obs.counter(
+        "twpp_selftest_check_runs_total",
+        "Individual conformance-check executions",
+    )
+    .add(report.total_runs() as u64);
+    obs.counter(
+        "twpp_selftest_divergences_total",
+        "Divergences found by the selftest battery",
+    )
+    .add(report.divergences.len() as u64);
+    // The detailed battery report lives next to any reproducers; the
+    // --report flag still emits the schema-v1 run report like every
+    // other command.
+    if fs::create_dir_all(&out_dir).is_ok() {
+        let json_path = out_dir.join("selftest-report.json");
+        if fs::write(&json_path, report.to_json()).is_ok() {
+            writeln!(out, "wrote battery report {}", json_path.display())?;
+        }
+    }
+    let run = RunReport::new(
+        "selftest",
+        if report.ok() {
+            RunOutcome::Complete
+        } else {
+            RunOutcome::Damaged
+        },
+    );
+    obs_files.emit(&obs, run, out)?;
+    if !report.ok() {
+        return Err(CliError::Failed(format!(
+            "selftest: {} divergence(s) across {} cases; shrunk reproducers in {}",
+            report.divergences.len(),
+            report.cases,
+            out_dir.display()
+        )));
+    }
+    writeln!(
+        out,
+        "selftest OK: seed {seed}, {} cases, {} check executions, 0 divergences",
+        report.cases,
+        report.total_runs()
+    )?;
+    Ok(())
+}
+
 fn cmd_sequitur(path: &Path, out: &mut Out<'_>) -> Result<(), CliError> {
     let wpp = read_wpp(path)?;
     let grammar = twpp_sequitur::compress_wpp(&wpp);
@@ -1227,6 +1361,87 @@ mod tests {
         assert!(text.contains("\"outcome\":\"degraded\""), "{text}");
         assert!(text.contains("\"functions_degraded\":1"), "{text}");
 
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn selftest_runs_green_and_is_deterministic() {
+        let dir = temp_dir();
+        let out_dir = dir.join("repros");
+        let args = [
+            "selftest",
+            "--seed",
+            "7",
+            "--cases",
+            "3",
+            "--max-events",
+            "300",
+            "--threads",
+            "2",
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+        ];
+        let a = run(&args).unwrap();
+        assert!(a.contains("selftest OK"), "{a}");
+        assert!(a.contains("0 divergences"), "{a}");
+        // The battery report is written and identical across runs.
+        let json_path = out_dir.join("selftest-report.json");
+        let first = fs::read_to_string(&json_path).unwrap();
+        let b = run(&args).unwrap();
+        assert_eq!(a, b, "selftest output must be deterministic");
+        assert_eq!(first, fs::read_to_string(&json_path).unwrap());
+        // No reproducers on a green run.
+        assert!(
+            !fs::read_dir(&out_dir)
+                .unwrap()
+                .filter_map(Result::ok)
+                .any(|e| e.file_name().to_string_lossy().starts_with("repro-")),
+            "green selftest must not write reproducers"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn selftest_flag_validation_and_report() {
+        assert!(matches!(
+            run(&["selftest", "--seed"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["selftest", "--seed", "many"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["selftest", "--cases", "0"]),
+            Err(CliError::Usage(_))
+        ));
+
+        // --report emits a schema-valid run report with command selftest.
+        let dir = temp_dir();
+        let report_path = dir.join("selftest.json");
+        let out_dir = dir.join("repros");
+        let output = run(&[
+            "selftest",
+            "--seed",
+            "3",
+            "--cases",
+            "2",
+            "--max-events",
+            "200",
+            "--threads",
+            "1",
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+            "--report",
+            report_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(output.contains("wrote run report"), "{output}");
+        let text = fs::read_to_string(&report_path).unwrap();
+        twpp::validate_report_json(&text).unwrap();
+        assert!(text.contains("\"command\":\"selftest\""), "{text}");
+        assert!(text.contains("\"outcome\":\"complete\""), "{text}");
+        assert!(text.contains("twpp_selftest_cases_total"), "{text}");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,103 @@
+//! Byte-level codec checks: the LZW compressor against its own decoder
+//! and the bounded (untrusted-input) decoding path.
+//!
+//! These are differential in the same sense as the pipeline checks —
+//! `compress` and `decompress` are independent implementations of the
+//! two directions, so a round-trip failure localizes a bug without any
+//! golden data.
+
+use twpp::lzw::{compress, compressed_size, decompress, decompress_bounded, LzwError};
+
+/// A byte-input conformance check.
+pub type ByteCheck = fn(&[u8]) -> Result<(), String>;
+
+/// The registered byte-level checks, in battery order.
+pub const BYTE_CHECKS: &[(&str, ByteCheck)] = &[
+    ("lzw-roundtrip", check_lzw_roundtrip),
+    ("lzw-size-estimate", check_lzw_size_estimate),
+    ("lzw-bounded-decode", check_lzw_bounded_decode),
+];
+
+/// `decompress(compress(b)) == b` for every byte input.
+fn check_lzw_roundtrip(bytes: &[u8]) -> Result<(), String> {
+    let packed = compress(bytes);
+    let back = decompress(&packed)
+        .map_err(|e| format!("decompress rejected compress output: {e}"))?;
+    if back != bytes {
+        return Err(format!(
+            "LZW round-trip mismatch: {} bytes in, {} bytes out",
+            bytes.len(),
+            back.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `compressed_size` must agree exactly with the actual encoding.
+fn check_lzw_size_estimate(bytes: &[u8]) -> Result<(), String> {
+    let packed = compress(bytes);
+    let estimated = compressed_size(bytes);
+    if estimated != packed.len() {
+        return Err(format!(
+            "compressed_size reported {estimated} but compress produced {} bytes",
+            packed.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Bounded decoding must succeed at the exact output size and fail with
+/// `OutputLimit` one byte short of it (for non-empty inputs).
+fn check_lzw_bounded_decode(bytes: &[u8]) -> Result<(), String> {
+    let packed = compress(bytes);
+    let exact = decompress_bounded(&packed, bytes.len())
+        .map_err(|e| format!("bounded decode at the exact size failed: {e}"))?;
+    if exact != bytes {
+        return Err("bounded decode at the exact size returned different bytes".to_string());
+    }
+    if !bytes.is_empty() {
+        match decompress_bounded(&packed, bytes.len() - 1) {
+            Err(LzwError::OutputLimit(_)) => {}
+            Err(other) => {
+                return Err(format!(
+                    "bounded decode one short failed with {other} instead of OutputLimit"
+                ))
+            }
+            Ok(_) => {
+                return Err(
+                    "bounded decode one byte short of the output size succeeded".to_string()
+                )
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_lzw_bytes;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn byte_checks_pass_on_generated_inputs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..64 {
+            let bytes = gen_lzw_bytes(&mut rng, 1024);
+            for (name, check) in BYTE_CHECKS {
+                check(&bytes).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn byte_checks_pass_on_edge_inputs() {
+        let edges: [&[u8]; 4] = [b"", b"a", b"aaaaaaaaaaaaaaaa", &[0u8; 300]];
+        for bytes in edges {
+            for (name, check) in BYTE_CHECKS {
+                check(bytes).unwrap_or_else(|e| panic!("{name} failed on {bytes:?}: {e}"));
+            }
+        }
+    }
+}

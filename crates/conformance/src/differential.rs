@@ -1,0 +1,631 @@
+//! The differential engine: holds the optimized pipeline to the naive
+//! reference oracles and to itself (across thread counts and execution
+//! policies).
+//!
+//! Every check takes a raw WPP event stream and returns `Ok(())` or a
+//! human-readable divergence description. Checks are registered by name
+//! in [`EVENT_CHECKS`] so the battery can count per-check statistics and
+//! the shrinker can replay a *single* failing check against smaller
+//! candidates.
+
+use std::collections::HashMap;
+
+use twpp::dbb::compact_trace;
+use twpp::dedup::eliminate_redundancy_threads;
+use twpp::partition::{partition, PartitionError};
+use twpp::pipeline::{compact_governed, CompactedTwpp, GovOptions};
+use twpp::timestamped::TimestampedTrace;
+use twpp::trace::PathTrace;
+use twpp::tsset::TsSet;
+use twpp::TwppArchive;
+use twpp_ir::FuncId;
+use twpp_tracer::{RawWpp, WppEvent};
+
+use crate::reference::{
+    ref_compact_series, ref_dbb_fold, ref_dbb_unfold, ref_decode_wire, ref_dedup,
+    ref_encode_wire, ref_invert, ref_partition, RefPartitionError,
+};
+
+/// An event-stream conformance check.
+pub type EventCheck = fn(&[WppEvent], &CheckContext) -> Result<(), String>;
+
+/// Shared knobs for one battery run.
+#[derive(Clone, Debug)]
+pub struct CheckContext {
+    /// Thread counts the pipeline must be byte-identical across.
+    pub threads: Vec<usize>,
+}
+
+impl Default for CheckContext {
+    fn default() -> CheckContext {
+        CheckContext {
+            threads: (1..=8).collect(),
+        }
+    }
+}
+
+/// The registered differential checks, in battery order.
+pub const EVENT_CHECKS: &[(&str, EventCheck)] = &[
+    ("raw-words-roundtrip", check_raw_words_roundtrip),
+    ("partition-oracle", check_partition_oracle),
+    ("partition-reconstruct", check_partition_reconstruct),
+    ("dedup-oracle", check_dedup_oracle),
+    ("dbb-oracle", check_dbb_oracle),
+    ("invert-oracle", check_invert_oracle),
+    ("tsset-series-oracle", check_tsset_series_oracle),
+    ("pipeline-thread-identity", check_pipeline_thread_identity),
+    ("pipeline-reconstruct", check_pipeline_reconstruct),
+    ("archive-roundtrip", check_archive_roundtrip),
+    ("archive-recover-clean", check_archive_recover_clean),
+    ("governed-equivalence", check_governed_equivalence),
+    ("observed-byte-identity", check_observed_byte_identity),
+];
+
+fn fmt_events(events: &[WppEvent]) -> String {
+    let head: Vec<String> = events.iter().take(24).map(|e| format!("{e:?}")).collect();
+    let ellipsis = if events.len() > 24 { ", …" } else { "" };
+    format!("[{}{}] ({} events)", head.join(", "), ellipsis, events.len())
+}
+
+/// Round trip through the raw 4-byte word encoding.
+fn check_raw_words_roundtrip(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    let wpp = RawWpp::from_events(events);
+    if wpp.events() != events {
+        return Err("RawWpp::events() differs from the input stream".to_string());
+    }
+    let back = RawWpp::from_words(wpp.words().to_vec())
+        .map_err(|e| format!("from_words rejected its own encoding: {e}"))?;
+    if back != wpp {
+        return Err("word round-trip produced a different RawWpp".to_string());
+    }
+    Ok(())
+}
+
+/// Partitioning versus the naive stack partitioner: structure, offsets,
+/// per-activation traces, per-function trace layout and error contract.
+fn check_partition_oracle(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    let wpp = RawWpp::from_events(events);
+    let optimized = partition(&wpp);
+    let reference = ref_partition(events);
+    match (&optimized, &reference) {
+        (Err(e), Ok(_)) => return Err(format!("optimized rejected ({e}); oracle accepted")),
+        (Ok(_), Err(e)) => return Err(format!("optimized accepted; oracle rejected ({e:?})")),
+        (Err(opt), Err(oracle)) => {
+            let agree = matches!(
+                (opt, oracle),
+                (PartitionError::Empty, RefPartitionError::Empty)
+                    | (
+                        PartitionError::EventOutsideActivation,
+                        RefPartitionError::OutsideActivation
+                    )
+                    | (PartitionError::MultipleRoots, RefPartitionError::MultipleRoots)
+            );
+            if !agree {
+                return Err(format!("error kinds disagree: {opt:?} vs {oracle:?}"));
+            }
+            return Ok(());
+        }
+        (Ok(_), Ok(_)) => {}
+    }
+    let part = optimized.expect("checked above");
+    let oracle = reference.expect("checked above");
+
+    if part.dcg.node_count() != oracle.activations.len() {
+        return Err(format!(
+            "activation counts differ: optimized {} vs oracle {}",
+            part.dcg.node_count(),
+            oracle.activations.len()
+        ));
+    }
+    // DCG nodes are created in Enter order, so index i corresponds to the
+    // oracle's preorder activation i.
+    for (id, node) in part.dcg.iter() {
+        let a = &oracle.activations[id.index()];
+        if node.func != a.func {
+            return Err(format!("node {}: func {} vs {}", id.index(), node.func, a.func));
+        }
+        if node.offset_in_parent != a.offset_in_parent {
+            return Err(format!(
+                "node {}: offset_in_parent {} vs {}",
+                id.index(),
+                node.offset_in_parent,
+                a.offset_in_parent
+            ));
+        }
+        let children: Vec<usize> = node.children.iter().map(|c| c.index()).collect();
+        if children != a.children {
+            return Err(format!(
+                "node {}: children {:?} vs {:?}",
+                id.index(),
+                children,
+                a.children
+            ));
+        }
+        if part.trace_of(id).blocks() != a.blocks.as_slice() {
+            return Err(format!(
+                "node {}: trace {:?} vs {:?}",
+                id.index(),
+                part.trace_of(id).blocks(),
+                a.blocks
+            ));
+        }
+    }
+    // Per-function trace lists land in close (Exit) order.
+    let expected = oracle.traces_by_function();
+    if part.traces.len() != expected.len() {
+        return Err("per-function trace maps have different key sets".to_string());
+    }
+    for (func, traces) in &part.traces {
+        let Some(exp) = expected.get(func) else {
+            return Err(format!("function {func} missing from oracle traces"));
+        };
+        let got: Vec<&[twpp_ir::BlockId]> = traces.iter().map(PathTrace::blocks).collect();
+        let want: Vec<&[twpp_ir::BlockId]> = exp.iter().map(Vec::as_slice).collect();
+        if got != want {
+            return Err(format!("function {func}: trace list order/content differs"));
+        }
+    }
+    Ok(())
+}
+
+/// `partition` then `reconstruct` must agree with the oracle's own
+/// reconstruction (which equals the input when it was not truncated).
+fn check_partition_reconstruct(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    let wpp = RawWpp::from_events(events);
+    let (Ok(part), Ok(oracle)) = (partition(&wpp), ref_partition(events)) else {
+        return Ok(()); // rejection symmetry is checked elsewhere
+    };
+    let rec = part.reconstruct();
+    let want = oracle.reconstruct();
+    if rec.events() != want {
+        return Err(format!(
+            "reconstruction differs:\n  optimized {}\n  oracle    {}",
+            fmt_events(&rec.events()),
+            fmt_events(&want)
+        ));
+    }
+    Ok(())
+}
+
+/// Redundancy elimination versus the naive first-seen dedup, across
+/// thread counts, plus content preservation through the DCG remap.
+fn check_dedup_oracle(events: &[WppEvent], cx: &CheckContext) -> Result<(), String> {
+    let wpp = RawWpp::from_events(events);
+    let (Ok(part), Ok(oracle)) = (partition(&wpp), ref_partition(events)) else {
+        return Ok(());
+    };
+    let expected = oracle.traces_by_function();
+    let mut baseline = None;
+    for &t in &cx.threads {
+        let mut deduped = part.clone();
+        let stats = eliminate_redundancy_threads(&mut deduped, t);
+        for (func, traces) in &expected {
+            let (unique, _) = ref_dedup(traces);
+            let got = deduped
+                .traces
+                .get(func)
+                .ok_or_else(|| format!("threads={t}: function {func} lost by dedup"))?;
+            let got_blocks: Vec<&[twpp_ir::BlockId]> =
+                got.iter().map(PathTrace::blocks).collect();
+            let want_blocks: Vec<&[twpp_ir::BlockId]> =
+                unique.iter().map(Vec::as_slice).collect();
+            if got_blocks != want_blocks {
+                return Err(format!(
+                    "threads={t}: function {func}: unique traces differ \
+                     (optimized {} vs oracle {})",
+                    got_blocks.len(),
+                    want_blocks.len()
+                ));
+            }
+            let want_stats = (traces.len() as u64, unique.len() as u64);
+            let got_stats = stats
+                .per_func
+                .get(func)
+                .copied()
+                .ok_or_else(|| format!("threads={t}: stats missing function {func}"))?;
+            if got_stats != want_stats {
+                return Err(format!(
+                    "threads={t}: function {func}: stats {got_stats:?} vs {want_stats:?}"
+                ));
+            }
+        }
+        // The remap must preserve every activation's trace content.
+        for (id, _) in deduped.dcg.iter() {
+            let original = &oracle.activations[id.index()].blocks;
+            if deduped.trace_of(id).blocks() != original.as_slice() {
+                return Err(format!(
+                    "threads={t}: node {} trace content changed by dedup",
+                    id.index()
+                ));
+            }
+        }
+        // Dedup is idempotent: a second pass changes nothing.
+        let mut twice = deduped.clone();
+        eliminate_redundancy_threads(&mut twice, t);
+        if twice != deduped {
+            return Err(format!("threads={t}: dedup is not idempotent"));
+        }
+        // And thread-count invariant.
+        match &baseline {
+            None => baseline = Some(deduped),
+            Some(b) => {
+                if *b != deduped {
+                    return Err(format!("dedup output differs between threads={} and {t}",
+                        cx.threads[0]));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-trace checks against oracles. Applies `f` to every unique path
+/// trace of the partitioned-and-deduplicated case.
+fn for_each_unique_trace(
+    events: &[WppEvent],
+    mut f: impl FnMut(FuncId, &PathTrace) -> Result<(), String>,
+) -> Result<(), String> {
+    let wpp = RawWpp::from_events(events);
+    let Ok(mut part) = partition(&wpp) else {
+        return Ok(());
+    };
+    eliminate_redundancy_threads(&mut part, 1);
+    for (func, traces) in &part.traces {
+        for trace in traces {
+            f(*func, trace)?;
+        }
+    }
+    Ok(())
+}
+
+/// DBB folding versus the naive chain-rule re-derivation.
+fn check_dbb_oracle(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    for_each_unique_trace(events, |func, trace| {
+        let optimized = compact_trace(trace);
+        let (folded, chains) = ref_dbb_fold(trace.blocks());
+        if optimized.trace.blocks() != folded.as_slice() {
+            return Err(format!(
+                "{func}: folded trace differs on {:?}: optimized {:?} vs oracle {:?}",
+                trace.blocks(),
+                optimized.trace.blocks(),
+                folded
+            ));
+        }
+        let got: Vec<(twpp_ir::BlockId, Vec<twpp_ir::BlockId>)> = optimized
+            .dictionary
+            .iter()
+            .map(|(h, c)| (h, c.to_vec()))
+            .collect();
+        let want: Vec<(twpp_ir::BlockId, Vec<twpp_ir::BlockId>)> =
+            chains.iter().map(|(h, c)| (*h, c.clone())).collect();
+        if got != want {
+            return Err(format!("{func}: DBB dictionaries differ: {got:?} vs {want:?}"));
+        }
+        let expanded = optimized.dictionary.expand(&optimized.trace);
+        if expanded != *trace {
+            return Err(format!("{func}: expand(fold(t)) != t"));
+        }
+        if ref_dbb_unfold(&folded, &chains) != trace.blocks() {
+            return Err(format!("{func}: oracle unfold broke its own fold"));
+        }
+        Ok(())
+    })
+}
+
+/// Timestamp inversion versus the naive position map.
+fn check_invert_oracle(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    for_each_unique_trace(events, |func, trace| {
+        let folded = compact_trace(trace);
+        let tt = TimestampedTrace::from_path_trace(&folded.trace);
+        let naive = ref_invert(folded.trace.blocks());
+        if tt.block_count() != naive.len() {
+            return Err(format!(
+                "{func}: inversion block counts differ ({} vs {})",
+                tt.block_count(),
+                naive.len()
+            ));
+        }
+        for (block, ts) in tt.iter() {
+            let Some(want) = naive.get(&block) else {
+                return Err(format!("{func}: block {block} invented by inversion"));
+            };
+            if ts.to_vec() != *want {
+                return Err(format!(
+                    "{func}: block {block}: timestamps {:?} vs {:?}",
+                    ts.to_vec(),
+                    want
+                ));
+            }
+        }
+        if tt.to_path_trace() != folded.trace {
+            return Err(format!("{func}: inversion round-trip differs"));
+        }
+        // Serialized form round-trips too.
+        let words = tt
+            .to_words()
+            .map_err(|e| format!("{func}: to_words failed: {e}"))?;
+        let mut pos = 0;
+        let back = TimestampedTrace::from_words(&words, &mut pos)
+            .map_err(|e| format!("{func}: from_words failed: {e}"))?;
+        if pos != words.len() || back != tt {
+            return Err(format!("{func}: timestamped word round-trip differs"));
+        }
+        Ok(())
+    })
+}
+
+/// Arithmetic-series compaction and the sign-delimited wire format
+/// versus the naive compactor/encoder/decoder.
+fn check_tsset_series_oracle(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    for_each_unique_trace(events, |func, trace| {
+        let folded = compact_trace(trace);
+        for (block, values) in ref_invert(folded.trace.blocks()) {
+            let set = TsSet::from_sorted(&values);
+            if set.to_vec() != values {
+                return Err(format!("{func}/{block}: from_sorted changed membership"));
+            }
+            let got: Vec<(u32, u32, u32)> = set
+                .entries()
+                .iter()
+                .map(|e| (e.first(), e.last(), e.step()))
+                .collect();
+            let want = ref_compact_series(&values);
+            if got != want {
+                return Err(format!(
+                    "{func}/{block}: series entries differ on {values:?}: \
+                     optimized {got:?} vs oracle {want:?}"
+                ));
+            }
+            let wire = set
+                .to_wire()
+                .map_err(|e| format!("{func}/{block}: to_wire failed: {e}"))?;
+            let want_wire = ref_encode_wire(&want)
+                .map_err(|e| format!("{func}/{block}: oracle encode failed: {e}"))?;
+            if wire != want_wire {
+                return Err(format!(
+                    "{func}/{block}: wire words differ: {wire:?} vs {want_wire:?}"
+                ));
+            }
+            let decoded = ref_decode_wire(&wire)
+                .map_err(|e| format!("{func}/{block}: oracle decoder rejected wire: {e}"))?;
+            if decoded != values {
+                return Err(format!(
+                    "{func}/{block}: oracle decode of optimized wire differs: \
+                     {decoded:?} vs {values:?}"
+                ));
+            }
+            let back = TsSet::from_wire(&wire)
+                .map_err(|e| format!("{func}/{block}: from_wire failed: {e}"))?;
+            if back != set {
+                return Err(format!("{func}/{block}: wire round-trip differs"));
+            }
+        }
+        Ok(())
+    })
+}
+
+fn compact_at(events: &[WppEvent], threads: usize) -> Result<Option<CompactedTwpp>, String> {
+    let wpp = RawWpp::from_events(events);
+    let options = GovOptions {
+        threads: Some(threads),
+        ..GovOptions::default()
+    };
+    match compact_governed(&wpp, &options) {
+        Ok((c, _)) => Ok(Some(c)),
+        Err(twpp::pipeline::PipelineError::Partition(_)) => Ok(None),
+        Err(e) => Err(format!("threads={threads}: unexpected pipeline error: {e}")),
+    }
+}
+
+/// The full pipeline and the archive encoder are byte-identical across
+/// every thread count.
+fn check_pipeline_thread_identity(events: &[WppEvent], cx: &CheckContext) -> Result<(), String> {
+    let mut baseline: Option<(usize, CompactedTwpp, Vec<u8>)> = None;
+    for &t in &cx.threads {
+        let Some(c) = compact_at(events, t)? else {
+            return Ok(());
+        };
+        let archive =
+            TwppArchive::from_compacted_named_with_threads(&c, &HashMap::new(), t);
+        match &baseline {
+            None => baseline = Some((t, c, archive.as_bytes().to_vec())),
+            Some((t0, c0, bytes0)) => {
+                if *c0 != c {
+                    return Err(format!(
+                        "compacted output differs between threads={t0} and threads={t}"
+                    ));
+                }
+                if bytes0.as_slice() != archive.as_bytes() {
+                    return Err(format!(
+                        "archive bytes differ between threads={t0} and threads={t}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Full-pipeline semantic round trip: WPP → TWPP → WPP.
+fn check_pipeline_reconstruct(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    let Some(c) = compact_at(events, 1)? else {
+        return Ok(());
+    };
+    let Ok(oracle) = ref_partition(events) else {
+        return Ok(());
+    };
+    let rec = c.reconstruct();
+    let want = oracle.reconstruct();
+    if rec.events() != want {
+        return Err(format!(
+            "pipeline reconstruction differs:\n  optimized {}\n  oracle    {}",
+            fmt_events(&rec.events()),
+            fmt_events(&want)
+        ));
+    }
+    Ok(())
+}
+
+/// Archive byte round trip: encode → parse → decode → reconstruct.
+fn check_archive_roundtrip(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    let Some(c) = compact_at(events, 1)? else {
+        return Ok(());
+    };
+    let archive = TwppArchive::from_compacted(&c);
+    let parsed = TwppArchive::from_bytes(archive.as_bytes().to_vec())
+        .map_err(|e| format!("from_bytes rejected a fresh archive: {e}"))?;
+    let back = parsed
+        .to_compacted()
+        .map_err(|e| format!("to_compacted failed: {e}"))?;
+    if back != c {
+        return Err("archive decode produced a different CompactedTwpp".to_string());
+    }
+    if back.reconstruct().events() != c.reconstruct().events() {
+        return Err("archive round-trip changed the reconstructed WPP".to_string());
+    }
+    Ok(())
+}
+
+/// `recover` on pristine bytes must be a clean no-op.
+fn check_archive_recover_clean(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    let Some(c) = compact_at(events, 1)? else {
+        return Ok(());
+    };
+    let archive = TwppArchive::from_compacted(&c);
+    let (recovered, report) = TwppArchive::recover(archive.as_bytes())
+        .map_err(|e| format!("recover rejected a clean archive: {e}"))?;
+    if !report.is_clean() {
+        return Err(format!("recovery report not clean on pristine bytes: {report:?}"));
+    }
+    if recovered.as_bytes() != archive.as_bytes() {
+        return Err("recovery rewrote a clean archive".to_string());
+    }
+    Ok(())
+}
+
+/// Governed (fail-fast and degrade policy, unlimited budget, no faults)
+/// output equals the ungoverned pipeline's, byte for byte.
+fn check_governed_equivalence(events: &[WppEvent], cx: &CheckContext) -> Result<(), String> {
+    let Some(plain) = compact_at(events, 1)? else {
+        return Ok(());
+    };
+    let wpp = RawWpp::from_events(events);
+    let threads = [
+        *cx.threads.first().unwrap_or(&1),
+        *cx.threads.last().unwrap_or(&1),
+    ];
+    for t in threads {
+        for fail_fast in [true, false] {
+            let options = GovOptions {
+                threads: Some(t),
+                fail_fast,
+                ..GovOptions::default()
+            };
+            let (c, stats) = compact_governed(&wpp, &options)
+                .map_err(|e| format!("governed pipeline failed without faults: {e}"))?;
+            if !stats.degraded.failed.is_empty() {
+                return Err(format!(
+                    "threads={t} fail_fast={fail_fast}: spurious degradation"
+                ));
+            }
+            if c != plain {
+                return Err(format!(
+                    "threads={t} fail_fast={fail_fast}: governed output differs"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A collecting observer must never change the output bytes.
+fn check_observed_byte_identity(events: &[WppEvent], cx: &CheckContext) -> Result<(), String> {
+    let Some(plain) = compact_at(events, 1)? else {
+        return Ok(());
+    };
+    let wpp = RawWpp::from_events(events);
+    let t = *cx.threads.last().unwrap_or(&1);
+    let obs = twpp::obs::Obs::collecting();
+    let options = GovOptions {
+        threads: Some(t),
+        obs: obs.clone(),
+        ..GovOptions::default()
+    };
+    let (c, _) = compact_governed(&wpp, &options)
+        .map_err(|e| format!("observed pipeline failed: {e}"))?;
+    if c != plain {
+        return Err("observed pipeline output differs from noop".to_string());
+    }
+    let plain_bytes = TwppArchive::from_compacted(&plain);
+    let observed = TwppArchive::from_compacted_governed_obs(
+        &c,
+        &HashMap::new(),
+        t,
+        &[],
+        &obs,
+    );
+    if plain_bytes.as_bytes() != observed.as_bytes() {
+        return Err("observed archive bytes differ from noop".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{CaseGen, ShapeConfig};
+
+    #[test]
+    fn all_checks_pass_on_generated_cases() {
+        let cx = CheckContext {
+            threads: vec![1, 2, 4],
+        };
+        for seed in 0..24 {
+            let events = CaseGen::new(ShapeConfig::small(), seed).events();
+            for (name, check) in EVENT_CHECKS {
+                if let Err(e) = check(&events, &cx) {
+                    panic!("seed {seed}: check {name} diverged: {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checks_agree_on_malformed_streams() {
+        use twpp_ir::{BlockId, FuncId};
+        let cx = CheckContext::default();
+        let bad = [
+            vec![],
+            vec![WppEvent::Block(BlockId::new(1))],
+            vec![WppEvent::Exit],
+            vec![
+                WppEvent::Enter(FuncId::from_index(0)),
+                WppEvent::Exit,
+                WppEvent::Enter(FuncId::from_index(0)),
+                WppEvent::Exit,
+            ],
+        ];
+        for events in &bad {
+            for (name, check) in EVENT_CHECKS {
+                if let Err(e) = check(events, &cx) {
+                    panic!("malformed stream: check {name} diverged: {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_corrupted_wire_word_is_caught_by_the_oracle_decoder() {
+        // Sabotage the *wire*, not the source tree: the naive decoder
+        // must reject or disagree — this is the property that makes a
+        // tsset.rs mutation detectable end to end.
+        let values: Vec<u32> = vec![2, 4, 6, 8, 10, 13];
+        let set = TsSet::from_sorted(&values);
+        let mut wire = set.to_wire().unwrap();
+        wire[0] += 1; // mutate the first entry's `first`
+        match ref_decode_wire(&wire) {
+            Err(_) => {}
+            Ok(decoded) => assert_ne!(decoded, values, "mutation must be visible"),
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! Conformance oracle subsystem: differential and metamorphic testing of
+//! the TWPP pipeline against independent naive reference implementations.
+//!
+//! The crate has five layers:
+//!
+//! * [`gen`] — deterministic, seedable case generators with shape knobs
+//!   (loop depth, call fan-out, path diversity) shared by tests, fuzzers
+//!   and benches;
+//! * [`reference`] — naive O(n)–O(n²) oracles for partitioning, dedup,
+//!   DBB folding, timestamp inversion and arithmetic-series compaction
+//!   that share **no code** with `twpp::core`;
+//! * [`differential`] — checks holding the optimized pipeline to the
+//!   oracles and to itself (byte identity across thread counts and
+//!   governed/observed execution policies);
+//! * [`metamorphic`] — relations over the dataflow layer and timestamp
+//!   sets (concatenation/shift laws, prefix-closure of backward queries,
+//!   dedup idempotence) that need no oracle at all;
+//! * [`shrink`] — structure-aware delta debugging that reduces a failing
+//!   case to a minimal reproducer replaying the *single* failing check.
+//!
+//! [`run_selftest`] drives everything and is what `twpp selftest`
+//! invokes. It is deterministic: the same [`SelftestConfig`] produces
+//! the same cases, the same verdicts and the same report on every run.
+
+pub mod codec;
+pub mod differential;
+pub mod gen;
+pub mod metamorphic;
+pub mod reference;
+pub mod shrink;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use twpp::obs::JsonWriter;
+use twpp_ir::BlockId;
+use twpp_tracer::{RawWpp, WppEvent};
+
+use crate::differential::CheckContext;
+use crate::gen::{case_seed, gen_block_sequence, gen_lzw_bytes, gen_sorted_timestamps, CaseGen, ShapeConfig};
+use crate::shrink::{shrink_bytes, shrink_events, shrink_sorted, ShrinkBudget};
+
+/// Configuration of one selftest battery run.
+#[derive(Clone, Debug)]
+pub struct SelftestConfig {
+    /// Root seed; case `i` uses [`case_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// Number of generated cases.
+    pub cases: usize,
+    /// Soft cap on events per generated WPP stream.
+    pub max_events: usize,
+    /// Thread counts the pipeline must be byte-identical across.
+    pub threads: Vec<usize>,
+    /// Where shrunk reproducers are written (`None` disables writing).
+    pub out_dir: Option<PathBuf>,
+    /// Evaluation budget for each shrink run.
+    pub shrink_budget: ShrinkBudget,
+}
+
+impl Default for SelftestConfig {
+    fn default() -> SelftestConfig {
+        SelftestConfig {
+            seed: 42,
+            cases: 100,
+            max_events: 2_000,
+            threads: (1..=8).collect(),
+            out_dir: None,
+            shrink_budget: ShrinkBudget::default(),
+        }
+    }
+}
+
+/// Per-check execution statistics.
+#[derive(Clone, Debug)]
+pub struct CheckStat {
+    /// Registered check name.
+    pub name: &'static str,
+    /// How many cases the check ran on.
+    pub runs: usize,
+    /// How many of those diverged.
+    pub failures: usize,
+}
+
+/// What kind of generated input a divergence was observed on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CaseKind {
+    /// A WPP event stream.
+    Events,
+    /// A pair of sorted timestamp vectors.
+    Sets,
+    /// A dynamic block sequence for the query fixture.
+    Query,
+    /// A byte input for the LZW codec.
+    Bytes,
+}
+
+impl CaseKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            CaseKind::Events => "events",
+            CaseKind::Sets => "sets",
+            CaseKind::Query => "query",
+            CaseKind::Bytes => "bytes",
+        }
+    }
+}
+
+/// One observed divergence, with its shrunk reproducer.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Name of the failing check.
+    pub check: &'static str,
+    /// Input family the case came from.
+    pub kind: CaseKind,
+    /// Case index within the run.
+    pub case_index: usize,
+    /// The derived per-case seed (replays the case directly).
+    pub case_seed: u64,
+    /// Human-readable description from the check.
+    pub detail: String,
+    /// Size of the original failing input (events/values/bytes).
+    pub original_size: usize,
+    /// Size after shrinking.
+    pub shrunk_size: usize,
+    /// Where the reproducer was written, if an out dir was configured.
+    pub repro_path: Option<PathBuf>,
+}
+
+/// The result of one battery run.
+#[derive(Clone, Debug, Default)]
+pub struct SelftestReport {
+    /// Number of cases executed.
+    pub cases: usize,
+    /// Per-check statistics, in battery order.
+    pub checks: Vec<CheckStat>,
+    /// Every divergence found, with shrunk reproducers.
+    pub divergences: Vec<Divergence>,
+}
+
+impl SelftestReport {
+    /// `true` when no check diverged.
+    pub fn ok(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Total number of individual check executions.
+    pub fn total_runs(&self) -> usize {
+        self.checks.iter().map(|c| c.runs).sum()
+    }
+
+    /// A human-readable one-screen summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "selftest: {} cases, {} check executions, {} divergence(s)",
+            self.cases,
+            self.total_runs(),
+            self.divergences.len()
+        );
+        for stat in &self.checks {
+            let mark = if stat.failures == 0 { "ok " } else { "FAIL" };
+            let _ = writeln!(
+                out,
+                "  [{mark}] {:<28} runs={:<6} failures={}",
+                stat.name, stat.runs, stat.failures
+            );
+        }
+        for d in &self.divergences {
+            let _ = writeln!(
+                out,
+                "  divergence: {} ({}, case {}, seed {:#x}): {} -> {} after shrink",
+                d.check,
+                d.kind.as_str(),
+                d.case_index,
+                d.case_seed,
+                d.original_size,
+                d.shrunk_size
+            );
+            if let Some(p) = &d.repro_path {
+                let _ = writeln!(out, "    reproducer: {}", p.display());
+            }
+        }
+        out
+    }
+
+    /// Machine-readable JSON fragment (embedded in the CLI RunReport).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("cases");
+        w.uint(self.cases as u64);
+        w.key("check_runs");
+        w.uint(self.total_runs() as u64);
+        w.key("checks");
+        w.begin_array();
+        for stat in &self.checks {
+            w.begin_object();
+            w.key("name");
+            w.string(stat.name);
+            w.key("runs");
+            w.uint(stat.runs as u64);
+            w.key("failures");
+            w.uint(stat.failures as u64);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("divergences");
+        w.begin_array();
+        for d in &self.divergences {
+            w.begin_object();
+            w.key("check");
+            w.string(d.check);
+            w.key("kind");
+            w.string(d.kind.as_str());
+            w.key("case_index");
+            w.uint(d.case_index as u64);
+            w.key("case_seed");
+            w.uint(d.case_seed);
+            w.key("detail");
+            w.string(&d.detail);
+            w.key("original_size");
+            w.uint(d.original_size as u64);
+            w.key("shrunk_size");
+            w.uint(d.shrunk_size as u64);
+            w.key("reproducer");
+            match &d.repro_path {
+                Some(p) => w.string(&p.display().to_string()),
+                None => w.null(),
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Tracks per-check stats across the whole battery.
+struct StatSheet {
+    stats: Vec<CheckStat>,
+}
+
+impl StatSheet {
+    fn new() -> StatSheet {
+        let mut stats = Vec::new();
+        for (name, _) in differential::EVENT_CHECKS {
+            stats.push(CheckStat { name, runs: 0, failures: 0 });
+        }
+        for (name, _) in metamorphic::EVENT_META_CHECKS {
+            stats.push(CheckStat { name, runs: 0, failures: 0 });
+        }
+        for (name, _) in metamorphic::SET_CHECKS {
+            stats.push(CheckStat { name, runs: 0, failures: 0 });
+        }
+        for (name, _) in metamorphic::QUERY_CHECKS {
+            stats.push(CheckStat { name, runs: 0, failures: 0 });
+        }
+        for (name, _) in codec::BYTE_CHECKS {
+            stats.push(CheckStat { name, runs: 0, failures: 0 });
+        }
+        StatSheet { stats }
+    }
+
+    fn record(&mut self, name: &str, failed: bool) {
+        if let Some(stat) = self.stats.iter_mut().find(|s| s.name == name) {
+            stat.runs += 1;
+            if failed {
+                stat.failures += 1;
+            }
+        }
+    }
+}
+
+/// Runs the full conformance battery.
+///
+/// Every case derives its own seed, generates one input per family
+/// (events, timestamp-set pairs, query block sequences, codec bytes) and
+/// runs every registered check on it. Divergences are shrunk with the
+/// configured budget and, when `out_dir` is set, written to disk as
+/// runnable reproducers (`.wpp` for event streams, `.txt` otherwise).
+pub fn run_selftest(cfg: &SelftestConfig) -> SelftestReport {
+    let cx = CheckContext {
+        threads: if cfg.threads.is_empty() {
+            CheckContext::default().threads
+        } else {
+            cfg.threads.clone()
+        },
+    };
+    let mut sheet = StatSheet::new();
+    let mut divergences = Vec::new();
+    if let Some(dir) = &cfg.out_dir {
+        // Best-effort: reproducer writing degrades to in-memory reports.
+        let _ = fs::create_dir_all(dir);
+    }
+
+    for case_index in 0..cfg.cases {
+        let cseed = case_seed(cfg.seed, case_index as u64);
+
+        // --- Family 1: WPP event streams --------------------------------
+        let shape = ShapeConfig::default().with_max_events(cfg.max_events);
+        let events = CaseGen::new(shape, cseed).events();
+        let event_checks = differential::EVENT_CHECKS
+            .iter()
+            .chain(metamorphic::EVENT_META_CHECKS.iter());
+        for (name, check) in event_checks {
+            let verdict = check(&events, &cx);
+            sheet.record(name, verdict.is_err());
+            if let Err(detail) = verdict {
+                let shrunk = shrink_events(&events, cfg.shrink_budget, |c| check(c, &cx).is_err());
+                let repro_path = cfg.out_dir.as_deref().and_then(|dir| {
+                    write_event_repro(dir, name, case_index, cseed, &detail, &shrunk)
+                });
+                divergences.push(Divergence {
+                    check: name,
+                    kind: CaseKind::Events,
+                    case_index,
+                    case_seed: cseed,
+                    detail,
+                    original_size: events.len(),
+                    shrunk_size: shrunk.len(),
+                    repro_path,
+                });
+            }
+        }
+
+        // --- Family 2: sorted timestamp-set pairs -----------------------
+        let mut rng = ChaCha8Rng::seed_from_u64(cseed ^ 0x5E75);
+        let straddle = case_index % 4 == 3;
+        let a = gen_sorted_timestamps(&mut rng, 96, 50_000, straddle);
+        let b = gen_sorted_timestamps(&mut rng, 96, 50_000, false);
+        for (name, check) in metamorphic::SET_CHECKS {
+            let verdict = check(&a, &b);
+            sheet.record(name, verdict.is_err());
+            if let Err(detail) = verdict {
+                // Shrink each side while the other is held fixed.
+                let sa = shrink_sorted(&a, cfg.shrink_budget, |c| check(c, &b).is_err());
+                let sb = shrink_sorted(&b, cfg.shrink_budget, |c| check(&sa, c).is_err());
+                let shrunk_size = sa.len() + sb.len();
+                let body = format!("a = {sa:?}\nb = {sb:?}\n");
+                let repro_path = cfg.out_dir.as_deref().and_then(|dir| {
+                    write_text_repro(dir, name, case_index, cseed, &detail, &body)
+                });
+                divergences.push(Divergence {
+                    check: name,
+                    kind: CaseKind::Sets,
+                    case_index,
+                    case_seed: cseed,
+                    detail,
+                    original_size: a.len() + b.len(),
+                    shrunk_size,
+                    repro_path,
+                });
+            }
+        }
+
+        // --- Family 3: dynamic block sequences for the query fixture ----
+        let seq = gen_block_sequence(&mut rng, 64);
+        for (name, check) in metamorphic::QUERY_CHECKS {
+            let verdict = check(&seq);
+            sheet.record(name, verdict.is_err());
+            if let Err(detail) = verdict {
+                let shrunk = shrink_blocks(&seq, cfg.shrink_budget, |c| check(c).is_err());
+                let body = format!(
+                    "blocks = {:?}\n",
+                    shrunk.iter().map(|b| b.as_u32()).collect::<Vec<_>>()
+                );
+                let repro_path = cfg.out_dir.as_deref().and_then(|dir| {
+                    write_text_repro(dir, name, case_index, cseed, &detail, &body)
+                });
+                divergences.push(Divergence {
+                    check: name,
+                    kind: CaseKind::Query,
+                    case_index,
+                    case_seed: cseed,
+                    detail,
+                    original_size: seq.len(),
+                    shrunk_size: shrunk.len(),
+                    repro_path,
+                });
+            }
+        }
+
+        // --- Family 4: LZW byte inputs ----------------------------------
+        let bytes = gen_lzw_bytes(&mut rng, 2_048);
+        for (name, check) in codec::BYTE_CHECKS {
+            let verdict = check(&bytes);
+            sheet.record(name, verdict.is_err());
+            if let Err(detail) = verdict {
+                let shrunk = shrink_bytes(&bytes, cfg.shrink_budget, |c| check(c).is_err());
+                let body = format!("bytes = {shrunk:?}\n");
+                let repro_path = cfg.out_dir.as_deref().and_then(|dir| {
+                    write_text_repro(dir, name, case_index, cseed, &detail, &body)
+                });
+                divergences.push(Divergence {
+                    check: name,
+                    kind: CaseKind::Bytes,
+                    case_index,
+                    case_seed: cseed,
+                    detail,
+                    original_size: bytes.len(),
+                    shrunk_size: shrunk.len(),
+                    repro_path,
+                });
+            }
+        }
+    }
+
+    SelftestReport {
+        cases: cfg.cases,
+        checks: sheet.stats,
+        divergences,
+    }
+}
+
+/// Greedy chunk-then-single removal for block sequences (no rebase pass:
+/// block ids are labels, not magnitudes).
+fn shrink_blocks<F>(seq: &[BlockId], budget: ShrinkBudget, mut fails: F) -> Vec<BlockId>
+where
+    F: FnMut(&[BlockId]) -> bool,
+{
+    let mut best = seq.to_vec();
+    let mut evals = budget.max_evals;
+    loop {
+        let before = best.len();
+        let mut chunk = (best.len() / 2).max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < best.len() {
+                let end = (start + chunk).min(best.len());
+                if evals == 0 {
+                    return best;
+                }
+                evals -= 1;
+                let mut candidate = best.clone();
+                candidate.drain(start..end);
+                if !candidate.is_empty() && fails(&candidate) {
+                    best = candidate;
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if best.len() >= before || evals == 0 {
+            return best;
+        }
+    }
+}
+
+fn repro_stem(check: &str, case_index: usize) -> String {
+    format!("repro-{check}-case{case_index}")
+}
+
+/// Writes a shrunk event-stream reproducer: a runnable `.wpp` trace plus
+/// a `.txt` sidecar with the divergence detail and a readable dump.
+fn write_event_repro(
+    dir: &Path,
+    check: &str,
+    case_index: usize,
+    cseed: u64,
+    detail: &str,
+    events: &[WppEvent],
+) -> Option<PathBuf> {
+    let stem = repro_stem(check, case_index);
+    let wpp_path = dir.join(format!("{stem}.wpp"));
+    let file = fs::File::create(&wpp_path).ok()?;
+    RawWpp::from_events(events).write_to(file).ok()?;
+    let mut body = String::new();
+    for e in events {
+        let _ = writeln!(body, "{e:?}");
+    }
+    let _ = write_text_repro(dir, check, case_index, cseed, detail, &body);
+    Some(wpp_path)
+}
+
+/// Writes a `.txt` reproducer with a replay header and the shrunk input.
+fn write_text_repro(
+    dir: &Path,
+    check: &str,
+    case_index: usize,
+    cseed: u64,
+    detail: &str,
+    body: &str,
+) -> Option<PathBuf> {
+    let path = dir.join(format!("{}.txt", repro_stem(check, case_index)));
+    let text = format!(
+        "check: {check}\ncase_index: {case_index}\ncase_seed: {cseed:#x}\ndetail: {detail}\n---\n{body}"
+    );
+    fs::write(&path, text).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_battery_passes_cleanly() {
+        let cfg = SelftestConfig {
+            cases: 6,
+            max_events: 400,
+            threads: vec![1, 2],
+            ..SelftestConfig::default()
+        };
+        let report = run_selftest(&cfg);
+        assert!(report.ok(), "unexpected divergences:\n{}", report.summary());
+        assert_eq!(report.cases, 6);
+        assert!(report.total_runs() > 0);
+        // Every registered check ran on every case of its family.
+        for stat in &report.checks {
+            assert_eq!(stat.runs, 6, "{} ran {} times", stat.name, stat.runs);
+        }
+    }
+
+    #[test]
+    fn the_battery_is_deterministic() {
+        let cfg = SelftestConfig {
+            cases: 4,
+            max_events: 300,
+            threads: vec![1],
+            ..SelftestConfig::default()
+        };
+        let a = run_selftest(&cfg);
+        let b = run_selftest(&cfg);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_the_schema() {
+        let cfg = SelftestConfig {
+            cases: 2,
+            max_events: 200,
+            threads: vec![1],
+            ..SelftestConfig::default()
+        };
+        let report = run_selftest(&cfg);
+        let json = twpp::obs::parse_json(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            json.get("cases").and_then(|v| v.as_num()),
+            Some(2.0),
+            "cases field"
+        );
+        assert!(json.get("checks").is_some());
+        assert!(json.get("divergences").is_some());
+    }
+
+    #[test]
+    fn a_failing_check_is_shrunk_and_reported() {
+        // Drive the shrink + report plumbing with a synthetic failure:
+        // re-run the battery machinery by hand on one event family.
+        let cfg = SelftestConfig::default();
+        let events = CaseGen::new(
+            ShapeConfig::default().with_max_events(400),
+            case_seed(cfg.seed, 0),
+        )
+        .events();
+        let fails = |c: &[WppEvent]| !c.is_empty();
+        let shrunk = shrink_events(&events, cfg.shrink_budget, fails);
+        assert!(shrunk.len() < events.len());
+        assert!(!shrunk.is_empty());
+    }
+}

@@ -1,0 +1,572 @@
+//! Metamorphic relations: properties that must hold between *related*
+//! runs of the pipeline and the dataflow layer, with no reference to an
+//! external ground truth.
+//!
+//! The relations pinned here:
+//!
+//! * **Inversion is a homomorphism over concatenation** —
+//!   `invert(T1 ++ T2) = invert(T1) ∪ shift(invert(T2), |T1|)` per block.
+//! * **Inversion restricts under prefixing** —
+//!   `invert(prefix_k(T)) = invert(T) ∩ {1..k}` per block, the
+//!   timestamp-level form of "slicing is monotone under trace prefixing".
+//! * **Queries decompose over the queried timestamp set** —
+//!   `query(ts_a ∪ ts_b) = query(ts_a) ∪ query(ts_b)`.
+//! * **Queries are prefix-closed** — a backward query at timestamp `t`
+//!   sees only history, so solving over the trace truncated at `t`
+//!   yields the same answer.
+//! * **Governed partial answers are sound and monotone** — a
+//!   budget-stopped answer is a subset of the complete one, and growing
+//!   the budget never retracts an answer.
+//! * **The timestamp-set algebra agrees with naive set algebra** —
+//!   union/intersect/subtract/max_lt/min_ge versus `BTreeSet` scans.
+
+use std::collections::BTreeSet;
+
+use twpp::dedup::eliminate_redundancy_threads;
+use twpp::gov::{Budget, Limits};
+use twpp::partition::partition;
+use twpp::timestamped::TimestampedTrace;
+use twpp::trace::PathTrace;
+use twpp::tsset::TsSet;
+use twpp_dataflow::dyncfg::DynCfg;
+use twpp_dataflow::query::{
+    solve_backward, solve_backward_governed, solve_by_replay, QueryOutcome,
+};
+use twpp_dataflow::AvailableLoad;
+use twpp_ir::{single_function_program, BlockId, Operand, Program, Rvalue, Stmt, Terminator};
+use twpp_tracer::{RawWpp, WppEvent};
+
+use crate::differential::CheckContext;
+use crate::reference::{ref_compact_series, ref_decode_wire, ref_encode_wire};
+
+/// A metamorphic check over a WPP event stream.
+pub type EventCheck = fn(&[WppEvent], &CheckContext) -> Result<(), String>;
+
+/// A metamorphic check over a pair of sorted timestamp vectors.
+pub type SetCheck = fn(&[u32], &[u32]) -> Result<(), String>;
+
+/// A metamorphic/differential check over one dynamic block sequence.
+pub type QueryCheck = fn(&[BlockId]) -> Result<(), String>;
+
+/// Event-stream metamorphic relations.
+pub const EVENT_META_CHECKS: &[(&str, EventCheck)] = &[
+    ("meta-invert-concat", check_invert_concat),
+    ("meta-invert-prefix", check_invert_prefix),
+];
+
+/// Timestamp-set relations (second vector used by binary relations).
+pub const SET_CHECKS: &[(&str, SetCheck)] = &[
+    ("set-algebra-oracle", check_set_algebra),
+    ("set-bounds-oracle", check_set_bounds),
+    ("set-shift-roundtrip", check_set_shift),
+    ("set-sorted-wire-oracle", check_set_sorted_wire),
+];
+
+/// Dataflow-query relations over the fixture function.
+pub const QUERY_CHECKS: &[(&str, QueryCheck)] = &[
+    ("query-replay-oracle", check_query_replay_oracle),
+    ("meta-query-split", check_query_split),
+    ("meta-query-prefix", check_query_prefix),
+    ("meta-query-governed", check_query_governed),
+];
+
+/// Unique path traces of a case, in deterministic order.
+fn unique_traces(events: &[WppEvent]) -> Vec<PathTrace> {
+    let wpp = RawWpp::from_events(events);
+    let Ok(mut part) = partition(&wpp) else {
+        return Vec::new();
+    };
+    eliminate_redundancy_threads(&mut part, 1);
+    part.traces.into_values().flatten().collect()
+}
+
+fn invert(trace: &PathTrace) -> TimestampedTrace {
+    TimestampedTrace::from_path_trace(trace)
+}
+
+/// `invert(T1 ++ T2) = invert(T1) ∪ shift(invert(T2), |T1|)`.
+fn check_invert_concat(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    let traces = unique_traces(events);
+    // Pair each trace with its successor (wrapping) plus with itself.
+    for (i, t1) in traces.iter().enumerate() {
+        let t2 = &traces[(i + 1) % traces.len()];
+        let concat: PathTrace = t1.iter().chain(t2.iter()).collect::<Vec<_>>().into();
+        if concat.len() > i32::MAX as usize {
+            continue;
+        }
+        let whole = invert(&concat);
+        let left = invert(t1);
+        let right = invert(t2);
+        let delta = t1.len() as i64;
+        if u64::from(whole.len()) != (t1.len() + t2.len()) as u64 {
+            return Err("concat inversion lost positions".to_string());
+        }
+        for (block, ts) in whole.iter() {
+            let l = left.ts_of(block).cloned().unwrap_or_default();
+            let shifted = match right.ts_of(block) {
+                Some(r) => r
+                    .try_shift(delta)
+                    .map_err(|e| format!("shift overflow in concat relation: {e}"))?,
+                None => TsSet::new(),
+            };
+            let want = l.union(&shifted);
+            // Extensional comparison: TsSet equality is representational
+            // and the algebra does not promise `from_sorted`'s canonical
+            // entry shape (see DESIGN.md §14).
+            if ts.to_vec() != want.to_vec() {
+                return Err(format!(
+                    "concat relation broken for block {block}: {} vs {}",
+                    ts, want
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `invert(prefix_k(T)) = invert(T) ∩ {1..k}`.
+fn check_invert_prefix(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    for trace in unique_traces(events) {
+        if trace.len() < 2 {
+            continue;
+        }
+        let whole = invert(&trace);
+        for k in [1, trace.len() / 2, trace.len() - 1] {
+            if k == 0 {
+                continue;
+            }
+            let prefix: PathTrace = trace.blocks()[..k].to_vec().into();
+            let inv_prefix = invert(&prefix);
+            let window = TsSet::range(1, k as u32);
+            for (block, ts) in whole.iter() {
+                let want = ts.intersect(&window);
+                let got = inv_prefix.ts_of(block).cloned().unwrap_or_default();
+                if got.to_vec() != want.to_vec() {
+                    return Err(format!(
+                        "prefix relation broken at k={k} for block {block}: {got} vs {want}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn naive_set(values: &[u32]) -> BTreeSet<u32> {
+    values.iter().copied().collect()
+}
+
+/// union / intersect / subtract versus `BTreeSet`.
+fn check_set_algebra(a: &[u32], b: &[u32]) -> Result<(), String> {
+    let sa = TsSet::from_sorted(a);
+    let sb = TsSet::from_sorted(b);
+    let na = naive_set(a);
+    let nb = naive_set(b);
+
+    let union: Vec<u32> = na.union(&nb).copied().collect();
+    if sa.union(&sb).to_vec() != union {
+        return Err(format!("union differs: {} vs naive {union:?}", sa.union(&sb)));
+    }
+    let inter: Vec<u32> = na.intersection(&nb).copied().collect();
+    if sa.intersect(&sb).to_vec() != inter {
+        return Err(format!(
+            "intersect differs: {} vs naive {inter:?}",
+            sa.intersect(&sb)
+        ));
+    }
+    let diff: Vec<u32> = na.difference(&nb).copied().collect();
+    if sa.subtract(&sb).to_vec() != diff {
+        return Err(format!(
+            "subtract differs: {} vs naive {diff:?}",
+            sa.subtract(&sb)
+        ));
+    }
+    // Algebraic sanity on top of the oracle: A = (A∖B) ∪ (A∩B).
+    let rebuilt = sa.subtract(&sb).union(&sa.intersect(&sb));
+    if rebuilt.to_vec() != a {
+        return Err("A != (A∖B) ∪ (A∩B)".to_string());
+    }
+    Ok(())
+}
+
+/// `max_lt` / `min_ge` versus linear scans.
+fn check_set_bounds(a: &[u32], b: &[u32]) -> Result<(), String> {
+    let sa = TsSet::from_sorted(a);
+    // Probe at members, their neighbours, and values from the other set.
+    let mut probes: Vec<u32> = Vec::new();
+    for &v in a.iter().chain(b.iter()) {
+        probes.push(v);
+        probes.push(v.saturating_add(1));
+        probes.push(v.saturating_sub(1).max(1));
+    }
+    probes.push(1);
+    probes.push(u32::MAX);
+    for t in probes {
+        let want_lt = a.iter().copied().filter(|&v| v < t).max();
+        if sa.max_lt(t) != want_lt {
+            return Err(format!(
+                "max_lt({t}) = {:?}, naive {:?}",
+                sa.max_lt(t),
+                want_lt
+            ));
+        }
+        let want_ge = a.iter().copied().find(|&v| v >= t);
+        if sa.min_ge(t) != want_ge {
+            return Err(format!(
+                "min_ge({t}) = {:?}, naive {:?}",
+                sa.min_ge(t),
+                want_ge
+            ));
+        }
+        let want_contains = a.binary_search(&t).is_ok();
+        if sa.contains(t) != want_contains {
+            return Err(format!("contains({t}) = {}", sa.contains(t)));
+        }
+    }
+    Ok(())
+}
+
+/// shift drops out-of-domain values like the naive map; try_shift
+/// round-trips when nothing leaves the domain.
+fn check_set_shift(a: &[u32], b: &[u32]) -> Result<(), String> {
+    let sa = TsSet::from_sorted(a);
+    let deltas: Vec<i64> = vec![
+        0,
+        1,
+        -1,
+        7,
+        -7,
+        i64::from(b.first().copied().unwrap_or(3)),
+        -i64::from(b.last().copied().unwrap_or(3)),
+    ];
+    for d in deltas {
+        let shifted = sa.shift(d);
+        let want: Vec<u32> = a
+            .iter()
+            .filter_map(|&v| {
+                let moved = i64::from(v) + d;
+                (moved >= 1 && moved <= i64::from(u32::MAX)).then_some(moved as u32)
+            })
+            .collect();
+        if shifted.to_vec() != want {
+            return Err(format!("shift({d}) membership differs"));
+        }
+        // Round trip when no value leaves the domain in either direction.
+        if shifted.len() == sa.len() {
+            if let Ok(back) = shifted.try_shift(-d) {
+                if back != sa {
+                    return Err(format!("shift({d}) then shift({}) != identity", -d));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// from_sorted / wire encode / wire decode versus the naive compactor,
+/// including the `i32::MAX` sign-bit boundary.
+fn check_set_sorted_wire(a: &[u32], _b: &[u32]) -> Result<(), String> {
+    let sa = TsSet::from_sorted(a);
+    if sa.to_vec() != a {
+        return Err("from_sorted changed membership".to_string());
+    }
+    let got: Vec<(u32, u32, u32)> = sa
+        .entries()
+        .iter()
+        .map(|e| (e.first(), e.last(), e.step()))
+        .collect();
+    let want = ref_compact_series(a);
+    if got != want {
+        return Err(format!("series entries differ: {got:?} vs {want:?}"));
+    }
+    let overflows = a.iter().any(|&v| v > i32::MAX as u32);
+    match (sa.to_wire(), ref_encode_wire(&want)) {
+        (Err(_), Err(_)) => {
+            if !overflows {
+                return Err("both encoders errored without an overflowing value".to_string());
+            }
+            Ok(())
+        }
+        (Ok(wire), Ok(want_wire)) => {
+            if overflows {
+                return Err("encoders accepted a value past i32::MAX".to_string());
+            }
+            if wire != want_wire {
+                return Err(format!("wire words differ: {wire:?} vs {want_wire:?}"));
+            }
+            let decoded = ref_decode_wire(&wire).map_err(|e| format!("oracle decode: {e}"))?;
+            if decoded != a {
+                return Err("oracle decode of wire differs from input".to_string());
+            }
+            let back = TsSet::from_wire(&wire).map_err(|e| format!("from_wire: {e}"))?;
+            if back != sa {
+                return Err("wire round-trip differs".to_string());
+            }
+            Ok(())
+        }
+        (opt, oracle) => Err(format!(
+            "encode outcomes disagree: optimized ok={}, oracle ok={}",
+            opt.is_ok(),
+            oracle.is_ok()
+        )),
+    }
+}
+
+/// The 4-block query fixture: block 1 GENs the tracked load, block 2 is
+/// transparent, block 3 KILLs it (aliasing store), block 4 loads it
+/// again (also GEN, like real re-loads).
+pub fn fixture_program() -> Program {
+    single_function_program(|fb| {
+        let b1 = fb.entry();
+        let b2 = fb.new_block();
+        let b3 = fb.new_block();
+        let b4 = fb.new_block();
+        let v = fb.new_var();
+        fb.push(b1, Stmt::assign(v, Rvalue::Load(Operand::Const(100))));
+        fb.push(b2, Stmt::Print(Operand::Var(v)));
+        fb.push(
+            b3,
+            Stmt::Store {
+                addr: Operand::Const(200),
+                value: Operand::Const(1),
+            },
+        );
+        fb.push(b4, Stmt::assign(v, Rvalue::Load(Operand::Const(100))));
+        let c = Operand::Const(1);
+        fb.terminate(
+            b1,
+            Terminator::Branch {
+                cond: c,
+                then_dest: b2,
+                else_dest: b3,
+            },
+        );
+        fb.terminate(b2, Terminator::Jump(b4));
+        fb.terminate(b3, Terminator::Jump(b4));
+        fb.terminate(
+            b4,
+            Terminator::Branch {
+                cond: c,
+                then_dest: b1,
+                else_dest: b1,
+            },
+        );
+    })
+    .expect("fixture program is well-formed")
+}
+
+fn fixture_fact() -> AvailableLoad {
+    AvailableLoad {
+        addr: Operand::Const(100),
+    }
+}
+
+fn is_subset(a: &TsSet, b: &TsSet) -> bool {
+    a.subtract(b).is_empty()
+}
+
+/// Worklist propagation versus per-timestamp prefix replay.
+fn check_query_replay_oracle(seq: &[BlockId]) -> Result<(), String> {
+    let program = fixture_program();
+    let func = program.func(program.main());
+    let fact = fixture_fact();
+    let dcfg = DynCfg::from_block_sequence(seq);
+    for node in 0..dcfg.node_count() {
+        let ts = dcfg.node(node).ts.clone();
+        let fast = solve_backward(&dcfg, func, &fact, node, &ts);
+        let slow = solve_by_replay(&dcfg, func, &fact, node, &ts);
+        if fast.holds.to_vec() != slow.holds.to_vec()
+            || fast.not_holds.to_vec() != slow.not_holds.to_vec()
+        {
+            return Err(format!(
+                "node {node}: propagation {{holds {}, not {}}} vs replay {{holds {}, not {}}}",
+                fast.holds, fast.not_holds, slow.holds, slow.not_holds
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `query(ts_a ∪ ts_b) = query(ts_a) ∪ query(ts_b)`.
+fn check_query_split(seq: &[BlockId]) -> Result<(), String> {
+    let program = fixture_program();
+    let func = program.func(program.main());
+    let fact = fixture_fact();
+    let dcfg = DynCfg::from_block_sequence(seq);
+    for node in 0..dcfg.node_count() {
+        let all: Vec<u32> = dcfg.node(node).ts.to_vec();
+        if all.len() < 2 {
+            continue;
+        }
+        let (evens, odds): (Vec<u32>, Vec<u32>) = {
+            let mut e = Vec::new();
+            let mut o = Vec::new();
+            for (i, &t) in all.iter().enumerate() {
+                if i % 2 == 0 {
+                    e.push(t);
+                } else {
+                    o.push(t);
+                }
+            }
+            (e, o)
+        };
+        let full = solve_backward(&dcfg, func, &fact, node, &TsSet::from_sorted(&all));
+        let left = solve_backward(&dcfg, func, &fact, node, &TsSet::from_sorted(&evens));
+        let right = solve_backward(&dcfg, func, &fact, node, &TsSet::from_sorted(&odds));
+        if full.holds.to_vec() != left.holds.union(&right.holds).to_vec()
+            || full.not_holds.to_vec() != left.not_holds.union(&right.not_holds).to_vec()
+        {
+            return Err(format!("node {node}: query does not decompose over ts union"));
+        }
+    }
+    Ok(())
+}
+
+/// A backward query at `t` only sees history: truncating the trace at
+/// `t` must not change the answer.
+fn check_query_prefix(seq: &[BlockId]) -> Result<(), String> {
+    let program = fixture_program();
+    let func = program.func(program.main());
+    let fact = fixture_fact();
+    let dcfg = DynCfg::from_block_sequence(seq);
+    for node in 0..dcfg.node_count() {
+        let Some(t) = dcfg.node(node).ts.last() else {
+            continue;
+        };
+        let single = TsSet::from_sorted(&[t]);
+        let full = solve_backward(&dcfg, func, &fact, node, &single);
+        let prefix = &seq[..t as usize];
+        let pcfg = DynCfg::from_block_sequence(prefix);
+        let head = seq[(t - 1) as usize];
+        let Some(pnode) = pcfg.node_by_head(head) else {
+            return Err(format!("prefix CFG lost block {head}"));
+        };
+        let pre = solve_backward(&pcfg, func, &fact, pnode, &single);
+        if full.holds.to_vec() != pre.holds.to_vec()
+            || full.not_holds.to_vec() != pre.not_holds.to_vec()
+        {
+            return Err(format!(
+                "prefix closure broken at t={t}: full {{holds {}, not {}}} vs \
+                 prefix {{holds {}, not {}}}",
+                full.holds, full.not_holds, pre.holds, pre.not_holds
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Budget-stopped answers are subsets of the complete answer; growing
+/// the budget never retracts an answer; unlimited completes.
+fn check_query_governed(seq: &[BlockId]) -> Result<(), String> {
+    let program = fixture_program();
+    let func = program.func(program.main());
+    let fact = fixture_fact();
+    let dcfg = DynCfg::from_block_sequence(seq);
+    for node in 0..dcfg.node_count() {
+        let ts = dcfg.node(node).ts.clone();
+        let complete = solve_backward(&dcfg, func, &fact, node, &ts);
+        match solve_backward_governed(&dcfg, func, &fact, node, &ts, &Budget::unlimited()) {
+            QueryOutcome::Complete(r) => {
+                if r.holds.to_vec() != complete.holds.to_vec()
+                    || r.not_holds.to_vec() != complete.not_holds.to_vec()
+                {
+                    return Err(format!("node {node}: unlimited budget changed the answer"));
+                }
+            }
+            QueryOutcome::Partial { .. } => {
+                return Err(format!("node {node}: unlimited budget reported Partial"));
+            }
+            other => {
+                return Err(format!(
+                    "node {node}: unlimited budget reported unexpected outcome {other:?}"
+                ));
+            }
+        }
+        let mut prev_resolved: Option<(TsSet, TsSet)> = None;
+        for steps in [1u64, 2, 4, 8, 64] {
+            let budget = Limits::new().max_steps(steps).start();
+            let outcome = solve_backward_governed(&dcfg, func, &fact, node, &ts, &budget);
+            let (r, coverage) = match &outcome {
+                QueryOutcome::Complete(r) => (r, 1.0),
+                QueryOutcome::Partial {
+                    result, coverage, ..
+                } => (result, *coverage),
+                other => {
+                    return Err(format!(
+                        "node {node}: budget={steps}: unexpected outcome {other:?}"
+                    ));
+                }
+            };
+            if !(0.0..=1.0).contains(&coverage) {
+                return Err(format!("node {node}: coverage {coverage} out of range"));
+            }
+            if !is_subset(&r.holds, &complete.holds)
+                || !is_subset(&r.not_holds, &complete.not_holds)
+            {
+                return Err(format!(
+                    "node {node}: budget={steps}: partial answer not a subset"
+                ));
+            }
+            if let Some((ph, pn)) = &prev_resolved {
+                if !is_subset(ph, &r.holds) || !is_subset(pn, &r.not_holds) {
+                    return Err(format!(
+                        "node {node}: budget={steps}: answers were retracted"
+                    ));
+                }
+            }
+            prev_resolved = Some((r.holds.clone(), r.not_holds.clone()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_block_sequence, gen_sorted_timestamps, CaseGen, ShapeConfig};
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn event_relations_hold_on_generated_cases() {
+        let cx = CheckContext {
+            threads: vec![1, 2],
+        };
+        for seed in 0..16 {
+            let events = CaseGen::new(ShapeConfig::small(), seed).events();
+            for (name, check) in EVENT_META_CHECKS {
+                if let Err(e) = check(&events, &cx) {
+                    panic!("seed {seed}: relation {name} broken: {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_relations_hold_on_generated_sets() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for case in 0..64 {
+            let straddle = case % 4 == 3;
+            let a = gen_sorted_timestamps(&mut rng, 48, 5_000, straddle);
+            let b = gen_sorted_timestamps(&mut rng, 48, 5_000, false);
+            for (name, check) in SET_CHECKS {
+                if let Err(e) = check(&a, &b) {
+                    panic!("case {case}: relation {name} broken: {e}\n a={a:?}\n b={b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_relations_hold_on_generated_sequences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for case in 0..48 {
+            let seq = gen_block_sequence(&mut rng, 40);
+            for (name, check) in QUERY_CHECKS {
+                if let Err(e) = check(&seq) {
+                    panic!("case {case}: relation {name} broken: {e}\n seq={seq:?}");
+                }
+            }
+        }
+    }
+}

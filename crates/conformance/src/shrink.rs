@@ -1,0 +1,337 @@
+//! Auto-shrinking of failing cases to minimal reproducers.
+//!
+//! Shrinking is a greedy delta-debugging loop: propose a structurally
+//! smaller candidate, keep it iff the failure predicate still fires, and
+//! repeat to a fixpoint (or until the evaluation budget runs out). The
+//! predicate re-runs the *single failing check*, so the reproducer pins
+//! exactly the divergence that was observed, not "any failure".
+//!
+//! Event-stream shrinking is structure-aware: it removes whole balanced
+//! activation spans (`Enter .. matching Exit`) before trying block-level
+//! deletions, so intermediate candidates stay well-formed WPPs and the
+//! minimal reproducer is a runnable trace, not framing noise.
+
+use twpp_tracer::WppEvent;
+
+/// Caps the number of candidate evaluations one shrink run may spend.
+#[derive(Clone, Copy, Debug)]
+pub struct ShrinkBudget {
+    /// Maximum number of predicate evaluations.
+    pub max_evals: usize,
+}
+
+impl Default for ShrinkBudget {
+    fn default() -> ShrinkBudget {
+        ShrinkBudget { max_evals: 4_000 }
+    }
+}
+
+struct Counter {
+    left: usize,
+}
+
+impl Counter {
+    fn take(&mut self) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        true
+    }
+}
+
+/// Shrinks a failing WPP event stream. `fails` returns `true` while the
+/// candidate still reproduces the divergence; the returned stream is the
+/// smallest one found that still fails.
+pub fn shrink_events<F>(events: &[WppEvent], budget: ShrinkBudget, mut fails: F) -> Vec<WppEvent>
+where
+    F: FnMut(&[WppEvent]) -> bool,
+{
+    let mut best = events.to_vec();
+    let mut evals = Counter {
+        left: budget.max_evals,
+    };
+    loop {
+        let before = best.len();
+        // Pass 1: drop whole activation spans, outermost-largest first.
+        shrink_spans(&mut best, &mut evals, &mut fails);
+        // Pass 2: binary-chop contiguous event ranges (ddmin flavour).
+        shrink_chunks(&mut best, &mut evals, &mut fails);
+        // Pass 3: individual block events.
+        shrink_singles(&mut best, &mut evals, &mut fails);
+        if best.len() >= before || evals.left == 0 {
+            return best;
+        }
+    }
+}
+
+/// Balanced spans `Enter .. matching Exit` (or stream end when the
+/// activation never closes), as `(start, end_exclusive)` pairs.
+fn activation_spans(events: &[WppEvent]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match e {
+            WppEvent::Enter(_) => stack.push(i),
+            WppEvent::Exit => {
+                if let Some(start) = stack.pop() {
+                    spans.push((start, i + 1));
+                }
+            }
+            WppEvent::Block(_) => {}
+        }
+    }
+    while let Some(start) = stack.pop() {
+        spans.push((start, events.len()));
+    }
+    // Largest spans first: removing an outer call discards the most.
+    spans.sort_by_key(|&(s, e)| std::cmp::Reverse(e - s));
+    spans
+}
+
+fn shrink_spans<F>(best: &mut Vec<WppEvent>, evals: &mut Counter, fails: &mut F)
+where
+    F: FnMut(&[WppEvent]) -> bool,
+{
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for (start, end) in activation_spans(best) {
+            if end - start >= best.len() {
+                continue; // never remove the root span entirely
+            }
+            if !evals.take() {
+                return;
+            }
+            let mut candidate = best.clone();
+            candidate.drain(start..end);
+            if fails(&candidate) {
+                *best = candidate;
+                progressed = true;
+                break; // span indices are stale; recompute
+            }
+        }
+    }
+}
+
+fn shrink_chunks<F>(best: &mut Vec<WppEvent>, evals: &mut Counter, fails: &mut F)
+where
+    F: FnMut(&[WppEvent]) -> bool,
+{
+    let mut chunk = (best.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < best.len() {
+            let end = (start + chunk).min(best.len());
+            if !evals.take() {
+                return;
+            }
+            let mut candidate = best.clone();
+            candidate.drain(start..end);
+            if !candidate.is_empty() && fails(&candidate) {
+                *best = candidate;
+                // Retry the same offset: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+}
+
+fn shrink_singles<F>(best: &mut Vec<WppEvent>, evals: &mut Counter, fails: &mut F)
+where
+    F: FnMut(&[WppEvent]) -> bool,
+{
+    let mut i = 0;
+    while i < best.len() {
+        if matches!(best[i], WppEvent::Block(_)) {
+            if !evals.take() {
+                return;
+            }
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if fails(&candidate) {
+                *best = candidate;
+                continue; // same index now holds the next event
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Shrinks a failing sorted timestamp vector: removes chunks, then
+/// single elements, then tries rebasing everything towards 1 (which
+/// keeps run structure but shrinks magnitudes).
+pub fn shrink_sorted<F>(values: &[u32], budget: ShrinkBudget, mut fails: F) -> Vec<u32>
+where
+    F: FnMut(&[u32]) -> bool,
+{
+    let mut best = values.to_vec();
+    let mut evals = Counter {
+        left: budget.max_evals,
+    };
+    loop {
+        let before = (best.len(), best.first().copied());
+        // Chunk removal.
+        let mut chunk = (best.len() / 2).max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < best.len() {
+                let end = (start + chunk).min(best.len());
+                if !evals.take() {
+                    return best;
+                }
+                let mut candidate = best.clone();
+                candidate.drain(start..end);
+                if fails(&candidate) {
+                    best = candidate;
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Rebase towards 1 (halving the offset preserves strict order).
+        while let Some(&first) = best.first() {
+            if first <= 1 {
+                break;
+            }
+            let delta = first / 2;
+            if delta == 0 || !evals.take() {
+                break;
+            }
+            let candidate: Vec<u32> = best.iter().map(|&v| v - delta).collect();
+            if fails(&candidate) {
+                best = candidate;
+            } else {
+                break;
+            }
+        }
+        if (best.len(), best.first().copied()) >= before || evals.left == 0 {
+            return best;
+        }
+    }
+}
+
+/// Shrinks a failing byte input: chunk removal then single bytes, then
+/// zeroing (which often simplifies without shortening).
+pub fn shrink_bytes<F>(bytes: &[u8], budget: ShrinkBudget, mut fails: F) -> Vec<u8>
+where
+    F: FnMut(&[u8]) -> bool,
+{
+    let mut best = bytes.to_vec();
+    let mut evals = Counter {
+        left: budget.max_evals,
+    };
+    loop {
+        let before = best.len();
+        let mut chunk = (best.len() / 2).max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < best.len() {
+                let end = (start + chunk).min(best.len());
+                if !evals.take() {
+                    return best;
+                }
+                let mut candidate = best.clone();
+                candidate.drain(start..end);
+                if fails(&candidate) {
+                    best = candidate;
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        for i in 0..best.len() {
+            if best[i] != 0 {
+                if !evals.take() {
+                    return best;
+                }
+                let mut candidate = best.clone();
+                candidate[i] = 0;
+                if fails(&candidate) {
+                    best = candidate;
+                }
+            }
+        }
+        if best.len() >= before || evals.left == 0 {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twpp_ir::{BlockId, FuncId};
+
+    fn ev(spec: &str) -> Vec<WppEvent> {
+        // "(" enter, ")" exit, digits blocks.
+        spec.chars()
+            .map(|c| match c {
+                '(' => WppEvent::Enter(FuncId::from_index(0)),
+                ')' => WppEvent::Exit,
+                d => WppEvent::Block(BlockId::new(d.to_digit(10).expect("digit"))),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_block() {
+        // Failure: "stream contains block 7".
+        let events = ev("(12(345)6(7)8)");
+        let shrunk = shrink_events(&events, ShrinkBudget::default(), |c| {
+            c.iter()
+                .any(|e| matches!(e, WppEvent::Block(b) if b.as_u32() == 7))
+        });
+        assert!(shrunk.len() <= 3, "got {} events", shrunk.len());
+        assert!(shrunk
+            .iter()
+            .any(|e| matches!(e, WppEvent::Block(b) if b.as_u32() == 7)));
+    }
+
+    #[test]
+    fn span_removal_keeps_streams_balanced_enough_to_partition() {
+        let events = ev("(1(2(3)4)5(6)7)");
+        let shrunk = shrink_events(&events, ShrinkBudget::default(), |c| {
+            // Failure: at least two activations.
+            c.iter().filter(|e| matches!(e, WppEvent::Enter(_))).count() >= 2
+        });
+        assert_eq!(
+            shrunk
+                .iter()
+                .filter(|e| matches!(e, WppEvent::Enter(_)))
+                .count(),
+            2
+        );
+        assert!(shrunk.len() <= 4);
+    }
+
+    #[test]
+    fn sorted_shrinker_rebases_and_prunes() {
+        let values: Vec<u32> = (100..200).collect();
+        let shrunk = shrink_sorted(&values, ShrinkBudget::default(), |c| c.len() >= 3);
+        assert_eq!(shrunk.len(), 3);
+        assert!(shrunk[0] < 100, "expected rebase towards 1, got {shrunk:?}");
+    }
+
+    #[test]
+    fn byte_shrinker_minimizes() {
+        let bytes: Vec<u8> = (0..128).collect();
+        let shrunk = shrink_bytes(&bytes, ShrinkBudget::default(), |c| {
+            c.contains(&42)
+        });
+        assert_eq!(shrunk, vec![42]);
+    }
+}

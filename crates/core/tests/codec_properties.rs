@@ -1,0 +1,252 @@
+//! Property tests for the two codecs that guard the archive's integrity:
+//! the LZW byte codec ([`twpp::lzw`]) and the `l:h:s` timestamp-set wire
+//! format ([`twpp::tsset`]).
+//!
+//! These complement the conformance battery (`twpp selftest`): the
+//! battery drives the codecs with its own generators; this suite pins
+//! the adversarial corners directly — empty input, single-symbol runs,
+//! the dictionary-reset boundary, max-code overflow, and series entries
+//! straddling the `i32::MAX` sign-bit framing boundary.
+
+use proptest::prelude::*;
+
+use twpp::lzw::{self, LzwError};
+use twpp::tsset::{TsSet, TsSetError};
+
+// ---------------------------------------------------------------------------
+// LZW
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lzw_empty_input_round_trips_to_empty() {
+    let c = lzw::compress(&[]);
+    assert_eq!(lzw::decompress(&c).unwrap(), Vec::<u8>::new());
+    assert_eq!(lzw::compressed_size(&[]), c.len());
+    assert_eq!(lzw::decompress_bounded(&c, 0).unwrap(), Vec::<u8>::new());
+}
+
+#[test]
+fn lzw_round_trips_across_the_dictionary_reset_boundary() {
+    // A fixed LCG byte stream has enough digram entropy that the 16-bit
+    // dictionary fills somewhere inside this length range; round-trip at
+    // several prefix lengths so at least one sits before the clear code,
+    // one near it, and one well past it.
+    let mut data = Vec::with_capacity(700_000);
+    let mut x: u32 = 987_654_321;
+    for _ in 0..700_000 {
+        x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+        data.push((x >> 16) as u8);
+    }
+    for cut in [65_536, 250_000, 500_000, 620_000, 700_000] {
+        let slice = &data[..cut];
+        let c = lzw::compress(slice);
+        assert_eq!(lzw::decompress(&c).unwrap(), slice, "cut={cut}");
+        assert_eq!(lzw::compressed_size(slice), c.len(), "cut={cut}");
+    }
+}
+
+#[test]
+fn lzw_max_code_overflow_resets_cleanly_on_low_entropy_input() {
+    // Two-symbol streams grow the dictionary one entry per emitted code:
+    // long enough to overflow the max code and force a mid-stream reset
+    // even at minimal alphabet size.
+    let mut data = Vec::with_capacity(900_000);
+    let mut x: u32 = 42;
+    for _ in 0..900_000 {
+        x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        data.push((x >> 31) as u8);
+    }
+    let c = lzw::compress(&data);
+    assert_eq!(lzw::decompress(&c).unwrap(), data);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lzw_round_trips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lzw::compress(&data);
+        prop_assert_eq!(lzw::decompress(&c).unwrap(), data.clone());
+        prop_assert_eq!(lzw::compressed_size(&data), c.len());
+    }
+
+    #[test]
+    fn lzw_round_trips_single_symbol_runs(sym in any::<u8>(), len in 0usize..20_000) {
+        // KwKwK territory: every code refers to the just-defined entry.
+        let data = vec![sym; len];
+        let c = lzw::compress(&data);
+        prop_assert_eq!(lzw::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzw_round_trips_tiny_alphabets(
+        data in prop::collection::vec(0u8..3, 0..8192),
+    ) {
+        // Low-entropy streams churn the dictionary fastest per input byte.
+        let c = lzw::compress(&data);
+        prop_assert_eq!(lzw::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzw_truncation_never_panics_and_yields_a_prefix(
+        data in prop::collection::vec(any::<u8>(), 1..2048),
+        cut_permille in 0u32..1000,
+    ) {
+        let c = lzw::compress(&data);
+        let cut = (c.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        if let Ok(d) = lzw::decompress(&c[..cut]) {
+            prop_assert!(data.starts_with(&d));
+        }
+    }
+
+    #[test]
+    fn lzw_bounded_decode_enforces_its_cap(
+        data in prop::collection::vec(any::<u8>(), 1..2048),
+    ) {
+        let c = lzw::compress(&data);
+        prop_assert_eq!(lzw::decompress_bounded(&c, data.len()).unwrap(), data.clone());
+        prop_assert_eq!(
+            lzw::decompress_bounded(&c, data.len() - 1),
+            Err(LzwError::OutputLimit(data.len() - 1))
+        );
+    }
+
+    #[test]
+    fn lzw_decompress_of_garbage_never_panics(
+        garbage in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Any outcome is fine; crashing or unbounded growth is not.
+        let _ = lzw::decompress_bounded(&garbage, 1 << 16);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TsSet `l:h:s` wire format
+// ---------------------------------------------------------------------------
+
+/// A strictly increasing timestamp vector whose runs straddle `around`:
+/// the generated values cross from below the pivot to above it, so wire
+/// encodings exercise both sides of any framing boundary at the pivot.
+fn straddling_values(around: u32, below: u32, spec: &[(u32, u32)]) -> Vec<u32> {
+    // `spec` is (len, step) pairs; runs are laid out back to back
+    // starting `below` under the pivot.
+    let mut out = Vec::new();
+    let mut cursor = u64::from(around.saturating_sub(below));
+    for &(len, step) in spec {
+        for _ in 0..len {
+            if cursor > u64::from(u32::MAX) {
+                return out;
+            }
+            out.push(cursor as u32);
+            cursor += u64::from(step.max(1));
+        }
+        cursor += 1;
+    }
+    out
+}
+
+#[test]
+fn tsset_series_straddling_the_sign_bit_boundary_encode_iff_in_range() {
+    let pivot = i32::MAX as u32;
+    // Entirely below the boundary (last element == i32::MAX): encodable.
+    let v = straddling_values(pivot, 8, &[(3, 4)]); // 2147483639, 43, 47
+    assert_eq!(*v.last().unwrap(), pivot);
+    let set = TsSet::from_sorted(&v);
+    assert_eq!(set.to_vec(), v);
+    let wire = set.to_wire().expect("values ≤ i32::MAX encode");
+    assert_eq!(TsSet::from_wire(&wire).unwrap(), set);
+
+    // Crossing the boundary: membership is fine, wire encoding must
+    // refuse with TimestampOverflow naming the first bad value.
+    let v = straddling_values(pivot, 8, &[(6, 4)]); // crosses i32::MAX
+    assert!(v.iter().any(|&x| x > pivot) && v.iter().any(|&x| x <= pivot));
+    let set = TsSet::from_sorted(&v);
+    assert_eq!(set.to_vec(), v);
+    match set.to_wire() {
+        Err(TsSetError::TimestampOverflow { value }) => {
+            assert!(
+                value > u64::from(pivot),
+                "reported value {value} not past the boundary"
+            )
+        }
+        other => panic!("expected TimestampOverflow, got {other:?}"),
+    }
+
+    // One past the boundary as a lone singleton: same refusal.
+    let set = TsSet::from_sorted(&[pivot + 1]);
+    assert!(matches!(
+        set.to_wire(),
+        Err(TsSetError::TimestampOverflow { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tsset_wire_round_trips_near_the_boundary(
+        below in 1u32..2048,
+        runs in prop::collection::vec((1u32..12, 1u32..8), 1..6),
+    ) {
+        let pivot = i32::MAX as u32;
+        let values = straddling_values(pivot, below, &runs);
+        if values.is_empty() {
+            return; // degenerate spec: nothing to encode
+        }
+        let set = TsSet::from_sorted(&values);
+        prop_assert_eq!(set.to_vec(), values.clone());
+        let overflows = values.iter().any(|&v| v > pivot);
+        match set.to_wire() {
+            Ok(wire) => {
+                prop_assert!(!overflows, "encoded a value past i32::MAX");
+                // Sign-delimited framing: every entry boundary is marked
+                // by exactly one negative word.
+                let negatives = wire.iter().filter(|&&w| w < 0).count();
+                prop_assert_eq!(negatives, set.entries().len());
+                prop_assert_eq!(TsSet::from_wire(&wire).unwrap(), set);
+            }
+            Err(TsSetError::TimestampOverflow { value }) => {
+                prop_assert!(overflows, "spurious overflow for {value}");
+            }
+            Err(other) => prop_assert!(false, "unexpected encode error: {other}"),
+        }
+    }
+
+    #[test]
+    fn tsset_from_wire_rejects_garbage_without_panicking(
+        words in prop::collection::vec(any::<i32>(), 0..64),
+    ) {
+        if let Ok(set) = TsSet::from_wire(&words) {
+            // Entry-level round trip: cheap no matter how many members
+            // the entries claim, since equality compares entries.
+            let wire = set.to_wire().unwrap();
+            prop_assert_eq!(TsSet::from_wire(&wire).unwrap(), set);
+        }
+        // Membership-level invariant through the capped decoder, so a
+        // two-word range claiming 2^31 members cannot stall the suite
+        // by materialising on `to_vec`.
+        if let Ok(set) = TsSet::from_wire_capped(&words, 1 << 16) {
+            let v = set.to_vec();
+            prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn tsset_from_wire_capped_bounds_hostile_ranges(
+        first in 1u32..1000, extra in 1u32..100_000, cap in 1u32..50_000,
+    ) {
+        // A two-word range entry can claim millions of members; the
+        // capped decoder must reject anything whose max exceeds the cap
+        // before materialisation.
+        let last = first.saturating_add(extra);
+        // `f, -l` is the two-word step-1 range encoding.
+        let words = vec![first as i32, -(i64::from(last)) as i32];
+        match TsSet::from_wire_capped(&words, cap) {
+            Ok(set) => prop_assert!(set.last().unwrap_or(0) <= cap),
+            Err(TsSetError::ExceedsCap { value, cap: c }) => {
+                prop_assert!(value > c);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+}

@@ -6,6 +6,10 @@
 //! ([`twpp`], [`twpp_dataflow`], …) directly.
 
 pub use twpp;
+pub use twpp_conformance;
+/// The conformance oracle subsystem under its paper-facing name:
+/// `twpp_repro::oracle::run_selftest`, `oracle::reference`, ….
+pub use twpp_conformance as oracle;
 pub use twpp_dataflow;
 pub use twpp_ir;
 pub use twpp_lang;

@@ -1,0 +1,216 @@
+//! Golden-corpus decode tests: small checked-in archives in every
+//! supported container version, decoded by the *current* reader.
+//!
+//! The corpus pins two promises:
+//!
+//! * **Format stability** — the v3 encoder reproduces the checked-in
+//!   clean archive byte for byte, so any format change is a deliberate,
+//!   reviewed version bump rather than an accident.
+//! * **Forward compatibility of `TwppArchive::recover`** — every corpus
+//!   file (legacy v2, clean v3, degraded v3, truncated v3) must keep
+//!   decoding through the salvage entry point in all future sessions.
+//!
+//! `regenerate_golden_corpus` (ignored) rewrites the files from the
+//! deterministic source program; run it only alongside an intentional
+//! format change:
+//!
+//! ```text
+//! cargo test --test corpus regenerate_golden_corpus -- --ignored
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use twpp_repro::twpp::archive::encode_v2_named;
+use twpp_repro::twpp::{
+    compact, compact_governed, Budget, FaultPlan, GovOptions, Obs, TwppArchive,
+};
+use twpp_repro::twpp_ir::FuncId;
+use twpp_repro::twpp_lang;
+use twpp_repro::twpp_tracer::{run_traced, ExecLimits};
+
+/// The corpus source program: two leaf functions with distinct path
+/// shapes plus a loopy main, so the archive holds several function
+/// regions, multiple unique traces and a non-trivial DCG.
+const CORPUS_SRC: &str = "\
+fn f(x) { if (x % 2 == 0) { print(x); } else { print(0 - x); } }
+fn g(x) { let j = 0; while (j < 3) { print(x + j); j = j + 1; } }
+fn main() { let i = 0; while (i < 6) { f(i); g(i); i = i + 1; } }";
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_names(program: &twpp_repro::twpp_ir::Program) -> HashMap<FuncId, String> {
+    program
+        .funcs()
+        .map(|(id, f)| (id, f.name().to_owned()))
+        .collect()
+}
+
+/// Deterministically rebuilds all four corpus artifacts in memory.
+fn build_corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let program = twpp_lang::compile(CORPUS_SRC).expect("corpus program compiles");
+    let (_, wpp) = run_traced(&program, &[], ExecLimits::default()).expect("corpus program runs");
+    let names = corpus_names(&program);
+
+    // Clean v3.
+    let compacted = compact(&wpp).expect("corpus compacts");
+    let v3 = TwppArchive::from_compacted_named_with_threads(&compacted, &names, 1);
+    let v3_bytes = v3.as_bytes().to_vec();
+
+    // Legacy v2 layout.
+    let v2_bytes = encode_v2_named(&compacted, &names).expect("v2 encodes");
+
+    // Degraded v3: function f's compaction stage panics and is isolated.
+    let (f_id, _) = program.func_by_name("f").expect("f exists");
+    let options = GovOptions {
+        threads: Some(1),
+        budget: Budget::unlimited(),
+        fail_fast: false,
+        faults: FaultPlan::panic_on(f_id),
+        obs: Obs::noop(),
+    };
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (degraded_c, stats) = compact_governed(&wpp, &options).expect("degraded run completes");
+    std::panic::set_hook(prev);
+    assert_eq!(stats.degraded.len(), 1, "exactly f degrades");
+    let degraded = TwppArchive::from_compacted_governed(
+        &degraded_c,
+        &names,
+        1,
+        &stats.degraded.failed,
+    );
+    let degraded_bytes = degraded.as_bytes().to_vec();
+
+    // Truncated v3: the clean archive with its tail torn off mid-data,
+    // as an interrupted write would leave it. Salvage must still run.
+    let cut = v3_bytes.len() * 2 / 3;
+    let truncated_bytes = v3_bytes[..cut].to_vec();
+
+    vec![
+        ("small-v3.twpa", v3_bytes),
+        ("small-v2.twpa", v2_bytes),
+        ("degraded-v3.twpa", degraded_bytes),
+        ("truncated-v3.twpa", truncated_bytes),
+    ]
+}
+
+fn read_corpus_file(name: &str) -> Vec<u8> {
+    let path = corpus_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nrun `cargo test --test corpus regenerate_golden_corpus -- --ignored` \
+             to (re)create the corpus",
+            path.display()
+        )
+    })
+}
+
+/// Rewrites the corpus from source. Ignored: run only on deliberate
+/// format changes, and review the resulting diff.
+#[test]
+#[ignore = "rewrites the golden corpus; run on intentional format changes only"]
+fn regenerate_golden_corpus() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for (name, bytes) in build_corpus() {
+        std::fs::write(dir.join(name), bytes).expect("write corpus file");
+    }
+}
+
+#[test]
+fn v3_encoder_is_byte_stable_against_the_corpus() {
+    let fresh: Vec<(&str, Vec<u8>)> = build_corpus();
+    for (name, bytes) in &fresh {
+        if *name == "truncated-v3.twpa" {
+            continue; // derived, checked via the clean file
+        }
+        let golden = read_corpus_file(name);
+        assert_eq!(
+            &golden, bytes,
+            "{name}: encoder output drifted from the golden corpus; if the \
+             format change is intentional, bump the version and regenerate"
+        );
+    }
+}
+
+#[test]
+fn clean_v3_corpus_recovers_clean_and_round_trips() {
+    let bytes = read_corpus_file("small-v3.twpa");
+    let (archive, report) = TwppArchive::recover(&bytes).expect("recover accepts clean v3");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(archive.version(), 3);
+    assert_eq!(archive.as_bytes(), &bytes[..], "clean recovery is identity");
+    // Semantic content: three functions, f with 6 calls over 2 paths.
+    assert_eq!(archive.function_ids().len(), 3);
+    let f = archive.function_by_name("f").expect("names embedded");
+    let record = archive.read_function(f).expect("f readable");
+    assert_eq!(record.call_count, 6);
+    assert_eq!(record.traces.len(), 2);
+    let compacted = archive.to_compacted().expect("archive decodes");
+    assert_eq!(compacted.functions.len(), 3);
+}
+
+#[test]
+fn legacy_v2_corpus_still_decodes_through_recover() {
+    let v2 = read_corpus_file("small-v2.twpa");
+    let (archive, report) = TwppArchive::recover(&v2).expect("recover accepts v2");
+    // v2 has no checksums: salvage decodes each region and keeps what
+    // parses — all of it, for an intact file.
+    assert_eq!(report.lost_functions(), 0, "{report}");
+    assert_eq!(report.salvaged_functions(), 3);
+    let f = archive.function_by_name("f").expect("v2 names survive");
+    let record = archive.read_function(f).expect("f readable from v2");
+    assert_eq!(record.call_count, 6);
+    assert_eq!(record.traces.len(), 2);
+
+    // The salvaged archive is a committed v3 re-encode whose content
+    // matches the clean v3 corpus function for function.
+    let v3 = read_corpus_file("small-v3.twpa");
+    let (clean, _) = TwppArchive::recover(&v3).expect("clean v3");
+    for func in clean.function_ids() {
+        let a = archive.read_function(func).expect("v2 side");
+        let b = clean.read_function(func).expect("v3 side");
+        assert_eq!(a.call_count, b.call_count, "{func}");
+        assert_eq!(
+            a.try_expanded_traces().expect("v2 traces expand"),
+            b.try_expanded_traces().expect("v3 traces expand"),
+            "{func}"
+        );
+    }
+}
+
+#[test]
+fn degraded_v3_corpus_reports_degradation_not_damage() {
+    let bytes = read_corpus_file("degraded-v3.twpa");
+    let (archive, report) = TwppArchive::recover(&bytes).expect("recover accepts degraded");
+    assert!(
+        report.is_degraded_only(),
+        "degraded archive must verify as intact-but-degraded: {report}"
+    );
+    assert_eq!(report.degraded_functions().len(), 1);
+    assert!(archive.is_degraded());
+    // The surviving functions still answer queries.
+    let g = archive.function_by_name("g").expect("g survives");
+    let record = archive.read_function(g).expect("g readable");
+    assert_eq!(record.call_count, 6);
+}
+
+#[test]
+fn truncated_v3_corpus_salvages_a_usable_subset() {
+    let bytes = read_corpus_file("truncated-v3.twpa");
+    let (archive, report) =
+        TwppArchive::recover(&bytes).expect("recover accepts a torn write");
+    assert!(!report.is_clean(), "a torn archive must not verify clean");
+    // Whatever was salvaged re-encodes as a clean v3 archive.
+    let salvaged = archive.as_bytes().to_vec();
+    let (_, second) = TwppArchive::recover(&salvaged).expect("salvage output recovers");
+    assert!(second.is_clean(), "salvage output must be clean: {second}");
+    assert_eq!(
+        report.salvaged_functions(),
+        archive.function_ids().len(),
+        "report and archive agree on the salvage count"
+    );
+}
