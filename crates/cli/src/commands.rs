@@ -4,13 +4,23 @@
 //! twpp run <prog.twl> [--input 1,2,3]
 //! twpp trace <prog.twl> -o <out.wpp> [--input 1,2,3]
 //! twpp compact <in.wpp> -o <out.twpa> [--program <prog.twl>] [--threads N] [--stats]
+//! twpp ingest <dir> --from <in.wpp|-> [--seal-bytes N] [--seal-ms N] [--chunk-events N]
 //! twpp info <file.wpp|file.twpa>
 //! twpp query <file.twpa> <func-id-or-name>
-//! twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]] [--threads N]
+//! twpp fsck <file.twpa|file.wpp|dir> [--repair [-o <out>]] [--threads N]
 //! twpp report-check <report.json>
 //! twpp sequitur <in.wpp>
 //! twpp selftest [--seed N] [--cases K] [--max-events M] [--out-dir D] [--threads N]
 //! ```
+//!
+//! `ingest` is the crash-safe incremental path: events are fed to a
+//! resumable [`twpp::ingest::Compactor`] in chunks, made durable in a
+//! write-ahead log, sealed into segment archives, and merged into a
+//! `merged.twpa` byte-identical to a batch `compact` of the same
+//! stream. Rerunning `ingest` on a directory a killed process left
+//! behind resumes exactly where it stopped. `fsck` on such a directory
+//! chain-validates the manifests, salvage-verifies every segment and
+//! replays the WAL.
 //!
 //! `--threads N` caps the worker pool used by the parallel compaction and
 //! verification stages (default: `TWPP_THREADS` or the machine's available
@@ -112,11 +122,21 @@ usage:
                                             compact a WPP into a TWPP archive
                                             (--program embeds function names;
                                             --stats prints stage timings)
+  twpp ingest <dir> --from <in.wpp|->       feed a WPP through the crash-safe
+                                            incremental compactor: WAL + sealed
+                                            segments in <dir>, then a merged
+                                            archive byte-identical to `compact`;
+                                            rerunning resumes after a crash
+      --seal-bytes N    seal the open window at N encoded bytes (default 1 MiB)
+      --seal-ms N       additionally seal windows older than N ms
+      --chunk-events N  events per feed batch (default 1024)
   twpp info <file.wpp|file.twpa>            summarize a trace or archive
   twpp query <file.twpa> <func-id-or-name>  extract one function's traces
-  twpp fsck <file.twpa|file.wpp> [--repair [-o <out>]] [--threads N]
+  twpp fsck <file.twpa|file.wpp|dir> [--repair [-o <out>]] [--threads N]
                                             verify checksums; --repair writes a
-                                            salvaged copy of a damaged file
+                                            salvaged copy of a damaged file; on
+                                            an ingest directory, validate the
+                                            segment chain and WAL
   twpp report-check <report.json>           validate a --report file against
                                             the run-report schema
   twpp sequitur <in.wpp>                    compress with the Sequitur baseline
@@ -132,14 +152,22 @@ usage:
   or the machine's available parallelism); for selftest it sets the largest
   thread count the byte-identity checks compare against
 
-governance (compact/query/fsck):
+durability (compact/ingest):
+  --durability none|flush|sync
+                    how hard written bytes are pushed toward stable
+                    storage before success is reported (compact default:
+                    flush; ingest default: sync — an acknowledged event
+                    survives a power cut)
+
+governance (compact/ingest/query/fsck):
   --deadline-ms N   stop after N milliseconds of wall-clock time
+                    (ingest: backpressure — seal early, keep going)
   --max-events N    stop after charging N work steps (events, traces)
   --degrade         compact only: isolate per-function failures and write
                     an archive of the surviving functions (exit 3)
   --fail-fast       compact only: abort on the first failure (default)
 
-observability (compact/query/fsck):
+observability (compact/ingest/query/fsck):
   --trace-out <f>   write spans as Chrome trace-event JSON
   --metrics-out <f> write metrics in Prometheus text format
   --report <f>      write the machine-readable run report (JSON)
@@ -234,6 +262,11 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
     let mut cases: Option<usize> = None;
     let mut max_events: Option<u64> = None;
     let mut out_dir: Option<PathBuf> = None;
+    let mut from: Option<String> = None;
+    let mut seal_bytes: Option<u64> = None;
+    let mut seal_ms: Option<u64> = None;
+    let mut chunk_events: Option<usize> = None;
+    let mut durability: Option<twpp::Durability> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -265,6 +298,59 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
             }
             "--repair" => repair = true,
             "--stats" => stats = true,
+            "--from" => {
+                i += 1;
+                from = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::Usage("--from needs a path or -".into()))?
+                        .clone(),
+                );
+            }
+            "--seal-bytes" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--seal-bytes needs a count".into()))?;
+                let n = raw
+                    .parse::<u64>()
+                    .map_err(|e| CliError::Usage(format!("bad --seal-bytes: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--seal-bytes must be at least 1".into()));
+                }
+                seal_bytes = Some(n);
+            }
+            "--seal-ms" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--seal-ms needs a count".into()))?;
+                seal_ms = Some(
+                    raw.parse::<u64>()
+                        .map_err(|e| CliError::Usage(format!("bad --seal-ms: {e}")))?,
+                );
+            }
+            "--chunk-events" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--chunk-events needs a count".into()))?;
+                let n = raw
+                    .parse::<usize>()
+                    .map_err(|e| CliError::Usage(format!("bad --chunk-events: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--chunk-events must be at least 1".into()));
+                }
+                chunk_events = Some(n);
+            }
+            "--durability" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--durability needs none|flush|sync".into()))?;
+                durability = Some(twpp::Durability::parse(raw).ok_or_else(|| {
+                    CliError::Usage(format!("bad --durability `{raw}`: use none|flush|sync"))
+                })?);
+            }
             "--degrade" => degrade = true,
             "--fail-fast" => degrade = false,
             "--trace-out" => {
@@ -377,6 +463,25 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                 stats,
                 limits,
                 degrade,
+                durability.unwrap_or(twpp::Durability::Flush),
+                &obs_files,
+                out,
+            )
+        }
+        ["ingest", dir] => {
+            let from = from.ok_or_else(usage)?;
+            cmd_ingest(
+                Path::new(dir),
+                &from,
+                IngestFlags {
+                    seal_bytes,
+                    seal_ms,
+                    chunk_events: chunk_events.unwrap_or(1024),
+                    durability: durability.unwrap_or(twpp::Durability::Sync),
+                    threads,
+                    limits,
+                    degrade,
+                },
                 &obs_files,
                 out,
             )
@@ -465,6 +570,7 @@ fn cmd_compact(
     show_stats: bool,
     limits: twpp::Limits,
     degrade: bool,
+    durability: twpp::Durability,
     obs_files: &ObsFiles,
     out: &mut Out<'_>,
 ) -> Result<(), CliError> {
@@ -514,7 +620,7 @@ fn cmd_compact(
         &obs,
     );
     stats.timings.archive_encode_nanos = encode_started.elapsed().as_nanos() as u64;
-    archive.save(output).map_err(fail)?;
+    archive.save_with(output, durability).map_err(fail)?;
     writeln!(out, "wrote {} ({} bytes)", output.display(), archive.byte_len())?;
     writeln!(out, "original WPP          : {:>10} bytes", stats.raw.total())?;
     writeln!(
@@ -609,6 +715,118 @@ fn write_stage_stats(stats: &PipelineStats, out: &mut Out<'_>) -> Result<(), Cli
     Ok(())
 }
 
+/// The `ingest`-specific knobs, bundled so `cmd_ingest` stays below the
+/// argument-count lint.
+struct IngestFlags {
+    seal_bytes: Option<u64>,
+    seal_ms: Option<u64>,
+    chunk_events: usize,
+    durability: twpp::Durability,
+    threads: Option<usize>,
+    limits: twpp::Limits,
+    degrade: bool,
+}
+
+/// `twpp ingest <dir> --from <in.wpp|->`: the crash-safe incremental
+/// path. The input stream is fed in `--chunk-events` batches to a
+/// resumable [`twpp::ingest::Compactor`]; if `<dir>` already holds
+/// state from a killed run, ingestion resumes exactly where it stopped
+/// and skips the prefix of the input that is already durable.
+fn cmd_ingest(
+    dir: &Path,
+    from: &str,
+    flags: IngestFlags,
+    obs_files: &ObsFiles,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let wpp = if from == "-" {
+        let stdin = std::io::stdin();
+        RawWpp::read_from(stdin.lock()).map_err(|e| fail(format!("<stdin>: {e}")))?
+    } else {
+        read_wpp(Path::new(from))?
+    };
+    let events = wpp.events();
+    let obs = obs_files.observer();
+    let faults = twpp::FaultPlan::from_env();
+    let budget = flags.limits.start();
+    let opts = twpp::IngestOptions {
+        seal_bytes: flags.seal_bytes.unwrap_or(1 << 20),
+        seal_ms: flags.seal_ms,
+        durability: flags.durability,
+        threads: flags.threads,
+        budget: budget.clone(),
+        fail_fast: !flags.degrade,
+        faults: faults.clone(),
+        obs: obs.clone(),
+    };
+    let ingest_err = |e: twpp::IngestError| fail(format!("{}: {e}", dir.display()));
+    let (mut compactor, resumed) = twpp::Compactor::open(dir, opts).map_err(ingest_err)?;
+    let skip = compactor.accepted_events();
+    if let Some(report) = &resumed {
+        writeln!(
+            out,
+            "resumed {}: {} segment(s), {} sealed + {} replayed event(s){}{}",
+            dir.display(),
+            report.segments,
+            report.sealed_events,
+            report.wal_events,
+            if report.wal_torn {
+                ", torn WAL tail dropped"
+            } else {
+                ""
+            },
+            if report.orphans_removed > 0 {
+                ", crash debris removed"
+            } else {
+                ""
+            },
+        )?;
+    }
+    if skip > events.len() as u64 {
+        return Err(fail(format!(
+            "{}: directory already holds {skip} events but the input has \
+             only {}; refusing to resume against a different stream",
+            dir.display(),
+            events.len()
+        )));
+    }
+    for piece in events[skip as usize..].chunks(flags.chunk_events) {
+        compactor.feed(piece).map_err(ingest_err)?;
+    }
+    let report = compactor.finish().map_err(ingest_err)?;
+    writeln!(
+        out,
+        "wrote {} ({} events, {} segment(s), durability {})",
+        report.path.display(),
+        report.events,
+        report.segments,
+        flags.durability.as_str()
+    )?;
+    writeln!(out, "durability points: {}", faults.durability_points())?;
+    let degraded_run = !report.stats.degraded.is_empty();
+    let mut run = RunReport::new(
+        "ingest",
+        if degraded_run {
+            RunOutcome::Degraded
+        } else {
+            RunOutcome::Complete
+        },
+    );
+    run.threads = twpp::resolve_threads(flags.threads) as u64;
+    run.pipeline = Some(report.stats.to_section());
+    run.budget = budget_section(&budget);
+    obs_files.emit(&obs, run, out)?;
+    if degraded_run {
+        return Err(CliError::Degraded(format!(
+            "degraded: {} function(s) failed during the merge compaction \
+             (see `twpp fsck {}`)",
+            report.stats.degraded.len(),
+            report.path.display()
+        )));
+    }
+    Ok(())
+}
+
 fn cmd_info(path: &Path, out: &mut Out<'_>) -> Result<(), CliError> {
     let bytes = fs::read(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
     if bytes.starts_with(b"TWPA") {
@@ -654,6 +872,9 @@ fn cmd_fsck(
     obs_files: &ObsFiles,
     out: &mut Out<'_>,
 ) -> Result<(), CliError> {
+    if path.is_dir() {
+        return cmd_fsck_dir(path, obs_files, out);
+    }
     let bytes = fs::read(path).map_err(|e| fail(format!("{}: {e}", path.display())))?;
     let obs = obs_files.observer();
     let resolved = twpp::resolve_threads(threads);
@@ -763,6 +984,85 @@ fn cmd_fsck(
             path.display()
         )))
     }
+}
+
+/// `twpp fsck` over an ingest directory: chain-validate the manifests,
+/// salvage-verify every sealed segment, replay the WAL. Exit 0 when the
+/// directory is pristine, 3 when it is resumable but carries crash
+/// debris (torn WAL tail, orphan files), 4 when it cannot be resumed.
+fn cmd_fsck_dir(dir: &Path, obs_files: &ObsFiles, out: &mut Out<'_>) -> Result<(), CliError> {
+    let obs = obs_files.observer();
+    let check = twpp::ingest::fsck_dir(dir, &obs)
+        .map_err(|e| fail(format!("{}: {e}", dir.display())))?;
+    writeln!(
+        out,
+        "ingest directory: {} segment(s), {} sealed + {} WAL event(s)",
+        check.segments.len(),
+        check.sealed_events,
+        check.wal_events
+    )?;
+    for seg in &check.segments {
+        writeln!(
+            out,
+            "  segment {:>3}: {:>8} events at offset {:>8}, depth {:>2} -> {:>2}, \
+             salvage: {}{}",
+            seg.meta.seq,
+            seg.meta.events,
+            seg.meta.accepted_before,
+            seg.meta.depth_start,
+            seg.meta.end_stack.len(),
+            seg.report.strategy,
+            if seg.report.is_clean() { "" } else { " (DAMAGED)" },
+        )?;
+    }
+    if check.wal_skipped_records > 0 {
+        writeln!(
+            out,
+            "  WAL: {} record(s) already sealed (resume will skip them)",
+            check.wal_skipped_records
+        )?;
+    }
+    if check.wal_torn {
+        writeln!(out, "  WAL: torn tail (unacknowledged; resume drops it)")?;
+    }
+    if let Some(e) = &check.wal_error {
+        writeln!(out, "  WAL: {e}")?;
+    }
+    for orphan in &check.orphans {
+        writeln!(out, "  orphan: {} (crash debris; resume removes it)", orphan.display())?;
+    }
+    if let Some(msg) = &check.chain_error {
+        writeln!(out, "  chain: {msg}")?;
+    }
+    let outcome = if check.is_clean() {
+        RunOutcome::Complete
+    } else if check.is_resumable() {
+        RunOutcome::Degraded
+    } else {
+        RunOutcome::Damaged
+    };
+    let run = RunReport::new("fsck", outcome);
+    obs_files.emit(&obs, run, out)?;
+    if check.is_clean() {
+        writeln!(out, "{}: clean", dir.display())?;
+        return Ok(());
+    }
+    if check.is_resumable() {
+        return Err(CliError::Degraded(format!(
+            "{}: directory is resumable but carries crash debris; rerunning \
+             `twpp ingest` will recover it",
+            dir.display()
+        )));
+    }
+    Err(fail(format!(
+        "{}: ingest directory is not resumable{}",
+        dir.display(),
+        check
+            .chain_error
+            .as_deref()
+            .map(|m| format!(" ({m})"))
+            .unwrap_or_default()
+    )))
 }
 
 fn cmd_query(

@@ -1,0 +1,201 @@
+//! The kill-point harness: `twpp ingest` is aborted at **every**
+//! durability point in turn (`TWPP_INJECT_KILL_AT=n`), resumed by simply
+//! rerunning the same command, and the recovered `merged.twpa` must be
+//! byte-identical to an uninterrupted run's. This is the executable form
+//! of the crash-safety contract in DESIGN.md §15: a durability point is
+//! exactly a moment the process may die with its latest write already on
+//! disk, and recovery must continue — not restart — from there.
+//!
+//! The sweep spawns two real processes per kill point (one that aborts,
+//! one that recovers), so the fixture stream is kept small enough that
+//! the whole matrix stays in the hundreds of milliseconds.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_twpp")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "twpp-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Runs `twpp` with `args`, optionally with a kill point injected.
+fn twpp(args: &[&str], kill_at: Option<u64>) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(args);
+    // The sweep must control the fault plan exactly: clear any injection
+    // the outer environment (e.g. the CI matrix) set for *this* process.
+    cmd.env_remove("TWPP_INJECT_KILL_AT");
+    if let Some(n) = kill_at {
+        cmd.env("TWPP_INJECT_KILL_AT", n.to_string());
+    }
+    cmd.output().expect("spawn twpp")
+}
+
+fn ok_stdout(output: Output, what: &str) -> String {
+    assert!(
+        output.status.success(),
+        "{what} failed: {}\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+/// Writes the fixture program and traces it; returns the `.wpp` path.
+fn fixture_wpp(dir: &Path) -> PathBuf {
+    let src = dir.join("prog.twl");
+    // Nested calls, loops and a branch: enough structure that the stream
+    // seals into several segments at --seal-bytes 256 and the open
+    // activation stack is non-trivial at most window boundaries.
+    std::fs::write(
+        &src,
+        "fn f(x) { if (x % 2 == 0) { print(x); } else { print(0 - x); } }
+         fn g(x) { f(x); f(x + 1); }
+         fn main() { let i = 0; while (i < 24) { g(i); i = i + 1; } }",
+    )
+    .expect("write fixture program");
+    let wpp = dir.join("prog.wpp");
+    ok_stdout(
+        twpp(&["trace", src.to_str().unwrap(), "-o", wpp.to_str().unwrap()], None),
+        "trace",
+    );
+    wpp
+}
+
+fn ingest_args<'a>(dir: &'a str, wpp: &'a str) -> Vec<&'a str> {
+    // Durability::None keeps the sweep fast; the durability *points* are
+    // identical across modes (same writes, different flush strength), so
+    // the recovery claim carries over to --durability sync.
+    vec![
+        "ingest", dir, "--from", wpp, "--seal-bytes", "256", "--chunk-events", "13",
+        "--durability", "none",
+    ]
+}
+
+/// Parses the `durability points: N` line `twpp ingest` prints.
+fn durability_points(stdout: &str) -> u64 {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("durability points: "))
+        .expect("ingest must report its durability points")
+        .trim()
+        .parse()
+        .expect("point count")
+}
+
+#[test]
+fn every_kill_point_recovers_to_identical_bytes() {
+    let root = temp_dir("sweep");
+    let wpp = fixture_wpp(&root);
+    let wpp = wpp.to_str().unwrap();
+
+    // Uninterrupted baseline: the reference bytes and the sweep bound.
+    let base_dir = root.join("baseline");
+    let stdout = ok_stdout(twpp(&ingest_args(base_dir.to_str().unwrap(), wpp), None), "baseline");
+    let points = durability_points(&stdout);
+    let baseline = std::fs::read(base_dir.join("merged.twpa")).expect("baseline merged.twpa");
+    assert!(
+        points >= 10,
+        "fixture too small to exercise the state machine ({points} durability points)"
+    );
+
+    for kill in 1..=points {
+        let dir = root.join(format!("kill-{kill}"));
+        let dir = dir.to_str().unwrap();
+        let killed = twpp(&ingest_args(dir, wpp), Some(kill));
+        assert!(
+            !killed.status.success(),
+            "kill point {kill} of {points} did not abort the process"
+        );
+        let recovered = ok_stdout(twpp(&ingest_args(dir, wpp), None), "recovery");
+        assert!(
+            kill == 1 || recovered.contains("resumed"),
+            "kill point {kill}: recovery should resume, not restart:\n{recovered}"
+        );
+        let merged = std::fs::read(Path::new(dir).join("merged.twpa"))
+            .unwrap_or_else(|e| panic!("kill point {kill}: no merged.twpa after recovery: {e}"));
+        assert_eq!(
+            merged, baseline,
+            "kill point {kill} of {points}: recovered archive differs from baseline"
+        );
+    }
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn double_crash_still_recovers() {
+    // Crashing *during recovery* must also be recoverable: kill the
+    // first run mid-stream, kill the resumed run at its first durable
+    // write, then finish cleanly.
+    let root = temp_dir("double");
+    let wpp = fixture_wpp(&root);
+    let wpp = wpp.to_str().unwrap();
+
+    let base_dir = root.join("baseline");
+    ok_stdout(twpp(&ingest_args(base_dir.to_str().unwrap(), wpp), None), "baseline");
+    let baseline = std::fs::read(base_dir.join("merged.twpa")).expect("baseline");
+
+    for kill in [3u64, 9, 17] {
+        let dir = root.join(format!("double-{kill}"));
+        let dir = dir.to_str().unwrap();
+        assert!(!twpp(&ingest_args(dir, wpp), Some(kill)).status.success());
+        assert!(!twpp(&ingest_args(dir, wpp), Some(2)).status.success());
+        ok_stdout(twpp(&ingest_args(dir, wpp), None), "second recovery");
+        let merged = std::fs::read(Path::new(dir).join("merged.twpa")).expect("merged");
+        assert_eq!(merged, baseline, "double crash at {kill} then 2 diverged");
+    }
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn torn_wal_tail_is_survivable_end_to_end() {
+    // A crash can also tear the final WAL record mid-write (no kill
+    // point lands there because the append never completed). `fsck`
+    // must call the directory degraded-but-resumable, and rerunning
+    // ingest must converge to the baseline bytes anyway.
+    let root = temp_dir("torn");
+    let wpp_path = fixture_wpp(&root);
+    let wpp = wpp_path.to_str().unwrap();
+
+    let base_dir = root.join("baseline");
+    ok_stdout(twpp(&ingest_args(base_dir.to_str().unwrap(), wpp), None), "baseline");
+    let baseline = std::fs::read(base_dir.join("merged.twpa")).expect("baseline");
+
+    let dir = root.join("torn");
+    // Die mid-stream with a non-empty WAL tail, then shear its last
+    // bytes off as an interrupted write would.
+    assert!(!twpp(&ingest_args(dir.to_str().unwrap(), wpp), Some(8)).status.success());
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).expect("wal");
+    assert!(bytes.len() > 11, "kill point 8 should leave WAL records");
+    std::fs::write(&wal, &bytes[..bytes.len() - 11]).expect("tear");
+
+    let fsck = twpp(&["fsck", dir.to_str().unwrap()], None);
+    assert_eq!(
+        fsck.status.code(),
+        Some(3),
+        "torn tail should be degraded-but-resumable: {}",
+        String::from_utf8_lossy(&fsck.stdout)
+    );
+    let report = String::from_utf8_lossy(&fsck.stdout).to_string();
+    assert!(report.contains("torn tail"), "{report}");
+
+    let recovered = ok_stdout(twpp(&ingest_args(dir.to_str().unwrap(), wpp), None), "recovery");
+    assert!(recovered.contains("torn WAL tail dropped"), "{recovered}");
+    let merged = std::fs::read(dir.join("merged.twpa")).expect("merged");
+    assert_eq!(merged, baseline);
+
+    std::fs::remove_dir_all(&root).ok();
+}

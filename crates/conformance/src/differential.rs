@@ -59,6 +59,7 @@ pub const EVENT_CHECKS: &[(&str, EventCheck)] = &[
     ("archive-recover-clean", check_archive_recover_clean),
     ("governed-equivalence", check_governed_equivalence),
     ("observed-byte-identity", check_observed_byte_identity),
+    ("ingest-chunking-identity", check_ingest_chunking_identity),
 ];
 
 fn fmt_events(events: &[WppEvent]) -> String {
@@ -566,6 +567,103 @@ fn check_observed_byte_identity(events: &[WppEvent], cx: &CheckContext) -> Resul
     );
     if plain_bytes.as_bytes() != observed.as_bytes() {
         return Err("observed archive bytes differ from noop".to_string());
+    }
+    Ok(())
+}
+
+/// Runs the full event stream through the incremental compactor in
+/// `chunk`-sized `feed` batches and returns the merged archive bytes.
+/// `Ok(None)` means the stream was rejected as malformed — which must
+/// agree with the batch pipeline's verdict.
+fn ingest_bytes(
+    events: &[WppEvent],
+    threads: usize,
+    chunk: usize,
+) -> Result<Option<Vec<u8>>, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "twpp-conf-ingest-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = twpp::IngestOptions {
+        // A tiny window so even small cases seal several segments.
+        seal_bytes: 256,
+        durability: twpp::Durability::None,
+        threads: Some(threads),
+        ..twpp::IngestOptions::default()
+    };
+    let result = (|| {
+        let mut compactor = twpp::Compactor::create(&dir, opts)
+            .map_err(|e| format!("ingest create failed: {e}"))?;
+        for piece in events.chunks(chunk.max(1)) {
+            match compactor.feed(piece) {
+                Ok(()) => {}
+                Err(twpp::IngestError::Stream(_)) => return Ok(None),
+                Err(e) => return Err(format!("ingest feed failed: {e}")),
+            }
+        }
+        match compactor.finish() {
+            Ok(report) => std::fs::read(&report.path)
+                .map(Some)
+                .map_err(|e| format!("merged archive unreadable: {e}")),
+            Err(twpp::IngestError::Pipeline(twpp::pipeline::PipelineError::Partition(_))) => {
+                Ok(None)
+            }
+            Err(e) => Err(format!("ingest finish failed: {e}")),
+        }
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Incremental ingestion is chunking-invariant and batch-equivalent:
+/// however the stream is split across `feed` calls, and at every thread
+/// count, the merged archive is byte-identical to one-shot batch
+/// compaction — and malformed streams are rejected by exactly the same
+/// contract.
+fn check_ingest_chunking_identity(events: &[WppEvent], cx: &CheckContext) -> Result<(), String> {
+    let t0 = *cx.threads.first().unwrap_or(&1);
+    let tn = *cx.threads.last().unwrap_or(&1);
+    let batch = compact_at(events, t0)?.map(|c| {
+        TwppArchive::from_compacted_named_with_threads(&c, &HashMap::new(), t0)
+            .as_bytes()
+            .to_vec()
+    });
+    let mut shapes = vec![(t0, 1usize), (t0, 7), (t0, events.len().max(2) / 2)];
+    if tn != t0 {
+        shapes.push((tn, 7));
+    }
+    shapes.dedup();
+    for (t, chunk) in shapes {
+        let incremental = ingest_bytes(events, t, chunk)?;
+        match (&batch, &incremental) {
+            (None, None) => {}
+            (None, Some(_)) => {
+                return Err(format!(
+                    "threads={t} chunk={chunk}: incremental accepted a stream \
+                     the batch pipeline rejects"
+                ));
+            }
+            (Some(_), None) => {
+                return Err(format!(
+                    "threads={t} chunk={chunk}: incremental rejected a stream \
+                     the batch pipeline accepts"
+                ));
+            }
+            (Some(b), Some(i)) => {
+                if b != i {
+                    return Err(format!(
+                        "threads={t} chunk={chunk}: merged archive differs from \
+                         batch ({} vs {} bytes)",
+                        i.len(),
+                        b.len()
+                    ));
+                }
+            }
+        }
     }
     Ok(())
 }

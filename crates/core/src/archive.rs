@@ -57,8 +57,60 @@ use crate::dbb::DbbDictionary;
 use crate::dcg::Dcg;
 use crate::lzw::{self, LzwError};
 use crate::pipeline::{CompactedTwpp, FunctionBlock};
-use crate::recovery::{FunctionVerdict, RecoveryReport, RegionStatus};
+use crate::recovery::{FunctionVerdict, RecoveryReport, RegionStatus, SalvageStrategy};
 use crate::timestamped::{TimestampedTrace, TimestampedTraceError};
+
+/// How hard a file-writing path pushes bytes toward the platter before
+/// reporting success. Threaded from the CLI into [`TwppArchive::save_with`]
+/// and the ingest WAL/segment-seal paths, so production ingestion can
+/// request real durability while tests stay fast.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[non_exhaustive]
+pub enum Durability {
+    /// Hand the bytes to the OS and return — fastest, survives a process
+    /// crash but not a power cut.
+    None,
+    /// Additionally flush userspace buffers (the pre-existing behavior of
+    /// [`TwppArchive::save`]; the default).
+    #[default]
+    Flush,
+    /// `fsync` the file (and, on the ingest paths, the containing
+    /// directory after a rename) before reporting success — the only mode
+    /// whose acknowledgements survive a power cut.
+    Sync,
+}
+
+impl Durability {
+    /// Stable string form (`none` / `flush` / `sync`), the CLI flag
+    /// vocabulary.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Durability::None => "none",
+            Durability::Flush => "flush",
+            Durability::Sync => "sync",
+        }
+    }
+
+    /// Parses the CLI flag vocabulary.
+    pub fn parse(s: &str) -> Option<Durability> {
+        match s {
+            "none" => Some(Durability::None),
+            "flush" => Some(Durability::Flush),
+            "sync" => Some(Durability::Sync),
+            _ => None,
+        }
+    }
+
+    /// Applies this durability level to an open file whose bytes have
+    /// been written.
+    pub fn apply(self, f: &mut File) -> std::io::Result<()> {
+        match self {
+            Durability::None => Ok(()),
+            Durability::Flush => f.flush(),
+            Durability::Sync => f.sync_all(),
+        }
+    }
+}
 
 const MAGIC: [u8; 4] = *b"TWPA";
 /// Current container version.
@@ -453,6 +505,18 @@ impl<W: Write> ArchiveWriter<W> {
 
     /// Writes the footer and commit marker, flushes, and returns the sink.
     /// The archive is only valid for strict readers once this succeeds.
+    ///
+    /// **Durability.** `finish` flushes but deliberately does not fsync:
+    /// the sink is a generic [`Write`] (most callers encode into a
+    /// `Vec<u8>`), so there is no file handle to sync here. Callers that
+    /// need the commit marker to actually survive a power cut must write
+    /// through a file-level path that syncs *before renaming the file
+    /// into place* — [`TwppArchive::save_with`] with
+    /// [`Durability::Sync`], or the ingest layer's segment-seal path,
+    /// which additionally fsyncs the containing directory. On an
+    /// unsynced crash the commit marker may be missing or torn; the
+    /// frame-scan salvage of [`TwppArchive::recover`] is the designed
+    /// fallback for exactly that case.
     ///
     /// # Errors
     ///
@@ -944,14 +1008,28 @@ impl TwppArchive {
         Ok(CompactedTwpp { dcg, functions })
     }
 
-    /// Writes the archive to a file.
+    /// Writes the archive to a file with the default durability
+    /// ([`Durability::Flush`]).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save(&self, path: &Path) -> Result<(), ArchiveError> {
+        self.save_with(path, Durability::Flush)
+    }
+
+    /// Writes the archive to a file, then applies `durability` before
+    /// returning — [`Durability::Sync`] fsyncs, so the commit marker
+    /// [`ArchiveWriter::finish`] wrote is actually on stable storage when
+    /// this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_with(&self, path: &Path, durability: Durability) -> Result<(), ArchiveError> {
         let mut f = File::create(path)?;
         f.write_all(&self.bytes)?;
+        durability.apply(&mut f)?;
         Ok(())
     }
 
@@ -1682,6 +1760,9 @@ fn recover_v3(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryRepo
         names_ok: false,
         committed: false,
         salvaged_bytes: 0,
+        // Refined below: header parse upgrades to FrameScan, a verified
+        // footer to Footer.
+        strategy: SalvageStrategy::HeaderlessScan,
         functions: Vec::new(),
     };
     let mut dcg = Dcg::empty();
@@ -1693,6 +1774,7 @@ fn recover_v3(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryRepo
     if bytes.len() >= FIXED_HEADER_LEN {
         if let Ok(meta) = parse_meta_v3(bytes) {
             report.header_ok = true;
+            report.strategy = SalvageStrategy::FrameScan;
             data_start = meta.data_start;
             scan_from = meta.data_start;
             // DCG: checksum, then decode.
@@ -1727,6 +1809,7 @@ fn recover_v3(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryRepo
     let records = match footer_table {
         Some((table, footer_start)) => {
             report.committed = true;
+            report.strategy = SalvageStrategy::Footer;
             // Per-entry verification is pure: fan the checksum + decode
             // work across workers, then fold verdicts in table order so
             // the report matches the sequential walk exactly. Degraded
@@ -1789,6 +1872,7 @@ fn recover_v2(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryRepo
         names_ok: true,
         committed: true,
         salvaged_bytes: 0,
+        strategy: SalvageStrategy::V2Decode,
         functions: Vec::new(),
     };
     // v2 has no checksums: salvage by decoding.

@@ -47,6 +47,15 @@ pub const INJECT_PANIC_ENV: &str = "TWPP_INJECT_PANIC";
 /// deterministically in tests).
 pub const INJECT_DELAY_ENV: &str = "TWPP_INJECT_DELAY_MS";
 
+/// Environment variable naming the 1-based durability point at which the
+/// process aborts (`std::process::abort`, no unwinding, no destructors —
+/// the closest deterministic stand-in for `kill -9`). Durability points
+/// are counted by [`FaultPlan::durability_point`]; the ingest layer calls
+/// it once after every WAL append, segment commit, WAL rotation and merge
+/// commit, so a sweep of `TWPP_INJECT_KILL_AT=1..=N` crashes a scripted
+/// run at every moment state was just made durable.
+pub const INJECT_KILL_ENV: &str = "TWPP_INJECT_KILL_AT";
+
 /// Why a governed computation stopped before completion.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 #[non_exhaustive]
@@ -322,19 +331,42 @@ impl Budget {
 }
 
 /// A deterministic fault-injection plan: optionally panic when a given
-/// function is processed, and/or sleep before each per-function stage.
+/// function is processed, sleep before each per-function stage, and/or
+/// abort the whole process at the n-th durability point (crash-recovery
+/// testing for the ingest path).
 ///
 /// The library never reads the environment implicitly — tests construct
 /// plans directly (no env races between parallel tests), and only the
 /// CLI calls [`FaultPlan::from_env`].
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Clones share the durability-point counter, so the plan handed to a
+/// [`Compactor`](crate::ingest::Compactor) and the copy the caller keeps
+/// observe the same count.
+#[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     /// Function id (decimal string of `FuncId::as_u32`) whose stage
     /// panics. `None` disables panic injection.
     pub panic_func: Option<String>,
     /// Milliseconds to sleep at every injection point. Zero disables.
     pub delay_ms: u64,
+    /// 1-based durability point at which [`FaultPlan::durability_point`]
+    /// aborts the process. `None` disables kill injection.
+    pub kill_at: Option<u64>,
+    /// Durability points passed so far (shared across clones; excluded
+    /// from equality).
+    kill_counter: Arc<AtomicU64>,
 }
+
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        // The counter is runtime progress, not configuration.
+        self.panic_func == other.panic_func
+            && self.delay_ms == other.delay_ms
+            && self.kill_at == other.kill_at
+    }
+}
+
+impl Eq for FaultPlan {}
 
 impl FaultPlan {
     /// No faults; all injection points are no-ops.
@@ -344,12 +376,12 @@ impl FaultPlan {
 
     /// Whether any fault is configured.
     pub fn is_active(&self) -> bool {
-        self.panic_func.is_some() || self.delay_ms > 0
+        self.panic_func.is_some() || self.delay_ms > 0 || self.kill_at.is_some()
     }
 
-    /// Reads `TWPP_INJECT_PANIC` / `TWPP_INJECT_DELAY_MS` from the
-    /// environment. Missing or unparsable values disable the respective
-    /// fault.
+    /// Reads `TWPP_INJECT_PANIC` / `TWPP_INJECT_DELAY_MS` /
+    /// `TWPP_INJECT_KILL_AT` from the environment. Missing or unparsable
+    /// values disable the respective fault.
     pub fn from_env() -> Self {
         let panic_func = std::env::var(INJECT_PANIC_ENV)
             .ok()
@@ -359,20 +391,60 @@ impl FaultPlan {
             .ok()
             .and_then(|v| v.trim().parse::<u64>().ok())
             .unwrap_or(0);
-        FaultPlan { panic_func, delay_ms }
+        let kill_at = std::env::var(INJECT_KILL_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0);
+        FaultPlan {
+            panic_func,
+            delay_ms,
+            kill_at,
+            ..FaultPlan::default()
+        }
     }
 
     /// A plan that panics when `func` is processed.
     pub fn panic_on(func: FuncId) -> Self {
         FaultPlan {
             panic_func: Some(func.as_u32().to_string()),
-            delay_ms: 0,
+            ..FaultPlan::default()
         }
     }
 
     /// A plan that sleeps `ms` milliseconds at every injection point.
     pub fn delay(ms: u64) -> Self {
-        FaultPlan { panic_func: None, delay_ms: ms }
+        FaultPlan {
+            delay_ms: ms,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that aborts the process at the `n`-th durability point
+    /// (1-based).
+    pub fn kill_after(n: u64) -> Self {
+        FaultPlan {
+            kill_at: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Injection point marking "state was just made durable": increments
+    /// the shared counter and returns the new count. If the plan's
+    /// `kill_at` equals the count, the process aborts — no unwinding, no
+    /// destructors, no buffered-writer flushes — simulating a hard kill
+    /// at exactly this point.
+    pub fn durability_point(&self) -> u64 {
+        let n = self.kill_counter.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.kill_at == Some(n) {
+            eprintln!("injected fault: killing process at durability point {n}");
+            std::process::abort();
+        }
+        n
+    }
+
+    /// Durability points passed so far.
+    pub fn durability_points(&self) -> u64 {
+        self.kill_counter.load(Ordering::SeqCst)
     }
 
     /// Injection point: panics iff this plan targets `func`.

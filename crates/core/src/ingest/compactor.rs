@@ -1,0 +1,586 @@
+//! The resumable compactor state machine.
+//!
+//! ```text
+//!             feed()                 feed()  [window full / budget]
+//!   ┌──────┐ ───────► ┌───────────┐ ───────► ┌─────────┐
+//!   │ Open │          │ Accepting │          │ Sealing │──┐
+//!   └──────┘ ◄─────── └───────────┘ ◄─────── └─────────┘  │ archive
+//!    create/            WAL append             WAL rotate  │ manifest
+//!    resume                                        ▲───────┘
+//!                          finish() ──► seal ──► merge ──► merged.twpa
+//! ```
+//!
+//! Every transition that makes bytes durable is a **durability point**
+//! ([`FaultPlan::durability_point`]): the WAL append in `feed`, the
+//! archive rename / manifest rename / WAL rotation in `seal`, and the
+//! merged-archive rename in `finish`. The kill-point harness aborts the
+//! process at each point in turn and proves that
+//! [`Compactor::resume`] + `finish` produces a `merged.twpa`
+//! byte-identical to an uninterrupted run.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use twpp_ir::FuncId;
+use twpp_tracer::WppEvent;
+use twpp_tracer::raw::RawWpp;
+
+use crate::archive::{Durability, TwppArchive};
+use crate::gov::{Budget, FaultPlan, StopReason};
+use crate::obs::{Counter, Obs};
+use crate::partition::{partition, PartitionError};
+use crate::pipeline::{
+    compact_partitioned_governed, GovOptions, PipelineError, PipelineStats,
+};
+use crate::recovery::SalvageStrategy;
+
+use super::segment::{self, SegmentMeta};
+use super::wal::{self, WalWriter};
+use super::{io_err, merge, write_file_durable, IngestError};
+
+/// Options for an incremental ingestion run.
+#[derive(Clone, Debug)]
+pub struct IngestOptions {
+    /// Seal the open window once it holds this many bytes of encoded
+    /// events (4 per event). Default 1 MiB.
+    pub seal_bytes: u64,
+    /// Additionally seal whenever the window has been open this long.
+    /// Checked on `feed`; an idle compactor does not wake itself up.
+    pub seal_ms: Option<u64>,
+    /// Durability of WAL appends and segment/manifest/merge commits.
+    /// Default [`Durability::Sync`]: acknowledged means on disk.
+    pub durability: Durability,
+    /// Worker count for segment and merge compaction, resolved like
+    /// [`crate::CompactOptions::threads`]. The output is identical for
+    /// every thread count.
+    pub threads: Option<usize>,
+    /// Resource envelope for the *ingest* layer. Exhaustion is
+    /// backpressure, not death: the compactor seals the window early and
+    /// keeps going (the sealed segments stay valid). Only cancellation
+    /// stops ingestion, and even then every acknowledged event is
+    /// already durable. Segment and merge compaction run unbudgeted —
+    /// a seal that started is never abandoned halfway.
+    pub budget: Budget,
+    /// Degrade policy forwarded to segment and merge compaction.
+    pub fail_fast: bool,
+    /// Fault-injection plan; [`FaultPlan::durability_point`] is invoked
+    /// at every durable transition (the kill-point harness).
+    pub faults: FaultPlan,
+    /// Observability sink (`twpp_core_ingest_*` metrics, `ingest_*`
+    /// spans). Never influences output bytes.
+    pub obs: Obs,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            seal_bytes: 1 << 20,
+            seal_ms: None,
+            durability: Durability::Sync,
+            threads: None,
+            budget: Budget::unlimited(),
+            fail_fast: true,
+            faults: FaultPlan::none(),
+            obs: Obs::noop(),
+        }
+    }
+}
+
+/// Cached metric handles (registration takes a lock; `feed` should not).
+#[derive(Debug)]
+struct IngestCounters {
+    events: Counter,
+    wal_records: Counter,
+    wal_bytes: Counter,
+    seals: Counter,
+    early_seals: Counter,
+    sealed_events: Counter,
+    segment_bytes: Counter,
+}
+
+impl IngestCounters {
+    fn new(obs: &Obs) -> IngestCounters {
+        IngestCounters {
+            events: obs.counter(
+                "twpp_core_ingest_events_total",
+                "events accepted (made durable) by the compactor",
+            ),
+            wal_records: obs.counter(
+                "twpp_core_ingest_wal_records_total",
+                "records appended to the write-ahead log",
+            ),
+            wal_bytes: obs.counter(
+                "twpp_core_ingest_wal_bytes_total",
+                "bytes appended to the write-ahead log",
+            ),
+            seals: obs.counter(
+                "twpp_core_ingest_seals_total",
+                "windows sealed into segment archives",
+            ),
+            early_seals: obs.counter(
+                "twpp_core_ingest_early_seals_total",
+                "seals forced by budget backpressure",
+            ),
+            sealed_events: obs.counter(
+                "twpp_core_ingest_sealed_events_total",
+                "events sealed into segment archives",
+            ),
+            segment_bytes: obs.counter(
+                "twpp_core_ingest_segment_bytes_total",
+                "bytes of sealed segment archives",
+            ),
+        }
+    }
+}
+
+/// What [`Compactor::resume`] found on disk.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ResumeReport {
+    /// Sealed segments in the validated chain.
+    pub segments: u64,
+    /// Events those segments cover.
+    pub sealed_events: u64,
+    /// Events replayed from the WAL tail into the open window.
+    pub wal_events: u64,
+    /// WAL records skipped because a crash landed between the manifest
+    /// rename and the WAL rotation — their events were already sealed.
+    pub wal_records_skipped: u64,
+    /// Whether the WAL ended in a torn record (dropped; its events were
+    /// never acknowledged).
+    pub wal_torn: bool,
+    /// Orphan files removed: `.tmp` staging leftovers and a newest
+    /// segment archive whose manifest never landed (its events are still
+    /// in the WAL).
+    pub orphans_removed: u64,
+}
+
+/// What [`Compactor::finish`] produced.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FinishReport {
+    /// Path of the merged whole-trace archive.
+    pub path: PathBuf,
+    /// Total events across the run (every one of them in the merge).
+    pub events: u64,
+    /// Sealed segments that were merged.
+    pub segments: u64,
+    /// Batch-pipeline statistics of the merge compaction.
+    pub stats: PipelineStats,
+}
+
+/// A resumable incremental compactor over one directory.
+///
+/// See the module docs for the state machine and the crash-safety
+/// argument. The struct itself is the machine's in-memory half; the
+/// durable half is the directory (`wal.log` + sealed segments), and
+/// [`Compactor::resume`] rebuilds the former from the latter.
+#[derive(Debug)]
+pub struct Compactor {
+    dir: PathBuf,
+    opts: IngestOptions,
+    wal: WalWriter,
+    /// Activations currently open, outermost first.
+    stack: Vec<FuncId>,
+    /// Whether a root `Enter` has ever been accepted (the
+    /// `MultipleRoots` guard, mirroring [`partition`]).
+    root_seen: bool,
+    /// The open stack at the start of the current window — the synthetic
+    /// `Enter` prefix a seal will wrap the window with.
+    window_stack: Vec<FuncId>,
+    /// Events accepted since the last seal (mirrors the WAL).
+    window: Vec<WppEvent>,
+    window_started: Instant,
+    /// Events sealed into segments.
+    sealed: u64,
+    segments: Vec<SegmentMeta>,
+    counters: IngestCounters,
+}
+
+impl Compactor {
+    /// Starts a fresh compactor in `dir` (created if missing). Fails if
+    /// the directory already holds compactor state — use
+    /// [`Compactor::resume`] or [`Compactor::open`] for that.
+    pub fn create(dir: &Path, opts: IngestOptions) -> Result<Compactor, IngestError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        if dir_has_state(dir)? {
+            return Err(IngestError::Segment(format!(
+                "{}: directory already holds compactor state; resume it instead",
+                dir.display()
+            )));
+        }
+        let wal = WalWriter::create(&wal::wal_path(dir), opts.durability)?;
+        opts.faults.durability_point();
+        let counters = IngestCounters::new(&opts.obs);
+        Ok(Compactor {
+            dir: dir.to_path_buf(),
+            wal,
+            stack: Vec::new(),
+            root_seen: false,
+            window_stack: Vec::new(),
+            window: Vec::new(),
+            window_started: Instant::now(),
+            sealed: 0,
+            segments: Vec::new(),
+            counters,
+            opts,
+        })
+    }
+
+    /// Rebuilds a compactor from a directory a previous process left
+    /// behind (crashed or cleanly stopped) and continues exactly where
+    /// it stopped.
+    ///
+    /// Validation is strict where it must be and tolerant where a crash
+    /// can legitimately leave debris: every sealed segment must be a
+    /// fully committed archive (salvage strategy [`SalvageStrategy::Footer`],
+    /// all regions clean) with a chain-consistent manifest; the WAL's
+    /// torn tail (if any) is dropped — those bytes were never
+    /// acknowledged; WAL records whose events a sealed segment already
+    /// covers are skipped (crash between manifest rename and WAL
+    /// rotation), making replay exactly-once; `.tmp` leftovers and a
+    /// manifest-less newest archive are deleted.
+    pub fn resume(dir: &Path, opts: IngestOptions) -> Result<(Compactor, ResumeReport), IngestError> {
+        let span_obs = opts.obs.clone();
+        let _s = span_obs.span("ingest_resume");
+        let (metas, orphans) = segment::load_sealed_chain(dir)?;
+        for meta in &metas {
+            let path = segment::archive_path(dir, meta.seq);
+            let bytes = fs::read(&path).map_err(|e| io_err(&path, &e))?;
+            let (_, report) = TwppArchive::recover(&bytes)?;
+            if report.strategy != SalvageStrategy::Footer || !report.is_clean() {
+                return Err(IngestError::Segment(format!(
+                    "{}: sealed segment failed verification (salvage: {}); \
+                     refusing to resume on damaged state",
+                    path.display(),
+                    report.strategy
+                )));
+            }
+        }
+        for p in &orphans {
+            fs::remove_file(p).map_err(|e| io_err(p, &e))?;
+        }
+
+        let wpath = wal::wal_path(dir);
+        let wal_bytes = match fs::read(&wpath) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(&wpath, &e)),
+        };
+        let replay = wal::replay_bytes(&wal_bytes)?;
+        let sealed = metas.last().map_or(0, SegmentMeta::accepted_after);
+        let mut tail: Vec<WppEvent> = Vec::new();
+        let mut skipped = 0u64;
+        for (off, batch) in &replay.batches {
+            if off + batch.len() as u64 <= sealed {
+                skipped += 1;
+                continue;
+            }
+            let expect = sealed + tail.len() as u64;
+            if *off != expect {
+                return Err(IngestError::Segment(format!(
+                    "WAL record at event offset {off} does not follow the \
+                     durable position {expect}"
+                )));
+            }
+            tail.extend_from_slice(batch);
+        }
+        let wal = WalWriter::open_resume(&wpath, opts.durability, replay.clean_bytes)?;
+
+        let window_stack: Vec<FuncId> =
+            metas.last().map_or_else(Vec::new, |m| m.end_stack.clone());
+        let mut stack = window_stack.clone();
+        let mut root_seen = sealed > 0;
+        for ev in &tail {
+            apply_event(&mut stack, &mut root_seen, *ev).map_err(IngestError::Stream)?;
+        }
+
+        let report = ResumeReport {
+            segments: metas.len() as u64,
+            sealed_events: sealed,
+            wal_events: tail.len() as u64,
+            wal_records_skipped: skipped,
+            wal_torn: replay.torn_at.is_some(),
+            orphans_removed: orphans.len() as u64,
+        };
+        let obs = &opts.obs;
+        obs.counter("twpp_core_ingest_resumes_total", "compactor resumes").inc();
+        obs.counter(
+            "twpp_core_ingest_wal_replayed_events_total",
+            "events replayed from the WAL on resume",
+        )
+        .add(report.wal_events);
+        if report.wal_torn {
+            obs.counter(
+                "twpp_core_ingest_wal_torn_tails_total",
+                "torn WAL tails dropped on resume",
+            )
+            .inc();
+        }
+        let counters = IngestCounters::new(obs);
+        Ok((
+            Compactor {
+                dir: dir.to_path_buf(),
+                wal,
+                stack,
+                root_seen,
+                window_stack,
+                window: tail,
+                window_started: Instant::now(),
+                sealed,
+                segments: metas,
+                counters,
+                opts,
+            },
+            report,
+        ))
+    }
+
+    /// Creates or resumes, depending on whether `dir` already holds
+    /// compactor state. The report is `Some` iff this was a resume.
+    pub fn open(
+        dir: &Path,
+        opts: IngestOptions,
+    ) -> Result<(Compactor, Option<ResumeReport>), IngestError> {
+        if dir.exists() && dir_has_state(dir)? {
+            let (c, r) = Compactor::resume(dir, opts)?;
+            Ok((c, Some(r)))
+        } else {
+            Ok((Compactor::create(dir, opts)?, None))
+        }
+    }
+
+    /// Accepts a batch of events. On `Ok`, every event in the batch is
+    /// durable (WAL or sealed segment) at the configured durability.
+    ///
+    /// The batch is validated first and rejected atomically: an event
+    /// that [`partition`] would reject at its position in the stream
+    /// (`MultipleRoots`, `EventOutsideActivation`) fails the whole call
+    /// with [`IngestError::Stream`] and acknowledges nothing. This eager
+    /// mirror of the batch pipeline's error contract is what keeps every
+    /// sealed window a well-formed WPP.
+    pub fn feed(&mut self, events: &[WppEvent]) -> Result<(), IngestError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        if let Err(StopReason::Cancelled) = self.opts.budget.check() {
+            return Err(IngestError::Stopped(StopReason::Cancelled));
+        }
+        let mut stack = self.stack.clone();
+        let mut root_seen = self.root_seen;
+        for &ev in events {
+            apply_event(&mut stack, &mut root_seen, ev).map_err(IngestError::Stream)?;
+        }
+
+        let bytes = self.wal.append(self.accepted_events(), events)?;
+        self.opts.faults.durability_point();
+        self.counters.events.add(events.len() as u64);
+        self.counters.wal_records.inc();
+        self.counters.wal_bytes.add(bytes);
+
+        self.stack = stack;
+        self.root_seen = root_seen;
+        if self.window.is_empty() {
+            self.window_started = Instant::now();
+        }
+        self.window.extend_from_slice(events);
+
+        // Budget is backpressure here, not death: charge the work, and
+        // if the envelope is exhausted seal early so memory and WAL stay
+        // bounded. Only cancellation (checked above) stops ingestion.
+        let _ = self.opts.budget.charge_steps(events.len() as u64);
+        let _ = self.opts.budget.charge_bytes(4 * events.len() as u64);
+        let exhausted = matches!(
+            self.opts.budget.check(),
+            Err(StopReason::Deadline | StopReason::StepLimit | StopReason::ByteLimit)
+        );
+        let full = 4 * self.window.len() as u64 >= self.opts.seal_bytes;
+        let stale = self
+            .opts
+            .seal_ms
+            .is_some_and(|ms| self.window_started.elapsed().as_millis() as u64 >= ms);
+        if full || stale || exhausted {
+            if exhausted {
+                self.counters.early_seals.inc();
+            }
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the open window into a segment archive. No-op on an empty
+    /// window. Returns the new segment's sequence number.
+    ///
+    /// Durable commit order — archive, then manifest, then WAL rotation,
+    /// each its own durability point — is what makes every crash state
+    /// recoverable: an archive without a manifest is an ignorable
+    /// orphan (events still in the WAL), and a manifest without the WAL
+    /// rotation just makes resume skip the WAL's now-sealed records.
+    pub fn seal(&mut self) -> Result<Option<u64>, IngestError> {
+        if self.window.is_empty() {
+            return Ok(None);
+        }
+        let _s = self.opts.obs.span("ingest_seal");
+        let seq = self.segments.len() as u64 + 1;
+
+        let mut wrapped: Vec<WppEvent> =
+            Vec::with_capacity(self.window_stack.len() + self.window.len());
+        wrapped.extend(self.window_stack.iter().map(|&f| WppEvent::Enter(f)));
+        wrapped.extend_from_slice(&self.window);
+        let wpp = RawWpp::from_events(&wrapped);
+        let raw = wpp.size_breakdown();
+        let part = partition(&wpp).map_err(PipelineError::from)?;
+        let gov = GovOptions {
+            threads: self.opts.threads,
+            budget: Budget::unlimited(),
+            fail_fast: self.opts.fail_fast,
+            faults: FaultPlan::none(),
+            obs: self.opts.obs.clone(),
+        };
+        let (compacted, stats) = compact_partitioned_governed(part, raw, &gov)?;
+        let archive = TwppArchive::from_compacted_governed_obs(
+            &compacted,
+            &HashMap::new(),
+            crate::par::resolve_threads(self.opts.threads),
+            &stats.degraded.failed,
+            &self.opts.obs,
+        );
+
+        write_file_durable(
+            &segment::archive_path(&self.dir, seq),
+            archive.as_bytes(),
+            self.opts.durability,
+        )?;
+        self.opts.faults.durability_point();
+
+        let meta = SegmentMeta {
+            seq,
+            events: self.window.len() as u64,
+            accepted_before: self.sealed,
+            depth_start: self.window_stack.len() as u32,
+            end_stack: self.stack.clone(),
+        };
+        write_file_durable(
+            &segment::manifest_path(&self.dir, seq),
+            &meta.encode(),
+            self.opts.durability,
+        )?;
+        self.opts.faults.durability_point();
+
+        self.wal.reset()?;
+        self.opts.faults.durability_point();
+
+        self.counters.seals.inc();
+        self.counters.sealed_events.add(meta.events);
+        self.counters.segment_bytes.add(archive.byte_len() as u64);
+        self.sealed += meta.events;
+        self.window.clear();
+        self.window_stack = self.stack.clone();
+        self.window_started = Instant::now();
+        self.segments.push(meta);
+        Ok(Some(seq))
+    }
+
+    /// Seals whatever is open, merges every segment back into the
+    /// original event stream, batch-compacts it and durably writes
+    /// `merged.twpa`. The merged archive is byte-identical to what
+    /// [`crate::compact_governed`] would have produced on the whole
+    /// stream in one process — regardless of how the stream was chunked
+    /// across `feed` calls, seals, crashes and resumes.
+    ///
+    /// The segment files and the (now empty) WAL are left in place: the
+    /// directory stays inspectable by `twpp fsck` and idempotently
+    /// re-finishable.
+    pub fn finish(mut self) -> Result<FinishReport, IngestError> {
+        self.seal()?;
+        if self.sealed == 0 {
+            return Err(IngestError::Pipeline(PipelineError::Partition(
+                PartitionError::Empty,
+            )));
+        }
+        let (archive, stats) = merge::merge_segments(&self.dir, &self.segments, &self.opts)?;
+        let path = merge::merged_path(&self.dir);
+        write_file_durable(&path, archive.as_bytes(), self.opts.durability)?;
+        self.opts.faults.durability_point();
+        self.opts
+            .obs
+            .counter("twpp_core_ingest_merged_events_total", "events in the merged archive")
+            .add(self.sealed);
+        Ok(FinishReport {
+            path,
+            events: self.sealed,
+            segments: self.segments.len() as u64,
+            stats,
+        })
+    }
+
+    /// The compactor directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total events accepted (durable) so far: sealed plus open window.
+    pub fn accepted_events(&self) -> u64 {
+        self.sealed + self.window.len() as u64
+    }
+
+    /// Events sealed into segment archives.
+    pub fn sealed_events(&self) -> u64 {
+        self.sealed
+    }
+
+    /// Sealed segments so far.
+    pub fn segment_count(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// Events currently in the open window (bounded by `seal_bytes`).
+    pub fn window_events(&self) -> u64 {
+        self.window.len() as u64
+    }
+
+    /// Current activation depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Applies one event to the simulated activation stack, enforcing the
+/// same eager error contract as [`partition`]: a `Block` or `Exit`
+/// outside any activation and a second root are rejected; a stream that
+/// simply stops with activations open is fine (they close implicitly).
+fn apply_event(
+    stack: &mut Vec<FuncId>,
+    root_seen: &mut bool,
+    ev: WppEvent,
+) -> Result<(), PartitionError> {
+    match ev {
+        WppEvent::Enter(f) => {
+            if stack.is_empty() && *root_seen {
+                return Err(PartitionError::MultipleRoots);
+            }
+            stack.push(f);
+            *root_seen = true;
+        }
+        WppEvent::Block(_) => {
+            if stack.is_empty() {
+                return Err(PartitionError::EventOutsideActivation);
+            }
+        }
+        WppEvent::Exit => {
+            if stack.pop().is_none() {
+                return Err(PartitionError::EventOutsideActivation);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether `dir` contains compactor state (a WAL or any segment file).
+fn dir_has_state(dir: &Path) -> Result<bool, IngestError> {
+    if wal::wal_path(dir).exists() {
+        return Ok(true);
+    }
+    let (files, _) = segment::list_segment_files(dir)?;
+    Ok(!files.is_empty())
+}

@@ -1,0 +1,280 @@
+//! Merging sealed segments back into one whole-trace archive, and the
+//! offline directory checker behind `twpp fsck <dir>`.
+//!
+//! The merge is deliberately minimal (concatenate-and-rewrite): each
+//! segment archive is decoded, its reconstruction is unwrapped back to
+//! the window's original events, the windows are concatenated — which
+//! by the manifest chain invariants *is* the original event stream —
+//! and the ordinary batch pipeline compacts the whole thing. Anything
+//! cleverer (LSM-style partial merges, dictionary reuse across
+//! segments) is deferred until a workload shows the rewrite cost
+//! matters; correctness first.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use twpp_tracer::WppEvent;
+use twpp_tracer::raw::RawWpp;
+
+use crate::archive::TwppArchive;
+use crate::gov::{Budget, FaultPlan};
+use crate::obs::Obs;
+use crate::pipeline::{compact_governed, GovOptions, PipelineStats};
+use crate::recovery::{RecoveryReport, SalvageStrategy};
+
+use super::compactor::IngestOptions;
+use super::segment::{self, SegmentMeta};
+use super::wal::{self, WalError, WalReplay};
+use super::{io_err, IngestError};
+
+/// Path of the merged whole-trace archive inside a compactor directory.
+pub fn merged_path(dir: &Path) -> PathBuf {
+    dir.join("merged.twpa")
+}
+
+/// Unwraps one sealed segment back to the window's original events.
+///
+/// A segment archive holds `[Enter; depth_start] ++ window`, and its
+/// reconstruction appends `[Exit; end_stack.len()]` for the activations
+/// still open at the window's end — so the original window is the slice
+/// between the two.
+pub fn segment_events(
+    archive: &TwppArchive,
+    meta: &SegmentMeta,
+) -> Result<Vec<WppEvent>, IngestError> {
+    let compacted = archive.to_compacted()?;
+    let events = compacted.reconstruct().events();
+    let d0 = meta.depth_start as usize;
+    let d1 = meta.end_stack.len();
+    let want = d0 + meta.events as usize + d1;
+    if events.len() != want {
+        return Err(IngestError::Segment(format!(
+            "segment {} reconstructs to {} events, manifest implies {want}",
+            meta.seq,
+            events.len()
+        )));
+    }
+    Ok(events[d0..d0 + meta.events as usize].to_vec())
+}
+
+/// Concatenates every sealed window and batch-compacts the result.
+/// Returns the archive (not yet written) and the pipeline stats.
+pub(super) fn merge_segments(
+    dir: &Path,
+    metas: &[SegmentMeta],
+    opts: &IngestOptions,
+) -> Result<(TwppArchive, PipelineStats), IngestError> {
+    let _s = opts.obs.span("ingest_merge");
+    let mut events: Vec<WppEvent> = Vec::new();
+    for meta in metas {
+        let path = segment::archive_path(dir, meta.seq);
+        let archive = TwppArchive::load(&path)?;
+        if archive.is_degraded() {
+            return Err(IngestError::Segment(format!(
+                "{}: segment is degraded (functions failed at compaction); \
+                 its window cannot be reconstructed for the merge",
+                path.display()
+            )));
+        }
+        events.extend(segment_events(&archive, meta)?);
+    }
+    let wpp = RawWpp::from_events(&events);
+    let gov = GovOptions {
+        threads: opts.threads,
+        budget: Budget::unlimited(),
+        fail_fast: opts.fail_fast,
+        faults: FaultPlan::none(),
+        obs: opts.obs.clone(),
+    };
+    let (compacted, mut stats) = compact_governed(&wpp, &gov)?;
+    let t = Instant::now();
+    let archive = TwppArchive::from_compacted_governed_obs(
+        &compacted,
+        &HashMap::new(),
+        crate::par::resolve_threads(opts.threads),
+        &stats.degraded.failed,
+        &opts.obs,
+    );
+    stats.timings.archive_encode_nanos = t.elapsed().as_nanos() as u64;
+    Ok((archive, stats))
+}
+
+/// The full event stream a compactor directory durably holds: sealed
+/// windows in order, then the WAL tail. This is exactly what a resumed
+/// run would go on to merge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirReplay {
+    /// The reconstructed original event stream.
+    pub events: Vec<WppEvent>,
+    /// How many of those events came from sealed segments.
+    pub sealed_events: u64,
+    /// The validated segment chain.
+    pub metas: Vec<SegmentMeta>,
+    /// Whether the WAL ended in a torn (dropped) record.
+    pub wal_torn: bool,
+}
+
+/// Reads a compactor directory offline (no writes, no lock) and
+/// reconstructs the event stream it holds. Fails on the same
+/// inconsistencies [`crate::ingest::Compactor::resume`] would reject.
+pub fn replay_dir_events(dir: &Path) -> Result<DirReplay, IngestError> {
+    let (metas, _orphans) = segment::load_sealed_chain(dir)?;
+    let mut events: Vec<WppEvent> = Vec::new();
+    for meta in &metas {
+        let archive = TwppArchive::load(&segment::archive_path(dir, meta.seq))?;
+        events.extend(segment_events(&archive, meta)?);
+    }
+    let sealed = metas.last().map_or(0, SegmentMeta::accepted_after);
+    debug_assert_eq!(events.len() as u64, sealed);
+    let replay = read_wal(dir)?;
+    for (off, batch) in &replay.batches {
+        if off + batch.len() as u64 <= sealed {
+            continue;
+        }
+        let expect = events.len() as u64;
+        if *off != expect {
+            return Err(IngestError::Segment(format!(
+                "WAL record at event offset {off} does not follow the durable position {expect}"
+            )));
+        }
+        events.extend_from_slice(batch);
+    }
+    Ok(DirReplay {
+        sealed_events: sealed,
+        wal_torn: replay.torn_at.is_some(),
+        metas,
+        events,
+    })
+}
+
+fn read_wal(dir: &Path) -> Result<WalReplay, IngestError> {
+    let wpath = wal::wal_path(dir);
+    let bytes = match fs::read(&wpath) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_err(&wpath, &e)),
+    };
+    Ok(wal::replay_bytes(&bytes)?)
+}
+
+/// One sealed segment's verdict in a [`DirCheck`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SegmentCheck {
+    /// Its manifest.
+    pub meta: SegmentMeta,
+    /// The archive's salvage report (strategy `footer` + clean = good).
+    pub report: RecoveryReport,
+}
+
+/// The verdict of `twpp fsck` over a compactor directory.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirCheck {
+    /// Per-segment verdicts, in chain order.
+    pub segments: Vec<SegmentCheck>,
+    /// A manifest-chain or WAL-position inconsistency that makes the
+    /// directory non-resumable, if one was found.
+    pub chain_error: Option<String>,
+    /// Orphan files (safe crash debris: `.tmp` leftovers, a newest
+    /// archive whose manifest never landed).
+    pub orphans: Vec<PathBuf>,
+    /// Events covered by sealed segments.
+    pub sealed_events: u64,
+    /// Events waiting in the WAL tail.
+    pub wal_events: u64,
+    /// WAL records already covered by sealed segments (crash between
+    /// manifest rename and WAL rotation; resume skips them).
+    pub wal_skipped_records: u64,
+    /// Whether the WAL ends in a torn record.
+    pub wal_torn: bool,
+    /// The WAL is not ours or from a future version.
+    pub wal_error: Option<WalError>,
+}
+
+impl DirCheck {
+    /// No damage and no crash debris: every segment fully committed and
+    /// clean, the chain consistent, the WAL tail whole.
+    pub fn is_clean(&self) -> bool {
+        self.is_resumable() && !self.wal_torn && self.orphans.is_empty()
+    }
+
+    /// Whether [`crate::ingest::Compactor::resume`] would accept this
+    /// directory (crash debris is fine; damage and inconsistency are
+    /// not).
+    pub fn is_resumable(&self) -> bool {
+        self.chain_error.is_none()
+            && self.wal_error.is_none()
+            && self
+                .segments
+                .iter()
+                .all(|s| s.report.strategy == SalvageStrategy::Footer && s.report.is_clean())
+    }
+
+    /// Total events the directory durably holds.
+    pub fn durable_events(&self) -> u64 {
+        self.sealed_events + self.wal_events
+    }
+}
+
+/// Checks a compactor directory offline: chain-validates the manifests,
+/// salvage-verifies every segment archive, and replays the WAL. Never
+/// writes. I/O failures are still hard errors; *inconsistencies* are
+/// reported in the returned [`DirCheck`] instead.
+pub fn fsck_dir(dir: &Path, obs: &Obs) -> Result<DirCheck, IngestError> {
+    let _s = obs.span("ingest_fsck");
+    let mut check = DirCheck {
+        segments: Vec::new(),
+        chain_error: None,
+        orphans: Vec::new(),
+        sealed_events: 0,
+        wal_events: 0,
+        wal_skipped_records: 0,
+        wal_torn: false,
+        wal_error: None,
+    };
+    let metas = match segment::load_sealed_chain(dir) {
+        Ok((metas, orphans)) => {
+            check.orphans = orphans;
+            metas
+        }
+        Err(IngestError::Segment(msg)) => {
+            check.chain_error = Some(msg);
+            Vec::new()
+        }
+        Err(e) => return Err(e),
+    };
+    for meta in metas {
+        let path = segment::archive_path(dir, meta.seq);
+        let bytes = fs::read(&path).map_err(|e| io_err(&path, &e))?;
+        let report = match TwppArchive::recover(&bytes) {
+            Ok((_, report)) => report,
+            Err(e) => {
+                // Nothing salvageable at all; keep checking the rest but
+                // record the damage as a chain error.
+                check.chain_error.get_or_insert(format!(
+                    "{}: unsalvageable segment archive: {e}",
+                    path.display()
+                ));
+                continue;
+            }
+        };
+        check.sealed_events = meta.accepted_after();
+        check.segments.push(SegmentCheck { meta, report });
+    }
+    match read_wal(dir) {
+        Ok(replay) => {
+            check.wal_torn = replay.torn_at.is_some();
+            for (off, batch) in &replay.batches {
+                if off + batch.len() as u64 <= check.sealed_events {
+                    check.wal_skipped_records += 1;
+                } else {
+                    check.wal_events += batch.len() as u64;
+                }
+            }
+        }
+        Err(IngestError::Wal(e)) => check.wal_error = Some(e),
+        Err(e) => return Err(e),
+    }
+    Ok(check)
+}

@@ -1,0 +1,332 @@
+//! Sealed segments and their manifests.
+//!
+//! A sealed segment is an ordinary committed v3 archive
+//! (`seg-000001.twpa`) holding the window's events *wrapped* into a
+//! well-formed single-root WPP: the activation stack that was open when
+//! the window started is re-entered with synthetic `Enter` events, and
+//! the archive's own reconstruction closes whatever is still open at the
+//! window's end with implicit `Exit`s. The manifest (`seg-000001.man`)
+//! records exactly how much of that wrapping to strip — `depth_start`
+//! synthetic enters at the front, `end_stack.len()` implicit exits at
+//! the back — plus where the window sits in the global event stream, so
+//! a merge can splice the original events back together byte-for-byte.
+//!
+//! # Manifest format (all integers little-endian)
+//!
+//! ```text
+//! "TWPM" | version u32 | seq u64 | events u64 | accepted_before u64
+//!        | depth_start u32 | end_stack_len u32 | end_stack FuncId u32s
+//!        | crc32 over everything above
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use twpp_ir::checksum::crc32;
+use twpp_ir::FuncId;
+
+use super::{io_err, IngestError};
+
+/// Magic bytes opening a segment manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"TWPM";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+/// Fixed-size portion of a manifest before the stack and trailing CRC.
+const MANIFEST_FIXED_LEN: usize = 4 + 4 + 8 + 8 + 8 + 4 + 4;
+/// Sanity cap on a decoded stack length (deeper than any real trace).
+const MAX_STACK_LEN: u32 = 1 << 24;
+
+/// Path of segment `seq`'s archive inside a compactor directory.
+pub fn archive_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:06}.twpa"))
+}
+
+/// Path of segment `seq`'s manifest inside a compactor directory.
+pub fn manifest_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:06}.man"))
+}
+
+/// The manifest of one sealed segment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SegmentMeta {
+    /// 1-based sequence number; segments are contiguous from 1.
+    pub seq: u64,
+    /// Events of the original stream in this window (wrapping excluded).
+    pub events: u64,
+    /// Events of the original stream sealed into earlier segments.
+    pub accepted_before: u64,
+    /// Synthetic `Enter`s prepended when the window was wrapped — the
+    /// activation depth at the window's start.
+    pub depth_start: u32,
+    /// Activations still open at the window's end, outermost first. The
+    /// next segment's `depth_start` equals this stack's length, and the
+    /// archive's reconstruction appends this many implicit `Exit`s.
+    pub end_stack: Vec<FuncId>,
+}
+
+impl SegmentMeta {
+    /// Activation depth at the window's end.
+    pub fn depth_end(&self) -> u32 {
+        self.end_stack.len() as u32
+    }
+
+    /// Events of the original stream sealed once this segment is in.
+    pub fn accepted_after(&self) -> u64 {
+        self.accepted_before + self.events
+    }
+
+    /// Serialises the manifest.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MANIFEST_FIXED_LEN + self.end_stack.len() * 4 + 4);
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.events.to_le_bytes());
+        out.extend_from_slice(&self.accepted_before.to_le_bytes());
+        out.extend_from_slice(&self.depth_start.to_le_bytes());
+        out.extend_from_slice(&(self.end_stack.len() as u32).to_le_bytes());
+        for f in &self.end_stack {
+            out.extend_from_slice(&f.as_u32().to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and verifies a manifest. The error string says what was
+    /// wrong; callers wrap it with the file's path.
+    pub fn decode(bytes: &[u8]) -> Result<SegmentMeta, String> {
+        if bytes.len() < MANIFEST_FIXED_LEN + 4 {
+            return Err(format!("manifest too short ({} bytes)", bytes.len()));
+        }
+        if bytes[..4] != MANIFEST_MAGIC {
+            return Err("bad manifest magic (expected TWPM)".to_owned());
+        }
+        let u32_at = |at: usize| {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&bytes[at..at + 4]);
+            u32::from_le_bytes(b)
+        };
+        let u64_at = |at: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[at..at + 8]);
+            u64::from_le_bytes(b)
+        };
+        let version = u32_at(4);
+        if version != MANIFEST_VERSION {
+            return Err(format!("unsupported manifest version {version}"));
+        }
+        let stack_len = u32_at(MANIFEST_FIXED_LEN - 4);
+        if stack_len > MAX_STACK_LEN {
+            return Err(format!("implausible stack length {stack_len}"));
+        }
+        let want = MANIFEST_FIXED_LEN + stack_len as usize * 4 + 4;
+        if bytes.len() != want {
+            return Err(format!(
+                "manifest length mismatch: {} bytes, expected {want}",
+                bytes.len()
+            ));
+        }
+        let crc_at = want - 4;
+        let actual = crc32(&bytes[..crc_at]);
+        if actual != u32_at(crc_at) {
+            return Err("manifest checksum mismatch".to_owned());
+        }
+        let end_stack = (0..stack_len as usize)
+            .map(|i| FuncId::from_u32(u32_at(MANIFEST_FIXED_LEN + i * 4)))
+            .collect();
+        Ok(SegmentMeta {
+            seq: u64_at(8),
+            events: u64_at(16),
+            accepted_before: u64_at(24),
+            depth_start: u32_at(32),
+            end_stack,
+        })
+    }
+}
+
+/// One segment file pair found on disk.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SegmentFiles {
+    /// Sequence number parsed from the file name.
+    pub seq: u64,
+    /// The manifest path, if `seg-<seq>.man` exists.
+    pub manifest: Option<PathBuf>,
+    /// The archive path, if `seg-<seq>.twpa` exists.
+    pub archive: Option<PathBuf>,
+}
+
+/// Scans a compactor directory for segment files, sorted by sequence
+/// number. Also returns any stray `.tmp` staging files (leftovers of a
+/// write that was racing a crash — always safe to delete, their content
+/// was never acknowledged as a file).
+pub fn list_segment_files(dir: &Path) -> Result<(Vec<SegmentFiles>, Vec<PathBuf>), IngestError> {
+    let mut by_seq: std::collections::BTreeMap<u64, SegmentFiles> =
+        std::collections::BTreeMap::new();
+    let mut tmps = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, &e))? {
+        let entry = entry.map_err(|e| io_err(dir, &e))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.ends_with(".tmp") {
+            tmps.push(path);
+            continue;
+        }
+        let (stem, is_manifest) = if let Some(s) = name.strip_suffix(".man") {
+            (s, true)
+        } else if let Some(s) = name.strip_suffix(".twpa") {
+            (s, false)
+        } else {
+            continue;
+        };
+        let Some(seq) = stem
+            .strip_prefix("seg-")
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let files = by_seq.entry(seq).or_insert(SegmentFiles {
+            seq,
+            manifest: None,
+            archive: None,
+        });
+        if is_manifest {
+            files.manifest = Some(path);
+        } else {
+            files.archive = Some(path);
+        }
+    }
+    Ok((by_seq.into_values().collect(), tmps))
+}
+
+/// Loads and chain-validates every sealed segment's manifest.
+///
+/// The sealed chain must be contiguous from sequence 1, each segment's
+/// `accepted_before` must equal its predecessor's `accepted_after`, and
+/// its `depth_start` must equal the predecessor's end-stack depth —
+/// otherwise the directory was not produced by a single ingest run and
+/// resuming it would silently misplace events. An archive *without* a
+/// manifest is tolerated only as the newest file (a crash between the
+/// archive rename and the manifest rename); its events are still in the
+/// WAL, so the orphan archive is simply ignored and reported.
+pub fn load_sealed_chain(dir: &Path) -> Result<(Vec<SegmentMeta>, Vec<PathBuf>), IngestError> {
+    let (files, tmps) = list_segment_files(dir)?;
+    let last_manifest_seq = files
+        .iter()
+        .filter(|f| f.manifest.is_some())
+        .map(|f| f.seq)
+        .max();
+    let mut metas = Vec::new();
+    let mut orphans = tmps;
+    for f in &files {
+        match (&f.manifest, &f.archive) {
+            (Some(man), Some(_)) => {
+                let bytes = fs::read(man).map_err(|e| io_err(man, &e))?;
+                let meta = SegmentMeta::decode(&bytes)
+                    .map_err(|e| IngestError::Segment(format!("{}: {e}", man.display())))?;
+                if meta.seq != f.seq {
+                    return Err(IngestError::Segment(format!(
+                        "{}: manifest claims sequence {} but file name says {}",
+                        man.display(),
+                        meta.seq,
+                        f.seq
+                    )));
+                }
+                metas.push(meta);
+            }
+            (Some(man), None) => {
+                return Err(IngestError::Segment(format!(
+                    "{}: manifest present but archive seg-{:06}.twpa is missing",
+                    man.display(),
+                    f.seq
+                )));
+            }
+            (None, Some(arch)) => {
+                // Only a crash between the two durable renames of the
+                // *latest* seal can leave an archive without a manifest.
+                if last_manifest_seq.is_some_and(|last| f.seq <= last) {
+                    return Err(IngestError::Segment(format!(
+                        "{}: archive has no manifest but later segments do",
+                        arch.display()
+                    )));
+                }
+                orphans.push(arch.clone());
+            }
+            (None, None) => unreachable!("entry without either file"),
+        }
+    }
+    for (i, meta) in metas.iter().enumerate() {
+        let want_seq = i as u64 + 1;
+        if meta.seq != want_seq {
+            return Err(IngestError::Segment(format!(
+                "sealed chain is not contiguous: expected sequence {want_seq}, found {}",
+                meta.seq
+            )));
+        }
+        let (want_before, want_depth) = if i == 0 {
+            (0, 0)
+        } else {
+            (metas[i - 1].accepted_after(), metas[i - 1].depth_end())
+        };
+        if meta.accepted_before != want_before {
+            return Err(IngestError::Segment(format!(
+                "segment {} starts at event {} but the chain had sealed {want_before}",
+                meta.seq, meta.accepted_before
+            )));
+        }
+        if meta.depth_start != want_depth {
+            return Err(IngestError::Segment(format!(
+                "segment {} starts at depth {} but the previous segment ended at {want_depth}",
+                meta.seq, meta.depth_start
+            )));
+        }
+    }
+    Ok((metas, orphans))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn meta() -> SegmentMeta {
+        SegmentMeta {
+            seq: 3,
+            events: 1200,
+            accepted_before: 2400,
+            depth_start: 2,
+            end_stack: vec![FuncId::from_index(0), FuncId::from_index(4)],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = meta();
+        let bytes = m.encode();
+        assert_eq!(SegmentMeta::decode(&bytes).unwrap(), m);
+        assert_eq!(m.accepted_after(), 3600);
+        assert_eq!(m.depth_end(), 2);
+    }
+
+    #[test]
+    fn manifest_rejects_corruption() {
+        let m = meta();
+        let good = m.encode();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            assert!(SegmentMeta::decode(&bad).is_err(), "flip at byte {i} undetected");
+        }
+        assert!(SegmentMeta::decode(&good[..good.len() - 1]).is_err());
+        assert!(SegmentMeta::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn paths_are_zero_padded() {
+        let dir = Path::new("/x");
+        assert_eq!(archive_path(dir, 7), Path::new("/x/seg-000007.twpa"));
+        assert_eq!(manifest_path(dir, 7), Path::new("/x/seg-000007.man"));
+    }
+}

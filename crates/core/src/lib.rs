@@ -31,6 +31,7 @@ pub mod dbb;
 pub mod dcg;
 pub mod dedup;
 pub mod gov;
+pub mod ingest;
 pub mod lzw;
 pub mod obs;
 pub mod par;
@@ -41,7 +42,7 @@ pub mod timestamped;
 pub mod trace;
 pub mod tsset;
 
-pub use archive::{ArchiveError, ArchiveWriter, FunctionRecord, TwppArchive};
+pub use archive::{ArchiveError, ArchiveWriter, Durability, FunctionRecord, TwppArchive};
 pub use dbb::{compact_trace, CompactedTrace, DbbDictionary};
 pub use dcg::{Dcg, DcgNode, DcgNodeId};
 pub use dedup::{eliminate_redundancy, eliminate_redundancy_threads, RedundancyStats};
@@ -50,13 +51,14 @@ pub use obs::{
     validate_report_json, MetricsSnapshot, Obs, RunOutcome, RunReport, REPORT_SCHEMA_VERSION,
 };
 pub use par::{default_threads, map_indexed_isolated, resolve_threads, WorkerReport};
+pub use ingest::{Compactor, FinishReport, IngestError, IngestOptions, ResumeReport, WalError};
 pub use partition::{partition, PartitionError, PartitionedWpp};
 pub use pipeline::{
-    compact, compact_governed, compact_with_stats, compact_with_stats_threads, CompactOptions,
-    CompactedTwpp, DegradedReport, FailedFunction, FunctionOutcome, GovOptions, PipelineError,
-    PipelineStats, StageTimings,
+    compact, compact_governed, compact_partitioned_governed, compact_with_stats,
+    compact_with_stats_threads, CompactOptions, CompactedTwpp, DegradedReport, FailedFunction,
+    FunctionOutcome, GovOptions, PipelineError, PipelineStats, StageTimings,
 };
-pub use recovery::{FunctionVerdict, RecoveryReport, RegionStatus};
+pub use recovery::{FunctionVerdict, RecoveryReport, RegionStatus, SalvageStrategy};
 pub use timestamped::TimestampedTrace;
 pub use trace::PathTrace;
 pub use tsset::{SeriesEntry, TsSet, TsSetError};

@@ -1100,6 +1100,9 @@ pub struct FsckSection {
     pub committed: bool,
     /// Payload bytes recovered.
     pub salvaged_bytes: u64,
+    /// Which salvage strategy ran (stable string form of
+    /// [`SalvageStrategy`](crate::recovery::SalvageStrategy)).
+    pub salvage_strategy: String,
     /// Total function regions found.
     pub functions_total: u64,
     /// Regions whose checksum verified and payload decoded.
@@ -1273,6 +1276,8 @@ impl RunReport {
                 w.boolean(f.committed);
                 w.key("salvaged_bytes");
                 w.uint(f.salvaged_bytes);
+                w.key("salvage_strategy");
+                w.string(&f.salvage_strategy);
                 w.key("functions_total");
                 w.uint(f.functions_total);
                 w.key("functions_salvaged");
@@ -1482,6 +1487,9 @@ fn validate_fsck_section(f: &Json) -> Result<(), String> {
             .and_then(Json::as_bool)
             .ok_or_else(|| format!("fsck.{key} must be a boolean"))?;
     }
+    obj.get("salvage_strategy")
+        .and_then(Json::as_str)
+        .ok_or("fsck.salvage_strategy must be a string")?;
     Ok(())
 }
 

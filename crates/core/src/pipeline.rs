@@ -674,7 +674,6 @@ fn compact_governed_inner(
     wpp: &RawWpp,
     options: &GovOptions,
 ) -> Result<(CompactedTwpp, PipelineStats), PipelineError> {
-    let threads = par::resolve_threads(options.threads);
     let budget = &options.budget;
     let obs = &options.obs;
     budget.check()?;
@@ -683,13 +682,50 @@ fn compact_governed_inner(
     // Stage 1: partition into path traces + DCG. The event count is the
     // natural unit for `--max-events`.
     let started = Instant::now();
-    let mut part = {
+    let part = {
         let _s = obs.span("partition");
         partition(wpp)?
     };
     let partition_nanos = elapsed_nanos(started);
     budget.charge_steps(wpp.event_count() as u64)?;
     budget.charge_bytes(wpp.byte_len() as u64)?;
+    compact_partitioned_inner(part, raw, partition_nanos, options)
+}
+
+/// Runs stages 2–5 of the pipeline (dedup, per-function DBB/TWPP/TsSet,
+/// sort, DCG compression) over an already-partitioned WPP.
+///
+/// This is the seam the streaming [`Compactor`](crate::ingest::Compactor)
+/// shares with the batch entry points: batch compaction partitions a
+/// whole event stream and calls this; the ingest layer partitions each
+/// sealed window (with its open-activation context re-entered) and calls
+/// this, so segments and whole-trace archives are built by the exact
+/// same code and stay byte-compatible. `raw` is the size breakdown of
+/// the events `part` was built from (for the stats' compression
+/// factors).
+///
+/// # Errors
+///
+/// [`PipelineError::Budget`] on envelope exhaustion,
+/// [`PipelineError::Partition`] if a per-function stage rejects its
+/// input under the fail-fast policy.
+pub fn compact_partitioned_governed(
+    part: PartitionedWpp,
+    raw: RawSizes,
+    options: &GovOptions,
+) -> Result<(CompactedTwpp, PipelineStats), PipelineError> {
+    compact_partitioned_inner(part, raw, 0, options)
+}
+
+fn compact_partitioned_inner(
+    mut part: PartitionedWpp,
+    raw: RawSizes,
+    partition_nanos: u64,
+    options: &GovOptions,
+) -> Result<(CompactedTwpp, PipelineStats), PipelineError> {
+    let threads = par::resolve_threads(options.threads);
+    let budget = &options.budget;
+    let obs = &options.obs;
     let owpp_trace_bytes = part.trace_bytes();
 
     // Stage 2: redundant path trace elimination (per-function, parallel).

@@ -50,6 +50,45 @@ impl fmt::Display for RegionStatus {
     }
 }
 
+/// Which salvage strategy [`crate::TwppArchive::recover`] ended up using,
+/// in decreasing order of trust. Callers branch on this: a resume path
+/// can accept [`SalvageStrategy::Footer`] segments as-is but must treat
+/// anything else as an interrupted or damaged write.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[non_exhaustive]
+pub enum SalvageStrategy {
+    /// v3: the commit footer verified and the function table was walked
+    /// directly — the archive was fully committed.
+    Footer,
+    /// v3: no verified commit footer; the data region was scanned for
+    /// intact `TWPR` frames (interrupted write).
+    FrameScan,
+    /// v3: the fixed header itself failed to verify; the whole input was
+    /// scanned for frames with no trusted metadata at all.
+    HeaderlessScan,
+    /// v2: the legacy container has no checksums, so salvage proceeded
+    /// by decoding every region and keeping what parsed.
+    V2Decode,
+}
+
+impl SalvageStrategy {
+    /// Stable string form used in `fsck` JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SalvageStrategy::Footer => "footer",
+            SalvageStrategy::FrameScan => "frame-scan",
+            SalvageStrategy::HeaderlessScan => "headerless-scan",
+            SalvageStrategy::V2Decode => "v2-decode",
+        }
+    }
+}
+
+impl fmt::Display for SalvageStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The verdict for one function region.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FunctionVerdict {
@@ -85,6 +124,9 @@ pub struct RecoveryReport {
     pub committed: bool,
     /// Total payload bytes recovered (DCG + names + function regions).
     pub salvaged_bytes: usize,
+    /// Which salvage strategy ran (typed, so `Compactor::resume` and
+    /// `fsck` can branch on it instead of parsing text).
+    pub strategy: SalvageStrategy,
     /// Per-function-region verdicts, in the order regions were found.
     pub functions: Vec<FunctionVerdict>,
 }
@@ -135,6 +177,7 @@ impl RecoveryReport {
             names_ok: self.names_ok,
             committed: self.committed,
             salvaged_bytes: self.salvaged_bytes as u64,
+            salvage_strategy: self.strategy.as_str().to_owned(),
             functions_total: self.functions.len() as u64,
             functions_salvaged: self.salvaged_functions() as u64,
             functions_lost: (self.lost_functions() - degraded) as u64,
@@ -168,7 +211,7 @@ impl fmt::Display for RecoveryReport {
         let flag = |ok: bool| if ok { "ok" } else { "LOST" };
         writeln!(
             f,
-            "archive: v{}, {} bytes, header {}, dcg {}, names {}, {}",
+            "archive: v{}, {} bytes, header {}, dcg {}, names {}, {} (salvage: {})",
             self.version,
             self.total_bytes,
             flag(self.header_ok),
@@ -179,6 +222,7 @@ impl fmt::Display for RecoveryReport {
             } else {
                 "NOT COMMITTED"
             },
+            self.strategy,
         )?;
         writeln!(
             f,
@@ -212,6 +256,7 @@ mod tests {
             names_ok: true,
             committed: true,
             salvaged_bytes: 900,
+            strategy: SalvageStrategy::Footer,
             functions: vec![
                 FunctionVerdict {
                     func: FuncId::from_index(0),

@@ -1,0 +1,130 @@
+//! Property tests for the ingest write-ahead log: arbitrary event
+//! batches round-trip exactly, and a WAL truncated at *every* byte
+//! offset either replays the clean record prefix or reports a typed
+//! [`WalError::TornTail`] — never a panic, never silently wrong data.
+
+use proptest::prelude::*;
+use twpp::ingest::{
+    encode_record, replay_bytes, replay_strict, WalError, WAL_HEADER_LEN, WAL_RECORD_HEADER_LEN,
+    WAL_VERSION,
+};
+use twpp_ir::{BlockId, FuncId};
+use twpp_tracer::WppEvent;
+
+fn event_strategy() -> impl Strategy<Value = WppEvent> {
+    prop_oneof![
+        (0u32..1 << 20).prop_map(|i| WppEvent::Enter(FuncId::from_u32(i))),
+        (1u32..1 << 20).prop_map(|i| WppEvent::Block(BlockId::new(i))),
+        Just(WppEvent::Exit),
+    ]
+}
+
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<WppEvent>>> {
+    prop::collection::vec(prop::collection::vec(event_strategy(), 1..40), 0..8)
+}
+
+/// Replay expectation: each record's global event offset and batch.
+type ExpectedRecords = Vec<(u64, Vec<WppEvent>)>;
+
+/// A full WAL image for `batches`, with chained global event offsets,
+/// plus the byte offset where each record ends.
+fn image(batches: &[Vec<WppEvent>]) -> (Vec<u8>, ExpectedRecords, Vec<usize>) {
+    let mut bytes = b"TWPW".to_vec();
+    bytes.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    let mut offset = 0u64;
+    let mut expected = Vec::new();
+    let mut boundaries = vec![bytes.len()];
+    for batch in batches {
+        encode_record(offset, batch, &mut bytes);
+        expected.push((offset, batch.clone()));
+        boundaries.push(bytes.len());
+        offset += batch.len() as u64;
+    }
+    (bytes, expected, boundaries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encoding then replaying arbitrary batches is the identity.
+    #[test]
+    fn round_trips_arbitrary_batches(batches in batches_strategy()) {
+        let (bytes, expected, boundaries) = image(&batches);
+        prop_assert_eq!(
+            bytes.len(),
+            *boundaries.last().unwrap_or(&WAL_HEADER_LEN)
+        );
+        let replay = replay_bytes(&bytes).expect("own image must replay");
+        prop_assert_eq!(&replay.batches, &expected);
+        prop_assert_eq!(replay.clean_bytes, bytes.len() as u64);
+        prop_assert_eq!(replay.torn_at, None);
+        prop_assert_eq!(replay_strict(&bytes).expect("not torn"), expected);
+    }
+
+    /// Truncating a WAL at every byte offset yields exactly the records
+    /// whose bytes fully survive; a cut inside a record is a torn tail
+    /// at the last record boundary. Strict replay turns that tail into
+    /// the typed error.
+    #[test]
+    fn truncation_at_every_offset_is_prefix_or_torn(batches in batches_strategy()) {
+        let (bytes, expected, boundaries) = image(&batches);
+        for cut in 0..bytes.len() {
+            let img = &bytes[..cut];
+            let replay = replay_bytes(img).expect("truncations of our image are never foreign");
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count().saturating_sub(1);
+            prop_assert_eq!(&replay.batches, &expected[..whole], "cut at {}", cut);
+            if cut < WAL_HEADER_LEN {
+                prop_assert_eq!(replay.clean_bytes, 0);
+            } else {
+                prop_assert_eq!(replay.clean_bytes, boundaries[whole] as u64);
+            }
+            let on_boundary = cut == 0 || boundaries.contains(&cut);
+            prop_assert_eq!(replay.torn_at.is_none(), on_boundary, "cut at {}", cut);
+            match replay_strict(img) {
+                Ok(records) => {
+                    prop_assert!(on_boundary);
+                    prop_assert_eq!(&records, &expected[..whole]);
+                }
+                Err(WalError::TornTail { offset }) => {
+                    prop_assert!(!on_boundary);
+                    prop_assert_eq!(offset, replay.clean_bytes);
+                }
+                Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+            }
+        }
+    }
+
+    /// Replay never panics on arbitrary bytes, and a clean replay of a
+    /// record implies its payload survived bit-for-bit (CRC framing).
+    #[test]
+    fn replay_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = replay_bytes(&bytes);
+        let _ = replay_strict(&bytes);
+    }
+
+    /// Flipping any single byte of a one-record image is always caught:
+    /// a header flip is a typed magic/version error and a record flip
+    /// fails the CRC framing, so the record never replays corrupted.
+    #[test]
+    fn single_byte_flips_never_replay_corrupted_data(
+        batch in prop::collection::vec(event_strategy(), 1..40),
+        at in 0usize..100_000,
+        mask in 1u8..=255,
+    ) {
+        let (bytes, _, _) = image(std::slice::from_ref(&batch));
+        let mut corrupt = bytes.clone();
+        let i = at % corrupt.len();
+        corrupt[i] ^= mask;
+        match replay_bytes(&corrupt) {
+            Err(WalError::BadMagic) => prop_assert!(i < 4),
+            Err(WalError::BadVersion(_)) => prop_assert!((4..WAL_HEADER_LEN).contains(&i)),
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+            Ok(replay) => {
+                prop_assert!(i >= WAL_HEADER_LEN);
+                prop_assert_eq!(replay.batches.len(), 0, "corrupted record replayed");
+                prop_assert_eq!(replay.torn_at, Some(WAL_HEADER_LEN as u64));
+                let _ = WAL_RECORD_HEADER_LEN; // part of the public format contract
+            }
+        }
+    }
+}

@@ -19,15 +19,16 @@
 //! ```
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use twpp_repro::twpp::archive::encode_v2_named;
 use twpp_repro::twpp::{
-    compact, compact_governed, Budget, FaultPlan, GovOptions, Obs, TwppArchive,
+    compact, compact_governed, Budget, Compactor, Durability, FaultPlan, GovOptions,
+    IngestOptions, Obs, TwppArchive,
 };
 use twpp_repro::twpp_ir::FuncId;
 use twpp_repro::twpp_lang;
-use twpp_repro::twpp_tracer::{run_traced, ExecLimits};
+use twpp_repro::twpp_tracer::{run_traced, ExecLimits, WppEvent};
 
 /// The corpus source program: two leaf functions with distinct path
 /// shapes plus a loopy main, so the archive holds several function
@@ -108,6 +109,58 @@ fn read_corpus_file(name: &str) -> Vec<u8> {
     })
 }
 
+/// The corpus event stream: the traced run of [`CORPUS_SRC`].
+fn corpus_events() -> Vec<WppEvent> {
+    let program = twpp_lang::compile(CORPUS_SRC).expect("corpus program compiles");
+    let (_, wpp) = run_traced(&program, &[], ExecLimits::default()).expect("corpus program runs");
+    wpp.events()
+}
+
+/// Deterministically builds the `segdir-v1` fixture into `dir`: a
+/// mid-flight compactor directory as a killed process leaves it — a few
+/// sealed segments, a WAL tail of acknowledged-but-unsealed events, and
+/// a torn half-record at the WAL's end (an append the crash interrupted).
+/// Returns the full stream and the number of durable (acknowledged)
+/// events the directory holds.
+fn build_segdir(dir: &Path) -> (Vec<WppEvent>, u64) {
+    let _ = std::fs::remove_dir_all(dir);
+    let events = corpus_events();
+    let opts = IngestOptions {
+        seal_bytes: 96,
+        durability: Durability::None,
+        threads: Some(1),
+        ..IngestOptions::default()
+    };
+    let mut compactor = Compactor::create(dir, opts).expect("create segdir");
+    let mut cut = events.len() * 2 / 3;
+    for piece in events[..cut].chunks(19) {
+        compactor.feed(piece).expect("feed segdir");
+    }
+    if compactor.window_events() == 0 {
+        // The cut landed exactly on a seal boundary; the fixture wants a
+        // non-empty WAL tail, so push a few more events past it.
+        let extra = 5.min(events.len() - cut);
+        compactor.feed(&events[cut..cut + extra]).expect("feed tail");
+        cut += extra;
+    }
+    assert!(compactor.segment_count() >= 2, "fixture needs sealed segments");
+    assert!(compactor.window_events() > 0, "fixture needs a WAL tail");
+    let durable = compactor.accepted_events();
+    assert_eq!(durable, cut as u64);
+    drop(compactor); // vanish without sealing, like a kill would
+    // The interrupted append: encode the next batch as a real WAL record
+    // but let only part of it reach the disk.
+    let next = &events[cut..(cut + 9).min(events.len())];
+    let mut record = Vec::new();
+    twpp_repro::twpp::ingest::encode_record(durable, next, &mut record);
+    let torn = &record[..record.len() * 2 / 3];
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).expect("fixture wal");
+    bytes.extend_from_slice(torn);
+    std::fs::write(&wal, bytes).expect("append torn record");
+    (events, durable)
+}
+
 /// Rewrites the corpus from source. Ignored: run only on deliberate
 /// format changes, and review the resulting diff.
 #[test]
@@ -118,6 +171,7 @@ fn regenerate_golden_corpus() {
     for (name, bytes) in build_corpus() {
         std::fs::write(dir.join(name), bytes).expect("write corpus file");
     }
+    build_segdir(&dir.join("segdir-v1"));
 }
 
 #[test]
@@ -213,4 +267,89 @@ fn truncated_v3_corpus_salvages_a_usable_subset() {
         archive.function_ids().len(),
         "report and archive agree on the salvage count"
     );
+}
+
+/// Sorted `(file name, bytes)` pairs of a directory's regular files.
+fn dir_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{}: {e}\nrun `cargo test --test corpus regenerate_golden_corpus -- --ignored` \
+                 to (re)create the corpus",
+                dir.display()
+            )
+        })
+        .map(|entry| {
+            let entry = entry.expect("dir entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(entry.path()).expect("corpus file readable");
+            (name, bytes)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn segdir_corpus_is_byte_stable() {
+    let fresh_dir = std::env::temp_dir().join(format!("twpp-segdir-stability-{}", std::process::id()));
+    build_segdir(&fresh_dir);
+    let fresh = dir_files(&fresh_dir);
+    let golden = dir_files(&corpus_dir().join("segdir-v1"));
+    let names = |fs: &[(String, Vec<u8>)]| fs.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+    assert_eq!(names(&golden), names(&fresh), "segdir file set drifted");
+    for ((name, want), (_, got)) in golden.iter().zip(&fresh) {
+        assert_eq!(
+            want, got,
+            "segdir-v1/{name}: bytes drifted from the golden fixture; if the \
+             WAL/manifest/archive format change is intentional, bump the \
+             version and regenerate"
+        );
+    }
+    std::fs::remove_dir_all(&fresh_dir).ok();
+}
+
+/// The forward-compatibility promise for ingest state: every future
+/// version must be able to pick up this exact on-disk directory — sealed
+/// segments, WAL tail, torn trailing record — resume it, and finish to
+/// the same archive a batch compaction of the whole stream produces.
+#[test]
+fn segdir_corpus_resumes_and_finishes_byte_identically() {
+    // Resume mutates its directory (truncates the torn tail, seals,
+    // merges), so work on a copy of the golden fixture.
+    let golden = corpus_dir().join("segdir-v1");
+    let work = std::env::temp_dir().join(format!("twpp-segdir-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).expect("create work dir");
+    for (name, bytes) in dir_files(&golden) {
+        std::fs::write(work.join(name), bytes).expect("copy fixture file");
+    }
+
+    let events = corpus_events();
+    let opts = IngestOptions {
+        seal_bytes: 96,
+        durability: Durability::None,
+        threads: Some(1),
+        ..IngestOptions::default()
+    };
+    let (mut compactor, report) = Compactor::resume(&work, opts).expect("fixture must resume");
+    assert!(report.wal_torn, "the fixture's torn record must be detected");
+    assert!(report.segments >= 2);
+    assert!(report.wal_events > 0, "the WAL tail must replay");
+    let durable = compactor.accepted_events();
+    assert_eq!(durable, report.sealed_events + report.wal_events);
+    for piece in events[durable as usize..].chunks(23) {
+        compactor.feed(piece).expect("refeed after resume");
+    }
+    let finish = compactor.finish().expect("finish resumed fixture");
+
+    let wpp = twpp_repro::twpp_tracer::RawWpp::from_events(&events);
+    let compacted = compact(&wpp).expect("batch compaction");
+    let batch = TwppArchive::from_compacted_named_with_threads(&compacted, &HashMap::new(), 1);
+    assert_eq!(
+        std::fs::read(&finish.path).expect("merged archive"),
+        batch.as_bytes(),
+        "resumed fixture must converge to the batch archive"
+    );
+    std::fs::remove_dir_all(&work).ok();
 }
