@@ -794,6 +794,138 @@ pub fn obs_overhead(scale: f64) -> ObsOverhead {
     }
 }
 
+/// Result of the codec-comparison experiment: a rendered table and one
+/// machine-readable datapoint for the `BENCH_codec.json` trajectory.
+pub struct CodecCompare {
+    /// Human-readable comparison table.
+    pub table: String,
+    /// One JSON datapoint: per-profile archive bytes per event and
+    /// decode nanoseconds per event for both codecs.
+    pub datapoint_json: String,
+}
+
+/// Compares the legacy `l:h:s`-only archive encoding against the
+/// adaptive per-series codec (raw | `l:h:s` | delta-of-delta, smallest
+/// wins) across the five paper workloads: archive bytes per WPP event
+/// and whole-archive decode nanoseconds per event (median of three
+/// runs). Asserts both encodings decode to the same `CompactedTwpp` and
+/// that adaptive never loses on bytes — the selection rule's contract.
+pub fn codec_compare(scale: f64) -> CodecCompare {
+    use std::collections::HashMap;
+    use twpp::obs::{JsonWriter, Obs};
+    use twpp::Codec;
+
+    const SAMPLES: usize = 3;
+    let noop = Obs::noop();
+    let names: HashMap<FuncId, String> = HashMap::new();
+
+    let mut t = Table::new(&[
+        "program",
+        "events",
+        "legacy B/ev",
+        "adaptive B/ev",
+        "saved",
+        "legacy dec ns/ev",
+        "adaptive dec ns/ev",
+    ]);
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("experiment");
+    w.string("codec_compare");
+    w.key("scale");
+    w.float(scale);
+    w.key("samples");
+    w.uint(SAMPLES as u64);
+    w.key("profiles");
+    w.begin_array();
+
+    for profile in Profile::all() {
+        let spec = profile.spec().scaled(scale);
+        let workload = generate(&spec);
+        let events = workload.wpp.events().len() as u64;
+        let (compacted, _) =
+            compact_with_stats(&workload.wpp).expect("generated WPPs are well-formed");
+
+        // (bytes, median decode wall) per codec, same decode verified.
+        let mut measured: Vec<(usize, Duration)> = Vec::new();
+        for codec in [Codec::Legacy, Codec::Adaptive] {
+            let archive =
+                TwppArchive::from_compacted_codec(&compacted, &names, 1, &[], &noop, codec);
+            let mut walls: Vec<Duration> = Vec::new();
+            for _ in 0..SAMPLES {
+                let bytes = archive.as_bytes().to_vec();
+                let start = Instant::now();
+                let decoded = TwppArchive::from_bytes(bytes)
+                    .expect("fresh archive parses")
+                    .to_compacted()
+                    .expect("fresh archive decodes");
+                walls.push(start.elapsed());
+                assert_eq!(
+                    decoded, compacted,
+                    "{codec:?} archive decoded to a different CompactedTwpp"
+                );
+            }
+            walls.sort();
+            measured.push((archive.byte_len(), walls[walls.len() / 2]));
+        }
+        let (legacy_bytes, legacy_wall) = measured[0];
+        let (adaptive_bytes, adaptive_wall) = measured[1];
+        assert!(
+            adaptive_bytes <= legacy_bytes,
+            "{}: adaptive archive larger than legacy ({adaptive_bytes} vs {legacy_bytes})",
+            profile.paper_name()
+        );
+
+        let ev = (events as f64).max(1.0);
+        let legacy_bpe = legacy_bytes as f64 / ev;
+        let adaptive_bpe = adaptive_bytes as f64 / ev;
+        let legacy_npe = legacy_wall.as_nanos() as f64 / ev;
+        let adaptive_npe = adaptive_wall.as_nanos() as f64 / ev;
+        let saved = (1.0 - adaptive_bytes as f64 / (legacy_bytes as f64).max(1.0)) * 100.0;
+        t.row(vec![
+            profile.paper_name().into(),
+            events.to_string(),
+            format!("{legacy_bpe:.2}"),
+            format!("{adaptive_bpe:.2}"),
+            format!("{saved:.1}%"),
+            format!("{legacy_npe:.0}"),
+            format!("{adaptive_npe:.0}"),
+        ]);
+
+        w.begin_object();
+        w.key("program");
+        w.string(profile.paper_name());
+        w.key("events");
+        w.uint(events);
+        w.key("legacy_bytes");
+        w.uint(legacy_bytes as u64);
+        w.key("adaptive_bytes");
+        w.uint(adaptive_bytes as u64);
+        w.key("legacy_bytes_per_event");
+        w.float((legacy_bpe * 1000.0).round() / 1000.0);
+        w.key("adaptive_bytes_per_event");
+        w.float((adaptive_bpe * 1000.0).round() / 1000.0);
+        w.key("legacy_decode_ns_per_event");
+        w.float((legacy_npe * 10.0).round() / 10.0);
+        w.key("adaptive_decode_ns_per_event");
+        w.float((adaptive_npe * 10.0).round() / 10.0);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    let mut table = String::from(
+        "Timestamp-set codec comparison (archive bytes and decode cost per WPP event)\n",
+    );
+    table.push_str(&t.render());
+    table.push_str("(both codecs decode to identical compacted output; adaptive never larger)\n");
+
+    CodecCompare {
+        table,
+        datapoint_json: w.finish(),
+    }
+}
+
 /// Appends `datapoint_json` to the JSON-array trajectory at `path`
 /// (creating `[datapoint]` if the file does not exist or fails to
 /// parse) and returns the serialized array written back.
@@ -923,6 +1055,22 @@ mod tests {
         let arr = twpp::obs::parse_json(&text).unwrap();
         assert_eq!(arr.as_arr().map(<[_]>::len), Some(2), "{text}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn codec_compare_renders_and_datapoint_validates() {
+        let o = codec_compare(0.002);
+        assert!(o.table.contains("adaptive never larger"), "{}", o.table);
+        for name in ["099.go", "126.gcc", "130.li", "132.ijpeg", "134.perl"] {
+            assert!(o.table.contains(name), "{name} missing from:\n{}", o.table);
+        }
+        let doc = twpp::obs::parse_json(&o.datapoint_json).expect("datapoint is JSON");
+        assert_eq!(
+            doc.get("experiment").and_then(|e| e.as_str()),
+            Some("codec_compare")
+        );
+        let profiles = doc.get("profiles").and_then(|p| p.as_arr().map(<[_]>::len));
+        assert_eq!(profiles, Some(5), "{}", o.datapoint_json);
     }
 
     #[test]

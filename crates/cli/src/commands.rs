@@ -152,6 +152,14 @@ usage:
   or the machine's available parallelism); for selftest it sets the largest
   thread count the byte-identity checks compare against
 
+codec (compact/ingest):
+  --codec legacy|adaptive
+                    timestamp-set encoder for written archives. legacy
+                    (default) is byte-identical to older releases;
+                    adaptive picks the smallest of the series, raw and
+                    delta-delta encodings per block — never larger than
+                    legacy, and every reader decodes both
+
 durability (compact/ingest):
   --durability none|flush|sync
                     how hard written bytes are pushed toward stable
@@ -267,6 +275,7 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
     let mut seal_ms: Option<u64> = None;
     let mut chunk_events: Option<usize> = None;
     let mut durability: Option<twpp::Durability> = None;
+    let mut codec: Option<twpp::Codec> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -349,6 +358,15 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                     .ok_or_else(|| CliError::Usage("--durability needs none|flush|sync".into()))?;
                 durability = Some(twpp::Durability::parse(raw).ok_or_else(|| {
                     CliError::Usage(format!("bad --durability `{raw}`: use none|flush|sync"))
+                })?);
+            }
+            "--codec" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--codec needs legacy|adaptive".into()))?;
+                codec = Some(twpp::Codec::parse(raw).ok_or_else(|| {
+                    CliError::Usage(format!("bad --codec `{raw}`: use legacy|adaptive"))
                 })?);
             }
             "--degrade" => degrade = true,
@@ -464,6 +482,7 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                 limits,
                 degrade,
                 durability.unwrap_or(twpp::Durability::Flush),
+                codec.unwrap_or_default(),
                 &obs_files,
                 out,
             )
@@ -478,6 +497,7 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                     seal_ms,
                     chunk_events: chunk_events.unwrap_or(1024),
                     durability: durability.unwrap_or(twpp::Durability::Sync),
+                    codec: codec.unwrap_or_default(),
                     threads,
                     limits,
                     degrade,
@@ -571,6 +591,7 @@ fn cmd_compact(
     limits: twpp::Limits,
     degrade: bool,
     durability: twpp::Durability,
+    codec: twpp::Codec,
     obs_files: &ObsFiles,
     out: &mut Out<'_>,
 ) -> Result<(), CliError> {
@@ -612,12 +633,13 @@ fn cmd_compact(
         None => std::collections::HashMap::new(),
     };
     let encode_started = std::time::Instant::now();
-    let archive = TwppArchive::from_compacted_governed_obs(
+    let archive = TwppArchive::from_compacted_codec(
         &compacted,
         &names,
         resolved,
         &stats.degraded.failed,
         &obs,
+        codec,
     );
     stats.timings.archive_encode_nanos = encode_started.elapsed().as_nanos() as u64;
     archive.save_with(output, durability).map_err(fail)?;
@@ -722,6 +744,7 @@ struct IngestFlags {
     seal_ms: Option<u64>,
     chunk_events: usize,
     durability: twpp::Durability,
+    codec: twpp::Codec,
     threads: Option<usize>,
     limits: twpp::Limits,
     degrade: bool,
@@ -758,6 +781,7 @@ fn cmd_ingest(
         fail_fast: !flags.degrade,
         faults: faults.clone(),
         obs: obs.clone(),
+        codec: flags.codec,
     };
     let ingest_err = |e: twpp::IngestError| fail(format!("{}: {e}", dir.display()));
     let (mut compactor, resumed) = twpp::Compactor::open(dir, opts).map_err(ingest_err)?;

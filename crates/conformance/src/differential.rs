@@ -60,6 +60,8 @@ pub const EVENT_CHECKS: &[(&str, EventCheck)] = &[
     ("governed-equivalence", check_governed_equivalence),
     ("observed-byte-identity", check_observed_byte_identity),
     ("ingest-chunking-identity", check_ingest_chunking_identity),
+    ("adaptive-codec-roundtrip", check_adaptive_codec_roundtrip),
+    ("adaptive-legacy-equivalence", check_adaptive_legacy_equivalence),
 ];
 
 fn fmt_events(events: &[WppEvent]) -> String {
@@ -663,6 +665,83 @@ fn check_ingest_chunking_identity(events: &[WppEvent], cx: &CheckContext) -> Res
                     ));
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// An archive encoded with [`twpp::Codec::Adaptive`] parses, recovers
+/// cleanly, and decodes back to the exact `CompactedTwpp` it came from.
+fn check_adaptive_codec_roundtrip(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    let Some(c) = compact_at(events, 1)? else {
+        return Ok(());
+    };
+    let archive = TwppArchive::from_compacted_codec(
+        &c,
+        &HashMap::new(),
+        1,
+        &[],
+        &twpp::obs::Obs::noop(),
+        twpp::Codec::Adaptive,
+    );
+    let parsed = TwppArchive::from_bytes(archive.as_bytes().to_vec())
+        .map_err(|e| format!("from_bytes rejected a fresh adaptive archive: {e}"))?;
+    let back = parsed
+        .to_compacted()
+        .map_err(|e| format!("adaptive to_compacted failed: {e}"))?;
+    if back != c {
+        return Err("adaptive archive decode produced a different CompactedTwpp".to_string());
+    }
+    let (_, report) = TwppArchive::recover(archive.as_bytes())
+        .map_err(|e| format!("recover rejected a clean adaptive archive: {e}"))?;
+    if !report.is_clean() {
+        return Err(format!(
+            "recovery report not clean on pristine adaptive bytes: {report:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Adaptive and legacy encodings of the same `CompactedTwpp` decode to
+/// identical per-function records, and adaptive is never larger.
+fn check_adaptive_legacy_equivalence(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    let Some(c) = compact_at(events, 1)? else {
+        return Ok(());
+    };
+    let noop = twpp::obs::Obs::noop();
+    let legacy =
+        TwppArchive::from_compacted_codec(&c, &HashMap::new(), 1, &[], &noop, twpp::Codec::Legacy);
+    let adaptive = TwppArchive::from_compacted_codec(
+        &c,
+        &HashMap::new(),
+        1,
+        &[],
+        &noop,
+        twpp::Codec::Adaptive,
+    );
+    if adaptive.byte_len() > legacy.byte_len() {
+        return Err(format!(
+            "adaptive archive larger than legacy: {} vs {} bytes",
+            adaptive.byte_len(),
+            legacy.byte_len()
+        ));
+    }
+    let mut ids = legacy.function_ids();
+    ids.sort();
+    let mut adaptive_ids = adaptive.function_ids();
+    adaptive_ids.sort();
+    if ids != adaptive_ids {
+        return Err("adaptive and legacy archives hold different functions".to_string());
+    }
+    for func in ids {
+        let l = legacy
+            .read_function(func)
+            .map_err(|e| format!("legacy read_function({func}) failed: {e}"))?;
+        let a = adaptive
+            .read_function(func)
+            .map_err(|e| format!("adaptive read_function({func}) failed: {e}"))?;
+        if l != a {
+            return Err(format!("function {func}: records differ between codecs"));
         }
     }
     Ok(())

@@ -276,6 +276,27 @@ pub fn gen_sorted_timestamps(
     values
 }
 
+/// Generates a pair of arithmetic series whose steps are distinct large
+/// coprime primes sharing one anchor value: their step lcm overflows
+/// `u32`, so intersecting them must take the huge-lcm singleton fallback
+/// instead of the CRT series path. Each side has at least 3 elements so
+/// `from_sorted` compacts it into a single series entry; the exact
+/// intersection is `{anchor}` (the next common element lies `p*q >
+/// u32::MAX` away, far outside either window).
+pub fn gen_coprime_step_pair(rng: &mut ChaCha8Rng) -> (Vec<u32>, Vec<u32>) {
+    // Primes just above 2^16: any distinct pair multiplies past 2^32.
+    const PRIMES: [u32; 6] = [65_537, 65_539, 65_543, 65_551, 65_557, 65_563];
+    let pi = rng.gen_range(0..PRIMES.len());
+    let qi = (pi + rng.gen_range(1..PRIMES.len())) % PRIMES.len();
+    let (p, q) = (PRIMES[pi], PRIMES[qi]);
+    let anchor = rng.gen_range(1..=1_000_000u32);
+    let la = rng.gen_range(3..=8u32);
+    let lb = rng.gen_range(3..=8u32);
+    let a = (0..la).map(|k| anchor + k * p).collect();
+    let b = (0..lb).map(|k| anchor + k * q).collect();
+    (a, b)
+}
+
 /// Generates adversarial byte inputs for the LZW codec: random bytes,
 /// single-symbol runs (KwKwK stress), short alphabets that grow the
 /// dictionary fast, and long repeats that force a dictionary reset.

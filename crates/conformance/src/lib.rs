@@ -40,7 +40,10 @@ use twpp_ir::BlockId;
 use twpp_tracer::{RawWpp, WppEvent};
 
 use crate::differential::CheckContext;
-use crate::gen::{case_seed, gen_block_sequence, gen_lzw_bytes, gen_sorted_timestamps, CaseGen, ShapeConfig};
+use crate::gen::{
+    case_seed, gen_block_sequence, gen_coprime_step_pair, gen_lzw_bytes, gen_sorted_timestamps,
+    CaseGen, ShapeConfig,
+};
 use crate::shrink::{shrink_bytes, shrink_events, shrink_sorted, ShrinkBudget};
 
 /// Configuration of one selftest battery run.
@@ -330,8 +333,17 @@ pub fn run_selftest(cfg: &SelftestConfig) -> SelftestReport {
         // --- Family 2: sorted timestamp-set pairs -----------------------
         let mut rng = ChaCha8Rng::seed_from_u64(cseed ^ 0x5E75);
         let straddle = case_index % 4 == 3;
-        let a = gen_sorted_timestamps(&mut rng, 96, 50_000, straddle);
-        let b = gen_sorted_timestamps(&mut rng, 96, 50_000, false);
+        let (a, b) = if case_index % 4 == 1 {
+            // Coprime-step series whose lcm overflows u32: drives the
+            // intersect huge-lcm singleton fallback through the same
+            // oracles as ordinary pairs.
+            gen_coprime_step_pair(&mut rng)
+        } else {
+            (
+                gen_sorted_timestamps(&mut rng, 96, 50_000, straddle),
+                gen_sorted_timestamps(&mut rng, 96, 50_000, false),
+            )
+        };
         for (name, check) in metamorphic::SET_CHECKS {
             let verdict = check(&a, &b);
             sheet.record(name, verdict.is_err());

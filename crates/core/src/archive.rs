@@ -58,7 +58,7 @@ use crate::dcg::Dcg;
 use crate::lzw::{self, LzwError};
 use crate::pipeline::{CompactedTwpp, FunctionBlock};
 use crate::recovery::{FunctionVerdict, RecoveryReport, RegionStatus, SalvageStrategy};
-use crate::timestamped::{TimestampedTrace, TimestampedTraceError};
+use crate::timestamped::{Codec, TimestampedTrace, TimestampedTraceError};
 
 /// How hard a file-writing path pushes bytes toward the platter before
 /// reporting success. Threaded from the CLI into [`TwppArchive::save_with`]
@@ -112,22 +112,22 @@ impl Durability {
     }
 }
 
-const MAGIC: [u8; 4] = *b"TWPA";
+pub(crate) const MAGIC: [u8; 4] = *b"TWPA";
 /// Current container version.
 pub const VERSION: u32 = 3;
 /// Legacy container version, still accepted by every read path.
 pub const VERSION_V2: u32 = 2;
-const FIXED_HEADER_LEN: usize = 20;
+pub(crate) const FIXED_HEADER_LEN: usize = 20;
 
-const FRAME_MAGIC: [u8; 4] = *b"TWPR";
+pub(crate) const FRAME_MAGIC: [u8; 4] = *b"TWPR";
 /// Bytes of a v3 frame header preceding the payload.
-const FRAME_HEADER_LEN: usize = 28;
-const FOOTER_MAGIC: [u8; 4] = *b"TWPT";
-const COMMIT_MAGIC: [u8; 4] = *b"TWPC";
-const FOOTER_ENTRY_BYTES: usize = 7 * 4;
+pub(crate) const FRAME_HEADER_LEN: usize = 28;
+pub(crate) const FOOTER_MAGIC: [u8; 4] = *b"TWPT";
+pub(crate) const COMMIT_MAGIC: [u8; 4] = *b"TWPC";
+pub(crate) const FOOTER_ENTRY_BYTES: usize = 7 * 4;
 /// Footer bytes besides the entries: magic + n_funcs + data_len +
 /// footer_crc + commit marker.
-const FOOTER_FIXED_LEN: usize = 20;
+pub(crate) const FOOTER_FIXED_LEN: usize = 20;
 
 /// Footer `offset` sentinel marking a function the writer recorded as
 /// *failed during compaction* (degraded run): no frame bytes exist for
@@ -186,6 +186,9 @@ pub enum ArchiveError {
         /// The cap it exceeded.
         limit: u64,
     },
+    /// A governed read stopped because its [`crate::gov::Budget`] ran
+    /// out before the frame bytes were fetched.
+    Stopped(crate::gov::StopReason),
 }
 
 impl fmt::Display for ArchiveError {
@@ -219,6 +222,9 @@ impl fmt::Display for ArchiveError {
                 declared,
                 limit,
             } => write!(f, "declared {what} {declared} exceeds cap {limit}"),
+            ArchiveError::Stopped(reason) => {
+                write!(f, "governed read stopped: {}", reason.as_str())
+            }
         }
     }
 }
@@ -254,23 +260,23 @@ impl From<LzwError> for ArchiveError {
 
 /// One entry of the archive's function table.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
-struct TableEntry {
-    func: FuncId,
-    call_count: u32,
-    n_dicts: u32,
-    n_traces: u32,
+pub(crate) struct TableEntry {
+    pub(crate) func: FuncId,
+    pub(crate) call_count: u32,
+    pub(crate) n_dicts: u32,
+    pub(crate) n_traces: u32,
     /// v3: offset of the function's *frame* from the start of the data
     /// section. v2: offset of the raw region.
-    offset: u32,
+    pub(crate) offset: u32,
     /// Payload length in bytes (excluding the v3 frame header).
-    byte_len: u32,
+    pub(crate) byte_len: u32,
     /// v3 frame CRC (over header fields + payload); 0 for v2 entries.
-    crc: u32,
+    pub(crate) crc: u32,
 }
 
 impl TableEntry {
     /// Whether this entry is a degraded-function sentinel (no frame).
-    fn is_sentinel(&self) -> bool {
+    pub(crate) fn is_sentinel(&self) -> bool {
         self.offset == SENTINEL_OFFSET && self.byte_len == 0
     }
 }
@@ -366,6 +372,11 @@ pub struct ArchiveWriter<W: Write> {
     sink: W,
     table: Vec<TableEntry>,
     data_len: usize,
+    /// Timestamp-set encoder for every frame this writer emits
+    /// ([`Codec::Legacy`] unless [`ArchiveWriter::with_codec`] said
+    /// otherwise). Readers are codec-agnostic: the choice is recorded in
+    /// the per-block tags, not the container.
+    codec: Codec,
 }
 
 impl<W: Write> ArchiveWriter<W> {
@@ -406,7 +417,18 @@ impl<W: Write> ArchiveWriter<W> {
             sink,
             table: Vec::new(),
             data_len: 0,
+            codec: Codec::Legacy,
         })
+    }
+
+    /// Selects the timestamp-set codec for frames appended after this
+    /// call. [`Codec::Legacy`] (the default) keeps output byte-identical
+    /// to pre-codec archives; [`Codec::Adaptive`] never produces a larger
+    /// frame. Either way the result decodes through the same readers.
+    #[must_use]
+    pub fn with_codec(mut self, codec: Codec) -> ArchiveWriter<W> {
+        self.codec = codec;
+        self
     }
 
     /// Appends one function's frame (header + checksummed payload).
@@ -416,7 +438,7 @@ impl<W: Write> ArchiveWriter<W> {
     /// Propagates I/O errors from the sink and encoding errors from
     /// out-of-domain timestamps.
     pub fn add_function(&mut self, fb: &FunctionBlock) -> Result<(), ArchiveError> {
-        let frame = encode_frame(fb)?;
+        let frame = encode_frame(fb, self.codec)?;
         self.commit_frame(frame)
     }
 
@@ -454,9 +476,10 @@ impl<W: Write> ArchiveWriter<W> {
         threads: usize,
         obs: &crate::obs::Obs,
     ) -> Result<(), ArchiveError> {
+        let codec = self.codec;
         let (frames, _report) =
             crate::par::map_indexed_observed(blocks, threads, obs, "encode_frame", |_, fb| {
-                encode_frame(fb)
+                encode_frame(fb, codec)
             });
         if obs.is_enabled() {
             obs.counter(
@@ -558,8 +581,8 @@ struct EncodedFrame {
 
 /// Encodes and checksums one function's frame without touching any sink —
 /// pure per function, hence safe to fan across worker threads.
-fn encode_frame(fb: &FunctionBlock) -> Result<EncodedFrame, ArchiveError> {
-    let words = encode_region(fb)?;
+fn encode_frame(fb: &FunctionBlock, codec: Codec) -> Result<EncodedFrame, ArchiveError> {
+    let words = encode_region(fb, codec)?;
     let payload: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
 
     let mut head = Vec::with_capacity(FRAME_HEADER_LEN);
@@ -684,9 +707,26 @@ impl TwppArchive {
         failed: &[crate::pipeline::FailedFunction],
         obs: &crate::obs::Obs,
     ) -> TwppArchive {
+        TwppArchive::from_compacted_codec(c, names, threads, failed, obs, Codec::Legacy)
+    }
+
+    /// The full-parameter encoder: like
+    /// [`TwppArchive::from_compacted_governed_obs`] with an explicit
+    /// timestamp-set [`Codec`]. Every other constructor delegates here
+    /// with [`Codec::Legacy`], so the default output stays byte-identical
+    /// to pre-codec archives.
+    pub fn from_compacted_codec(
+        c: &CompactedTwpp,
+        names: &HashMap<FuncId, String>,
+        threads: usize,
+        failed: &[crate::pipeline::FailedFunction],
+        obs: &crate::obs::Obs,
+        codec: Codec,
+    ) -> TwppArchive {
         let _s = obs.span("archive_encode");
         let mut w = ArchiveWriter::new(Vec::new(), &c.dcg, names)
-            .expect("writing to an in-memory buffer cannot fail");
+            .expect("writing to an in-memory buffer cannot fail")
+            .with_codec(codec);
         w.add_functions_observed(&c.functions, threads, obs)
             .expect("pipeline-produced blocks always encode");
         for ff in failed {
@@ -1219,7 +1259,8 @@ pub fn encode_v2_named(
     let mut table: Vec<TableEntry> = Vec::with_capacity(c.functions.len());
     let mut offset = 0u32;
     for fb in &c.functions {
-        let words = encode_region(fb)?;
+        // v2 predates the codec tag: always the legacy encoding.
+        let words = encode_region(fb, Codec::Legacy)?;
         let byte_len = (words.len() * 4) as u32;
         table.push(TableEntry {
             func: fb.func,
@@ -1279,11 +1320,11 @@ fn push_u32(bytes: &mut Vec<u8>, w: u32) {
     bytes.extend_from_slice(&w.to_le_bytes());
 }
 
-fn read_u32(bytes: &[u8]) -> u32 {
+pub(crate) fn read_u32(bytes: &[u8]) -> u32 {
     u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
 }
 
-fn check_func_count(n_funcs: usize) -> Result<(), ArchiveError> {
+pub(crate) fn check_func_count(n_funcs: usize) -> Result<(), ArchiveError> {
     if n_funcs > MAX_FUNCTIONS {
         return Err(ArchiveError::TooLarge {
             what: "function count",
@@ -1294,7 +1335,7 @@ fn check_func_count(n_funcs: usize) -> Result<(), ArchiveError> {
     Ok(())
 }
 
-fn decode_dcg(comp: &[u8]) -> Result<Dcg, ArchiveError> {
+pub(crate) fn decode_dcg(comp: &[u8]) -> Result<Dcg, ArchiveError> {
     let raw = lzw::decompress_bounded(comp, MAX_DCG_RAW_BYTES)?;
     if !raw.len().is_multiple_of(4) {
         return Err(ArchiveError::Corrupt("DCG byte length"));
@@ -1384,17 +1425,17 @@ fn parse_names_v2(blob: &[u8], n_funcs: usize) -> Result<Vec<Option<String>>, Ar
 // ---------------------------------------------------------------------------
 
 /// Region geometry of a v3 archive, computed from the fixed header.
-struct MetaV3 {
-    dcg_comp_len: usize,
-    dcg_crc_at: usize,
-    names_start: usize,
-    names_len: usize,
-    names_crc_at: usize,
-    data_start: usize,
+pub(crate) struct MetaV3 {
+    pub(crate) dcg_comp_len: usize,
+    pub(crate) dcg_crc_at: usize,
+    pub(crate) names_start: usize,
+    pub(crate) names_len: usize,
+    pub(crate) names_crc_at: usize,
+    pub(crate) data_start: usize,
 }
 
 /// Verifies the header checksum and computes the metadata region offsets.
-fn parse_meta_v3(bytes: &[u8]) -> Result<MetaV3, ArchiveError> {
+pub(crate) fn parse_meta_v3(bytes: &[u8]) -> Result<MetaV3, ArchiveError> {
     let stored = read_u32(&bytes[16..20]);
     let actual = crc32(&bytes[0..16]);
     if stored != actual {
@@ -1430,7 +1471,7 @@ fn parse_meta_v3(bytes: &[u8]) -> Result<MetaV3, ArchiveError> {
     })
 }
 
-fn verify_meta_crcs(bytes: &[u8], meta: &MetaV3) -> Result<(), ArchiveError> {
+pub(crate) fn verify_meta_crcs(bytes: &[u8], meta: &MetaV3) -> Result<(), ArchiveError> {
     let stored = read_u32(&bytes[meta.dcg_crc_at..meta.dcg_crc_at + 4]);
     let actual = crc32(&bytes[FIXED_HEADER_LEN..FIXED_HEADER_LEN + meta.dcg_comp_len]);
     if stored != actual {
@@ -1474,7 +1515,7 @@ fn encode_names_v3(names: &HashMap<FuncId, String>) -> Vec<u8> {
 }
 
 /// Parses the v3 keyed name table into a map.
-fn parse_names_v3(blob: &[u8]) -> Result<HashMap<FuncId, String>, ArchiveError> {
+pub(crate) fn parse_names_v3(blob: &[u8]) -> Result<HashMap<FuncId, String>, ArchiveError> {
     let mut map = HashMap::new();
     if blob.is_empty() {
         return Ok(map);
@@ -1513,7 +1554,7 @@ fn parse_names_v3(blob: &[u8]) -> Result<HashMap<FuncId, String>, ArchiveError> 
     Ok(map)
 }
 
-fn footer_entry(chunk: &[u8]) -> TableEntry {
+pub(crate) fn footer_entry(chunk: &[u8]) -> TableEntry {
     TableEntry {
         func: FuncId::from_u32(read_u32(&chunk[0..4])),
         call_count: read_u32(&chunk[4..8]),
@@ -1931,7 +1972,7 @@ fn recover_v2(bytes: &[u8], threads: usize) -> Result<(TwppArchive, RecoveryRepo
 /// Fails only when a timestamped trace holds timestamps outside the wire
 /// encoding's `i32` domain — impossible for pipeline-produced blocks,
 /// whose trace lengths are asserted `<= i32::MAX` at construction.
-fn encode_region(fb: &FunctionBlock) -> Result<Vec<u32>, ArchiveError> {
+fn encode_region(fb: &FunctionBlock, codec: Codec) -> Result<Vec<u32>, ArchiveError> {
     let mut words = Vec::new();
     for dict in &fb.dicts {
         words.push(dict.len() as u32);
@@ -1943,12 +1984,12 @@ fn encode_region(fb: &FunctionBlock) -> Result<Vec<u32>, ArchiveError> {
     }
     for (dict_idx, tt) in &fb.traces {
         words.push(*dict_idx);
-        words.extend(tt.to_words()?);
+        words.extend(tt.to_words_with(codec)?);
     }
     Ok(words)
 }
 
-fn decode_region(e: TableEntry, region: &[u8]) -> Result<FunctionRecord, ArchiveError> {
+pub(crate) fn decode_region(e: TableEntry, region: &[u8]) -> Result<FunctionRecord, ArchiveError> {
     if !region.len().is_multiple_of(4) {
         return Err(ArchiveError::Corrupt("region length"));
     }
@@ -2053,6 +2094,38 @@ mod tests {
         let b = TwppArchive::from_bytes(a.as_bytes().to_vec()).unwrap();
         assert_eq!(b.to_compacted().unwrap(), c);
         assert_eq!(b.read_dcg().unwrap(), c.dcg);
+    }
+
+    #[test]
+    fn adaptive_archive_round_trips_and_never_grows() {
+        let c = compact(&sample_wpp()).unwrap();
+        let names = sample_names();
+        let legacy =
+            TwppArchive::from_compacted_codec(&c, &names, 1, &[], &crate::obs::Obs::noop(), Codec::Legacy);
+        let adaptive = TwppArchive::from_compacted_codec(
+            &c,
+            &names,
+            1,
+            &[],
+            &crate::obs::Obs::noop(),
+            Codec::Adaptive,
+        );
+        // The explicit-legacy constructor is byte-identical to the default.
+        assert_eq!(legacy.as_bytes(), TwppArchive::from_compacted_named(&c, &names).as_bytes());
+        // Adaptive decodes to the same compacted TWPP and never costs bytes.
+        assert_eq!(adaptive.to_compacted().unwrap(), c);
+        assert!(adaptive.byte_len() <= legacy.byte_len());
+        for func in legacy.function_ids() {
+            assert_eq!(
+                adaptive.read_function(func).unwrap(),
+                legacy.read_function(func).unwrap()
+            );
+        }
+        // Salvage understands adaptive frames (codec handled below the
+        // frame layer).
+        let (recovered, report) = TwppArchive::recover(adaptive.as_bytes()).unwrap();
+        assert!(report.functions.iter().all(|v| v.status.is_ok()));
+        assert_eq!(recovered.to_compacted().unwrap(), c);
     }
 
     #[test]

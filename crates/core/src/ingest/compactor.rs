@@ -28,6 +28,7 @@ use twpp_tracer::WppEvent;
 use twpp_tracer::raw::RawWpp;
 
 use crate::archive::{Durability, TwppArchive};
+use crate::timestamped::Codec;
 use crate::gov::{Budget, FaultPlan, StopReason};
 use crate::obs::{Counter, Obs};
 use crate::partition::{partition, PartitionError};
@@ -71,6 +72,11 @@ pub struct IngestOptions {
     /// Observability sink (`twpp_core_ingest_*` metrics, `ingest_*`
     /// spans). Never influences output bytes.
     pub obs: Obs,
+    /// Timestamp-set codec for sealed segments and the merged archive.
+    /// Default [`Codec::Legacy`] keeps output byte-identical to older
+    /// runs; [`Codec::Adaptive`] writes archives that are never larger
+    /// and that every reader still decodes.
+    pub codec: Codec,
 }
 
 impl Default for IngestOptions {
@@ -84,6 +90,7 @@ impl Default for IngestOptions {
             fail_fast: true,
             faults: FaultPlan::none(),
             obs: Obs::noop(),
+            codec: Codec::Legacy,
         }
     }
 }
@@ -438,12 +445,13 @@ impl Compactor {
             obs: self.opts.obs.clone(),
         };
         let (compacted, stats) = compact_partitioned_governed(part, raw, &gov)?;
-        let archive = TwppArchive::from_compacted_governed_obs(
+        let archive = TwppArchive::from_compacted_codec(
             &compacted,
             &HashMap::new(),
             crate::par::resolve_threads(self.opts.threads),
             &stats.degraded.failed,
             &self.opts.obs,
+            self.opts.codec,
         );
 
         write_file_durable(

@@ -90,12 +90,13 @@ pub(super) fn merge_segments(
     };
     let (compacted, mut stats) = compact_governed(&wpp, &gov)?;
     let t = Instant::now();
-    let archive = TwppArchive::from_compacted_governed_obs(
+    let archive = TwppArchive::from_compacted_codec(
         &compacted,
         &HashMap::new(),
         crate::par::resolve_threads(opts.threads),
         &stats.degraded.failed,
         &opts.obs,
+        opts.codec,
     );
     stats.timings.archive_encode_nanos = t.elapsed().as_nanos() as u64;
     Ok((archive, stats))

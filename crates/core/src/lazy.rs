@@ -1,0 +1,581 @@
+//! Lazy archive opens: O(footer) instead of O(all frames).
+//!
+//! [`TwppArchive::from_bytes`] holds the whole archive in memory and
+//! every decoded frame is paid for up front by whoever loads the file.
+//! A [`LazyArchive`] instead keeps only the *metadata* resident — header,
+//! compressed DCG, name table and commit footer, all of whose CRCs are
+//! verified eagerly at open — and leaves function frames on disk. A frame
+//! is read, CRC-checked and decoded the first time its function is
+//! queried, then cached behind an [`Arc`], so a process holding a fleet
+//! of archives open pays per *query*, not per archive.
+//!
+//! Trust boundary: everything validated at [`LazyArchive::open`] time
+//! (header CRC, DCG CRC, name-table CRC, commit marker, footer CRC and
+//! the footer/data-length cross-check) can be relied on afterwards;
+//! per-frame magic, CRC and structural decoding are deferred to first
+//! access, so a corrupt frame only surfaces when *that function* is
+//! read — every other function keeps working.
+
+#![deny(clippy::unwrap_used)]
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use twpp_ir::checksum::{crc32, Crc32};
+use twpp_ir::FuncId;
+
+use crate::archive::{
+    check_func_count, decode_dcg, decode_region, footer_entry, parse_meta_v3, parse_names_v3,
+    read_u32, verify_meta_crcs, ArchiveError, FunctionRecord, MetaV3, TableEntry, TwppArchive,
+    COMMIT_MAGIC, FIXED_HEADER_LEN, FOOTER_ENTRY_BYTES, FOOTER_FIXED_LEN, FOOTER_MAGIC,
+    FRAME_HEADER_LEN, FRAME_MAGIC, MAGIC, VERSION, VERSION_V2,
+};
+use crate::dcg::Dcg;
+use crate::gov::Budget;
+use crate::obs::Obs;
+
+/// A v3 archive opened lazily: metadata verified and resident, function
+/// frames decoded on first access and cached.
+///
+/// Obtained from [`TwppArchive::open_lazy`] (or
+/// [`LazyArchive::open_observed`] to record metrics). Shared-reference
+/// methods take interior locks, so a `LazyArchive` can be queried from
+/// multiple threads behind an `Arc`.
+pub struct LazyArchive {
+    file: Mutex<File>,
+    /// Live (non-sentinel) footer entries in frame order.
+    table: Vec<TableEntry>,
+    index: HashMap<FuncId, usize>,
+    names: HashMap<FuncId, String>,
+    /// Degraded-function sentinels: `(func, call_count)`.
+    failed: Vec<(FuncId, u32)>,
+    /// The verified metadata prefix (`[0, data_start)` of the file).
+    meta_bytes: Vec<u8>,
+    meta: MetaV3,
+    cache: Mutex<HashMap<FuncId, Arc<FunctionRecord>>>,
+    obs: Obs,
+}
+
+/// Recovers the guarded value even if another thread panicked while
+/// holding the lock: the caches here are read-mostly maps whose worst
+/// failure mode after a poisoning panic is a redundant decode.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl LazyArchive {
+    /// Opens `path` lazily, validating every metadata CRC (header, DCG,
+    /// name table, footer) and the commit marker eagerly — but decoding
+    /// no function frame. Cost is O(metadata + footer) regardless of how
+    /// many frames the archive holds.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`TwppArchive::load`] would report about the metadata:
+    /// [`ArchiveError::NotCommitted`] for interrupted writes,
+    /// checksum mismatches, truncation, or [`ArchiveError::BadVersion`]
+    /// for v2 archives (whose table lives in the header — load those
+    /// eagerly).
+    pub fn open(path: &Path) -> Result<LazyArchive, ArchiveError> {
+        LazyArchive::open_observed(path, Obs::noop())
+    }
+
+    /// Like [`LazyArchive::open`], additionally recording the
+    /// `twpp_core_frames_decoded_lazy` counter (one increment per frame
+    /// decoded on first access; cache hits don't count) into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LazyArchive::open`].
+    pub fn open_observed(path: &Path, obs: Obs) -> Result<LazyArchive, ArchiveError> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+
+        // Fixed header: magic, version, region lengths, header CRC.
+        if file_len < FIXED_HEADER_LEN as u64 {
+            return Err(ArchiveError::Truncated);
+        }
+        let mut fixed = [0u8; FIXED_HEADER_LEN];
+        file.read_exact(&mut fixed)?;
+        if fixed[0..4] != MAGIC {
+            return Err(ArchiveError::BadMagic);
+        }
+        match read_u32(&fixed[4..8]) {
+            VERSION => {}
+            v @ VERSION_V2 => return Err(ArchiveError::BadVersion(v)),
+            v => return Err(ArchiveError::BadVersion(v)),
+        }
+
+        // Metadata prefix (header + compressed DCG + name table): read it
+        // whole and verify its three CRCs with the shared eager-path
+        // helpers.
+        let dcg_comp_len = read_u32(&fixed[8..12]) as usize;
+        let names_len = read_u32(&fixed[12..16]) as usize;
+        let data_start_est = FIXED_HEADER_LEN
+            .checked_add(dcg_comp_len.div_ceil(4).checked_mul(4).ok_or(ArchiveError::Truncated)?)
+            .and_then(|x| x.checked_add(4))
+            .and_then(|x| x.checked_add(names_len))
+            .and_then(|x| x.checked_add(4))
+            .ok_or(ArchiveError::Truncated)?;
+        if (data_start_est as u64) > file_len {
+            return Err(ArchiveError::Truncated);
+        }
+        let mut meta_bytes = vec![0u8; data_start_est];
+        meta_bytes[..FIXED_HEADER_LEN].copy_from_slice(&fixed);
+        file.read_exact(&mut meta_bytes[FIXED_HEADER_LEN..])?;
+        let meta = parse_meta_v3(&meta_bytes)?;
+        debug_assert_eq!(meta.data_start, data_start_est);
+        verify_meta_crcs(&meta_bytes, &meta)?;
+        let names = parse_names_v3(&meta_bytes[meta.names_start..meta.names_start + meta.names_len])?;
+
+        // Commit footer: marker, count, CRC, and the data-length
+        // cross-check against the header-derived data start.
+        if file_len < (meta.data_start + FOOTER_FIXED_LEN) as u64 {
+            return Err(ArchiveError::Truncated);
+        }
+        let mut tail = [0u8; 16];
+        file.seek(SeekFrom::End(-16))?;
+        file.read_exact(&mut tail)?;
+        if tail[12..16] != COMMIT_MAGIC {
+            return Err(ArchiveError::NotCommitted);
+        }
+        let n_funcs = read_u32(&tail[0..4]) as usize;
+        let data_len = read_u32(&tail[4..8]) as usize;
+        check_func_count(n_funcs)?;
+        let footer_len = 4 + n_funcs * FOOTER_ENTRY_BYTES + 16;
+        if (footer_len as u64) > file_len - meta.data_start as u64 {
+            return Err(ArchiveError::Truncated);
+        }
+        let footer_start = file_len - footer_len as u64;
+        file.seek(SeekFrom::Start(footer_start))?;
+        let mut footer = vec![0u8; footer_len];
+        file.read_exact(&mut footer)?;
+        if footer[0..4] != FOOTER_MAGIC {
+            return Err(ArchiveError::Corrupt("footer magic"));
+        }
+        let stored = read_u32(&footer[footer_len - 8..footer_len - 4]);
+        let actual = crc32(&footer[..footer_len - 8]);
+        if stored != actual {
+            return Err(ArchiveError::ChecksumMismatch {
+                region: "footer",
+                expected: stored,
+                actual,
+            });
+        }
+        if footer_start - meta.data_start as u64 != data_len as u64 {
+            return Err(ArchiveError::Corrupt("footer data length"));
+        }
+
+        // Split sentinels from live entries and bounds-check every frame
+        // against the data section, mirroring the eager parser.
+        let mut table = Vec::with_capacity(n_funcs);
+        let mut failed = Vec::new();
+        for chunk in footer[4..4 + n_funcs * FOOTER_ENTRY_BYTES].chunks_exact(FOOTER_ENTRY_BYTES) {
+            let e = footer_entry(chunk);
+            if e.is_sentinel() {
+                failed.push((e.func, e.call_count));
+            } else {
+                table.push(e);
+            }
+        }
+        for e in &table {
+            let end = (meta.data_start as u64)
+                .checked_add(u64::from(e.offset))
+                .and_then(|x| x.checked_add(FRAME_HEADER_LEN as u64))
+                .and_then(|x| x.checked_add(u64::from(e.byte_len)))
+                .ok_or(ArchiveError::Truncated)?;
+            if end > footer_start {
+                return Err(ArchiveError::Truncated);
+            }
+        }
+        let index = table.iter().enumerate().map(|(i, e)| (e.func, i)).collect();
+
+        Ok(LazyArchive {
+            file: Mutex::new(file),
+            table,
+            index,
+            names,
+            failed,
+            meta_bytes,
+            meta,
+            cache: Mutex::new(HashMap::new()),
+            obs,
+        })
+    }
+
+    /// Function ids present in the archive, most-called first (frame
+    /// order), excluding degraded sentinels.
+    pub fn function_ids(&self) -> Vec<FuncId> {
+        self.table.iter().map(|e| e.func).collect()
+    }
+
+    /// Number of live (non-degraded) functions.
+    pub fn function_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The recorded call count of `func`, if present.
+    pub fn call_count(&self, func: FuncId) -> Option<u64> {
+        self.index
+            .get(&func)
+            .map(|&i| u64::from(self.table[i].call_count))
+    }
+
+    /// The embedded name of `func`, if the archive carries one.
+    pub fn function_name(&self, func: FuncId) -> Option<&str> {
+        self.names.get(&func).map(String::as_str)
+    }
+
+    /// Looks up a function id by embedded name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.names
+            .iter()
+            .find(|(_, n)| n.as_str() == name)
+            .map(|(f, _)| *f)
+    }
+
+    /// Functions recorded as failed during a degraded compaction run.
+    pub fn failed_functions(&self) -> &[(FuncId, u32)] {
+        &self.failed
+    }
+
+    /// Whether the archive was produced by a degraded run.
+    pub fn is_degraded(&self) -> bool {
+        !self.failed.is_empty()
+    }
+
+    /// Number of frames decoded (and cached) so far.
+    pub fn decoded_count(&self) -> usize {
+        lock_unpoisoned(&self.cache).len()
+    }
+
+    /// Decompresses and decodes the dynamic call graph from the resident
+    /// (already CRC-verified) metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decoding error for corrupt archives.
+    pub fn read_dcg(&self) -> Result<Dcg, ArchiveError> {
+        decode_dcg(&self.meta_bytes[FIXED_HEADER_LEN..FIXED_HEADER_LEN + self.meta.dcg_comp_len])
+    }
+
+    /// Reads one function, decoding its frame from disk on first access
+    /// and serving a cached [`Arc`] afterwards. Identical result to
+    /// [`TwppArchive::read_function`] on the same file.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchiveError::UnknownFunction`] / [`ArchiveError::DegradedFunction`]
+    /// for absent or degraded ids; checksum or decode errors if *this*
+    /// function's frame is corrupt (detected at first access, not open).
+    pub fn read_function(&self, func: FuncId) -> Result<Arc<FunctionRecord>, ArchiveError> {
+        self.read_function_inner(func, None)
+    }
+
+    /// Like [`LazyArchive::read_function`], charging the frame's bytes to
+    /// `budget` *before* reading it from disk. Cache hits charge nothing:
+    /// the bytes were already paid for when the frame was first decoded.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchiveError::Stopped`] when the budget runs out; otherwise the
+    /// same as [`LazyArchive::read_function`].
+    pub fn read_function_governed(
+        &self,
+        func: FuncId,
+        budget: &Budget,
+    ) -> Result<Arc<FunctionRecord>, ArchiveError> {
+        self.read_function_inner(func, Some(budget))
+    }
+
+    fn read_function_inner(
+        &self,
+        func: FuncId,
+        budget: Option<&Budget>,
+    ) -> Result<Arc<FunctionRecord>, ArchiveError> {
+        if let Some(rec) = lock_unpoisoned(&self.cache).get(&func) {
+            return Ok(Arc::clone(rec));
+        }
+        let Some(&i) = self.index.get(&func) else {
+            if self.failed.iter().any(|&(f, _)| f == func) {
+                return Err(ArchiveError::DegradedFunction(func));
+            }
+            return Err(ArchiveError::UnknownFunction(func));
+        };
+        let e = self.table[i];
+        let frame_start = self.meta.data_start as u64 + u64::from(e.offset);
+        let frame_len = FRAME_HEADER_LEN + e.byte_len as usize;
+        if let Some(budget) = budget {
+            budget
+                .charge_bytes(frame_len as u64)
+                .map_err(ArchiveError::Stopped)?;
+        }
+        let mut frame = vec![0u8; frame_len];
+        {
+            let mut f = lock_unpoisoned(&self.file);
+            f.seek(SeekFrom::Start(frame_start))?;
+            f.read_exact(&mut frame)?;
+        }
+        if frame[0..4] != FRAME_MAGIC {
+            return Err(ArchiveError::Corrupt("frame magic"));
+        }
+        let mut h = Crc32::new();
+        h.update(&frame[4..24]);
+        h.update(&frame[FRAME_HEADER_LEN..]);
+        let actual = h.finalize();
+        if actual != e.crc {
+            return Err(ArchiveError::ChecksumMismatch {
+                region: "function region",
+                expected: e.crc,
+                actual,
+            });
+        }
+        let rec = Arc::new(decode_region(e, &frame[FRAME_HEADER_LEN..])?);
+        if self.obs.is_enabled() {
+            self.obs
+                .counter(
+                    "twpp_core_frames_decoded_lazy",
+                    "Archive frames decoded on first access through a lazy open",
+                )
+                .inc();
+        }
+        Ok(Arc::clone(
+            lock_unpoisoned(&self.cache).entry(func).or_insert(rec),
+        ))
+    }
+}
+
+impl std::fmt::Debug for LazyArchive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyArchive")
+            .field("functions", &self.table.len())
+            .field("failed", &self.failed.len())
+            .field("decoded", &self.decoded_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TwppArchive {
+    /// Opens `path` as a [`LazyArchive`]: metadata CRCs verified eagerly,
+    /// function frames decoded on first access. See the
+    /// [module docs](crate::lazy) for the exact trust boundary.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LazyArchive::open`].
+    pub fn open_lazy(path: &Path) -> Result<LazyArchive, ArchiveError> {
+        LazyArchive::open(path)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::gov::Limits;
+    use crate::pipeline::compact;
+    use crate::timestamped::Codec;
+    use std::collections::HashMap as Map;
+    use twpp_tracer::{RawWpp, WppEvent};
+
+    fn sample_wpp() -> RawWpp {
+        let f0 = FuncId::from_index(0);
+        let f1 = FuncId::from_index(1);
+        let b = twpp_ir::BlockId::new;
+        let mut ev = vec![WppEvent::Enter(f0)];
+        for i in 0..12u32 {
+            ev.push(WppEvent::Block(b(i % 3 + 1)));
+            if i % 4 == 0 {
+                ev.push(WppEvent::Enter(f1));
+                ev.push(WppEvent::Block(b(1)));
+                ev.push(WppEvent::Block(b(i % 5 + 2)));
+                ev.push(WppEvent::Exit);
+            }
+        }
+        ev.push(WppEvent::Exit);
+        RawWpp::from_events(&ev)
+    }
+
+    fn write_archive(dir: &std::path::Path, codec: Codec) -> std::path::PathBuf {
+        let c = compact(&sample_wpp()).unwrap();
+        let mut names = Map::new();
+        names.insert(FuncId::from_index(0), "main".to_owned());
+        let a = TwppArchive::from_compacted_codec(&c, &names, 1, &[], &Obs::noop(), codec);
+        let path = dir.join(format!("{}.twpa", codec.as_str()));
+        a.save(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn lazy_matches_eager_for_both_codecs() {
+        let dir = tempdir();
+        for codec in [Codec::Legacy, Codec::Adaptive] {
+            let path = write_archive(&dir, codec);
+            let eager = TwppArchive::load(&path).unwrap();
+            let lazy = TwppArchive::open_lazy(&path).unwrap();
+            assert_eq!(lazy.function_ids(), eager.function_ids());
+            assert_eq!(lazy.decoded_count(), 0, "open must not decode frames");
+            for func in eager.function_ids() {
+                let e = eager.read_function(func).unwrap();
+                let l = lazy.read_function(func).unwrap();
+                assert_eq!(*l, e);
+                assert_eq!(lazy.call_count(func), eager.call_count(func));
+            }
+            assert_eq!(lazy.decoded_count(), eager.function_ids().len());
+            assert_eq!(
+                lazy.read_dcg().unwrap().to_words(),
+                eager.read_dcg().unwrap().to_words()
+            );
+            assert_eq!(lazy.function_name(FuncId::from_index(0)), Some("main"));
+            assert_eq!(lazy.function_by_name("main"), Some(FuncId::from_index(0)));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_hits_reuse_the_same_record() {
+        let dir = tempdir();
+        let path = write_archive(&dir, Codec::Legacy);
+        let lazy = TwppArchive::open_lazy(&path).unwrap();
+        let func = lazy.function_ids()[0];
+        let a = lazy.read_function(func).unwrap();
+        let b = lazy.read_function(func).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(lazy.decoded_count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_counter_counts_first_decodes_only() {
+        let dir = tempdir();
+        let path = write_archive(&dir, Codec::Legacy);
+        let obs = Obs::collecting();
+        let lazy = LazyArchive::open_observed(&path, obs.clone()).unwrap();
+        let funcs = lazy.function_ids();
+        for f in &funcs {
+            lazy.read_function(*f).unwrap();
+            lazy.read_function(*f).unwrap();
+        }
+        let snap = obs.snapshot();
+        let sample = snap.get("twpp_core_frames_decoded_lazy").unwrap();
+        assert_eq!(
+            sample.value,
+            crate::obs::SampleValue::Counter(funcs.len() as u64)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn governed_reads_charge_bytes_and_stop() {
+        let dir = tempdir();
+        let path = write_archive(&dir, Codec::Legacy);
+        let lazy = TwppArchive::open_lazy(&path).unwrap();
+        let func = lazy.function_ids()[0];
+        // A one-byte budget stops before any I/O happens…
+        let tiny = Limits::new().max_bytes(1).start();
+        assert!(matches!(
+            lazy.read_function_governed(func, &tiny),
+            Err(ArchiveError::Stopped(_))
+        ));
+        // …a roomy one charges the frame and succeeds; the cache hit
+        // afterwards charges nothing.
+        let roomy = Limits::new().max_bytes(1 << 20).start();
+        lazy.read_function_governed(func, &roomy).unwrap();
+        let used = roomy.bytes_used();
+        assert!(used > 0);
+        lazy.read_function_governed(func, &roomy).unwrap();
+        assert_eq!(roomy.bytes_used(), used);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_frame_fails_only_on_access() {
+        let dir = tempdir();
+        let path = write_archive(&dir, Codec::Legacy);
+        // Flip one byte in the *last* frame's payload: open must still
+        // succeed (metadata is intact), reads of other functions must
+        // work, and only the damaged function errors.
+        let eager = TwppArchive::load(&path).unwrap();
+        let funcs = eager.function_ids();
+        assert!(funcs.len() >= 2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Find the last frame by scanning from the end of the data
+        // section; corrupt its final payload byte.
+        let victim = *funcs.last().unwrap();
+        let good: Vec<FuncId> = funcs[..funcs.len() - 1].to_vec();
+        // The victim's frame is written last (fewest calls), right before
+        // the footer — walk byte flips backwards from the end until one
+        // breaks the victim's CRC while leaving the metadata and every
+        // other frame intact.
+        let mut corrupted = None;
+        for i in (0..bytes.len()).rev() {
+            let mut trial = bytes.clone();
+            trial[i] ^= 0xff;
+            if let Ok(a) = TwppArchive::from_bytes(trial.clone()) {
+                let victim_bad = a.read_function(victim).is_err();
+                let others_ok = good.iter().all(|f| a.read_function(*f).is_ok());
+                if victim_bad && others_ok {
+                    corrupted = Some(trial);
+                    break;
+                }
+            }
+        }
+        bytes = corrupted.expect("found a byte whose flip corrupts only the last frame");
+        std::fs::write(&path, &bytes).unwrap();
+        let lazy = TwppArchive::open_lazy(&path).unwrap();
+        for f in &good {
+            lazy.read_function(*f).unwrap();
+        }
+        assert!(matches!(
+            lazy.read_function(victim),
+            Err(ArchiveError::ChecksumMismatch { .. } | ArchiveError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_and_damaged_metadata_fail_at_open() {
+        let dir = tempdir();
+        let path = write_archive(&dir, Codec::Legacy);
+        let bytes = std::fs::read(&path).unwrap();
+        // Truncate the commit marker: NotCommitted at open.
+        let cut = dir.join("cut.twpa");
+        std::fs::write(&cut, &bytes[..bytes.len() - 2]).unwrap();
+        assert!(matches!(
+            TwppArchive::open_lazy(&cut),
+            Err(ArchiveError::NotCommitted | ArchiveError::Truncated)
+        ));
+        // Corrupt the header CRC: checksum mismatch at open.
+        let mut bad = bytes.clone();
+        bad[9] ^= 0xff;
+        let badp = dir.join("bad.twpa");
+        std::fs::write(&badp, &bad).unwrap();
+        assert!(TwppArchive::open_lazy(&badp).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let dir = tempdir();
+        let path = write_archive(&dir, Codec::Legacy);
+        let lazy = TwppArchive::open_lazy(&path).unwrap();
+        assert!(matches!(
+            lazy.read_function(FuncId::from_index(999)),
+            Err(ArchiveError::UnknownFunction(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "twpp-lazy-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

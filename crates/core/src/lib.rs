@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod bitcodec;
 pub mod dbb;
 pub mod dcg;
 pub mod dedup;
 pub mod gov;
 pub mod ingest;
+pub mod lazy;
 pub mod lzw;
 pub mod obs;
 pub mod par;
@@ -43,6 +45,7 @@ pub mod trace;
 pub mod tsset;
 
 pub use archive::{ArchiveError, ArchiveWriter, Durability, FunctionRecord, TwppArchive};
+pub use bitcodec::{BitCodecError, BitReader, BitWriter};
 pub use dbb::{compact_trace, CompactedTrace, DbbDictionary};
 pub use dcg::{Dcg, DcgNode, DcgNodeId};
 pub use dedup::{eliminate_redundancy, eliminate_redundancy_threads, RedundancyStats};
@@ -52,6 +55,7 @@ pub use obs::{
 };
 pub use par::{default_threads, map_indexed_isolated, resolve_threads, WorkerReport};
 pub use ingest::{Compactor, FinishReport, IngestError, IngestOptions, ResumeReport, WalError};
+pub use lazy::LazyArchive;
 pub use partition::{partition, PartitionError, PartitionedWpp};
 pub use pipeline::{
     compact, compact_governed, compact_partitioned_governed, compact_with_stats,
@@ -59,6 +63,6 @@ pub use pipeline::{
     FunctionOutcome, GovOptions, PipelineError, PipelineStats, StageTimings,
 };
 pub use recovery::{FunctionVerdict, RecoveryReport, RegionStatus, SalvageStrategy};
-pub use timestamped::TimestampedTrace;
+pub use timestamped::{Codec, TimestampedTrace};
 pub use trace::PathTrace;
 pub use tsset::{SeriesEntry, TsSet, TsSetError};

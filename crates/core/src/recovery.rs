@@ -4,6 +4,14 @@
 //! validation, salvages every region whose checksum still verifies, and
 //! returns a [`RecoveryReport`] describing exactly what survived and what
 //! was lost. The report is the machine-readable side of `twpp fsck`.
+//!
+//! Salvage is codec-agnostic on the way in: the per-block codec tags
+//! ([`crate::Codec`]) live inside frame payloads and are handled by the
+//! trace decoder, so frames written with the adaptive codec verify and
+//! decode exactly like legacy ones. The *rebuilt* archive, however, is
+//! re-encoded through the default writer and therefore always carries the
+//! legacy encoding — salvaging an adaptive archive may grow it, never
+//! corrupt it.
 
 #![deny(clippy::unwrap_used)]
 

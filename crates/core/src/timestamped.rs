@@ -15,6 +15,7 @@ use std::fmt;
 
 use twpp_ir::BlockId;
 
+use crate::bitcodec::{self, BitCodecError};
 use crate::trace::PathTrace;
 use crate::tsset::{TsSet, TsSetError};
 
@@ -24,6 +25,60 @@ use crate::tsset::{TsSet, TsSetError};
 /// billions of positions and blow up [`TimestampedTrace::to_path_trace`];
 /// real per-call path traces are orders of magnitude below this cap.
 pub const MAX_DECODED_LEN: u32 = 1 << 24;
+
+/// Which timestamp-set encoder the archive writer uses per block.
+///
+/// The knob only affects *encoding*: decoders read the per-block codec
+/// tag, so every reader understands every codec, and
+/// [`Codec::Legacy`]-encoded bytes are bit-identical to pre-codec-tag
+/// archives (the tag bits of a legacy block are always zero).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+#[non_exhaustive]
+pub enum Codec {
+    /// The paper's sign-delimited `l:h:s` series encoding, exclusively.
+    /// Byte-identical output to every archive written before the codec
+    /// tag existed; the default.
+    #[default]
+    Legacy,
+    /// Per-block smallest-wins choice between `l:h:s`, raw timestamps,
+    /// and Gorilla-style delta-of-delta bit packing
+    /// ([`crate::bitcodec`]). Never larger than [`Codec::Legacy`];
+    /// ties keep the legacy form.
+    Adaptive,
+}
+
+impl Codec {
+    /// Stable string form (`legacy` / `adaptive`), the CLI flag
+    /// vocabulary.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Codec::Legacy => "legacy",
+            Codec::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses the CLI flag vocabulary.
+    pub fn parse(s: &str) -> Option<Codec> {
+        match s {
+            "legacy" => Some(Codec::Legacy),
+            "adaptive" => Some(Codec::Adaptive),
+            _ => None,
+        }
+    }
+}
+
+/// The per-block codec tag lives in the top two bits of the `n_words`
+/// word (legacy writers always left them zero: wire word counts are
+/// bounded far below 2^30, so old archives carry tag 0 everywhere and
+/// readers predating the tag see a tagged word as an impossible count
+/// and fail with a clean `Truncated` error, never a misdecode).
+const CODEC_TAG_MASK: u32 = 0b11 << 30;
+/// Tag 0: the paper's sign-delimited `l:h:s` encoding.
+const CODEC_TAG_LEGACY: u32 = 0;
+/// Tag 1: raw — one `u32` word per timestamp, strictly increasing.
+const CODEC_TAG_RAW: u32 = 1 << 30;
+/// Tag 2: delta-of-delta bit stream ([`crate::bitcodec`]).
+const CODEC_TAG_DD: u32 = 2 << 30;
 
 /// A path trace in timestamped (TWPP) form: `block -> ordered timestamp
 /// set`, with timestamps `1..=len` numbering the trace positions.
@@ -44,6 +99,10 @@ pub enum TimestampedTraceError {
     UnorderedBlocks,
     /// A timestamp set failed to decode.
     BadTsSet(TsSetError),
+    /// A delta-delta coded timestamp set failed to decode.
+    BadBitStream(BitCodecError),
+    /// A block carried the reserved (undefined) codec tag.
+    UnknownCodecTag(u32),
     /// The timestamp sets do not partition `1..=len`.
     NotAPartition,
     /// The declared trace length exceeds [`MAX_DECODED_LEN`].
@@ -58,6 +117,12 @@ impl fmt::Display for TimestampedTraceError {
                 f.write_str("block entries out of order or duplicated")
             }
             TimestampedTraceError::BadTsSet(e) => write!(f, "bad timestamp set: {e}"),
+            TimestampedTraceError::BadBitStream(e) => {
+                write!(f, "bad delta-delta timestamp set: {e}")
+            }
+            TimestampedTraceError::UnknownCodecTag(tag) => {
+                write!(f, "unknown codec tag {tag}")
+            }
             TimestampedTraceError::NotAPartition => {
                 f.write_str("timestamp sets do not partition the trace positions")
             }
@@ -72,6 +137,7 @@ impl Error for TimestampedTraceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             TimestampedTraceError::BadTsSet(e) => Some(e),
+            TimestampedTraceError::BadBitStream(e) => Some(e),
             _ => None,
         }
     }
@@ -80,6 +146,12 @@ impl Error for TimestampedTraceError {
 impl From<TsSetError> for TimestampedTraceError {
     fn from(e: TsSetError) -> TimestampedTraceError {
         TimestampedTraceError::BadTsSet(e)
+    }
+}
+
+impl From<BitCodecError> for TimestampedTraceError {
+    fn from(e: BitCodecError) -> TimestampedTraceError {
+        TimestampedTraceError::BadBitStream(e)
     }
 }
 
@@ -184,10 +256,42 @@ impl TimestampedTrace {
     /// [`TimestampedTrace::from_path_trace`] always encode, because
     /// construction asserts `len <= i32::MAX`.
     pub fn to_words(&self) -> Result<Vec<u32>, TimestampedTraceError> {
+        self.to_words_with(Codec::Legacy)
+    }
+
+    /// Like [`TimestampedTrace::to_words`] with an explicit per-block
+    /// codec. [`Codec::Legacy`] output is byte-identical to
+    /// [`TimestampedTrace::to_words`]; [`Codec::Adaptive`] picks the
+    /// smallest of the legacy, raw and delta-delta encodings per block
+    /// (ties keep legacy, then raw), so the stream is never larger than
+    /// the legacy one. Every choice is recorded in the block's codec tag
+    /// and [`TimestampedTrace::from_words`] understands all of them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TimestampedTrace::to_words`].
+    pub fn to_words_with(&self, codec: Codec) -> Result<Vec<u32>, TimestampedTraceError> {
         let mut words = vec![self.len, self.map.len() as u32];
         for (b, ts) in &self.map {
             let wire = ts.to_wire()?;
             words.push(b.as_u32());
+            match codec {
+                Codec::Adaptive => match adaptive_block_wire(ts, wire.len()) {
+                    Some(AdaptiveWire::Raw(vals)) => {
+                        words.push(vals.len() as u32 | CODEC_TAG_RAW);
+                        words.extend(vals);
+                        continue;
+                    }
+                    Some(AdaptiveWire::DeltaDelta(packed)) => {
+                        words.push(packed.len() as u32 | CODEC_TAG_DD);
+                        words.extend(packed);
+                        continue;
+                    }
+                    None => {}
+                },
+                Codec::Legacy => {}
+            }
+            debug_assert!(wire.len() < (1 << 30) as usize, "wire count collides with tag bits");
             words.push(wire.len() as u32);
             words.extend(wire.iter().map(|&w| w as u32));
         }
@@ -227,15 +331,49 @@ impl TimestampedTrace {
                     return Err(TimestampedTraceError::UnorderedBlocks);
                 }
             }
-            let n_words = take(pos)? as usize;
+            let tagged = take(pos)?;
+            let tag = tagged & CODEC_TAG_MASK;
+            let n_words = (tagged & !CODEC_TAG_MASK) as usize;
             if *pos + n_words > words.len() {
                 return Err(TimestampedTraceError::Truncated);
             }
-            let wire: Vec<i32> = words[*pos..*pos + n_words].iter().map(|&w| w as i32).collect();
+            let block_words = &words[*pos..*pos + n_words];
             *pos += n_words;
-            // Bounded decoding: every timestamp must fall in `1..=len`,
-            // rejecting wire entries that claim huge member counts.
-            let ts = TsSet::from_wire_capped(&wire, len)?;
+            let ts = match tag {
+                CODEC_TAG_LEGACY => {
+                    let wire: Vec<i32> = block_words.iter().map(|&w| w as i32).collect();
+                    // Bounded decoding: every timestamp must fall in
+                    // `1..=len`, rejecting wire entries that claim huge
+                    // member counts.
+                    TsSet::from_wire_capped(&wire, len)?
+                }
+                CODEC_TAG_RAW => {
+                    // One timestamp per word; validate 1-based, strictly
+                    // increasing and capped before the (asserting)
+                    // `from_sorted` sees the data.
+                    let mut prev = 0u32;
+                    for (i, &v) in block_words.iter().enumerate() {
+                        if v == 0 {
+                            return Err(TsSetError::BadEntry(i).into());
+                        }
+                        if v <= prev {
+                            return Err(TsSetError::Unordered(i).into());
+                        }
+                        if v > len {
+                            return Err(TsSetError::ExceedsCap { value: v, cap: len }.into());
+                        }
+                        prev = v;
+                    }
+                    TsSet::from_sorted(block_words)
+                }
+                CODEC_TAG_DD => {
+                    // `decode_delta_delta` enforces 1-based, strictly
+                    // increasing, `<= len`, and zero padding bits.
+                    let values = bitcodec::decode_delta_delta(block_words, len)?;
+                    TsSet::from_sorted(&values)
+                }
+                other => return Err(TimestampedTraceError::UnknownCodecTag(other >> 30)),
+            };
             if let Some(first) = ts.first() {
                 if first < 1 {
                     return Err(TimestampedTraceError::NotAPartition);
@@ -264,6 +402,47 @@ impl TimestampedTrace {
     /// timestamp-vector sizes of Table 6).
     pub fn total_entries(&self) -> usize {
         self.map.iter().map(|(_, ts)| ts.entry_count()).sum()
+    }
+}
+
+/// A non-legacy block encoding picked by [`Codec::Adaptive`].
+enum AdaptiveWire {
+    /// One `u32` word per timestamp.
+    Raw(Vec<u32>),
+    /// Packed delta-of-delta bit stream ([`bitcodec::encode_delta_delta`]).
+    DeltaDelta(Vec<u32>),
+}
+
+/// Picks the smallest encoding for one block, or `None` to keep legacy.
+///
+/// Legacy wins ties, raw beats delta-delta on a tie — and raw/delta-delta
+/// are only *considered* when strictly smaller than the legacy wire, which
+/// (a) caps the tagged word count below the tag bits and (b) guarantees an
+/// adaptive stream is never larger than the legacy one. The `n <
+/// legacy_words * 32` guard bounds the expansion work: delta-delta costs at
+/// least one bit per element, so past that point neither alternative can
+/// win and materialising the set would only burn time on adversarially
+/// dense series.
+fn adaptive_block_wire(ts: &TsSet, legacy_words: usize) -> Option<AdaptiveWire> {
+    let n = ts.len();
+    if n == 0 || n >= (legacy_words as u64).saturating_mul(32) {
+        return None;
+    }
+    let values = ts.to_vec();
+    // Raw and delta-delta decode through `TsSet::from_sorted`, which
+    // re-compacts adjacent series; a set that differs from its compacted
+    // form (possible for intersection results) would not round-trip, so
+    // it keeps the legacy encoding.
+    if TsSet::from_sorted(&values) != *ts {
+        return None;
+    }
+    let dd = bitcodec::encode_delta_delta(&values);
+    if values.len() < legacy_words && values.len() <= dd.len() {
+        Some(AdaptiveWire::Raw(values))
+    } else if dd.len() < legacy_words {
+        Some(AdaptiveWire::DeltaDelta(dd))
+    } else {
+        None
     }
 }
 
@@ -384,6 +563,172 @@ mod tests {
         assert_eq!(tt.ts_of(BlockId::new(9)), None);
         assert_eq!(tt.block_at(4), Some(BlockId::new(1)));
         assert_eq!(tt.block_at(6), None);
+    }
+
+    #[test]
+    fn adaptive_round_trips_and_never_loses_on_size() {
+        let shapes: &[&[u32]] = &[
+            &[1],
+            &[1, 2, 3, 4, 5],
+            &[1, 2, 7, 8, 9, 6, 2, 7, 8, 9, 6, 10],
+            &[5, 5, 5, 5],
+            // Irregular gaps: raw or delta-delta should beat the legacy
+            // series encoding, which needs up to 3 words per fragment.
+            &[1, 3, 2, 5, 9, 4, 1, 7, 2, 8, 3, 9, 4, 1, 5, 2, 6, 3, 7, 4],
+        ];
+        for ids in shapes {
+            let tt = TimestampedTrace::from_path_trace(&trace_of(ids));
+            let legacy = tt.to_words().unwrap();
+            let adaptive = tt.to_words_with(Codec::Adaptive).unwrap();
+            assert!(
+                adaptive.len() <= legacy.len(),
+                "adaptive ({}) larger than legacy ({}) for {ids:?}",
+                adaptive.len(),
+                legacy.len()
+            );
+            for words in [&legacy, &adaptive] {
+                let mut pos = 0;
+                let back = TimestampedTrace::from_words(words, &mut pos).unwrap();
+                assert_eq!(pos, words.len());
+                assert_eq!(&back, &tt);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_picks_non_legacy_for_irregular_sets() {
+        // 17 blocks visited in a hash-scrambled order: each block's
+        // timestamps are irregular with small gaps, where legacy pays up
+        // to a word per element but a delta-delta block packs each gap
+        // into a few bits.
+        let ids: Vec<u32> = (0..200u64)
+            .map(|i| ((i.wrapping_mul(2_654_435_761) >> 7) % 17 + 1) as u32)
+            .collect();
+        let tt = TimestampedTrace::from_path_trace(&trace_of(&ids));
+        let legacy = tt.to_words().unwrap();
+        let adaptive = tt.to_words_with(Codec::Adaptive).unwrap();
+        assert!(
+            adaptive.len() < legacy.len(),
+            "expected a strict win, got adaptive={} legacy={}",
+            adaptive.len(),
+            legacy.len()
+        );
+        assert!(
+            adaptive.iter().any(|w| w & CODEC_TAG_MASK != 0),
+            "no non-legacy tags emitted"
+        );
+        let mut pos = 0;
+        assert_eq!(TimestampedTrace::from_words(&adaptive, &mut pos).unwrap(), tt);
+    }
+
+    #[test]
+    fn legacy_codec_is_byte_identical_to_untagged_encoder() {
+        // `Codec::Legacy` must reproduce the historical stream exactly:
+        // all tag bits zero, same words.
+        let ids: Vec<u32> = (0..64u32).map(|i| i % 7 + 1).collect();
+        let tt = TimestampedTrace::from_path_trace(&trace_of(&ids));
+        let words = tt.to_words_with(Codec::Legacy).unwrap();
+        assert_eq!(words, tt.to_words().unwrap());
+        // Skip the two stream-header words; every per-block count word
+        // must carry tag 0. (Walk the stream properly.)
+        let mut pos = 2;
+        while pos < words.len() {
+            pos += 1; // block id
+            let tagged = words[pos];
+            assert_eq!(tagged & CODEC_TAG_MASK, 0);
+            pos += 1 + tagged as usize;
+        }
+    }
+
+    #[test]
+    fn reserved_codec_tag_is_rejected() {
+        let t = trace_of(&[1, 2, 3]);
+        let tt = TimestampedTrace::from_path_trace(&t);
+        let mut words = tt.to_words().unwrap();
+        // Words: [len, n_blocks, id, n_words, ...] — tag the first count.
+        words[3] |= CODEC_TAG_MASK;
+        let mut pos = 0;
+        assert_eq!(
+            TimestampedTrace::from_words(&words, &mut pos),
+            Err(TimestampedTraceError::UnknownCodecTag(3))
+        );
+    }
+
+    #[test]
+    fn raw_codec_rejects_malformed_words() {
+        // Hand-built streams: len=3, one block, raw-tagged payloads.
+        let raw = |payload: &[u32]| {
+            let mut words = vec![3u32, 1, 1, payload.len() as u32 | CODEC_TAG_RAW];
+            words.extend_from_slice(payload);
+            let mut pos = 0;
+            TimestampedTrace::from_words(&words, &mut pos)
+        };
+        assert_eq!(raw(&[1, 2, 3]).unwrap().len(), 3);
+        assert!(matches!(
+            raw(&[0, 1, 2]),
+            Err(TimestampedTraceError::BadTsSet(TsSetError::BadEntry(0)))
+        ));
+        assert!(matches!(
+            raw(&[2, 1, 3]),
+            Err(TimestampedTraceError::BadTsSet(TsSetError::Unordered(1)))
+        ));
+        assert!(matches!(
+            raw(&[1, 2, 4]),
+            Err(TimestampedTraceError::BadTsSet(TsSetError::ExceedsCap { value: 4, cap: 3 }))
+        ));
+        // Duplicate (non-strict) ordering is Unordered too.
+        assert!(matches!(
+            raw(&[1, 1, 2]),
+            Err(TimestampedTraceError::BadTsSet(TsSetError::Unordered(1)))
+        ));
+    }
+
+    #[test]
+    fn dd_codec_decode_is_bounded_and_checked() {
+        use crate::bitcodec::encode_delta_delta;
+        // A valid delta-delta block decodes…
+        let values: Vec<u32> = (1..=20).collect();
+        let packed = encode_delta_delta(&values);
+        let mut words = vec![20u32, 1, 1, packed.len() as u32 | CODEC_TAG_DD];
+        words.extend_from_slice(&packed);
+        let mut pos = 0;
+        let tt = TimestampedTrace::from_words(&words, &mut pos).unwrap();
+        assert_eq!(tt.ts_of(BlockId::new(1)).unwrap().to_vec(), values);
+        // …but the same stream under a smaller declared len is rejected
+        // (values reach past the cap).
+        words[0] = 19;
+        let mut pos = 0;
+        assert!(matches!(
+            TimestampedTrace::from_words(&words, &mut pos),
+            Err(TimestampedTraceError::BadBitStream(_))
+        ));
+        // Truncating the bit stream at every word never panics.
+        for cut in 0..words.len() {
+            let mut pos = 0;
+            assert!(TimestampedTrace::from_words(&words[..cut], &mut pos).is_err());
+        }
+    }
+
+    #[test]
+    fn adaptive_truncation_never_panics() {
+        let ids: Vec<u32> = (0..100u32).map(|i| (i * 13) % 17 + 1).collect();
+        let tt = TimestampedTrace::from_path_trace(&trace_of(&ids));
+        let words = tt.to_words_with(Codec::Adaptive).unwrap();
+        for cut in 0..words.len() {
+            let mut pos = 0;
+            assert!(TimestampedTrace::from_words(&words[..cut], &mut pos).is_err());
+        }
+    }
+
+    #[test]
+    fn codec_parse_and_as_str_round_trip() {
+        assert_eq!(Codec::parse("legacy"), Some(Codec::Legacy));
+        assert_eq!(Codec::parse("adaptive"), Some(Codec::Adaptive));
+        assert_eq!(Codec::parse("gorilla"), None);
+        assert_eq!(Codec::default(), Codec::Legacy);
+        for c in [Codec::Legacy, Codec::Adaptive] {
+            assert_eq!(Codec::parse(c.as_str()), Some(c));
+        }
     }
 
     #[test]

@@ -90,11 +90,29 @@ impl SeriesEntry {
 
     /// Iterates over the timestamps.
     pub fn iter(&self) -> impl Iterator<Item = u32> {
-        let (first, last, step) = (self.first, self.last, self.step);
-        (0..self.len()).map(move |k| {
-            debug_assert!(first as u64 + k * step as u64 <= last as u64);
-            first + (k as u32) * step
-        })
+        let e = *self;
+        (0..self.len()).filter_map(move |k| e.try_nth(k).ok())
+    }
+
+    /// The `k`-th timestamp of the series (0-based), as a checked
+    /// computation: `first + k * step` is evaluated in `u64`, so entries
+    /// near the top of the `u32` domain cannot wrap in release builds
+    /// (the same treatment [`TsSet::try_shift`] gives the shift path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsSetError::TimestampOverflow`] if `k` is past the end
+    /// of the series or the computed value leaves the `u32` domain.
+    pub fn try_nth(&self, k: u64) -> Result<u32, TsSetError> {
+        let v = k
+            .checked_mul(u64::from(self.step))
+            .and_then(|o| o.checked_add(u64::from(self.first)))
+            .ok_or(TsSetError::TimestampOverflow { value: u64::MAX })?;
+        if k >= self.len() || v > u64::from(u32::MAX) {
+            return Err(TsSetError::TimestampOverflow { value: v });
+        }
+        debug_assert!(v <= u64::from(self.last));
+        Ok(v as u32)
     }
 
     /// Intersects two arithmetic series exactly; the intersection of two
@@ -157,10 +175,20 @@ impl SeriesEntry {
             // fabricate an entry whose `last` does not lie on the series
             // and trip `SeriesEntry::new`'s invariant.
             debug_assert!(x + lcm > hi, "period > domain admits one solution");
-            return Some(SeriesEntry::singleton(x as u32));
+            // `x` lies in `[lo, hi]`, both u32 values, so the conversion
+            // cannot fail for a true member; `try_from` (not `as`) makes
+            // a violated invariant yield "no intersection" instead of a
+            // silently truncated bogus member.
+            return u32::try_from(x).ok().map(SeriesEntry::singleton);
         }
         let last = x + (hi - x).div_euclid(lcm) * lcm;
-        Some(SeriesEntry::new(x as u32, last as u32, lcm as u32))
+        // Same reasoning: every operand is within `[lo, hi]` (and `lcm`
+        // is `<= u32::MAX` on this branch), so truncation is impossible
+        // for valid input — but never silently wrap.
+        match (u32::try_from(x), u32::try_from(last), u32::try_from(lcm)) {
+            (Ok(f), Ok(l), Ok(s)) => Some(SeriesEntry::new(f, l, s)),
+            _ => None,
+        }
     }
 }
 
@@ -484,7 +512,14 @@ impl TsSet {
                 }
                 continue;
             }
-            entries.push(SeriesEntry::new(nf as u32, nl as u32, e.step));
+            // Both ends were clamped into `[1, u32::MAX]` above, so the
+            // conversions cannot fail; `try_from` keeps that a checked
+            // invariant rather than a silent release-build truncation.
+            let (Ok(nf), Ok(nl)) = (u32::try_from(nf), u32::try_from(nl)) else {
+                debug_assert!(false, "clamped shift endpoints must fit u32");
+                continue;
+            };
+            entries.push(SeriesEntry::new(nf, nl, e.step));
         }
         (TsSet { entries }, overflowed)
     }
@@ -576,9 +611,13 @@ impl TsSet {
             if e.last < t {
                 return Some(e.last);
             }
-            // Largest element of the series < t.
-            let k = (t - 1 - e.first) / e.step;
-            return Some(e.first + k * e.step);
+            // Largest element of the series < t, in widened arithmetic
+            // (the k*step product cannot wrap for valid entries, but the
+            // decode paths should not have to rely on that).
+            let k = u64::from(t - 1 - e.first) / u64::from(e.step);
+            let v = u64::from(e.first) + k * u64::from(e.step);
+            debug_assert!(v < u64::from(t));
+            return u32::try_from(v).ok();
         }
         None
     }
@@ -592,10 +631,15 @@ impl TsSet {
             if e.first >= t {
                 return Some(e.first);
             }
-            let k = (t - e.first).div_ceil(e.step);
-            let v = e.first + k * e.step;
-            if v <= e.last {
-                return Some(v);
+            // Regression: the smallest series element >= t can overshoot
+            // `last` by up to `step - 1`, and for direct-built entries
+            // near the top of the domain `first + k*step` wrapped in u32
+            // release arithmetic, returning a bogus small member. Widen
+            // to u64, where the comparison against `last` is exact.
+            let k = u64::from(t - e.first).div_ceil(u64::from(e.step));
+            let v = u64::from(e.first) + k * u64::from(e.step);
+            if v <= u64::from(e.last) {
+                return u32::try_from(v).ok();
             }
         }
         None
@@ -650,6 +694,18 @@ impl TsSet {
     /// Returns a [`TsSetError`] for truncated, malformed or out-of-order
     /// input.
     pub fn from_wire(words: &[i32]) -> Result<TsSet, TsSetError> {
+        // Decodes the magnitude of one sign-delimited wire word into the
+        // encodable `1..=i32::MAX` domain. `try_from` replaces the old
+        // unchecked `as u32` narrowing, and the explicit upper bound
+        // rejects `i32::MIN` wire words, whose negation (2^31) used to
+        // decode into a set `to_wire` could never re-encode.
+        let magnitude = |w: i64, at: usize| -> Result<u32, TsSetError> {
+            let v = u32::try_from(w).map_err(|_| TsSetError::BadEntry(at))?;
+            if v == 0 || v > i32::MAX as u32 {
+                return Err(TsSetError::BadEntry(at));
+            }
+            Ok(v)
+        };
         let mut entries = Vec::new();
         let mut i = 0;
         while i < words.len() {
@@ -657,10 +713,7 @@ impl TsSet {
             let w0 = words[i];
             let entry = if w0 < 0 {
                 i += 1;
-                let v = u32::try_from(-i64::from(w0)).map_err(|_| TsSetError::BadEntry(start))?;
-                if v == 0 {
-                    return Err(TsSetError::BadEntry(start));
-                }
+                let v = magnitude(-i64::from(w0), start)?;
                 SeriesEntry::singleton(v)
             } else {
                 if w0 == 0 {
@@ -669,7 +722,8 @@ impl TsSet {
                 let w1 = *words.get(i + 1).ok_or(TsSetError::Truncated)?;
                 if w1 < 0 {
                     i += 2;
-                    let (f, l) = (w0 as u32, (-i64::from(w1)) as u32);
+                    let f = magnitude(i64::from(w0), start)?;
+                    let l = magnitude(-i64::from(w1), start)?;
                     if l <= f {
                         return Err(TsSetError::BadEntry(start));
                     }
@@ -683,8 +737,10 @@ impl TsSet {
                         return Err(TsSetError::BadEntry(start));
                     }
                     i += 3;
-                    let (f, l, s) = (w0 as u32, w1 as u32, (-i64::from(w2)) as u32);
-                    if l <= f || s == 0 || (l - f) % s != 0 {
+                    let f = magnitude(i64::from(w0), start)?;
+                    let l = magnitude(i64::from(w1), start)?;
+                    let s = magnitude(-i64::from(w2), start)?;
+                    if l <= f || (l - f) % s != 0 {
                         return Err(TsSetError::BadEntry(start));
                     }
                     SeriesEntry::new(f, l, s)
@@ -1052,6 +1108,81 @@ mod tests {
         let d = SeriesEntry::new(2, 2 + half, half);
         let j = d.intersect(&b).expect("2^31+2 is in both series");
         assert_eq!((j.first(), j.last(), j.step()), (2 + half, 2 + half, 1));
+    }
+
+    #[test]
+    fn iter_near_domain_top_is_checked_not_wrapped() {
+        // Regression: `first + (k as u32) * step` wrapped in release
+        // builds for entries near u32::MAX. The expansion now runs in
+        // u64 via `try_nth`, so it is exact across the whole domain —
+        // including entries straddling i32::MAX, the wire-format
+        // boundary.
+        let max = i32::MAX as u32;
+        let e = SeriesEntry::new(max - 4, max + 6, 5); // straddles i32::MAX
+        assert_eq!(e.iter().collect::<Vec<_>>(), vec![max - 4, max + 1, max + 6]);
+        assert_eq!(e.try_nth(0), Ok(max - 4));
+        assert_eq!(e.try_nth(2), Ok(max + 6));
+        assert!(e.try_nth(3).is_err(), "past-the-end is a typed error");
+        // The very top of the u32 domain.
+        let top = SeriesEntry::new(u32::MAX - 2, u32::MAX, 2);
+        assert_eq!(top.iter().collect::<Vec<_>>(), vec![u32::MAX - 2, u32::MAX]);
+        assert_eq!(top.try_nth(1), Ok(u32::MAX));
+        assert!(top.try_nth(2).is_err());
+        // Huge k values cannot wrap the checked multiply either.
+        assert!(top.try_nth(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn min_ge_near_domain_top_is_exact() {
+        // Regression: the first-series-element->= t computation could
+        // overshoot `last` by up to step-1 and wrap in u32 release
+        // arithmetic, returning a bogus small member.
+        let half = 1u32 << 31;
+        let s = TsSet::from_entries(vec![SeriesEntry::new(1, 1 + half, half)]);
+        // t between the two members: the wrapped computation used to
+        // yield 1 + 2*2^31 mod 2^32 = 1, a wrong answer <= last.
+        assert_eq!(s.min_ge(2), Some(1 + half));
+        // t past the last member: must be None, not a wrapped value.
+        assert_eq!(s.min_ge(2 + half), None);
+        assert_eq!(s.max_lt(1 + half), Some(1));
+        assert_eq!(s.max_lt(u32::MAX), Some(1 + half));
+    }
+
+    #[test]
+    fn from_wire_rejects_i32_min_magnitudes() {
+        // Regression: `-i64::from(i32::MIN) as u32` = 2^31 decoded into a
+        // set that `to_wire` could never re-encode (the sign encoding
+        // caps values at i32::MAX), breaking encode/decode symmetry.
+        assert_eq!(TsSet::from_wire(&[i32::MIN]), Err(TsSetError::BadEntry(0)));
+        assert_eq!(TsSet::from_wire(&[1, i32::MIN]), Err(TsSetError::BadEntry(0)));
+        assert_eq!(
+            TsSet::from_wire(&[1, 3, i32::MIN]),
+            Err(TsSetError::BadEntry(0))
+        );
+        // Every decodable set re-encodes: the maximal legal wire words.
+        let s = TsSet::from_wire(&[-i32::MAX]).unwrap();
+        assert_eq!(s.to_wire().unwrap(), vec![-i32::MAX]);
+    }
+
+    #[test]
+    fn intersect_coprime_steps_pin_exact_output() {
+        // Pinned output for the huge-lcm singleton fallback on a crafted
+        // coprime-step pair: lcm(65537, 65539) = 65537 * 65539 > 2^32,
+        // so the window admits exactly the shared anchor.
+        let (p, q) = (65_537u32, 65_539u32);
+        let anchor = 1_000u32;
+        let a = SeriesEntry::new(anchor, anchor + 5 * p, p);
+        let b = SeriesEntry::new(anchor, anchor + 7 * q, q);
+        let i = a.intersect(&b).expect("the anchor is in both series");
+        assert_eq!((i.first(), i.last(), i.step()), (anchor, anchor, 1));
+        // Same through the set-level walk, both directions.
+        let sa = TsSet::from_entries(vec![a]);
+        let sb = TsSet::from_entries(vec![b]);
+        assert_eq!(sa.intersect(&sb).to_vec(), vec![anchor]);
+        assert_eq!(sb.intersect(&sa).to_vec(), vec![anchor]);
+        // Shifted residues that never meet stay empty.
+        let c = SeriesEntry::new(anchor + 1, anchor + 1 + 5 * p, p);
+        assert!(c.intersect(&b).is_none());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use proptest::prelude::*;
 
+use twpp::bitcodec::{decode_delta_delta, encode_delta_delta, BitReader};
 use twpp::lzw::{self, LzwError};
 use twpp::tsset::{TsSet, TsSetError};
 
@@ -121,6 +122,38 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Delta-of-delta bit codec (adaptive archive codec, DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dd_degenerate_shapes_round_trip_exactly() {
+    // Single element, constant step (dod == 0 everywhere), step jumps,
+    // and the minimal value 1: the shapes the adaptive selector feeds
+    // the codec most often.
+    let cases: &[&[u32]] = &[
+        &[1],
+        &[7],
+        &[i32::MAX as u32],
+        &[1, 2],
+        &[1, 2, 3, 4, 5, 6, 7, 8],
+        &[10, 20, 30, 40, 50],
+        &[1, 100, 101, 102, 5_000, 5_001],
+        &[1, 2, 4, 8, 16, 32, 64, 128],
+    ];
+    for values in cases {
+        let words = encode_delta_delta(values);
+        let cap = *values.last().unwrap();
+        assert_eq!(
+            decode_delta_delta(&words, cap).unwrap(),
+            *values,
+            "values={values:?}"
+        );
+    }
+    // Empty decode: a zero count with no payload is the empty vector.
+    assert_eq!(decode_delta_delta(&encode_delta_delta(&[]), 1).unwrap(), []);
+}
+
+// ---------------------------------------------------------------------------
 // TsSet `l:h:s` wire format
 // ---------------------------------------------------------------------------
 
@@ -228,6 +261,87 @@ proptest! {
         if let Ok(set) = TsSet::from_wire_capped(&words, 1 << 16) {
             let v = set.to_vec();
             prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn dd_round_trips_sorted_timestamp_vectors(
+        start in 1u32..100_000,
+        gaps in prop::collection::vec(1u32..5_000, 0..128),
+    ) {
+        // Arbitrary strictly increasing vectors, including a lone
+        // singleton when `gaps` is empty.
+        let mut values = vec![start];
+        for g in gaps {
+            let next = u64::from(*values.last().unwrap()) + u64::from(g);
+            if next > u64::from(i32::MAX as u32) {
+                break;
+            }
+            values.push(next as u32);
+        }
+        let words = encode_delta_delta(&values);
+        let cap = *values.last().unwrap();
+        prop_assert_eq!(decode_delta_delta(&words, cap).unwrap(), values.clone());
+        // A cap one below the max must be rejected, not clamped.
+        if cap > 1 {
+            prop_assert!(decode_delta_delta(&words, cap - 1).is_err());
+        }
+    }
+
+    #[test]
+    fn dd_truncation_at_every_bit_offset_never_panics(
+        start in 1u32..10_000,
+        gaps in prop::collection::vec(1u32..3_000, 1..48),
+    ) {
+        let mut values = vec![start];
+        for g in gaps {
+            values.push(values.last().unwrap() + g);
+        }
+        let words = encode_delta_delta(&values);
+        let cap = *values.last().unwrap();
+        // Word-level truncation through the full decoder: every prefix
+        // must fail cleanly (the count header promises more values).
+        for cut in 0..words.len() {
+            prop_assert!(decode_delta_delta(&words[..cut], cap).is_err(), "cut={cut}");
+        }
+        // Bit-level truncation through the reader itself: from every
+        // offset, draining the stream and asking for one more bit is a
+        // typed error, never a panic — and the failed read must not
+        // advance the cursor.
+        let total_bits = words.len() * 32;
+        for bits in 0..total_bits.min(256) {
+            let mut r = BitReader::new(&words);
+            let mut left = bits;
+            while left > 0 {
+                let take = left.min(24) as u32;
+                r.read_bits(take).unwrap();
+                left -= take as usize;
+            }
+            let remaining = total_bits - bits;
+            if remaining < 64 {
+                prop_assert!(r.read_bits(remaining as u32 + 1).is_err());
+                prop_assert_eq!(r.remaining_bits(), remaining, "failed read moved the cursor");
+            }
+            let mut left = remaining;
+            while left > 0 {
+                let take = left.min(32) as u32;
+                r.read_bits(take).unwrap();
+                left -= take as usize;
+            }
+            prop_assert!(r.read_bits(1).is_err());
+        }
+    }
+
+    #[test]
+    fn dd_decode_of_garbage_never_panics(
+        words in prop::collection::vec(any::<u32>(), 0..64),
+        cap in 1u32..1_000_000,
+    ) {
+        // Any verdict is fine; a panic or unbounded allocation is not.
+        if let Ok(values) = decode_delta_delta(&words, cap) {
+            prop_assert!(values.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(values.first().is_none_or(|&v| v >= 1));
+            prop_assert!(values.last().is_none_or(|&v| v <= cap));
         }
     }
 
