@@ -5,6 +5,8 @@
 //! twpp trace <prog.twl> -o <out.wpp> [--input 1,2,3]
 //! twpp compact <in.wpp> -o <out.twpa> [--program <prog.twl>] [--threads N] [--stats]
 //! twpp ingest <dir> --from <in.wpp|-> [--seal-bytes N] [--seal-ms N] [--chunk-events N]
+//! twpp serve-ingest <dir> [--listen tcp:H:P|unix:PATH] [--port-file F] [--tail F]...
+//! twpp net-feed <addr> --source <name> --from <in.wpp|-> [--drain]
 //! twpp info <file.wpp|file.twpa>
 //! twpp query <file.twpa> <func-id-or-name>
 //! twpp fsck <file.twpa|file.wpp|dir> [--repair [-o <out>]] [--threads N]
@@ -21,6 +23,14 @@
 //! behind resumes exactly where it stopped. `fsck` on such a directory
 //! chain-validates the manifests, salvage-verifies every segment and
 //! replays the WAL.
+//!
+//! `serve-ingest` is the long-lived form (DESIGN.md §17): a daemon
+//! accepting framed event streams over TCP/Unix sockets and tailed
+//! files, one resumable compactor per source under `<dir>/<source>/`,
+//! with backpressure (BUSY + retry-after), per-connection quarantine of
+//! garbage, a watchdog failing wedged sources in isolation, and a
+//! graceful drain on SIGTERM that merges every source. `net-feed` is
+//! the matching client.
 //!
 //! `--threads N` caps the worker pool used by the parallel compaction and
 //! verification stages (default: `TWPP_THREADS` or the machine's available
@@ -130,6 +140,28 @@ usage:
       --seal-bytes N    seal the open window at N encoded bytes (default 1 MiB)
       --seal-ms N       additionally seal windows older than N ms
       --chunk-events N  events per feed batch (default 1024)
+  twpp serve-ingest <dir>                   fault-tolerant streaming ingestion
+                                            daemon: framed WPP event streams over
+                                            TCP/Unix sockets and tailed files,
+                                            one crash-safe compactor per source
+                                            under <dir>/<source>/; drains
+                                            gracefully on SIGTERM/SIGINT, merging
+                                            every source byte-identically to an
+                                            uninterrupted batch run
+      --listen SPEC     tcp:HOST:PORT or unix:PATH (default tcp:127.0.0.1:0)
+      --port-file F     write the bound address to F once listening
+      --drain-after-ms N  self-drain after N ms (tests without signals)
+      --window-cap N    shed load with BUSY past N open-window bytes
+                        (default 4 x --seal-bytes)
+      --wedge-ms N      watchdog deadline: fail a source whose durable
+                        operation wedges past N ms (default 10000)
+      --tail F          also ingest appended bytes of file F (repeatable)
+  twpp net-feed <addr> --source <name> --from <in.wpp|->
+                                            stream a WPP to a serve-ingest
+                                            daemon: resumes from the server's
+                                            durable position, honours BUSY
+                                            retry-after hints, loses nothing
+      --drain           request a daemon-wide graceful drain after feeding
   twpp info <file.wpp|file.twpa>            summarize a trace or archive
   twpp query <file.twpa> <func-id-or-name>  extract one function's traces
   twpp fsck <file.twpa|file.wpp|dir> [--repair [-o <out>]] [--threads N]
@@ -166,6 +198,13 @@ durability (compact/ingest):
                     storage before success is reported (compact default:
                     flush; ingest default: sync — an acknowledged event
                     survives a power cut)
+
+retry (ingest/serve-ingest/net-feed):
+  --retry-attempts N  total attempts for transient I/O and BUSY rounds
+                      (default: ingest 1, serve-ingest 5, net-feed 8)
+  --retry-base-ms N   exponential-backoff base delay (default 5)
+  --retry-cap-ms N    backoff delay cap (default 200)
+  --retry-seed N      deterministic jitter seed (default 42)
 
 governance (compact/ingest/query/fsck):
   --deadline-ms N   stop after N milliseconds of wall-clock time
@@ -276,6 +315,18 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
     let mut chunk_events: Option<usize> = None;
     let mut durability: Option<twpp::Durability> = None;
     let mut codec: Option<twpp::Codec> = None;
+    let mut listen: Option<String> = None;
+    let mut port_file: Option<PathBuf> = None;
+    let mut drain_after_ms: Option<u64> = None;
+    let mut window_cap: Option<u64> = None;
+    let mut wedge_ms: Option<u64> = None;
+    let mut retry_attempts: Option<u32> = None;
+    let mut retry_base_ms: Option<u64> = None;
+    let mut retry_cap_ms: Option<u64> = None;
+    let mut retry_seed: Option<u64> = None;
+    let mut tails: Vec<PathBuf> = Vec::new();
+    let mut source: Option<String> = None;
+    let mut drain = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -371,6 +422,118 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
             }
             "--degrade" => degrade = true,
             "--fail-fast" => degrade = false,
+            "--listen" => {
+                i += 1;
+                listen = Some(
+                    args.get(i)
+                        .ok_or_else(|| {
+                            CliError::Usage("--listen needs tcp:HOST:PORT or unix:PATH".into())
+                        })?
+                        .clone(),
+                );
+            }
+            "--port-file" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--port-file needs a path".into()))?;
+                port_file = Some(PathBuf::from(p));
+            }
+            "--drain-after-ms" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--drain-after-ms needs a count".into()))?;
+                drain_after_ms = Some(
+                    raw.parse::<u64>()
+                        .map_err(|e| CliError::Usage(format!("bad --drain-after-ms: {e}")))?,
+                );
+            }
+            "--window-cap" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--window-cap needs a byte count".into()))?;
+                let n = raw
+                    .parse::<u64>()
+                    .map_err(|e| CliError::Usage(format!("bad --window-cap: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--window-cap must be at least 1".into()));
+                }
+                window_cap = Some(n);
+            }
+            "--wedge-ms" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--wedge-ms needs a count".into()))?;
+                let n = raw
+                    .parse::<u64>()
+                    .map_err(|e| CliError::Usage(format!("bad --wedge-ms: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--wedge-ms must be at least 1".into()));
+                }
+                wedge_ms = Some(n);
+            }
+            "--retry-attempts" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--retry-attempts needs a count".into()))?;
+                let n = raw
+                    .parse::<u32>()
+                    .map_err(|e| CliError::Usage(format!("bad --retry-attempts: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--retry-attempts must be at least 1".into()));
+                }
+                retry_attempts = Some(n);
+            }
+            "--retry-base-ms" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--retry-base-ms needs a count".into()))?;
+                retry_base_ms = Some(
+                    raw.parse::<u64>()
+                        .map_err(|e| CliError::Usage(format!("bad --retry-base-ms: {e}")))?,
+                );
+            }
+            "--retry-cap-ms" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--retry-cap-ms needs a count".into()))?;
+                retry_cap_ms = Some(
+                    raw.parse::<u64>()
+                        .map_err(|e| CliError::Usage(format!("bad --retry-cap-ms: {e}")))?,
+                );
+            }
+            "--retry-seed" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--retry-seed needs a number".into()))?;
+                retry_seed = Some(
+                    raw.parse::<u64>()
+                        .map_err(|e| CliError::Usage(format!("bad --retry-seed: {e}")))?,
+                );
+            }
+            "--tail" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--tail needs a path".into()))?;
+                tails.push(PathBuf::from(p));
+            }
+            "--source" => {
+                i += 1;
+                source = Some(
+                    args.get(i)
+                        .ok_or_else(|| CliError::Usage("--source needs a name".into()))?
+                        .clone(),
+                );
+            }
+            "--drain" => drain = true,
             "--trace-out" => {
                 i += 1;
                 let p = args
@@ -465,6 +628,14 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
         i += 1;
     }
     let usage = || CliError::Usage(USAGE.to_owned());
+    let retry_policy = |default_attempts: u32| {
+        twpp::Retry::new(
+            retry_attempts.unwrap_or(default_attempts),
+            retry_base_ms.unwrap_or(5),
+            retry_cap_ms.unwrap_or(200),
+            retry_seed.unwrap_or(42),
+        )
+    };
     match positional.as_slice() {
         ["run", path] => cmd_run(Path::new(path), &input, out),
         ["trace", path] => {
@@ -501,8 +672,45 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                     threads,
                     limits,
                     degrade,
+                    retry: retry_policy(1),
                 },
                 &obs_files,
+                out,
+            )
+        }
+        ["serve-ingest", dir] => cmd_serve_ingest(
+            Path::new(dir),
+            ServeFlags {
+                listen: listen.unwrap_or_else(|| "tcp:127.0.0.1:0".into()),
+                port_file,
+                drain_after_ms,
+                seal_bytes,
+                seal_ms,
+                durability: durability.unwrap_or(twpp::Durability::Sync),
+                codec: codec.unwrap_or_default(),
+                threads,
+                limits,
+                degrade,
+                window_cap,
+                wedge_ms,
+                retry: retry_policy(5),
+                tails,
+            },
+            &obs_files,
+            out,
+        ),
+        ["net-feed", addr] => {
+            let from = from.ok_or_else(usage)?;
+            let source = source.ok_or_else(|| {
+                CliError::Usage("net-feed needs --source <name>".into())
+            })?;
+            cmd_net_feed(
+                addr,
+                &source,
+                &from,
+                drain,
+                chunk_events.unwrap_or(1024),
+                retry_policy(8),
                 out,
             )
         }
@@ -748,6 +956,7 @@ struct IngestFlags {
     threads: Option<usize>,
     limits: twpp::Limits,
     degrade: bool,
+    retry: twpp::Retry,
 }
 
 /// `twpp ingest <dir> --from <in.wpp|->`: the crash-safe incremental
@@ -762,13 +971,6 @@ fn cmd_ingest(
     obs_files: &ObsFiles,
     out: &mut Out<'_>,
 ) -> Result<(), CliError> {
-    let wpp = if from == "-" {
-        let stdin = std::io::stdin();
-        RawWpp::read_from(stdin.lock()).map_err(|e| fail(format!("<stdin>: {e}")))?
-    } else {
-        read_wpp(Path::new(from))?
-    };
-    let events = wpp.events();
     let obs = obs_files.observer();
     let faults = twpp::FaultPlan::from_env();
     let budget = flags.limits.start();
@@ -782,6 +984,7 @@ fn cmd_ingest(
         faults: faults.clone(),
         obs: obs.clone(),
         codec: flags.codec,
+        retry: flags.retry,
     };
     let ingest_err = |e: twpp::IngestError| fail(format!("{}: {e}", dir.display()));
     let (mut compactor, resumed) = twpp::Compactor::open(dir, opts).map_err(ingest_err)?;
@@ -806,16 +1009,25 @@ fn cmd_ingest(
             },
         )?;
     }
-    if skip > events.len() as u64 {
-        return Err(fail(format!(
-            "{}: directory already holds {skip} events but the input has \
-             only {}; refusing to resume against a different stream",
-            dir.display(),
-            events.len()
-        )));
-    }
-    for piece in events[skip as usize..].chunks(flags.chunk_events) {
-        compactor.feed(piece).map_err(ingest_err)?;
+    if from == "-" {
+        // Streaming: decode stdin incrementally, distinguishing a clean
+        // footer/EOF (exit 0) from a mid-stream read error or malformed
+        // stream (exit 4, after sealing what was durably acknowledged).
+        stream_stdin_ingest(&mut compactor, &faults, flags.chunk_events, skip, dir, out)?;
+    } else {
+        let wpp = read_wpp(Path::new(from))?;
+        let events = wpp.events();
+        if skip > events.len() as u64 {
+            return Err(fail(format!(
+                "{}: directory already holds {skip} events but the input has \
+                 only {}; refusing to resume against a different stream",
+                dir.display(),
+                events.len()
+            )));
+        }
+        for piece in events[skip as usize..].chunks(flags.chunk_events) {
+            compactor.feed(piece).map_err(ingest_err)?;
+        }
     }
     let report = compactor.finish().map_err(ingest_err)?;
     writeln!(
@@ -848,6 +1060,317 @@ fn cmd_ingest(
             report.path.display()
         )));
     }
+    Ok(())
+}
+
+/// The streaming stdin path of `twpp ingest --from -`.
+///
+/// Events are decoded incrementally with [`twpp_tracer::raw::WppStream`]
+/// and fed as they arrive, so durability tracks the live stream instead
+/// of waiting for EOF. A clean end (verified footer, or legacy EOF)
+/// returns `Ok`; a mid-stream read failure or malformed stream is *not*
+/// a clean end — the durably acknowledged prefix is sealed into a
+/// segment and the command exits 4, leaving the directory resumable.
+/// `TWPP_INJECT_READ_FAULT_AT=N` injects the read failure after N input
+/// bytes for the crash harness.
+fn stream_stdin_ingest(
+    compactor: &mut twpp::ingest::Compactor,
+    faults: &twpp::FaultPlan,
+    chunk_events: usize,
+    skip: u64,
+    dir: &Path,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    use std::io::Read;
+
+    /// Feeds `pending` through the resume-skip window and clears it.
+    fn drain_pending(
+        compactor: &mut twpp::ingest::Compactor,
+        pending: &mut Vec<twpp_tracer::WppEvent>,
+        fed: &mut u64,
+        skip: u64,
+        chunk_events: usize,
+    ) -> Result<(), twpp::IngestError> {
+        for piece in pending.chunks(chunk_events) {
+            let offset = *fed;
+            *fed += piece.len() as u64;
+            let already = skip.saturating_sub(offset).min(piece.len() as u64) as usize;
+            compactor.feed(&piece[already..])?;
+        }
+        pending.clear();
+        Ok(())
+    }
+
+    let ingest_err = |e: twpp::IngestError| fail(format!("{}: {e}", dir.display()));
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let mut parser = twpp_tracer::raw::WppStream::new();
+    let mut pending: Vec<twpp_tracer::WppEvent> = Vec::new();
+    let mut fed = 0u64;
+    let mut consumed = 0u64;
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut stream_failure: Option<String> = loop {
+        let take = match faults.read_fault_at {
+            Some(at) if consumed >= at => {
+                break Some("injected mid-stream read fault (TWPP_INJECT_READ_FAULT_AT)".into());
+            }
+            Some(at) => ((at - consumed) as usize).clamp(1, chunk.len()),
+            None => chunk.len(),
+        };
+        match input.read(&mut chunk[..take]) {
+            Ok(0) => break None,
+            Ok(n) => {
+                consumed += n as u64;
+                if let Err(e) = parser.push(&chunk[..n], &mut pending) {
+                    break Some(format!("malformed stream after {consumed} byte(s): {e}"));
+                }
+                if pending.len() >= chunk_events {
+                    drain_pending(compactor, &mut pending, &mut fed, skip, chunk_events)
+                        .map_err(ingest_err)?;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => break Some(format!("read failed after {consumed} byte(s): {e}")),
+        }
+    };
+    if stream_failure.is_none() {
+        // Resolve the held-back footer words: verified or legacy-absent
+        // is a clean end; torn or mismatched is a stream failure.
+        match parser.finish(&mut pending) {
+            Ok(_verified) => {
+                drain_pending(compactor, &mut pending, &mut fed, skip, chunk_events)
+                    .map_err(ingest_err)?;
+            }
+            Err(e) => stream_failure = Some(format!("stream ended badly: {e}")),
+        }
+    }
+    if let Some(why) = stream_failure {
+        // Decoded-but-unfed events were never acknowledged and are
+        // dropped; everything fed is durable. Seal it so the prefix
+        // survives as a segment and a rerun resumes exactly after it.
+        compactor.seal().map_err(ingest_err)?;
+        writeln!(
+            out,
+            "stream failed; sealed {} durable event(s) in {}",
+            compactor.accepted_events(),
+            dir.display()
+        )?;
+        return Err(fail(format!("<stdin>: {why}")));
+    }
+    if fed < skip {
+        return Err(fail(format!(
+            "{}: directory already holds {skip} events but the stream \
+             carried only {fed}; refusing to resume against a different \
+             stream",
+            dir.display()
+        )));
+    }
+    Ok(())
+}
+
+/// `serve-ingest` flags, bundled like [`IngestFlags`].
+struct ServeFlags {
+    listen: String,
+    port_file: Option<PathBuf>,
+    drain_after_ms: Option<u64>,
+    seal_bytes: Option<u64>,
+    seal_ms: Option<u64>,
+    durability: twpp::Durability,
+    codec: twpp::Codec,
+    threads: Option<usize>,
+    limits: twpp::Limits,
+    degrade: bool,
+    window_cap: Option<u64>,
+    wedge_ms: Option<u64>,
+    retry: twpp::Retry,
+    tails: Vec<PathBuf>,
+}
+
+/// Set by the binary's SIGTERM/SIGINT handler; a running `serve-ingest`
+/// polls it and drains gracefully.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Requests a graceful drain of a running `serve-ingest`. Only stores an
+/// atomic flag, so it is safe to call from a signal handler.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Whether [`request_shutdown`] has been called.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// `twpp serve-ingest <dir>`: the fault-tolerant streaming ingestion
+/// daemon (DESIGN.md §17). Runs until SIGTERM/SIGINT, a client `Drain`
+/// frame, or `--drain-after-ms`; then seals and merges every source.
+/// Exit 0 when every source drained clean, 3 when some source was
+/// failed in isolation, 4 on daemon-level failure.
+fn cmd_serve_ingest(
+    dir: &Path,
+    flags: ServeFlags,
+    obs_files: &ObsFiles,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let obs = obs_files.observer();
+    let faults = twpp::FaultPlan::from_env();
+    let listener = twpp::ingest::ServeListener::bind(&flags.listen)
+        .map_err(|e| fail(format!("{}: {e}", flags.listen)))?;
+    let addr = listener.local_addr();
+    if let Some(p) = &flags.port_file {
+        // The port file is how test harnesses learn an ephemeral port;
+        // write it only once the socket actually listens.
+        fs::write(p, &addr).map_err(|e| fail(format!("{}: {e}", p.display())))?;
+    }
+    writeln!(out, "listening on {addr} (drain with SIGTERM)")?;
+    let shutdown = twpp::CancelToken::new();
+    {
+        let token = shutdown.clone();
+        let deadline = flags.drain_after_ms;
+        let started = std::time::Instant::now();
+        std::thread::spawn(move || loop {
+            if shutdown_requested()
+                || deadline.is_some_and(|ms| started.elapsed().as_millis() as u64 >= ms)
+            {
+                token.cancel();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        });
+    }
+    let seal_bytes = flags.seal_bytes.unwrap_or(1 << 20);
+    let opts = twpp::ingest::ServeOptions {
+        seal_bytes,
+        seal_ms: flags.seal_ms,
+        durability: flags.durability,
+        threads: flags.threads,
+        limits: flags.limits,
+        fail_fast: !flags.degrade,
+        retry: flags.retry,
+        window_cap_bytes: flags.window_cap.unwrap_or(4 * seal_bytes),
+        wedge_ms: flags.wedge_ms.unwrap_or(10_000),
+        faults: faults.clone(),
+        obs: obs.clone(),
+        codec: flags.codec,
+        tails: flags.tails,
+        ..twpp::ingest::ServeOptions::default()
+    };
+    let report = twpp::ingest::serve(dir, listener, shutdown, opts)
+        .map_err(|e| fail(format!("{}: {e}", dir.display())))?;
+    writeln!(
+        out,
+        "drained: {} source(s), {} connection(s), {} frame(s), {} busy, {} quarantined",
+        report.sources.len(),
+        report.connections,
+        report.frames,
+        report.busy_responses,
+        report.quarantined
+    )?;
+    let mut failed = 0u64;
+    for s in &report.sources {
+        match (&s.failed, &s.merged) {
+            (Some(why), _) => {
+                failed += 1;
+                writeln!(out, "  {}: FAILED ({why}); directory left resumable", s.name)?;
+            }
+            (None, Some(path)) => writeln!(
+                out,
+                "  {}: {} event(s), {} segment(s) -> {}",
+                s.name,
+                s.events,
+                s.segments,
+                path.display()
+            )?,
+            (None, None) => writeln!(out, "  {}: no events; nothing to merge", s.name)?,
+        }
+    }
+    writeln!(out, "durability points: {}", faults.durability_points())?;
+    let run = RunReport::new(
+        "serve-ingest",
+        if failed == 0 {
+            RunOutcome::Complete
+        } else {
+            RunOutcome::Degraded
+        },
+    );
+    obs_files.emit(&obs, run, out)?;
+    if failed > 0 {
+        return Err(CliError::Degraded(format!(
+            "{failed} source(s) failed in isolation; their directories under {} \
+             remain resumable",
+            dir.display()
+        )));
+    }
+    Ok(())
+}
+
+/// `twpp net-feed <addr>`: stream a WPP file (or stdin) to a running
+/// `serve-ingest` daemon. Resumes from the server's durable position
+/// learned in the HELLO handshake, so rerunning after a daemon restart
+/// or a dropped connection never duplicates or loses events.
+fn cmd_net_feed(
+    addr: &str,
+    source: &str,
+    from: &str,
+    drain: bool,
+    chunk_events: usize,
+    retry: twpp::Retry,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let wpp = if from == "-" {
+        let stdin = std::io::stdin();
+        RawWpp::read_from(stdin.lock()).map_err(|e| fail(format!("<stdin>: {e}")))?
+    } else {
+        read_wpp(Path::new(from))?
+    };
+    let events = wpp.events();
+
+    fn feed_client<S: std::io::Read + std::io::Write>(
+        stream: S,
+        source: &str,
+        events: &[twpp_tracer::WppEvent],
+        drain: bool,
+        chunk_events: usize,
+        retry: &twpp::Retry,
+    ) -> Result<u64, twpp::net::NetError> {
+        let mut client = twpp::net::Client::hello(stream, source)?;
+        let skip = (client.accepted() as usize).min(events.len());
+        for batch in events[skip..].chunks(chunk_events) {
+            client.send_events(batch, retry)?;
+        }
+        let accepted = client.accepted();
+        if drain {
+            client.drain()?;
+        }
+        Ok(accepted)
+    }
+
+    let net_err = |e: twpp::net::NetError| fail(format!("{addr}: {e}"));
+    let accepted = if let Some(path) = addr.strip_prefix("unix:") {
+        #[cfg(unix)]
+        {
+            let stream = std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| fail(format!("{addr}: {e}")))?;
+            feed_client(stream, source, &events, drain, chunk_events, &retry).map_err(net_err)?
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(fail(format!(
+                "unix sockets are not supported on this platform: {path}"
+            )));
+        }
+    } else {
+        let hostport = addr.strip_prefix("tcp:").unwrap_or(addr);
+        let stream = std::net::TcpStream::connect(hostport)
+            .map_err(|e| fail(format!("{addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        feed_client(stream, source, &events, drain, chunk_events, &retry).map_err(net_err)?
+    };
+    writeln!(
+        out,
+        "{addr}: source {source} at {accepted} durable event(s){}",
+        if drain { ", drain requested" } else { "" }
+    )?;
     Ok(())
 }
 
@@ -1047,7 +1570,11 @@ fn cmd_fsck_dir(dir: &Path, obs_files: &ObsFiles, out: &mut Out<'_>) -> Result<(
         )?;
     }
     if check.wal_torn {
-        writeln!(out, "  WAL: torn tail (unacknowledged; resume drops it)")?;
+        writeln!(
+            out,
+            "  WAL: torn tail, {} byte(s) (unacknowledged; resume drops it)",
+            check.wal_torn_bytes
+        )?;
     }
     if let Some(e) = &check.wal_error {
         writeln!(out, "  WAL: {e}")?;

@@ -8,4 +8,4 @@
 
 pub mod commands;
 
-pub use commands::{exit_code, run_command, CliError};
+pub use commands::{exit_code, request_shutdown, run_command, shutdown_requested, CliError};

@@ -1,7 +1,38 @@
 //! `twpp` — trace programs, compact whole program paths, query archives.
+//!
+//! This thin binary shim is the one place outside `forbid(unsafe_code)`:
+//! installing the SIGTERM/SIGINT handlers that let `twpp serve-ingest`
+//! drain gracefully requires one raw libc call. The handler itself only
+//! stores an atomic flag ([`twpp_cli::request_shutdown`]), which is
+//! async-signal-safe.
+
+#[cfg(unix)]
+fn install_drain_signals() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        twpp_cli::request_shutdown();
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_drain_signals() {}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Only the daemon converts signals into a graceful drain; every
+    // other command keeps the default die-on-SIGINT behaviour.
+    if args.iter().any(|a| a == "serve-ingest") {
+        install_drain_signals();
+    }
     let mut stdout = std::io::stdout().lock();
     match twpp_cli::run_command(&args, &mut stdout) {
         Ok(()) => {}

@@ -1,0 +1,414 @@
+//! End-to-end fault drills for `twpp serve-ingest`, the streaming
+//! ingestion daemon — the daemon-shaped extension of the kill-point
+//! harness in `crash_recovery.rs`:
+//!
+//! * the kill sweep: a daemon aborted at **every** durability point in
+//!   turn (`TWPP_INJECT_KILL_AT=n`), restarted, re-fed by a client that
+//!   resumes from the HELLO position, must drain to a `merged.twpa`
+//!   byte-identical to both an uninterrupted daemon run and a batch
+//!   `twpp ingest` of the same stream;
+//! * graceful drain on SIGTERM is byte-identical too;
+//! * a flaky daemon shedding every k-th frame with BUSY
+//!   (`TWPP_INJECT_NET_FAULT=k`) loses no acknowledged events under a
+//!   retrying client;
+//! * `twpp ingest --from -` distinguishes a mid-stream read error
+//!   (`TWPP_INJECT_READ_FAULT_AT`) from clean EOF: exit 4, durable
+//!   prefix sealed, directory resumable.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::Duration;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_twpp")
+}
+
+/// Fault-plan variables the sweep must fully control: cleared from every
+/// spawned process unless a test sets them explicitly.
+const INJECT_VARS: &[&str] = &[
+    "TWPP_INJECT_KILL_AT",
+    "TWPP_INJECT_IO_FAULTS",
+    "TWPP_INJECT_NET_FAULT",
+    "TWPP_INJECT_READ_FAULT_AT",
+    "TWPP_INJECT_PANIC",
+    "TWPP_INJECT_DELAY_MS",
+];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "twpp-serve-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn twpp(args: &[&str], envs: &[(&str, String)]) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(args);
+    for var in INJECT_VARS {
+        cmd.env_remove(var);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn twpp")
+}
+
+fn ok_stdout(output: Output, what: &str) -> String {
+    assert!(
+        output.status.success(),
+        "{what} failed: {}\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+/// Writes the fixture program and traces it; returns the `.wpp` path.
+fn fixture_wpp(dir: &Path) -> PathBuf {
+    let src = dir.join("prog.twl");
+    std::fs::write(
+        &src,
+        "fn f(x) { if (x % 2 == 0) { print(x); } else { print(0 - x); } }
+         fn g(x) { f(x); f(x + 1); }
+         fn main() { let i = 0; while (i < 24) { g(i); i = i + 1; } }",
+    )
+    .expect("write fixture program");
+    let wpp = dir.join("prog.wpp");
+    ok_stdout(
+        twpp(&["trace", src.to_str().unwrap(), "-o", wpp.to_str().unwrap()], &[]),
+        "trace",
+    );
+    wpp
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns a daemon on an ephemeral port and waits for its port file.
+/// `--drain-after-ms` is a stray-process safety net, far beyond any
+/// test's runtime.
+fn spawn_daemon(dir: &Path, port_file: &Path, envs: &[(&str, String)]) -> Daemon {
+    let _ = std::fs::remove_file(port_file);
+    let mut cmd = Command::new(bin());
+    cmd.args([
+        "serve-ingest",
+        dir.to_str().unwrap(),
+        "--listen",
+        "tcp:127.0.0.1:0",
+        "--port-file",
+        port_file.to_str().unwrap(),
+        "--seal-bytes",
+        "256",
+        "--durability",
+        "none",
+        "--drain-after-ms",
+        "60000",
+    ]);
+    for var in INJECT_VARS {
+        cmd.env_remove(var);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn daemon");
+    for _ in 0..1000 {
+        if let Ok(addr) = std::fs::read_to_string(port_file) {
+            if !addr.is_empty() {
+                return Daemon { child, addr };
+            }
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            let out = child.wait_with_output().expect("daemon output");
+            panic!(
+                "daemon died before listening: {status}\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = child.kill();
+    panic!("daemon never wrote its port file");
+}
+
+/// Waits (bounded) for a daemon to exit and collects its output.
+fn wait_daemon(mut daemon: Daemon, what: &str) -> Output {
+    for _ in 0..600 {
+        if daemon.child.try_wait().expect("try_wait").is_some() {
+            return daemon.child.wait_with_output().expect("daemon output");
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let _ = daemon.child.kill();
+    panic!("{what}: daemon did not exit in time");
+}
+
+fn net_feed(addr: &str, source: &str, wpp: &str, drain: bool) -> Output {
+    let mut args = vec![
+        "net-feed",
+        addr,
+        "--source",
+        source,
+        "--from",
+        wpp,
+        "--chunk-events",
+        "13",
+        "--retry-attempts",
+        "16",
+        "--retry-base-ms",
+        "1",
+        "--retry-cap-ms",
+        "5",
+    ];
+    if drain {
+        args.push("--drain");
+    }
+    twpp(&args, &[])
+}
+
+/// Parses the `durability points: N` line the daemon prints on drain.
+fn durability_points(stdout: &str) -> u64 {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("durability points: "))
+        .expect("daemon must report its durability points")
+        .trim()
+        .parse()
+        .expect("point count")
+}
+
+/// The batch-compacted reference: `twpp ingest` over the same stream
+/// with the same seal threshold.
+fn batch_baseline(root: &Path, wpp: &str) -> Vec<u8> {
+    let dir = root.join("batch-baseline");
+    ok_stdout(
+        twpp(
+            &[
+                "ingest",
+                dir.to_str().unwrap(),
+                "--from",
+                wpp,
+                "--seal-bytes",
+                "256",
+                "--chunk-events",
+                "13",
+                "--durability",
+                "none",
+            ],
+            &[],
+        ),
+        "batch baseline",
+    );
+    std::fs::read(dir.join("merged.twpa")).expect("batch baseline merged.twpa")
+}
+
+#[test]
+fn daemon_drain_matches_batch_and_every_kill_point_recovers() {
+    let root = temp_dir("sweep");
+    let wpp_path = fixture_wpp(&root);
+    let wpp = wpp_path.to_str().unwrap();
+    let baseline = batch_baseline(&root, wpp);
+
+    // Uninterrupted daemon run: the drain-equivalence reference and the
+    // sweep bound.
+    let clean_dir = root.join("clean");
+    let daemon = spawn_daemon(&clean_dir, &root.join("clean.port"), &[]);
+    let addr = daemon.addr.clone();
+    ok_stdout(net_feed(&addr, "src", wpp, true), "clean feed");
+    let out = wait_daemon(daemon, "clean drain");
+    let stdout = ok_stdout(out, "clean daemon");
+    let points = durability_points(&stdout);
+    assert!(
+        points >= 10,
+        "fixture too small to exercise the daemon state machine ({points} points)"
+    );
+    let clean_merged =
+        std::fs::read(clean_dir.join("src").join("merged.twpa")).expect("clean merged");
+    assert_eq!(
+        clean_merged, baseline,
+        "a drained daemon must be byte-identical to the batch pipeline"
+    );
+
+    // The sweep: abort the daemon at every durability point in turn,
+    // restart it, re-feed (the client resumes from HELLO), drain, cmp.
+    for kill in 1..=points {
+        let dir = root.join(format!("kill-{kill}"));
+        let port = root.join(format!("kill-{kill}.port"));
+        let daemon = spawn_daemon(
+            &dir,
+            &port,
+            &[("TWPP_INJECT_KILL_AT", kill.to_string())],
+        );
+        let addr = daemon.addr.clone();
+        // The feed/drain dies with the daemon; its failure is expected.
+        let _ = net_feed(&addr, "src", wpp, true);
+        let killed = wait_daemon(daemon, "killed daemon");
+        assert!(
+            !killed.status.success(),
+            "kill point {kill} of {points} did not abort the daemon"
+        );
+
+        let daemon = spawn_daemon(&dir, &port, &[]);
+        let addr = daemon.addr.clone();
+        ok_stdout(net_feed(&addr, "src", wpp, true), "recovery feed");
+        let out = wait_daemon(daemon, "recovery drain");
+        ok_stdout(out, "recovered daemon");
+        let merged = std::fs::read(dir.join("src").join("merged.twpa"))
+            .unwrap_or_else(|e| panic!("kill point {kill}: no merged.twpa after recovery: {e}"));
+        assert_eq!(
+            merged, baseline,
+            "kill point {kill} of {points}: recovered daemon diverged from baseline"
+        );
+    }
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn flaky_socket_busy_shedding_loses_nothing() {
+    let root = temp_dir("flaky");
+    let wpp_path = fixture_wpp(&root);
+    let wpp = wpp_path.to_str().unwrap();
+    let baseline = batch_baseline(&root, wpp);
+
+    let dir = root.join("flaky");
+    let daemon = spawn_daemon(
+        &dir,
+        &root.join("flaky.port"),
+        &[("TWPP_INJECT_NET_FAULT", "3".to_string())],
+    );
+    let addr = daemon.addr.clone();
+    ok_stdout(net_feed(&addr, "src", wpp, true), "feed through flaky daemon");
+    let out = wait_daemon(daemon, "flaky drain");
+    let stdout = ok_stdout(out, "flaky daemon");
+    assert!(
+        stdout.contains("busy"),
+        "daemon should have reported BUSY shedding:\n{stdout}"
+    );
+    let merged = std::fs::read(dir.join("src").join("merged.twpa")).expect("merged");
+    assert_eq!(
+        merged, baseline,
+        "BUSY shedding must not lose or duplicate acknowledged events"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_gracefully_to_identical_bytes() {
+    let root = temp_dir("sigterm");
+    let wpp_path = fixture_wpp(&root);
+    let wpp = wpp_path.to_str().unwrap();
+    let baseline = batch_baseline(&root, wpp);
+
+    let dir = root.join("sigterm");
+    let daemon = spawn_daemon(&dir, &root.join("sigterm.port"), &[]);
+    let addr = daemon.addr.clone();
+    // Feed without requesting a drain; the signal does that.
+    ok_stdout(net_feed(&addr, "src", wpp, false), "feed");
+    let pid = daemon.child.id().to_string();
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success(), "kill -TERM failed");
+    let out = wait_daemon(daemon, "sigterm drain");
+    let stdout = ok_stdout(out, "daemon after SIGTERM");
+    assert!(stdout.contains("drained"), "{stdout}");
+    let merged = std::fs::read(dir.join("src").join("merged.twpa")).expect("merged");
+    assert_eq!(
+        merged, baseline,
+        "a SIGTERM drain must be byte-identical to an uninterrupted run"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn mid_stream_read_fault_exits_4_and_stays_resumable() {
+    let root = temp_dir("readfault");
+    let wpp_path = fixture_wpp(&root);
+    let wpp_bytes = std::fs::read(&wpp_path).expect("fixture bytes");
+    let baseline = batch_baseline(&root, wpp_path.to_str().unwrap());
+
+    let ingest_stdin = |dir: &str, envs: &[(&str, String)]| -> Output {
+        let mut cmd = Command::new(bin());
+        cmd.args([
+            "ingest",
+            dir,
+            "--from",
+            "-",
+            "--seal-bytes",
+            "256",
+            "--chunk-events",
+            "13",
+            "--durability",
+            "none",
+        ]);
+        for var in INJECT_VARS {
+            cmd.env_remove(var);
+        }
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::piped());
+        let mut child = cmd.spawn().expect("spawn ingest");
+        use std::io::Write;
+        child
+            .stdin
+            .take()
+            .expect("stdin")
+            .write_all(&wpp_bytes)
+            .ok(); // the faulted run may close stdin early: EPIPE is fine
+        child.wait_with_output().expect("ingest output")
+    };
+
+    // A mid-stream read failure must NOT look like a clean EOF: exit 4,
+    // with the durable prefix sealed.
+    let dir = root.join("dir");
+    let dir_s = dir.to_str().unwrap();
+    let fault_at = (wpp_bytes.len() / 2).to_string();
+    let failed = ingest_stdin(dir_s, &[("TWPP_INJECT_READ_FAULT_AT", fault_at)]);
+    assert_eq!(
+        failed.status.code(),
+        Some(4),
+        "mid-stream read error must exit 4, not pretend clean EOF\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&failed.stdout),
+        String::from_utf8_lossy(&failed.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&failed.stderr).contains("read fault"),
+        "stderr should name the injected fault"
+    );
+    assert!(
+        String::from_utf8_lossy(&failed.stdout).contains("sealed"),
+        "the durable prefix should have been sealed"
+    );
+    assert!(
+        !dir.join("merged.twpa").exists(),
+        "a failed stream must not produce a merged archive"
+    );
+
+    // The directory is resumable: a clean rerun of the same stream
+    // converges to the batch baseline bytes.
+    let recovered = ingest_stdin(dir_s, &[]);
+    let stdout = ok_stdout(recovered, "resumed stdin ingest");
+    assert!(stdout.contains("resumed"), "{stdout}");
+    let merged = std::fs::read(dir.join("merged.twpa")).expect("merged after resume");
+    assert_eq!(merged, baseline);
+
+    // And a clean single-shot stdin run exits 0 with identical bytes.
+    let clean_dir = root.join("clean");
+    ok_stdout(ingest_stdin(clean_dir.to_str().unwrap(), &[]), "clean stdin ingest");
+    let merged = std::fs::read(clean_dir.join("merged.twpa")).expect("clean merged");
+    assert_eq!(merged, baseline);
+
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -60,6 +60,7 @@ pub const EVENT_CHECKS: &[(&str, EventCheck)] = &[
     ("governed-equivalence", check_governed_equivalence),
     ("observed-byte-identity", check_observed_byte_identity),
     ("ingest-chunking-identity", check_ingest_chunking_identity),
+    ("serve-drain-equivalence", check_serve_drain_equivalence),
     ("adaptive-codec-roundtrip", check_adaptive_codec_roundtrip),
     ("adaptive-legacy-equivalence", check_adaptive_legacy_equivalence),
 ];
@@ -661,6 +662,124 @@ fn check_ingest_chunking_identity(events: &[WppEvent], cx: &CheckContext) -> Res
                         "threads={t} chunk={chunk}: merged archive differs from \
                          batch ({} vs {} bytes)",
                         i.len(),
+                        b.len()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Streams the events through an in-process `serve-ingest` daemon over a
+/// loopback socket and drains it; returns the merged archive bytes, or
+/// `Ok(None)` when the stream was rejected — a verdict that must agree
+/// with the batch pipeline's.
+fn serve_bytes(
+    events: &[WppEvent],
+    threads: usize,
+    chunk: usize,
+) -> Result<Option<Vec<u8>>, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "twpp-conf-serve-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = twpp::ingest::ServeOptions {
+        seal_bytes: 256,
+        durability: twpp::Durability::None,
+        threads: Some(threads),
+        poll_ms: 2,
+        ..twpp::ingest::ServeOptions::default()
+    };
+    let listener = twpp::ingest::ServeListener::bind("tcp:127.0.0.1:0")
+        .map_err(|e| format!("serve bind failed: {e}"))?;
+    let addr = listener.local_addr();
+    let shutdown = twpp::CancelToken::new();
+    let daemon = {
+        let dir = dir.clone();
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || twpp::ingest::serve(&dir, listener, shutdown, opts))
+    };
+    let retry = twpp::Retry::new(8, 1, 4, 7);
+    let feed = (|| -> Result<bool, String> {
+        let hostport = addr.strip_prefix("tcp:").unwrap_or(&addr);
+        let stream = std::net::TcpStream::connect(hostport)
+            .map_err(|e| format!("serve connect failed: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let mut client = twpp::net::Client::hello(stream, "src")
+            .map_err(|e| format!("serve hello failed: {e}"))?;
+        for piece in events.chunks(chunk.max(1)) {
+            match client.send_events(piece, &retry) {
+                Ok(_) => {}
+                // A typed stream rejection: the daemon survives, the
+                // source acknowledges nothing further.
+                Err(twpp::net::NetError::Remote { .. }) => return Ok(true),
+                Err(e) => return Err(format!("serve feed failed: {e}")),
+            }
+        }
+        client.drain().map_err(|e| format!("serve drain failed: {e}"))?;
+        Ok(false)
+    })();
+    // A rejected stream leaves no drain frame behind; stop the daemon
+    // via the cancel token instead (the SIGTERM path).
+    shutdown.cancel();
+    let report = daemon
+        .join()
+        .map_err(|_| "serve thread panicked".to_string())?
+        .map_err(|e| format!("serve failed: {e}"))?;
+    let rejected = feed?;
+    let result = if rejected || report.sources.iter().any(|s| s.failed.is_some()) {
+        Ok(None)
+    } else {
+        match report.sources.iter().find_map(|s| s.merged.as_ref()) {
+            Some(path) => std::fs::read(path)
+                .map(Some)
+                .map_err(|e| format!("served archive unreadable: {e}")),
+            None => Ok(None),
+        }
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// The streaming daemon is transport-invariant: feeding a stream over
+/// the framed socket protocol and draining gracefully yields the exact
+/// bytes of batch compaction, however the stream is chunked into frames
+/// — and both sides reject malformed streams under the same contract.
+fn check_serve_drain_equivalence(events: &[WppEvent], cx: &CheckContext) -> Result<(), String> {
+    if events.is_empty() {
+        // An idle source is skipped at drain ("no events; nothing to
+        // merge"); there is no archive to compare.
+        return Ok(());
+    }
+    let t = *cx.threads.first().unwrap_or(&1);
+    let batch = ingest_bytes(events, t, events.len())?;
+    for chunk in [13usize, events.len().max(2) / 2] {
+        let served = serve_bytes(events, t, chunk)?;
+        match (&batch, &served) {
+            (None, None) => {}
+            (None, Some(_)) => {
+                return Err(format!(
+                    "chunk={chunk}: the daemon accepted a stream the batch \
+                     pipeline rejects"
+                ));
+            }
+            (Some(_), None) => {
+                return Err(format!(
+                    "chunk={chunk}: the daemon rejected a stream the batch \
+                     pipeline accepts"
+                ));
+            }
+            (Some(b), Some(s)) => {
+                if b != s {
+                    return Err(format!(
+                        "chunk={chunk}: drained archive differs from batch \
+                         ({} vs {} bytes)",
+                        s.len(),
                         b.len()
                     ));
                 }

@@ -56,6 +56,28 @@ pub const INJECT_DELAY_ENV: &str = "TWPP_INJECT_DELAY_MS";
 /// run at every moment state was just made durable.
 pub const INJECT_KILL_ENV: &str = "TWPP_INJECT_KILL_AT";
 
+/// Environment variable injecting N *transient* I/O failures: the first N
+/// times a retry-wrapped I/O operation runs ([`FaultPlan::take_io_fault`])
+/// it fails, after which every attempt succeeds. Combined with a
+/// [`Retry`] policy this proves the backoff path end to end: the run
+/// succeeds iff N is below the attempt cap.
+pub const INJECT_IO_FAULTS_ENV: &str = "TWPP_INJECT_IO_FAULTS";
+
+/// Environment variable making every k-th network frame handled by the
+/// ingest daemon fail transiently ([`FaultPlan::take_net_fault`]): the
+/// daemon sheds the frame with a BUSY response instead of processing it.
+/// A client that honours BUSY retry-after hints loses nothing — the CI
+/// chaos job feeds a stream through this flaky-socket plan and `cmp`s
+/// the result against an unfaulted baseline.
+pub const INJECT_NET_FAULT_ENV: &str = "TWPP_INJECT_NET_FAULT";
+
+/// Environment variable making a streaming read (`twpp ingest --from -`)
+/// fail with a synthetic I/O error once the given number of input bytes
+/// has been consumed — the deterministic stand-in for a client hanging
+/// up mid-stream, used to prove mid-stream errors are distinguished from
+/// clean EOF (exit 4, durable prefix sealed).
+pub const INJECT_READ_FAULT_ENV: &str = "TWPP_INJECT_READ_FAULT_AT";
+
 /// Why a governed computation stopped before completion.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 #[non_exhaustive]
@@ -352,17 +374,34 @@ pub struct FaultPlan {
     /// 1-based durability point at which [`FaultPlan::durability_point`]
     /// aborts the process. `None` disables kill injection.
     pub kill_at: Option<u64>,
+    /// Number of transient I/O failures to inject: the first this-many
+    /// calls to [`FaultPlan::take_io_fault`] report a fault, later calls
+    /// succeed. Zero disables.
+    pub io_faults: u64,
+    /// Every k-th call to [`FaultPlan::take_net_fault`] reports a fault
+    /// (the ingest daemon sheds that frame with BUSY). `None` disables.
+    pub net_fault_every: Option<u64>,
+    /// Byte position at which a streaming read fails with a synthetic
+    /// I/O error (mid-stream-error injection). `None` disables.
+    pub read_fault_at: Option<u64>,
     /// Durability points passed so far (shared across clones; excluded
     /// from equality).
     kill_counter: Arc<AtomicU64>,
+    /// Transient I/O faults consumed so far (shared across clones).
+    io_fault_counter: Arc<AtomicU64>,
+    /// Network frames seen so far (shared across clones).
+    net_fault_counter: Arc<AtomicU64>,
 }
 
 impl PartialEq for FaultPlan {
     fn eq(&self, other: &Self) -> bool {
-        // The counter is runtime progress, not configuration.
+        // The counters are runtime progress, not configuration.
         self.panic_func == other.panic_func
             && self.delay_ms == other.delay_ms
             && self.kill_at == other.kill_at
+            && self.io_faults == other.io_faults
+            && self.net_fault_every == other.net_fault_every
+            && self.read_fault_at == other.read_fault_at
     }
 }
 
@@ -376,29 +415,36 @@ impl FaultPlan {
 
     /// Whether any fault is configured.
     pub fn is_active(&self) -> bool {
-        self.panic_func.is_some() || self.delay_ms > 0 || self.kill_at.is_some()
+        self.panic_func.is_some()
+            || self.delay_ms > 0
+            || self.kill_at.is_some()
+            || self.io_faults > 0
+            || self.net_fault_every.is_some()
+            || self.read_fault_at.is_some()
     }
 
     /// Reads `TWPP_INJECT_PANIC` / `TWPP_INJECT_DELAY_MS` /
-    /// `TWPP_INJECT_KILL_AT` from the environment. Missing or unparsable
-    /// values disable the respective fault.
+    /// `TWPP_INJECT_KILL_AT` / `TWPP_INJECT_IO_FAULTS` /
+    /// `TWPP_INJECT_NET_FAULT` / `TWPP_INJECT_READ_FAULT_AT` from the
+    /// environment. Missing or unparsable values disable the respective
+    /// fault.
     pub fn from_env() -> Self {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
         let panic_func = std::env::var(INJECT_PANIC_ENV)
             .ok()
             .map(|v| v.trim().to_string())
             .filter(|v| !v.is_empty());
-        let delay_ms = std::env::var(INJECT_DELAY_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-            .unwrap_or(0);
-        let kill_at = std::env::var(INJECT_KILL_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-            .filter(|&n| n > 0);
         FaultPlan {
             panic_func,
-            delay_ms,
-            kill_at,
+            delay_ms: parse(INJECT_DELAY_ENV).unwrap_or(0),
+            kill_at: parse(INJECT_KILL_ENV).filter(|&n| n > 0),
+            io_faults: parse(INJECT_IO_FAULTS_ENV).unwrap_or(0),
+            net_fault_every: parse(INJECT_NET_FAULT_ENV).filter(|&n| n > 0),
+            read_fault_at: parse(INJECT_READ_FAULT_ENV),
             ..FaultPlan::default()
         }
     }
@@ -425,6 +471,47 @@ impl FaultPlan {
         FaultPlan {
             kill_at: Some(n),
             ..FaultPlan::default()
+        }
+    }
+
+    /// A plan injecting `n` transient I/O failures (the first `n` calls
+    /// to [`FaultPlan::take_io_fault`] fault, later ones succeed).
+    pub fn transient_io(n: u64) -> Self {
+        FaultPlan {
+            io_faults: n,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan faulting every `k`-th network frame.
+    pub fn net_fault_every(k: u64) -> Self {
+        FaultPlan {
+            net_fault_every: Some(k).filter(|&k| k > 0),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Injection point for retry-wrapped I/O: returns `true` (fail this
+    /// attempt) while injected transient faults remain. Clones share the
+    /// consumption counter, so `n` faults total are injected no matter
+    /// how many handles observe the plan.
+    pub fn take_io_fault(&self) -> bool {
+        if self.io_faults == 0 {
+            return false;
+        }
+        self.io_fault_counter.fetch_add(1, Ordering::SeqCst) < self.io_faults
+    }
+
+    /// Injection point for the ingest daemon's frame handler: counts the
+    /// frame and returns `true` when it should be shed with BUSY (every
+    /// `net_fault_every`-th frame).
+    pub fn take_net_fault(&self) -> bool {
+        match self.net_fault_every {
+            None => false,
+            Some(k) => {
+                let n = self.net_fault_counter.fetch_add(1, Ordering::SeqCst) + 1;
+                n.is_multiple_of(k)
+            }
         }
     }
 
@@ -465,6 +552,143 @@ impl FaultPlan {
     pub fn apply_delay(&self) {
         if self.delay_ms > 0 {
             std::thread::sleep(Duration::from_millis(self.delay_ms));
+        }
+    }
+}
+
+/// A bounded retry policy with exponential backoff and deterministic
+/// jitter.
+///
+/// Transient I/O (a WAL append hitting a momentarily-full disk, a
+/// socket write racing a TCP stall) should be retried a bounded number
+/// of times, with growing pauses, before the failure is surfaced. The
+/// jitter is derived from `(seed, failure-count)` with a SplitMix64
+/// hash, so two runs with the same seed produce the *same* backoff
+/// sequence — chaos tests stay reproducible — while different seeds
+/// decorrelate the retry storms of independent connections.
+///
+/// The default policy is [`Retry::none`]: one attempt, no backoff —
+/// retrying is always an explicit choice.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Retry {
+    /// Total attempts, the first one included. Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single backoff, in milliseconds.
+    pub cap_delay_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for Retry {
+    fn default() -> Self {
+        Retry::none()
+    }
+}
+
+/// A retry-wrapped operation failed on every allowed attempt; `last` is
+/// the final error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RetryExhausted<E> {
+    /// Attempts actually made (equals the policy's cap).
+    pub attempts: u32,
+    /// The error of the last attempt.
+    pub last: E,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for RetryExhausted<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gave up after {} attempt(s): {}", self.attempts, self.last)
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for RetryExhausted<E> {}
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer — deterministic jitter
+/// without pulling in a PRNG crate.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Retry {
+    /// One attempt, no backoff: the no-retry policy.
+    pub fn none() -> Retry {
+        Retry { max_attempts: 1, base_delay_ms: 0, cap_delay_ms: 0, seed: 0 }
+    }
+
+    /// A policy with `max_attempts` total attempts, exponential backoff
+    /// from `base_delay_ms` capped at `cap_delay_ms`, jitter-seeded by
+    /// `seed`.
+    pub fn new(max_attempts: u32, base_delay_ms: u64, cap_delay_ms: u64, seed: u64) -> Retry {
+        Retry { max_attempts, base_delay_ms, cap_delay_ms, seed }
+    }
+
+    /// Whether the policy ever retries.
+    pub fn is_active(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// The backoff before the attempt following the `failures`-th failure
+    /// (1-based), in milliseconds. Deterministic in `(self, failures)`:
+    /// exponential (`base * 2^(failures-1)`) capped at `cap_delay_ms`,
+    /// jittered into the upper half of the exponential value ("equal
+    /// jitter"), never above the cap.
+    pub fn backoff_ms(&self, failures: u32) -> u64 {
+        if failures == 0 || self.base_delay_ms == 0 || self.cap_delay_ms == 0 {
+            return 0;
+        }
+        let exp = u32::min(failures - 1, 62);
+        let full = self
+            .base_delay_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.cap_delay_ms);
+        let half = full / 2;
+        let span = full - half;
+        half + splitmix64(self.seed ^ u64::from(failures).wrapping_mul(0xA24B_AED4_963E_E407))
+            % (span + 1)
+    }
+
+    /// Runs `op` under this policy, sleeping the jittered backoff between
+    /// attempts. `op` receives the 1-based attempt number. On success
+    /// returns the value and the number of attempts used; when every
+    /// attempt fails, returns [`RetryExhausted`] with the last error.
+    pub fn run<T, E>(
+        &self,
+        op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<(T, u32), RetryExhausted<E>> {
+        self.run_with(
+            |ms| std::thread::sleep(Duration::from_millis(ms)),
+            op,
+        )
+    }
+
+    /// Like [`Retry::run`] but with an injectable sleep, so tests can
+    /// observe the exact backoff sequence without waiting it out.
+    pub fn run_with<T, E>(
+        &self,
+        mut sleep: impl FnMut(u64),
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<(T, u32), RetryExhausted<E>> {
+        let cap = self.max_attempts.max(1);
+        let mut failures = 0u32;
+        loop {
+            match op(failures + 1) {
+                Ok(v) => return Ok((v, failures + 1)),
+                Err(e) => {
+                    failures += 1;
+                    if failures >= cap {
+                        return Err(RetryExhausted { attempts: failures, last: e });
+                    }
+                    let ms = self.backoff_ms(failures);
+                    if ms > 0 {
+                        sleep(ms);
+                    }
+                }
+            }
         }
     }
 }
@@ -584,6 +808,68 @@ mod tests {
         assert!(StopReason::StepLimit.to_string().contains("step"));
         assert!(StopReason::ByteLimit.to_string().contains("byte"));
         assert!(StopReason::Cancelled.to_string().contains("cancel"));
+    }
+
+    #[test]
+    fn retry_none_runs_once() {
+        let retry = Retry::none();
+        assert!(!retry.is_active());
+        let r: Result<(u32, u32), _> = retry.run_with(|_| {}, |_| Err::<u32, _>("boom"));
+        let e = r.unwrap_err();
+        assert_eq!(e.attempts, 1);
+        assert_eq!(e.last, "boom");
+    }
+
+    #[test]
+    fn retry_succeeds_within_cap_and_counts_attempts() {
+        let retry = Retry::new(4, 1, 10, 7);
+        let mut fails = 2;
+        let (v, attempts) = retry
+            .run_with(|_| {}, |_| {
+                if fails > 0 {
+                    fails -= 1;
+                    Err("transient")
+                } else {
+                    Ok(42)
+                }
+            })
+            .unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn retry_backoff_deterministic_and_capped() {
+        let retry = Retry::new(8, 5, 100, 123);
+        let a: Vec<u64> = (1..8).map(|f| retry.backoff_ms(f)).collect();
+        let b: Vec<u64> = (1..8).map(|f| retry.backoff_ms(f)).collect();
+        assert_eq!(a, b, "same seed, same sequence");
+        assert!(a.iter().all(|&ms| ms <= 100), "bounded by cap: {a:?}");
+        let other = Retry::new(8, 5, 100, 124);
+        let c: Vec<u64> = (1..8).map(|f| other.backoff_ms(f)).collect();
+        assert_ne!(a, c, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn fault_plan_transient_io_injects_exactly_n() {
+        let plan = FaultPlan::transient_io(3);
+        let clone = plan.clone();
+        let mut faults = 0;
+        for _ in 0..10 {
+            if clone.take_io_fault() {
+                faults += 1;
+            }
+        }
+        assert_eq!(faults, 3, "clones share the injection counter");
+        assert!(!plan.take_io_fault());
+    }
+
+    #[test]
+    fn fault_plan_net_fault_every_k() {
+        let plan = FaultPlan::net_fault_every(3);
+        let hits: Vec<bool> = (0..9).map(|_| plan.take_net_fault()).collect();
+        assert_eq!(hits, [false, false, true, false, false, true, false, false, true]);
+        assert!(!FaultPlan::none().take_net_fault());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use twpp_tracer::raw::RawWpp;
 
 use crate::archive::{Durability, TwppArchive};
 use crate::timestamped::Codec;
-use crate::gov::{Budget, FaultPlan, StopReason};
+use crate::gov::{Budget, FaultPlan, Retry, StopReason};
 use crate::obs::{Counter, Obs};
 use crate::partition::{partition, PartitionError};
 use crate::pipeline::{
@@ -77,6 +77,12 @@ pub struct IngestOptions {
     /// runs; [`Codec::Adaptive`] writes archives that are never larger
     /// and that every reader still decodes.
     pub codec: Codec,
+    /// Retry policy wrapping transient durable I/O (WAL appends, segment
+    /// and manifest commits, WAL rotation, the merge write). Default
+    /// [`Retry::none`]: fail on the first error, exactly the old
+    /// behaviour. Attempts and exhaustions surface as
+    /// `twpp_ingest_retry_*` metrics.
+    pub retry: Retry,
 }
 
 impl Default for IngestOptions {
@@ -91,6 +97,7 @@ impl Default for IngestOptions {
             faults: FaultPlan::none(),
             obs: Obs::noop(),
             codec: Codec::Legacy,
+            retry: Retry::none(),
         }
     }
 }
@@ -105,6 +112,8 @@ struct IngestCounters {
     early_seals: Counter,
     sealed_events: Counter,
     segment_bytes: Counter,
+    retry_attempts: Counter,
+    retry_exhausted: Counter,
 }
 
 impl IngestCounters {
@@ -138,6 +147,49 @@ impl IngestCounters {
                 "twpp_core_ingest_segment_bytes_total",
                 "bytes of sealed segment archives",
             ),
+            retry_attempts: obs.counter(
+                "twpp_ingest_retry_attempts_total",
+                "transient I/O failures that were retried",
+            ),
+            retry_exhausted: obs.counter(
+                "twpp_ingest_retry_exhausted_total",
+                "operations that failed after exhausting their retry budget",
+            ),
+        }
+    }
+}
+
+/// Runs `op` under the retry policy, injecting transient I/O faults from
+/// the fault plan (`TWPP_INJECT_IO_FAULTS`) ahead of each real attempt
+/// and accounting every retried failure and exhaustion in the
+/// `twpp_ingest_retry_*` counters. A free function so callers can borrow
+/// disjoint `Compactor` fields (the op typically needs `&mut self.wal`).
+fn run_retry<T>(
+    retry: Retry,
+    faults: &FaultPlan,
+    counters: &IngestCounters,
+    what: &str,
+    mut op: impl FnMut() -> Result<T, IngestError>,
+) -> Result<T, IngestError> {
+    let outcome = retry.run(|_attempt| {
+        if faults.take_io_fault() {
+            return Err(IngestError::Io(format!(
+                "injected transient I/O fault ({what})"
+            )));
+        }
+        op()
+    });
+    match outcome {
+        Ok((value, attempts)) => {
+            counters.retry_attempts.add(u64::from(attempts.saturating_sub(1)));
+            Ok(value)
+        }
+        Err(exhausted) => {
+            counters
+                .retry_attempts
+                .add(u64::from(exhausted.attempts.saturating_sub(1)));
+            counters.retry_exhausted.inc();
+            Err(exhausted.last)
         }
     }
 }
@@ -157,6 +209,9 @@ pub struct ResumeReport {
     /// Whether the WAL ended in a torn record (dropped; its events were
     /// never acknowledged).
     pub wal_torn: bool,
+    /// Bytes dropped with that torn tail (zero when `wal_torn` is
+    /// false). Also published as `twpp_ingest_torn_tail_bytes_total`.
+    pub wal_torn_bytes: u64,
     /// Orphan files removed: `.tmp` staging leftovers and a newest
     /// segment archive whose manifest never landed (its events are still
     /// in the WAL).
@@ -308,6 +363,7 @@ impl Compactor {
             wal_events: tail.len() as u64,
             wal_records_skipped: skipped,
             wal_torn: replay.torn_at.is_some(),
+            wal_torn_bytes: replay.torn_bytes,
             orphans_removed: orphans.len() as u64,
         };
         let obs = &opts.obs;
@@ -323,6 +379,16 @@ impl Compactor {
                 "torn WAL tails dropped on resume",
             )
             .inc();
+            obs.counter(
+                "twpp_ingest_torn_tail_records_total",
+                "torn WAL tails dropped on resume (never-acknowledged appends)",
+            )
+            .inc();
+            obs.counter(
+                "twpp_ingest_torn_tail_bytes_total",
+                "bytes dropped with torn WAL tails on resume",
+            )
+            .add(report.wal_torn_bytes);
         }
         let counters = IngestCounters::new(obs);
         Ok((
@@ -379,7 +445,15 @@ impl Compactor {
             apply_event(&mut stack, &mut root_seen, ev).map_err(IngestError::Stream)?;
         }
 
-        let bytes = self.wal.append(self.accepted_events(), events)?;
+        let offset = self.accepted_events();
+        let wal = &mut self.wal;
+        let bytes = run_retry(
+            self.opts.retry,
+            &self.opts.faults,
+            &self.counters,
+            "wal append",
+            || wal.append(offset, events).map_err(IngestError::from),
+        )?;
         self.opts.faults.durability_point();
         self.counters.events.add(events.len() as u64);
         self.counters.wal_records.inc();
@@ -428,6 +502,9 @@ impl Compactor {
             return Ok(None);
         }
         let _s = self.opts.obs.span("ingest_seal");
+        // Injection point for the serve watchdog tests: a configured
+        // delay makes this seal look wedged without real slow I/O.
+        self.opts.faults.apply_delay();
         let seq = self.segments.len() as u64 + 1;
 
         let mut wrapped: Vec<WppEvent> =
@@ -454,10 +531,18 @@ impl Compactor {
             self.opts.codec,
         );
 
-        write_file_durable(
-            &segment::archive_path(&self.dir, seq),
-            archive.as_bytes(),
-            self.opts.durability,
+        run_retry(
+            self.opts.retry,
+            &self.opts.faults,
+            &self.counters,
+            "segment archive commit",
+            || {
+                write_file_durable(
+                    &segment::archive_path(&self.dir, seq),
+                    archive.as_bytes(),
+                    self.opts.durability,
+                )
+            },
         )?;
         self.opts.faults.durability_point();
 
@@ -468,14 +553,29 @@ impl Compactor {
             depth_start: self.window_stack.len() as u32,
             end_stack: self.stack.clone(),
         };
-        write_file_durable(
-            &segment::manifest_path(&self.dir, seq),
-            &meta.encode(),
-            self.opts.durability,
+        run_retry(
+            self.opts.retry,
+            &self.opts.faults,
+            &self.counters,
+            "segment manifest commit",
+            || {
+                write_file_durable(
+                    &segment::manifest_path(&self.dir, seq),
+                    &meta.encode(),
+                    self.opts.durability,
+                )
+            },
         )?;
         self.opts.faults.durability_point();
 
-        self.wal.reset()?;
+        let wal = &mut self.wal;
+        run_retry(
+            self.opts.retry,
+            &self.opts.faults,
+            &self.counters,
+            "wal rotation",
+            || wal.reset().map_err(IngestError::from),
+        )?;
         self.opts.faults.durability_point();
 
         self.counters.seals.inc();
@@ -508,7 +608,13 @@ impl Compactor {
         }
         let (archive, stats) = merge::merge_segments(&self.dir, &self.segments, &self.opts)?;
         let path = merge::merged_path(&self.dir);
-        write_file_durable(&path, archive.as_bytes(), self.opts.durability)?;
+        run_retry(
+            self.opts.retry,
+            &self.opts.faults,
+            &self.counters,
+            "merged archive commit",
+            || write_file_durable(&path, archive.as_bytes(), self.opts.durability),
+        )?;
         self.opts.faults.durability_point();
         self.opts
             .obs

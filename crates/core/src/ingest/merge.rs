@@ -189,6 +189,9 @@ pub struct DirCheck {
     pub wal_skipped_records: u64,
     /// Whether the WAL ends in a torn record.
     pub wal_torn: bool,
+    /// Bytes in that torn tail (what a resume would drop); zero when
+    /// `wal_torn` is false.
+    pub wal_torn_bytes: u64,
     /// The WAL is not ours or from a future version.
     pub wal_error: Option<WalError>,
 }
@@ -232,6 +235,7 @@ pub fn fsck_dir(dir: &Path, obs: &Obs) -> Result<DirCheck, IngestError> {
         wal_events: 0,
         wal_skipped_records: 0,
         wal_torn: false,
+        wal_torn_bytes: 0,
         wal_error: None,
     };
     let metas = match segment::load_sealed_chain(dir) {
@@ -266,6 +270,7 @@ pub fn fsck_dir(dir: &Path, obs: &Obs) -> Result<DirCheck, IngestError> {
     match read_wal(dir) {
         Ok(replay) => {
             check.wal_torn = replay.torn_at.is_some();
+            check.wal_torn_bytes = replay.torn_bytes;
             for (off, batch) in &replay.batches {
                 if off + batch.len() as u64 <= check.sealed_events {
                     check.wal_skipped_records += 1;
@@ -276,6 +281,18 @@ pub fn fsck_dir(dir: &Path, obs: &Obs) -> Result<DirCheck, IngestError> {
         }
         Err(IngestError::Wal(e)) => check.wal_error = Some(e),
         Err(e) => return Err(e),
+    }
+    if check.wal_torn {
+        obs.counter(
+            "twpp_ingest_torn_tail_records_total",
+            "torn WAL tails dropped on resume (never-acknowledged appends)",
+        )
+        .inc();
+        obs.counter(
+            "twpp_ingest_torn_tail_bytes_total",
+            "bytes dropped with torn WAL tails on resume",
+        )
+        .add(check.wal_torn_bytes);
     }
     Ok(check)
 }

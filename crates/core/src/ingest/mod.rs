@@ -54,9 +54,13 @@ use crate::pipeline::PipelineError;
 mod compactor;
 mod merge;
 mod segment;
+mod server;
 mod wal;
 
 pub use compactor::{Compactor, FinishReport, IngestOptions, ResumeReport};
+pub use server::{
+    serve, tail_source_name, ServeListener, ServeOptions, ServeReport, SourceReport,
+};
 pub use merge::{fsck_dir, merged_path, replay_dir_events, segment_events, DirCheck, DirReplay};
 pub use segment::{
     archive_path, list_segment_files, manifest_path, SegmentMeta, MANIFEST_VERSION,

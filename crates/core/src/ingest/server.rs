@@ -1,0 +1,1241 @@
+//! The streaming ingestion daemon behind `twpp serve-ingest`.
+//!
+//! A long-lived, threaded server that accepts WPP event streams over the
+//! framed [`crate::net`] protocol (TCP or Unix socket) and from tailed
+//! files, and feeds each *source* into its own resumable
+//! [`Compactor`] under `dir/<source>/`. Every failure edge is hardened:
+//!
+//! * **Garbage in, connection out.** A frame that fails magic/CRC/kind
+//!   validation quarantines that connection with a typed `Error` reply;
+//!   the process and every other connection keep running.
+//! * **Backpressure, not buffering.** When a source's open window would
+//!   exceed its byte cap, or another connection holds the source busy,
+//!   the daemon replies `Busy{retry_after_ms}` instead of queueing. The
+//!   offset-based dedup in the feed path makes blind client replay after
+//!   a `Busy` (or a reconnect) exactly-once: no acknowledged event is
+//!   ever lost or doubled.
+//! * **Transient I/O is retried.** WAL appends and segment commits run
+//!   under the [`Retry`] policy (exponential backoff, deterministic
+//!   jitter), surfaced as `twpp_ingest_retry_*` metrics.
+//! * **Wedged seals fail in isolation.** A watchdog thread marks a
+//!   source failed when one durable operation exceeds `wedge_ms`; other
+//!   sources and the daemon itself are unaffected, and the failed
+//!   source's directory remains resumable on disk.
+//! * **Graceful drain.** On cancellation (SIGTERM in the CLI) or a
+//!   client `Drain` frame the daemon stops accepting, joins every
+//!   connection, then seals open windows and merges each source to
+//!   `merged.twpa` — byte-identical to an uninterrupted batch run, by
+//!   the PR 6 merge invariant.
+//!
+//! The drain state machine (DESIGN.md §17):
+//!
+//! ```text
+//!   Accepting ──(Drain frame | cancel token)──► Draining
+//!   Draining:  listener closed, connections unwound at next poll tick
+//!   Finishing: per source (sorted): seal ► merge ► merged.twpa
+//!   Done:      ServeReport (all_clean ⇒ exit 0)
+//! ```
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use twpp_tracer::raw::WppStream;
+use twpp_tracer::WppEvent;
+
+use crate::archive::Durability;
+use crate::gov::{CancelToken, FaultPlan, Limits, Retry};
+use crate::net::{
+    valid_source_name, Frame, FramedStream, NetError, ERR_DRAINING, ERR_NO_HELLO, ERR_PROTOCOL,
+    ERR_SOURCE_FAILED, ERR_STREAM,
+};
+use crate::obs::Obs;
+use crate::timestamped::Codec;
+
+use super::compactor::{Compactor, IngestOptions};
+use super::{io_err, IngestError};
+
+/// Options for a [`serve`] run.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Per-source seal threshold, as [`IngestOptions::seal_bytes`].
+    pub seal_bytes: u64,
+    /// Per-source time-based seal, as [`IngestOptions::seal_ms`].
+    pub seal_ms: Option<u64>,
+    /// Durability of every per-source commit.
+    pub durability: Durability,
+    /// Worker threads for seal/merge compaction.
+    pub threads: Option<usize>,
+    /// Per-source resource limits; each source starts its own budget
+    /// from these. Exhaustion is backpressure (early seals), as in
+    /// [`IngestOptions::budget`].
+    pub limits: Limits,
+    /// Degrade policy forwarded to compaction.
+    pub fail_fast: bool,
+    /// Retry policy for transient durable I/O *and* reply writes.
+    pub retry: Retry,
+    /// Open-window byte cap per source. A batch that would push the
+    /// window past this is shed with `Busy` while the window seals.
+    /// Default: 4 × `seal_bytes`.
+    pub window_cap_bytes: u64,
+    /// The retry-after hint attached to `Busy` replies, in ms.
+    pub retry_after_ms: u64,
+    /// Watchdog deadline: one durable operation (feed/seal) exceeding
+    /// this many ms marks the source failed in isolation.
+    pub wedge_ms: u64,
+    /// Poll interval for the accept loop, connection reads, tails and
+    /// the watchdog, in ms.
+    pub poll_ms: u64,
+    /// Fault-injection plan, shared by every source (the kill counter,
+    /// transient-I/O counter and net-fault counter are global across
+    /// the daemon, so sweeps see one deterministic sequence).
+    pub faults: FaultPlan,
+    /// Observability sink (`twpp_ingest_serve_*` metrics).
+    pub obs: Obs,
+    /// Timestamp-set codec for sealed segments and merges.
+    pub codec: Codec,
+    /// Files to tail as event sources (name derived from the file
+    /// stem): read to EOF, then poll for appended bytes until drain.
+    pub tails: Vec<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            seal_bytes: 1 << 20,
+            seal_ms: None,
+            durability: Durability::Sync,
+            threads: None,
+            limits: Limits::new(),
+            fail_fast: true,
+            retry: Retry::none(),
+            window_cap_bytes: 4 << 20,
+            retry_after_ms: 25,
+            wedge_ms: 10_000,
+            poll_ms: 25,
+            faults: FaultPlan::none(),
+            obs: Obs::noop(),
+            codec: Codec::Legacy,
+            tails: Vec::new(),
+        }
+    }
+}
+
+impl ServeOptions {
+    fn ingest_options(&self) -> IngestOptions {
+        IngestOptions {
+            seal_bytes: self.seal_bytes,
+            seal_ms: self.seal_ms,
+            durability: self.durability,
+            threads: self.threads,
+            budget: self.limits.start(),
+            fail_fast: self.fail_fast,
+            faults: self.faults.clone(),
+            obs: self.obs.clone(),
+            codec: self.codec,
+            retry: self.retry,
+        }
+    }
+}
+
+/// One source's outcome in a [`ServeReport`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceReport {
+    /// The source name (and its subdirectory under the serve root).
+    pub name: String,
+    /// Events durably accepted for this source.
+    pub events: u64,
+    /// Segments sealed over the source's lifetime in this process.
+    pub segments: u64,
+    /// Path of the merged archive, when the drain merge ran.
+    pub merged: Option<PathBuf>,
+    /// Why the source was failed in isolation, if it was. Its directory
+    /// stays resumable on disk either way.
+    pub failed: Option<String>,
+}
+
+/// What a [`serve`] run did, returned after the drain completes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ServeReport {
+    /// Per-source outcomes, sorted by name.
+    pub sources: Vec<SourceReport>,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames handled.
+    pub frames: u64,
+    /// `Busy` replies sent (backpressure + injected net faults).
+    pub busy_responses: u64,
+    /// Connections quarantined for protocol violations.
+    pub quarantined: u64,
+}
+
+impl ServeReport {
+    /// Whether every source drained to a merged archive without failure.
+    /// (A source that saw zero events is clean but unmerged.)
+    pub fn all_clean(&self) -> bool {
+        self.sources.iter().all(|s| s.failed.is_none())
+    }
+}
+
+/// Where the daemon listens.
+#[derive(Debug)]
+pub enum ServeListener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain socket listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl ServeListener {
+    /// Binds from a spec string: `tcp:HOST:PORT` or `unix:PATH`. A bare
+    /// `HOST:PORT` is treated as TCP. `tcp:127.0.0.1:0` picks a free
+    /// port — read it back with [`ServeListener::local_addr`].
+    pub fn bind(spec: &str) -> Result<ServeListener, IngestError> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let path = Path::new(path);
+                if path.exists() {
+                    fs::remove_file(path).map_err(|e| io_err(path, &e))?;
+                }
+                return UnixListener::bind(path)
+                    .map(ServeListener::Unix)
+                    .map_err(|e| io_err(path, &e));
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(IngestError::Io(format!(
+                    "unix sockets are not supported on this platform: {path}"
+                )));
+            }
+        }
+        let addr = spec.strip_prefix("tcp:").unwrap_or(spec);
+        TcpListener::bind(addr)
+            .map(ServeListener::Tcp)
+            .map_err(|e| IngestError::Io(format!("{addr}: {e}")))
+    }
+
+    /// The bound address, printable for `--port-file` / logs.
+    pub fn local_addr(&self) -> String {
+        match self {
+            ServeListener::Tcp(l) => l
+                .local_addr()
+                .map_or_else(|_| "tcp:?".into(), |a| format!("tcp:{a}")),
+            #[cfg(unix)]
+            ServeListener::Unix(l) => l
+                .local_addr()
+                .ok()
+                .and_then(|a| a.as_pathname().map(|p| format!("unix:{}", p.display())))
+                .unwrap_or_else(|| "unix:?".into()),
+        }
+    }
+
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            ServeListener::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            ServeListener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+
+    /// Accepts one connection if one is pending; `None` on would-block.
+    fn accept(&self, read_timeout: Duration) -> io::Result<Option<Box<dyn ConnStream>>> {
+        match self {
+            ServeListener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    s.set_read_timeout(Some(read_timeout))?;
+                    s.set_nodelay(true)?;
+                    Ok(Some(Box::new(s)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            ServeListener::Unix(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    s.set_read_timeout(Some(read_timeout))?;
+                    Ok(Some(Box::new(s)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// A connected client stream the daemon can poll-read.
+trait ConnStream: Read + Write + Send {}
+impl ConnStream for TcpStream {}
+#[cfg(unix)]
+impl ConnStream for UnixStream {}
+
+/// One source's shared state. The watchdog reads only the atomics, so a
+/// wedged operation holding the compactor mutex cannot hide from it.
+struct SourceHandle {
+    name: String,
+    compactor: Mutex<Option<Compactor>>,
+    /// Events durably acknowledged (mirror of the compactor, readable
+    /// without the mutex — `Hello` and `Drain` must answer even while a
+    /// slow seal holds the lock).
+    acked: AtomicU64,
+    /// Segments sealed in this process (mirror, same reason).
+    segments: AtomicU64,
+    /// Milliseconds since server start when the in-flight durable
+    /// operation began; 0 when idle. The watchdog's only input.
+    op_started_ms: AtomicU64,
+    failed: AtomicBool,
+    fail_msg: Mutex<Option<String>>,
+}
+
+impl SourceHandle {
+    fn mark_failed(&self, why: String, obs: &Obs) {
+        if !self.failed.swap(true, Ordering::SeqCst) {
+            obs.counter(
+                "twpp_ingest_serve_sources_failed_total",
+                "sources failed in isolation (wedged seal or unrecoverable I/O)",
+            )
+            .inc();
+            if let Ok(mut msg) = self.fail_msg.lock() {
+                msg.get_or_insert(why);
+            }
+        }
+    }
+
+    fn failure(&self) -> Option<String> {
+        if !self.failed.load(Ordering::SeqCst) {
+            return None;
+        }
+        Some(
+            self.fail_msg
+                .lock()
+                .ok()
+                .and_then(|m| m.clone())
+                .unwrap_or_else(|| "failed".into()),
+        )
+    }
+}
+
+/// Daemon-wide shared state, borrowed by every thread in the scope.
+struct Registry {
+    dir: PathBuf,
+    opts: ServeOptions,
+    start: Instant,
+    drain: AtomicBool,
+    sources: Mutex<HashMap<String, Arc<SourceHandle>>>,
+    connections: AtomicU64,
+    frames: AtomicU64,
+    busy: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl Registry {
+    fn draining(&self) -> bool {
+        self.drain.load(Ordering::SeqCst)
+    }
+
+    fn now_ms(&self) -> u64 {
+        // | 1 keeps "started at t=0" distinguishable from "idle".
+        (self.start.elapsed().as_millis() as u64) | 1
+    }
+
+    /// Runs one durable operation with the watchdog clock armed.
+    fn with_op<T>(&self, h: &SourceHandle, op: impl FnOnce() -> T) -> T {
+        h.op_started_ms.store(self.now_ms(), Ordering::SeqCst);
+        let out = op();
+        h.op_started_ms.store(0, Ordering::SeqCst);
+        out
+    }
+
+    /// Finds or creates (possibly resuming) the source `name`.
+    /// The error is the reply frame to send.
+    fn get_or_create(&self, name: &str) -> Result<Arc<SourceHandle>, Frame> {
+        let mut sources = match self.sources.lock() {
+            Ok(g) => g,
+            Err(_) => {
+                return Err(Frame::Error {
+                    code: ERR_SOURCE_FAILED,
+                    message: "source registry poisoned".into(),
+                })
+            }
+        };
+        if let Some(h) = sources.get(name) {
+            return Ok(Arc::clone(h));
+        }
+        if self.draining() {
+            return Err(Frame::Error {
+                code: ERR_DRAINING,
+                message: "daemon is draining; not accepting new sources".into(),
+            });
+        }
+        let sub = self.dir.join(name);
+        match Compactor::open(&sub, self.opts.ingest_options()) {
+            Ok((c, _resumed)) => {
+                let h = Arc::new(SourceHandle {
+                    name: name.to_owned(),
+                    acked: AtomicU64::new(c.accepted_events()),
+                    segments: AtomicU64::new(0),
+                    compactor: Mutex::new(Some(c)),
+                    op_started_ms: AtomicU64::new(0),
+                    failed: AtomicBool::new(false),
+                    fail_msg: Mutex::new(None),
+                });
+                sources.insert(name.to_owned(), Arc::clone(&h));
+                Ok(h)
+            }
+            Err(e) => Err(Frame::Error {
+                code: ERR_SOURCE_FAILED,
+                message: format!("{name}: {e}"),
+            }),
+        }
+    }
+
+    fn busy_reply(&self) -> Frame {
+        self.busy.fetch_add(1, Ordering::SeqCst);
+        Frame::Busy { retry_after_ms: self.opts.retry_after_ms }
+    }
+
+    /// Handles one `Events` frame for `h`: backpressure, offset dedup,
+    /// feed. Returns the reply frame.
+    fn feed(&self, h: &SourceHandle, offset: u64, events: &[WppEvent]) -> Frame {
+        if let Some(why) = h.failure() {
+            return Frame::Error { code: ERR_SOURCE_FAILED, message: why };
+        }
+        // Injected flaky-socket plan: shed this frame with BUSY. The
+        // client's replay-from-last-ack then proves zero acknowledged
+        // loss under spurious shedding.
+        if self.opts.faults.take_net_fault() {
+            return self.busy_reply();
+        }
+        let mut guard = match self.compactor_guard(h) {
+            Ok(g) => g,
+            Err(reply) => return reply,
+        };
+        let Some(c) = guard.as_mut() else {
+            return Frame::Error {
+                code: ERR_DRAINING,
+                message: "source already drained".into(),
+            };
+        };
+        let acc = c.accepted_events();
+        if offset > acc {
+            return Frame::Error {
+                code: ERR_STREAM,
+                message: format!("offset gap: batch starts at {offset}, durable position is {acc}"),
+            };
+        }
+        let already = (acc - offset) as usize;
+        if already >= events.len() {
+            // Full replay of durable events (a retry after a lost ack):
+            // acknowledge without re-feeding.
+            return Frame::Ok { accepted: acc };
+        }
+        let fresh = &events[already..];
+        // Window byte cap: shed the batch while the window seals, so
+        // memory stays bounded no matter how fast clients push.
+        if 4 * (c.window_events() + fresh.len() as u64) > self.opts.window_cap_bytes
+            && c.window_events() > 0
+        {
+            let sealed = self.with_op(h, || c.seal());
+            if let Err(e) = sealed {
+                h.mark_failed(format!("seal under backpressure: {e}"), &self.opts.obs);
+                return Frame::Error {
+                    code: ERR_SOURCE_FAILED,
+                    message: h.failure().unwrap_or_default(),
+                };
+            }
+            h.segments.store(c.segment_count(), Ordering::SeqCst);
+            return self.busy_reply();
+        }
+        match self.with_op(h, || c.feed(fresh)) {
+            Ok(()) => {
+                let acc = c.accepted_events();
+                h.acked.store(acc, Ordering::SeqCst);
+                h.segments.store(c.segment_count(), Ordering::SeqCst);
+                if let Some(why) = h.failure() {
+                    // The watchdog fired while we were inside the op.
+                    return Frame::Error { code: ERR_SOURCE_FAILED, message: why };
+                }
+                Frame::Ok { accepted: acc }
+            }
+            Err(IngestError::Stream(e)) => Frame::Error {
+                code: ERR_STREAM,
+                message: format!("batch rejected (nothing acknowledged): {e}"),
+            },
+            Err(e) => {
+                h.mark_failed(e.to_string(), &self.opts.obs);
+                Frame::Error {
+                    code: ERR_SOURCE_FAILED,
+                    message: h.failure().unwrap_or_default(),
+                }
+            }
+        }
+    }
+
+    /// Handles a `Seal` frame: forces the open window into a segment.
+    fn seal(&self, h: &SourceHandle) -> Frame {
+        if let Some(why) = h.failure() {
+            return Frame::Error { code: ERR_SOURCE_FAILED, message: why };
+        }
+        let mut guard = match self.compactor_guard(h) {
+            Ok(g) => g,
+            Err(reply) => return reply,
+        };
+        let Some(c) = guard.as_mut() else {
+            return Frame::Error { code: ERR_DRAINING, message: "source already drained".into() };
+        };
+        match self.with_op(h, || c.seal()) {
+            Ok(_) => {
+                h.segments.store(c.segment_count(), Ordering::SeqCst);
+                Frame::Ok { accepted: c.accepted_events() }
+            }
+            Err(e) => {
+                h.mark_failed(format!("seal: {e}"), &self.opts.obs);
+                Frame::Error {
+                    code: ERR_SOURCE_FAILED,
+                    message: h.failure().unwrap_or_default(),
+                }
+            }
+        }
+    }
+
+    /// Non-blocking lock of the source's compactor. Contention (another
+    /// connection mid-operation on the same source) is backpressure,
+    /// not blocking: the caller gets a `Busy` reply frame.
+    fn compactor_guard<'h>(
+        &self,
+        h: &'h SourceHandle,
+    ) -> Result<std::sync::MutexGuard<'h, Option<Compactor>>, Frame> {
+        match h.compactor.try_lock() {
+            Ok(g) => Ok(g),
+            Err(std::sync::TryLockError::WouldBlock) => Err(self.busy_reply()),
+            Err(std::sync::TryLockError::Poisoned(_)) => Err(Frame::Error {
+                code: ERR_SOURCE_FAILED,
+                message: format!("{}: compactor poisoned by a panicked operation", h.name),
+            }),
+        }
+    }
+}
+
+/// Sends a reply under the retry policy. Note the asymmetry with reads:
+/// a retried send re-transmits the whole frame, which is only safe
+/// because a failed socket write is almost always all-or-nothing and a
+/// torn resend merely quarantines that one client connection.
+fn send_retry(
+    framed: &mut FramedStream<Box<dyn ConnStream>>,
+    retry: Retry,
+    frame: &Frame,
+) -> Result<(), NetError> {
+    match retry.run(|_| framed.send(frame)) {
+        Ok(((), _attempts)) => Ok(()),
+        Err(exhausted) => Err(exhausted.last),
+    }
+}
+
+/// One connection's lifecycle: `Hello` first, then `Events`/`Seal`
+/// frames until close, drain, or quarantine.
+fn handle_conn(registry: &Registry, stream: Box<dyn ConnStream>) {
+    registry.connections.fetch_add(1, Ordering::SeqCst);
+    let retry = registry.opts.retry;
+    let mut framed = FramedStream::new(stream);
+    let mut source: Option<Arc<SourceHandle>> = None;
+    loop {
+        if registry.draining() {
+            return;
+        }
+        let frame = match framed.recv_step() {
+            Ok(None) => continue,
+            Ok(Some(frame)) => frame,
+            Err(NetError::Closed) | Err(NetError::Io(_)) => return,
+            Err(garbage) => {
+                // Torn, oversized or corrupt framing: quarantine this
+                // connection with a typed refusal; the daemon lives on.
+                let _ = framed.send(&Frame::Error {
+                    code: ERR_PROTOCOL,
+                    message: garbage.to_string(),
+                });
+                registry.quarantined.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+        };
+        registry.frames.fetch_add(1, Ordering::SeqCst);
+        let mut drain_after_reply = false;
+        let reply = match frame {
+            Frame::Hello { source: name } => match registry.get_or_create(&name) {
+                Ok(h) => {
+                    let accepted = h.acked.load(Ordering::SeqCst);
+                    source = Some(h);
+                    Frame::Ok { accepted }
+                }
+                Err(err_reply) => err_reply,
+            },
+            Frame::Events { offset, events } => match &source {
+                Some(h) => registry.feed(h, offset, &events),
+                None => Frame::Error {
+                    code: ERR_NO_HELLO,
+                    message: "first frame must be Hello".into(),
+                },
+            },
+            Frame::Seal => match &source {
+                Some(h) => registry.seal(h),
+                None => Frame::Error {
+                    code: ERR_NO_HELLO,
+                    message: "first frame must be Hello".into(),
+                },
+            },
+            Frame::Drain => {
+                drain_after_reply = true;
+                Frame::Ok {
+                    accepted: source.as_ref().map_or(0, |h| h.acked.load(Ordering::SeqCst)),
+                }
+            }
+            Frame::Ok { .. } | Frame::Busy { .. } | Frame::Error { .. } => Frame::Error {
+                code: ERR_PROTOCOL,
+                message: "reply frame sent by client".into(),
+            },
+        };
+        let quarantine = matches!(reply, Frame::Error { .. });
+        if send_retry(&mut framed, retry, &reply).is_err() {
+            return;
+        }
+        if drain_after_reply {
+            registry.drain.store(true, Ordering::SeqCst);
+            return;
+        }
+        if quarantine {
+            registry.quarantined.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// Derives a source name from a tailed file's stem, mapping characters
+/// the protocol would reject to `_`.
+pub fn tail_source_name(path: &Path) -> String {
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut name: String = stem
+        .chars()
+        .take(64)
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '_' })
+        .collect();
+    if name.is_empty() || name.starts_with(['.', '-']) {
+        name = format!("t{name}");
+    }
+    name
+}
+
+/// Tails one appended file into its own source until drain: parse bytes
+/// incrementally with [`WppStream`], feed decoded events, poll at EOF.
+fn run_tail(registry: &Registry, path: &Path) {
+    let name = tail_source_name(path);
+    let handle = match registry.get_or_create(&name) {
+        Ok(h) => h,
+        Err(_) => return,
+    };
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            handle.mark_failed(format!("{}: {e}", path.display()), &registry.opts.obs);
+            return;
+        }
+    };
+    let mut parser = Some(WppStream::new());
+    let mut events: Vec<WppEvent> = Vec::new();
+    // Events taken from the stream before the pending `events` batch —
+    // the batch's global offset for the dedup in feed_tail (a restarted
+    // daemon re-reads the file from 0; the durable prefix is skipped).
+    let mut fed: u64 = 0;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if handle.failure().is_some() {
+            return;
+        }
+        let Some(p) = parser.as_mut() else { return };
+        match file.read(&mut chunk) {
+            Ok(0) => {
+                if !registry.draining() {
+                    std::thread::sleep(Duration::from_millis(registry.opts.poll_ms));
+                    continue;
+                }
+                // Drain: resolve the held-back tail (a legacy stream
+                // without a footer is fine; a torn one is a failure).
+                let p = parser.take().unwrap_or_default();
+                if let Err(e) = p.finish(&mut events) {
+                    handle.mark_failed(
+                        format!("{}: {e}", path.display()),
+                        &registry.opts.obs,
+                    );
+                    return;
+                }
+                feed_tail(registry, &handle, &mut fed, &mut events);
+                return;
+            }
+            Ok(n) => {
+                if let Err(e) = p.push(&chunk[..n], &mut events) {
+                    handle.mark_failed(format!("{}: {e}", path.display()), &registry.opts.obs);
+                    return;
+                }
+                if events.len() >= 4096 {
+                    feed_tail(registry, &handle, &mut fed, &mut events);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                handle.mark_failed(format!("{}: {e}", path.display()), &registry.opts.obs);
+                return;
+            }
+        }
+    }
+}
+
+/// Feeds a tail batch with the same offset dedup as the socket path,
+/// but blocking on the source mutex (the tail has nowhere to shed to).
+fn feed_tail(
+    registry: &Registry,
+    h: &SourceHandle,
+    fed: &mut u64,
+    events: &mut Vec<WppEvent>,
+) {
+    if events.is_empty() {
+        return;
+    }
+    let offset = *fed;
+    *fed += events.len() as u64;
+    let Ok(mut guard) = h.compactor.lock() else {
+        h.mark_failed("compactor poisoned".into(), &registry.opts.obs);
+        return;
+    };
+    let Some(c) = guard.as_mut() else { return };
+    let acc = c.accepted_events();
+    if offset > acc {
+        h.mark_failed(
+            format!("tail offset gap: batch at {offset}, durable position {acc}"),
+            &registry.opts.obs,
+        );
+        events.clear();
+        return;
+    }
+    let already = (acc - offset) as usize;
+    if already < events.len() {
+        let fresh = &events[already..];
+        if let Err(e) = registry.with_op(h, || c.feed(fresh)) {
+            h.mark_failed(e.to_string(), &registry.opts.obs);
+        } else {
+            h.acked.store(c.accepted_events(), Ordering::SeqCst);
+            h.segments.store(c.segment_count(), Ordering::SeqCst);
+        }
+    }
+    events.clear();
+}
+
+/// Runs the daemon: accepts connections on `listener`, tails
+/// `opts.tails`, and drains gracefully when `shutdown` is cancelled
+/// (the CLI wires SIGTERM to it) or a client sends `Drain`.
+///
+/// Returns the [`ServeReport`] after the drain merge. Per-source
+/// failures live in the report ([`ServeReport::all_clean`]); only
+/// daemon-level I/O (listener setup, the serve-root scan) is a hard
+/// error.
+pub fn serve(
+    dir: &Path,
+    listener: ServeListener,
+    shutdown: CancelToken,
+    opts: ServeOptions,
+) -> Result<ServeReport, IngestError> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+    listener.set_nonblocking().map_err(|e| IngestError::Io(format!("listener: {e}")))?;
+    let registry = Registry {
+        dir: dir.to_path_buf(),
+        start: Instant::now(),
+        drain: AtomicBool::new(false),
+        sources: Mutex::new(HashMap::new()),
+        connections: AtomicU64::new(0),
+        frames: AtomicU64::new(0),
+        busy: AtomicU64::new(0),
+        quarantined: AtomicU64::new(0),
+        opts,
+    };
+
+    // Re-open every source a previous process left behind, so a drain
+    // merges them even if no client reconnects first. This is also
+    // where a restarted daemon pays its resume durability points.
+    let mut preexisting: Vec<String> = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, &e))? {
+        let entry = entry.map_err(|e| io_err(dir, &e))?;
+        let path = entry.path();
+        if path.is_dir() && super::wal::wal_path(&path).exists() {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if valid_source_name(name) {
+                    preexisting.push(name.to_owned());
+                }
+            }
+        }
+    }
+    preexisting.sort();
+    for name in &preexisting {
+        // A damaged source directory must not kill the daemon: record
+        // it as a failed source and keep serving the others.
+        if let Err(Frame::Error { message, .. }) = registry.get_or_create(name) {
+            let h = Arc::new(SourceHandle {
+                name: name.clone(),
+                compactor: Mutex::new(None),
+                acked: AtomicU64::new(0),
+                segments: AtomicU64::new(0),
+                op_started_ms: AtomicU64::new(0),
+                failed: AtomicBool::new(true),
+                fail_msg: Mutex::new(Some(message)),
+            });
+            registry
+                .opts
+                .obs
+                .counter(
+                    "twpp_ingest_serve_sources_failed_total",
+                    "sources failed in isolation (wedged seal or unrecoverable I/O)",
+                )
+                .inc();
+            if let Ok(mut sources) = registry.sources.lock() {
+                sources.insert(name.clone(), h);
+            }
+        }
+    }
+
+    let poll = Duration::from_millis(registry.opts.poll_ms.max(1));
+    let watchdog_done = AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        // Watchdog: fail a source whose in-flight durable operation has
+        // exceeded the wedge deadline, in isolation.
+        let wd_registry = &registry;
+        let wd_done = &watchdog_done;
+        scope.spawn(move || {
+            let tick = Duration::from_millis((wd_registry.opts.wedge_ms / 4).clamp(5, 250));
+            while !wd_done.load(Ordering::SeqCst) {
+                let handles: Vec<Arc<SourceHandle>> = wd_registry
+                    .sources
+                    .lock()
+                    .map(|g| g.values().cloned().collect())
+                    .unwrap_or_default();
+                for h in handles {
+                    let started = h.op_started_ms.load(Ordering::SeqCst);
+                    if started != 0
+                        && wd_registry.now_ms().saturating_sub(started)
+                            > wd_registry.opts.wedge_ms
+                    {
+                        h.mark_failed(
+                            format!(
+                                "watchdog: durable operation wedged past {} ms",
+                                wd_registry.opts.wedge_ms
+                            ),
+                            &wd_registry.opts.obs,
+                        );
+                    }
+                }
+                std::thread::sleep(tick);
+            }
+        });
+
+        let mut workers = Vec::new();
+        for path in registry.opts.tails.clone() {
+            let r = &registry;
+            workers.push(scope.spawn(move || run_tail(r, &path)));
+        }
+
+        // Accept loop: poll the listener until drain.
+        while !registry.draining() {
+            if shutdown.is_cancelled() {
+                registry.drain.store(true, Ordering::SeqCst);
+                break;
+            }
+            match listener.accept(poll) {
+                Ok(Some(stream)) => {
+                    let r = &registry;
+                    workers.push(scope.spawn(move || handle_conn(r, stream)));
+                }
+                Ok(None) => std::thread::sleep(poll),
+                Err(_) => std::thread::sleep(poll),
+            }
+        }
+        drop(listener);
+        for w in workers {
+            let _ = w.join();
+        }
+        // Stand the watchdog down before the finish phase: the drain
+        // merge is legitimately long, and a source wedged *there*
+        // could not be failed usefully anyway (finish owns the
+        // compactor; nothing else is waiting on it).
+        watchdog_done.store(true, Ordering::SeqCst);
+
+        // Finish phase: seal + merge every source, sorted for a
+        // deterministic report. Failed sources are skipped (resumable
+        // on disk); empty sources have nothing to merge.
+        let handles: Vec<Arc<SourceHandle>> = {
+            let mut v: Vec<_> = registry
+                .sources
+                .lock()
+                .map(|g| g.values().cloned().collect())
+                .unwrap_or_default();
+            v.sort_by(|a, b| a.name.cmp(&b.name));
+            v
+        };
+        let mut sources = Vec::with_capacity(handles.len());
+        for h in handles {
+            let mut report = SourceReport {
+                name: h.name.clone(),
+                events: h.acked.load(Ordering::SeqCst),
+                segments: h.segments.load(Ordering::SeqCst),
+                merged: None,
+                failed: h.failure(),
+            };
+            if report.failed.is_none() {
+                let taken = h.compactor.lock().ok().and_then(|mut g| g.take());
+                if let Some(c) = taken {
+                    report.events = c.accepted_events();
+                    if c.accepted_events() > 0 {
+                        match c.finish() {
+                            Ok(fin) => {
+                                report.segments = fin.segments;
+                                report.merged = Some(fin.path);
+                            }
+                            Err(e) => {
+                                h.mark_failed(format!("drain merge: {e}"), &registry.opts.obs);
+                            }
+                        }
+                    }
+                }
+                report.failed = h.failure();
+            }
+            sources.push(report);
+        }
+        ServeReport {
+            sources,
+            connections: registry.connections.load(Ordering::SeqCst),
+            frames: registry.frames.load(Ordering::SeqCst),
+            busy_responses: registry.busy.load(Ordering::SeqCst),
+            quarantined: registry.quarantined.load(Ordering::SeqCst),
+        }
+    });
+    let obs = &registry.opts.obs;
+    obs.counter("twpp_ingest_serve_connections_total", "connections accepted")
+        .add(report.connections);
+    obs.counter("twpp_ingest_serve_frames_total", "frames handled")
+        .add(report.frames);
+    obs.counter(
+        "twpp_ingest_serve_busy_total",
+        "Busy replies sent (backpressure and injected net faults)",
+    )
+    .add(report.busy_responses);
+    obs.counter(
+        "twpp_ingest_serve_quarantined_total",
+        "connections quarantined for protocol violations",
+    )
+    .add(report.quarantined);
+    Ok(report)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::net::Client;
+    use twpp_ir::{BlockId, FuncId};
+
+    fn workload(n: usize) -> Vec<WppEvent> {
+        let mut ev = vec![WppEvent::Enter(FuncId::from_index(0))];
+        for i in 0..n {
+            ev.push(WppEvent::Block(BlockId::new(1 + (i % 7) as u32)));
+            if i % 5 == 0 {
+                ev.push(WppEvent::Enter(FuncId::from_index(1 + i % 3)));
+                ev.push(WppEvent::Block(BlockId::new(2)));
+                ev.push(WppEvent::Exit);
+            }
+        }
+        ev.push(WppEvent::Exit);
+        ev
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "twpp-serve-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Batch baseline: one compactor fed everything in one call.
+    fn baseline_merged(dir: &Path, events: &[WppEvent], opts: &ServeOptions) -> Vec<u8> {
+        let mut c = Compactor::create(dir, opts.ingest_options()).unwrap();
+        c.feed(events).unwrap();
+        let fin = c.finish().unwrap();
+        fs::read(fin.path).unwrap()
+    }
+
+    fn small_opts() -> ServeOptions {
+        ServeOptions {
+            seal_bytes: 256,
+            durability: Durability::Flush,
+            poll_ms: 5,
+            ..ServeOptions::default()
+        }
+    }
+
+    /// Spawns a daemon on a loopback port; returns (addr, join-handle).
+    fn spawn_daemon(
+        dir: &Path,
+        opts: ServeOptions,
+        shutdown: CancelToken,
+    ) -> (String, std::thread::JoinHandle<ServeReport>) {
+        let listener = ServeListener::bind("tcp:127.0.0.1:0").unwrap();
+        let addr = listener.local_addr();
+        let dir = dir.to_path_buf();
+        let handle =
+            std::thread::spawn(move || serve(&dir, listener, shutdown, opts).unwrap());
+        (addr, handle)
+    }
+
+    fn connect(addr: &str) -> TcpStream {
+        let hostport = addr.strip_prefix("tcp:").unwrap();
+        let s = TcpStream::connect(hostport).unwrap();
+        s.set_nodelay(true).unwrap();
+        s
+    }
+
+    #[test]
+    fn drain_equivalence_with_batch_baseline() {
+        let root = tmp_dir("drain");
+        let serve_dir = root.join("serve");
+        let events = workload(300);
+        let opts = small_opts();
+        let baseline = baseline_merged(&root.join("baseline"), &events, &opts);
+
+        let (addr, daemon) = spawn_daemon(&serve_dir, opts, CancelToken::new());
+        let mut client = Client::hello(connect(&addr), "web-01").unwrap();
+        assert_eq!(client.accepted(), 0);
+        for batch in events.chunks(37) {
+            client.send_events(batch, &Retry::new(8, 1, 4, 7)).unwrap();
+        }
+        assert_eq!(client.accepted(), events.len() as u64);
+        client.drain().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(report.all_clean(), "{report:?}");
+        assert_eq!(report.sources.len(), 1);
+        let merged = report.sources[0].merged.clone().unwrap();
+        assert_eq!(
+            fs::read(merged).unwrap(),
+            baseline,
+            "drained daemon must be byte-identical to the batch baseline"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn busy_shedding_loses_no_acknowledged_events() {
+        let root = tmp_dir("busy");
+        let serve_dir = root.join("serve");
+        let events = workload(200);
+        let mut opts = small_opts();
+        // Shed every 3rd frame spuriously; the client must retry its
+        // way through with zero acknowledged loss.
+        opts.faults = FaultPlan::net_fault_every(3);
+        let baseline = baseline_merged(&root.join("baseline"), &events, &opts);
+
+        let (addr, daemon) = spawn_daemon(&serve_dir, opts, CancelToken::new());
+        let mut client = Client::hello(connect(&addr), "busy-src").unwrap();
+        for batch in events.chunks(23) {
+            client.send_events(batch, &Retry::new(16, 1, 4, 9)).unwrap();
+        }
+        client.drain().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(report.all_clean(), "{report:?}");
+        assert!(report.busy_responses > 0, "the fault plan must have shed frames");
+        let merged = report.sources[0].merged.clone().unwrap();
+        assert_eq!(fs::read(merged).unwrap(), baseline);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn garbage_connection_is_quarantined_daemon_survives() {
+        let root = tmp_dir("quarantine");
+        let serve_dir = root.join("serve");
+        let events = workload(60);
+        let opts = small_opts();
+        let baseline = baseline_merged(&root.join("baseline"), &events, &opts);
+
+        let (addr, daemon) = spawn_daemon(&serve_dir, opts, CancelToken::new());
+        // A connection speaking the wrong protocol is refused and cut.
+        {
+            let mut bad = connect(&addr);
+            bad.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+            let mut reply = Vec::new();
+            let _ = bad.read_to_end(&mut reply); // server closes after the ERR frame
+            assert!(!reply.is_empty(), "expected a typed protocol error frame");
+        }
+        // A well-behaved client on a fresh connection is unaffected.
+        let mut client = Client::hello(connect(&addr), "good").unwrap();
+        for batch in events.chunks(19) {
+            client.send_events(batch, &Retry::new(8, 1, 4, 3)).unwrap();
+        }
+        client.drain().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(report.quarantined >= 1, "{report:?}");
+        assert!(report.all_clean(), "{report:?}");
+        let merged = report.sources[0].merged.clone().unwrap();
+        assert_eq!(fs::read(merged).unwrap(), baseline);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn watchdog_fails_wedged_source_in_isolation() {
+        let root = tmp_dir("wedge");
+        let serve_dir = root.join("serve");
+        let mut opts = small_opts();
+        // Every seal sleeps 400 ms; the watchdog deadline is 80 ms, so
+        // the first seal wedges and the source is failed in isolation.
+        opts.faults = FaultPlan::delay(400);
+        opts.wedge_ms = 80;
+        let (addr, daemon) = spawn_daemon(&serve_dir, opts, CancelToken::new());
+        let mut client = Client::hello(connect(&addr), "wedged").unwrap();
+        let events = workload(300);
+        let mut failed = false;
+        for batch in events.chunks(64) {
+            match client.send_events(batch, &Retry::new(4, 1, 4, 5)) {
+                Ok(_) => {}
+                Err(NetError::Remote { code, .. }) => {
+                    assert_eq!(code, ERR_SOURCE_FAILED);
+                    failed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(failed, "the wedged seal must surface as a source failure");
+        // The daemon still accepts and drains a healthy source.
+        let mut ok_client = Client::hello(connect(&addr), "healthy").unwrap();
+        ok_client
+            .send_events(
+                &[
+                    WppEvent::Enter(FuncId::from_index(0)),
+                    WppEvent::Block(BlockId::new(1)),
+                    WppEvent::Exit,
+                ],
+                &Retry::new(8, 1, 4, 11),
+            )
+            .unwrap();
+        ok_client.drain().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(!report.all_clean());
+        let wedged = report.sources.iter().find(|s| s.name == "wedged").unwrap();
+        assert!(wedged.failed.is_some());
+        let healthy = report.sources.iter().find(|s| s.name == "healthy").unwrap();
+        assert!(healthy.failed.is_none());
+        assert!(healthy.merged.is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cancel_token_drains_like_a_drain_frame() {
+        let root = tmp_dir("cancel");
+        let serve_dir = root.join("serve");
+        let events = workload(120);
+        let opts = small_opts();
+        let baseline = baseline_merged(&root.join("baseline"), &events, &opts);
+        let shutdown = CancelToken::new();
+        let (addr, daemon) = spawn_daemon(&serve_dir, opts, shutdown.clone());
+        let mut client = Client::hello(connect(&addr), "sig").unwrap();
+        for batch in events.chunks(31) {
+            client.send_events(batch, &Retry::new(8, 1, 4, 13)).unwrap();
+        }
+        // SIGTERM stand-in: cancel the token instead of sending Drain.
+        shutdown.cancel();
+        let report = daemon.join().unwrap();
+        assert!(report.all_clean(), "{report:?}");
+        let merged = report.sources[0].merged.clone().unwrap();
+        assert_eq!(fs::read(merged).unwrap(), baseline);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tailed_file_is_ingested_and_drained() {
+        let root = tmp_dir("tail");
+        let serve_dir = root.join("serve");
+        let events = workload(150);
+        let opts = small_opts();
+        let baseline = baseline_merged(&root.join("baseline"), &events, &opts);
+
+        // Write a raw .wpp file (with footer) to tail.
+        let wpp = twpp_tracer::raw::RawWpp::from_events(&events);
+        let tail_path = root.join("feed-a.wpp");
+        let mut buf = Vec::new();
+        wpp.write_to(&mut buf).unwrap();
+        fs::write(&tail_path, &buf).unwrap();
+
+        let mut opts2 = opts.clone();
+        opts2.tails = vec![tail_path];
+        let shutdown = CancelToken::new();
+        let (_addr, daemon) = spawn_daemon(&serve_dir, opts2, shutdown.clone());
+        // Give the tail a moment to reach EOF, then drain.
+        std::thread::sleep(Duration::from_millis(150));
+        shutdown.cancel();
+        let report = daemon.join().unwrap();
+        assert!(report.all_clean(), "{report:?}");
+        let src = report.sources.iter().find(|s| s.name == "feed-a").unwrap();
+        assert_eq!(src.events, events.len() as u64);
+        let merged = src.merged.clone().unwrap();
+        assert_eq!(fs::read(merged).unwrap(), baseline);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reconnect_resumes_from_durable_position() {
+        let root = tmp_dir("reconnect");
+        let serve_dir = root.join("serve");
+        let events = workload(200);
+        let opts = small_opts();
+        let baseline = baseline_merged(&root.join("baseline"), &events, &opts);
+        let (addr, daemon) = spawn_daemon(&serve_dir, opts, CancelToken::new());
+
+        // First connection feeds half, then vanishes without closing
+        // cleanly.
+        let half = events.len() / 2;
+        {
+            let mut c1 = Client::hello(connect(&addr), "re").unwrap();
+            for batch in events[..half].chunks(29) {
+                c1.send_events(batch, &Retry::new(8, 1, 4, 17)).unwrap();
+            }
+        }
+        // Second connection learns the durable position from Hello and
+        // replays from a safe earlier point; dedup keeps it exactly-once.
+        let mut c2 = Client::hello(connect(&addr), "re").unwrap();
+        let acc = c2.accepted() as usize;
+        assert_eq!(acc, half);
+        for batch in events[acc..].chunks(41) {
+            c2.send_events(batch, &Retry::new(8, 1, 4, 19)).unwrap();
+        }
+        c2.drain().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(report.all_clean(), "{report:?}");
+        let merged = report.sources[0].merged.clone().unwrap();
+        assert_eq!(fs::read(merged).unwrap(), baseline);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tail_source_names_are_sanitized() {
+        assert_eq!(tail_source_name(Path::new("/x/feed-a.wpp")), "feed-a");
+        assert_eq!(tail_source_name(Path::new("/x/häßlich name.wpp")), "h__lich_name");
+        assert_eq!(tail_source_name(Path::new("/x/.hidden")), "t.hidden");
+    }
+}

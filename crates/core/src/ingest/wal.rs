@@ -107,6 +107,10 @@ pub struct WalReplay {
     /// Where the unreadable tail starts, if the log did not end cleanly.
     /// Always equal to `clean_bytes` when present.
     pub torn_at: Option<u64>,
+    /// Bytes in the unreadable tail (file length minus `clean_bytes`);
+    /// zero when the log ended cleanly. These are the bytes resume drops,
+    /// surfaced in `twpp_ingest_torn_tail_*` metrics and `fsck`.
+    pub torn_bytes: u64,
 }
 
 impl WalReplay {
@@ -169,14 +173,19 @@ fn read_u64(bytes: &[u8], at: usize) -> u64 {
 /// wrong, which is [`WalError::BadMagic`] — that file was never ours.
 pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, WalError> {
     if bytes.is_empty() {
-        return Ok(WalReplay { batches: Vec::new(), clean_bytes: 0, torn_at: None });
+        return Ok(WalReplay { batches: Vec::new(), clean_bytes: 0, torn_at: None, torn_bytes: 0 });
     }
     let magic_prefix = &WAL_MAGIC[..bytes.len().min(4)];
     if &bytes[..bytes.len().min(4)] != magic_prefix {
         return Err(WalError::BadMagic);
     }
     if bytes.len() < WAL_HEADER_LEN {
-        return Ok(WalReplay { batches: Vec::new(), clean_bytes: 0, torn_at: Some(0) });
+        return Ok(WalReplay {
+            batches: Vec::new(),
+            clean_bytes: 0,
+            torn_at: Some(0),
+            torn_bytes: bytes.len() as u64,
+        });
     }
     let version = read_u32(bytes, 4);
     if version != WAL_VERSION {
@@ -224,7 +233,12 @@ pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, WalError> {
         batches.push((offset, events));
         pos += WAL_RECORD_HEADER_LEN + len;
     };
-    Ok(WalReplay { batches, clean_bytes: pos as u64, torn_at })
+    Ok(WalReplay {
+        batches,
+        clean_bytes: pos as u64,
+        torn_at,
+        torn_bytes: (bytes.len() - pos) as u64,
+    })
 }
 
 /// Strict replay: like [`replay_bytes`] but a torn tail is an error
@@ -294,11 +308,24 @@ impl WalWriter {
 
     /// Appends one record and makes it durable. `offset` is the global
     /// index of the batch's first event. Returns the bytes written.
+    ///
+    /// On failure the file is truncated back to its pre-append length
+    /// (best-effort), so a retried append starts from a clean boundary
+    /// instead of stacking a fresh record behind a torn one. Replay
+    /// would drop the torn tail anyway; the rollback just keeps retries
+    /// from burying durable-looking bytes after garbage.
     pub fn append(&mut self, offset: u64, events: &[WppEvent]) -> Result<u64, WalError> {
         let mut buf = Vec::with_capacity(WAL_RECORD_HEADER_LEN + events.len() * 4);
         encode_record(offset, events, &mut buf);
-        self.file.write_all(&buf).map_err(|e| io_err(&self.path, &e))?;
-        self.durability.apply(&mut self.file).map_err(|e| io_err(&self.path, &e))?;
+        let write = self
+            .file
+            .write_all(&buf)
+            .and_then(|()| self.durability.apply(&mut self.file));
+        if let Err(e) = write {
+            let _ = self.file.set_len(self.len);
+            let _ = self.file.seek(SeekFrom::End(0));
+            return Err(io_err(&self.path, &e));
+        }
         self.len += buf.len() as u64;
         Ok(buf.len() as u64)
     }

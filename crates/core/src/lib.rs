@@ -35,6 +35,7 @@ pub mod gov;
 pub mod ingest;
 pub mod lazy;
 pub mod lzw;
+pub mod net;
 pub mod obs;
 pub mod par;
 pub mod partition;
@@ -49,7 +50,7 @@ pub use bitcodec::{BitCodecError, BitReader, BitWriter};
 pub use dbb::{compact_trace, CompactedTrace, DbbDictionary};
 pub use dcg::{Dcg, DcgNode, DcgNodeId};
 pub use dedup::{eliminate_redundancy, eliminate_redundancy_threads, RedundancyStats};
-pub use gov::{Budget, CancelToken, FaultPlan, Limits, StopReason};
+pub use gov::{Budget, CancelToken, FaultPlan, Limits, Retry, RetryExhausted, StopReason};
 pub use obs::{
     validate_report_json, MetricsSnapshot, Obs, RunOutcome, RunReport, REPORT_SCHEMA_VERSION,
 };

@@ -1,0 +1,675 @@
+//! **twpp::net** — the length-prefixed framed protocol of the streaming
+//! ingestion daemon (`twpp serve-ingest`).
+//!
+//! The wire discipline deliberately mirrors the WAL's: every frame is
+//! magic-tagged, length-prefixed and CRC-protected, so a decoder facing
+//! a hostile or merely unlucky byte stream can always classify it as
+//! *incomplete* (wait for more bytes), *well-formed* (a [`Frame`]) or
+//! *garbage* (a typed [`NetError`] — the connection is quarantined, the
+//! daemon survives). Nothing in this module touches sockets except the
+//! thin [`FramedStream`] / [`Client`] helpers; the codec itself is pure
+//! bytes-in/frames-out and is property-tested that way.
+//!
+//! # Frame format (all integers little-endian)
+//!
+//! ```text
+//! frame    := "TWPN" | len u32 | crc u32 | body
+//! body     := kind u32 | payload              (len = body length, ≤ MAX)
+//! ```
+//!
+//! `crc` is CRC32 over the body. Frame kinds and payloads:
+//!
+//! | kind | frame      | payload                                |
+//! |------|------------|----------------------------------------|
+//! | 1    | `Hello`    | source name (UTF-8)                    |
+//! | 2    | `Events`   | offset u64, then 4-byte WPP event words|
+//! | 3    | `Seal`     | empty                                  |
+//! | 4    | `Drain`    | empty                                  |
+//! | 16   | `Ok`       | accepted u64                           |
+//! | 17   | `Busy`     | retry_after_ms u64                     |
+//! | 18   | `Error`    | code u32, then UTF-8 message           |
+//!
+//! `Events.offset` is the global index of the batch's first event in
+//! the source's stream. The server acknowledges with `Ok{accepted}` —
+//! the number of events durably accepted so far — and silently skips
+//! any batch prefix it already holds, which is what makes blind replay
+//! after a `Busy` or a reconnect *exactly-once*: a client can always
+//! resend from its last un-acknowledged offset and lose nothing.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use twpp_tracer::WppEvent;
+
+use twpp_ir::checksum::crc32;
+
+use crate::gov::Retry;
+
+/// Magic bytes opening every frame.
+pub const NET_MAGIC: [u8; 4] = *b"TWPN";
+/// Frame header length: magic + len + crc.
+pub const FRAME_HEADER_LEN: usize = 12;
+/// Upper bound on a frame body; a larger length field is a torn or
+/// hostile frame, not an allocation request.
+pub const MAX_FRAME_BYTES: u32 = 1 << 24;
+/// Longest accepted source name.
+pub const MAX_SOURCE_NAME: usize = 64;
+
+/// Protocol error code: the frame could not be decoded.
+pub const ERR_PROTOCOL: u32 = 1;
+/// Protocol error code: the event batch is structurally invalid for the
+/// source's stream (bad sequence or an offset gap).
+pub const ERR_STREAM: u32 = 2;
+/// Protocol error code: the source was failed in isolation (wedged seal
+/// or unrecoverable I/O) and accepts no further events.
+pub const ERR_SOURCE_FAILED: u32 = 3;
+/// Protocol error code: the daemon is draining and accepts no new work.
+pub const ERR_DRAINING: u32 = 4;
+/// Protocol error code: the first frame on a connection must be `Hello`.
+pub const ERR_NO_HELLO: u32 = 5;
+
+/// Errors decoding or transporting frames.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// An I/O failure on the underlying stream.
+    Io(String),
+    /// The bytes at the frame boundary do not start with `TWPN`.
+    BadMagic,
+    /// The length field exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The claimed body length.
+        len: u32,
+    },
+    /// The body checksum does not match.
+    BadCrc,
+    /// The frame kind is not one this build understands.
+    BadKind(u32),
+    /// The payload is malformed for its kind (message says how).
+    BadPayload(String),
+    /// The connection closed mid-frame (a torn frame).
+    Closed,
+    /// The peer answered with an `Error` frame.
+    Remote {
+        /// The peer's error code (`ERR_*`).
+        code: u32,
+        /// The peer's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(msg) => write!(f, "network I/O error: {msg}"),
+            NetError::BadMagic => f.write_str("frame does not start with TWPN magic"),
+            NetError::Oversized { len } => {
+                write!(f, "frame body of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+            }
+            NetError::BadCrc => f.write_str("frame checksum mismatch"),
+            NetError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            NetError::BadPayload(msg) => write!(f, "malformed frame payload: {msg}"),
+            NetError::Closed => f.write_str("connection closed mid-frame"),
+            NetError::Remote { code, message } => {
+                write!(f, "peer error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// One protocol frame, client→server (`Hello`/`Events`/`Seal`/`Drain`)
+/// or server→client (`Ok`/`Busy`/`Error`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Frame {
+    /// Opens a connection: names the source stream the events belong to.
+    /// The server replies `Ok{accepted}` so a reconnecting client learns
+    /// the durable position to resume from.
+    Hello {
+        /// Source name; see [`valid_source_name`].
+        source: String,
+    },
+    /// A batch of events starting at global index `offset`.
+    Events {
+        /// Global index of the first event in the batch.
+        offset: u64,
+        /// The batch.
+        events: Vec<WppEvent>,
+    },
+    /// Forces the source's open window to seal into a segment.
+    Seal,
+    /// Requests a daemon-wide graceful drain.
+    Drain,
+    /// Acknowledgement: `accepted` events are durable for this source.
+    Ok {
+        /// Durable event count for the connection's source.
+        accepted: u64,
+    },
+    /// Backpressure: retry the same frame after the hinted pause.
+    Busy {
+        /// Suggested client-side pause, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A typed refusal; see the `ERR_*` constants.
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u32,
+        /// Human-readable context.
+        message: String,
+    },
+}
+
+const KIND_HELLO: u32 = 1;
+const KIND_EVENTS: u32 = 2;
+const KIND_SEAL: u32 = 3;
+const KIND_DRAIN: u32 = 4;
+const KIND_OK: u32 = 16;
+const KIND_BUSY: u32 = 17;
+const KIND_ERROR: u32 = 18;
+
+/// Whether `name` is acceptable as a source name (and therefore as a
+/// subdirectory of the daemon's root): 1..=64 chars of
+/// `[A-Za-z0-9._-]`, not starting with a dot or dash.
+pub fn valid_source_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_SOURCE_NAME
+        && !name.starts_with(['.', '-'])
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+impl Frame {
+    fn kind(&self) -> u32 {
+        match self {
+            Frame::Hello { .. } => KIND_HELLO,
+            Frame::Events { .. } => KIND_EVENTS,
+            Frame::Seal => KIND_SEAL,
+            Frame::Drain => KIND_DRAIN,
+            Frame::Ok { .. } => KIND_OK,
+            Frame::Busy { .. } => KIND_BUSY,
+            Frame::Error { .. } => KIND_ERROR,
+        }
+    }
+
+    /// Serializes the frame (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(16);
+        body.extend_from_slice(&self.kind().to_le_bytes());
+        match self {
+            Frame::Hello { source } => body.extend_from_slice(source.as_bytes()),
+            Frame::Events { offset, events } => {
+                body.extend_from_slice(&offset.to_le_bytes());
+                for e in events {
+                    body.extend_from_slice(&e.encode().to_le_bytes());
+                }
+            }
+            Frame::Seal | Frame::Drain => {}
+            Frame::Ok { accepted } => body.extend_from_slice(&accepted.to_le_bytes()),
+            Frame::Busy { retry_after_ms } => {
+                body.extend_from_slice(&retry_after_ms.to_le_bytes())
+            }
+            Frame::Error { code, message } => {
+                body.extend_from_slice(&code.to_le_bytes());
+                body.extend_from_slice(message.as_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+        out.extend_from_slice(&NET_MAGIC);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a CRC-verified frame body (kind word + payload).
+    fn decode_body(body: &[u8]) -> Result<Frame, NetError> {
+        if body.len() < 4 {
+            return Err(NetError::BadPayload("body shorter than its kind word".into()));
+        }
+        let kind = read_u32(body, 0);
+        let payload = &body[4..];
+        match kind {
+            KIND_HELLO => {
+                let source = std::str::from_utf8(payload)
+                    .map_err(|_| NetError::BadPayload("source name is not UTF-8".into()))?
+                    .to_owned();
+                if !valid_source_name(&source) {
+                    return Err(NetError::BadPayload(format!(
+                        "invalid source name {source:?}"
+                    )));
+                }
+                Ok(Frame::Hello { source })
+            }
+            KIND_EVENTS => {
+                if payload.len() < 8 || !(payload.len() - 8).is_multiple_of(4) {
+                    return Err(NetError::BadPayload(
+                        "events payload is not offset + whole words".into(),
+                    ));
+                }
+                let offset = read_u64(payload, 0);
+                let mut events = Vec::with_capacity((payload.len() - 8) / 4);
+                for i in (8..payload.len()).step_by(4) {
+                    let word = read_u32(payload, i);
+                    match WppEvent::decode(word) {
+                        Some(e) => events.push(e),
+                        None => {
+                            return Err(NetError::BadPayload(format!(
+                                "undecodable event word {word:#010x}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Frame::Events { offset, events })
+            }
+            KIND_SEAL | KIND_DRAIN => {
+                if !payload.is_empty() {
+                    return Err(NetError::BadPayload("control frame carries a payload".into()));
+                }
+                Ok(if kind == KIND_SEAL { Frame::Seal } else { Frame::Drain })
+            }
+            KIND_OK | KIND_BUSY => {
+                if payload.len() != 8 {
+                    return Err(NetError::BadPayload("expected one u64 payload".into()));
+                }
+                let v = read_u64(payload, 0);
+                Ok(if kind == KIND_OK {
+                    Frame::Ok { accepted: v }
+                } else {
+                    Frame::Busy { retry_after_ms: v }
+                })
+            }
+            KIND_ERROR => {
+                if payload.len() < 4 {
+                    return Err(NetError::BadPayload("error frame without a code".into()));
+                }
+                let code = read_u32(payload, 0);
+                let message = String::from_utf8_lossy(&payload[4..]).into_owned();
+                Ok(Frame::Error { code, message })
+            }
+            other => Err(NetError::BadKind(other)),
+        }
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Incremental frame decoder over a growing byte buffer.
+///
+/// Push bytes as they arrive; [`FrameDecoder::next_frame`] yields
+/// `Ok(Some(frame))` for each complete well-formed frame, `Ok(None)`
+/// when the buffered bytes are a (possibly empty) prefix of a frame,
+/// and a typed [`NetError`] the moment the buffer cannot be a prefix of
+/// any valid frame — at which point the connection should be dropped
+/// (the decoder makes no attempt to resynchronise inside a poisoned
+/// stream).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so a long-lived connection doesn't grow without
+        // bound: drop the consumed prefix once it dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Attempts to decode the next frame; see the type docs for the
+    /// three-way contract.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, NetError> {
+        let rest = &self.buf[self.pos..];
+        if rest.is_empty() {
+            return Ok(None);
+        }
+        let probe = rest.len().min(4);
+        if rest[..probe] != NET_MAGIC[..probe] {
+            return Err(NetError::BadMagic);
+        }
+        if rest.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = read_u32(rest, 4);
+        if len > MAX_FRAME_BYTES {
+            return Err(NetError::Oversized { len });
+        }
+        let total = FRAME_HEADER_LEN + len as usize;
+        if rest.len() < total {
+            return Ok(None);
+        }
+        let crc = read_u32(rest, 8);
+        let body = &rest[FRAME_HEADER_LEN..total];
+        if crc32(body) != crc {
+            return Err(NetError::BadCrc);
+        }
+        let frame = Frame::decode_body(body)?;
+        self.pos += total;
+        Ok(Some(frame))
+    }
+}
+
+/// A blocking frame transport over any `Read + Write` stream.
+#[derive(Debug)]
+pub struct FramedStream<S> {
+    stream: S,
+    decoder: FrameDecoder,
+}
+
+impl<S: Read + Write> FramedStream<S> {
+    /// Wraps a connected stream.
+    pub fn new(stream: S) -> FramedStream<S> {
+        FramedStream { stream, decoder: FrameDecoder::new() }
+    }
+
+    /// The underlying stream (for timeouts, shutdown, addresses).
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    /// Writes one frame and flushes.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let bytes = frame.encode();
+        self.stream
+            .write_all(&bytes)
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| NetError::Io(e.to_string()))
+    }
+
+    /// Blocks until the next complete frame arrives. A clean close at a
+    /// frame boundary and a close mid-frame both surface as
+    /// [`NetError::Closed`] (the caller knows whether it expected EOF).
+    ///
+    /// A read timeout configured on the underlying socket surfaces as
+    /// [`NetError::Io`] with a `WouldBlock`/`TimedOut` message; callers
+    /// that poll use [`FramedStream::recv_step`] instead.
+    pub fn recv(&mut self) -> Result<Frame, NetError> {
+        loop {
+            match self.recv_step()? {
+                Some(frame) => return Ok(frame),
+                None => continue,
+            }
+        }
+    }
+
+    /// One poll step: reads once from the stream and returns a frame if
+    /// one completed. `Ok(None)` means "no full frame yet" — either the
+    /// read returned partial bytes or it timed out (when the socket has
+    /// a read timeout), letting the caller interleave shutdown checks.
+    pub fn recv_step(&mut self) -> Result<Option<Frame>, NetError> {
+        if let Some(frame) = self.decoder.next_frame()? {
+            return Ok(Some(frame));
+        }
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err(NetError::Closed),
+            Ok(n) => {
+                self.decoder.push(&chunk[..n]);
+                self.decoder.next_frame()
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(None),
+            Err(e) => Err(NetError::Io(e.to_string())),
+        }
+    }
+}
+
+/// A minimal ingest client: HELLO handshake, offset-tracked event
+/// batches with BUSY-honouring retry, seal and drain. This is the same
+/// code path `twpp net-feed` and the test harnesses use, so the
+/// replay-after-BUSY contract is exercised exactly as documented.
+#[derive(Debug)]
+pub struct Client<S> {
+    framed: FramedStream<S>,
+    accepted: u64,
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Performs the HELLO handshake on a connected stream. Returns the
+    /// client; [`Client::accepted`] then holds the server's durable
+    /// position for `source` (non-zero after a reconnect).
+    pub fn hello(stream: S, source: &str) -> Result<Client<S>, NetError> {
+        let mut framed = FramedStream::new(stream);
+        framed.send(&Frame::Hello { source: source.to_owned() })?;
+        match framed.recv()? {
+            Frame::Ok { accepted } => Ok(Client { framed, accepted }),
+            Frame::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => Err(NetError::BadPayload(format!(
+                "expected Ok/Error after Hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Events the server has durably accepted for this source.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Sends one `Events` batch at the current accepted offset, honouring
+    /// `Busy` responses by sleeping the hinted (or backoff-jittered)
+    /// pause and resending — bounded by the retry policy's attempt cap.
+    /// On `Ok` the server's accepted count is recorded and returned.
+    pub fn send_events(&mut self, events: &[WppEvent], retry: &Retry) -> Result<u64, NetError> {
+        let offset = self.accepted;
+        let cap = retry.max_attempts.max(1);
+        let mut busy_rounds = 0u32;
+        loop {
+            self.framed.send(&Frame::Events { offset, events: events.to_vec() })?;
+            match self.framed.recv()? {
+                Frame::Ok { accepted } => {
+                    self.accepted = accepted;
+                    return Ok(accepted);
+                }
+                Frame::Busy { retry_after_ms } => {
+                    busy_rounds += 1;
+                    if busy_rounds >= cap {
+                        return Err(NetError::Remote {
+                            code: ERR_DRAINING,
+                            message: format!("still busy after {busy_rounds} attempts"),
+                        });
+                    }
+                    let ms = retry_after_ms.max(retry.backoff_ms(busy_rounds));
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                Frame::Error { code, message } => return Err(NetError::Remote { code, message }),
+                other => {
+                    return Err(NetError::BadPayload(format!(
+                        "expected Ok/Busy/Error after Events, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Sends a control frame (`Seal` or `Drain`) and waits for the ack.
+    fn control(&mut self, frame: Frame) -> Result<u64, NetError> {
+        self.framed.send(&frame)?;
+        match self.framed.recv()? {
+            Frame::Ok { accepted } => {
+                self.accepted = accepted;
+                Ok(accepted)
+            }
+            Frame::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => Err(NetError::BadPayload(format!(
+                "expected Ok/Error after control frame, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to seal the source's open window now.
+    pub fn seal(&mut self) -> Result<u64, NetError> {
+        self.control(Frame::Seal)
+    }
+
+    /// Requests a daemon-wide graceful drain.
+    pub fn drain(&mut self) -> Result<u64, NetError> {
+        self.control(Frame::Drain)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use twpp_ir::{BlockId, FuncId};
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { source: "web-01".into() },
+            Frame::Events {
+                offset: 17,
+                events: vec![
+                    WppEvent::Enter(FuncId::from_u32(3)),
+                    WppEvent::Block(BlockId::new(9)),
+                    WppEvent::Exit,
+                ],
+            },
+            Frame::Events { offset: 0, events: vec![] },
+            Frame::Seal,
+            Frame::Drain,
+            Frame::Ok { accepted: u64::MAX },
+            Frame::Busy { retry_after_ms: 25 },
+            Frame::Error { code: ERR_STREAM, message: "offset gap".into() },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut dec = FrameDecoder::new();
+        for f in sample_frames() {
+            dec.push(&f.encode());
+            assert_eq!(dec.next_frame().unwrap(), Some(f));
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_waits_then_decodes() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            let mut dec = FrameDecoder::new();
+            for &b in &bytes[..bytes.len() - 1] {
+                dec.push(&[b]);
+                assert_eq!(dec.next_frame().unwrap(), None, "incomplete frame must wait");
+            }
+            dec.push(&bytes[bytes.len() - 1..]);
+            assert_eq!(dec.next_frame().unwrap(), Some(frame));
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_typed_errors() {
+        let mut dec = FrameDecoder::new();
+        dec.push(b"HTTP/1.1 200 OK\r\n");
+        assert_eq!(dec.next_frame(), Err(NetError::BadMagic));
+
+        let mut dec = FrameDecoder::new();
+        let mut oversize = Vec::new();
+        oversize.extend_from_slice(&NET_MAGIC);
+        oversize.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        oversize.extend_from_slice(&0u32.to_le_bytes());
+        dec.push(&oversize);
+        assert_eq!(dec.next_frame(), Err(NetError::Oversized { len: MAX_FRAME_BYTES + 1 }));
+
+        let mut corrupt = Frame::Seal.encode();
+        let n = corrupt.len();
+        corrupt[n - 1] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.push(&corrupt);
+        assert_eq!(dec.next_frame(), Err(NetError::BadCrc));
+
+        // Valid header + CRC around an unknown kind.
+        let mut body = 99u32.to_le_bytes().to_vec();
+        body.extend_from_slice(b"x");
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&NET_MAGIC);
+        raw.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        raw.extend_from_slice(&crc32(&body).to_le_bytes());
+        raw.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.push(&raw);
+        assert_eq!(dec.next_frame(), Err(NetError::BadKind(99)));
+    }
+
+    #[test]
+    fn bad_event_words_and_names_are_bad_payloads() {
+        // An Events payload with an undecodable word (reserved tag 11).
+        let mut body = KIND_EVENTS.to_le_bytes().to_vec();
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&(3u32 << 30).to_le_bytes());
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&NET_MAGIC);
+        raw.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        raw.extend_from_slice(&crc32(&body).to_le_bytes());
+        raw.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.push(&raw);
+        assert!(matches!(dec.next_frame(), Err(NetError::BadPayload(_))));
+
+        for bad in ["", ".hidden", "-dash", "a/b", "x".repeat(65).as_str()] {
+            assert!(!valid_source_name(bad), "{bad:?} must be rejected");
+        }
+        for good in ["web-01", "a", "svc.prod_7"] {
+            assert!(valid_source_name(good), "{good:?} must be accepted");
+        }
+    }
+
+    #[test]
+    fn framed_stream_over_in_memory_pipe() {
+        use std::io::Cursor;
+        let mut wire = Vec::new();
+        for f in sample_frames() {
+            wire.extend_from_slice(&f.encode());
+        }
+        struct Half(Cursor<Vec<u8>>);
+        impl Read for Half {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                self.0.read(buf)
+            }
+        }
+        impl Write for Half {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut fs = FramedStream::new(Half(Cursor::new(wire)));
+        for expect in sample_frames() {
+            assert_eq!(fs.recv().unwrap(), expect);
+        }
+        assert_eq!(fs.recv(), Err(NetError::Closed));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the [`twpp::Retry`] backoff policy: sequences are
+//! deterministic per seed, bounded by the cap, monotonically shaped by
+//! the exponential, and a fault plan injecting N transient failures
+//! succeeds iff N is below the attempt cap — the contract the ingest
+//! daemon's transient-I/O wrapping rests on.
+
+use proptest::prelude::*;
+use twpp::{FaultPlan, Retry};
+
+fn retry_strategy() -> impl Strategy<Value = Retry> {
+    (1u32..=16, 1u64..50, 1u64..2_000, any::<u64>())
+        .prop_map(|(attempts, base, span, seed)| Retry::new(attempts, base, base + span, seed))
+}
+
+/// The backoff sequence a policy would sleep through `n` failures.
+fn backoff_sequence(retry: &Retry, n: u32) -> Vec<u64> {
+    (1..=n).map(|f| retry.backoff_ms(f)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The same policy always produces the same backoff sequence, and
+    /// changing only the seed still respects the same bounds.
+    #[test]
+    fn backoff_is_deterministic_per_seed(retry in retry_strategy()) {
+        let a = backoff_sequence(&retry, 32);
+        let b = backoff_sequence(&retry, 32);
+        prop_assert_eq!(a, b, "same (policy, failure) must map to the same delay");
+    }
+
+    /// Every delay is within [exp/2, cap]: never above the cap, never
+    /// below half the (capped) exponential for that failure count —
+    /// the "equal jitter" shape.
+    #[test]
+    fn backoff_is_bounded_by_cap_and_exponential(
+        retry in retry_strategy(),
+        failures in 1u32..64,
+    ) {
+        let ms = retry.backoff_ms(failures);
+        prop_assert!(ms <= retry.cap_delay_ms, "{ms} > cap {}", retry.cap_delay_ms);
+        let exp = u32::min(failures - 1, 62);
+        let full = retry.base_delay_ms.saturating_mul(1u64 << exp).min(retry.cap_delay_ms);
+        prop_assert!(ms >= full / 2, "{ms} below the equal-jitter floor {}", full / 2);
+        prop_assert!(ms <= full, "{ms} above the capped exponential {full}");
+    }
+
+    /// A policy with no delay configured never backs off, regardless of
+    /// seed or failure count.
+    #[test]
+    fn backoff_without_delay_is_zero(seed in any::<u64>(), failures in 0u32..64) {
+        prop_assert_eq!(Retry::new(8, 0, 500, seed).backoff_ms(failures.max(1)), 0);
+        prop_assert_eq!(Retry::new(8, 10, 0, seed).backoff_ms(failures.max(1)), 0);
+        prop_assert_eq!(Retry::new(8, 10, 500, seed).backoff_ms(0), 0);
+    }
+
+    /// `run_with` sleeps exactly the policy's backoff sequence and stops
+    /// at the cap: N injected transient failures succeed iff N is below
+    /// `max_attempts`, with attempts = N + 1 on success.
+    #[test]
+    fn injected_faults_succeed_iff_below_attempt_cap(
+        retry in retry_strategy(),
+        faults in 0u32..20,
+    ) {
+        let mut remaining = faults;
+        let mut slept: Vec<u64> = Vec::new();
+        let mut attempt_numbers: Vec<u32> = Vec::new();
+        let outcome = retry.run_with(
+            |ms| slept.push(ms),
+            |attempt| {
+                attempt_numbers.push(attempt);
+                if remaining > 0 {
+                    remaining -= 1;
+                    Err("transient")
+                } else {
+                    Ok(attempt)
+                }
+            },
+        );
+        let made = attempt_numbers.len() as u32;
+        prop_assert_eq!(attempt_numbers, (1..=made).collect::<Vec<_>>(), "attempt numbering");
+        let cap = retry.max_attempts.max(1);
+        let failures_backed_off = if faults < cap {
+            let (value, attempts) = outcome.expect("must succeed below the cap");
+            prop_assert_eq!(attempts, faults + 1);
+            prop_assert_eq!(value, attempts);
+            faults
+        } else {
+            let exhausted = outcome.expect_err("must exhaust at the cap");
+            prop_assert_eq!(exhausted.attempts, cap);
+            prop_assert_eq!(exhausted.last, "transient");
+            // No backoff after the final failure.
+            cap - 1
+        };
+        // `run_with` skips zero-length sleeps, so the observed sleeps
+        // are exactly the nonzero entries of the policy's sequence.
+        let expected: Vec<u64> = backoff_sequence(&retry, failures_backed_off)
+            .into_iter()
+            .filter(|&ms| ms > 0)
+            .collect();
+        prop_assert_eq!(&slept, &expected);
+    }
+
+    /// The same contract through the shared [`FaultPlan`] counter the
+    /// ingest paths use: a plan with N transient I/O faults drains
+    /// exactly N `take_io_fault` hits, then reports healthy forever.
+    #[test]
+    fn fault_plan_transient_io_drains_exactly_n(n in 0u64..40) {
+        let plan = FaultPlan::transient_io(n);
+        let hits = (0..n + 10).filter(|_| plan.take_io_fault()).count() as u64;
+        prop_assert_eq!(hits, n);
+        prop_assert!(!plan.take_io_fault(), "counter must stay drained");
+    }
+}
+
+#[test]
+fn different_seeds_diverge_somewhere() {
+    // A fixed pair of seeds over a wide jitter span must disagree on at
+    // least one delay in a long sequence; if this ever fails, the seed
+    // is not reaching the jitter.
+    let a = Retry::new(8, 10, 10_000, 1);
+    let b = Retry::new(8, 10, 10_000, 2);
+    assert_ne!(backoff_sequence(&a, 64), backoff_sequence(&b, 64));
+}
+
+#[test]
+fn none_policy_never_sleeps_or_retries() {
+    let retry = Retry::none();
+    assert!(!retry.is_active());
+    let mut calls = 0;
+    let out = retry.run_with(
+        |_| panic!("Retry::none must never sleep"),
+        |attempt| {
+            calls += 1;
+            Err::<u32, u32>(attempt)
+        },
+    );
+    let exhausted = out.unwrap_err();
+    assert_eq!(calls, 1);
+    assert_eq!(exhausted.attempts, 1);
+    assert_eq!(backoff_sequence(&retry, 8), vec![0; 8]);
+}

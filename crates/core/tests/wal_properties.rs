@@ -80,6 +80,12 @@ proptest! {
             }
             let on_boundary = cut == 0 || boundaries.contains(&cut);
             prop_assert_eq!(replay.torn_at.is_none(), on_boundary, "cut at {}", cut);
+            prop_assert_eq!(
+                replay.torn_bytes,
+                cut as u64 - replay.clean_bytes,
+                "torn_bytes must account for every dropped byte at cut {}",
+                cut
+            );
             match replay_strict(img) {
                 Ok(records) => {
                     prop_assert!(on_boundary);

@@ -404,6 +404,161 @@ impl RawWpp {
     }
 }
 
+/// An incremental push-parser for serialized WPP streams: the streaming
+/// counterpart of [`RawWpp::read_from`], built for ingestion paths that
+/// see the bytes in arbitrary chunks (a socket, a tailed file, stdin)
+/// and must not buffer the whole stream.
+///
+/// Feed chunks with [`WppStream::push`]; decoded events are appended to
+/// the caller's vector as soon as they are unambiguous. Because the
+/// `WPPZ` footer magic also decodes as a valid `Enter` event, the parser
+/// holds back the last [`FOOTER_WORDS`] words until [`WppStream::finish`]
+/// resolves whether they are the footer or trailing events — so the
+/// emitted prefix never contains footer words, and the two entry points
+/// classify every malformed stream identically (asserted by tests).
+#[derive(Debug)]
+pub struct WppStream {
+    /// Bytes of the magic still outstanding (4 at birth, 0 once checked).
+    magic_pending: usize,
+    /// Partial word bytes carried between pushes (0..4 of them).
+    partial: Vec<u8>,
+    /// The last up-to-[`FOOTER_WORDS`] words, withheld from emission.
+    holdback: Vec<u32>,
+    /// Running CRC over the emitted event words.
+    crc: twpp_ir::checksum::Crc32,
+    /// Events emitted so far.
+    emitted: u64,
+    /// Total bytes accepted by [`WppStream::push`].
+    consumed: u64,
+}
+
+impl Default for WppStream {
+    fn default() -> WppStream {
+        WppStream::new()
+    }
+}
+
+impl WppStream {
+    /// A parser expecting the `WPP0` magic first.
+    pub fn new() -> WppStream {
+        WppStream {
+            magic_pending: MAGIC.len(),
+            partial: Vec::new(),
+            holdback: Vec::new(),
+            crc: twpp_ir::checksum::Crc32::new(),
+            emitted: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Events emitted so far (excludes held-back tail words).
+    pub fn events_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Total bytes pushed into the parser.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Consumes one chunk, appending newly-unambiguous events to `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`RawWppError::BadMagic`] if the stream does not open with `WPP0`;
+    /// [`RawWppError::BadWord`] the moment an undecodable non-tail word
+    /// is seen. After an error the parser is poisoned and must be
+    /// discarded.
+    pub fn push(&mut self, bytes: &[u8], out: &mut Vec<WppEvent>) -> Result<(), RawWppError> {
+        self.consumed += bytes.len() as u64;
+        let mut rest = bytes;
+        if self.magic_pending > 0 {
+            let take = rest.len().min(self.magic_pending);
+            let at = MAGIC.len() - self.magic_pending;
+            if rest[..take] != MAGIC[at..at + take] {
+                return Err(RawWppError::BadMagic);
+            }
+            self.magic_pending -= take;
+            rest = &rest[take..];
+        }
+        for &b in rest {
+            self.partial.push(b);
+            if self.partial.len() == 4 {
+                let word =
+                    u32::from_le_bytes([self.partial[0], self.partial[1], self.partial[2], self.partial[3]]);
+                self.partial.clear();
+                self.holdback.push(word);
+                if self.holdback.len() > FOOTER_WORDS {
+                    let ready = self.holdback.remove(0);
+                    match WppEvent::decode(ready) {
+                        Some(e) => {
+                            self.crc.update(&ready.to_le_bytes());
+                            self.emitted += 1;
+                            out.push(e);
+                        }
+                        None => return Err(RawWppError::BadWord(ready)),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends the stream: resolves the held-back tail against the footer
+    /// grammar of [`RawWpp::read_from`], appending any trailing events to
+    /// `out`. Returns `true` if a complete footer was present and its
+    /// CRC verified, `false` for a legacy footer-less stream.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the classifications of [`RawWpp::read_from`]: `Io`
+    /// (unexpected EOF before the magic completed), `TruncatedWord`,
+    /// `TruncatedFooter`, `FooterMismatch`, or `BadWord` in the tail.
+    pub fn finish(self, out: &mut Vec<WppEvent>) -> Result<bool, RawWppError> {
+        if self.magic_pending > 0 {
+            return Err(RawWppError::Io(io::ErrorKind::UnexpectedEof.into()));
+        }
+        if !self.partial.is_empty() {
+            return Err(RawWppError::TruncatedWord);
+        }
+        let h = &self.holdback;
+        let n = self.emitted + h.len() as u64;
+        // Mirror RawWpp::split_footer over the virtual full word vector:
+        // only the last FOOTER_WORDS words are materialized, but every
+        // pattern it matches lives inside them.
+        if n >= FOOTER_WORDS as u64
+            && h.len() == FOOTER_WORDS
+            && h[0] == FOOTER_WORD
+            && u64::from(h[1]) == n - FOOTER_WORDS as u64
+        {
+            let expected = h[2];
+            let actual = self.crc.finalize();
+            if expected != actual {
+                return Err(RawWppError::FooterMismatch { expected, actual });
+            }
+            return Ok(true);
+        }
+        if n >= 2 && h.len() >= 2 {
+            let last = h[h.len() - 1];
+            let prev = h[h.len() - 2];
+            if prev == FOOTER_WORD && u64::from(last) == n - 2 {
+                return Err(RawWppError::TruncatedFooter);
+            }
+        }
+        if h.last() == Some(&FOOTER_WORD) {
+            return Err(RawWppError::TruncatedFooter);
+        }
+        // Legacy footer-less stream: the tail words are plain events.
+        for &word in h {
+            match WppEvent::decode(word) {
+                Some(e) => out.push(e),
+                None => return Err(RawWppError::BadWord(word)),
+            }
+        }
+        Ok(false)
+    }
+}
+
 impl FromIterator<WppEvent> for RawWpp {
     fn from_iter<I: IntoIterator<Item = WppEvent>>(iter: I) -> RawWpp {
         RawWpp {
@@ -603,6 +758,111 @@ mod tests {
             WppEvent::Exit,
         ]);
         assert_eq!(wpp.to_string(), "1.2.exit");
+    }
+
+    /// Classifies a byte stream through WppStream at the given chunk
+    /// size, mirroring the Result shape of `RawWpp::read_from`.
+    fn stream_parse(bytes: &[u8], chunk: usize) -> Result<(Vec<WppEvent>, bool), RawWppError> {
+        let mut parser = WppStream::new();
+        let mut out = Vec::new();
+        for piece in bytes.chunks(chunk.max(1)) {
+            parser.push(piece, &mut out)?;
+        }
+        let verified = parser.finish(&mut out)?;
+        Ok((out, verified))
+    }
+
+    #[test]
+    fn wpp_stream_matches_read_from_on_clean_streams() {
+        let wpp = sample();
+        let mut buf = Vec::new();
+        wpp.write_to(&mut buf).unwrap();
+        for chunk in [1, 2, 3, 5, 7, buf.len()] {
+            let (events, verified) = stream_parse(&buf, chunk).unwrap();
+            assert!(verified);
+            assert_eq!(events, wpp.events(), "chunk size {chunk}");
+        }
+        // Legacy footer-less stream: same events, unverified.
+        let legacy = &buf[..buf.len() - FOOTER_WORDS * 4];
+        for chunk in [1, 4, legacy.len()] {
+            let (events, verified) = stream_parse(legacy, chunk).unwrap();
+            assert!(!verified);
+            assert_eq!(events, wpp.events());
+        }
+        // Empty trace with footer.
+        let mut empty = Vec::new();
+        RawWpp::new().write_to(&mut empty).unwrap();
+        let (events, verified) = stream_parse(&empty, 1).unwrap();
+        assert!(verified);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn wpp_stream_classifies_damage_like_read_from() {
+        let wpp = sample();
+        let mut buf = Vec::new();
+        wpp.write_to(&mut buf).unwrap();
+
+        // Every truncation point classifies identically to read_from.
+        for cut in 0..buf.len() {
+            let prefix = &buf[..cut];
+            let batch = RawWpp::read_from(prefix);
+            let streamed = stream_parse(prefix, 3);
+            match (&batch, &streamed) {
+                (Ok(w), Ok((events, _))) => assert_eq!(&w.events(), events, "cut {cut}"),
+                (Err(a), Err(b)) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "cut {cut}: batch {a:?} vs streamed {b:?}"
+                ),
+                _ => panic!("cut {cut}: batch {batch:?} vs streamed {streamed:?}"),
+            }
+        }
+
+        // Flipped event byte → FooterMismatch from both.
+        let mut flipped = buf.clone();
+        flipped[6] ^= 0x01;
+        assert!(matches!(
+            stream_parse(&flipped, 2),
+            Err(RawWppError::FooterMismatch { .. })
+        ));
+
+        // Bad magic and an undecodable interior word.
+        assert!(matches!(
+            stream_parse(b"JUNKJUNKJUNK", 5),
+            Err(RawWppError::BadMagic)
+        ));
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&MAGIC);
+        bad.extend_from_slice(&(3u32 << 30).to_le_bytes());
+        for w in sample().words() {
+            bad.extend_from_slice(&w.to_le_bytes());
+        }
+        assert!(matches!(
+            stream_parse(&bad, 4),
+            Err(RawWppError::BadWord(_))
+        ));
+    }
+
+    #[test]
+    fn wpp_stream_holds_back_footer_lookalike_events() {
+        // FOOTER_WORD decodes as a valid Enter event; a stream whose
+        // *events* include it must still round-trip.
+        let lookalike = WppEvent::decode(FOOTER_WORD).expect("footer word is a decodable event");
+        let wpp = RawWpp::from_events(&[
+            WppEvent::Enter(f(0)),
+            lookalike,
+            WppEvent::Block(b(1)),
+            lookalike,
+            WppEvent::Exit,
+        ]);
+        let mut buf = Vec::new();
+        wpp.write_to(&mut buf).unwrap();
+        for chunk in [1, 4, 9] {
+            let (events, verified) = stream_parse(&buf, chunk).unwrap();
+            assert!(verified);
+            assert_eq!(events, wpp.events());
+        }
     }
 
     #[test]
