@@ -743,6 +743,57 @@ pub fn obs_overhead(scale: f64) -> ObsOverhead {
     let snapshot = obs.snapshot();
     let span_count = obs.span_count();
 
+    // The daemon's hot path: the same stream through the crash-safe
+    // incremental compactor in frame-sized batches, with the telemetry
+    // the admin plane arms (collecting observer + per-source rate
+    // estimator + flight recorder) versus none of it — the cost a
+    // `serve-ingest --admin` operator pays per event.
+    const DAEMON_SAMPLES: usize = 3;
+    let events = wpp.events();
+    let measure_daemon = |telemetry: bool| -> (Duration, Vec<u8>) {
+        let mut walls: Vec<Duration> = Vec::new();
+        let mut merged = Vec::new();
+        for run in 0..DAEMON_SAMPLES {
+            let dir = temp_dir(&format!("daemon-obs-{telemetry}-{run}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create daemon bench dir");
+            let opts = twpp::IngestOptions {
+                seal_bytes: 64 << 10,
+                durability: twpp::Durability::None,
+                threads: Some(1),
+                obs: if telemetry { Obs::collecting() } else { Obs::noop() },
+                ..twpp::IngestOptions::default()
+            };
+            let rate = twpp::RateEstimator::per_second_window();
+            let flightrec = twpp::FlightRecorder::new(512);
+            let start = Instant::now();
+            let mut c = twpp::Compactor::create(&dir, opts).expect("create compactor");
+            for batch in events.chunks(256) {
+                c.feed(batch).expect("feed");
+                if telemetry {
+                    rate.record(batch.len() as u64);
+                    flightrec.record("bench", "feed", format!("+{}", batch.len()));
+                }
+            }
+            c.finish().expect("finish");
+            walls.push(start.elapsed());
+            merged = std::fs::read(dir.join("merged.twpa")).expect("merged.twpa");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        walls.sort();
+        (walls[walls.len() / 2], merged)
+    };
+    let (daemon_noop_wall, daemon_noop_out) = measure_daemon(false);
+    let (daemon_obs_wall, daemon_obs_out) = measure_daemon(true);
+    assert_eq!(
+        daemon_noop_out, daemon_obs_out,
+        "daemon telemetry changed the merged archive"
+    );
+    let daemon_overhead = (daemon_obs_wall.as_secs_f64()
+        / daemon_noop_wall.as_secs_f64().max(1e-9)
+        - 1.0)
+        * 100.0;
+
     let mut t = Table::new(&["observer", "wall (ms)", "overhead", "spans", "metrics"]);
     t.row(vec![
         "noop".into(),
@@ -758,9 +809,26 @@ pub fn obs_overhead(scale: f64) -> ObsOverhead {
         span_count.to_string(),
         snapshot.samples.len().to_string(),
     ]);
+    t.row(vec![
+        "daemon noop".into(),
+        ms(daemon_noop_wall),
+        "—".into(),
+        "0".into(),
+        "0".into(),
+    ]);
+    t.row(vec![
+        "daemon telemetry".into(),
+        ms(daemon_obs_wall),
+        format!("{daemon_overhead:+.1}%"),
+        "—".into(),
+        "—".into(),
+    ]);
     let mut table = String::from("Observability overhead (126.gcc workload, 1 thread)\n");
     table.push_str(&t.render());
-    table.push_str("(identical compacted output with and without observation)\n");
+    table.push_str(
+        "(identical compacted output with and without observation; daemon rows\n\
+         feed the incremental compactor with the admin-plane telemetry on/off)\n",
+    );
 
     let mut report = RunReport::new("bench", RunOutcome::Complete);
     report.threads = 1;
@@ -784,6 +852,14 @@ pub fn obs_overhead(scale: f64) -> ObsOverhead {
     w.uint(obs_wall.as_nanos() as u64);
     w.key("overhead_percent");
     w.float((overhead * 100.0).round() / 100.0);
+    w.key("daemon_samples");
+    w.uint(DAEMON_SAMPLES as u64);
+    w.key("daemon_noop_wall_ns");
+    w.uint(daemon_noop_wall.as_nanos() as u64);
+    w.key("daemon_telemetry_wall_ns");
+    w.uint(daemon_obs_wall.as_nanos() as u64);
+    w.key("daemon_overhead_percent");
+    w.float((daemon_overhead * 100.0).round() / 100.0);
     w.key("report");
     w.raw(&report_json);
     w.end_object();

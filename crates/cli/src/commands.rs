@@ -6,7 +6,10 @@
 //! twpp compact <in.wpp> -o <out.twpa> [--program <prog.twl>] [--threads N] [--stats]
 //! twpp ingest <dir> --from <in.wpp|-> [--seal-bytes N] [--seal-ms N] [--chunk-events N]
 //! twpp serve-ingest <dir> [--listen tcp:H:P|unix:PATH] [--port-file F] [--tail F]...
+//!                         [--admin tcp:H:P|unix:PATH] [--log-out F]
 //! twpp net-feed <addr> --source <name> --from <in.wpp|-> [--drain]
+//! twpp status <addr> [--json] [--watch N]
+//! twpp metrics-check <file-or-addr>
 //! twpp info <file.wpp|file.twpa>
 //! twpp query <file.twpa> <func-id-or-name>
 //! twpp fsck <file.twpa|file.wpp|dir> [--repair [-o <out>]] [--threads N]
@@ -30,7 +33,11 @@
 //! with backpressure (BUSY + retry-after), per-connection quarantine of
 //! garbage, a watchdog failing wedged sources in isolation, and a
 //! graceful drain on SIGTERM that merges every source. `net-feed` is
-//! the matching client.
+//! the matching client. With `--admin` the daemon also serves a live
+//! telemetry plane (DESIGN.md §18): `/metrics`, `/status` and
+//! `/healthz` over plain HTTP, which `status` renders as a per-source
+//! table and `metrics-check` validates against the strict Prometheus
+//! text-format parser.
 //!
 //! `--threads N` caps the worker pool used by the parallel compaction and
 //! verification stages (default: `TWPP_THREADS` or the machine's available
@@ -156,12 +163,28 @@ usage:
       --wedge-ms N      watchdog deadline: fail a source whose durable
                         operation wedges past N ms (default 10000)
       --tail F          also ingest appended bytes of file F (repeatable)
+      --admin SPEC      also serve the admin telemetry plane on SPEC
+                        (tcp:HOST:PORT or unix:PATH): GET /metrics
+                        (Prometheus text), /status (JSON), /healthz
+      --admin-port-file F  write the bound admin address to F
+      --log-out F       append structured JSONL logs to F (rotates to
+                        F.1 past 8 MiB); also arms the crash flight
+                        recorder, dumped to <dir>/flightrec-<ts>.json
+                        when a source is failed or the daemon aborts
   twpp net-feed <addr> --source <name> --from <in.wpp|->
                                             stream a WPP to a serve-ingest
                                             daemon: resumes from the server's
                                             durable position, honours BUSY
                                             retry-after hints, loses nothing
       --drain           request a daemon-wide graceful drain after feeding
+  twpp status <addr> [--json] [--watch N]   fetch /status from a daemon's admin
+                                            plane and render it as a per-source
+                                            table (--json prints the raw JSON;
+                                            --watch refreshes every N seconds)
+  twpp metrics-check <file-or-addr>         validate Prometheus text exposition
+                                            (a --metrics-out file, or /metrics
+                                            fetched from an admin address)
+                                            against the strict format checker
   twpp info <file.wpp|file.twpa>            summarize a trace or archive
   twpp query <file.twpa> <func-id-or-name>  extract one function's traces
   twpp fsck <file.twpa|file.wpp|dir> [--repair [-o <out>]] [--threads N]
@@ -327,6 +350,11 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
     let mut tails: Vec<PathBuf> = Vec::new();
     let mut source: Option<String> = None;
     let mut drain = false;
+    let mut admin: Option<String> = None;
+    let mut admin_port_file: Option<PathBuf> = None;
+    let mut log_out: Option<PathBuf> = None;
+    let mut json = false;
+    let mut watch: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -534,6 +562,44 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                 );
             }
             "--drain" => drain = true,
+            "--admin" => {
+                i += 1;
+                admin = Some(
+                    args.get(i)
+                        .ok_or_else(|| {
+                            CliError::Usage("--admin needs tcp:HOST:PORT or unix:PATH".into())
+                        })?
+                        .clone(),
+                );
+            }
+            "--admin-port-file" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--admin-port-file needs a path".into()))?;
+                admin_port_file = Some(PathBuf::from(p));
+            }
+            "--log-out" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--log-out needs a path".into()))?;
+                log_out = Some(PathBuf::from(p));
+            }
+            "--json" => json = true,
+            "--watch" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--watch needs a count of seconds".into()))?;
+                let n = raw
+                    .parse::<u64>()
+                    .map_err(|e| CliError::Usage(format!("bad --watch: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--watch must be at least 1".into()));
+                }
+                watch = Some(n);
+            }
             "--trace-out" => {
                 i += 1;
                 let p = args
@@ -695,10 +761,15 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                 wedge_ms,
                 retry: retry_policy(5),
                 tails,
+                admin,
+                admin_port_file,
+                log_out,
             },
             &obs_files,
             out,
         ),
+        ["status", addr] => cmd_status(addr, json, watch, out),
+        ["metrics-check", target] => cmd_metrics_check(target, out),
         ["net-feed", addr] => {
             let from = from.ok_or_else(usage)?;
             let source = source.ok_or_else(|| {
@@ -1184,7 +1255,16 @@ struct ServeFlags {
     wedge_ms: Option<u64>,
     retry: twpp::Retry,
     tails: Vec<PathBuf>,
+    admin: Option<String>,
+    admin_port_file: Option<PathBuf>,
+    log_out: Option<PathBuf>,
 }
+
+/// Size at which `--log-out` rotates to its `.1` sibling.
+const LOG_ROTATE_BYTES: u64 = 8 << 20;
+
+/// Slots in the daemon's crash flight recorder.
+const FLIGHTREC_CAPACITY: usize = 512;
 
 /// Set by the binary's SIGTERM/SIGINT handler; a running `serve-ingest`
 /// polls it and drains gracefully.
@@ -1212,7 +1292,16 @@ fn cmd_serve_ingest(
     obs_files: &ObsFiles,
     out: &mut Out<'_>,
 ) -> Result<(), CliError> {
-    let obs = obs_files.observer();
+    // The telemetry plane needs real counters behind /metrics, so
+    // --admin (like any --*-out artifact) switches the observer from
+    // noop to collecting. Without it the daemon stays byte-identical
+    // to an uninstrumented build.
+    let telemetry = flags.admin.is_some() || flags.log_out.is_some();
+    let obs = if telemetry && !obs_files.enabled() {
+        Obs::collecting()
+    } else {
+        obs_files.observer()
+    };
     let faults = twpp::FaultPlan::from_env();
     let listener = twpp::ingest::ServeListener::bind(&flags.listen)
         .map_err(|e| fail(format!("{}: {e}", flags.listen)))?;
@@ -1222,6 +1311,43 @@ fn cmd_serve_ingest(
         // write it only once the socket actually listens.
         fs::write(p, &addr).map_err(|e| fail(format!("{}: {e}", p.display())))?;
     }
+    let admin_listener = match &flags.admin {
+        Some(spec) => {
+            let l = twpp::ingest::ServeListener::bind(spec)
+                .map_err(|e| fail(format!("{spec}: {e}")))?;
+            let admin_addr = l.local_addr();
+            if let Some(p) = &flags.admin_port_file {
+                fs::write(p, &admin_addr).map_err(|e| fail(format!("{}: {e}", p.display())))?;
+            }
+            writeln!(out, "admin plane on {admin_addr} (/metrics /status /healthz)")?;
+            Some(l)
+        }
+        None => None,
+    };
+    let log = match &flags.log_out {
+        Some(p) => twpp::Logger::to_file(p, LOG_ROTATE_BYTES, twpp::LogLevel::Info)
+            .map_err(|e| fail(format!("{}: {e}", p.display())))?,
+        None => twpp::Logger::noop(),
+    };
+    // The flight recorder rides along with either telemetry surface; on
+    // an injected-fault abort (TWPP_INJECT_KILL_AT) the gov abort hook
+    // dumps it so even a crash leaves a black box in the serve dir.
+    let flightrec = if telemetry {
+        let rec = std::sync::Arc::new(twpp::FlightRecorder::new(FLIGHTREC_CAPACITY));
+        let hook_rec = std::sync::Arc::clone(&rec);
+        let hook_dir = dir.to_path_buf();
+        let hook_log = log.clone();
+        twpp::gov::set_abort_hook(Box::new(move || {
+            hook_log.error("daemon aborting", &[]);
+            match hook_rec.dump_to_dir(&hook_dir) {
+                Ok(p) => eprintln!("flight recorder dumped to {}", p.display()),
+                Err(e) => eprintln!("flight recorder dump failed: {e}"),
+            }
+        }));
+        Some(rec)
+    } else {
+        None
+    };
     writeln!(out, "listening on {addr} (drain with SIGTERM)")?;
     let shutdown = twpp::CancelToken::new();
     {
@@ -1253,10 +1379,45 @@ fn cmd_serve_ingest(
         obs: obs.clone(),
         codec: flags.codec,
         tails: flags.tails,
+        log: log.clone(),
+        flightrec: flightrec.clone(),
         ..twpp::ingest::ServeOptions::default()
     };
-    let report = twpp::ingest::serve(dir, listener, shutdown, opts)
-        .map_err(|e| fail(format!("{}: {e}", dir.display())))?;
+    // While the daemon runs, --report holds a live heartbeat: the same
+    // schema-v1 run report with outcome "running" and a fresh metrics
+    // snapshot, rewritten every second. The final report replaces it
+    // after the drain.
+    let heartbeat_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let heartbeat = obs_files.report_out.as_ref().map(|p| {
+        let path = p.clone();
+        let obs = obs.clone();
+        let stop = std::sync::Arc::clone(&heartbeat_stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let mut run = RunReport::new("serve-ingest", RunOutcome::Running);
+                run.metrics = obs.snapshot();
+                run.span_count = obs.span_count() as u64;
+                let json = run.to_json();
+                debug_assert!(
+                    twpp::validate_report_json(&json).is_ok(),
+                    "heartbeat report must satisfy its own schema"
+                );
+                fs::write(&path, json).ok();
+                for _ in 0..100 {
+                    if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        })
+    });
+    let served = twpp::ingest::serve_with_admin(dir, listener, admin_listener, shutdown, opts);
+    heartbeat_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(h) = heartbeat {
+        h.join().ok();
+    }
+    let report = served.map_err(|e| fail(format!("{}: {e}", dir.display())))?;
     writeln!(
         out,
         "drained: {} source(s), {} connection(s), {} frame(s), {} busy, {} quarantined",
@@ -1370,6 +1531,165 @@ fn cmd_net_feed(
         out,
         "{addr}: source {source} at {accepted} durable event(s){}",
         if drain { ", drain requested" } else { "" }
+    )?;
+    Ok(())
+}
+
+/// Pulls a required field out of a `/status` object.
+fn status_field<'a>(
+    obj: &'a std::collections::BTreeMap<String, twpp::obs::Json>,
+    key: &str,
+) -> Result<&'a twpp::obs::Json, CliError> {
+    obj.get(key)
+        .ok_or_else(|| fail(format!("/status missing field `{key}`")))
+}
+
+/// A required numeric `/status` field, truncated to u64.
+fn status_u64(
+    obj: &std::collections::BTreeMap<String, twpp::obs::Json>,
+    key: &str,
+) -> Result<u64, CliError> {
+    status_field(obj, key)?
+        .as_num()
+        .map(|n| n as u64)
+        .ok_or_else(|| fail(format!("/status field `{key}` is not a number")))
+}
+
+/// `twpp status <addr>`: fetch `/status` from a daemon's admin plane and
+/// render it as a per-source table (DESIGN.md §18). `--json` prints the
+/// raw body after validating it; `--watch N` refreshes every N seconds
+/// until interrupted.
+fn cmd_status(
+    addr: &str,
+    json: bool,
+    watch: Option<u64>,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    loop {
+        let (code, body) =
+            twpp::net::http_get(addr, "/status").map_err(|e| fail(format!("{addr}: {e}")))?;
+        if code != 200 {
+            return Err(fail(format!("{addr}: /status returned HTTP {code}")));
+        }
+        let doc = twpp::obs::parse_json(&body)
+            .map_err(|e| fail(format!("{addr}: invalid /status JSON: {e}")))?;
+        render_status(addr, &doc, &body, json, out)?;
+        match watch {
+            Some(secs) => {
+                writeln!(out)?;
+                std::thread::sleep(std::time::Duration::from_secs(secs));
+            }
+            None => return Ok(()),
+        }
+    }
+}
+
+/// Validates one `/status` document against schema v1 and writes either
+/// the raw JSON or the human table.
+fn render_status(
+    addr: &str,
+    doc: &twpp::obs::Json,
+    raw: &str,
+    json: bool,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let obj = doc
+        .as_obj()
+        .ok_or_else(|| fail("/status body is not a JSON object".to_string()))?;
+    let version = status_u64(obj, "status_schema_version")?;
+    if version != twpp::ingest::STATUS_SCHEMA_VERSION {
+        return Err(fail(format!(
+            "/status schema v{version} is not the supported v{}",
+            twpp::ingest::STATUS_SCHEMA_VERSION
+        )));
+    }
+    let sources = status_field(obj, "sources")?
+        .as_arr()
+        .ok_or_else(|| fail("/status field `sources` is not an array".to_string()))?;
+    if json {
+        writeln!(out, "{raw}")?;
+        return Ok(());
+    }
+    let draining = status_field(obj, "draining")?.as_bool().unwrap_or(false);
+    let uptime_ms = status_u64(obj, "uptime_ms")?;
+    writeln!(
+        out,
+        "serve-ingest on {addr}: up {:.1}s{}, {} connection(s), {} frame(s), {} busy, {} quarantined",
+        uptime_ms as f64 / 1000.0,
+        if draining { " (draining)" } else { "" },
+        status_u64(obj, "connections_total")?,
+        status_u64(obj, "frames_total")?,
+        status_u64(obj, "busy_total")?,
+        status_u64(obj, "quarantined_total")?,
+    )?;
+    if sources.is_empty() {
+        writeln!(out, "  no sources yet")?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "  {:<16} {:>10} {:>8} {:>5} {:>8} {:>12}  state",
+        "source", "durable", "window", "segs", "ev/s", "last seal"
+    )?;
+    for s in sources {
+        let s = s
+            .as_obj()
+            .ok_or_else(|| fail("/status source entry is not an object".to_string()))?;
+        let name = status_field(s, "name")?
+            .as_str()
+            .ok_or_else(|| fail("/status source `name` is not a string".to_string()))?;
+        // last_seal_ms is milliseconds since daemon start, like uptime_ms.
+        let last_seal = status_u64(s, "last_seal_ms")?;
+        let seal_col = if last_seal == 0 {
+            "never".to_owned()
+        } else {
+            format!("{:.1}s ago", uptime_ms.saturating_sub(last_seal) as f64 / 1000.0)
+        };
+        let failed = status_field(s, "failed")?.as_bool().unwrap_or(false);
+        let state = if failed {
+            let why = status_field(s, "failure")?.as_str().unwrap_or("unknown");
+            format!("FAILED: {why}")
+        } else {
+            "ok".to_owned()
+        };
+        writeln!(
+            out,
+            "  {:<16} {:>10} {:>8} {:>5} {:>8.1} {:>12}  {state}",
+            name,
+            status_u64(s, "durable_events")?,
+            status_u64(s, "window_events")?,
+            status_u64(s, "segments")?,
+            status_field(s, "events_per_sec")?.as_num().unwrap_or(0.0),
+            seal_col,
+        )?;
+    }
+    Ok(())
+}
+
+/// `twpp metrics-check <file-or-addr>`: strict Prometheus text-format
+/// validation — of a `--metrics-out` file if the target names one, else
+/// of `/metrics` fetched live from a daemon's admin address.
+fn cmd_metrics_check(target: &str, out: &mut Out<'_>) -> Result<(), CliError> {
+    let (origin, text) = if Path::new(target).is_file() {
+        let text =
+            fs::read_to_string(target).map_err(|e| fail(format!("{target}: {e}")))?;
+        (target.to_owned(), text)
+    } else {
+        let (code, body) = twpp::net::http_get(target, "/metrics")
+            .map_err(|e| fail(format!("{target}: {e}")))?;
+        if code != 200 {
+            return Err(fail(format!("{target}: /metrics returned HTTP {code}")));
+        }
+        (format!("{target} /metrics"), body)
+    };
+    let families = twpp::parse_prometheus_text(&text)
+        .map_err(|e| fail(format!("{origin}: invalid Prometheus exposition: {e}")))?;
+    let samples: usize = families.iter().map(|f| f.samples.len()).sum();
+    writeln!(
+        out,
+        "{origin}: valid Prometheus exposition ({} famil{}, {samples} sample(s))",
+        families.len(),
+        if families.len() == 1 { "y" } else { "ies" }
     )?;
     Ok(())
 }
@@ -2350,6 +2670,110 @@ mod tests {
     }
 
     #[test]
+    fn status_command_usage_and_unreachable_daemon() {
+        assert!(matches!(run(&["status"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["status", "tcp:127.0.0.1:9", "--watch", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        // Nothing listens on the discard port: a clean Failed, not a hang.
+        assert!(matches!(
+            run(&["status", "tcp:127.0.0.1:9"]),
+            Err(CliError::Failed(_))
+        ));
+        assert!(matches!(
+            run(&["metrics-check", "tcp:127.0.0.1:9"]),
+            Err(CliError::Failed(_))
+        ));
+    }
+
+    #[test]
+    fn admin_plane_status_and_metrics_check_through_the_cli() {
+        let dir = temp_dir();
+        let serve_dir = dir.join("serve");
+        let port_file = dir.join("port");
+        let admin_port_file = dir.join("admin-port");
+        let log_path = dir.join("daemon.log");
+        let args: Vec<String> = [
+            "serve-ingest",
+            serve_dir.to_str().unwrap(),
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--admin",
+            "tcp:127.0.0.1:0",
+            "--admin-port-file",
+            admin_port_file.to_str().unwrap(),
+            "--log-out",
+            log_path.to_str().unwrap(),
+            "--durability",
+            "none",
+            "--drain-after-ms",
+            "2500",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let daemon = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            run_command(&args, &mut out).map(|()| String::from_utf8(out).expect("utf-8"))
+        });
+        let admin_addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                if let Ok(addr) = fs::read_to_string(&admin_port_file) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "admin port file never appeared");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+
+        // The human table and the raw JSON both validate schema v1.
+        let output = run(&["status", &admin_addr]).unwrap();
+        assert!(output.contains("serve-ingest on"), "{output}");
+        assert!(output.contains("no sources yet"), "{output}");
+        let output = run(&["status", &admin_addr, "--json"]).unwrap();
+        let doc = twpp::obs::parse_json(&output).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(
+            obj.get("status_schema_version").and_then(|v| v.as_num()),
+            Some(twpp::ingest::STATUS_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            obj.get("command").and_then(|v| v.as_str()),
+            Some("serve-ingest")
+        );
+
+        // Live /metrics passes the strict checker end to end.
+        let output = run(&["metrics-check", &admin_addr]).unwrap();
+        assert!(output.contains("valid Prometheus exposition"), "{output}");
+
+        let daemon_out = daemon.join().expect("daemon thread").unwrap();
+        assert!(daemon_out.contains("admin plane on"), "{daemon_out}");
+        assert!(daemon_out.contains("drained:"), "{daemon_out}");
+
+        // The structured log is JSONL: every line parses, and the
+        // daemon lifecycle events are present.
+        let log_text = fs::read_to_string(&log_path).unwrap();
+        assert!(!log_text.is_empty());
+        for line in log_text.lines() {
+            let rec = twpp::obs::parse_json(line).unwrap();
+            let rec = rec.as_obj().unwrap();
+            assert!(rec.contains_key("ts_ms"), "{line}");
+            assert!(rec.contains_key("level"), "{line}");
+            assert!(rec.contains_key("msg"), "{line}");
+        }
+        assert!(log_text.contains("\"msg\":\"daemon started\""), "{log_text}");
+        assert!(log_text.contains("\"msg\":\"daemon drained\""), "{log_text}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn obs_flags_write_trace_metrics_and_report() {
         let dir = temp_dir();
         let src_path = dir.join("prog.twl");
@@ -2409,6 +2833,17 @@ mod tests {
             "{prom}"
         );
         assert!(prom.contains("twpp_core_frames_encoded_total"), "{prom}");
+
+        // metrics-check accepts the emitted exposition…
+        let output = run(&["metrics-check", metrics_out.to_str().unwrap()]).unwrap();
+        assert!(output.contains("valid Prometheus exposition"), "{output}");
+        // …and rejects a malformed one (TYPE before HELP).
+        let bad_prom = dir.join("bad.prom");
+        fs::write(&bad_prom, "# TYPE x counter\n# HELP x late\nx 1\n").unwrap();
+        assert!(matches!(
+            run(&["metrics-check", bad_prom.to_str().unwrap()]),
+            Err(CliError::Failed(_))
+        ));
 
         // The report validates against the schema and carries the
         // pipeline section with the archive_encode timing filled in.

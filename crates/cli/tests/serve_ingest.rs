@@ -208,6 +208,186 @@ fn batch_baseline(root: &Path, wpp: &str) -> Vec<u8> {
     std::fs::read(dir.join("merged.twpa")).expect("batch baseline merged.twpa")
 }
 
+/// Spawns a daemon with the admin telemetry plane armed (`--admin` +
+/// `--log-out`); waits for both port files and returns the admin
+/// address alongside the daemon.
+fn spawn_admin_daemon(
+    dir: &Path,
+    port_file: &Path,
+    admin_port_file: &Path,
+    log_out: &Path,
+    envs: &[(&str, String)],
+) -> (Daemon, String) {
+    let _ = std::fs::remove_file(port_file);
+    let _ = std::fs::remove_file(admin_port_file);
+    let mut cmd = Command::new(bin());
+    cmd.args([
+        "serve-ingest",
+        dir.to_str().unwrap(),
+        "--listen",
+        "tcp:127.0.0.1:0",
+        "--port-file",
+        port_file.to_str().unwrap(),
+        "--admin",
+        "tcp:127.0.0.1:0",
+        "--admin-port-file",
+        admin_port_file.to_str().unwrap(),
+        "--log-out",
+        log_out.to_str().unwrap(),
+        "--seal-bytes",
+        "256",
+        "--durability",
+        "none",
+        "--drain-after-ms",
+        "60000",
+    ]);
+    for var in INJECT_VARS {
+        cmd.env_remove(var);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn admin daemon");
+    for _ in 0..1000 {
+        let addr = std::fs::read_to_string(port_file).unwrap_or_default();
+        let admin = std::fs::read_to_string(admin_port_file).unwrap_or_default();
+        if !addr.is_empty() && !admin.is_empty() {
+            return (Daemon { child, addr }, admin);
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            let out = child.wait_with_output().expect("daemon output");
+            panic!(
+                "admin daemon died before listening: {status}\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = child.kill();
+    panic!("admin daemon never wrote both port files");
+}
+
+/// The newest `flightrec-*.json` dump inside a serve directory.
+fn find_flightrec(dir: &Path) -> Option<PathBuf> {
+    let mut dumps: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flightrec-") && n.ends_with(".json"))
+        })
+        .collect();
+    dumps.sort();
+    dumps.pop()
+}
+
+#[test]
+fn injected_abort_dumps_flight_recorder_and_status_reflects_restart() {
+    let root = temp_dir("flightrec");
+    let wpp_path = fixture_wpp(&root);
+    let wpp = wpp_path.to_str().unwrap();
+    let baseline = batch_baseline(&root, wpp);
+
+    // A daemon with telemetry armed, killed at a mid-run durability
+    // point: the gov abort hook must leave a flight-recorder dump in
+    // the serve dir even though the process dies by abort().
+    let dir = root.join("serve");
+    let port = root.join("port");
+    let admin_port = root.join("admin-port");
+    let log_out = root.join("daemon.log");
+    let (daemon, _admin) = spawn_admin_daemon(
+        &dir,
+        &port,
+        &admin_port,
+        &log_out,
+        &[("TWPP_INJECT_KILL_AT", "3".to_string())],
+    );
+    let addr = daemon.addr.clone();
+    let _ = net_feed(&addr, "src", wpp, true); // dies with the daemon
+    let killed = wait_daemon(daemon, "killed daemon");
+    assert!(!killed.status.success(), "kill point 3 did not abort the daemon");
+    let dump_path = find_flightrec(&dir).expect("aborted daemon left no flightrec-*.json");
+    let dump = std::fs::read_to_string(&dump_path).expect("read flight recorder dump");
+    let doc = twpp::obs::parse_json(&dump).expect("flight recorder dump must be valid JSON");
+    let obj = doc.as_obj().expect("dump is an object");
+    assert_eq!(
+        obj.get("flightrec_version").and_then(|v| v.as_num()),
+        Some(1.0),
+        "{dump}"
+    );
+    let records = obj
+        .get("records")
+        .and_then(|r| r.as_arr())
+        .expect("dump carries a records array");
+    assert!(!records.is_empty(), "abort mid-feed must leave flight records");
+    assert!(
+        records.iter().any(|r| {
+            r.as_obj()
+                .and_then(|o| o.get("op"))
+                .and_then(|op| op.as_str())
+                == Some("feed")
+        }),
+        "the ring should hold the feed operations leading up to the abort:\n{dump}"
+    );
+
+    // Restart over the same directory, re-feed (the client resumes from
+    // HELLO), and scrape /status live: the source must be visible with
+    // the full stream durable and not failed.
+    let (daemon, admin) = spawn_admin_daemon(&dir, &port, &admin_port, &log_out, &[]);
+    let addr = daemon.addr.clone();
+    let feed_out = ok_stdout(net_feed(&addr, "src", wpp, false), "recovery feed");
+    let durable: u64 = feed_out
+        .lines()
+        .find_map(|l| l.split(" at ").nth(1)?.split(' ').next()?.parse().ok())
+        .expect("net-feed reports the durable position");
+    let status_out = ok_stdout(twpp(&["status", &admin, "--json"], &[]), "status scrape");
+    let doc = twpp::obs::parse_json(&status_out).expect("status JSON");
+    let obj = doc.as_obj().expect("status object");
+    assert_eq!(
+        obj.get("status_schema_version").and_then(|v| v.as_num()),
+        Some(1.0)
+    );
+    let sources = obj.get("sources").and_then(|s| s.as_arr()).expect("sources array");
+    let src = sources
+        .iter()
+        .filter_map(|s| s.as_obj())
+        .find(|s| s.get("name").and_then(|n| n.as_str()) == Some("src"))
+        .expect("source `src` in /status after restart");
+    assert_eq!(
+        src.get("durable_events").and_then(|v| v.as_num()),
+        Some(durable as f64),
+        "/status durable offset must match the client's resumed position:\n{status_out}"
+    );
+    assert_eq!(src.get("failed").and_then(|v| v.as_bool()), Some(false));
+
+    // The live exposition passes the strict checker mid-run…
+    let check = ok_stdout(twpp(&["metrics-check", &admin], &[]), "metrics-check");
+    assert!(check.contains("valid Prometheus exposition"), "{check}");
+
+    // …and after the drain the archive is still byte-identical to the
+    // batch pipeline: telemetry never perturbs ingest output.
+    ok_stdout(net_feed(&addr, "src", wpp, true), "drain request");
+    let out = wait_daemon(daemon, "recovered drain");
+    ok_stdout(out, "recovered daemon");
+    let merged = std::fs::read(dir.join("src").join("merged.twpa")).expect("merged");
+    assert_eq!(merged, baseline, "admin-plane daemon diverged from the batch baseline");
+
+    // The structured log spans both incarnations: started twice,
+    // drained once, every line valid JSONL.
+    let log_text = std::fs::read_to_string(&log_out).expect("daemon log");
+    let starts = log_text.matches("\"msg\":\"daemon started\"").count();
+    assert_eq!(starts, 2, "{log_text}");
+    assert!(log_text.contains("\"msg\":\"daemon drained\""), "{log_text}");
+    for line in log_text.lines() {
+        twpp::obs::parse_json(line).expect("log line is valid JSON");
+    }
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
 #[test]
 fn daemon_drain_matches_batch_and_every_kill_point_recovers() {
     let root = temp_dir("sweep");

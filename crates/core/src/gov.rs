@@ -524,6 +524,7 @@ impl FaultPlan {
         let n = self.kill_counter.fetch_add(1, Ordering::SeqCst) + 1;
         if self.kill_at == Some(n) {
             eprintln!("injected fault: killing process at durability point {n}");
+            run_abort_hook();
             std::process::abort();
         }
         n
@@ -553,6 +554,28 @@ impl FaultPlan {
         if self.delay_ms > 0 {
             std::thread::sleep(Duration::from_millis(self.delay_ms));
         }
+    }
+}
+
+/// The process-wide abort hook, run by [`FaultPlan::durability_point`]
+/// immediately before `std::process::abort()`.
+static ABORT_HOOK: std::sync::OnceLock<Box<dyn Fn() + Send + Sync>> = std::sync::OnceLock::new();
+
+/// Installs a hook run right before an injected-kill abort, so a
+/// long-lived process can flush last-gasp diagnostics (the ingest
+/// daemon dumps its flight recorder here). First installation wins;
+/// later calls are ignored — the abort path must stay race-free and a
+/// daemon installs exactly one hook at startup. The hook must not
+/// allocate unboundedly or block: the process is about to die.
+pub fn set_abort_hook(hook: Box<dyn Fn() + Send + Sync>) {
+    let _ = ABORT_HOOK.set(hook);
+}
+
+/// Runs the installed abort hook, if any. Public so other hard-exit
+/// paths (future panic handlers) can share it.
+pub fn run_abort_hook() {
+    if let Some(hook) = ABORT_HOOK.get() {
+        hook();
     }
 }
 

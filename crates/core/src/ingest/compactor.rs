@@ -30,7 +30,7 @@ use twpp_tracer::raw::RawWpp;
 use crate::archive::{Durability, TwppArchive};
 use crate::timestamped::Codec;
 use crate::gov::{Budget, FaultPlan, Retry, StopReason};
-use crate::obs::{Counter, Obs};
+use crate::obs::{Counter, Histogram, Obs};
 use crate::partition::{partition, PartitionError};
 use crate::pipeline::{
     compact_partitioned_governed, GovOptions, PipelineError, PipelineStats,
@@ -114,7 +114,16 @@ struct IngestCounters {
     segment_bytes: Counter,
     retry_attempts: Counter,
     retry_exhausted: Counter,
+    wal_append_us: Histogram,
+    seal_us: Histogram,
 }
+
+/// Shared microsecond bucket ladder for the ingest latency histograms:
+/// 100 µs to 10 s, roughly 1-2.5-5 per decade.
+const LATENCY_BOUNDS_US: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 10_000_000,
+];
 
 impl IngestCounters {
     fn new(obs: &Obs) -> IngestCounters {
@@ -154,6 +163,16 @@ impl IngestCounters {
             retry_exhausted: obs.counter(
                 "twpp_ingest_retry_exhausted_total",
                 "operations that failed after exhausting their retry budget",
+            ),
+            wal_append_us: obs.histogram(
+                "twpp_core_ingest_wal_append_us",
+                "microseconds per durable WAL append (including fsync)",
+                LATENCY_BOUNDS_US,
+            ),
+            seal_us: obs.histogram(
+                "twpp_core_ingest_seal_us",
+                "microseconds per window seal (compact + archive + manifest + WAL rotation)",
+                LATENCY_BOUNDS_US,
             ),
         }
     }
@@ -447,6 +466,7 @@ impl Compactor {
 
         let offset = self.accepted_events();
         let wal = &mut self.wal;
+        let append_started = Instant::now();
         let bytes = run_retry(
             self.opts.retry,
             &self.opts.faults,
@@ -454,6 +474,9 @@ impl Compactor {
             "wal append",
             || wal.append(offset, events).map_err(IngestError::from),
         )?;
+        self.counters
+            .wal_append_us
+            .observe(append_started.elapsed().as_micros() as u64);
         self.opts.faults.durability_point();
         self.counters.events.add(events.len() as u64);
         self.counters.wal_records.inc();
@@ -502,6 +525,7 @@ impl Compactor {
             return Ok(None);
         }
         let _s = self.opts.obs.span("ingest_seal");
+        let seal_started = Instant::now();
         // Injection point for the serve watchdog tests: a configured
         // delay makes this seal look wedged without real slow I/O.
         self.opts.faults.apply_delay();
@@ -586,6 +610,9 @@ impl Compactor {
         self.window_stack = self.stack.clone();
         self.window_started = Instant::now();
         self.segments.push(meta);
+        self.counters
+            .seal_us
+            .observe(seal_started.elapsed().as_micros() as u64);
         Ok(Some(seq))
     }
 
@@ -656,6 +683,17 @@ impl Compactor {
     /// Current activation depth.
     pub fn depth(&self) -> usize {
         self.stack.len()
+    }
+
+    /// Whether the resource envelope is exhausted. Exhaustion is
+    /// backpressure — every further `feed` seals early — not death, so
+    /// callers (the serve telemetry plane) may only want to report it.
+    /// Cancellation is not exhaustion.
+    pub fn budget_exhausted(&self) -> bool {
+        matches!(
+            self.opts.budget.check(),
+            Err(StopReason::Deadline | StopReason::StepLimit | StopReason::ByteLimit)
+        )
     }
 }
 

@@ -53,10 +53,10 @@ use twpp_tracer::WppEvent;
 use crate::archive::Durability;
 use crate::gov::{CancelToken, FaultPlan, Limits, Retry};
 use crate::net::{
-    valid_source_name, Frame, FramedStream, NetError, ERR_DRAINING, ERR_NO_HELLO, ERR_PROTOCOL,
-    ERR_SOURCE_FAILED, ERR_STREAM,
+    http_read_request_path, http_write_response, valid_source_name, Frame, FramedStream,
+    NetError, ERR_DRAINING, ERR_NO_HELLO, ERR_PROTOCOL, ERR_SOURCE_FAILED, ERR_STREAM,
 };
-use crate::obs::Obs;
+use crate::obs::{FlightRecorder, JsonWriter, Logger, Obs, RateEstimator};
 use crate::timestamped::Codec;
 
 use super::compactor::{Compactor, IngestOptions};
@@ -104,6 +104,15 @@ pub struct ServeOptions {
     /// Files to tail as event sources (name derived from the file
     /// stem): read to EOF, then poll for appended bytes until drain.
     pub tails: Vec<PathBuf>,
+    /// Structured JSONL logger for operational events. The default
+    /// noop logger writes nothing and costs one branch per call, so a
+    /// daemon without `--log-out` behaves exactly as before.
+    pub log: Logger,
+    /// Crash flight recorder: a ring of recent operations dumped to
+    /// `<dir>/flightrec-<ts>.json` when a source is failed or the
+    /// process aborts at an injected kill point. `None` (the default)
+    /// records nothing and writes nothing.
+    pub flightrec: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ServeOptions {
@@ -124,6 +133,8 @@ impl Default for ServeOptions {
             obs: Obs::noop(),
             codec: Codec::Legacy,
             tails: Vec::new(),
+            log: Logger::noop(),
+            flightrec: None,
         }
     }
 }
@@ -279,6 +290,27 @@ impl ConnStream for TcpStream {}
 #[cfg(unix)]
 impl ConnStream for UnixStream {}
 
+/// Why a `Busy` reply was sent; each cause gets its own counter.
+#[derive(Copy, Clone, Debug)]
+enum BusyCause {
+    /// The open window hit `window_cap_bytes`.
+    WindowCap,
+    /// Another connection held the source's compactor.
+    LockContention,
+    /// The injected flaky-socket plan shed the frame.
+    InjectedFault,
+}
+
+impl BusyCause {
+    fn as_str(self) -> &'static str {
+        match self {
+            BusyCause::WindowCap => "window_cap",
+            BusyCause::LockContention => "lock_contention",
+            BusyCause::InjectedFault => "injected_fault",
+        }
+    }
+}
+
 /// One source's shared state. The watchdog reads only the atomics, so a
 /// wedged operation holding the compactor mutex cannot hide from it.
 struct SourceHandle {
@@ -293,18 +325,49 @@ struct SourceHandle {
     /// Milliseconds since server start when the in-flight durable
     /// operation began; 0 when idle. The watchdog's only input.
     op_started_ms: AtomicU64,
+    /// Events in the open window (mirror — `/status` must answer
+    /// without the compactor mutex).
+    window_events: AtomicU64,
+    /// Milliseconds since server start of the last seal; 0 = never.
+    last_seal_ms: AtomicU64,
+    /// Sliding-window ingest rate for `/status` (events/s).
+    rate: RateEstimator,
+    /// Whether the budget-exhaustion transition was already reported;
+    /// exhaustion is backpressure (early seals), logged exactly once.
+    budget_reported: AtomicBool,
     failed: AtomicBool,
     fail_msg: Mutex<Option<String>>,
 }
 
 impl SourceHandle {
-    fn mark_failed(&self, why: String, obs: &Obs) {
+    fn mark_failed(&self, why: String, registry: &Registry) {
         if !self.failed.swap(true, Ordering::SeqCst) {
-            obs.counter(
-                "twpp_ingest_serve_sources_failed_total",
-                "sources failed in isolation (wedged seal or unrecoverable I/O)",
-            )
-            .inc();
+            registry
+                .opts
+                .obs
+                .counter(
+                    "twpp_ingest_serve_sources_failed_total",
+                    "sources failed in isolation (wedged seal or unrecoverable I/O)",
+                )
+                .inc();
+            registry
+                .opts
+                .log
+                .error("source failed", &[("source", &self.name), ("why", &why)]);
+            // The post-mortem: the last N operations that led here.
+            if let Some(rec) = &registry.opts.flightrec {
+                rec.record(&self.name, "failed", why.clone());
+                match rec.dump_to_dir(&registry.dir) {
+                    Ok(path) => registry.opts.log.info(
+                        "flight recorder dumped",
+                        &[("path", &path.display().to_string())],
+                    ),
+                    Err(e) => registry
+                        .opts
+                        .log
+                        .warn("flight recorder dump failed", &[("why", &e.to_string())]),
+                }
+            }
             if let Ok(mut msg) = self.fail_msg.lock() {
                 msg.get_or_insert(why);
             }
@@ -380,16 +443,25 @@ impl Registry {
         let sub = self.dir.join(name);
         match Compactor::open(&sub, self.opts.ingest_options()) {
             Ok((c, _resumed)) => {
+                let accepted = c.accepted_events();
                 let h = Arc::new(SourceHandle {
                     name: name.to_owned(),
-                    acked: AtomicU64::new(c.accepted_events()),
-                    segments: AtomicU64::new(0),
+                    acked: AtomicU64::new(accepted),
+                    segments: AtomicU64::new(c.segment_count()),
+                    window_events: AtomicU64::new(c.window_events()),
+                    last_seal_ms: AtomicU64::new(0),
+                    rate: RateEstimator::per_second_window(),
+                    budget_reported: AtomicBool::new(false),
                     compactor: Mutex::new(Some(c)),
                     op_started_ms: AtomicU64::new(0),
                     failed: AtomicBool::new(false),
                     fail_msg: Mutex::new(None),
                 });
                 sources.insert(name.to_owned(), Arc::clone(&h));
+                self.opts.log.info(
+                    "source opened",
+                    &[("source", name), ("accepted", &accepted.to_string())],
+                );
                 Ok(h)
             }
             Err(e) => Err(Frame::Error {
@@ -399,8 +471,28 @@ impl Registry {
         }
     }
 
-    fn busy_reply(&self) -> Frame {
+    fn busy_reply(&self, cause: BusyCause) -> Frame {
         self.busy.fetch_add(1, Ordering::SeqCst);
+        // Blended count plus a per-cause counter, so dashboards can
+        // tell backpressure from contention from chaos drills.
+        let (name, help) = match cause {
+            BusyCause::WindowCap => (
+                "twpp_ingest_busy_window_cap_total",
+                "Busy replies shed because the open window hit its byte cap",
+            ),
+            BusyCause::LockContention => (
+                "twpp_ingest_busy_lock_contention_total",
+                "Busy replies shed because another connection held the source busy",
+            ),
+            BusyCause::InjectedFault => (
+                "twpp_ingest_busy_injected_fault_total",
+                "Busy replies shed by the injected flaky-socket fault plan",
+            ),
+        };
+        self.opts.obs.counter(name, help).inc();
+        if let Some(rec) = &self.opts.flightrec {
+            rec.record("-", "busy", cause.as_str().to_owned());
+        }
         Frame::Busy { retry_after_ms: self.opts.retry_after_ms }
     }
 
@@ -414,7 +506,7 @@ impl Registry {
         // client's replay-from-last-ack then proves zero acknowledged
         // loss under spurious shedding.
         if self.opts.faults.take_net_fault() {
-            return self.busy_reply();
+            return self.busy_reply(BusyCause::InjectedFault);
         }
         let mut guard = match self.compactor_guard(h) {
             Ok(g) => g,
@@ -447,20 +539,24 @@ impl Registry {
         {
             let sealed = self.with_op(h, || c.seal());
             if let Err(e) = sealed {
-                h.mark_failed(format!("seal under backpressure: {e}"), &self.opts.obs);
+                h.mark_failed(format!("seal under backpressure: {e}"), self);
                 return Frame::Error {
                     code: ERR_SOURCE_FAILED,
                     message: h.failure().unwrap_or_default(),
                 };
             }
-            h.segments.store(c.segment_count(), Ordering::SeqCst);
-            return self.busy_reply();
+            self.sync_mirrors(h, c, true);
+            return self.busy_reply(BusyCause::WindowCap);
+        }
+        if let Some(rec) = &self.opts.flightrec {
+            rec.record(&h.name, "feed", format!("offset {offset} +{}", fresh.len()));
         }
         match self.with_op(h, || c.feed(fresh)) {
             Ok(()) => {
                 let acc = c.accepted_events();
                 h.acked.store(acc, Ordering::SeqCst);
-                h.segments.store(c.segment_count(), Ordering::SeqCst);
+                h.rate.record(fresh.len() as u64);
+                self.sync_mirrors(h, c, false);
                 if let Some(why) = h.failure() {
                     // The watchdog fired while we were inside the op.
                     return Frame::Error { code: ERR_SOURCE_FAILED, message: why };
@@ -472,11 +568,37 @@ impl Registry {
                 message: format!("batch rejected (nothing acknowledged): {e}"),
             },
             Err(e) => {
-                h.mark_failed(e.to_string(), &self.opts.obs);
+                h.mark_failed(e.to_string(), self);
                 Frame::Error {
                     code: ERR_SOURCE_FAILED,
                     message: h.failure().unwrap_or_default(),
                 }
+            }
+        }
+    }
+
+    /// Refreshes the lock-free `/status` mirrors from a held compactor
+    /// guard. `sealed` forces the seal clock; otherwise a seal is
+    /// inferred from the segment count moving (seals also fire inside
+    /// `Compactor::feed` on window thresholds).
+    fn sync_mirrors(&self, h: &SourceHandle, c: &Compactor, sealed: bool) {
+        let segments = c.segment_count();
+        let before = h.segments.swap(segments, Ordering::SeqCst);
+        if sealed || before != segments {
+            h.last_seal_ms.store(self.now_ms(), Ordering::SeqCst);
+            if let Some(rec) = &self.opts.flightrec {
+                rec.record(&h.name, "seal", format!("segments {segments}"));
+            }
+        }
+        h.window_events.store(c.window_events(), Ordering::SeqCst);
+        // Budget exhaustion is backpressure, not death — but an operator
+        // should hear about the transition exactly once per source.
+        if c.budget_exhausted() && !h.budget_reported.swap(true, Ordering::SeqCst) {
+            self.opts
+                .log
+                .warn("source budget exhausted", &[("source", &h.name)]);
+            if let Some(rec) = &self.opts.flightrec {
+                rec.record(&h.name, "budget", "envelope exhausted; sealing early".to_owned());
             }
         }
     }
@@ -495,11 +617,11 @@ impl Registry {
         };
         match self.with_op(h, || c.seal()) {
             Ok(_) => {
-                h.segments.store(c.segment_count(), Ordering::SeqCst);
+                self.sync_mirrors(h, c, true);
                 Frame::Ok { accepted: c.accepted_events() }
             }
             Err(e) => {
-                h.mark_failed(format!("seal: {e}"), &self.opts.obs);
+                h.mark_failed(format!("seal: {e}"), self);
                 Frame::Error {
                     code: ERR_SOURCE_FAILED,
                     message: h.failure().unwrap_or_default(),
@@ -517,7 +639,9 @@ impl Registry {
     ) -> Result<std::sync::MutexGuard<'h, Option<Compactor>>, Frame> {
         match h.compactor.try_lock() {
             Ok(g) => Ok(g),
-            Err(std::sync::TryLockError::WouldBlock) => Err(self.busy_reply()),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                Err(self.busy_reply(BusyCause::LockContention))
+            }
             Err(std::sync::TryLockError::Poisoned(_)) => Err(Frame::Error {
                 code: ERR_SOURCE_FAILED,
                 message: format!("{}: compactor poisoned by a panicked operation", h.name),
@@ -545,6 +669,9 @@ fn send_retry(
 /// frames until close, drain, or quarantine.
 fn handle_conn(registry: &Registry, stream: Box<dyn ConnStream>) {
     registry.connections.fetch_add(1, Ordering::SeqCst);
+    if let Some(rec) = &registry.opts.flightrec {
+        rec.record("-", "conn", String::new());
+    }
     let retry = registry.opts.retry;
     let mut framed = FramedStream::new(stream);
     let mut source: Option<Arc<SourceHandle>> = None;
@@ -647,7 +774,7 @@ fn run_tail(registry: &Registry, path: &Path) {
     let mut file = match File::open(path) {
         Ok(f) => f,
         Err(e) => {
-            handle.mark_failed(format!("{}: {e}", path.display()), &registry.opts.obs);
+            handle.mark_failed(format!("{}: {e}", path.display()), registry);
             return;
         }
     };
@@ -673,10 +800,7 @@ fn run_tail(registry: &Registry, path: &Path) {
                 // without a footer is fine; a torn one is a failure).
                 let p = parser.take().unwrap_or_default();
                 if let Err(e) = p.finish(&mut events) {
-                    handle.mark_failed(
-                        format!("{}: {e}", path.display()),
-                        &registry.opts.obs,
-                    );
+                    handle.mark_failed(format!("{}: {e}", path.display()), registry);
                     return;
                 }
                 feed_tail(registry, &handle, &mut fed, &mut events);
@@ -684,7 +808,7 @@ fn run_tail(registry: &Registry, path: &Path) {
             }
             Ok(n) => {
                 if let Err(e) = p.push(&chunk[..n], &mut events) {
-                    handle.mark_failed(format!("{}: {e}", path.display()), &registry.opts.obs);
+                    handle.mark_failed(format!("{}: {e}", path.display()), registry);
                     return;
                 }
                 if events.len() >= 4096 {
@@ -693,7 +817,7 @@ fn run_tail(registry: &Registry, path: &Path) {
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => {
-                handle.mark_failed(format!("{}: {e}", path.display()), &registry.opts.obs);
+                handle.mark_failed(format!("{}: {e}", path.display()), registry);
                 return;
             }
         }
@@ -714,7 +838,7 @@ fn feed_tail(
     let offset = *fed;
     *fed += events.len() as u64;
     let Ok(mut guard) = h.compactor.lock() else {
-        h.mark_failed("compactor poisoned".into(), &registry.opts.obs);
+        h.mark_failed("compactor poisoned".into(), registry);
         return;
     };
     let Some(c) = guard.as_mut() else { return };
@@ -722,7 +846,7 @@ fn feed_tail(
     if offset > acc {
         h.mark_failed(
             format!("tail offset gap: batch at {offset}, durable position {acc}"),
-            &registry.opts.obs,
+            registry,
         );
         events.clear();
         return;
@@ -731,10 +855,11 @@ fn feed_tail(
     if already < events.len() {
         let fresh = &events[already..];
         if let Err(e) = registry.with_op(h, || c.feed(fresh)) {
-            h.mark_failed(e.to_string(), &registry.opts.obs);
+            h.mark_failed(e.to_string(), registry);
         } else {
             h.acked.store(c.accepted_events(), Ordering::SeqCst);
-            h.segments.store(c.segment_count(), Ordering::SeqCst);
+            h.rate.record(fresh.len() as u64);
+            registry.sync_mirrors(h, c, false);
         }
     }
     events.clear();
@@ -754,8 +879,25 @@ pub fn serve(
     shutdown: CancelToken,
     opts: ServeOptions,
 ) -> Result<ServeReport, IngestError> {
+    serve_with_admin(dir, listener, None, shutdown, opts)
+}
+
+/// [`serve`] with an optional admin-plane listener serving `/metrics`
+/// (Prometheus text), `/status` (the schema-v1 JSON document, DESIGN.md
+/// §18) and `/healthz` over minimal HTTP/1.0. `None` spawns no extra
+/// thread and leaves the daemon byte-identical to the plain [`serve`].
+pub fn serve_with_admin(
+    dir: &Path,
+    listener: ServeListener,
+    admin: Option<ServeListener>,
+    shutdown: CancelToken,
+    opts: ServeOptions,
+) -> Result<ServeReport, IngestError> {
     fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
     listener.set_nonblocking().map_err(|e| IngestError::Io(format!("listener: {e}")))?;
+    if let Some(a) = &admin {
+        a.set_nonblocking().map_err(|e| IngestError::Io(format!("admin listener: {e}")))?;
+    }
     let registry = Registry {
         dir: dir.to_path_buf(),
         start: Instant::now(),
@@ -788,11 +930,19 @@ pub fn serve(
         // A damaged source directory must not kill the daemon: record
         // it as a failed source and keep serving the others.
         if let Err(Frame::Error { message, .. }) = registry.get_or_create(name) {
+            registry.opts.log.error(
+                "source damaged on startup",
+                &[("source", name), ("why", &message)],
+            );
             let h = Arc::new(SourceHandle {
                 name: name.clone(),
                 compactor: Mutex::new(None),
                 acked: AtomicU64::new(0),
                 segments: AtomicU64::new(0),
+                window_events: AtomicU64::new(0),
+                last_seal_ms: AtomicU64::new(0),
+                rate: RateEstimator::per_second_window(),
+                budget_reported: AtomicBool::new(false),
                 op_started_ms: AtomicU64::new(0),
                 failed: AtomicBool::new(true),
                 fail_msg: Mutex::new(Some(message)),
@@ -810,10 +960,39 @@ pub fn serve(
             }
         }
     }
+    registry.opts.log.info(
+        "daemon started",
+        &[
+            ("dir", &dir.display().to_string()),
+            ("listen", &listener.local_addr()),
+            ("sources_resumed", &preexisting.len().to_string()),
+        ],
+    );
 
     let poll = Duration::from_millis(registry.opts.poll_ms.max(1));
     let watchdog_done = AtomicBool::new(false);
+    let admin_done = AtomicBool::new(false);
     let report = std::thread::scope(|scope| {
+        // Admin plane: serve /metrics, /status and /healthz until the
+        // report is built, so scrapes observe the finish phase too.
+        // Requests touch only atomics, the sources map and the metrics
+        // registry — never a compactor lock — so a scrape can't stall
+        // (or be stalled by) a wedged seal.
+        if let Some(admin_listener) = admin {
+            let r = &registry;
+            let done = &admin_done;
+            scope.spawn(move || {
+                let tick = Duration::from_millis(250);
+                while !done.load(Ordering::SeqCst) {
+                    match admin_listener.accept(tick) {
+                        Ok(Some(stream)) => handle_admin_conn(r, stream),
+                        Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                        Err(_) => std::thread::sleep(tick),
+                    }
+                }
+            });
+        }
+
         // Watchdog: fail a source whose in-flight durable operation has
         // exceeded the wedge deadline, in isolation.
         let wd_registry = &registry;
@@ -837,7 +1016,7 @@ pub fn serve(
                                 "watchdog: durable operation wedged past {} ms",
                                 wd_registry.opts.wedge_ms
                             ),
-                            &wd_registry.opts.obs,
+                            wd_registry,
                         );
                     }
                 }
@@ -867,6 +1046,7 @@ pub fn serve(
             }
         }
         drop(listener);
+        registry.opts.log.info("draining", &[]);
         for w in workers {
             let _ = w.join();
         }
@@ -908,22 +1088,33 @@ pub fn serve(
                                 report.merged = Some(fin.path);
                             }
                             Err(e) => {
-                                h.mark_failed(format!("drain merge: {e}"), &registry.opts.obs);
+                                h.mark_failed(format!("drain merge: {e}"), &registry);
                             }
                         }
                     }
                 }
                 report.failed = h.failure();
             }
+            registry.opts.log.info(
+                "source drained",
+                &[
+                    ("source", &report.name),
+                    ("events", &report.events.to_string()),
+                    ("segments", &report.segments.to_string()),
+                    ("failed", report.failed.as_deref().unwrap_or("-")),
+                ],
+            );
             sources.push(report);
         }
-        ServeReport {
+        let report = ServeReport {
             sources,
             connections: registry.connections.load(Ordering::SeqCst),
             frames: registry.frames.load(Ordering::SeqCst),
             busy_responses: registry.busy.load(Ordering::SeqCst),
             quarantined: registry.quarantined.load(Ordering::SeqCst),
-        }
+        };
+        admin_done.store(true, Ordering::SeqCst);
+        report
     });
     let obs = &registry.opts.obs;
     obs.counter("twpp_ingest_serve_connections_total", "connections accepted")
@@ -940,7 +1131,154 @@ pub fn serve(
         "connections quarantined for protocol violations",
     )
     .add(report.quarantined);
+    registry.opts.log.info(
+        "daemon drained",
+        &[
+            ("sources", &report.sources.len().to_string()),
+            ("connections", &report.connections.to_string()),
+            ("clean", if report.all_clean() { "true" } else { "false" }),
+        ],
+    );
     Ok(report)
+}
+
+/// The version of the `/status` JSON document.
+pub const STATUS_SCHEMA_VERSION: u64 = 1;
+
+/// Builds the `/status` document (schema v1, DESIGN.md §18). Reads only
+/// atomics and the sources-map lock — never a compactor mutex — so it
+/// stays responsive while a source is mid-seal or wedged.
+fn status_json(registry: &Registry) -> String {
+    let handles: Vec<Arc<SourceHandle>> = {
+        let mut v: Vec<_> = registry
+            .sources
+            .lock()
+            .map(|g| g.values().cloned().collect())
+            .unwrap_or_default();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    };
+    let now = registry.now_ms();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("status_schema_version");
+    w.uint(STATUS_SCHEMA_VERSION);
+    w.key("command");
+    w.string("serve-ingest");
+    w.key("uptime_ms");
+    w.uint(registry.start.elapsed().as_millis() as u64);
+    w.key("draining");
+    w.boolean(registry.draining());
+    w.key("connections_total");
+    w.uint(registry.connections.load(Ordering::SeqCst));
+    w.key("frames_total");
+    w.uint(registry.frames.load(Ordering::SeqCst));
+    w.key("busy_total");
+    w.uint(registry.busy.load(Ordering::SeqCst));
+    w.key("quarantined_total");
+    w.uint(registry.quarantined.load(Ordering::SeqCst));
+    w.key("sources");
+    w.begin_array();
+    for h in &handles {
+        let started = h.op_started_ms.load(Ordering::SeqCst);
+        w.begin_object();
+        w.key("name");
+        w.string(&h.name);
+        w.key("durable_events");
+        w.uint(h.acked.load(Ordering::SeqCst));
+        w.key("window_events");
+        w.uint(h.window_events.load(Ordering::SeqCst));
+        w.key("segments");
+        w.uint(h.segments.load(Ordering::SeqCst));
+        w.key("last_seal_ms");
+        w.uint(h.last_seal_ms.load(Ordering::SeqCst));
+        w.key("events_per_sec");
+        w.float(h.rate.per_second());
+        w.key("in_op_ms");
+        w.uint(if started == 0 { 0 } else { now.saturating_sub(started) });
+        w.key("failed");
+        w.boolean(h.failed.load(Ordering::SeqCst));
+        w.key("failure");
+        match h.failure() {
+            Some(why) => w.string(&why),
+            None => w.null(),
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Serves one admin-plane request: parse the GET line, route, reply,
+/// close. Runs inline on the admin accept thread — requests are a few
+/// hundred bytes and responses one registry snapshot, so a dedicated
+/// thread per scrape would buy nothing.
+fn handle_admin_conn(registry: &Registry, mut stream: Box<dyn ConnStream>) {
+    let path = match http_read_request_path(&mut stream) {
+        Ok(p) => p,
+        Err(_) => {
+            let _ = http_write_response(&mut stream, 400, "Bad Request", "text/plain", b"bad request\n");
+            return;
+        }
+    };
+    let result = match path.as_str() {
+        "/metrics" => {
+            // Daemon-level gauges are refreshed per scrape, so an idle
+            // daemon still exposes a non-empty, parseable document.
+            // Per-source detail lives in /status (gauge names must be
+            // static; source names are not).
+            let obs = &registry.opts.obs;
+            obs.gauge("twpp_ingest_uptime_ms", "Milliseconds since daemon start")
+                .set(registry.now_ms() as i64);
+            obs.gauge("twpp_ingest_draining", "1 once drain has begun")
+                .set(registry.draining() as i64);
+            let (sources, failed) = registry
+                .sources
+                .lock()
+                .map(|g| {
+                    let failed =
+                        g.values().filter(|h| h.failed.load(Ordering::SeqCst)).count();
+                    (g.len(), failed)
+                })
+                .unwrap_or((0, 0));
+            obs.gauge("twpp_ingest_sources", "Sources currently registered")
+                .set(sources as i64);
+            obs.gauge("twpp_ingest_sources_failed", "Sources failed by the watchdog")
+                .set(failed as i64);
+            http_write_response(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                obs.prometheus_text().as_bytes(),
+            )
+        }
+        "/status" => http_write_response(
+            &mut stream,
+            200,
+            "OK",
+            "application/json",
+            status_json(registry).as_bytes(),
+        ),
+        "/healthz" => {
+            let wedged = registry
+                .sources
+                .lock()
+                .map(|g| g.values().any(|h| h.failed.load(Ordering::SeqCst)))
+                .unwrap_or(true);
+            let (status, reason, body) = if registry.draining() {
+                (503, "Service Unavailable", &b"draining\n"[..])
+            } else if wedged {
+                (503, "Service Unavailable", &b"degraded\n"[..])
+            } else {
+                (200, "OK", &b"ok\n"[..])
+            };
+            http_write_response(&mut stream, status, reason, "text/plain", body)
+        }
+        _ => http_write_response(&mut stream, 404, "Not Found", "text/plain", b"not found\n"),
+    };
+    let _ = result;
 }
 
 #[cfg(test)]
@@ -1237,5 +1575,220 @@ mod tests {
         assert_eq!(tail_source_name(Path::new("/x/feed-a.wpp")), "feed-a");
         assert_eq!(tail_source_name(Path::new("/x/häßlich name.wpp")), "h__lich_name");
         assert_eq!(tail_source_name(Path::new("/x/.hidden")), "t.hidden");
+    }
+
+    /// Spawns a daemon with the admin plane up; returns
+    /// (ingest addr, admin addr, join-handle).
+    fn spawn_admin_daemon(
+        dir: &Path,
+        opts: ServeOptions,
+        shutdown: CancelToken,
+    ) -> (String, String, std::thread::JoinHandle<ServeReport>) {
+        let listener = ServeListener::bind("tcp:127.0.0.1:0").unwrap();
+        let admin = ServeListener::bind("tcp:127.0.0.1:0").unwrap();
+        let addr = listener.local_addr();
+        let admin_addr = admin.local_addr();
+        let dir = dir.to_path_buf();
+        let handle = std::thread::spawn(move || {
+            serve_with_admin(&dir, listener, Some(admin), shutdown, opts).unwrap()
+        });
+        (addr, admin_addr, handle)
+    }
+
+    /// Golden schema check for one /status document (schema v1).
+    fn assert_status_schema(text: &str) -> crate::obs::Json {
+        let doc = crate::obs::parse_json(text).unwrap();
+        assert_eq!(
+            doc.get("status_schema_version").unwrap().as_num().unwrap(),
+            STATUS_SCHEMA_VERSION as f64
+        );
+        assert_eq!(doc.get("command").unwrap().as_str().unwrap(), "serve-ingest");
+        for key in [
+            "uptime_ms",
+            "connections_total",
+            "frames_total",
+            "busy_total",
+            "quarantined_total",
+        ] {
+            assert!(doc.get(key).unwrap().as_num().is_some(), "{key} must be a number");
+        }
+        assert!(doc.get("draining").unwrap().as_bool().is_some());
+        for s in doc.get("sources").unwrap().as_arr().unwrap() {
+            assert!(s.get("name").unwrap().as_str().is_some());
+            for key in [
+                "durable_events",
+                "window_events",
+                "segments",
+                "last_seal_ms",
+                "events_per_sec",
+                "in_op_ms",
+            ] {
+                assert!(s.get(key).unwrap().as_num().is_some(), "{key} must be a number");
+            }
+            assert!(s.get("failed").unwrap().as_bool().is_some());
+            assert!(s.get("failure").is_some());
+        }
+        doc
+    }
+
+    #[test]
+    fn admin_plane_serves_metrics_status_and_healthz() {
+        let root = tmp_dir("admin");
+        let serve_dir = root.join("serve");
+        let mut opts = small_opts();
+        opts.obs = Obs::collecting();
+        opts.flightrec = Some(Arc::new(FlightRecorder::new(64)));
+        let events = workload(200);
+        let (addr, admin, daemon) = spawn_admin_daemon(&serve_dir, opts, CancelToken::new());
+
+        let mut client = Client::hello(connect(&addr), "adm-src").unwrap();
+        for batch in events.chunks(37) {
+            client.send_events(batch, &Retry::new(8, 1, 4, 7)).unwrap();
+        }
+
+        // /healthz while serving.
+        let (code, body) = crate::net::http_get(&admin, "/healthz").unwrap();
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+        // /metrics parses under the strict exposition parser.
+        let (code, text) = crate::net::http_get(&admin, "/metrics").unwrap();
+        assert_eq!(code, 200);
+        let families = crate::obs::parse_prometheus_text(&text).unwrap();
+        assert!(
+            families.iter().any(|f| f.name == "twpp_core_ingest_events_total"),
+            "ingest counters must be live: {text}"
+        );
+        assert!(
+            families.iter().any(|f| f.name == "twpp_core_ingest_wal_append_us"
+                && f.kind == "histogram"),
+            "latency histograms must be exposed"
+        );
+        // /status matches the golden schema and reflects the source.
+        let (code, status) = crate::net::http_get(&admin, "/status").unwrap();
+        assert_eq!(code, 200);
+        let doc = assert_status_schema(&status);
+        let sources = doc.get("sources").unwrap().as_arr().unwrap().to_vec();
+        assert_eq!(sources.len(), 1);
+        let s = &sources[0];
+        assert_eq!(s.get("name").unwrap().as_str().unwrap(), "adm-src");
+        assert_eq!(
+            s.get("durable_events").unwrap().as_num().unwrap(),
+            events.len() as f64
+        );
+        assert!(!s.get("failed").unwrap().as_bool().unwrap());
+        // Unknown paths 404; the daemon keeps serving.
+        let (code, _) = crate::net::http_get(&admin, "/nope").unwrap();
+        assert_eq!(code, 404);
+
+        client.drain().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(report.all_clean(), "{report:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn status_scrape_never_waits_on_a_held_compactor_lock() {
+        let root = tmp_dir("scrape");
+        let serve_dir = root.join("serve");
+        let mut opts = small_opts();
+        // Every seal sleeps 300 ms with the compactor mutex held; the
+        // watchdog deadline is far away, so the source stays healthy
+        // and busy. Scrapes must not queue behind that lock.
+        opts.faults = FaultPlan::delay(300);
+        opts.wedge_ms = 60_000;
+        let (addr, admin, daemon) = spawn_admin_daemon(&serve_dir, opts, CancelToken::new());
+
+        let events = workload(400);
+        let feeder = std::thread::spawn(move || {
+            let mut client = Client::hello(connect(&addr), "slow").unwrap();
+            for batch in events.chunks(64) {
+                let _ = client.send_events(batch, &Retry::new(16, 1, 4, 21));
+            }
+            let _ = client.drain();
+        });
+        // Scrape repeatedly while seals are sleeping on the lock.
+        for _ in 0..10 {
+            let begin = Instant::now();
+            let (code, status) = crate::net::http_get(&admin, "/status").unwrap();
+            assert_eq!(code, 200);
+            assert_status_schema(&status);
+            assert!(
+                begin.elapsed() < Duration::from_millis(250),
+                "a /status scrape must not block on the compactor ({}ms)",
+                begin.elapsed().as_millis()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        feeder.join().unwrap();
+        daemon.join().unwrap();
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn watchdog_failure_dumps_a_parseable_flight_recorder() {
+        let root = tmp_dir("flightrec");
+        let serve_dir = root.join("serve");
+        let mut opts = small_opts();
+        opts.faults = FaultPlan::delay(400);
+        opts.wedge_ms = 80;
+        opts.flightrec = Some(Arc::new(FlightRecorder::new(128)));
+        let (addr, admin, daemon) = spawn_admin_daemon(&serve_dir, opts, CancelToken::new());
+        let mut client = Client::hello(connect(&addr), "doomed").unwrap();
+        let events = workload(300);
+        for batch in events.chunks(64) {
+            if client.send_events(batch, &Retry::new(4, 1, 4, 5)).is_err() {
+                break;
+            }
+        }
+        // Wait until the watchdog flags the source in /status.
+        let mut flagged = false;
+        for _ in 0..100 {
+            let (_, status) = crate::net::http_get(&admin, "/status").unwrap();
+            let doc = assert_status_schema(&status);
+            let sources = doc.get("sources").unwrap().as_arr().unwrap().to_vec();
+            if sources.iter().any(|s| s.get("failed").unwrap().as_bool() == Some(true)) {
+                flagged = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        assert!(flagged, "/status must flag the wedged source");
+        // A wedged source means /healthz degrades.
+        let (code, body) = crate::net::http_get(&admin, "/healthz").unwrap();
+        assert_eq!((code, body.as_str()), (503, "degraded\n"));
+        // The dump is on disk and parseable, with the failure recorded.
+        let dumps: Vec<PathBuf> = fs::read_dir(&serve_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("flightrec-") && n.ends_with(".json"))
+            })
+            .collect();
+        assert!(!dumps.is_empty(), "watchdog failure must dump the flight recorder");
+        let doc = crate::obs::parse_json(&fs::read_to_string(&dumps[0]).unwrap()).unwrap();
+        assert_eq!(doc.get("flightrec_version").unwrap().as_num().unwrap(), 1.0);
+        let records = doc.get("records").unwrap().as_arr().unwrap().to_vec();
+        assert!(!records.is_empty());
+        assert!(
+            records.iter().any(|r| r.get("op").unwrap().as_str() == Some("failed")),
+            "the failure itself must be the ring's last act"
+        );
+        drop(client);
+        let mut ok = Client::hello(connect(&addr), "healthy").unwrap();
+        ok.send_events(
+            &[
+                WppEvent::Enter(FuncId::from_index(0)),
+                WppEvent::Block(BlockId::new(1)),
+                WppEvent::Exit,
+            ],
+            &Retry::new(8, 1, 4, 11),
+        )
+        .unwrap();
+        ok.drain().unwrap();
+        let report = daemon.join().unwrap();
+        assert!(!report.all_clean());
+        let _ = fs::remove_dir_all(&root);
     }
 }

@@ -52,7 +52,9 @@ pub use dcg::{Dcg, DcgNode, DcgNodeId};
 pub use dedup::{eliminate_redundancy, eliminate_redundancy_threads, RedundancyStats};
 pub use gov::{Budget, CancelToken, FaultPlan, Limits, Retry, RetryExhausted, StopReason};
 pub use obs::{
-    validate_report_json, MetricsSnapshot, Obs, RunOutcome, RunReport, REPORT_SCHEMA_VERSION,
+    parse_prometheus_text, validate_report_json, FlightRecorder, LogLevel, Logger,
+    MetricsSnapshot, Obs, PromFamily, RateEstimator, RunOutcome, RunReport,
+    REPORT_SCHEMA_VERSION,
 };
 pub use par::{default_threads, map_indexed_isolated, resolve_threads, WorkerReport};
 pub use ingest::{Compactor, FinishReport, IngestError, IngestOptions, ResumeReport, WalError};

@@ -538,6 +538,144 @@ impl<S: Read + Write> Client<S> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Minimal HTTP/1.0 helpers (the daemon's admin plane)
+// ---------------------------------------------------------------------------
+//
+// The admin listener speaks just enough HTTP/1.0 for `curl`, Prometheus
+// scrapers and `twpp status`: one GET request per connection, a fixed
+// response, `Connection: close`. No keep-alive, no chunking, no TLS —
+// anything beyond a two-token GET line is refused, which keeps the
+// parser too small to be attack surface.
+
+/// Cap on an accepted HTTP request head; the admin plane serves short
+/// GET lines, anything larger is hostile, not a request.
+pub const MAX_HTTP_HEAD: usize = 8192;
+
+/// Reads one HTTP request head from `stream` and returns the request
+/// path of a well-formed `GET <path> HTTP/1.x` line.
+///
+/// # Errors
+///
+/// [`NetError::Io`] on transport failure, [`NetError::BadPayload`] for
+/// anything that is not a plain GET (wrong method, oversized head,
+/// malformed request line).
+pub fn http_read_request_path<S: Read>(stream: &mut S) -> Result<String, NetError> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if head.len() > MAX_HTTP_HEAD {
+            return Err(NetError::BadPayload("oversized HTTP request head".into()));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(NetError::Io(e.to_string())),
+        }
+    }
+    let text = std::str::from_utf8(&head)
+        .map_err(|_| NetError::BadPayload("HTTP request head is not UTF-8".into()))?;
+    let line = text.lines().next().unwrap_or("");
+    let mut words = line.split_whitespace();
+    match (words.next(), words.next(), words.next(), words.next()) {
+        (Some("GET"), Some(path), Some(version), None)
+            if path.starts_with('/') && version.starts_with("HTTP/") =>
+        {
+            Ok(path.to_owned())
+        }
+        _ => Err(NetError::BadPayload(format!("not a plain HTTP GET: {line:?}"))),
+    }
+}
+
+/// Writes a complete HTTP/1.0 response (status line, `Content-Type`,
+/// `Content-Length`, `Connection: close`, body) and flushes.
+///
+/// # Errors
+///
+/// [`NetError::Io`] if the transport fails.
+pub fn http_write_response<S: Write>(
+    stream: &mut S,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> Result<(), NetError> {
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| NetError::Io(e.to_string()))
+}
+
+/// Fetches `path` from an admin listener at `addr` and returns
+/// `(status, body)`. `addr` uses the same spec grammar as the daemon's
+/// listeners: `tcp:host:port` (or a bare `host:port`) and, on Unix,
+/// `unix:/path/to.sock`.
+///
+/// # Errors
+///
+/// [`NetError::Io`] on connect/transport failure, or
+/// [`NetError::BadPayload`] when the peer's reply is not an HTTP
+/// response.
+pub fn http_get(addr: &str, path: &str) -> Result<(u16, String), NetError> {
+    let request = format!("GET {path} HTTP/1.0\r\nHost: twpp-admin\r\nConnection: close\r\n\r\n");
+    let raw = if let Some(sock) = addr.strip_prefix("unix:") {
+        #[cfg(unix)]
+        {
+            let mut stream = std::os::unix::net::UnixStream::connect(sock)
+                .map_err(|e| NetError::Io(format!("connect {sock}: {e}")))?;
+            http_exchange(&mut stream, &request)?
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(NetError::Io(format!(
+                "unix sockets are unsupported on this platform: {sock}"
+            )));
+        }
+    } else {
+        let tcp = addr.strip_prefix("tcp:").unwrap_or(addr);
+        let mut stream = std::net::TcpStream::connect(tcp)
+            .map_err(|e| NetError::Io(format!("connect {tcp}: {e}")))?;
+        http_exchange(&mut stream, &request)?
+    };
+    parse_http_response(&raw)
+}
+
+fn http_exchange<S: Read + Write>(stream: &mut S, request: &str) -> Result<Vec<u8>, NetError> {
+    stream
+        .write_all(request.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| NetError::Io(e.to_string()))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| NetError::Io(e.to_string()))?;
+    Ok(raw)
+}
+
+fn parse_http_response(raw: &[u8]) -> Result<(u16, String), NetError> {
+    let text = String::from_utf8_lossy(raw);
+    let line = text.lines().next().unwrap_or("");
+    let status = line
+        .strip_prefix("HTTP/")
+        .and_then(|rest| rest.split_whitespace().nth(1))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| NetError::BadPayload(format!("not an HTTP response: {line:?}")))?;
+    let body = match text.split_once("\r\n\r\n").or_else(|| text.split_once("\n\n")) {
+        Some((_, body)) => body.to_owned(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -671,5 +809,38 @@ mod tests {
             assert_eq!(fs.recv().unwrap(), expect);
         }
         assert_eq!(fs.recv(), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn http_request_line_parses_and_rejects() {
+        let mut req: &[u8] = b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n";
+        assert_eq!(http_read_request_path(&mut req).unwrap(), "/metrics");
+        // Bare LF line endings are tolerated.
+        let mut req: &[u8] = b"GET /status HTTP/1.1\nAccept: */*\n\n";
+        assert_eq!(http_read_request_path(&mut req).unwrap(), "/status");
+        for bad in [
+            &b"POST /metrics HTTP/1.0\r\n\r\n"[..],
+            &b"GET metrics HTTP/1.0\r\n\r\n"[..],
+            &b"GARBAGE\r\n\r\n"[..],
+        ] {
+            let mut r = bad;
+            assert!(matches!(
+                http_read_request_path(&mut r),
+                Err(NetError::BadPayload(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn http_response_round_trips_through_the_parser() {
+        let mut wire = Vec::new();
+        http_write_response(&mut wire, 200, "OK", "application/json", b"{\"a\":1}").unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        let (status, body) = parse_http_response(&wire).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"a\":1}");
+        assert!(parse_http_response(b"TWPN junk").is_err());
     }
 }

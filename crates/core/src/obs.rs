@@ -252,11 +252,12 @@ impl MetricsSnapshot {
 
     /// Prometheus text exposition format (version 0.0.4): `# HELP` /
     /// `# TYPE` preamble plus one value line per series, metrics in
-    /// name order. Deterministic for a given snapshot.
+    /// name order, HELP text escaped per the exposition spec.
+    /// Deterministic for a given snapshot.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
         for s in &self.samples {
-            let _ = writeln!(out, "# HELP {} {}", s.name, s.help);
+            let _ = writeln!(out, "# HELP {} {}", s.name, escape_prometheus_help(&s.help));
             match &s.value {
                 SampleValue::Counter(v) => {
                     let _ = writeln!(out, "# TYPE {} counter", s.name);
@@ -350,6 +351,250 @@ impl MetricsSnapshot {
         }
         w.end_object();
     }
+}
+
+/// Escapes a `# HELP` line per the Prometheus text exposition format:
+/// `\` becomes `\\` and a newline becomes `\n`.
+pub fn escape_prometheus_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label *value* per the Prometheus text exposition format:
+/// `\`, `"` and newline become `\\`, `\"` and `\n`.
+pub fn escape_prometheus_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether `name` is a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// One metric family parsed from Prometheus exposition text.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PromFamily {
+    /// The family name (`_bucket`/`_sum`/`_count` suffixes stripped for
+    /// histograms).
+    pub name: String,
+    /// The `# TYPE` (`counter`, `gauge` or `histogram`).
+    pub kind: String,
+    /// Sample lines: `(series name, label text or empty, value)`.
+    pub samples: Vec<(String, String, f64)>,
+}
+
+/// A **strict** parser for the subset of the Prometheus text exposition
+/// format this crate emits, used by tests and CI to validate live
+/// `/metrics` scrapes. Enforced, beyond syntactic well-formedness:
+///
+/// * every sample belongs to a family announced by `# HELP` then
+///   `# TYPE` (in that order), with a legal metric name and a known
+///   type;
+/// * family names are unique and strictly ascending (the registry
+///   snapshots in name order);
+/// * histogram families carry a complete series set: cumulative
+///   monotone `_bucket` lines ending in `le="+Inf"`, plus `_sum` and
+///   `_count`, with `_count` equal to the `+Inf` bucket;
+/// * every value parses as a number; no garbage or orphan lines.
+///
+/// # Errors
+///
+/// The first violated constraint, naming the (1-based) line.
+pub fn parse_prometheus_text(text: &str) -> Result<Vec<PromFamily>, String> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    // The family currently being declared: set by HELP, typed by TYPE.
+    let mut pending_help: Option<String> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) = rest
+                .split_once(' ')
+                .ok_or(format!("line {lineno}: HELP without help text"))?;
+            if !valid_metric_name(name) {
+                return Err(format!("line {lineno}: invalid metric name {name:?}"));
+            }
+            if let Some(last) = families.last() {
+                if name <= last.name.as_str() {
+                    return Err(format!(
+                        "line {lineno}: family {name:?} out of order after {:?}",
+                        last.name
+                    ));
+                }
+            }
+            if pending_help.is_some() {
+                return Err(format!("line {lineno}: HELP for {name:?} before TYPE of previous family"));
+            }
+            pending_help = Some(name.to_owned());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or(format!("line {lineno}: TYPE without a type"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {lineno}: unknown type {kind:?}"));
+            }
+            match pending_help.take() {
+                Some(h) if h == name => {}
+                Some(h) => {
+                    return Err(format!(
+                        "line {lineno}: TYPE names {name:?} but HELP named {h:?}"
+                    ))
+                }
+                None => return Err(format!("line {lineno}: TYPE {name:?} without preceding HELP")),
+            }
+            families.push(PromFamily {
+                name: name.to_owned(),
+                kind: kind.to_owned(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {lineno}: unknown comment directive"));
+        }
+        // A sample line: name[{labels}] value
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {lineno}: sample line without a value"))?;
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {lineno}: unparsable value {v:?}"))?,
+        };
+        let (series_name, labels) = match series.split_once('{') {
+            None => (series, ""),
+            Some((n, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or(format!("line {lineno}: unterminated label set"))?;
+                (n, labels)
+            }
+        };
+        if !valid_metric_name(series_name) {
+            return Err(format!("line {lineno}: invalid series name {series_name:?}"));
+        }
+        let family = families
+            .last_mut()
+            .ok_or(format!("line {lineno}: sample before any HELP/TYPE"))?;
+        let belongs = if family.kind == "histogram" {
+            series_name
+                .strip_prefix(family.name.as_str())
+                .is_some_and(|suffix| matches!(suffix, "_bucket" | "_sum" | "_count"))
+        } else {
+            series_name == family.name
+        };
+        if !belongs {
+            return Err(format!(
+                "line {lineno}: series {series_name:?} does not belong to family {:?}",
+                family.name
+            ));
+        }
+        family
+            .samples
+            .push((series_name.to_owned(), labels.to_owned(), value));
+    }
+    if let Some(h) = pending_help {
+        return Err(format!("HELP {h:?} at end of input without TYPE"));
+    }
+    for family in &families {
+        validate_family(family)?;
+    }
+    Ok(families)
+}
+
+fn validate_family(family: &PromFamily) -> Result<(), String> {
+    let name = &family.name;
+    if family.kind != "histogram" {
+        if family.samples.len() != 1 {
+            return Err(format!(
+                "{name}: {} must have exactly one sample, found {}",
+                family.kind,
+                family.samples.len()
+            ));
+        }
+        return Ok(());
+    }
+    let mut buckets: Vec<(&str, f64)> = Vec::new();
+    let mut sum = None;
+    let mut count = None;
+    for (series, labels, value) in &family.samples {
+        match series.strip_prefix(name.as_str()) {
+            Some("_bucket") => {
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|l| l.strip_suffix('"'))
+                    .ok_or(format!("{name}: _bucket without an le label: {labels:?}"))?;
+                buckets.push((le, *value));
+            }
+            Some("_sum") => sum = Some(*value),
+            Some("_count") => count = Some(*value),
+            _ => return Err(format!("{name}: unexpected series {series:?}")),
+        }
+    }
+    if buckets.is_empty() {
+        return Err(format!("{name}: histogram without _bucket lines"));
+    }
+    let (last_le, inf_count) = buckets[buckets.len() - 1];
+    if last_le != "+Inf" {
+        return Err(format!("{name}: final bucket must be le=\"+Inf\", found le={last_le:?}"));
+    }
+    let mut prev_le = f64::NEG_INFINITY;
+    let mut prev_count = 0.0f64;
+    for (le, bucket_count) in &buckets {
+        let bound = if *le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse::<f64>()
+                .map_err(|_| format!("{name}: unparsable le bound {le:?}"))?
+        };
+        if bound <= prev_le {
+            return Err(format!("{name}: bucket bounds not strictly increasing at le={le:?}"));
+        }
+        if *bucket_count < prev_count {
+            return Err(format!("{name}: bucket counts not cumulative at le={le:?}"));
+        }
+        prev_le = bound;
+        prev_count = *bucket_count;
+    }
+    let sum = sum.ok_or(format!("{name}: histogram missing _sum"))?;
+    let count = count.ok_or(format!("{name}: histogram missing _count"))?;
+    if count != inf_count {
+        return Err(format!(
+            "{name}: _count {count} does not equal the +Inf bucket {inf_count}"
+        ));
+    }
+    if count == 0.0 && sum != 0.0 {
+        return Err(format!("{name}: empty histogram with non-zero _sum"));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -629,6 +874,402 @@ impl Obs {
 /// (the Chrome trace-event unit).
 fn format_us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+// ---------------------------------------------------------------------------
+// Sliding-window rate estimator
+// ---------------------------------------------------------------------------
+
+/// A sliding-window events-per-second estimator for long-lived daemons.
+///
+/// Counts are bucketed into `buckets` slots of `bucket_ms` each; the
+/// rate is the sum over the most recent full window divided by its
+/// span. Recording is lock-free (one atomic add, plus one stamp CAS
+/// when a slot is recycled), so it can sit on the daemon's hot feed
+/// path. Precision is deliberately coarse: a slot that straddles a
+/// concurrent recycle may drop a sample, which for an operational
+/// gauge is the right trade.
+#[derive(Debug)]
+pub struct RateEstimator {
+    epoch: Instant,
+    bucket_ms: u64,
+    /// Per-slot count and the window index it belongs to. A slot whose
+    /// stamp is older than the current window is logically empty.
+    counts: Vec<AtomicU64>,
+    stamps: Vec<AtomicU64>,
+}
+
+impl RateEstimator {
+    /// An estimator over `buckets` slots of `bucket_ms` milliseconds
+    /// each (both clamped to at least 1). The default daemon
+    /// configuration is ten one-second buckets.
+    pub fn new(buckets: usize, bucket_ms: u64) -> RateEstimator {
+        let buckets = buckets.max(1);
+        RateEstimator {
+            epoch: Instant::now(),
+            bucket_ms: bucket_ms.max(1),
+            counts: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            stamps: (0..buckets).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        }
+    }
+
+    /// The default daemon configuration: a 10-second window of
+    /// one-second buckets.
+    pub fn per_second_window() -> RateEstimator {
+        RateEstimator::new(10, 1000)
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Records `n` events now.
+    pub fn record(&self, n: u64) {
+        self.record_at_ms(self.now_ms(), n);
+    }
+
+    /// Events per second over the trailing window.
+    pub fn per_second(&self) -> f64 {
+        self.rate_at_ms(self.now_ms())
+    }
+
+    /// Deterministic core of [`RateEstimator::record`], driven by an
+    /// explicit clock for tests.
+    pub fn record_at_ms(&self, now_ms: u64, n: u64) {
+        let idx = now_ms / self.bucket_ms;
+        let slot = (idx as usize) % self.counts.len();
+        let stamp = self.stamps[slot].load(Ordering::Acquire);
+        if stamp != idx {
+            // Recycle the slot for the new window index. Exactly one
+            // racer wins the CAS and zeroes the count; losers just add
+            // into the freshly-stamped slot.
+            if self.stamps[slot]
+                .compare_exchange(stamp, idx, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.counts[slot].store(0, Ordering::Release);
+            }
+        }
+        self.counts[slot].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Deterministic core of [`RateEstimator::per_second`].
+    pub fn rate_at_ms(&self, now_ms: u64) -> f64 {
+        let idx = now_ms / self.bucket_ms;
+        let window = self.counts.len() as u64;
+        let mut total = 0u64;
+        for slot in 0..self.counts.len() {
+            let stamp = self.stamps[slot].load(Ordering::Acquire);
+            // Count only slots inside the trailing window (including
+            // the currently-filling bucket).
+            if stamp != u64::MAX && stamp <= idx && idx - stamp < window {
+                total += self.counts[slot].load(Ordering::Relaxed);
+            }
+        }
+        // The observable span: full window once warmed up, else the
+        // time actually elapsed (so early rates are not diluted).
+        let span_ms = (window * self.bucket_ms).min(now_ms.max(self.bucket_ms));
+        total as f64 * 1000.0 / span_ms as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leveled structured JSONL logger
+// ---------------------------------------------------------------------------
+
+/// Log severity, ordered. A [`Logger`] drops records below its
+/// configured minimum.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LogLevel {
+    /// Verbose diagnostics.
+    Debug,
+    /// Normal operational events.
+    Info,
+    /// Something degraded but the daemon continues.
+    Warn,
+    /// A failure that cost work (a failed source, an aborted run).
+    Error,
+}
+
+impl LogLevel {
+    /// Stable lowercase form used in log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Debug => "debug",
+            LogLevel::Info => "info",
+            LogLevel::Warn => "warn",
+            LogLevel::Error => "error",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LoggerInner {
+    path: std::path::PathBuf,
+    max_bytes: u64,
+    min_level: LogLevel,
+    state: Mutex<LoggerState>,
+}
+
+#[derive(Debug)]
+struct LoggerState {
+    file: Option<std::fs::File>,
+    written: u64,
+}
+
+/// A leveled structured logger writing one JSON object per line
+/// (JSONL), with size-based rotation to a single `.1` sibling. The
+/// noop logger (the [`Default`]) allocates nothing and reduces every
+/// call to one branch — exactly the [`Obs`] discipline. Logging
+/// failures are swallowed: observability must never take down the
+/// daemon it observes.
+///
+/// Line grammar (DESIGN.md §18):
+///
+/// ```text
+/// {"ts_ms":<unix millis>,"level":"info","msg":"...","k":"v",...}
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Logger {
+    inner: Option<Arc<LoggerInner>>,
+}
+
+impl Logger {
+    /// The disabled logger.
+    pub fn noop() -> Logger {
+        Logger { inner: None }
+    }
+
+    /// A logger appending to `path`, rotating to `<path>.1` once the
+    /// active file passes `max_bytes` (0 means never rotate). Records
+    /// below `min_level` are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Opening (or creating) `path` failed.
+    pub fn to_file(
+        path: &std::path::Path,
+        max_bytes: u64,
+        min_level: LogLevel,
+    ) -> std::io::Result<Logger> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(Logger {
+            inner: Some(Arc::new(LoggerInner {
+                path: path.to_path_buf(),
+                max_bytes,
+                min_level,
+                state: Mutex::new(LoggerState { file: Some(file), written }),
+            })),
+        })
+    }
+
+    /// Whether this logger writes anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Writes one structured record: `msg` plus the given string
+    /// fields, in call order, after the fixed `ts_ms`/`level`/`msg`
+    /// prefix. Dropped when below the logger's minimum level.
+    pub fn log(&self, level: LogLevel, msg: &str, fields: &[(&str, &str)]) {
+        let Some(inner) = &self.inner else { return };
+        if level < inner.min_level {
+            return;
+        }
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("ts_ms");
+        w.uint(unix_time_ms());
+        w.key("level");
+        w.string(level.as_str());
+        w.key("msg");
+        w.string(msg);
+        for (k, v) in fields {
+            w.key(k);
+            w.string(v);
+        }
+        w.end_object();
+        let mut line = w.finish();
+        line.push('\n');
+
+        use std::io::Write as _;
+        let mut state = lock(&inner.state);
+        if inner.max_bytes > 0 && state.written + line.len() as u64 > inner.max_bytes {
+            // Rotate: close, shift to the .1 sibling, reopen fresh.
+            state.file = None;
+            let mut rotated = inner.path.as_os_str().to_owned();
+            rotated.push(".1");
+            let _ = std::fs::rename(&inner.path, std::path::Path::new(&rotated));
+            state.written = 0;
+            state.file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&inner.path)
+                .ok();
+        }
+        if let Some(f) = state.file.as_mut() {
+            if f.write_all(line.as_bytes()).is_ok() {
+                state.written += line.len() as u64;
+            }
+        }
+    }
+
+    /// [`LogLevel::Debug`] shorthand.
+    pub fn debug(&self, msg: &str, fields: &[(&str, &str)]) {
+        self.log(LogLevel::Debug, msg, fields);
+    }
+
+    /// [`LogLevel::Info`] shorthand.
+    pub fn info(&self, msg: &str, fields: &[(&str, &str)]) {
+        self.log(LogLevel::Info, msg, fields);
+    }
+
+    /// [`LogLevel::Warn`] shorthand.
+    pub fn warn(&self, msg: &str, fields: &[(&str, &str)]) {
+        self.log(LogLevel::Warn, msg, fields);
+    }
+
+    /// [`LogLevel::Error`] shorthand.
+    pub fn error(&self, msg: &str, fields: &[(&str, &str)]) {
+        self.log(LogLevel::Error, msg, fields);
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_time_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// One record in the [`FlightRecorder`] ring.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FlightRecord {
+    /// Global sequence number (monotone across the recorder).
+    pub seq: u64,
+    /// Unix milliseconds when the record was written.
+    pub ts_ms: u64,
+    /// The source (or subsystem) the operation belongs to.
+    pub source: String,
+    /// The operation kind (`feed`, `seal`, `busy`, `failed`, …).
+    pub op: &'static str,
+    /// Free-form detail (offsets, error text).
+    pub detail: String,
+}
+
+/// A fixed-capacity ring of the most recent operations, kept cheap
+/// enough to run always-on in the daemon and dumped to
+/// `<dir>/flightrec-<ts>.json` when a source fails or the process
+/// aborts — the post-mortem of a kill-point crash carries the last N
+/// operations that led up to it.
+///
+/// Writers never block: the sequence number is one atomic add and each
+/// slot is guarded by a `try_lock` — a writer that loses a slot race
+/// simply drops that record (the competing record is an equally-recent
+/// neighbour). Readers ([`FlightRecorder::dump_json`]) snapshot the
+/// slots and sort by sequence.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    seq: AtomicU64,
+    slots: Vec<Mutex<Option<FlightRecord>>>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the `capacity` most recent records (clamped
+    /// to at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            seq: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Appends one record, overwriting the oldest once the ring is
+    /// full. Never blocks; under slot contention the record is
+    /// dropped.
+    pub fn record(&self, source: &str, op: &'static str, detail: String) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq as usize) % self.slots.len();
+        if let Ok(mut guard) = self.slots[slot].try_lock() {
+            *guard = Some(FlightRecord {
+                seq,
+                ts_ms: unix_time_ms(),
+                source: source.to_owned(),
+                op,
+                detail,
+            });
+        }
+    }
+
+    /// Records written so far (including any dropped under contention
+    /// or overwritten by ring wrap).
+    pub fn records_written(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// The surviving records, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut records: Vec<FlightRecord> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.try_lock().ok().and_then(|g| g.clone()))
+            .collect();
+        records.sort_by_key(|r| r.seq);
+        records
+    }
+
+    /// The dump document: `{"flightrec_version":1,"records":[...]}`,
+    /// records oldest first.
+    pub fn dump_json(&self) -> String {
+        let records = self.snapshot();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("flightrec_version");
+        w.uint(1);
+        w.key("records_written");
+        w.uint(self.records_written());
+        w.key("records");
+        w.begin_array();
+        for r in &records {
+            w.begin_object();
+            w.key("seq");
+            w.uint(r.seq);
+            w.key("ts_ms");
+            w.uint(r.ts_ms);
+            w.key("source");
+            w.string(&r.source);
+            w.key("op");
+            w.string(r.op);
+            w.key("detail");
+            w.string(&r.detail);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Writes the dump to `dir/flightrec-<unix millis>.json` and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Creating `dir` or writing the file failed.
+    pub fn dump_to_dir(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("flightrec-{}.json", unix_time_ms()));
+        std::fs::write(&path, self.dump_json())?;
+        Ok(path)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1032,6 +1673,9 @@ pub enum RunOutcome {
     Stopped,
     /// The input was damaged (fsck found unsalvageable regions).
     Damaged,
+    /// A long-lived daemon is still serving; periodic in-flight
+    /// report, not a final one.
+    Running,
 }
 
 impl RunOutcome {
@@ -1042,6 +1686,7 @@ impl RunOutcome {
             RunOutcome::Degraded => "degraded",
             RunOutcome::Stopped => "stopped",
             RunOutcome::Damaged => "damaged",
+            RunOutcome::Running => "running",
         }
     }
 }
@@ -1324,7 +1969,10 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
         .get("outcome")
         .and_then(Json::as_str)
         .ok_or("missing string outcome")?;
-    if !matches!(outcome, "complete" | "degraded" | "stopped" | "damaged") {
+    if !matches!(
+        outcome,
+        "complete" | "degraded" | "stopped" | "damaged" | "running"
+    ) {
         return Err(format!("invalid outcome {outcome:?}"));
     }
     match obj.get("stop_reason") {
@@ -1637,5 +2285,169 @@ mod tests {
         assert!(validate_report_json(&broken).is_err());
         let missing = text.replace("\"budget\"", "\"budgetx\"");
         assert!(validate_report_json(&missing).is_err());
+    }
+
+    #[test]
+    fn running_outcome_is_valid_for_daemon_reports() {
+        let report = RunReport::new("serve-ingest", RunOutcome::Running);
+        let text = report.to_json();
+        assert!(text.contains("\"outcome\":\"running\""));
+        validate_report_json(&text).unwrap();
+    }
+
+    #[test]
+    fn prometheus_text_escapes_help_and_passes_strict_parser() {
+        let obs = Obs::collecting();
+        obs.counter("twpp_core_a_total", "line one\nline \\ two").add(3);
+        obs.gauge("twpp_core_b", "a gauge").set(-7);
+        let h = obs.histogram("twpp_core_c", "a histogram", &[1, 5]);
+        for v in [0, 3, 9] {
+            h.observe(v);
+        }
+        let text = obs.prometheus_text();
+        assert!(text.contains("line one\\nline \\\\ two"));
+        let families = parse_prometheus_text(&text).unwrap();
+        assert_eq!(families.len(), 3);
+        assert_eq!(families[0].name, "twpp_core_a_total");
+        assert_eq!(families[0].kind, "counter");
+        assert_eq!(families[0].samples[0].2, 3.0);
+        assert_eq!(families[1].samples[0].2, -7.0);
+        let hist = &families[2];
+        assert_eq!(hist.kind, "histogram");
+        // buckets le=1, le=5, le=+Inf, then _sum and _count.
+        assert_eq!(hist.samples.len(), 5);
+        assert_eq!(hist.samples[2].1, "le=\"+Inf\"");
+        assert_eq!(hist.samples[2].2, 3.0);
+    }
+
+    #[test]
+    fn strict_prometheus_parser_rejects_malformed_exposition() {
+        // TYPE before HELP.
+        assert!(parse_prometheus_text("# TYPE x counter\n# HELP x h\nx 1\n").is_err());
+        // Unknown type.
+        assert!(parse_prometheus_text("# HELP x h\n# TYPE x summary\nx 1\n").is_err());
+        // Sample outside its family.
+        assert!(parse_prometheus_text("# HELP x h\n# TYPE x counter\ny 1\n").is_err());
+        // Families out of name order.
+        assert!(parse_prometheus_text(
+            "# HELP b h\n# TYPE b counter\nb 1\n# HELP a h\n# TYPE a counter\na 1\n"
+        )
+        .is_err());
+        // Histogram without a +Inf bucket.
+        assert!(parse_prometheus_text(
+            "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"
+        )
+        .is_err());
+        // Histogram with non-cumulative buckets.
+        assert!(parse_prometheus_text(
+            "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"
+        )
+        .is_err());
+        // _count disagreeing with the +Inf bucket.
+        assert!(parse_prometheus_text(
+            "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n"
+        )
+        .is_err());
+        // A well-formed minimal document parses.
+        let ok = parse_prometheus_text(
+            "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 12\nh_count 3\n"
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn label_value_escaping_covers_quote_backslash_newline() {
+        assert_eq!(
+            escape_prometheus_label_value("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd"
+        );
+    }
+
+    #[test]
+    fn rate_estimator_windows_and_expires_old_buckets() {
+        let r = RateEstimator::new(10, 1000);
+        // 100 events spread over the first 4 seconds.
+        for s in 0..4u64 {
+            r.record_at_ms(s * 1000 + 500, 25);
+        }
+        // At t=4s only 4s have elapsed: 100 events / 4 s.
+        assert!((r.rate_at_ms(4_000) - 25.0).abs() < 1e-9);
+        // Once warmed past the window the same events dilute to ~/10 s.
+        assert!((r.rate_at_ms(9_999) - 10.0).abs() < 0.01);
+        // 20 s later the old buckets have expired.
+        assert!(r.rate_at_ms(24_000) < 1e-9);
+        // A fresh burst shows up immediately.
+        r.record_at_ms(24_100, 50);
+        assert!(r.rate_at_ms(24_200) > 0.0);
+    }
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "twpp-obs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn logger_writes_jsonl_filters_levels_and_rotates() {
+        let dir = test_dir("log");
+        let path = dir.join("daemon.log");
+        let log = Logger::to_file(&path, 160, LogLevel::Info).unwrap();
+        assert!(log.is_enabled());
+        log.debug("dropped", &[]);
+        log.info("hello", &[("source", "s1"), ("events", "12")]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "debug line must be filtered: {text}");
+        let doc = parse_json(lines[0]).unwrap();
+        assert_eq!(doc.get("level").unwrap().as_str().unwrap(), "info");
+        assert_eq!(doc.get("msg").unwrap().as_str().unwrap(), "hello");
+        assert_eq!(doc.get("source").unwrap().as_str().unwrap(), "s1");
+        assert!(doc.get("ts_ms").unwrap().as_num().unwrap() > 0.0);
+        // Push past the byte cap to force a rotation to the .1 sibling.
+        for i in 0..8 {
+            log.warn("filler", &[("i", &i.to_string())]);
+        }
+        let rotated = dir.join("daemon.log.1");
+        assert!(rotated.exists(), "rotation must produce a .1 sibling");
+        // Every line in both files is standalone valid JSON.
+        for p in [&path, &rotated] {
+            for line in std::fs::read_to_string(p).unwrap().lines() {
+                parse_json(line).unwrap();
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        // The noop logger accepts records and stays disabled.
+        let noop = Logger::noop();
+        assert!(!noop.is_enabled());
+        noop.error("ignored", &[]);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_most_recent_and_dumps_valid_json() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            rec.record("s1", "feed", format!("offset {i}"));
+        }
+        assert_eq!(rec.records_written(), 10);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 4);
+        // Ring keeps the newest four, oldest first.
+        let seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(snap[3].detail, "offset 9");
+        let doc = parse_json(&rec.dump_json()).unwrap();
+        assert_eq!(doc.get("flightrec_version").unwrap().as_num().unwrap(), 1.0);
+        assert_eq!(doc.get("records").unwrap().as_arr().unwrap().len(), 4);
+        let dir = test_dir("flightrec");
+        let path = rec.dump_to_dir(&dir).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("flightrec-"));
+        parse_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
