@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tables [--scale <f>] [table1|table2|table3|table4|table5|table6|
-//!         figure8|figure9|figure10|figure12|scaling|obs|codec|all]
+//!         figure8|figure9|figure10|figure12|scaling|obs|codec|serve|all]
 //! ```
 //!
 //! `--scale` multiplies the workload sizes (default 1.0; use 0.1 for a
@@ -11,7 +11,7 @@
 
 use twpp_bench::experiments::{
     append_bench_datapoint, codec_compare, figure10, figure12, figure9, obs_overhead,
-    parallel_scaling, Suite,
+    parallel_scaling, serve_bench, Suite,
 };
 
 fn main() {
@@ -100,6 +100,15 @@ fn main() {
             Err(e) => eprintln!("could not write {}: {e}", path.display()),
         }
     }
+    if wants("serve") {
+        let o = serve_bench(scale);
+        println!("{}", o.table);
+        let path = std::path::Path::new("BENCH_serve.json");
+        match append_bench_datapoint(path, &o.datapoint_json) {
+            Ok(()) => eprintln!("appended serve datapoint to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -107,7 +116,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: tables [--scale <f>] [table1..table6|figure8|figure9|figure10|figure12|scaling|obs|codec|all]"
+        "usage: tables [--scale <f>] [table1..table6|figure8|figure9|figure10|figure12|scaling|obs|codec|serve|all]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

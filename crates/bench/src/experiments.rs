@@ -1002,6 +1002,156 @@ pub fn codec_compare(scale: f64) -> CodecCompare {
     }
 }
 
+/// Result of the serve-fleet experiment: a rendered table and one
+/// machine-readable datapoint for the `BENCH_serve.json` trajectory.
+pub struct ServeBench {
+    /// Human-readable latency/hit-rate table.
+    pub table: String,
+    /// One JSON datapoint: p50/p99 answer latency (cold and hot) plus
+    /// frame- and summary-cache hit rates over the run.
+    pub datapoint_json: String,
+}
+
+/// Benchmarks the query server's answer path over a seeded archive
+/// fleet: one archive per paper profile, served in-process (the same
+/// `Registry::handle_request` the socket daemon runs, minus the socket),
+/// hammered with every function's `Query` twice — a cold pass that
+/// decodes frames and a hot pass answered from the caches. Reports
+/// client-observed p50/p99 per pass and the cache hit rates.
+pub fn serve_bench(scale: f64) -> ServeBench {
+    use std::collections::HashMap;
+    use twpp::net::{BudgetSpec, Frame, QueryReq};
+    use twpp::obs::{JsonWriter, Obs};
+
+    let noop = Obs::noop();
+    let dir = std::env::temp_dir().join(format!("twpp-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench fleet dir");
+
+    for profile in Profile::all() {
+        let spec = profile.spec().scaled(scale);
+        let workload = generate(&spec);
+        let compacted = twpp::compact(&workload.wpp).expect("generated WPPs are well-formed");
+        let names: HashMap<FuncId, String> = workload
+            .program
+            .funcs()
+            .map(|(id, f)| (id, f.name().to_owned()))
+            .collect();
+        let archive = TwppArchive::from_compacted_codec(
+            &compacted,
+            &names,
+            1,
+            &[],
+            &noop,
+            twpp::Codec::default(),
+        );
+        archive
+            .save_with(
+                &dir.join(format!("{}.twpa", workload.name)),
+                twpp::Durability::None,
+            )
+            .expect("write bench archive");
+    }
+
+    let server = twpp_server::InProcServer::new(
+        &dir,
+        twpp_server::ServeOptions { obs: Obs::collecting(), ..Default::default() },
+    )
+    .expect("open bench fleet");
+    let mut targets: Vec<(String, u32)> = Vec::new();
+    for tenant in server.fleet().list() {
+        for func in tenant.archive.function_ids() {
+            targets.push((tenant.name.clone(), func.as_u32()));
+        }
+    }
+    assert!(!targets.is_empty(), "bench fleet has no functions");
+
+    let run_pass = || -> Vec<u64> {
+        let mut latencies = Vec::with_capacity(targets.len());
+        for (archive, func) in &targets {
+            let frame = Frame::Query {
+                req: QueryReq { archive: archive.clone(), func: *func },
+                budget: BudgetSpec { deadline_ms: 0, max_steps: 0 },
+            };
+            let start = Instant::now();
+            let reply = server.handle(&frame);
+            latencies.push(start.elapsed().as_nanos() as u64);
+            assert!(
+                matches!(reply, Frame::Answer(_)),
+                "bench query refused: {reply:?}"
+            );
+        }
+        latencies.sort_unstable();
+        latencies
+    };
+    // Three passes isolate the two cache layers: cold (everything
+    // misses), warm (summaries dropped, so answers re-solve over *hot
+    // frames*), hot (summary hits, no solving at all).
+    let cold = run_pass();
+    server.fleet().clear_summaries();
+    let warm = run_pass();
+    let hot = run_pass();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let pct = |l: &[u64], p: f64| l[((l.len() as f64 - 1.0) * p).round() as usize];
+    let frames = server.fleet().frame_cache().stats();
+    let summaries = server.fleet().summary_stats();
+    let rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 { 0.0 } else { hits as f64 / total as f64 }
+    };
+    let frame_rate = rate(frames.hits, frames.misses);
+    let summary_rate = rate(summaries.hits, summaries.misses);
+
+    let mut t = Table::new(&["pass", "requests", "p50 us", "p99 us"]);
+    for (name, l) in [("cold", &cold), ("warm", &warm), ("hot", &hot)] {
+        t.row(vec![
+            name.into(),
+            l.len().to_string(),
+            format!("{:.1}", pct(l, 0.50) as f64 / 1e3),
+            format!("{:.1}", pct(l, 0.99) as f64 / 1e3),
+        ]);
+    }
+    let mut table = String::from("Serve-fleet answer latency (in-process, per Query request)\n");
+    table.push_str(&t.render());
+    table.push_str(&format!(
+        "(cache hit rates over all passes: frame {:.1}%, summary {:.1}%)\n",
+        frame_rate * 100.0,
+        summary_rate * 100.0
+    ));
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("experiment");
+    w.string("serve_bench");
+    w.key("scale");
+    w.float(scale);
+    w.key("requests_per_pass");
+    w.uint(cold.len() as u64);
+    w.key("cold_p50_nanos");
+    w.uint(pct(&cold, 0.50));
+    w.key("cold_p99_nanos");
+    w.uint(pct(&cold, 0.99));
+    w.key("warm_p50_nanos");
+    w.uint(pct(&warm, 0.50));
+    w.key("warm_p99_nanos");
+    w.uint(pct(&warm, 0.99));
+    w.key("hot_p50_nanos");
+    w.uint(pct(&hot, 0.50));
+    w.key("hot_p99_nanos");
+    w.uint(pct(&hot, 0.99));
+    w.key("frame_cache_hit_rate");
+    w.float((frame_rate * 10_000.0).round() / 10_000.0);
+    w.key("summary_cache_hit_rate");
+    w.float((summary_rate * 10_000.0).round() / 10_000.0);
+    w.end_object();
+
+    ServeBench {
+        table,
+        datapoint_json: w.finish(),
+    }
+}
+
 /// Appends `datapoint_json` to the JSON-array trajectory at `path`
 /// (creating `[datapoint]` if the file does not exist or fails to
 /// parse) and returns the serialized array written back.

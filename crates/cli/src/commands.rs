@@ -187,6 +187,51 @@ usage:
                                             against the strict format checker
   twpp info <file.wpp|file.twpa>            summarize a trace or archive
   twpp query <file.twpa> <func-id-or-name>  extract one function's traces
+      --remote ADDR     send the request to a `twpp serve` daemon instead
+                        of reading a local file: the first operand becomes
+                        the served archive name (file stem) and the output
+                        is byte-identical to the local command
+  twpp slice <file.twpa> <func> <trace> <block>
+                                            backward dynamic slice of one
+                                            unique trace from a criterion
+                                            block (sorted static blocks in
+                                            the closure); --remote as query
+  twpp currency <file.twpa> <func> <trace> <def-block> <use-block>
+                                            paper §4.2 currency query: in how
+                                            many executions of the use block
+                                            is the def current (not killed by
+                                            a --redef block)? --remote as query
+      --redef B         a redefining block id (repeatable)
+  twpp serve <dir>                          multi-tenant query daemon over
+                                            every *.twpa under <dir>: answers
+                                            query/slice/currency/list/stat
+                                            over the framed protocol, rescans
+                                            the fleet root, shares one
+                                            byte-capped frame cache and one
+                                            answer-summary cache
+      --listen SPEC     tcp:HOST:PORT or unix:PATH (default tcp:127.0.0.1:0)
+      --port-file F     write the bound address to F once listening
+      --drain-after-ms N  self-drain after N ms (tests without signals)
+      --default-deadline-ms N  per-request wall-clock budget when the
+                        client sends none (default: unlimited)
+      --rescan-ms N     fleet-root rescan interval (default 1000)
+      --max-inflight N  admission cap; excess requests get BUSY (default 64)
+      --no-cache        solve every request from the archive (no answer
+                        summary cache)
+      --frame-cache-bytes N    decoded-frame cache cap (default 64 MiB)
+      --summary-cache-bytes N  answer-summary cache cap (default 8 MiB)
+      --admin SPEC      admin telemetry plane: /metrics /status /healthz
+      --admin-port-file F  write the bound admin address to F
+  twpp serve-bench <addr> [--clients N] [--requests M] [--json]
+                                            hammer a running serve daemon
+                                            with N concurrent clients x M
+                                            queries each and report p50/p99
+                                            client-side latency (--admin ADDR
+                                            also scrapes cache hit rates)
+  twpp gen-fleet <dir> [--archives N] [--seed S] [--scale F]
+                                            write N seeded workload archives
+                                            (cycling the five SPECint95
+                                            profiles) as a serve fleet root
   twpp fsck <file.twpa|file.wpp|dir> [--repair [-o <out>]] [--threads N]
                                             verify checksums; --repair writes a
                                             salvaged copy of a damaged file; on
@@ -355,6 +400,18 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
     let mut log_out: Option<PathBuf> = None;
     let mut json = false;
     let mut watch: Option<u64> = None;
+    let mut remote: Option<String> = None;
+    let mut default_deadline_ms: Option<u64> = None;
+    let mut rescan_ms: Option<u64> = None;
+    let mut max_inflight: Option<u64> = None;
+    let mut no_cache = false;
+    let mut frame_cache_bytes: Option<u64> = None;
+    let mut summary_cache_bytes: Option<u64> = None;
+    let mut redefs: Vec<u32> = Vec::new();
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut archives: Option<usize> = None;
+    let mut scale: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -586,6 +643,143 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
                     .ok_or_else(|| CliError::Usage("--log-out needs a path".into()))?;
                 log_out = Some(PathBuf::from(p));
             }
+            "--remote" => {
+                i += 1;
+                remote = Some(
+                    args.get(i)
+                        .ok_or_else(|| {
+                            CliError::Usage("--remote needs tcp:HOST:PORT or unix:PATH".into())
+                        })?
+                        .clone(),
+                );
+            }
+            "--default-deadline-ms" => {
+                i += 1;
+                let raw = args.get(i).ok_or_else(|| {
+                    CliError::Usage("--default-deadline-ms needs a count".into())
+                })?;
+                default_deadline_ms = Some(
+                    raw.parse::<u64>()
+                        .map_err(|e| CliError::Usage(format!("bad --default-deadline-ms: {e}")))?,
+                );
+            }
+            "--rescan-ms" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--rescan-ms needs a count".into()))?;
+                let n = raw
+                    .parse::<u64>()
+                    .map_err(|e| CliError::Usage(format!("bad --rescan-ms: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--rescan-ms must be at least 1".into()));
+                }
+                rescan_ms = Some(n);
+            }
+            "--max-inflight" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--max-inflight needs a count".into()))?;
+                let n = raw
+                    .parse::<u64>()
+                    .map_err(|e| CliError::Usage(format!("bad --max-inflight: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--max-inflight must be at least 1".into()));
+                }
+                max_inflight = Some(n);
+            }
+            "--no-cache" => no_cache = true,
+            "--frame-cache-bytes" => {
+                i += 1;
+                let raw = args.get(i).ok_or_else(|| {
+                    CliError::Usage("--frame-cache-bytes needs a byte count".into())
+                })?;
+                let n = raw
+                    .parse::<u64>()
+                    .map_err(|e| CliError::Usage(format!("bad --frame-cache-bytes: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--frame-cache-bytes must be at least 1".into()));
+                }
+                frame_cache_bytes = Some(n);
+            }
+            "--summary-cache-bytes" => {
+                i += 1;
+                let raw = args.get(i).ok_or_else(|| {
+                    CliError::Usage("--summary-cache-bytes needs a byte count".into())
+                })?;
+                let n = raw
+                    .parse::<u64>()
+                    .map_err(|e| CliError::Usage(format!("bad --summary-cache-bytes: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage(
+                        "--summary-cache-bytes must be at least 1".into(),
+                    ));
+                }
+                summary_cache_bytes = Some(n);
+            }
+            "--redef" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--redef needs a block id".into()))?;
+                redefs.push(
+                    raw.parse::<u32>()
+                        .map_err(|e| CliError::Usage(format!("bad --redef: {e}")))?,
+                );
+            }
+            "--clients" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--clients needs a count".into()))?;
+                let n = raw
+                    .parse::<usize>()
+                    .map_err(|e| CliError::Usage(format!("bad --clients: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--clients must be at least 1".into()));
+                }
+                clients = Some(n);
+            }
+            "--requests" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--requests needs a count".into()))?;
+                let n = raw
+                    .parse::<usize>()
+                    .map_err(|e| CliError::Usage(format!("bad --requests: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--requests must be at least 1".into()));
+                }
+                requests = Some(n);
+            }
+            "--archives" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--archives needs a count".into()))?;
+                let n = raw
+                    .parse::<usize>()
+                    .map_err(|e| CliError::Usage(format!("bad --archives: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--archives must be at least 1".into()));
+                }
+                archives = Some(n);
+            }
+            "--scale" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--scale needs a factor".into()))?;
+                let f = raw
+                    .parse::<f64>()
+                    .map_err(|e| CliError::Usage(format!("bad --scale: {e}")))?;
+                if !(f.is_finite() && f > 0.0) {
+                    return Err(CliError::Usage("--scale must be a positive number".into()));
+                }
+                scale = Some(f);
+            }
             "--json" => json = true,
             "--watch" => {
                 i += 1;
@@ -794,7 +988,82 @@ pub fn run_command(args: &[String], out: &mut dyn Write) -> Result<(), CliError>
             &obs_files,
             out,
         ),
-        ["query", path, func] => cmd_query(Path::new(path), func, limits, &obs_files, out),
+        ["query", path, func] => match &remote {
+            Some(addr) => cmd_query_remote(addr, path, func, limits, out),
+            None => cmd_query(Path::new(path), func, limits, &obs_files, out),
+        },
+        ["slice", path, func, trace, criterion] => {
+            let trace = parse_wire_u32(trace, "trace index")?;
+            let criterion = parse_wire_u32(criterion, "criterion block")?;
+            match &remote {
+                Some(addr) => cmd_slice_remote(addr, path, func, trace, criterion, limits, out),
+                None => cmd_slice(
+                    Path::new(path),
+                    func,
+                    trace,
+                    criterion,
+                    limits,
+                    &obs_files,
+                    out,
+                ),
+            }
+        }
+        ["currency", path, func, trace, def, use_] => {
+            let trace = parse_wire_u32(trace, "trace index")?;
+            let def = parse_wire_u32(def, "def block")?;
+            let use_ = parse_wire_u32(use_, "use block")?;
+            match &remote {
+                Some(addr) => {
+                    cmd_currency_remote(addr, path, func, trace, def, use_, &redefs, limits, out)
+                }
+                None => cmd_currency(
+                    Path::new(path),
+                    func,
+                    trace,
+                    def,
+                    use_,
+                    &redefs,
+                    limits,
+                    &obs_files,
+                    out,
+                ),
+            }
+        }
+        ["serve", dir] => cmd_serve(
+            Path::new(dir),
+            QueryServeFlags {
+                listen: listen.unwrap_or_else(|| "tcp:127.0.0.1:0".into()),
+                port_file,
+                admin,
+                admin_port_file,
+                drain_after_ms,
+                default_deadline_ms: default_deadline_ms.unwrap_or(0),
+                rescan_ms,
+                max_inflight,
+                cache_answers: !no_cache,
+                frame_cache_bytes,
+                summary_cache_bytes,
+            },
+            &obs_files,
+            out,
+        ),
+        ["serve-bench", addr] => cmd_serve_bench(
+            addr,
+            clients.unwrap_or(4),
+            requests.unwrap_or(200),
+            admin.as_deref(),
+            json,
+            limits,
+            out,
+        ),
+        ["gen-fleet", dir] => cmd_gen_fleet(
+            Path::new(dir),
+            archives.unwrap_or(10),
+            seed.unwrap_or(42),
+            scale.unwrap_or(0.01),
+            threads,
+            out,
+        ),
         ["report-check", path] => cmd_report_check(Path::new(path), out),
         ["sequitur", path] => cmd_sequitur(Path::new(path), out),
         ["selftest"] => cmd_selftest(
@@ -1603,6 +1872,14 @@ fn render_status(
             twpp::ingest::STATUS_SCHEMA_VERSION
         )));
     }
+    // Both daemons share the admin plane; the `command` field says which
+    // schema the rest of the document follows.
+    let command = status_field(obj, "command")?
+        .as_str()
+        .ok_or_else(|| fail("/status field `command` is not a string".to_string()))?;
+    if command == "serve" {
+        return render_serve_status(addr, obj, raw, json, out);
+    }
     let sources = status_field(obj, "sources")?
         .as_arr()
         .ok_or_else(|| fail("/status field `sources` is not an array".to_string()))?;
@@ -1661,6 +1938,106 @@ fn render_status(
             status_u64(s, "segments")?,
             status_field(s, "events_per_sec")?.as_num().unwrap_or(0.0),
             seal_col,
+        )?;
+    }
+    Ok(())
+}
+
+/// The `/status` renderer for the query fleet server's schema: request
+/// accounting, both cache planes, and the per-tenant roster.
+fn render_serve_status(
+    addr: &str,
+    obj: &std::collections::BTreeMap<String, twpp::obs::Json>,
+    raw: &str,
+    json: bool,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let archives = status_field(obj, "archives")?
+        .as_arr()
+        .ok_or_else(|| fail("/status field `archives` is not an array".to_string()))?;
+    if json {
+        writeln!(out, "{raw}")?;
+        return Ok(());
+    }
+    let draining = status_field(obj, "draining")?.as_bool().unwrap_or(false);
+    let uptime_ms = status_u64(obj, "uptime_ms")?;
+    writeln!(
+        out,
+        "serve on {addr}: up {:.1}s{}, {} connection(s), {} request(s), \
+         {} answer(s) ({} partial), {} error(s), {} busy, {} quarantined",
+        uptime_ms as f64 / 1000.0,
+        if draining { " (draining)" } else { "" },
+        status_u64(obj, "connections_total")?,
+        status_u64(obj, "requests_total")?,
+        status_u64(obj, "answers_total")?,
+        status_u64(obj, "partial_total")?,
+        status_u64(obj, "errors_total")?,
+        status_u64(obj, "busy_total")?,
+        status_u64(obj, "quarantined_total")?,
+    )?;
+    for key in ["frame_cache", "summary_cache"] {
+        let cache = status_field(obj, key)?
+            .as_obj()
+            .ok_or_else(|| fail(format!("/status field `{key}` is not an object")))?;
+        let hits = status_u64(cache, "hits")?;
+        let misses = status_u64(cache, "misses")?;
+        let rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64 * 100.0
+        };
+        writeln!(
+            out,
+            "  {key}: {} byte(s) in {} entr{}, {hits} hit(s) / {misses} miss(es) \
+             ({rate:.1}% hit rate), {} eviction(s)",
+            status_u64(cache, "resident_bytes")?,
+            status_u64(cache, "entries")?,
+            if status_u64(cache, "entries")? == 1 { "y" } else { "ies" },
+            status_u64(cache, "evictions")?,
+        )?;
+    }
+    if archives.is_empty() {
+        writeln!(out, "  no archives in the fleet")?;
+    } else {
+        writeln!(
+            out,
+            "  {:<24} {:>9} {:>9} {:>12}  state",
+            "archive", "functions", "decoded", "bytes"
+        )?;
+        for a in archives {
+            let a = a
+                .as_obj()
+                .ok_or_else(|| fail("/status archive entry is not an object".to_string()))?;
+            let name = status_field(a, "name")?
+                .as_str()
+                .ok_or_else(|| fail("/status archive `name` is not a string".to_string()))?;
+            let state = if status_field(a, "degraded")?.as_bool().unwrap_or(false) {
+                "degraded"
+            } else {
+                "ok"
+            };
+            writeln!(
+                out,
+                "  {:<24} {:>9} {:>9} {:>12}  {state}",
+                name,
+                status_u64(a, "functions")?,
+                status_u64(a, "decoded_functions")?,
+                status_u64(a, "file_bytes")?,
+            )?;
+        }
+    }
+    let failures = status_field(obj, "open_failures")?
+        .as_arr()
+        .ok_or_else(|| fail("/status field `open_failures` is not an array".to_string()))?;
+    for f in failures {
+        let f = f
+            .as_obj()
+            .ok_or_else(|| fail("/status failure entry is not an object".to_string()))?;
+        writeln!(
+            out,
+            "  UNREADABLE {}: {}",
+            status_field(f, "name")?.as_str().unwrap_or("?"),
+            status_field(f, "error")?.as_str().unwrap_or("?"),
         )?;
     }
     Ok(())
@@ -1972,49 +2349,575 @@ fn cmd_query(
             Err(e) => return Err(fail(e)),
         }
     };
-    writeln!(
-        out,
-        "function {}: {} calls, {} unique path traces, {} dictionaries",
-        func.as_u32(),
-        record.call_count,
-        record.traces.len(),
-        record.dicts.len()
-    )?;
-    let traces = {
+    // The rendering is shared with the fleet server (twpp-server), so
+    // `twpp query --remote` output is byte-identical by construction.
+    let answer = {
         let _s = obs.span("query_expand");
-        record.try_expanded_traces().map_err(fail)?
+        twpp_server::query_answer(func, &record, &budget).map_err(answer_err)?
     };
-    let printed = obs.counter(
-        "twpp_cli_query_traces_printed_total",
-        "Expanded path traces printed by `twpp query`",
-    );
-    let total = traces.len();
-    let mut stopped: Option<(usize, twpp::StopReason)> = None;
-    for (i, trace) in traces.iter().enumerate() {
-        if let Err(reason) = budget.charge_step() {
-            writeln!(out, "  … truncated ({reason})")?;
-            stopped = Some((i, reason));
-            break;
-        }
-        printed.inc();
-        writeln!(out, "  path {i}: {trace}")?;
+    if let twpp::net::AnswerData::Query { rendered, .. } = &answer.data {
+        obs.counter(
+            "twpp_cli_query_traces_printed_total",
+            "Expanded path traces printed by `twpp query`",
+        )
+        .add(u64::from(*rendered));
     }
+    write!(out, "{}", answer.text)?;
+    emit_answer_report("query", &answer, &budget, obs_files, &obs, out)?;
+    match twpp_server::degraded_message(&answer) {
+        Some(msg) => Err(CliError::Degraded(msg)),
+        None => Ok(()),
+    }
+}
+
+/// The shared report/exit tail of every answer-producing command: emit
+/// the run report, then map a partial answer to the degraded exit.
+fn emit_answer_report(
+    command: &'static str,
+    answer: &twpp::net::Answer,
+    budget: &twpp::Budget,
+    obs_files: &ObsFiles,
+    obs: &Obs,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
     let mut report = RunReport::new(
-        "query",
-        if stopped.is_some() {
-            RunOutcome::Degraded
-        } else {
+        command,
+        if answer.complete {
             RunOutcome::Complete
+        } else {
+            RunOutcome::Degraded
         },
     );
-    report.stop_reason = stopped.map(|(_, r)| r.as_str().to_owned());
-    report.budget = budget_section(&budget);
-    obs_files.emit(&obs, report, out)?;
-    if let Some((i, reason)) = stopped {
-        return Err(CliError::Degraded(format!(
-            "query truncated after {i} of {total} traces ({reason})"
-        )));
+    report.stop_reason = twpp_server::stop_reason(answer.stop_code).map(|r| r.as_str().to_owned());
+    report.budget = budget_section(budget);
+    obs_files.emit(obs, report, out)
+}
+
+/// Parses a numeric CLI operand used on the serve wire.
+fn parse_wire_u32(raw: &str, what: &str) -> Result<u32, CliError> {
+    raw.parse::<u32>()
+        .map_err(|e| CliError::Usage(format!("bad {what} `{raw}`: {e}")))
+}
+
+/// Resolves a function operand (numeric id or embedded name) against a
+/// lazily-opened archive.
+fn resolve_func_lazy(la: &twpp::lazy::LazyArchive, func: &str) -> Result<FuncId, CliError> {
+    match func.parse::<u32>() {
+        Ok(id) => Ok(FuncId::from_u32(id)),
+        Err(_) => la
+            .function_by_name(func)
+            .ok_or_else(|| fail(format!("no function named `{func}` in archive"))),
     }
+}
+
+/// Reads one function through a lazy open, mapping degraded entries to
+/// the degraded exit exactly as `twpp query` does.
+fn read_function_lazy(
+    la: &twpp::lazy::LazyArchive,
+    func: FuncId,
+) -> Result<std::sync::Arc<twpp::FunctionRecord>, CliError> {
+    match la.read_function(func) {
+        Ok(record) => Ok(record),
+        Err(ArchiveError::DegradedFunction(id)) => Err(CliError::Degraded(format!(
+            "function {} failed during compaction and carries no traces \
+             in this archive (degraded entry)",
+            id.as_u32()
+        ))),
+        Err(e) => Err(fail(e)),
+    }
+}
+
+/// The [`twpp::net::BudgetSpec`] equivalent of the CLI's governance
+/// flags, for requests sent to a remote server.
+fn budget_spec(limits: twpp::Limits) -> twpp::net::BudgetSpec {
+    twpp::net::BudgetSpec {
+        deadline_ms: limits.deadline_ms.unwrap_or(0),
+        max_steps: limits.max_steps.unwrap_or(0),
+    }
+}
+
+/// Maps a client-side failure to the CLI error contract: a refusal with
+/// `ERR_DEGRADED` carries the same message and exit code as the local
+/// degraded path; everything else is a hard failure.
+fn client_err(e: twpp_server::ClientError) -> CliError {
+    match e {
+        twpp_server::ClientError::Refused { code, message }
+            if code == twpp::net::ERR_DEGRADED =>
+        {
+            CliError::Degraded(message)
+        }
+        other => fail(other),
+    }
+}
+
+/// The remote tail shared by the `--remote` commands: print the
+/// server-rendered text verbatim, then reproduce the degraded exit.
+fn finish_remote_answer(answer: &twpp::net::Answer, out: &mut Out<'_>) -> Result<(), CliError> {
+    write!(out, "{}", answer.text)?;
+    match twpp_server::degraded_message(answer) {
+        Some(msg) => Err(CliError::Degraded(msg)),
+        None => Ok(()),
+    }
+}
+
+fn cmd_query_remote(
+    addr: &str,
+    archive: &str,
+    func: &str,
+    limits: twpp::Limits,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let func = func
+        .parse::<u32>()
+        .map_err(|_| CliError::Usage("remote queries need a numeric function id".into()))?;
+    let mut client = twpp_server::Client::connect(addr).map_err(client_err)?;
+    let answer = client
+        .query(
+            twpp::net::QueryReq { archive: archive.to_owned(), func },
+            budget_spec(limits),
+        )
+        .map_err(client_err)?;
+    finish_remote_answer(&answer, out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cmd_slice(
+    path: &Path,
+    func: &str,
+    trace: u32,
+    criterion: u32,
+    limits: twpp::Limits,
+    obs_files: &ObsFiles,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let budget = limits.start();
+    let obs = obs_files.observer();
+    let la = twpp::lazy::LazyArchive::open_observed(path, obs.clone())
+        .map_err(|e| fail(format!("{}: {e}", path.display())))?;
+    let func = resolve_func_lazy(&la, func)?;
+    let record = read_function_lazy(&la, func)?;
+    let answer = {
+        let _s = obs.span("slice_solve");
+        twpp_server::slice_answer(func, &record, trace, criterion, &budget)
+            .map_err(answer_err)?
+    };
+    write!(out, "{}", answer.text)?;
+    emit_answer_report("slice", &answer, &budget, obs_files, &obs, out)?;
+    match twpp_server::degraded_message(&answer) {
+        Some(msg) => Err(CliError::Degraded(msg)),
+        None => Ok(()),
+    }
+}
+
+fn cmd_slice_remote(
+    addr: &str,
+    archive: &str,
+    func: &str,
+    trace: u32,
+    criterion: u32,
+    limits: twpp::Limits,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let func = func
+        .parse::<u32>()
+        .map_err(|_| CliError::Usage("remote queries need a numeric function id".into()))?;
+    let mut client = twpp_server::Client::connect(addr).map_err(client_err)?;
+    let answer = client
+        .slice(
+            twpp::net::SliceReq { archive: archive.to_owned(), func, trace, criterion },
+            budget_spec(limits),
+        )
+        .map_err(client_err)?;
+    finish_remote_answer(&answer, out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cmd_currency(
+    path: &Path,
+    func: &str,
+    trace: u32,
+    def: u32,
+    use_: u32,
+    redefs: &[u32],
+    limits: twpp::Limits,
+    obs_files: &ObsFiles,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let budget = limits.start();
+    let obs = obs_files.observer();
+    let la = twpp::lazy::LazyArchive::open_observed(path, obs.clone())
+        .map_err(|e| fail(format!("{}: {e}", path.display())))?;
+    let func = resolve_func_lazy(&la, func)?;
+    let record = read_function_lazy(&la, func)?;
+    let answer = {
+        let _s = obs.span("currency_solve");
+        twpp_server::currency_answer(func, &record, trace, def, use_, redefs, &budget)
+            .map_err(answer_err)?
+    };
+    write!(out, "{}", answer.text)?;
+    emit_answer_report("currency", &answer, &budget, obs_files, &obs, out)?;
+    match twpp_server::degraded_message(&answer) {
+        Some(msg) => Err(CliError::Degraded(msg)),
+        None => Ok(()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cmd_currency_remote(
+    addr: &str,
+    archive: &str,
+    func: &str,
+    trace: u32,
+    def: u32,
+    use_: u32,
+    redefs: &[u32],
+    limits: twpp::Limits,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    let func = func
+        .parse::<u32>()
+        .map_err(|_| CliError::Usage("remote queries need a numeric function id".into()))?;
+    let mut client = twpp_server::Client::connect(addr).map_err(client_err)?;
+    let answer = client
+        .currency(
+            twpp::net::CurrencyReq {
+                archive: archive.to_owned(),
+                func,
+                trace,
+                def_block: def,
+                use_block: use_,
+                redefs: redefs.to_vec(),
+            },
+            budget_spec(limits),
+        )
+        .map_err(client_err)?;
+    finish_remote_answer(&answer, out)
+}
+
+/// Maps a local [`twpp_server::AnswerError`] to the CLI error contract.
+fn answer_err(e: twpp_server::AnswerError) -> CliError {
+    match e {
+        twpp_server::AnswerError::Degraded(m) => CliError::Degraded(m),
+        twpp_server::AnswerError::BadRequest(m) => CliError::Usage(m),
+        other => fail(other),
+    }
+}
+
+struct QueryServeFlags {
+    listen: String,
+    port_file: Option<PathBuf>,
+    admin: Option<String>,
+    admin_port_file: Option<PathBuf>,
+    drain_after_ms: Option<u64>,
+    default_deadline_ms: u64,
+    rescan_ms: Option<u64>,
+    max_inflight: Option<u64>,
+    cache_answers: bool,
+    frame_cache_bytes: Option<u64>,
+    summary_cache_bytes: Option<u64>,
+}
+
+/// `twpp serve <dir>`: the multi-tenant query daemon over a fleet of
+/// archives (DESIGN.md §19). Runs until SIGTERM/SIGINT or
+/// `--drain-after-ms`, answering Query/Slice/Currency/ListArchives/Stat
+/// over the framed protocol.
+fn cmd_serve(
+    dir: &Path,
+    flags: QueryServeFlags,
+    obs_files: &ObsFiles,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    // Like serve-ingest, --admin needs live counters behind /metrics, so
+    // it switches the observer from noop to collecting.
+    let obs = if flags.admin.is_some() && !obs_files.enabled() {
+        Obs::collecting()
+    } else {
+        obs_files.observer()
+    };
+    let listener = twpp::ingest::ServeListener::bind(&flags.listen)
+        .map_err(|e| fail(format!("{}: {e}", flags.listen)))?;
+    let addr = listener.local_addr();
+    if let Some(p) = &flags.port_file {
+        fs::write(p, &addr).map_err(|e| fail(format!("{}: {e}", p.display())))?;
+    }
+    let admin_listener = match &flags.admin {
+        Some(spec) => {
+            let l = twpp::ingest::ServeListener::bind(spec)
+                .map_err(|e| fail(format!("{spec}: {e}")))?;
+            let admin_addr = l.local_addr();
+            if let Some(p) = &flags.admin_port_file {
+                fs::write(p, &admin_addr).map_err(|e| fail(format!("{}: {e}", p.display())))?;
+            }
+            writeln!(out, "admin plane on {admin_addr} (/metrics /status /healthz)")?;
+            Some(l)
+        }
+        None => None,
+    };
+    writeln!(out, "serving archives under {} on {addr}", dir.display())?;
+    let shutdown = twpp::CancelToken::new();
+    {
+        let token = shutdown.clone();
+        let deadline = flags.drain_after_ms;
+        let started = std::time::Instant::now();
+        std::thread::spawn(move || loop {
+            if shutdown_requested()
+                || deadline.is_some_and(|ms| started.elapsed().as_millis() as u64 >= ms)
+            {
+                token.cancel();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        });
+    }
+    let defaults = twpp_server::ServeOptions::default();
+    let opts = twpp_server::ServeOptions {
+        default_deadline_ms: flags.default_deadline_ms,
+        rescan_ms: flags.rescan_ms.unwrap_or(defaults.rescan_ms),
+        max_inflight: flags.max_inflight.unwrap_or(defaults.max_inflight),
+        cache_answers: flags.cache_answers,
+        frame_cache_bytes: flags.frame_cache_bytes.unwrap_or(defaults.frame_cache_bytes),
+        summary_cache_bytes: flags
+            .summary_cache_bytes
+            .unwrap_or(defaults.summary_cache_bytes),
+        obs: obs.clone(),
+        ..defaults
+    };
+    let report = twpp_server::serve(dir, listener, admin_listener, opts, &shutdown)
+        .map_err(|e| fail(format!("{}: {e}", dir.display())))?;
+    writeln!(
+        out,
+        "drained: {} archive(s), {} connection(s), {} request(s), \
+         {} answer(s) ({} partial), {} error(s), {} busy, {} quarantined",
+        report.archives,
+        report.connections,
+        report.requests,
+        report.answers,
+        report.partial,
+        report.errors,
+        report.busy,
+        report.quarantined
+    )?;
+    let run = RunReport::new("serve", RunOutcome::Complete);
+    obs_files.emit(&obs, run, out)?;
+    Ok(())
+}
+
+/// One client's share of the serve-bench hammer: per-request latencies
+/// in nanoseconds, plus how many answers came back partial.
+struct BenchSlice {
+    latencies: Vec<u64>,
+    partial: u64,
+}
+
+/// `twpp serve-bench <addr>`: hammer a running `twpp serve` daemon with
+/// `--clients` concurrent connections issuing `--requests` queries each,
+/// round-robin over every (archive, function) pair the fleet exposes,
+/// and report client-side latency percentiles.
+fn cmd_serve_bench(
+    addr: &str,
+    clients: usize,
+    requests: usize,
+    admin: Option<&str>,
+    json: bool,
+    limits: twpp::Limits,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    // Discover the target set once: every archive, probing low function
+    // ids with a 1-step budget (cheap even on huge functions).
+    let mut probe = twpp_server::Client::connect(addr).map_err(client_err)?;
+    let archives = probe.list_archives().map_err(client_err)?;
+    if archives.is_empty() {
+        return Err(fail("server has no archives to bench against"));
+    }
+    let mut targets: Vec<(String, u32)> = Vec::new();
+    for stat in &archives {
+        for func in 0..16u32 {
+            let req = twpp::net::QueryReq { archive: stat.name.clone(), func };
+            let spec = twpp::net::BudgetSpec { deadline_ms: 0, max_steps: 1 };
+            if probe.query(req, spec).is_ok() {
+                targets.push((stat.name.clone(), func));
+            }
+        }
+    }
+    if targets.is_empty() {
+        return Err(fail("no queryable functions found in the served fleet"));
+    }
+    drop(probe);
+    let spec = budget_spec(limits);
+    let slices: Vec<BenchSlice> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let targets = &targets;
+            handles.push(scope.spawn(move || -> Result<BenchSlice, CliError> {
+                let mut client = twpp_server::Client::connect(addr).map_err(client_err)?;
+                let mut latencies = Vec::with_capacity(requests);
+                let mut partial = 0u64;
+                for r in 0..requests {
+                    let (archive, func) = &targets[(c + r * clients) % targets.len()];
+                    let req =
+                        twpp::net::QueryReq { archive: archive.clone(), func: *func };
+                    let started = std::time::Instant::now();
+                    let answer = client.query(req, spec).map_err(client_err)?;
+                    latencies.push(started.elapsed().as_nanos() as u64);
+                    if !answer.complete {
+                        partial += 1;
+                    }
+                }
+                Ok(BenchSlice { latencies, partial })
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err(fail("bench client panicked"))))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    let mut latencies: Vec<u64> = slices.iter().flat_map(|s| s.latencies.clone()).collect();
+    let partial: u64 = slices.iter().map(|s| s.partial).sum();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let total = latencies.len() as u64;
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    // Cache hit rates come from the admin plane when present.
+    let hit_rates = admin.and_then(scrape_cache_hit_rates);
+    if json {
+        let mut w = twpp::obs::JsonWriter::new();
+        w.begin_object();
+        w.key("requests");
+        w.uint(total);
+        w.key("partial");
+        w.uint(partial);
+        w.key("p50_nanos");
+        w.uint(p50);
+        w.key("p99_nanos");
+        w.uint(p99);
+        match hit_rates {
+            Some((frame, summary)) => {
+                w.key("frame_cache_hit_rate");
+                w.float(frame);
+                w.key("summary_cache_hit_rate");
+                w.float(summary);
+            }
+            None => {
+                w.key("frame_cache_hit_rate");
+                w.null();
+                w.key("summary_cache_hit_rate");
+                w.null();
+            }
+        }
+        w.end_object();
+        writeln!(out, "{}", w.finish())?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{total} request(s) across {clients} client(s): p50 {:.3} ms, p99 {:.3} ms, {partial} partial",
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6
+    )?;
+    if let Some((frame, summary)) = hit_rates {
+        writeln!(
+            out,
+            "cache hit rates: frame {:.1}%, summary {:.1}%",
+            frame * 100.0,
+            summary * 100.0
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads `twpp_serve_*_cache_*_total` counters off a serve daemon's
+/// `/metrics` endpoint and folds them into hit rates.
+fn scrape_cache_hit_rates(admin: &str) -> Option<(f64, f64)> {
+    let body = http_get(admin, "/metrics")?;
+    let counter = |name: &str| -> f64 {
+        body.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0)
+    };
+    let rate = |hits: f64, misses: f64| if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 };
+    Some((
+        rate(
+            counter("twpp_serve_frame_cache_hits_total"),
+            counter("twpp_serve_frame_cache_misses_total"),
+        ),
+        rate(
+            counter("twpp_serve_summary_cache_hits_total"),
+            counter("twpp_serve_summary_cache_misses_total"),
+        ),
+    ))
+}
+
+/// Minimal HTTP GET against an admin-plane spec (`tcp:addr`,
+/// `unix:path`, or a bare address).
+fn http_get(spec: &str, path: &str) -> Option<String> {
+    use std::io::Read;
+    let mut stream: Box<dyn twpp::ingest::ConnStream> = match spec.split_once(':') {
+        Some(("unix", p)) => Box::new(std::os::unix::net::UnixStream::connect(p).ok()?),
+        Some(("tcp", addr)) => Box::new(std::net::TcpStream::connect(addr).ok()?),
+        _ => Box::new(std::net::TcpStream::connect(spec).ok()?),
+    };
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: twpp\r\nConnection: close\r\n\r\n").as_bytes())
+        .ok()?;
+    let mut body = String::new();
+    stream.read_to_string(&mut body).ok()?;
+    body.split_once("\r\n\r\n").map(|(_, b)| b.to_owned())
+}
+
+/// `twpp gen-fleet <dir>`: write `--archives` seeded workload archives
+/// under a directory, cycling the five SPECint95 profiles. The result is
+/// a ready-made fleet root for `twpp serve` tests and benches.
+fn cmd_gen_fleet(
+    dir: &Path,
+    archives: usize,
+    seed: u64,
+    scale: f64,
+    threads: Option<usize>,
+    out: &mut Out<'_>,
+) -> Result<(), CliError> {
+    fs::create_dir_all(dir).map_err(|e| fail(format!("{}: {e}", dir.display())))?;
+    let obs = Obs::noop();
+    let resolved = twpp::resolve_threads(threads);
+    let profiles = twpp_workloads::Profile::all();
+    for i in 0..archives {
+        let profile = profiles[i % profiles.len()];
+        let mut spec = profile.spec().scaled(scale);
+        spec.seed = seed.wrapping_add(i as u64);
+        let workload = twpp_workloads::generate(&spec);
+        let compacted = twpp::compact(&workload.wpp).map_err(fail)?;
+        let names: std::collections::HashMap<FuncId, String> = workload
+            .program
+            .funcs()
+            .map(|(id, f)| (id, f.name().to_owned()))
+            .collect();
+        let archive = TwppArchive::from_compacted_codec(
+            &compacted,
+            &names,
+            resolved,
+            &[],
+            &obs,
+            twpp::Codec::default(),
+        );
+        // The stem doubles as the archive's served name, so it must be a
+        // valid_source_name: profile names only contain [a-z0-9.].
+        let path = dir.join(format!("{}-s{i}.twpa", workload.name));
+        archive
+            .save_with(&path, twpp::Durability::Flush)
+            .map_err(|e| fail(format!("{}: {e}", path.display())))?;
+        writeln!(
+            out,
+            "wrote {} ({} functions, {} bytes)",
+            path.display(),
+            archive.function_ids().len(),
+            archive.byte_len()
+        )?;
+    }
+    writeln!(out, "fleet of {archives} archive(s) under {}", dir.display())?;
     Ok(())
 }
 

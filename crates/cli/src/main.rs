@@ -28,9 +28,9 @@ fn install_drain_signals() {}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Only the daemon converts signals into a graceful drain; every
+    // Only the daemons convert signals into a graceful drain; every
     // other command keeps the default die-on-SIGINT behaviour.
-    if args.iter().any(|a| a == "serve-ingest") {
+    if args.iter().any(|a| a == "serve-ingest" || a == "serve") {
         install_drain_signals();
     }
     let mut stdout = std::io::stdout().lock();

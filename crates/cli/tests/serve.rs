@@ -1,0 +1,528 @@
+//! End-to-end drills for `twpp serve`, the multi-tenant query server
+//! over an archive fleet:
+//!
+//! * remote answers are **byte-identical** to one-shot local CLI answers
+//!   for every request kind (query/slice/currency) across a seeded
+//!   ten-archive fleet, with the caches cold and hot;
+//! * concurrent clients hammering the daemon — with the answer cache on
+//!   and off (`--no-cache`) — all receive the expected bytes;
+//! * a budget-exhausted request yields a *sound* partial: exit 3, the
+//!   partial text (minus its truncation line) is a prefix of the
+//!   complete text, and the rendered count is monotone in the budget;
+//! * the rescan loop picks up archives added and removed mid-flight
+//!   without disturbing requests against untouched tenants;
+//! * a connection feeding garbage is quarantined without affecting a
+//!   well-behaved client on the same daemon;
+//! * SIGKILL leaves the fleet readable, and a restarted daemon answers
+//!   over the same root.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::Duration;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_twpp")
+}
+
+/// Fault-plan variables cleared from every spawned process so a dirty
+/// environment can't skew the drills.
+const INJECT_VARS: &[&str] = &[
+    "TWPP_INJECT_KILL_AT",
+    "TWPP_INJECT_IO_FAULTS",
+    "TWPP_INJECT_NET_FAULT",
+    "TWPP_INJECT_READ_FAULT_AT",
+    "TWPP_INJECT_PANIC",
+    "TWPP_INJECT_DELAY_MS",
+];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "twpp-serve-fleet-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn twpp(args: &[&str]) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(args);
+    for var in INJECT_VARS {
+        cmd.env_remove(var);
+    }
+    cmd.output().expect("spawn twpp")
+}
+
+fn ok_stdout(output: Output, what: &str) -> String {
+    assert!(
+        output.status.success(),
+        "{what} failed: {}\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+/// Seeds `dir` with a generated fleet and returns the name-sorted
+/// archive stems (the tenant names the server exposes).
+fn gen_fleet(dir: &Path, archives: usize) -> Vec<String> {
+    ok_stdout(
+        twpp(&[
+            "gen-fleet",
+            dir.to_str().unwrap(),
+            "--archives",
+            &archives.to_string(),
+            "--seed",
+            "42",
+            "--scale",
+            "0.01",
+        ]),
+        "gen-fleet",
+    );
+    fleet_stems(dir)
+}
+
+fn fleet_stems(dir: &Path) -> Vec<String> {
+    let mut stems: Vec<String> = std::fs::read_dir(dir)
+        .expect("read fleet dir")
+        .filter_map(|e| {
+            let p = e.expect("dir entry").path();
+            (p.extension().is_some_and(|x| x == "twpa"))
+                .then(|| p.file_stem().unwrap().to_str().unwrap().to_owned())
+        })
+        .collect();
+    stems.sort();
+    stems
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `twpp serve` on an ephemeral port and waits for its port
+/// file. `--drain-after-ms` is a stray-process safety net far beyond
+/// any drill's runtime.
+fn spawn_serve(dir: &Path, port_file: &Path, extra: &[&str]) -> Daemon {
+    let _ = std::fs::remove_file(port_file);
+    let mut cmd = Command::new(bin());
+    cmd.args([
+        "serve",
+        dir.to_str().unwrap(),
+        "--listen",
+        "tcp:127.0.0.1:0",
+        "--port-file",
+        port_file.to_str().unwrap(),
+        "--drain-after-ms",
+        "60000",
+    ]);
+    cmd.args(extra);
+    for var in INJECT_VARS {
+        cmd.env_remove(var);
+    }
+    cmd.stdout(Stdio::piped()).stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn serve daemon");
+    for _ in 0..1000 {
+        if let Ok(addr) = std::fs::read_to_string(port_file) {
+            if !addr.is_empty() {
+                return Daemon { child, addr };
+            }
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            let out = child.wait_with_output().expect("daemon output");
+            panic!(
+                "serve daemon died before listening: {status}\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = child.kill();
+    panic!("serve daemon never wrote its port file");
+}
+
+/// Picks a (func, trace-0 criterion, trace-0 def block) triple with a
+/// non-empty dynamic CFG — the same derivation the conformance oracle
+/// uses — so slice/currency requests are well-formed.
+fn slice_target(path: &Path) -> Option<(u32, u32, u32)> {
+    let la = twpp::lazy::LazyArchive::open(path).ok()?;
+    for func in la.function_ids() {
+        let Ok(record) = la.read_function(func) else {
+            continue;
+        };
+        if record.traces.is_empty() {
+            continue;
+        }
+        let (dict_idx, tt) = &record.traces[0];
+        let dcfg = twpp_dataflow::dyncfg::DynCfg::new(tt, &record.dicts[*dict_idx as usize]);
+        if dcfg.node_count() == 0 {
+            continue;
+        }
+        let criterion = dcfg.node(dcfg.node_count() - 1).head.as_u32();
+        let def = dcfg.node(0).head.as_u32();
+        return Some((func.as_u32(), criterion, def));
+    }
+    None
+}
+
+/// The acceptance drill: for every archive in a ten-tenant fleet, the
+/// remote answer for each request kind is byte-identical to the local
+/// one-shot CLI answer — on a cold cache and again on a hot one.
+#[test]
+fn remote_answers_are_byte_identical_across_the_fleet() {
+    let root = temp_dir("identity");
+    let fleet = root.join("fleet");
+    let stems = gen_fleet(&fleet, 10);
+    assert_eq!(stems.len(), 10, "gen-fleet must seed ten archives");
+    let daemon = spawn_serve(&fleet, &root.join("port"), &[]);
+    let addr = daemon.addr.clone();
+
+    for stem in &stems {
+        let path = fleet.join(format!("{stem}.twpa"));
+        let path = path.to_str().unwrap();
+
+        let local = ok_stdout(twpp(&["query", path, "0"]), "local query");
+        for pass in ["cold", "hot"] {
+            let remote = ok_stdout(
+                twpp(&["query", "--remote", &addr, stem, "0"]),
+                "remote query",
+            );
+            assert_eq!(remote, local, "{stem} query ({pass} cache) diverges");
+        }
+
+        let Some((func, criterion, def)) = slice_target(Path::new(path)) else {
+            panic!("{stem}: no sliceable function in a generated workload");
+        };
+        let func = func.to_string();
+        let criterion = criterion.to_string();
+        let def = def.to_string();
+
+        let local = ok_stdout(
+            twpp(&["slice", path, &func, "0", &criterion]),
+            "local slice",
+        );
+        for pass in ["cold", "hot"] {
+            let remote = ok_stdout(
+                twpp(&["slice", "--remote", &addr, stem, &func, "0", &criterion]),
+                "remote slice",
+            );
+            assert_eq!(remote, local, "{stem} slice ({pass} cache) diverges");
+        }
+
+        let local = ok_stdout(
+            twpp(&["currency", path, &func, "0", &def, &criterion]),
+            "local currency",
+        );
+        for pass in ["cold", "hot"] {
+            let remote = ok_stdout(
+                twpp(&["currency", "--remote", &addr, stem, &func, "0", &def, &criterion]),
+                "remote currency",
+            );
+            assert_eq!(remote, local, "{stem} currency ({pass} cache) diverges");
+        }
+    }
+
+    // The typed client agrees on the fleet roster.
+    let mut client = twpp_server::Client::connect(&addr).expect("client connect");
+    let listed: Vec<String> = client
+        .list_archives()
+        .expect("list archives")
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(listed, stems, "served roster diverges from the fleet dir");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// N client threads × M requests hammer the daemon; every reply must be
+/// the expected bytes. Run twice: answer cache on (default) and off.
+#[test]
+fn concurrent_clients_all_get_the_expected_bytes() {
+    let root = temp_dir("hammer");
+    let fleet = root.join("fleet");
+    let stems = gen_fleet(&fleet, 5);
+
+    for mode in [&[][..], &["--no-cache"][..]] {
+        let daemon = spawn_serve(&fleet, &root.join("port"), mode);
+        let addr = daemon.addr.clone();
+
+        // Expected bytes per tenant, from one-shot local answers.
+        let expected: Vec<(String, String)> = stems
+            .iter()
+            .map(|stem| {
+                let path = fleet.join(format!("{stem}.twpa"));
+                let local =
+                    ok_stdout(twpp(&["query", path.to_str().unwrap(), "0"]), "local query");
+                (stem.clone(), local)
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let addr = &addr;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for r in 0..8usize {
+                        let (stem, want) = &expected[(t + r) % expected.len()];
+                        let got = ok_stdout(
+                            twpp(&["query", "--remote", addr, stem, "0"]),
+                            "hammer query",
+                        );
+                        assert_eq!(
+                            &got, want,
+                            "thread {t} request {r}: {stem} diverges (mode {mode:?})"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Budget-exhausted queries are sound partials: exit 3, the partial
+/// text minus its truncation line is a prefix of the complete text, and
+/// the rendered-trace count is monotone in the step budget.
+#[test]
+fn budget_partials_are_sound_prefixes() {
+    let root = temp_dir("partial");
+    let fleet = root.join("fleet");
+    let stems = gen_fleet(&fleet, 5);
+    let daemon = spawn_serve(&fleet, &root.join("port"), &[]);
+    let addr = daemon.addr.clone();
+
+    // Pick the (tenant, function) rendering the most unique traces, so
+    // small step budgets are guaranteed to truncate.
+    let (stem, func, traces) = stems
+        .iter()
+        .flat_map(|stem| {
+            let la = twpp::lazy::LazyArchive::open(&fleet.join(format!("{stem}.twpa")))
+                .expect("open archive");
+            la.function_ids()
+                .into_iter()
+                .filter_map(|f| {
+                    let record = la.read_function(f).ok()?;
+                    Some((stem.clone(), f.as_u32().to_string(), record.traces.len()))
+                })
+                .collect::<Vec<_>>()
+        })
+        .max_by_key(|(_, _, traces)| *traces)
+        .expect("non-empty fleet");
+    assert!(
+        traces >= 2,
+        "seeded fleet has no multi-trace function; the drill cannot bite"
+    );
+    let full = ok_stdout(
+        twpp(&["query", "--remote", &addr, &stem, &func]),
+        "full remote query",
+    );
+
+    let mut last_rendered = 0u64;
+    let mut saw_partial = false;
+    for k in ["1", "2", "4", "8"] {
+        let output = twpp(&["query", "--remote", &addr, &stem, &func, "--max-events", k]);
+        let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+        if output.status.success() {
+            // Budget large enough for this tenant: complete answer,
+            // byte-identical to the unbudgeted one.
+            let got = String::from_utf8(output.stdout).expect("utf-8");
+            assert_eq!(got, full, "complete budgeted answer diverges");
+            continue;
+        }
+        saw_partial = true;
+        assert_eq!(
+            output.status.code(),
+            Some(3),
+            "partial answers must exit 3 (degraded): {stderr}"
+        );
+        let rendered: u64 = stderr
+            .lines()
+            .find_map(|l| l.split("truncated after ").nth(1))
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("no truncation message in: {stderr}"));
+        assert!(
+            rendered >= last_rendered,
+            "rendered traces regressed: {rendered} < {last_rendered} at budget {k}"
+        );
+        last_rendered = rendered;
+
+        // Prefix soundness: everything before the truncation line must
+        // be literally what the complete answer starts with.
+        let partial = String::from_utf8(output.stdout).expect("utf-8");
+        let body = partial.trim_end_matches('\n');
+        let prefix = match body.rfind('\n') {
+            Some(cut) => &body[..=cut],
+            None => "",
+        };
+        assert!(
+            full.starts_with(prefix),
+            "partial at budget {k} is not a prefix of the complete answer:\n\
+             partial prefix:\n{prefix}\nfull:\n{full}"
+        );
+    }
+    assert!(
+        saw_partial,
+        "no step budget in 1..=8 truncated {stem}; the drill never bit"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Polls `probe` until it returns true or the deadline passes.
+fn eventually(what: &str, mut probe: impl FnMut() -> bool) {
+    for _ in 0..200 {
+        if probe() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("{what}: condition not reached within 10s");
+}
+
+/// The rescan loop registers added archives and retires removed ones
+/// mid-flight, leaving untouched tenants byte-stable throughout.
+#[test]
+fn rescan_tracks_added_and_removed_archives() {
+    let root = temp_dir("rescan");
+    let fleet = root.join("fleet");
+    let stems = gen_fleet(&fleet, 2);
+    let daemon = spawn_serve(&fleet, &root.join("port"), &["--rescan-ms", "100"]);
+    let addr = daemon.addr.clone();
+
+    let keep = &stems[0];
+    let victim = &stems[1];
+    let baseline = ok_stdout(
+        twpp(&["query", "--remote", &addr, keep, "0"]),
+        "baseline query",
+    );
+
+    // Add: copy an existing archive under a fresh tenant name; the next
+    // rescan must make it queryable.
+    let newcomer = "newcomer";
+    std::fs::copy(
+        fleet.join(format!("{keep}.twpa")),
+        fleet.join(format!("{newcomer}.twpa")),
+    )
+    .expect("copy archive");
+    eventually("added archive becomes queryable", || {
+        twpp(&["query", "--remote", &addr, newcomer, "0"])
+            .status
+            .success()
+    });
+    let adopted = ok_stdout(
+        twpp(&["query", "--remote", &addr, newcomer, "0"]),
+        "adopted query",
+    );
+    assert_eq!(adopted, baseline, "copied tenant must answer identically");
+
+    // Remove: delete a tenant's file; the next rescan must refuse it by
+    // name with the fleet-membership error (exit 4, not a hang).
+    std::fs::remove_file(fleet.join(format!("{victim}.twpa"))).expect("remove archive");
+    eventually("removed archive is refused", || {
+        let out = twpp(&["query", "--remote", &addr, victim, "0"]);
+        out.status.code() == Some(4)
+            && String::from_utf8_lossy(&out.stderr).contains("is not in the served fleet")
+    });
+
+    // The untouched tenant never wavered.
+    let after = ok_stdout(
+        twpp(&["query", "--remote", &addr, keep, "0"]),
+        "post-churn query",
+    );
+    assert_eq!(after, baseline, "untouched tenant diverged across rescans");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A connection feeding garbage bytes is quarantined; a well-behaved
+/// client on the same daemon still gets the expected answer.
+#[test]
+fn garbage_connections_are_quarantined_without_collateral() {
+    let root = temp_dir("garbage");
+    let fleet = root.join("fleet");
+    let stems = gen_fleet(&fleet, 2);
+    let mut daemon = spawn_serve(&fleet, &root.join("port"), &[]);
+    let addr = daemon.addr.clone();
+    let stem = &stems[0];
+
+    let expected = ok_stdout(
+        twpp(&["query", "--remote", &addr, stem, "0"]),
+        "pre-garbage query",
+    );
+
+    let host_port = addr.strip_prefix("tcp:").expect("tcp spec");
+    for garbage in [
+        &b"\xff\xff\xff\xff\xff\xff\xff\xff"[..], // nonsense magic
+        &b"GET / HTTP/1.1\r\n\r\n"[..],           // wrong protocol entirely
+        &b"\x00\x00\x00\x04"[..],                 // length prefix, then hang up
+    ] {
+        use std::io::Write as _;
+        let mut sock = std::net::TcpStream::connect(host_port).expect("connect");
+        let _ = sock.write_all(garbage);
+        let _ = sock.flush();
+        drop(sock);
+    }
+    // Quarantining is asynchronous; give the daemon a beat, then prove
+    // it is both alive and still correct.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        daemon.child.try_wait().expect("try_wait").is_none(),
+        "daemon died on garbage input"
+    );
+    for _ in 0..3 {
+        let got = ok_stdout(
+            twpp(&["query", "--remote", &addr, stem, "0"]),
+            "post-garbage query",
+        );
+        assert_eq!(got, expected, "good client disturbed by garbage peer");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// SIGKILL mid-serve corrupts nothing (the server never writes to the
+/// fleet), and a restarted daemon over the same root answers again —
+/// byte-identical to local reads.
+#[test]
+fn kill_and_restart_leaves_the_fleet_readable() {
+    let root = temp_dir("kill");
+    let fleet = root.join("fleet");
+    let stems = gen_fleet(&fleet, 3);
+    let stem = &stems[0];
+    let path = fleet.join(format!("{stem}.twpa"));
+    let path = path.to_str().unwrap();
+
+    let mut daemon = spawn_serve(&fleet, &root.join("port"), &[]);
+    let warm = ok_stdout(
+        twpp(&["query", "--remote", &daemon.addr, stem, "0"]),
+        "pre-kill query",
+    );
+    daemon.child.kill().expect("SIGKILL daemon");
+    let _ = daemon.child.wait();
+    drop(daemon);
+
+    // The fleet is untouched: local reads still work and still agree.
+    let local = ok_stdout(twpp(&["query", path, "0"]), "post-kill local query");
+    assert_eq!(local, warm, "fleet bytes changed across a SIGKILL");
+
+    let daemon = spawn_serve(&fleet, &root.join("port2"), &[]);
+    let revived = ok_stdout(
+        twpp(&["query", "--remote", &daemon.addr, stem, "0"]),
+        "post-restart query",
+    );
+    assert_eq!(revived, local, "restarted daemon diverges from the fleet");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

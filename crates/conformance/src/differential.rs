@@ -63,6 +63,7 @@ pub const EVENT_CHECKS: &[(&str, EventCheck)] = &[
     ("serve-drain-equivalence", check_serve_drain_equivalence),
     ("adaptive-codec-roundtrip", check_adaptive_codec_roundtrip),
     ("adaptive-legacy-equivalence", check_adaptive_legacy_equivalence),
+    ("serve-equivalence", check_serve_equivalence),
 ];
 
 fn fmt_events(events: &[WppEvent]) -> String {
@@ -784,6 +785,173 @@ fn check_serve_drain_equivalence(events: &[WppEvent], cx: &CheckContext) -> Resu
                     ));
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// The query server is a pure view over its archives: every answer an
+/// in-process server (the daemon's exact `handle_request` path, minus
+/// the socket) gives for query/slice/currency must equal the direct
+/// dataflow oracle computed from the same archive — and a step-governed
+/// partial answer must be a text prefix of the complete one with
+/// monotone coverage.
+fn check_serve_equivalence(events: &[WppEvent], _cx: &CheckContext) -> Result<(), String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let Some(c) = compact_at(events, 1)? else {
+        return Ok(());
+    };
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "twpp-conf-fleet-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("fleet dir: {e}"))?;
+    let result = serve_equivalence_in(&dir, &c);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn serve_equivalence_in(dir: &std::path::Path, c: &CompactedTwpp) -> Result<(), String> {
+    use twpp::net::{BudgetSpec, CurrencyReq, Frame, QueryReq, SliceReq};
+    use twpp_dataflow::dyncfg::DynCfg;
+
+    TwppArchive::from_compacted(c)
+        .save_with(&dir.join("a.twpa"), twpp::Durability::None)
+        .map_err(|e| format!("fleet archive write: {e}"))?;
+    let server =
+        twpp_server::InProcServer::new(dir, twpp_server::ServeOptions::default())
+            .map_err(|e| format!("in-process server: {e}"))?;
+    let la = twpp::lazy::LazyArchive::open(&dir.join("a.twpa"))
+        .map_err(|e| format!("oracle open: {e}"))?;
+    let unlimited = BudgetSpec { deadline_ms: 0, max_steps: 0 };
+    let expect_answer = |frame: &Frame| -> Result<twpp::net::Answer, String> {
+        match server.handle(frame) {
+            Frame::Answer(a) => Ok(*a),
+            other => Err(format!("server refused {frame:?}: {other:?}")),
+        }
+    };
+    // Cap per-case work: the battery runs this on every generated stream.
+    for func in la.function_ids().into_iter().take(8) {
+        let record = la
+            .read_function(func)
+            .map_err(|e| format!("oracle read {}: {e}", func.as_u32()))?;
+        let budget = twpp::Limits::default().start();
+        let oracle = twpp_server::query_answer(func, &record, &budget)
+            .map_err(|e| format!("oracle query: {e}"))?;
+        let req = QueryReq { archive: "a".into(), func: func.as_u32() };
+        let served = expect_answer(&Frame::Query { req: req.clone(), budget: unlimited })?;
+        if served != oracle {
+            return Err(format!(
+                "function {}: served query differs from the dataflow oracle \
+                 ({served:?} vs {oracle:?})",
+                func.as_u32()
+            ));
+        }
+
+        // Governed partials: a k-step answer must agree with the k-step
+        // oracle, its text must be a prefix of the complete text (after
+        // dropping the truncation marker), and coverage must be
+        // monotone in k.
+        let total = record.traces.len();
+        let mut last_coverage = -1.0f64;
+        for k in [1usize, total.max(2) / 2, total.saturating_sub(1)] {
+            if k == 0 || k >= total {
+                continue;
+            }
+            let spec = BudgetSpec { deadline_ms: 0, max_steps: k as u64 };
+            let part =
+                expect_answer(&Frame::Query { req: req.clone(), budget: spec })?;
+            let oracle_budget = twpp::Limits::default().max_steps(k as u64).start();
+            let oracle_part = twpp_server::query_answer(func, &record, &oracle_budget)
+                .map_err(|e| format!("oracle partial query: {e}"))?;
+            if part != oracle_part {
+                return Err(format!(
+                    "function {} max_steps={k}: served partial differs from \
+                     the governed oracle",
+                    func.as_u32()
+                ));
+            }
+            if part.complete {
+                return Err(format!(
+                    "function {} max_steps={k} < {total} traces: answer \
+                     claims completeness",
+                    func.as_u32()
+                ));
+            }
+            let stripped = match part.text.trim_end_matches('\n').rfind('\n') {
+                Some(cut) => &part.text[..=cut],
+                None => part.text.as_str(),
+            };
+            if !oracle.text.starts_with(stripped) {
+                return Err(format!(
+                    "function {} max_steps={k}: partial text is not a prefix \
+                     of the complete answer",
+                    func.as_u32()
+                ));
+            }
+            if part.coverage() < last_coverage {
+                return Err(format!(
+                    "function {} max_steps={k}: coverage regressed ({} < {})",
+                    func.as_u32(),
+                    part.coverage(),
+                    last_coverage
+                ));
+            }
+            last_coverage = part.coverage();
+        }
+
+        // Slice and currency over trace 0, against the direct engines.
+        if total == 0 {
+            continue;
+        }
+        let (dict_idx, tt) = &record.traces[0];
+        let dcfg = DynCfg::new(tt, &record.dicts[*dict_idx as usize]);
+        if dcfg.node_count() == 0 {
+            continue;
+        }
+        let criterion = dcfg.node(dcfg.node_count() - 1).head.as_u32();
+        let def_block = dcfg.node(0).head.as_u32();
+        let budget = twpp::Limits::default().start();
+        let slice_oracle =
+            twpp_server::slice_answer(func, &record, 0, criterion, &budget)
+                .map_err(|e| format!("oracle slice: {e}"))?;
+        let slice_served = expect_answer(&Frame::Slice {
+            req: SliceReq { archive: "a".into(), func: func.as_u32(), trace: 0, criterion },
+            budget: unlimited,
+        })?;
+        if slice_served != slice_oracle {
+            return Err(format!(
+                "function {} criterion {criterion}: served slice differs \
+                 from the dataflow oracle",
+                func.as_u32()
+            ));
+        }
+        let budget = twpp::Limits::default().start();
+        let currency_oracle = twpp_server::currency_answer(
+            func, &record, 0, def_block, criterion, &[], &budget,
+        )
+        .map_err(|e| format!("oracle currency: {e}"))?;
+        let currency_served = expect_answer(&Frame::Currency {
+            req: CurrencyReq {
+                archive: "a".into(),
+                func: func.as_u32(),
+                trace: 0,
+                def_block,
+                use_block: criterion,
+                redefs: Vec::new(),
+            },
+            budget: unlimited,
+        })?;
+        if currency_served != currency_oracle {
+            return Err(format!(
+                "function {} def {def_block} use {criterion}: served currency \
+                 differs from the dataflow oracle",
+                func.as_u32()
+            ));
         }
     }
     Ok(())

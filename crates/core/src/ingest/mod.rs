@@ -59,8 +59,8 @@ mod wal;
 
 pub use compactor::{Compactor, FinishReport, IngestOptions, ResumeReport};
 pub use server::{
-    serve, serve_with_admin, tail_source_name, ServeListener, ServeOptions, ServeReport,
-    SourceReport, STATUS_SCHEMA_VERSION,
+    serve, serve_with_admin, tail_source_name, ConnStream, ServeListener, ServeOptions,
+    ServeReport, SourceReport, STATUS_SCHEMA_VERSION,
 };
 pub use merge::{fsck_dir, merged_path, replay_dir_events, segment_events, DirCheck, DirReplay};
 pub use segment::{

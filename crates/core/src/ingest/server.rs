@@ -249,7 +249,9 @@ impl ServeListener {
         }
     }
 
-    fn set_nonblocking(&self) -> io::Result<()> {
+    /// Switches the listener to nonblocking accepts — call once before
+    /// polling [`ServeListener::accept`] in a loop.
+    pub fn set_nonblocking(&self) -> io::Result<()> {
         match self {
             ServeListener::Tcp(l) => l.set_nonblocking(true),
             #[cfg(unix)]
@@ -258,7 +260,8 @@ impl ServeListener {
     }
 
     /// Accepts one connection if one is pending; `None` on would-block.
-    fn accept(&self, read_timeout: Duration) -> io::Result<Option<Box<dyn ConnStream>>> {
+    /// The listener must have been switched to nonblocking first.
+    pub fn accept(&self, read_timeout: Duration) -> io::Result<Option<Box<dyn ConnStream>>> {
         match self {
             ServeListener::Tcp(l) => match l.accept() {
                 Ok((s, _)) => {
@@ -285,7 +288,7 @@ impl ServeListener {
 }
 
 /// A connected client stream the daemon can poll-read.
-trait ConnStream: Read + Write + Send {}
+pub trait ConnStream: Read + Write + Send {}
 impl ConnStream for TcpStream {}
 #[cfg(unix)]
 impl ConnStream for UnixStream {}
@@ -725,9 +728,21 @@ fn handle_conn(registry: &Registry, stream: Box<dyn ConnStream>) {
                     accepted: source.as_ref().map_or(0, |h| h.acked.load(Ordering::SeqCst)),
                 }
             }
-            Frame::Ok { .. } | Frame::Busy { .. } | Frame::Error { .. } => Frame::Error {
+            Frame::Ok { .. }
+            | Frame::Busy { .. }
+            | Frame::Error { .. }
+            | Frame::Answer(_)
+            | Frame::Archives { .. } => Frame::Error {
                 code: ERR_PROTOCOL,
                 message: "reply frame sent by client".into(),
+            },
+            Frame::Query { .. }
+            | Frame::Slice { .. }
+            | Frame::Currency { .. }
+            | Frame::ListArchives
+            | Frame::Stat { .. } => Frame::Error {
+                code: ERR_PROTOCOL,
+                message: "serve request sent to an ingest daemon".into(),
             },
         };
         let quarantine = matches!(reply, Frame::Error { .. });

@@ -18,7 +18,7 @@
 
 #![deny(clippy::unwrap_used)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
@@ -33,6 +33,7 @@ use crate::archive::{
     COMMIT_MAGIC, FIXED_HEADER_LEN, FOOTER_ENTRY_BYTES, FOOTER_FIXED_LEN, FOOTER_MAGIC,
     FRAME_HEADER_LEN, FRAME_MAGIC, MAGIC, VERSION, VERSION_V2,
 };
+use crate::cache::{next_archive_uid, FrameCache, DEFAULT_FRAME_CACHE_BYTES};
 use crate::dcg::Dcg;
 use crate::gov::Budget;
 use crate::obs::Obs;
@@ -55,7 +56,15 @@ pub struct LazyArchive {
     /// The verified metadata prefix (`[0, data_start)` of the file).
     meta_bytes: Vec<u8>,
     meta: MetaV3,
-    cache: Mutex<HashMap<FuncId, Arc<FunctionRecord>>>,
+    /// Decoded frames live in a byte-capped LRU — possibly shared with a
+    /// whole fleet of archives — keyed by this archive's process-unique
+    /// `uid`, so a huge archive can be scanned end to end without every
+    /// decoded frame staying live.
+    frames: Arc<FrameCache>,
+    uid: u64,
+    /// Functions decoded at least once (drives [`LazyArchive::decoded_count`]
+    /// and the first-decode obs counter, independent of later evictions).
+    decoded: Mutex<HashSet<FuncId>>,
     obs: Obs,
 }
 
@@ -91,6 +100,24 @@ impl LazyArchive {
     ///
     /// Same as [`LazyArchive::open`].
     pub fn open_observed(path: &Path, obs: Obs) -> Result<LazyArchive, ArchiveError> {
+        let cache = Arc::new(FrameCache::new(DEFAULT_FRAME_CACHE_BYTES));
+        LazyArchive::open_with_cache(path, cache, obs)
+    }
+
+    /// Like [`LazyArchive::open_observed`], decoding frames into (and out
+    /// of) `cache` — a byte-capped LRU that may be shared across many
+    /// archives (each open gets a process-unique uid keying its entries).
+    /// This is how a fleet server bounds resident frame bytes across all
+    /// tenants with one knob.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LazyArchive::open`].
+    pub fn open_with_cache(
+        path: &Path,
+        cache: Arc<FrameCache>,
+        obs: Obs,
+    ) -> Result<LazyArchive, ArchiveError> {
         let mut file = File::open(path)?;
         let file_len = file.metadata()?.len();
 
@@ -201,9 +228,22 @@ impl LazyArchive {
             failed,
             meta_bytes,
             meta,
-            cache: Mutex::new(HashMap::new()),
+            frames: cache,
+            uid: next_archive_uid(),
+            decoded: Mutex::new(HashSet::new()),
             obs,
         })
+    }
+
+    /// The process-unique uid keying this open's entries in its frame
+    /// cache; [`FrameCache::invalidate_archive`] with this uid drops them.
+    pub fn archive_uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// The frame cache this open decodes into.
+    pub fn frame_cache(&self) -> &Arc<FrameCache> {
+        &self.frames
     }
 
     /// Function ids present in the archive, most-called first (frame
@@ -247,9 +287,10 @@ impl LazyArchive {
         !self.failed.is_empty()
     }
 
-    /// Number of frames decoded (and cached) so far.
+    /// Number of distinct functions decoded at least once (later cache
+    /// evictions don't lower this).
     pub fn decoded_count(&self) -> usize {
-        lock_unpoisoned(&self.cache).len()
+        lock_unpoisoned(&self.decoded).len()
     }
 
     /// Decompresses and decodes the dynamic call graph from the resident
@@ -296,8 +337,8 @@ impl LazyArchive {
         func: FuncId,
         budget: Option<&Budget>,
     ) -> Result<Arc<FunctionRecord>, ArchiveError> {
-        if let Some(rec) = lock_unpoisoned(&self.cache).get(&func) {
-            return Ok(Arc::clone(rec));
+        if let Some(rec) = self.frames.get(self.uid, func) {
+            return Ok(rec);
         }
         let Some(&i) = self.index.get(&func) else {
             if self.failed.iter().any(|&(f, _)| f == func) {
@@ -334,7 +375,8 @@ impl LazyArchive {
             });
         }
         let rec = Arc::new(decode_region(e, &frame[FRAME_HEADER_LEN..])?);
-        if self.obs.is_enabled() {
+        let first_decode = lock_unpoisoned(&self.decoded).insert(func);
+        if first_decode && self.obs.is_enabled() {
             self.obs
                 .counter(
                     "twpp_core_frames_decoded_lazy",
@@ -342,9 +384,9 @@ impl LazyArchive {
                 )
                 .inc();
         }
-        Ok(Arc::clone(
-            lock_unpoisoned(&self.cache).entry(func).or_insert(rec),
-        ))
+        Ok(self
+            .frames
+            .insert_or_get(self.uid, func, rec, frame_len as u64))
     }
 }
 

@@ -28,6 +28,7 @@
 
 pub mod archive;
 pub mod bitcodec;
+pub mod cache;
 pub mod dbb;
 pub mod dcg;
 pub mod dedup;
@@ -47,6 +48,7 @@ pub mod tsset;
 
 pub use archive::{ArchiveError, ArchiveWriter, Durability, FunctionRecord, TwppArchive};
 pub use bitcodec::{BitCodecError, BitReader, BitWriter};
+pub use cache::{ByteLruCache, CacheStats, FrameCache, DEFAULT_FRAME_CACHE_BYTES};
 pub use dbb::{compact_trace, CompactedTrace, DbbDictionary};
 pub use dcg::{Dcg, DcgNode, DcgNodeId};
 pub use dedup::{eliminate_redundancy, eliminate_redundancy_threads, RedundancyStats};

@@ -67,6 +67,15 @@ pub const ERR_SOURCE_FAILED: u32 = 3;
 pub const ERR_DRAINING: u32 = 4;
 /// Protocol error code: the first frame on a connection must be `Hello`.
 pub const ERR_NO_HELLO: u32 = 5;
+/// Protocol error code: the named archive is not in the served fleet.
+pub const ERR_UNKNOWN_ARCHIVE: u32 = 6;
+/// Protocol error code: the request is well-formed on the wire but
+/// unanswerable (unknown function, trace index out of range, …).
+pub const ERR_BAD_REQUEST: u32 = 7;
+/// Protocol error code: the queried function is a degraded sentinel and
+/// carries no traces. A remote client maps this to the same degraded
+/// exit the local CLI uses.
+pub const ERR_DEGRADED: u32 = 8;
 
 /// Errors decoding or transporting frames.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -119,8 +128,140 @@ impl fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
-/// One protocol frame, client→server (`Hello`/`Events`/`Seal`/`Drain`)
-/// or server→client (`Ok`/`Busy`/`Error`).
+/// Per-request resource bounds carried by every serve request. Zero
+/// means "server default" for the deadline and "unlimited" for steps;
+/// the server clamps both against its own configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BudgetSpec {
+    /// Wall-clock deadline in milliseconds (0 = server default).
+    pub deadline_ms: u64,
+    /// Solver step limit (0 = unlimited).
+    pub max_steps: u64,
+}
+
+/// A `Query` request: list the expanded path traces of one function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryReq {
+    /// Archive name (file stem under the fleet root).
+    pub archive: String,
+    /// Function id to query.
+    pub func: u32,
+}
+
+/// A `Slice` request: the backward dynamic-slice closure over one
+/// trace's dynamic CFG from a criterion block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SliceReq {
+    /// Archive name.
+    pub archive: String,
+    /// Function id.
+    pub func: u32,
+    /// Unique-trace index within the function's block.
+    pub trace: u32,
+    /// Criterion block id (a dynamic-CFG node head).
+    pub criterion: u32,
+}
+
+/// A `Currency` request: which executions of a use see `def_block`'s
+/// value un-clobbered by any of `redefs`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CurrencyReq {
+    /// Archive name.
+    pub archive: String,
+    /// Function id.
+    pub func: u32,
+    /// Unique-trace index within the function's block.
+    pub trace: u32,
+    /// Block whose definition is being tracked.
+    pub def_block: u32,
+    /// Block where the value is observed.
+    pub use_block: u32,
+    /// Blocks that clobber the definition.
+    pub redefs: Vec<u32>,
+}
+
+/// One fleet entry in an `Archives` reply.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArchiveStat {
+    /// Archive name (file stem).
+    pub name: String,
+    /// Live (non-degraded) function count.
+    pub functions: u32,
+    /// Whether the archive carries degraded-function sentinels.
+    pub degraded: bool,
+    /// On-disk file size in bytes.
+    pub file_bytes: u64,
+}
+
+/// Typed result payload of an [`Answer`], one variant per request kind.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AnswerData {
+    /// Reply to [`QueryReq`].
+    Query {
+        /// Recorded call count of the function.
+        call_count: u64,
+        /// DBB dictionary count.
+        dicts: u32,
+        /// Unique path traces the function holds.
+        total_traces: u32,
+        /// Traces actually rendered before the budget ran out
+        /// (`== total_traces` when complete).
+        rendered: u32,
+    },
+    /// Reply to [`SliceReq`]: the slice as sorted block ids.
+    Slice {
+        /// Sorted, deduplicated block ids in the slice closure.
+        blocks: Vec<u32>,
+    },
+    /// Reply to [`CurrencyReq`].
+    Currency {
+        /// Timestamps at the use where the definition is current.
+        current: u64,
+        /// Total timestamps examined at the use.
+        total: u64,
+        /// `holds` timestamp set, wire words ([`TsSet::to_wire`]).
+        ///
+        /// [`TsSet::to_wire`]: crate::tsset::TsSet::to_wire
+        holds: Vec<i32>,
+        /// `not_holds` timestamp set, wire words.
+        not_holds: Vec<i32>,
+    },
+}
+
+/// A complete or governed-partial answer to a serve request.
+///
+/// `text` carries the exact bytes the local one-shot CLI would print
+/// for the same request, so remote output is byte-identical by
+/// construction; the structured fields exist for machine comparison
+/// (conformance, tests) and for the client to reproduce the CLI's
+/// degraded-exit contract.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Answer {
+    /// Whether the solver ran to completion.
+    pub complete: bool,
+    /// Why it stopped when partial: 0 none, 1 deadline, 2 step limit,
+    /// 3 byte limit, 4 cancelled.
+    pub stop_code: u32,
+    /// Fraction of the full answer covered, as `f64::to_bits` (kept as
+    /// bits so `Frame` stays `Eq`); `1.0` when complete.
+    pub coverage_bits: u64,
+    /// Rendered answer, byte-identical to the local CLI's stdout.
+    pub text: String,
+    /// Structured result.
+    pub data: AnswerData,
+}
+
+impl Answer {
+    /// Coverage as a fraction in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        f64::from_bits(self.coverage_bits)
+    }
+}
+
+/// One protocol frame: ingest client→server verbs
+/// (`Hello`/`Events`/`Seal`/`Drain`), serve request verbs
+/// (`Query`/`Slice`/`Currency`/`ListArchives`/`Stat`), and
+/// server→client replies (`Ok`/`Busy`/`Error`/`Answer`/`Archives`).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Frame {
     /// Opens a connection: names the source stream the events belong to.
@@ -158,6 +299,42 @@ pub enum Frame {
         /// Human-readable context.
         message: String,
     },
+    /// Serve: list one function's expanded path traces.
+    Query {
+        /// What to answer.
+        req: QueryReq,
+        /// Resource bounds.
+        budget: BudgetSpec,
+    },
+    /// Serve: backward dynamic slice over one trace's dynamic CFG.
+    Slice {
+        /// What to answer.
+        req: SliceReq,
+        /// Resource bounds.
+        budget: BudgetSpec,
+    },
+    /// Serve: currency determination at a use.
+    Currency {
+        /// What to answer.
+        req: CurrencyReq,
+        /// Resource bounds.
+        budget: BudgetSpec,
+    },
+    /// Serve: enumerate the fleet.
+    ListArchives,
+    /// Serve: stat one archive.
+    Stat {
+        /// Archive name.
+        archive: String,
+    },
+    /// Serve reply: a complete or governed-partial answer.
+    Answer(Box<Answer>),
+    /// Serve reply to `ListArchives` (every fleet entry, name-sorted)
+    /// and `Stat` (exactly one entry).
+    Archives {
+        /// The fleet entries.
+        entries: Vec<ArchiveStat>,
+    },
 }
 
 const KIND_HELLO: u32 = 1;
@@ -167,6 +344,17 @@ const KIND_DRAIN: u32 = 4;
 const KIND_OK: u32 = 16;
 const KIND_BUSY: u32 = 17;
 const KIND_ERROR: u32 = 18;
+const KIND_QUERY: u32 = 32;
+const KIND_SLICE: u32 = 33;
+const KIND_CURRENCY: u32 = 34;
+const KIND_LIST_ARCHIVES: u32 = 35;
+const KIND_STAT: u32 = 36;
+const KIND_ANSWER: u32 = 48;
+const KIND_ARCHIVES: u32 = 49;
+
+const ANSWER_TAG_QUERY: u32 = 1;
+const ANSWER_TAG_SLICE: u32 = 2;
+const ANSWER_TAG_CURRENCY: u32 = 3;
 
 /// Whether `name` is acceptable as a source name (and therefore as a
 /// subdirectory of the daemon's root): 1..=64 chars of
@@ -190,6 +378,13 @@ impl Frame {
             Frame::Ok { .. } => KIND_OK,
             Frame::Busy { .. } => KIND_BUSY,
             Frame::Error { .. } => KIND_ERROR,
+            Frame::Query { .. } => KIND_QUERY,
+            Frame::Slice { .. } => KIND_SLICE,
+            Frame::Currency { .. } => KIND_CURRENCY,
+            Frame::ListArchives => KIND_LIST_ARCHIVES,
+            Frame::Stat { .. } => KIND_STAT,
+            Frame::Answer(_) => KIND_ANSWER,
+            Frame::Archives { .. } => KIND_ARCHIVES,
         }
     }
 
@@ -213,6 +408,77 @@ impl Frame {
             Frame::Error { code, message } => {
                 body.extend_from_slice(&code.to_le_bytes());
                 body.extend_from_slice(message.as_bytes());
+            }
+            Frame::Query { req, budget } => {
+                put_str(&mut body, &req.archive);
+                body.extend_from_slice(&req.func.to_le_bytes());
+                put_budget(&mut body, budget);
+            }
+            Frame::Slice { req, budget } => {
+                put_str(&mut body, &req.archive);
+                body.extend_from_slice(&req.func.to_le_bytes());
+                body.extend_from_slice(&req.trace.to_le_bytes());
+                body.extend_from_slice(&req.criterion.to_le_bytes());
+                put_budget(&mut body, budget);
+            }
+            Frame::Currency { req, budget } => {
+                put_str(&mut body, &req.archive);
+                body.extend_from_slice(&req.func.to_le_bytes());
+                body.extend_from_slice(&req.trace.to_le_bytes());
+                body.extend_from_slice(&req.def_block.to_le_bytes());
+                body.extend_from_slice(&req.use_block.to_le_bytes());
+                body.extend_from_slice(&(req.redefs.len() as u32).to_le_bytes());
+                for r in &req.redefs {
+                    body.extend_from_slice(&r.to_le_bytes());
+                }
+                put_budget(&mut body, budget);
+            }
+            Frame::ListArchives => {}
+            Frame::Stat { archive } => put_str(&mut body, archive),
+            Frame::Answer(a) => {
+                let tag = match &a.data {
+                    AnswerData::Query { .. } => ANSWER_TAG_QUERY,
+                    AnswerData::Slice { .. } => ANSWER_TAG_SLICE,
+                    AnswerData::Currency { .. } => ANSWER_TAG_CURRENCY,
+                };
+                body.extend_from_slice(&tag.to_le_bytes());
+                body.extend_from_slice(&u32::from(a.complete).to_le_bytes());
+                body.extend_from_slice(&a.stop_code.to_le_bytes());
+                body.extend_from_slice(&a.coverage_bits.to_le_bytes());
+                put_str(&mut body, &a.text);
+                match &a.data {
+                    AnswerData::Query { call_count, dicts, total_traces, rendered } => {
+                        body.extend_from_slice(&call_count.to_le_bytes());
+                        body.extend_from_slice(&dicts.to_le_bytes());
+                        body.extend_from_slice(&total_traces.to_le_bytes());
+                        body.extend_from_slice(&rendered.to_le_bytes());
+                    }
+                    AnswerData::Slice { blocks } => {
+                        body.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+                        for b in blocks {
+                            body.extend_from_slice(&b.to_le_bytes());
+                        }
+                    }
+                    AnswerData::Currency { current, total, holds, not_holds } => {
+                        body.extend_from_slice(&current.to_le_bytes());
+                        body.extend_from_slice(&total.to_le_bytes());
+                        for words in [holds, not_holds] {
+                            body.extend_from_slice(&(words.len() as u32).to_le_bytes());
+                            for w in words {
+                                body.extend_from_slice(&w.to_le_bytes());
+                            }
+                        }
+                    }
+                }
+            }
+            Frame::Archives { entries } => {
+                body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    put_str(&mut body, &e.name);
+                    body.extend_from_slice(&e.functions.to_le_bytes());
+                    body.extend_from_slice(&u32::from(e.degraded).to_le_bytes());
+                    body.extend_from_slice(&e.file_bytes.to_le_bytes());
+                }
             }
         }
         let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
@@ -288,8 +554,208 @@ impl Frame {
                 let message = String::from_utf8_lossy(&payload[4..]).into_owned();
                 Ok(Frame::Error { code, message })
             }
+            KIND_QUERY => {
+                let mut r = Reader::new(payload);
+                let archive = r.archive_name()?;
+                let func = r.u32()?;
+                let budget = r.budget()?;
+                r.done()?;
+                Ok(Frame::Query { req: QueryReq { archive, func }, budget })
+            }
+            KIND_SLICE => {
+                let mut r = Reader::new(payload);
+                let archive = r.archive_name()?;
+                let func = r.u32()?;
+                let trace = r.u32()?;
+                let criterion = r.u32()?;
+                let budget = r.budget()?;
+                r.done()?;
+                Ok(Frame::Slice {
+                    req: SliceReq { archive, func, trace, criterion },
+                    budget,
+                })
+            }
+            KIND_CURRENCY => {
+                let mut r = Reader::new(payload);
+                let archive = r.archive_name()?;
+                let func = r.u32()?;
+                let trace = r.u32()?;
+                let def_block = r.u32()?;
+                let use_block = r.u32()?;
+                let n = r.u32()? as usize;
+                let redefs = r.u32_vec(n)?;
+                let budget = r.budget()?;
+                r.done()?;
+                Ok(Frame::Currency {
+                    req: CurrencyReq { archive, func, trace, def_block, use_block, redefs },
+                    budget,
+                })
+            }
+            KIND_LIST_ARCHIVES => {
+                if !payload.is_empty() {
+                    return Err(NetError::BadPayload("control frame carries a payload".into()));
+                }
+                Ok(Frame::ListArchives)
+            }
+            KIND_STAT => {
+                let mut r = Reader::new(payload);
+                let archive = r.archive_name()?;
+                r.done()?;
+                Ok(Frame::Stat { archive })
+            }
+            KIND_ANSWER => {
+                let mut r = Reader::new(payload);
+                let tag = r.u32()?;
+                let complete = r.flag()?;
+                let stop_code = r.u32()?;
+                if stop_code > 4 {
+                    return Err(NetError::BadPayload(format!("bad stop code {stop_code}")));
+                }
+                let coverage_bits = r.u64()?;
+                let cov = f64::from_bits(coverage_bits);
+                if !(0.0..=1.0).contains(&cov) {
+                    return Err(NetError::BadPayload("coverage outside [0, 1]".into()));
+                }
+                let text = r.str()?;
+                let data = match tag {
+                    ANSWER_TAG_QUERY => AnswerData::Query {
+                        call_count: r.u64()?,
+                        dicts: r.u32()?,
+                        total_traces: r.u32()?,
+                        rendered: r.u32()?,
+                    },
+                    ANSWER_TAG_SLICE => {
+                        let n = r.u32()? as usize;
+                        AnswerData::Slice { blocks: r.u32_vec(n)? }
+                    }
+                    ANSWER_TAG_CURRENCY => {
+                        let current = r.u64()?;
+                        let total = r.u64()?;
+                        let nh = r.u32()? as usize;
+                        let holds = r.i32_vec(nh)?;
+                        let nn = r.u32()? as usize;
+                        let not_holds = r.i32_vec(nn)?;
+                        AnswerData::Currency { current, total, holds, not_holds }
+                    }
+                    other => {
+                        return Err(NetError::BadPayload(format!("unknown answer tag {other}")))
+                    }
+                };
+                r.done()?;
+                Ok(Frame::Answer(Box::new(Answer {
+                    complete,
+                    stop_code,
+                    coverage_bits,
+                    text,
+                    data,
+                })))
+            }
+            KIND_ARCHIVES => {
+                let mut r = Reader::new(payload);
+                let n = r.u32()? as usize;
+                if n > payload.len() {
+                    return Err(NetError::BadPayload("archive count exceeds payload".into()));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(ArchiveStat {
+                        name: r.archive_name()?,
+                        functions: r.u32()?,
+                        degraded: r.flag()?,
+                        file_bytes: r.u64()?,
+                    });
+                }
+                r.done()?;
+                Ok(Frame::Archives { entries })
+            }
             other => Err(NetError::BadKind(other)),
         }
+    }
+}
+
+fn put_str(body: &mut Vec<u8>, s: &str) {
+    body.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    body.extend_from_slice(s.as_bytes());
+}
+
+fn put_budget(body: &mut Vec<u8>, b: &BudgetSpec) {
+    body.extend_from_slice(&b.deadline_ms.to_le_bytes());
+    body.extend_from_slice(&b.max_steps.to_le_bytes());
+}
+
+/// Strict little-endian cursor for serve-frame payloads: every read is
+/// bounds-checked and [`Reader::done`] rejects trailing garbage, so a
+/// malformed body always surfaces as a typed [`NetError::BadPayload`].
+struct Reader<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(b: &'a [u8]) -> Reader<'a> {
+        Reader { b, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.b.len() - self.at < n {
+            return Err(NetError::BadPayload("payload truncated".into()));
+        }
+        let out = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        Ok(read_u32(self.take(4)?, 0))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        Ok(read_u64(self.take(8)?, 0))
+    }
+
+    fn flag(&mut self) -> Result<bool, NetError> {
+        match self.u32()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(NetError::BadPayload(format!("bad boolean {other}"))),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, NetError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| NetError::BadPayload("string is not UTF-8".into()))
+    }
+
+    fn archive_name(&mut self) -> Result<String, NetError> {
+        let name = self.str()?;
+        if !valid_source_name(&name) {
+            return Err(NetError::BadPayload(format!("invalid archive name {name:?}")));
+        }
+        Ok(name)
+    }
+
+    fn budget(&mut self) -> Result<BudgetSpec, NetError> {
+        Ok(BudgetSpec { deadline_ms: self.u64()?, max_steps: self.u64()? })
+    }
+
+    fn u32_vec(&mut self, n: usize) -> Result<Vec<u32>, NetError> {
+        let bytes = self.take(n.checked_mul(4).ok_or_else(|| {
+            NetError::BadPayload("element count overflows".into())
+        })?)?;
+        Ok(bytes.chunks_exact(4).map(|c| read_u32(c, 0)).collect())
+    }
+
+    fn i32_vec(&mut self, n: usize) -> Result<Vec<i32>, NetError> {
+        Ok(self.u32_vec(n)?.into_iter().map(|w| w as i32).collect())
+    }
+
+    fn done(&self) -> Result<(), NetError> {
+        if self.at != self.b.len() {
+            return Err(NetError::BadPayload("trailing bytes after payload".into()));
+        }
+        Ok(())
     }
 }
 
@@ -699,6 +1165,61 @@ mod tests {
             Frame::Ok { accepted: u64::MAX },
             Frame::Busy { retry_after_ms: 25 },
             Frame::Error { code: ERR_STREAM, message: "offset gap".into() },
+            Frame::Query {
+                req: QueryReq { archive: "web-01".into(), func: 3 },
+                budget: BudgetSpec { deadline_ms: 250, max_steps: 0 },
+            },
+            Frame::Slice {
+                req: SliceReq { archive: "a.b-c".into(), func: 0, trace: 2, criterion: 7 },
+                budget: BudgetSpec::default(),
+            },
+            Frame::Currency {
+                req: CurrencyReq {
+                    archive: "fleet42".into(),
+                    func: 1,
+                    trace: 0,
+                    def_block: 2,
+                    use_block: 9,
+                    redefs: vec![3, 5],
+                },
+                budget: BudgetSpec { deadline_ms: 0, max_steps: 1000 },
+            },
+            Frame::ListArchives,
+            Frame::Stat { archive: "web-01".into() },
+            Frame::Answer(Box::new(Answer {
+                complete: true,
+                stop_code: 0,
+                coverage_bits: 1.0f64.to_bits(),
+                text: "function 3: 4 calls\n".into(),
+                data: AnswerData::Query { call_count: 4, dicts: 1, total_traces: 2, rendered: 2 },
+            })),
+            Frame::Answer(Box::new(Answer {
+                complete: false,
+                stop_code: 2,
+                coverage_bits: 0.5f64.to_bits(),
+                text: String::new(),
+                data: AnswerData::Slice { blocks: vec![1, 4, 9] },
+            })),
+            Frame::Answer(Box::new(Answer {
+                complete: true,
+                stop_code: 0,
+                coverage_bits: 1.0f64.to_bits(),
+                text: "currency 2/3\n".into(),
+                data: AnswerData::Currency {
+                    current: 2,
+                    total: 3,
+                    holds: vec![2, -4],
+                    not_holds: vec![-7],
+                },
+            })),
+            Frame::Archives {
+                entries: vec![ArchiveStat {
+                    name: "web-01".into(),
+                    functions: 12,
+                    degraded: false,
+                    file_bytes: 4096,
+                }],
+            },
         ]
     }
 
@@ -781,6 +1302,72 @@ mod tests {
         for good in ["web-01", "a", "svc.prod_7"] {
             assert!(valid_source_name(good), "{good:?} must be accepted");
         }
+    }
+
+    #[test]
+    fn malformed_serve_payloads_are_bad_payloads() {
+        // Helper: wrap a raw body (kind included) in a valid header+CRC.
+        let wrap = |body: &[u8]| {
+            let mut raw = Vec::new();
+            raw.extend_from_slice(&NET_MAGIC);
+            raw.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            raw.extend_from_slice(&crc32(body).to_le_bytes());
+            raw.extend_from_slice(body);
+            raw
+        };
+        let expect_bad = |body: Vec<u8>, what: &str| {
+            let mut dec = FrameDecoder::new();
+            dec.push(&wrap(&body));
+            assert!(
+                matches!(dec.next_frame(), Err(NetError::BadPayload(_))),
+                "{what} must be a BadPayload"
+            );
+        };
+
+        // Query with a truncated archive-name length.
+        let mut body = KIND_QUERY.to_le_bytes().to_vec();
+        body.extend_from_slice(&100u32.to_le_bytes());
+        body.extend_from_slice(b"ab");
+        expect_bad(body, "truncated name");
+
+        // Query with an invalid archive name.
+        let mut body = KIND_QUERY.to_le_bytes().to_vec();
+        body.extend_from_slice(&7u32.to_le_bytes());
+        body.extend_from_slice(b".hidden");
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&[0u8; 16]);
+        expect_bad(body, "invalid archive name");
+
+        // Well-formed Query followed by trailing garbage.
+        let good = Frame::Query {
+            req: QueryReq { archive: "a".into(), func: 0 },
+            budget: BudgetSpec::default(),
+        };
+        let mut enc = good.encode();
+        let body_start = FRAME_HEADER_LEN;
+        let mut body = enc.split_off(body_start);
+        body.push(0xEE);
+        expect_bad(body, "trailing bytes");
+
+        // Answer with an out-of-range coverage.
+        let ans = Frame::Answer(Box::new(Answer {
+            complete: true,
+            stop_code: 0,
+            coverage_bits: 2.0f64.to_bits(),
+            text: String::new(),
+            data: AnswerData::Slice { blocks: vec![] },
+        }));
+        let enc = ans.encode();
+        expect_bad(enc[FRAME_HEADER_LEN..].to_vec(), "coverage > 1");
+
+        // Currency with an element count far beyond the payload.
+        let mut body = KIND_CURRENCY.to_le_bytes().to_vec();
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(b"a");
+        for v in [0u32, 0, 0, 0, u32::MAX] {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        expect_bad(body, "absurd redef count");
     }
 
     #[test]

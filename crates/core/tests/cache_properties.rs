@@ -1,0 +1,335 @@
+//! Property tests for the byte-capped LRU caches behind the fleet
+//! server's read path ([`twpp::cache`]).
+//!
+//! The conformance battery exercises these caches indirectly (every
+//! served answer decodes through one); this suite pins the cache
+//! contracts directly against a reference model:
+//!
+//! * the byte cap is an invariant, not a target — it holds after every
+//!   operation of an arbitrary op sequence;
+//! * eviction is exactly least-recently-used (model comparison);
+//! * a cache hit returns a value identical to a cold decode;
+//! * concurrent readers sharing one cache never observe torn values and
+//!   converge on one canonical `Arc` per resident frame;
+//! * a [`LazyArchive`] scanning more frame bytes than its cache cap
+//!   stays bounded — the regression pinned here is the pre-cache
+//!   behaviour of holding every decoded frame live forever.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use twpp::cache::{ByteLruCache, FrameCache};
+use twpp::lazy::LazyArchive;
+use twpp::obs::Obs;
+use twpp::{compact, Codec, TwppArchive};
+use twpp_ir::{BlockId, FuncId};
+use twpp_tracer::{RawWpp, WppEvent};
+
+// ---------------------------------------------------------------------------
+// ByteLruCache vs. a reference model
+// ---------------------------------------------------------------------------
+
+/// One step of an arbitrary cache workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { key: u8, bytes: u64 },
+    Get { key: u8 },
+    Retain { below: u8 },
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), 0u64..48).prop_map(|(key, bytes)| Op::Insert { key, bytes }),
+        4 => any::<u8>().prop_map(|key| Op::Get { key }),
+        1 => any::<u8>().prop_map(|below| Op::Retain { below }),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// A transparent reimplementation of the documented semantics: a map of
+/// `key -> (bytes, last-touch stamp)` with min-stamp eviction.
+struct Model {
+    cap: u64,
+    map: HashMap<u8, (u64, u64)>,
+    clock: u64,
+}
+
+impl Model {
+    fn used(&self) -> u64 {
+        self.map.values().map(|(b, _)| *b).sum()
+    }
+
+    fn apply(&mut self, op: &Op) {
+        self.clock += 1;
+        match *op {
+            Op::Insert { key, bytes } => {
+                if let Some(e) = self.map.get_mut(&key) {
+                    e.1 = self.clock;
+                    return;
+                }
+                if bytes > self.cap {
+                    return;
+                }
+                while self.used() + bytes > self.cap {
+                    let Some(victim) =
+                        self.map.iter().min_by_key(|(_, (_, s))| *s).map(|(k, _)| *k)
+                    else {
+                        break;
+                    };
+                    self.map.remove(&victim);
+                }
+                self.map.insert(key, (bytes, self.clock));
+            }
+            Op::Get { key } => {
+                if let Some(e) = self.map.get_mut(&key) {
+                    e.1 = self.clock;
+                }
+            }
+            Op::Retain { below } => {
+                self.map.retain(|k, _| *k < below);
+            }
+            Op::Clear => self.map.clear(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // The byte cap holds after every operation of any op sequence, and
+    // resident bytes always equal the sum of resident entry weights.
+    #[test]
+    fn cap_is_never_exceeded(
+        cap in 1u64..256,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let cache: ByteLruCache<u8, u64> = ByteLruCache::new(cap);
+        let mut weights: HashMap<u8, u64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert { key, bytes } => {
+                    // A key can be evicted and later re-inserted with a
+                    // different weight, so resident weight is the weight
+                    // of the most recent insert that found the key absent
+                    // (insert_or_get keeps the old weight for hits).
+                    let fresh = cache.get(&key).is_none();
+                    cache.insert_or_get(key, u64::from(key), bytes);
+                    if fresh && bytes <= cap {
+                        weights.insert(key, bytes);
+                    }
+                }
+                Op::Get { key } => {
+                    cache.get(&key);
+                }
+                Op::Retain { below } => {
+                    cache.retain(|k| *k < below);
+                }
+                Op::Clear => cache.clear(),
+            }
+            prop_assert!(
+                cache.resident_bytes() <= cap,
+                "resident {} exceeds cap {cap} after {op:?}",
+                cache.resident_bytes(),
+            );
+        }
+        // Cross-check the byte accounting: resident bytes must equal the
+        // sum of the weights of the entries still answering lookups.
+        // (Weights are first-insert-wins, like the values.)
+        let stats = cache.stats();
+        let resident: u64 = (0..=u8::MAX)
+            .filter(|k| cache.get(k).is_some())
+            .map(|k| weights[&k])
+            .sum();
+        prop_assert_eq!(stats.resident_bytes, resident);
+    }
+
+    // The cache agrees with the reference model exactly: same resident
+    // key set after any op sequence, i.e. eviction is least-recently-
+    // used with `get` and duplicate inserts refreshing recency.
+    #[test]
+    fn eviction_matches_the_lru_model(
+        cap in 1u64..128,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let cache: ByteLruCache<u8, u64> = ByteLruCache::new(cap);
+        let mut model = Model { cap, map: HashMap::new(), clock: 0 };
+        for op in &ops {
+            match *op {
+                Op::Insert { key, bytes } => {
+                    cache.insert_or_get(key, u64::from(key), bytes);
+                }
+                Op::Get { key } => {
+                    cache.get(&key);
+                }
+                Op::Retain { below } => {
+                    cache.retain(|k| *k < below);
+                }
+                Op::Clear => cache.clear(),
+            }
+            model.apply(op);
+        }
+        prop_assert_eq!(cache.resident_bytes(), model.used());
+        prop_assert_eq!(cache.len(), model.map.len());
+        // Membership probes mutate recency identically on both sides, so
+        // comparing via get keeps cache and model in lockstep.
+        for key in 0..=u8::MAX {
+            let op = Op::Get { key };
+            prop_assert_eq!(
+                cache.get(&key).is_some(),
+                model.map.contains_key(&key),
+                "key {key} diverges from the LRU model",
+            );
+            model.apply(&op);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame cache over a real archive
+// ---------------------------------------------------------------------------
+
+/// A deterministic two-function WPP whose archive has several frames.
+fn sample_wpp(funcs: u32, calls: u32) -> RawWpp {
+    let b = BlockId::new;
+    let mut ev = vec![WppEvent::Enter(FuncId::from_index(0)), WppEvent::Block(b(1))];
+    for i in 0..calls {
+        for f in 1..=funcs {
+            ev.push(WppEvent::Enter(FuncId::from_index(f as usize)));
+            ev.push(WppEvent::Block(b(1)));
+            ev.push(WppEvent::Block(b(i % 3 + 2)));
+            ev.push(WppEvent::Exit);
+        }
+    }
+    ev.push(WppEvent::Exit);
+    RawWpp::from_events(&ev)
+}
+
+fn write_archive(dir: &std::path::Path, funcs: u32, calls: u32) -> std::path::PathBuf {
+    let c = compact(&sample_wpp(funcs, calls)).expect("sample WPP compacts");
+    let a = TwppArchive::from_compacted_codec(
+        &c,
+        &HashMap::new(),
+        1,
+        &[],
+        &Obs::noop(),
+        Codec::default(),
+    );
+    let path = dir.join("cache-props.twpa");
+    a.save(&path).expect("write archive");
+    path
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "twpp-cache-props-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A cache hit returns a record identical to a cold decode — and the
+/// same canonical `Arc` while the entry stays resident.
+#[test]
+fn hit_is_identical_to_cold_decode() {
+    let dir = tempdir("hit");
+    let path = write_archive(&dir, 6, 8);
+    let la = LazyArchive::open(&path).expect("lazy open");
+    for func in la.function_ids() {
+        let cold = TwppArchive::read_function_from_file(&path, func).expect("cold decode");
+        let first = la.read_function(func).expect("first read");
+        let second = la.read_function(func).expect("second read");
+        assert_eq!(*first, cold, "cached read diverges from a cold decode");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "resident hits must share one canonical Arc"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent readers over one shared cache: no torn values, every
+/// returned record equals the cold decode, and the cap holds throughout.
+#[test]
+fn concurrent_reads_share_untorn_arcs() {
+    let dir = tempdir("conc");
+    let path = write_archive(&dir, 8, 8);
+    let cache = Arc::new(FrameCache::new(1 << 20));
+    let la = Arc::new(
+        LazyArchive::open_with_cache(&path, Arc::clone(&cache), Obs::noop()).expect("open"),
+    );
+    let funcs = la.function_ids();
+    let baseline: HashMap<FuncId, _> = funcs
+        .iter()
+        .map(|&f| (f, TwppArchive::read_function_from_file(&path, f).expect("cold")))
+        .collect();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let la = Arc::clone(&la);
+            let cache = Arc::clone(&cache);
+            let funcs = &funcs;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                for round in 0..50 {
+                    let func = funcs[(t + round) % funcs.len()];
+                    let rec = la.read_function(func).expect("concurrent read");
+                    assert_eq!(*rec, baseline[&func], "torn or stale frame");
+                    assert!(cache.resident_bytes() <= cache.cap_bytes());
+                }
+            });
+        }
+    });
+    // After the dust settles every resident function resolves to one
+    // canonical Arc: two fresh reads hit the same allocation.
+    for &func in &funcs {
+        let a = la.read_function(func).expect("read");
+        let b = la.read_function(func).expect("read");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The regression this module exists for: scanning an archive whose
+/// frames outweigh the cache cap must not grow resident bytes past the
+/// cap — the old unbounded per-archive cache held every frame forever.
+#[test]
+fn lazy_scan_stays_under_a_tiny_cap() {
+    let dir = tempdir("bounded");
+    let path = write_archive(&dir, 12, 16);
+    // A cap much smaller than the archive's total frame bytes, but large
+    // enough to hold any single frame (oversize entries pass through
+    // unstored, which would trivially satisfy the bound).
+    let cap = 256u64;
+    let cache = Arc::new(FrameCache::new(cap));
+    let la = LazyArchive::open_with_cache(&path, Arc::clone(&cache), Obs::noop()).expect("open");
+    let mut peak = 0u64;
+    for _ in 0..3 {
+        for func in la.function_ids() {
+            let rec = la.read_function(func).expect("scan read");
+            assert!(!rec.traces.is_empty() || rec.call_count == 0);
+            peak = peak.max(cache.resident_bytes());
+        }
+    }
+    assert!(
+        peak <= cap,
+        "peak resident {peak} bytes exceeds the {cap}-byte cap"
+    );
+    let stats = cache.stats();
+    assert!(
+        stats.evictions > 0,
+        "the scan must actually overflow the cap for this regression \
+         test to bite (resident {}, cap {cap})",
+        stats.resident_bytes
+    );
+    assert_eq!(
+        la.decoded_count(),
+        la.function_ids().len(),
+        "every frame decoded at least once despite the tiny cap"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -32,6 +32,7 @@ pub mod interproc;
 pub mod interslice;
 pub mod optimize;
 pub mod query;
+pub mod reach;
 pub mod reachdefs;
 pub mod redundancy;
 pub mod slicing;
@@ -43,9 +44,11 @@ pub use interproc::{CallSummaries, WithCallEffects};
 pub use interslice::{InterCriterion, InterSliceOutcome, InterSlicer, SlicePoint};
 pub use optimize::{all_redundant_load_candidates, redundant_load_candidates, LoadCandidate};
 pub use query::{
-    solve_backward, solve_backward_governed, solve_by_replay, solve_by_replay_governed,
-    QueryOutcome, QueryResult,
+    node_effects, solve_backward, solve_backward_effects_governed, solve_backward_governed,
+    solve_by_replay, solve_by_replay_effects_governed, solve_by_replay_governed, QueryOutcome,
+    QueryResult,
 };
+pub use reach::{backward_reach_governed, block_effects, ReachOutcome};
 pub use reachdefs::ReachingDefs;
 pub use redundancy::{load_redundancy, load_redundancy_for, loads_in, RedundancyReport};
 pub use slicing::{Approach, Criterion, SliceOutcome, Slicer};

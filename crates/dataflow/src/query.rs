@@ -182,7 +182,8 @@ pub fn solve_backward_observed<F: GenKillFact + ?Sized>(
     budget: &Budget,
     obs: &Obs,
 ) -> QueryOutcome {
-    let (outcome, visited) = solve_backward_impl(dcfg, func, fact, node, ts, budget);
+    let effects = node_effects(dcfg, func, fact);
+    let (outcome, visited) = solve_backward_effects_impl(dcfg, &effects, node, ts, budget);
     if obs.is_enabled() {
         obs.counter(
             "twpp_dataflow_query_total",
@@ -205,21 +206,43 @@ pub fn solve_backward_observed<F: GenKillFact + ?Sized>(
     outcome
 }
 
-fn solve_backward_impl<F: GenKillFact + ?Sized>(
+/// Pre-computes each dynamic node's DGEN/DKILL summary for `fact` —
+/// the per-node [`Effect`] vector the propagation engine consumes.
+pub fn node_effects<F: GenKillFact + ?Sized>(
     dcfg: &DynCfg,
     func: &Function,
     fact: &F,
+) -> Vec<Effect> {
+    dcfg.nodes()
+        .iter()
+        .map(|n| effect_of_stmts(fact, stmts_of_node(func, n)))
+        .collect()
+}
+
+/// Core of [`solve_backward_governed`], parameterized by a per-node
+/// [`Effect`] vector instead of IR — so a caller holding only archive
+/// data (a fleet server answering block-level queries, where effects
+/// come from block identities rather than statements) can run the same
+/// engine. `effects[i]` is node `i`'s summary; its length must equal
+/// `dcfg.nodes().len()`.
+pub fn solve_backward_effects_governed(
+    dcfg: &DynCfg,
+    effects: &[Effect],
+    node: usize,
+    ts: &TsSet,
+    budget: &Budget,
+) -> QueryOutcome {
+    assert_eq!(effects.len(), dcfg.nodes().len(), "one effect per dynamic node");
+    solve_backward_effects_impl(dcfg, effects, node, ts, budget).0
+}
+
+fn solve_backward_effects_impl(
+    dcfg: &DynCfg,
+    effects: &[Effect],
     node: usize,
     ts: &TsSet,
     budget: &Budget,
 ) -> (QueryOutcome, u64) {
-    // Pre-compute each node's DGEN/DKILL summary.
-    let effects: Vec<Effect> = dcfg
-        .nodes()
-        .iter()
-        .map(|n| effect_of_stmts(fact, stmts_of_node(func, n)))
-        .collect();
-
     let mut result = QueryResult::default();
     let initial = ts.intersect(&dcfg.node(node).ts);
     if initial.is_empty() {
@@ -312,11 +335,26 @@ pub fn solve_by_replay_governed<F: GenKillFact + ?Sized>(
     ts: &TsSet,
     budget: &Budget,
 ) -> QueryOutcome {
+    let effects = node_effects(dcfg, func, fact);
+    solve_by_replay_effects_governed(dcfg, &effects, node, ts, budget)
+}
+
+/// Core of [`solve_by_replay_governed`], parameterized by a per-node
+/// [`Effect`] vector — the replay oracle for effect-level queries, used
+/// to validate [`solve_backward_effects_governed`] differentially.
+pub fn solve_by_replay_effects_governed(
+    dcfg: &DynCfg,
+    effects: &[Effect],
+    node: usize,
+    ts: &TsSet,
+    budget: &Budget,
+) -> QueryOutcome {
+    assert_eq!(effects.len(), dcfg.nodes().len(), "one effect per dynamic node");
     // Effect at each trace position.
     let len = dcfg.len();
     let mut effect_at = vec![Effect::Transparent; (len + 1) as usize];
     for (i, n) in dcfg.nodes().iter().enumerate() {
-        let e = effect_of_stmts(fact, stmts_of_node(func, dcfg.node(i)));
+        let e = effects[i];
         for t in n.ts.iter() {
             effect_at[t as usize] = e;
         }

@@ -1,0 +1,380 @@
+//! Request semantics: one function per serve verb, shared verbatim by
+//! the local one-shot CLI commands, the fleet server, and the
+//! conformance oracle — so remote answers are byte-identical to local
+//! ones *by construction*, not by parallel maintenance.
+//!
+//! Each answer carries both the rendered text (the exact bytes the CLI
+//! prints) and the structured result (for machine comparison and for
+//! the client to reproduce the CLI's degraded-exit contract).
+
+use std::fmt::Write as _;
+
+use twpp::archive::{ArchiveError, FunctionRecord};
+use twpp::gov::{Budget, StopReason};
+use twpp::lazy::LazyArchive;
+use twpp::net::{Answer, AnswerData, CurrencyReq, QueryReq, SliceReq};
+use twpp::TsSet;
+use twpp_dataflow::dyncfg::DynCfg;
+use twpp_dataflow::{
+    backward_reach_governed, block_effects, solve_backward_effects_governed, QueryOutcome,
+};
+use twpp_ir::{BlockId, FuncId};
+
+/// Why a request could not be answered.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AnswerError {
+    /// The request is well-formed but unanswerable (unknown function,
+    /// trace index out of range, block id zero, …).
+    BadRequest(String),
+    /// The function carries a degraded sentinel instead of traces.
+    Degraded(String),
+    /// The archive itself failed underneath the request.
+    Archive(String),
+    /// The budget ran out before any part of the answer was produced
+    /// (e.g. while fetching the frame). The server maps this to `Busy`:
+    /// no partial answer exists to return.
+    Stopped(StopReason),
+}
+
+impl std::fmt::Display for AnswerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnswerError::BadRequest(m) | AnswerError::Degraded(m) | AnswerError::Archive(m) => {
+                f.write_str(m)
+            }
+            AnswerError::Stopped(r) => write!(f, "budget exhausted before any work: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for AnswerError {}
+
+fn archive_err(e: ArchiveError) -> AnswerError {
+    match e {
+        ArchiveError::DegradedFunction(id) => AnswerError::Degraded(format!(
+            "function {} failed during compaction and carries no traces \
+             in this archive (degraded entry)",
+            id.as_u32()
+        )),
+        ArchiveError::UnknownFunction(_) => AnswerError::BadRequest(e.to_string()),
+        ArchiveError::Stopped(r) => AnswerError::Stopped(r),
+        other => AnswerError::Archive(other.to_string()),
+    }
+}
+
+/// Maps a [`StopReason`] to its wire code (`Answer::stop_code`).
+pub fn stop_code(reason: StopReason) -> u32 {
+    match reason {
+        StopReason::Deadline => 1,
+        StopReason::StepLimit => 2,
+        StopReason::ByteLimit => 3,
+        StopReason::Cancelled => 4,
+        // `StopReason` is non-exhaustive; future reasons wire as 5
+        // ("other") rather than masquerading as an existing code.
+        _ => 5,
+    }
+}
+
+/// Inverse of [`stop_code`]; `None` for 0 (complete) or unknown codes.
+pub fn stop_reason(code: u32) -> Option<StopReason> {
+    match code {
+        1 => Some(StopReason::Deadline),
+        2 => Some(StopReason::StepLimit),
+        3 => Some(StopReason::ByteLimit),
+        4 => Some(StopReason::Cancelled),
+        _ => None,
+    }
+}
+
+fn complete_answer(text: String, data: AnswerData) -> Answer {
+    Answer {
+        complete: true,
+        stop_code: 0,
+        coverage_bits: 1.0f64.to_bits(),
+        text,
+        data,
+    }
+}
+
+fn partial_answer(text: String, data: AnswerData, coverage: f64, reason: StopReason) -> Answer {
+    Answer {
+        complete: false,
+        stop_code: stop_code(reason),
+        coverage_bits: coverage.clamp(0.0, 1.0).to_bits(),
+        text,
+        data,
+    }
+}
+
+/// Answers a [`QueryReq`] against a decoded function record: the header
+/// line plus every expanded path trace the budget admits — the text is
+/// the exact `twpp query` stdout.
+///
+/// # Errors
+///
+/// [`AnswerError::Archive`] if the record's dictionary indices are
+/// corrupt.
+pub fn query_answer(
+    func: FuncId,
+    record: &FunctionRecord,
+    budget: &Budget,
+) -> Result<Answer, AnswerError> {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "function {}: {} calls, {} unique path traces, {} dictionaries",
+        func.as_u32(),
+        record.call_count,
+        record.traces.len(),
+        record.dicts.len()
+    );
+    let traces = record
+        .try_expanded_traces()
+        .map_err(|e| AnswerError::Archive(e.to_string()))?;
+    let total = traces.len();
+    let mut stopped: Option<StopReason> = None;
+    let mut rendered = 0usize;
+    for (i, trace) in traces.iter().enumerate() {
+        if let Err(reason) = budget.charge_step() {
+            let _ = writeln!(text, "  … truncated ({reason})");
+            stopped = Some(reason);
+            break;
+        }
+        rendered += 1;
+        let _ = writeln!(text, "  path {i}: {trace}");
+    }
+    let data = AnswerData::Query {
+        call_count: record.call_count,
+        dicts: record.dicts.len() as u32,
+        total_traces: total as u32,
+        rendered: rendered as u32,
+    };
+    Ok(match stopped {
+        None => complete_answer(text, data),
+        Some(reason) => {
+            let coverage = if total == 0 { 1.0 } else { rendered as f64 / total as f64 };
+            partial_answer(text, data, coverage, reason)
+        }
+    })
+}
+
+/// Builds the dynamic CFG of one unique trace of `record`.
+fn dyncfg_of(record: &FunctionRecord, trace: u32) -> Result<DynCfg, AnswerError> {
+    let Some((dict_idx, tt)) = record.traces.get(trace as usize) else {
+        return Err(AnswerError::BadRequest(format!(
+            "trace index {trace} out of range ({} unique traces)",
+            record.traces.len()
+        )));
+    };
+    let Some(dict) = record.dicts.get(*dict_idx as usize) else {
+        return Err(AnswerError::Archive("corrupt archive: dictionary index".into()));
+    };
+    Ok(DynCfg::new(tt, dict))
+}
+
+fn block_id(raw: u32, what: &str) -> Result<BlockId, AnswerError> {
+    if raw == 0 {
+        return Err(AnswerError::BadRequest(format!(
+            "{what} block id 0 is invalid (block ids are 1-based)"
+        )));
+    }
+    Ok(BlockId::new(raw))
+}
+
+/// Answers a [`SliceReq`]: the backward closure over one trace's
+/// dynamic CFG from the criterion block, rendered as the sorted static
+/// blocks it proves reachable-backwards.
+///
+/// # Errors
+///
+/// [`AnswerError::BadRequest`] for an out-of-range trace index, a zero
+/// block id, or a criterion block the trace never executes.
+pub fn slice_answer(
+    func: FuncId,
+    record: &FunctionRecord,
+    trace: u32,
+    criterion: u32,
+    budget: &Budget,
+) -> Result<Answer, AnswerError> {
+    let dcfg = dyncfg_of(record, trace)?;
+    let head = block_id(criterion, "criterion")?;
+    let Some(node) = dcfg.node_by_head(head) else {
+        return Err(AnswerError::BadRequest(format!(
+            "block {criterion} never heads a dynamic node in trace {trace}"
+        )));
+    };
+    let out = backward_reach_governed(&dcfg, node, budget);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "slice function {} trace {trace} from block {criterion}: {} blocks, {} of {} nodes",
+        func.as_u32(),
+        out.blocks.len(),
+        out.nodes.len(),
+        dcfg.node_count()
+    );
+    let _ = write!(text, "  blocks:");
+    for b in &out.blocks {
+        let _ = write!(text, " {}", b.as_u32());
+    }
+    text.push('\n');
+    if let Some(reason) = out.reason {
+        let _ = writeln!(text, "  … truncated ({reason})");
+    }
+    let data = AnswerData::Slice {
+        blocks: out.blocks.iter().map(|b| b.as_u32()).collect(),
+    };
+    Ok(match out.reason {
+        None => complete_answer(text, data),
+        Some(reason) => partial_answer(text, data, out.coverage, reason),
+    })
+}
+
+fn wire_words(set: &TsSet) -> Result<Vec<i32>, AnswerError> {
+    set.to_wire()
+        .map_err(|e| AnswerError::Archive(format!("unencodable timestamp set: {e}")))
+}
+
+/// Answers a [`CurrencyReq`]: block-level currency determination — at
+/// every execution of `use_block` in the trace, is `def_block`'s value
+/// still current (no block in `redefs` executed since)? Runs the §4.2
+/// backward propagation engine over block-identity effects.
+///
+/// # Errors
+///
+/// [`AnswerError::BadRequest`] for an out-of-range trace index, zero
+/// block ids, or a use block the trace never executes.
+pub fn currency_answer(
+    func: FuncId,
+    record: &FunctionRecord,
+    trace: u32,
+    def_block: u32,
+    use_block: u32,
+    redefs: &[u32],
+    budget: &Budget,
+) -> Result<Answer, AnswerError> {
+    let dcfg = dyncfg_of(record, trace)?;
+    let def = block_id(def_block, "def")?;
+    let use_ = block_id(use_block, "use")?;
+    let redefs: Vec<BlockId> = redefs
+        .iter()
+        .map(|&r| block_id(r, "redef"))
+        .collect::<Result<_, _>>()?;
+    let Some(node) = dcfg.node_by_head(use_) else {
+        return Err(AnswerError::BadRequest(format!(
+            "block {use_block} never heads a dynamic node in trace {trace}"
+        )));
+    };
+    let effects = block_effects(&dcfg, def, &redefs);
+    let ts = dcfg.node(node).ts.clone();
+    let queried = ts.len();
+    let outcome = solve_backward_effects_governed(&dcfg, &effects, node, &ts, budget);
+    let r = outcome.result();
+    let current = r.holds.len() as u64;
+    let resolved = current + r.not_holds.len() as u64;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "currency function {} trace {trace}: def block {def_block} at use block {use_block} \
+         ({} redefs)",
+        func.as_u32(),
+        redefs.len()
+    );
+    let pct = if resolved == 0 { 100.0 } else { current as f64 * 100.0 / resolved as f64 };
+    let _ = writeln!(
+        text,
+        "  current in {current} of {resolved} resolved executions ({pct:.2}%), \
+         {queried} queried"
+    );
+    let data = AnswerData::Currency {
+        current,
+        total: resolved,
+        holds: wire_words(&r.holds)?,
+        not_holds: wire_words(&r.not_holds)?,
+    };
+    Ok(match outcome {
+        QueryOutcome::Partial { coverage, reason, .. } => {
+            let _ = writeln!(text, "  … truncated ({reason})");
+            partial_answer(text, data, coverage, reason)
+        }
+        _ => complete_answer(text, data),
+    })
+}
+
+/// The degraded-exit message for a partial answer — shared by the local
+/// commands and the remote client so exit-3 stderr is identical too.
+/// `None` for complete answers.
+pub fn degraded_message(answer: &Answer) -> Option<String> {
+    if answer.complete {
+        return None;
+    }
+    let reason = stop_reason(answer.stop_code)?;
+    Some(match &answer.data {
+        AnswerData::Query { total_traces, rendered, .. } => {
+            format!("query truncated after {rendered} of {total_traces} traces ({reason})")
+        }
+        AnswerData::Slice { blocks } => {
+            format!("slice truncated ({reason}): {} blocks resolved", blocks.len())
+        }
+        AnswerData::Currency { total, .. } => {
+            format!("currency truncated after {total} resolved executions ({reason})")
+        }
+    })
+}
+
+/// Reads `func` from a lazily-opened archive and answers `req` — the
+/// archive-level entry point the server and the conformance oracle
+/// share. The frame read is charged to `budget` before any disk I/O.
+///
+/// # Errors
+///
+/// [`AnswerError::Degraded`] for degraded functions,
+/// [`AnswerError::BadRequest`] for unknown functions or unanswerable
+/// requests, [`AnswerError::Archive`] for archive corruption.
+pub fn answer_query_req(
+    la: &LazyArchive,
+    req: &QueryReq,
+    budget: &Budget,
+) -> Result<Answer, AnswerError> {
+    let func = FuncId::from_u32(req.func);
+    let record = la.read_function_governed(func, budget).map_err(archive_err)?;
+    query_answer(func, &record, budget)
+}
+
+/// [`answer_query_req`] for [`SliceReq`].
+///
+/// # Errors
+///
+/// Same as [`answer_query_req`].
+pub fn answer_slice_req(
+    la: &LazyArchive,
+    req: &SliceReq,
+    budget: &Budget,
+) -> Result<Answer, AnswerError> {
+    let func = FuncId::from_u32(req.func);
+    let record = la.read_function_governed(func, budget).map_err(archive_err)?;
+    slice_answer(func, &record, req.trace, req.criterion, budget)
+}
+
+/// [`answer_query_req`] for [`CurrencyReq`].
+///
+/// # Errors
+///
+/// Same as [`answer_query_req`].
+pub fn answer_currency_req(
+    la: &LazyArchive,
+    req: &CurrencyReq,
+    budget: &Budget,
+) -> Result<Answer, AnswerError> {
+    let func = FuncId::from_u32(req.func);
+    let record = la.read_function_governed(func, budget).map_err(archive_err)?;
+    currency_answer(
+        func,
+        &record,
+        req.trace,
+        req.def_block,
+        req.use_block,
+        &req.redefs,
+        budget,
+    )
+}
